@@ -1,0 +1,64 @@
+/// Model-sensitivity ablation: how the reconstructed strong-scaling
+/// picture responds to the two main model constants -- the
+/// compute-speed ratio (cpu_scale) and the torus link bandwidth.
+/// The compute/merge crossover (Fig. 9's central phenomenon) must
+/// move in the expected directions: slower CPUs push the crossover
+/// to higher process counts, slower links pull it lower. The
+/// underlying task costs and message sizes are measured once and
+/// replayed against each model, so rows differ only by the model.
+#include "bench_util.hpp"
+#include "simnet/timeline.hpp"
+
+using namespace msc;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const int side = static_cast<int>(flags.getInt("side", 49));
+  const auto procs = flags.getIntList("procs", {32, 64, 128, 256, 512, 1024});
+
+  bench::header("Ablation: timeline model sensitivity (cpu_scale, link bandwidth)");
+  bench::note("jet-like %d^3-ish field, full merge; crossover = first P where", side);
+  bench::note("merge time exceeds compute time");
+
+  // Record the raw inputs once per P (model-independent).
+  std::vector<std::pair<int, simnet::TimelineInputs>> recorded;
+  for (const int p : procs) {
+    pipeline::PipelineConfig cfg;
+    cfg.domain = Domain{{side, side + 8, side - 8}};
+    cfg.source.field = synth::jetLike(cfg.domain);
+    cfg.nblocks = p;
+    cfg.nranks = p;
+    cfg.persistence_threshold = 0.03f;
+    cfg.plan = MergePlan::fullMerge(p);
+    recorded.emplace_back(p, runSimPipeline(cfg).inputs);
+  }
+
+  std::printf("%10s %10s | %s\n", "cpu_scale", "link_bw", "crossover_P   (compute_s vs merge_s at each P)");
+  for (const double cpu : {3.0, 12.0, 48.0}) {
+    for (const double bw : {100e6, 425e6, 1700e6}) {
+      simnet::NetworkParams np;
+      np.bandwidth_Bps = bw;
+      simnet::CostScale scale;
+      scale.cpu_scale = cpu;
+      const simnet::IoModel io;
+      int crossover = -1;
+      std::string detail;
+      for (const auto& [p, in] : recorded) {
+        const simnet::TorusModel net(simnet::Torus::fit(p), np);
+        const simnet::StageTimes t = reconstruct(in, net, io, scale);
+        if (crossover < 0 && t.mergeTotal() > t.compute) crossover = p;
+        char buf[64];
+        std::snprintf(buf, sizeof buf, " %d:%.2f/%.2f", p, t.compute, t.mergeTotal());
+        detail += buf;
+      }
+      std::printf("%10.0f %8.0fMB | %9d  %s\n", cpu, bw / 1e6, crossover, detail.c_str());
+    }
+  }
+  bench::note("finding: the crossover is nearly insensitive to link bandwidth and");
+  bench::note("cpu_scale because both compute and the merge stage's dominant cost");
+  bench::note("(root-side gluing + re-simplification) scale together -- in this");
+  bench::note("implementation merging is compute-bound, not bandwidth-bound, which");
+  bench::note("is also why Table II's sub-percent radix-ordering effects do not");
+  bench::note("reproduce under a pure transfer-cost argument (see EXPERIMENTS.md)");
+  return 0;
+}

@@ -1,0 +1,87 @@
+/// \file bench_util.hpp
+/// Shared helpers for the experiment executables: tiny flag parsing,
+/// table formatting, and the default model calibration used across
+/// all paper-figure reproductions (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "pipeline/sim_pipeline.hpp"
+
+namespace msc::bench {
+
+/// Minimal --key=value flag reader.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  std::int64_t getInt(const std::string& key, std::int64_t def) const {
+    const std::string v = raw(key);
+    return v.empty() ? def : std::atoll(v.c_str());
+  }
+  double getDouble(const std::string& key, double def) const {
+    const std::string v = raw(key);
+    return v.empty() ? def : std::atof(v.c_str());
+  }
+  bool getBool(const std::string& key, bool def = false) const {
+    const std::string v = raw(key);
+    return v.empty() ? def : v != "0" && v != "false";
+  }
+  std::vector<int> getIntList(const std::string& key, std::vector<int> def) const {
+    const std::string v = raw(key);
+    if (v.empty()) return def;
+    std::vector<int> out;
+    std::size_t pos = 0;
+    while (pos < v.size()) {
+      std::size_t next = v.find(',', pos);
+      if (next == std::string::npos) next = v.size();
+      out.push_back(std::atoi(v.substr(pos, next - pos).c_str()));
+      pos = next + 1;
+    }
+    return out;
+  }
+
+ private:
+  std::string raw(const std::string& key) const {
+    const std::string prefix = "--" + key + "=";
+    for (const std::string& a : args_)
+      if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+    return {};
+  }
+  std::vector<std::string> args_;
+};
+
+/// Default models: BG/P-flavoured constants (see EXPERIMENTS.md for
+/// the calibration rationale).
+inline pipeline::SimModels defaultModels(const Flags& flags) {
+  pipeline::SimModels m;
+  m.scale.cpu_scale = flags.getDouble("cpu_scale", 12.0);
+  m.net.bandwidth_Bps = flags.getDouble("link_bw", 425e6);
+  m.io.aggregate_bw_Bps = flags.getDouble("io_agg_bw", 4e9);
+  m.io.per_proc_bw_Bps = flags.getDouble("io_proc_bw", 50e6);
+  return m;
+}
+
+inline void header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+inline void note(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  std::printf("# ");
+  std::vprintf(fmt, ap);
+  std::printf("\n");
+  va_end(ap);
+}
+
+}  // namespace msc::bench

@@ -1,0 +1,49 @@
+/// Figure 10 reproduction: strong scaling on the Rayleigh-Taylor-like
+/// density field with a *partial* merge (two rounds of radix-8), the
+/// realistic large-data scenario. Paper: 1152^3 floats, P up to
+/// 32768; 66% strong scaling efficiency for compute+merge, 35% for
+/// the overall end-to-end time (I/O limits the total).
+#include "bench_util.hpp"
+
+using namespace msc;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const int side = static_cast<int>(flags.getInt("side", 129));
+  const auto procs = flags.getIntList("procs", {64, 128, 256, 512, 1024, 2048, 4096});
+  const Domain domain{{side, side, side}};
+  const pipeline::SimModels models = bench::defaultModels(flags);
+
+  bench::header("Figure 10: Rayleigh-Taylor-like strong scaling, partial merge [8,8]");
+  bench::note("grid %d^3, 1 block/process, two rounds of radix-8", side);
+  std::printf("%7s %10s %12s %12s %10s %10s %14s %14s\n", "procs", "read_s", "compute_s",
+              "merge_s", "write_s", "total_s", "eff_total", "eff_comp+merge");
+
+  double base_total = 0, base_cm = 0;
+  int base_procs = 0;
+  for (const int p : procs) {
+    pipeline::PipelineConfig cfg;
+    cfg.domain = domain;
+    cfg.source.field = synth::rtLike(domain);
+    cfg.nblocks = p;
+    cfg.nranks = p;
+    cfg.persistence_threshold = 0.02f;
+    cfg.plan = MergePlan::partial({8, 8});
+    const pipeline::SimResult r = runSimPipeline(cfg, models);
+
+    const double total = r.times.total();
+    const double cm = r.times.compute + r.times.mergeTotal();
+    if (base_procs == 0) {
+      base_procs = p;
+      base_total = total;
+      base_cm = cm;
+    }
+    const double ratio = static_cast<double>(p) / base_procs;
+    std::printf("%7d %10.3f %12.3f %12.3f %10.3f %10.3f %13.1f%% %13.1f%%\n", p,
+                r.times.read, r.times.compute, r.times.mergeTotal(), r.times.write,
+                total, 100 * (base_total / total) / ratio, 100 * (base_cm / cm) / ratio);
+  }
+  bench::note("paper shape: compute+merge scales markedly better (66%%) than the");
+  bench::note("end-to-end time (35%%), whose scaling is capped by I/O saturation");
+  return 0;
+}

@@ -1,0 +1,122 @@
+/// Figure 4 reproduction: stability of the MS complex under varying
+/// block counts, on the hydrogen-atom-like byte dataset.
+///
+/// Three stages per block count (the figure's three rows):
+///   1. the full MS complex -- block-boundary artifacts inflate the
+///      census as the block count grows;
+///   2. after 1% persistence simplification -- boundary artifacts are
+///      removed and the censuses converge;
+///   3. feature selection (2-saddle--maximum arcs with node values
+///      above threshold) -- the three stable lobes in a line and the
+///      toroidal loop are recovered for *every* block count, while
+///      unstable plateau criticals may shift (section V-A).
+#include <cmath>
+#include <map>
+
+#include "analysis/census.hpp"
+#include "analysis/graph.hpp"
+#include "bench_util.hpp"
+#include "io/pack.hpp"
+
+using namespace msc;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const int side = static_cast<int>(flags.getInt("side", 49));
+  const float feature_threshold = static_cast<float>(flags.getDouble("feature", 14.5));
+  const Domain domain{{side, side, side}};
+  const auto field = synth::hydrogenLike(domain);
+
+  bench::header("Figure 4: stability of the parallel MS complex under blocking");
+  bench::note("hydrogen-like byte field, %d^3; 1%% persistence = 2.55 levels", side);
+
+  struct Row {
+    int blocks;
+    analysis::Census full, simplified;
+    std::int64_t feature_arcs;
+    std::int64_t components, cycles;
+    std::vector<Vec3i> maxima;
+  };
+  std::vector<Row> rows;
+
+  for (const int nblocks : {1, 8, 64}) {
+    pipeline::PipelineConfig cfg;
+    cfg.domain = domain;
+    cfg.source.field = field;
+    cfg.nblocks = nblocks;
+    cfg.nranks = nblocks;
+    cfg.plan = MergePlan::fullMerge(nblocks);
+
+    // Stage 1: no simplification at all (threshold below zero keeps
+    // even the zero-persistence boundary artifacts alive).
+    cfg.persistence_threshold = -1.0f;
+    const pipeline::SimResult full = runSimPipeline(cfg);
+
+    // Stage 2: 1% persistence.
+    cfg.persistence_threshold = 2.55f;
+    const pipeline::SimResult simp = runSimPipeline(cfg);
+
+    Row row;
+    row.blocks = nblocks;
+    const MsComplex cf = io::unpack(full.outputs.at(0));
+    const MsComplex cs = io::unpack(simp.outputs.at(0));
+    row.full = analysis::census(cf);
+    row.simplified = analysis::census(cs);
+
+    // Stage 3: the figure's feature query.
+    analysis::FeatureFilter filter;
+    filter.type = analysis::ArcType::kSaddleMax;
+    filter.value_min = feature_threshold;
+    const auto arcs = analysis::extractArcs(cs, filter);
+    const auto stats = analysis::networkStats(cs, arcs);
+    row.feature_arcs = stats.edges;
+    row.components = stats.components;
+    row.cycles = stats.cycles();
+    for (const Node& nd : cs.nodes())
+      if (nd.alive && nd.index == 3 && nd.value > feature_threshold)
+        row.maxima.push_back(domain.coordOf(nd.addr));
+    rows.push_back(std::move(row));
+  }
+
+  std::printf("%8s | %28s | %28s | %8s %6s %7s\n", "blocks", "full complex (n0/n1/n2/n3/arcs)",
+              "1%-simplified (n0/n1/n2/n3/arcs)", "featArcs", "comps", "cycles");
+  for (const Row& r : rows) {
+    std::printf("%8d | %5lld %5lld %5lld %4lld %6lld | %5lld %5lld %5lld %4lld %6lld | %8lld %6lld %7lld\n",
+                r.blocks, static_cast<long long>(r.full.nodes[0]),
+                static_cast<long long>(r.full.nodes[1]),
+                static_cast<long long>(r.full.nodes[2]),
+                static_cast<long long>(r.full.nodes[3]),
+                static_cast<long long>(r.full.arcs),
+                static_cast<long long>(r.simplified.nodes[0]),
+                static_cast<long long>(r.simplified.nodes[1]),
+                static_cast<long long>(r.simplified.nodes[2]),
+                static_cast<long long>(r.simplified.nodes[3]),
+                static_cast<long long>(r.simplified.arcs),
+                static_cast<long long>(r.feature_arcs),
+                static_cast<long long>(r.components), static_cast<long long>(r.cycles));
+  }
+
+  // Stability check: every selected maximum of the serial run has a
+  // counterpart within one grid cell in every blocked run.
+  bench::note("selected maxima (refined coords), serial vs blocked:");
+  for (const Row& r : rows) {
+    std::printf("#   %2d blocks:", r.blocks);
+    for (const Vec3i& m : r.maxima) std::printf(" (%lld,%lld,%lld)", (long long)m.x,
+                                                (long long)m.y, (long long)m.z);
+    std::printf("\n");
+  }
+  int unstable = 0;
+  for (const Vec3i& m : rows[0].maxima) {
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+      bool found = false;
+      for (const Vec3i& p : rows[i].maxima) {
+        const Vec3i d = p - m;
+        found |= std::abs(d.x) <= 2 && std::abs(d.y) <= 2 && std::abs(d.z) <= 2;
+      }
+      if (!found) ++unstable;
+    }
+  }
+  bench::note("stable-maximum mismatches across blockings: %d (expect 0 for the", unstable);
+  bench::note("lobe maxima; the torus ridge maximum may drift along its plateau)");
+  return 0;
+}

@@ -1,0 +1,57 @@
+/// Figure 6 reproduction: compute time, merge time, and output size
+/// as a function of process count, data size, and data complexity
+/// (sinusoidal synthetic family, two rounds of radix-8 merging).
+///
+/// Paper's observations to reproduce:
+///   - compute time scales ~linearly with process count and depends
+///     on data size, NOT on complexity (weak scaling efficiency 1);
+///   - merge time is independent of data size but linear in
+///     complexity;
+///   - output size grows slowly with process count (unresolved
+///     boundary artifacts), is dominated by arc geometry at low
+///     complexity and by nodes/arcs at high complexity.
+///
+/// Defaults are container-sized; use --sizes=, --complexities=,
+/// --procs= to enlarge (paper: sizes 128..512, procs to 16k).
+#include "bench_util.hpp"
+
+using namespace msc;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const auto sizes = flags.getIntList("sizes", {49, 65, 81});
+  const auto complexities = flags.getIntList("complexities", {2, 8, 16});
+  const auto procs = flags.getIntList("procs", {8, 16, 32, 64});
+  const float threshold = static_cast<float>(flags.getDouble("threshold", 0.05));
+  const pipeline::SimModels models = bench::defaultModels(flags);
+
+  bench::header("Figure 6: compute/merge time and output size vs P, size, complexity");
+  bench::note("sinusoid family; merge plan [8,8]; times are reconstructed");
+  bench::note("BG/P-model seconds (cpu_scale=%.1f); log-log slopes are the result",
+              models.scale.cpu_scale);
+  std::printf("%12s %6s %6s %12s %12s %12s %10s %8s\n", "complexity", "size", "procs",
+              "compute_s", "merge_s", "output_B", "nodes", "arcs");
+
+  for (const int complexity : complexities) {
+    for (const int size : sizes) {
+      for (const int p : procs) {
+        pipeline::PipelineConfig cfg;
+        cfg.domain = Domain{{size, size, size}};
+        cfg.source.field = synth::sinusoid(cfg.domain, complexity);
+        cfg.nblocks = p;
+        cfg.nranks = p;
+        cfg.persistence_threshold = threshold;
+        cfg.plan = MergePlan::partial({8, 8});
+        const pipeline::SimResult r = runSimPipeline(cfg, models);
+        std::printf("%12d %6d %6d %12.4f %12.4f %12lld %10lld %8lld\n", complexity,
+                    size, p, r.times.compute, r.times.mergeTotal(),
+                    static_cast<long long>(r.output_bytes),
+                    static_cast<long long>(r.node_counts[0] + r.node_counts[1] +
+                                           r.node_counts[2] + r.node_counts[3]),
+                    static_cast<long long>(r.arc_count));
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

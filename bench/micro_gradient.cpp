@@ -1,0 +1,91 @@
+/// Micro/ablation benchmarks of the gradient algorithms: the paper's
+/// greedy sweep vs the lower-star matching, with and without the
+/// boundary pairing restriction. Counters report criticals per run
+/// (the restriction's spurious-critical overhead is itself a result:
+/// section V-A's boundary artifacts).
+#include <benchmark/benchmark.h>
+
+#include "core/gradient.hpp"
+#include "core/lower_star.hpp"
+#include "decomp/decompose.hpp"
+#include "synth/fields.hpp"
+
+namespace {
+
+using namespace msc;
+
+BlockField makeField(std::int64_t side, bool blocked, const char* kind) {
+  const auto s = static_cast<std::int64_t>(side);
+  const Domain d{{s, s, s}};
+  const synth::Field f =
+      std::string(kind) == "noise" ? synth::noise(7) : synth::sinusoid(d, 4);
+  if (!blocked) {
+    Block whole;
+    whole.domain = d;
+    whole.vdims = d.vdims;
+    whole.voffset = {0, 0, 0};
+    return synth::sample(whole, f);
+  }
+  return synth::sample(decompose(d, 8)[0], f);  // a corner block
+}
+
+void reportCriticals(benchmark::State& state, const GradientField& g,
+                     std::int64_t cells) {
+  const auto c = g.criticalCounts();
+  state.counters["criticals"] = static_cast<double>(c[0] + c[1] + c[2] + c[3]);
+  state.counters["cells_per_s"] = benchmark::Counter(
+      static_cast<double>(cells) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_GradientSweep(benchmark::State& state) {
+  const BlockField bf = makeField(state.range(0), false, "sinusoid");
+  GradientField g;
+  for (auto _ : state) {
+    g = computeGradientSweep(bf);
+    benchmark::DoNotOptimize(g.state().data());
+  }
+  reportCriticals(state, g, bf.block().numCells());
+}
+BENCHMARK(BM_GradientSweep)->Arg(17)->Arg(33)->Arg(49)->Unit(benchmark::kMillisecond);
+
+void BM_GradientLowerStar(benchmark::State& state) {
+  const BlockField bf = makeField(state.range(0), false, "sinusoid");
+  GradientField g;
+  for (auto _ : state) {
+    g = computeGradientLowerStar(bf);
+    benchmark::DoNotOptimize(g.state().data());
+  }
+  reportCriticals(state, g, bf.block().numCells());
+}
+BENCHMARK(BM_GradientLowerStar)->Arg(17)->Arg(33)->Arg(49)->Unit(benchmark::kMillisecond);
+
+void BM_GradientNoise(benchmark::State& state) {
+  const BlockField bf = makeField(33, false, "noise");
+  GradientField g;
+  for (auto _ : state) {
+    g = state.range(0) == 0 ? computeGradientSweep(bf) : computeGradientLowerStar(bf);
+    benchmark::DoNotOptimize(g.state().data());
+  }
+  reportCriticals(state, g, bf.block().numCells());
+}
+BENCHMARK(BM_GradientNoise)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// Ablation: cost and critical-count overhead of the boundary
+/// restriction on a shared-face block.
+void BM_BoundaryRestriction(benchmark::State& state) {
+  const BlockField bf = makeField(33, true, "sinusoid");
+  GradientOptions opts;
+  opts.restrict_boundary = state.range(0) != 0;
+  GradientField g;
+  for (auto _ : state) {
+    g = computeGradientLowerStar(bf, opts);
+    benchmark::DoNotOptimize(g.state().data());
+  }
+  reportCriticals(state, g, bf.block().numCells());
+}
+BENCHMARK(BM_BoundaryRestriction)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

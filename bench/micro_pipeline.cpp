@@ -1,0 +1,117 @@
+/// Micro benchmarks of the non-gradient pipeline stages: V-path
+/// tracing, persistence simplification, pack/unpack serialization,
+/// and complex gluing.
+#include <benchmark/benchmark.h>
+
+#include "core/lower_star.hpp"
+#include "core/merge.hpp"
+#include "core/trace.hpp"
+#include "decomp/decompose.hpp"
+#include "io/pack.hpp"
+#include "synth/fields.hpp"
+
+namespace {
+
+using namespace msc;
+
+struct Fixture {
+  Domain domain{{33, 33, 33}};
+  BlockField field;
+  GradientField grad;
+
+  explicit Fixture(unsigned seed = 3) {
+    Block whole;
+    whole.domain = domain;
+    whole.vdims = domain.vdims;
+    whole.voffset = {0, 0, 0};
+    field = synth::sample(whole, synth::noise(seed));
+    grad = computeGradientLowerStar(field);
+  }
+};
+
+const Fixture& fixture() {
+  static const Fixture f;
+  return f;
+}
+
+void BM_Trace(benchmark::State& state) {
+  const Fixture& f = fixture();
+  std::int64_t arcs = 0;
+  for (auto _ : state) {
+    const MsComplex c = traceComplex(f.grad, f.field);
+    arcs = c.liveArcCount();
+    benchmark::DoNotOptimize(arcs);
+  }
+  state.counters["arcs"] = static_cast<double>(arcs);
+}
+BENCHMARK(BM_Trace)->Unit(benchmark::kMillisecond);
+
+void BM_Simplify(benchmark::State& state) {
+  const Fixture& f = fixture();
+  const MsComplex base = traceComplex(f.grad, f.field);
+  std::int64_t cancels = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    MsComplex c = base;  // deep copy outside the timed region
+    state.ResumeTiming();
+    SimplifyOptions opts;
+    opts.persistence_threshold = static_cast<float>(state.range(0)) / 100.0f;
+    cancels = simplify(c, opts);
+    benchmark::DoNotOptimize(cancels);
+  }
+  state.counters["cancellations"] = static_cast<double>(cancels);
+}
+BENCHMARK(BM_Simplify)->Arg(10)->Arg(50)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_Pack(benchmark::State& state) {
+  const Fixture& f = fixture();
+  MsComplex c = traceComplex(f.grad, f.field);
+  c.compact();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const io::Bytes b = io::pack(c);
+    bytes = b.size();
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) * state.iterations());
+}
+BENCHMARK(BM_Pack)->Unit(benchmark::kMillisecond);
+
+void BM_Unpack(benchmark::State& state) {
+  const Fixture& f = fixture();
+  MsComplex c = traceComplex(f.grad, f.field);
+  c.compact();
+  const io::Bytes b = io::pack(c);
+  for (auto _ : state) {
+    const MsComplex r = io::unpack(b);
+    benchmark::DoNotOptimize(r.nodes().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(b.size()) * state.iterations());
+}
+BENCHMARK(BM_Unpack)->Unit(benchmark::kMillisecond);
+
+void BM_GlueTwoBlocks(benchmark::State& state) {
+  const Domain d{{33, 33, 17}};
+  const auto field = synth::noise(5);
+  const auto blocks = decompose(d, 2);
+  std::vector<MsComplex> parts;
+  for (const Block& blk : blocks) {
+    const BlockField bf = synth::sample(blk, field);
+    MsComplex c = traceComplex(computeGradientLowerStar(bf), bf);
+    c.compact();
+    parts.push_back(std::move(c));
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    MsComplex root = parts[0];
+    state.ResumeTiming();
+    glue(root, parts[1]);
+    finishMerge(root, 0.1f);
+    benchmark::DoNotOptimize(root.nodes().data());
+  }
+}
+BENCHMARK(BM_GlueTwoBlocks)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

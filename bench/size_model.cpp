@@ -1,0 +1,77 @@
+/// Section V-B ablation: the MS complex storage model
+///     bytes ~ k*c + k*n^(1/3)
+/// where k is the feature count, c a per-node/arc constant, and the
+/// n^(1/3) term is the geometric embedding of arcs (1D objects in a
+/// 3D volume). Two sweeps: fixed complexity with growing n (the
+/// per-arc geometry must grow like the side length), and fixed n
+/// with growing complexity (bytes linear in k).
+#include "analysis/census.hpp"
+#include "bench_util.hpp"
+#include "io/pack.hpp"
+
+using namespace msc;
+
+namespace {
+
+struct Sample {
+  int side;
+  int complexity;
+  analysis::Census census;
+  std::int64_t bytes;
+};
+
+Sample run(int side, int complexity) {
+  pipeline::PipelineConfig cfg;
+  cfg.domain = Domain{{side, side, side}};
+  cfg.source.field = synth::sinusoid(cfg.domain, complexity);
+  cfg.nblocks = 1;
+  cfg.nranks = 1;
+  cfg.persistence_threshold = 0.05f;
+  const pipeline::SimResult r = runSimPipeline(cfg);
+  const MsComplex c = io::unpack(r.outputs.at(0));
+  return {side, complexity, analysis::census(c), r.output_bytes};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const auto sides = flags.getIntList("sides", {33, 49, 65, 81});
+  const auto complexities = flags.getIntList("complexities", {2, 4, 8});
+
+  bench::header("Section V-B: storage cost model k*c + k*n^(1/3)");
+
+  bench::note("sweep 1: fixed complexity 4, growing n; geometry cells per arc");
+  bench::note("should scale with the side length (n^(1/3))");
+  std::printf("%6s %10s %8s %14s %16s %14s\n", "side", "nodes", "arcs", "geomCells",
+              "geom_per_arc", "bytes");
+  for (const int side : sides) {
+    const Sample s = run(side, 4);
+    std::printf("%6d %10lld %8lld %14lld %16.1f %14lld\n", s.side,
+                static_cast<long long>(s.census.totalNodes()),
+                static_cast<long long>(s.census.arcs),
+                static_cast<long long>(s.census.geometry_cells),
+                s.census.arcs ? static_cast<double>(s.census.geometry_cells) /
+                                    static_cast<double>(s.census.arcs)
+                              : 0.0,
+                static_cast<long long>(s.bytes));
+  }
+
+  bench::note("sweep 2: fixed side %d, growing complexity; bytes linear in the", sides[1]);
+  bench::note("feature count k (nodes+arcs dominate once features are dense)");
+  std::printf("%12s %10s %8s %14s %14s %18s\n", "complexity", "nodes", "arcs",
+              "geomCells", "bytes", "bytes_per_node");
+  for (const int complexity : complexities) {
+    const Sample s = run(sides[1], complexity);
+    std::printf("%12d %10lld %8lld %14lld %14lld %18.1f\n", s.complexity,
+                static_cast<long long>(s.census.totalNodes()),
+                static_cast<long long>(s.census.arcs),
+                static_cast<long long>(s.census.geometry_cells),
+                static_cast<long long>(s.bytes),
+                s.census.totalNodes()
+                    ? static_cast<double>(s.bytes) /
+                          static_cast<double>(s.census.totalNodes())
+                    : 0.0);
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+/// Table I reproduction: cost of merging 2048 blocks, one round at a
+/// time. The paper's full merge of 2048 blocks uses radices
+/// [4,8,8,8]; rows truncate the plan after 1..4 rounds and report the
+/// cumulative merge time and the last round's time. Expected shape:
+/// each successive round is more expensive than the previous one
+/// (complexes grow, gravitate to fewer processes, and travel
+/// farther).
+#include "bench_util.hpp"
+
+using namespace msc;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const int nblocks = static_cast<int>(flags.getInt("blocks", 2048));
+  const int size = static_cast<int>(flags.getInt("size", 65));
+  const int complexity = static_cast<int>(flags.getInt("complexity", 8));
+  const pipeline::SimModels models = bench::defaultModels(flags);
+
+  bench::header("Table I: cost of merging 2048 blocks (radices 4,8,8,8)");
+  bench::note("sinusoid %d^3, complexity %d, %d blocks = %d processes", size,
+              complexity, nblocks, nblocks);
+  std::printf("%8s %14s %18s %22s\n", "rounds", "radices", "total_merge_s",
+              "final_round_merge_s");
+
+  const std::vector<std::vector<int>> plans = {{4}, {4, 8}, {4, 8, 8}, {4, 8, 8, 8}};
+  for (const auto& radices : plans) {
+    pipeline::PipelineConfig cfg;
+    cfg.domain = Domain{{size, size, size}};
+    cfg.source.field = synth::sinusoid(cfg.domain, complexity);
+    cfg.nblocks = nblocks;
+    cfg.nranks = nblocks;
+    cfg.persistence_threshold = 0.05f;
+    cfg.plan = MergePlan::partial(radices);
+    const pipeline::SimResult r = runSimPipeline(cfg, models);
+
+    double total = 0;
+    for (const double t : r.times.merge_rounds) total += t;
+    const double last = r.times.merge_rounds.empty() ? 0 : r.times.merge_rounds.back();
+    std::printf("%8zu %14s %18.4f %22.4f\n", radices.size(),
+                MergePlan::partial(radices).toString().c_str(), total, last);
+  }
+  bench::note("paper: 0.598 / 1.310 / 2.635 / 9.843 total; rounds get costlier");
+  return 0;
+}

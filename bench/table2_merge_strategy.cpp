@@ -1,0 +1,40 @@
+/// Table II reproduction: merge strategies for a full merge of 256
+/// blocks down to one. The paper's finding: fewer rounds with higher
+/// radices win; when a smaller radix is unavoidable it should go in
+/// an *early* round ([4,8,8] beats [8,8,4]); many low-radix rounds
+/// ([2x8]) are worst.
+#include "bench_util.hpp"
+
+using namespace msc;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const int nblocks = static_cast<int>(flags.getInt("blocks", 256));
+  const int size = static_cast<int>(flags.getInt("size", 65));
+  const int complexity = static_cast<int>(flags.getInt("complexity", 8));
+  const pipeline::SimModels models = bench::defaultModels(flags);
+
+  bench::header("Table II: merge strategies for full merge of 256 blocks");
+  bench::note("sinusoid %d^3, complexity %d; compute+merge reconstructed seconds", size,
+              complexity);
+  std::printf("%8s %22s %22s %16s\n", "rounds", "radices", "compute+merge_s", "merge_s");
+
+  const std::vector<std::vector<int>> plans = {
+      {4, 8, 8}, {8, 8, 4}, {4, 4, 2, 8}, {4, 4, 4, 4}, {2, 2, 2, 2, 2, 2, 2, 2}};
+  for (const auto& radices : plans) {
+    pipeline::PipelineConfig cfg;
+    cfg.domain = Domain{{size, size, size}};
+    cfg.source.field = synth::sinusoid(cfg.domain, complexity);
+    cfg.nblocks = nblocks;
+    cfg.nranks = nblocks;
+    cfg.persistence_threshold = 0.05f;
+    cfg.plan = MergePlan::partial(radices);
+    const pipeline::SimResult r = runSimPipeline(cfg, models);
+    std::printf("%8zu %22s %22.4f %16.4f\n", radices.size(),
+                cfg.plan.toString().c_str(), r.times.compute + r.times.mergeTotal(),
+                r.times.mergeTotal());
+  }
+  bench::note("paper: 144.040 / 144.528 / 144.955 / 145.012 / 149.174 s");
+  bench::note("ordering to reproduce: [4,8,8] <= [8,8,4] < 4-round plans < [2x8]");
+  return 0;
+}

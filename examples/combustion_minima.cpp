@@ -1,0 +1,88 @@
+/// Combustion analysis: finding dissipation-element cores (the
+/// paper's JET use case, section VI-D1).
+///
+/// In the turbulent jet simulation, dissipation elements correlate
+/// with flame extinction and are centred on *minima* of the mixture
+/// fraction. This example computes the MS complex of a jet-like
+/// mixture-fraction field through the parallel pipeline, then ranks
+/// the surviving minima by depth (the persistence at which each
+/// would cancel approximates its significance) and prints the
+/// dissipation-element census a combustion scientist would start
+/// from.
+///
+/// Build & run:  ./combustion_minima [ranks]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "analysis/census.hpp"
+#include "io/pack.hpp"
+#include "pipeline/threaded_pipeline.hpp"
+
+using namespace msc;
+
+int main(int argc, char** argv) {
+  const int ranks = argc > 1 ? std::atoi(argv[1]) : 4;
+
+  // A scaled jet: the paper's 768x896x512 at 1/16 per side.
+  pipeline::PipelineConfig cfg;
+  cfg.domain = Domain{{49, 57, 33}};
+  cfg.source.field = synth::jetLike(cfg.domain);
+  cfg.nblocks = 8;
+  cfg.nranks = ranks;
+  cfg.persistence_threshold = 0.05f;
+  cfg.plan = MergePlan::fullMerge(cfg.nblocks);
+
+  std::printf("JET-like mixture fraction, %lldx%lldx%lld, %d ranks, full merge %s\n",
+              (long long)cfg.domain.vdims.x, (long long)cfg.domain.vdims.y,
+              (long long)cfg.domain.vdims.z, ranks, cfg.plan.toString().c_str());
+  const pipeline::ThreadedResult r = runThreadedPipeline(cfg);
+  const MsComplex complex = io::unpack(r.outputs.at(0));
+  const analysis::Census cs = analysis::census(complex);
+  std::printf("complex: %lld minima / %lld 1-saddles / %lld 2-saddles / %lld maxima, "
+              "%lld arcs\n\n",
+              (long long)cs.nodes[0], (long long)cs.nodes[1], (long long)cs.nodes[2],
+              (long long)cs.nodes[3], (long long)cs.arcs);
+
+  // Rank minima by their shallowest saddle: the persistence at which
+  // the minimum would merge into a neighbour.
+  struct Minimum {
+    Vec3i at;
+    float value;
+    float depth;
+    int saddles;
+  };
+  std::vector<Minimum> minima;
+  for (NodeId n = 0; n < (NodeId)complex.nodes().size(); ++n) {
+    const Node& nd = complex.node(n);
+    if (!nd.alive || nd.index != 0) continue;
+    float shallowest = std::numeric_limits<float>::infinity();
+    int saddles = 0;
+    complex.forEachArc(n, [&](ArcId a) {
+      shallowest = std::min(shallowest, complex.node(complex.arc(a).upper).value);
+      ++saddles;
+      return true;
+    });
+    const float depth = saddles ? shallowest - nd.value
+                                : std::numeric_limits<float>::infinity();
+    minima.push_back({complex.domain().coordOf(nd.addr), nd.value, depth, saddles});
+  }
+  std::sort(minima.begin(), minima.end(),
+            [](const Minimum& a, const Minimum& b) { return a.depth > b.depth; });
+
+  std::printf("dissipation-element cores (deepest first):\n");
+  std::printf("%6s %22s %12s %10s %8s\n", "rank", "refined coords", "mixfrac", "depth",
+              "saddles");
+  const std::size_t top = std::min<std::size_t>(minima.size(), 12);
+  for (std::size_t i = 0; i < top; ++i) {
+    const Minimum& m = minima[i];
+    if (std::isinf(m.depth)) continue;
+    std::printf("%6zu (%6lld,%6lld,%6lld) %12.4f %10.4f %8d\n", i + 1, (long long)m.at.x,
+                (long long)m.at.y, (long long)m.at.z, m.value, m.depth, m.saddles);
+  }
+  std::printf("\n%zu minima total; the paper's workflow simplifies further and tracks\n"
+              "these cores across timesteps to detect extinction events.\n",
+              minima.size());
+  return 0;
+}

@@ -1,0 +1,122 @@
+/// In-situ feature tracking: the paper's future-work scenario of
+/// embedding the parallel MS computation inside a running simulation
+/// (section VII-B, "generate parallel MS complexes in situ with
+/// combustion simulations").
+///
+/// A mock time-dependent simulation advects two wells through the
+/// domain. At every timestep the parallel pipeline runs *in situ*
+/// (directly on the in-memory field, no file round-trip), and the
+/// surviving minima are matched to the previous step's by proximity,
+/// producing feature tracks -- the temporal analysis a scientist
+/// would run on dissipation elements.
+///
+/// Build & run:  ./insitu_tracking [steps] [ranks]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "io/pack.hpp"
+#include "pipeline/threaded_pipeline.hpp"
+
+using namespace msc;
+
+namespace {
+
+/// The "simulation": two Gaussian wells orbiting the domain centre in
+/// a smooth background.
+synth::Field simulationStep(const Domain& d, int step) {
+  const double t = 0.08 * step;
+  const Vec3i dims = d.vdims;
+  return [dims, t](Vec3i p) {
+    const double x = 2.0 * p.x / (dims.x - 1) - 1;
+    const double y = 2.0 * p.y / (dims.y - 1) - 1;
+    const double z = 2.0 * p.z / (dims.z - 1) - 1;
+    const double cx1 = 0.5 * std::cos(t), cy1 = 0.5 * std::sin(t);
+    const double cx2 = -0.5 * std::cos(t), cy2 = -0.5 * std::sin(t);
+    const double w1 =
+        std::exp(-(((x - cx1) * (x - cx1)) + ((y - cy1) * (y - cy1)) + z * z) / 0.08);
+    const double w2 =
+        std::exp(-(((x - cx2) * (x - cx2)) + ((y - cy2) * (y - cy2)) + z * z) / 0.08);
+    return static_cast<float>(0.2 * (x * x + y * y + z * z) - w1 - w2);
+  };
+}
+
+struct Track {
+  std::vector<Vec3i> positions;  // refined coordinates per step
+  bool extended_this_step{false};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int ranks = argc > 2 ? std::atoi(argv[2]) : 4;
+  const Domain domain{{33, 33, 33}};
+
+  std::vector<Track> tracks;
+  std::printf("in-situ MS analysis over %d timesteps (%d ranks, 8 blocks each)\n\n",
+              steps, ranks);
+
+  for (int step = 0; step < steps; ++step) {
+    pipeline::PipelineConfig cfg;
+    cfg.domain = domain;
+    cfg.source.field = simulationStep(domain, step);
+    cfg.nblocks = 8;
+    cfg.nranks = ranks;
+    cfg.persistence_threshold = 0.15f;
+    cfg.plan = MergePlan::fullMerge(8);
+    const pipeline::ThreadedResult r = runThreadedPipeline(cfg);
+    const MsComplex c = io::unpack(r.outputs.at(0));
+
+    // Collect this step's minima.
+    std::vector<Vec3i> minima;
+    for (const Node& nd : c.nodes())
+      if (nd.alive && nd.index == 0) minima.push_back(domain.coordOf(nd.addr));
+
+    // Greedy nearest-neighbour matching against open tracks.
+    for (Track& tr : tracks) tr.extended_this_step = false;
+    for (const Vec3i& m : minima) {
+      Track* best = nullptr;
+      std::int64_t best_d2 = 14 * 14;  // max jump: 7 grid cells
+      for (Track& tr : tracks) {
+        if (tr.extended_this_step) continue;
+        if (std::ssize(tr.positions) != step) continue;  // track must be current
+        const Vec3i d = tr.positions.back() - m;
+        const std::int64_t d2 = d.x * d.x + d.y * d.y + d.z * d.z;
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best = &tr;
+        }
+      }
+      if (best) {
+        best->positions.push_back(m);
+        best->extended_this_step = true;
+      } else {
+        Track tr;
+        tr.positions.assign(static_cast<std::size_t>(step), Vec3i{-1, -1, -1});
+        tr.positions.push_back(m);
+        tr.extended_this_step = true;
+        tracks.push_back(std::move(tr));
+      }
+    }
+    std::printf("step %2d: %zu minima, compute %.3fs merge %.3fs\n", step,
+                minima.size(), r.times.compute, r.times.mergeTotal());
+  }
+
+  std::printf("\nfeature tracks (refined coordinates; -1 = not yet born):\n");
+  int id = 0;
+  for (const Track& tr : tracks) {
+    std::printf("  track %d:", id++);
+    for (const Vec3i& p : tr.positions) {
+      if (p.x < 0)
+        std::printf("      --    ");
+      else
+        std::printf(" (%2lld,%2lld,%2lld)", (long long)p.x, (long long)p.y, (long long)p.z);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nThe two orbiting wells appear as two long tracks whose positions\n"
+              "rotate; spurious shallow minima (if any) die young.\n");
+  return 0;
+}

@@ -1,0 +1,161 @@
+/// msc_compute: command-line driver for the full parallel pipeline.
+///
+/// Computes the Morse-Smale complex of a raw volume file (or a named
+/// synthetic field), in parallel, with every knob of the paper's
+/// algorithm exposed: block count, rank count, persistence threshold,
+/// merge plan, gradient algorithm. Writes the section IV-G output
+/// container and prints the analysis census.
+///
+/// Examples:
+///   # synthetic smoke test
+///   ./msc_compute --field=sinusoid --complexity=8 --dims=65,65,65 \
+///                 --blocks=8 --ranks=4 --persistence=0.05 --out=out.msc
+///   # a real volume (float32, x-fastest)
+///   ./msc_compute --volume=density.raw --type=f32 --dims=256,256,256 \
+///                 --blocks=64 --ranks=8 --persistence=0.01 \
+///                 --radices=8,8 --out=density.msc
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/census.hpp"
+#include "io/pack.hpp"
+#include "pipeline/threaded_pipeline.hpp"
+
+using namespace msc;
+
+namespace {
+
+struct Options {
+  std::string field = "sinusoid";
+  std::string volume;
+  std::string type = "f32";
+  Vec3i dims{65, 65, 65};
+  int complexity = 8;
+  int blocks = 8;
+  int ranks = 4;
+  float persistence = 0.05f;
+  std::vector<int> radices;  // empty = full merge
+  bool no_merge = false;
+  std::string algorithm = "lowerstar";
+  std::string out;
+  bool help = false;
+};
+
+std::vector<int> parseIntList(const char* s) {
+  std::vector<int> out;
+  for (const char* p = s; *p;) {
+    out.push_back(std::atoi(p));
+    const char* c = std::strchr(p, ',');
+    if (!c) break;
+    p = c + 1;
+  }
+  return out;
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto val = [&](const char* key) -> const char* {
+      const std::string prefix = std::string("--") + key + "=";
+      return a.rfind(prefix, 0) == 0 ? a.c_str() + prefix.size() : nullptr;
+    };
+    if (a == "--help" || a == "-h") o.help = true;
+    else if (const char* v = val("field")) o.field = v;
+    else if (const char* v = val("volume")) o.volume = v;
+    else if (const char* v = val("type")) o.type = v;
+    else if (const char* v = val("dims")) {
+      const auto d = parseIntList(v);
+      if (d.size() == 3) o.dims = {d[0], d[1], d[2]};
+    } else if (const char* v = val("complexity")) o.complexity = std::atoi(v);
+    else if (const char* v = val("blocks")) o.blocks = std::atoi(v);
+    else if (const char* v = val("ranks")) o.ranks = std::atoi(v);
+    else if (const char* v = val("persistence")) o.persistence = static_cast<float>(std::atof(v));
+    else if (const char* v = val("radices")) o.radices = parseIntList(v);
+    else if (a == "--no-merge") o.no_merge = true;
+    else if (const char* v = val("algorithm")) o.algorithm = v;
+    else if (const char* v = val("out")) o.out = v;
+    else {
+      std::fprintf(stderr, "unknown argument: %s (try --help)\n", a.c_str());
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+void usage() {
+  std::puts(
+      "msc_compute: parallel Morse-Smale complex of a 3D scalar field\n"
+      "  --volume=FILE        raw input volume (x-fastest); else synthetic\n"
+      "  --type=u8|f32|f64    sample type of --volume (default f32)\n"
+      "  --dims=X,Y,Z         vertex dimensions (default 65,65,65)\n"
+      "  --field=NAME         sinusoid|hydrogen|jet|rt|noise|ramp (default sinusoid)\n"
+      "  --complexity=N       sinusoid feature count per side (default 8)\n"
+      "  --blocks=N           decomposition block count (default 8)\n"
+      "  --ranks=N            concurrent ranks (default 4)\n"
+      "  --persistence=T      simplification threshold (default 0.05)\n"
+      "  --radices=R1,R2,...  merge plan (default: full merge)\n"
+      "  --no-merge           skip merging entirely (one output per block)\n"
+      "  --algorithm=A        lowerstar|sweep (default lowerstar)\n"
+      "  --out=FILE           write the block+footer output container");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  if (o.help) {
+    usage();
+    return 0;
+  }
+
+  pipeline::PipelineConfig cfg;
+  cfg.domain = Domain{o.dims};
+  if (!o.volume.empty()) {
+    cfg.source.volume_path = o.volume;
+    cfg.source.sample_type = o.type == "u8"    ? io::SampleType::kUint8
+                             : o.type == "f64" ? io::SampleType::kFloat64
+                                               : io::SampleType::kFloat32;
+  } else if (o.field == "hydrogen") cfg.source.field = synth::hydrogenLike(cfg.domain);
+  else if (o.field == "jet") cfg.source.field = synth::jetLike(cfg.domain);
+  else if (o.field == "rt") cfg.source.field = synth::rtLike(cfg.domain);
+  else if (o.field == "noise") cfg.source.field = synth::noise();
+  else if (o.field == "ramp") cfg.source.field = synth::ramp();
+  else cfg.source.field = synth::sinusoid(cfg.domain, o.complexity);
+
+  cfg.nblocks = o.blocks;
+  cfg.nranks = o.ranks;
+  cfg.persistence_threshold = o.persistence;
+  cfg.plan = o.no_merge          ? MergePlan::partial({})
+             : o.radices.empty() ? MergePlan::fullMerge(o.blocks)
+                                 : MergePlan::partial(o.radices);
+  cfg.algorithm = o.algorithm == "sweep" ? pipeline::GradientAlgorithm::kSweep
+                                         : pipeline::GradientAlgorithm::kLowerStar;
+  cfg.output_path = o.out;
+
+  std::printf("msc_compute: %lld x %lld x %lld, %d blocks on %d ranks, plan %s, "
+              "persistence %.4g, %s gradient\n",
+              (long long)o.dims.x, (long long)o.dims.y, (long long)o.dims.z, o.blocks,
+              o.ranks, cfg.plan.toString().c_str(), o.persistence, o.algorithm.c_str());
+
+  const pipeline::ThreadedResult r = pipeline::runThreadedPipeline(cfg);
+
+  std::printf("\nstages: read %.3fs  compute %.3fs  merge %.3fs  write %.3fs\n",
+              r.times.read, r.times.compute, r.times.mergeTotal(), r.times.write);
+  std::printf("output: %zu block(s), %lld bytes%s%s\n", r.outputs.size(),
+              (long long)r.output_bytes, o.out.empty() ? "" : " -> ",
+              o.out.c_str());
+  for (std::size_t i = 0; i < r.outputs.size(); ++i) {
+    const MsComplex c = io::unpack(r.outputs[i]);
+    const analysis::Census cs = analysis::census(c);
+    std::printf("  block %zu: %lld min, %lld 1-sad, %lld 2-sad, %lld max, %lld arcs, "
+                "chi %lld, values [%g, %g]\n",
+                i, (long long)cs.nodes[0], (long long)cs.nodes[1], (long long)cs.nodes[2],
+                (long long)cs.nodes[3], (long long)cs.arcs, (long long)cs.euler(),
+                cs.min_value, cs.max_value);
+  }
+  return 0;
+}

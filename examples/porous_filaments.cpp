@@ -1,0 +1,74 @@
+/// Porous-material filament extraction: the paper's Fig. 1 use case.
+///
+/// The MS complex of a (synthetic) distance-field-like scalar traces
+/// three-dimensional ridge lines -- the filament structure of a
+/// porous solid. This example computes the complex *in parallel*
+/// (4 ranks over the message-passing runtime), merges it fully, then
+/// runs the interactive-analysis queries of Fig. 1: sweep the
+/// threshold, extract the 2-saddle--maximum arc network at each
+/// value, and report graph statistics (length, components, cycles).
+///
+/// Build & run:  ./porous_filaments [side] [ranks]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/census.hpp"
+#include "analysis/graph.hpp"
+#include "io/pack.hpp"
+#include "pipeline/threaded_pipeline.hpp"
+
+using namespace msc;
+
+namespace {
+
+/// A porous-material-like field: the smooth "distance" to an
+/// interface carved by several interfering waves. Ridges of this
+/// field form a connected filament network.
+synth::Field porousField(const Domain& d) {
+  const synth::Field base = synth::sinusoid(d, 5);
+  const synth::Field mod = synth::sinusoid(d, 2);
+  return [base, mod](Vec3i v) { return base(v) + 0.35f * mod(v); };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int side = argc > 1 ? std::atoi(argv[1]) : 49;
+  const int ranks = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  pipeline::PipelineConfig cfg;
+  cfg.domain = Domain{{side, side, side}};
+  cfg.source.field = porousField(cfg.domain);
+  cfg.nblocks = 8;
+  cfg.nranks = ranks;
+  cfg.persistence_threshold = 0.08f;
+  cfg.plan = MergePlan::fullMerge(cfg.nblocks);
+
+  std::printf("computing the MS complex of a %d^3 porous field on %d ranks...\n", side,
+              ranks);
+  const pipeline::ThreadedResult r = runThreadedPipeline(cfg);
+  const MsComplex complex = io::unpack(r.outputs.at(0));
+  const analysis::Census cs = analysis::census(complex);
+  std::printf("complex: %lld nodes (%lld maxima), %lld arcs; stages: read %.3fs "
+              "compute %.3fs merge %.3fs\n",
+              (long long)cs.totalNodes(), (long long)cs.nodes[3], (long long)cs.arcs,
+              r.times.read, r.times.compute, r.times.mergeTotal());
+
+  // The Fig. 1 parameter study: filament network vs threshold.
+  std::printf("\n%10s %8s %8s %8s %10s %12s %12s\n", "threshold", "arcs", "comps",
+              "cycles", "largest", "total_len", "longest");
+  for (const float threshold : {-0.4f, -0.2f, 0.0f, 0.2f, 0.4f}) {
+    analysis::FeatureFilter f;
+    f.type = analysis::ArcType::kSaddleMax;
+    f.value_min = threshold;
+    const auto arcs = analysis::extractArcs(complex, f);
+    const analysis::NetworkStats s = analysis::networkStats(complex, arcs);
+    std::printf("%10.2f %8lld %8lld %8lld %10lld %12.1f %12.1f\n", threshold,
+                (long long)s.edges, (long long)s.components, (long long)s.cycles(),
+                (long long)s.largest_component, s.total_length, s.longest_arc);
+  }
+  std::printf("\nAs the threshold rises the network splits into separate filaments\n"
+              "(components grow, cycles vanish) -- the stability study a scientist\n"
+              "runs interactively on the precomputed complex.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "analysis/census.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace msc::analysis {
+
+Census census(const MsComplex& c) {
+  Census out;
+  bool first = true;
+  for (const Node& nd : c.nodes()) {
+    if (!nd.alive) continue;
+    ++out.nodes[nd.index];
+    if (nd.boundary) ++out.boundary_nodes;
+    if (first || nd.value < out.min_value) out.min_value = nd.value;
+    if (first || nd.value > out.max_value) out.max_value = nd.value;
+    first = false;
+  }
+  for (std::size_t i = 0; i < c.arcs().size(); ++i) {
+    const Arc& ar = c.arcs()[i];
+    if (!ar.alive) continue;
+    ++out.arcs;
+    if (ar.geom != kNone)
+      out.geometry_cells +=
+          static_cast<std::int64_t>(c.flattenGeom(ar.geom).size());
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Census& c) {
+  return os << "nodes[min " << c.nodes[0] << ", 1sad " << c.nodes[1] << ", 2sad "
+            << c.nodes[2] << ", max " << c.nodes[3] << "] arcs " << c.arcs
+            << " boundary " << c.boundary_nodes << " geomCells " << c.geometry_cells
+            << " chi " << c.euler();
+}
+
+PersistenceHistogram persistenceHistogram(const MsComplex& c, int nbins) {
+  PersistenceHistogram h;
+  h.bins.assign(static_cast<std::size_t>(nbins), 0);
+  float maxp = 0;
+  for (ArcId a = 0; a < static_cast<ArcId>(c.arcs().size()); ++a)
+    if (c.arc(a).alive) maxp = std::max(maxp, c.persistence(a));
+  if (maxp <= 0) return h;
+  h.bin_width = maxp / static_cast<float>(nbins);
+  for (ArcId a = 0; a < static_cast<ArcId>(c.arcs().size()); ++a) {
+    if (!c.arc(a).alive) continue;
+    const int b = std::min(nbins - 1,
+                           static_cast<int>(c.persistence(a) / h.bin_width));
+    ++h.bins[static_cast<std::size_t>(b)];
+  }
+  return h;
+}
+
+std::vector<float> cancelledPersistences(const MsComplex& c) {
+  std::vector<float> out;
+  out.reserve(c.cancellations().size());
+  for (const Cancellation& cc : c.cancellations()) out.push_back(cc.persistence);
+  return out;
+}
+
+}  // namespace msc::analysis

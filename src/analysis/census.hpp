@@ -1,0 +1,41 @@
+/// \file census.hpp
+/// Summary statistics of an MS complex 1-skeleton: the "statistics
+/// generated on-the-fly" of the paper's analysis pipeline (Fig. 1).
+#pragma once
+
+#include <iosfwd>
+
+#include "core/complex.hpp"
+
+namespace msc::analysis {
+
+struct Census {
+  std::array<std::int64_t, 4> nodes{};  ///< per Morse index
+  std::int64_t arcs{0};
+  std::int64_t boundary_nodes{0};
+  std::int64_t geometry_cells{0};  ///< total embedded arc path length
+  float min_value{0}, max_value{0};
+
+  std::int64_t totalNodes() const { return nodes[0] + nodes[1] + nodes[2] + nodes[3]; }
+  std::int64_t euler() const { return nodes[0] - nodes[1] + nodes[2] - nodes[3]; }
+};
+
+Census census(const MsComplex& c);
+
+std::ostream& operator<<(std::ostream& os, const Census& c);
+
+/// Histogram of arc persistences (log-ready linear bins over
+/// [0, max_persistence]).
+struct PersistenceHistogram {
+  float bin_width{0};
+  std::vector<std::int64_t> bins;
+};
+
+PersistenceHistogram persistenceHistogram(const MsComplex& c, int nbins = 32);
+
+/// All (persistence, lower value, upper value) triples of cancelled
+/// pairs recorded in the hierarchy -- the complex's persistence
+/// pairs up to the simplification threshold.
+std::vector<float> cancelledPersistences(const MsComplex& c);
+
+}  // namespace msc::analysis

@@ -1,0 +1,50 @@
+#include "analysis/features.hpp"
+
+#include <cmath>
+
+namespace msc::analysis {
+
+std::vector<FeatureArc> extractArcs(const MsComplex& c, const FeatureFilter& filter) {
+  std::vector<FeatureArc> out;
+  for (ArcId a = 0; a < static_cast<ArcId>(c.arcs().size()); ++a) {
+    const Arc& ar = c.arc(a);
+    if (!ar.alive) continue;
+    if (filter.type != ArcType::kAny &&
+        c.node(ar.lower).index != static_cast<int>(filter.type))
+      continue;
+    const float lo = c.node(ar.lower).value, hi = c.node(ar.upper).value;
+    if (std::min(lo, hi) < filter.value_min || std::max(lo, hi) > filter.value_max)
+      continue;
+    FeatureArc fa;
+    fa.arc = a;
+    fa.lower = ar.lower;
+    fa.upper = ar.upper;
+    if (ar.geom != kNone) fa.path = c.flattenGeom(ar.geom);
+    out.push_back(std::move(fa));
+  }
+  return out;
+}
+
+double arcLength(const MsComplex& c, const FeatureArc& a) {
+  double len = 0;
+  for (std::size_t i = 1; i < a.path.size(); ++i) {
+    const Vec3i p = c.domain().coordOf(a.path[i - 1]);
+    const Vec3i q = c.domain().coordOf(a.path[i]);
+    const Vec3i d = q - p;
+    len += 0.5 * std::sqrt(static_cast<double>(d.x * d.x + d.y * d.y + d.z * d.z));
+  }
+  return len;
+}
+
+std::vector<NodeId> selectNodes(const MsComplex& c, float value_min, int index) {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < static_cast<NodeId>(c.nodes().size()); ++n) {
+    const Node& nd = c.node(n);
+    if (!nd.alive || nd.value < value_min) continue;
+    if (index >= 0 && nd.index != index) continue;
+    out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace msc::analysis

@@ -1,0 +1,46 @@
+/// \file features.hpp
+/// Threshold-based feature extraction on the 1-skeleton: the
+/// interactive queries of Fig. 1 / Fig. 4 ("choosing 2-saddle-maximum
+/// arcs and nodes with value greater than ...").
+#pragma once
+
+#include "core/complex.hpp"
+
+namespace msc::analysis {
+
+/// Which arc family to select, by the lower endpoint's Morse index.
+enum class ArcType {
+  kMinSaddle = 0,     ///< minimum -- 1-saddle
+  kSaddleSaddle = 1,  ///< 1-saddle -- 2-saddle
+  kSaddleMax = 2,     ///< 2-saddle -- maximum (ridge lines / filaments)
+  kAny = -1,
+};
+
+struct FeatureFilter {
+  ArcType type = ArcType::kAny;
+  /// Keep arcs whose *both* endpoint values are >= value_min and
+  /// <= value_max.
+  float value_min = -std::numeric_limits<float>::infinity();
+  float value_max = std::numeric_limits<float>::infinity();
+};
+
+/// One selected arc with its resolved endpoints and geometry.
+struct FeatureArc {
+  ArcId arc;
+  NodeId lower, upper;
+  std::vector<CellAddr> path;  ///< flattened geometric embedding
+};
+
+/// Select live arcs matching the filter.
+std::vector<FeatureArc> extractArcs(const MsComplex& c, const FeatureFilter& filter);
+
+/// Euclidean length of an arc's embedding, in grid units (cell
+/// addresses decode to refined coordinates; two refined steps = one
+/// grid spacing).
+double arcLength(const MsComplex& c, const FeatureArc& a);
+
+/// Nodes with value above a threshold, optionally limited to one
+/// Morse index (-1 = all).
+std::vector<NodeId> selectNodes(const MsComplex& c, float value_min, int index = -1);
+
+}  // namespace msc::analysis

@@ -1,0 +1,147 @@
+#include "analysis/graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+namespace msc::analysis {
+
+namespace {
+
+/// Union-find over node ids.
+class UnionFind {
+ public:
+  int find(NodeId x) {
+    auto it = parent_.find(x);
+    if (it == parent_.end()) {
+      const int id = static_cast<int>(ids_.size());
+      ids_.push_back(x);
+      parent_.emplace(x, id);
+      root_.push_back(id);
+      return id;
+    }
+    int r = it->second;
+    while (root_[static_cast<std::size_t>(r)] != r) r = root_[static_cast<std::size_t>(r)];
+    // Path compression.
+    int c = it->second;
+    while (root_[static_cast<std::size_t>(c)] != r) {
+      const int next = root_[static_cast<std::size_t>(c)];
+      root_[static_cast<std::size_t>(c)] = r;
+      c = next;
+    }
+    return r;
+  }
+  void unite(NodeId a, NodeId b) {
+    const int ra = find(a), rb = find(b);
+    if (ra != rb) root_[static_cast<std::size_t>(ra)] = rb;
+  }
+  std::int64_t size() const { return std::ssize(ids_); }
+  const std::vector<NodeId>& ids() const { return ids_; }
+
+ private:
+  std::unordered_map<NodeId, int> parent_;
+  std::vector<int> root_;
+  std::vector<NodeId> ids_;
+};
+
+}  // namespace
+
+std::unordered_map<NodeId, int> components(const std::vector<FeatureArc>& arcs) {
+  UnionFind uf;
+  for (const FeatureArc& a : arcs) {
+    uf.find(a.lower);
+    uf.find(a.upper);
+    uf.unite(a.lower, a.upper);
+  }
+  std::unordered_map<NodeId, int> out;
+  std::map<int, int> remap;
+  for (const NodeId n : uf.ids()) {
+    const int r = uf.find(n);
+    const auto [it, fresh] = remap.emplace(r, static_cast<int>(remap.size()));
+    out.emplace(n, it->second);
+    (void)fresh;
+  }
+  return out;
+}
+
+NetworkStats networkStats(const MsComplex& c, const std::vector<FeatureArc>& arcs) {
+  NetworkStats s;
+  const auto comp = components(arcs);
+  s.vertices = std::ssize(comp);
+  s.edges = std::ssize(arcs);
+  int ncomp = 0;
+  std::map<int, std::int64_t> sizes;
+  for (const auto& [node, cid] : comp) {
+    ncomp = std::max(ncomp, cid + 1);
+    ++sizes[cid];
+  }
+  s.components = ncomp;
+  for (const auto& [cid, n] : sizes) s.largest_component = std::max(s.largest_component, n);
+  for (const FeatureArc& a : arcs) {
+    const double len = arcLength(c, a);
+    s.total_length += len;
+    s.longest_arc = std::max(s.longest_arc, len);
+  }
+  return s;
+}
+
+std::int64_t minCut(const std::vector<FeatureArc>& arcs, NodeId s, NodeId t) {
+  if (s == t) return 0;
+  // Build an adjacency list with unit capacities (both directions).
+  std::unordered_map<NodeId, int> index;
+  std::vector<NodeId> nodes;
+  const auto idOf = [&](NodeId n) {
+    const auto [it, fresh] = index.emplace(n, static_cast<int>(nodes.size()));
+    if (fresh) nodes.push_back(n);
+    return it->second;
+  };
+  struct Edge {
+    int to;
+    int cap;
+    std::size_t rev;
+  };
+  std::vector<std::vector<Edge>> adj;
+  const auto addEdge = [&](int a, int b) {
+    if (static_cast<std::size_t>(std::max(a, b)) >= adj.size())
+      adj.resize(static_cast<std::size_t>(std::max(a, b)) + 1);
+    adj[static_cast<std::size_t>(a)].push_back({b, 1, adj[static_cast<std::size_t>(b)].size()});
+    adj[static_cast<std::size_t>(b)].push_back({a, 1, adj[static_cast<std::size_t>(a)].size() - 1});
+  };
+  for (const FeatureArc& a : arcs) addEdge(idOf(a.lower), idOf(a.upper));
+  if (!index.contains(s) || !index.contains(t)) return -1;
+  const int si = index.at(s), ti = index.at(t);
+  if (static_cast<std::size_t>(std::max(si, ti)) >= adj.size())
+    adj.resize(static_cast<std::size_t>(std::max(si, ti)) + 1);
+
+  // Edmonds-Karp.
+  std::int64_t flow = 0;
+  for (;;) {
+    std::vector<std::pair<int, std::size_t>> prev(adj.size(), {-1, 0});
+    std::queue<int> q;
+    q.push(si);
+    prev[static_cast<std::size_t>(si)] = {si, 0};
+    while (!q.empty() && prev[static_cast<std::size_t>(ti)].first < 0) {
+      const int u = q.front();
+      q.pop();
+      for (std::size_t i = 0; i < adj[static_cast<std::size_t>(u)].size(); ++i) {
+        const Edge& e = adj[static_cast<std::size_t>(u)][i];
+        if (e.cap > 0 && prev[static_cast<std::size_t>(e.to)].first < 0) {
+          prev[static_cast<std::size_t>(e.to)] = {u, i};
+          q.push(e.to);
+        }
+      }
+    }
+    if (prev[static_cast<std::size_t>(ti)].first < 0) break;
+    for (int v = ti; v != si;) {
+      const auto [u, i] = prev[static_cast<std::size_t>(v)];
+      Edge& e = adj[static_cast<std::size_t>(u)][i];
+      e.cap -= 1;
+      adj[static_cast<std::size_t>(e.to)][e.rev].cap += 1;
+      v = u;
+    }
+    ++flow;
+  }
+  return flow == 0 ? -1 : flow;
+}
+
+}  // namespace msc::analysis

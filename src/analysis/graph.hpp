@@ -1,0 +1,37 @@
+/// \file graph.hpp
+/// Graph algorithms over selected 1-skeleton arcs: the embedded-graph
+/// analysis of Fig. 1 ("statistics such as length, cycle count, and
+/// the minimum cut").
+#pragma once
+
+#include "analysis/features.hpp"
+
+namespace msc::analysis {
+
+/// Statistics of a feature network (a set of selected arcs viewed as
+/// an undirected multigraph on the complex's nodes).
+struct NetworkStats {
+  std::int64_t vertices{0};
+  std::int64_t edges{0};
+  std::int64_t components{0};
+  /// First Betti number of the network: E - V + C (independent
+  /// cycles of the filament structure).
+  std::int64_t cycles() const { return edges - vertices + components; }
+  double total_length{0};       ///< sum of embedded arc lengths (grid units)
+  double longest_arc{0};
+  std::int64_t largest_component{0};  ///< vertex count
+};
+
+NetworkStats networkStats(const MsComplex& c, const std::vector<FeatureArc>& arcs);
+
+/// Connected component label per participating node (map from NodeId
+/// to component id, 0-based).
+std::unordered_map<NodeId, int> components(const std::vector<FeatureArc>& arcs);
+
+/// Minimum s-t cut (by edge count) between two nodes of the network,
+/// via BFS-based max-flow on unit capacities (Edmonds-Karp). Returns
+/// -1 if s and t are disconnected. Small networks only (the feature
+/// graphs of Fig. 1 are tiny compared to the data).
+std::int64_t minCut(const std::vector<FeatureArc>& arcs, NodeId s, NodeId t);
+
+}  // namespace msc::analysis

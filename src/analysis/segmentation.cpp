@@ -1,0 +1,125 @@
+#include "analysis/segmentation.hpp"
+
+#include <unordered_map>
+
+namespace msc::analysis {
+
+std::vector<std::int64_t> Segmentation::regionSizes() const {
+  std::vector<std::int64_t> sizes(seeds.size(), 0);
+  for (const std::int32_t l : labels)
+    if (l != kUnlabelled) ++sizes[static_cast<std::size_t>(l)];
+  return sizes;
+}
+
+Segmentation segmentByMinima(const GradientField& grad) {
+  const Block& blk = grad.block();
+  Segmentation out;
+  out.labels.assign(static_cast<std::size_t>(blk.numVertices()), kUnlabelled);
+
+  std::unordered_map<std::int64_t, std::int32_t> seedOf;  // vertex index -> label
+  std::vector<std::int64_t> path;
+
+  for (std::int64_t vz = 0; vz < blk.vdims.z; ++vz) {
+    for (std::int64_t vy = 0; vy < blk.vdims.y; ++vy) {
+      for (std::int64_t vx = 0; vx < blk.vdims.x; ++vx) {
+        const std::int64_t start = blk.vertexIndex({vx, vy, vz});
+        if (out.labels[static_cast<std::size_t>(start)] != kUnlabelled) continue;
+        // Walk the descending vertex-edge V-path, collecting the
+        // visited vertices, until a labelled vertex or the minimum.
+        path.clear();
+        Vec3i vc{vx, vy, vz};
+        std::int32_t label = kUnlabelled;
+        for (;;) {
+          const std::int64_t vi = blk.vertexIndex(vc);
+          if (out.labels[static_cast<std::size_t>(vi)] != kUnlabelled) {
+            label = out.labels[static_cast<std::size_t>(vi)];
+            break;
+          }
+          path.push_back(vi);
+          const Vec3i rc = vc * 2;
+          if (grad.isCritical(rc)) {
+            const auto [it, fresh] =
+                seedOf.emplace(vi, static_cast<std::int32_t>(out.seeds.size()));
+            if (fresh) out.seeds.push_back(rc);
+            label = it->second;
+            break;
+          }
+          // The vertex is paired with an edge; descend through the
+          // edge's other endpoint.
+          const Vec3i edge = grad.partner(rc);
+          assert(Domain::cellDim(edge) == 1);
+          const Vec3i other = edge + (edge - rc);
+          vc = {other.x / 2, other.y / 2, other.z / 2};
+        }
+        for (const std::int64_t vi : path) out.labels[static_cast<std::size_t>(vi)] = label;
+      }
+    }
+  }
+  return out;
+}
+
+Segmentation segmentByMaxima(const GradientField& grad) {
+  const Block& blk = grad.block();
+  const Vec3i nvox{blk.vdims.x - 1, blk.vdims.y - 1, blk.vdims.z - 1};
+  Segmentation out;
+  out.labels.assign(static_cast<std::size_t>(std::max<std::int64_t>(nvox.volume(), 0)),
+                    kUnlabelled);
+  if (nvox.x <= 0 || nvox.y <= 0 || nvox.z <= 0) return out;  // 2D domain: no voxels
+
+  const auto voxelIndex = [&](Vec3i v) {
+    return v.x + v.y * nvox.x + v.z * nvox.x * nvox.y;
+  };
+  const Vec3i r = blk.rdims();
+
+  // Sentinel label for orphan chains (voxels whose ascent dies on the
+  // domain boundary; they belong to lower-dimensional descending
+  // manifolds). Resolved to kUnlabelled at the end.
+  constexpr std::int32_t kOrphan = -2;
+
+  std::vector<std::int64_t> path;
+  for (std::int64_t z = 0; z < nvox.z; ++z) {
+    for (std::int64_t y = 0; y < nvox.y; ++y) {
+      for (std::int64_t x = 0; x < nvox.x; ++x) {
+        const std::int64_t start = voxelIndex({x, y, z});
+        if (out.labels[static_cast<std::size_t>(start)] != kUnlabelled) continue;
+        path.clear();
+        Vec3i vox{x, y, z};
+        std::int32_t label = kUnlabelled;
+        for (;;) {
+          const std::int64_t vi = voxelIndex(vox);
+          const std::int32_t cur = out.labels[static_cast<std::size_t>(vi)];
+          if (cur != kUnlabelled) {
+            label = cur;
+            break;
+          }
+          path.push_back(vi);
+          const Vec3i rc{2 * vox.x + 1, 2 * vox.y + 1, 2 * vox.z + 1};
+          if (grad.isCritical(rc)) {
+            label = static_cast<std::int32_t>(out.seeds.size());
+            out.seeds.push_back(rc);
+            break;
+          }
+          // Ascend: the voxel is the head of a vector from one of its
+          // quads; the predecessor voxel is that quad's other cofacet.
+          const Vec3i quad = grad.partner(rc);
+          assert(Domain::cellDim(quad) == 2);
+          const Vec3i other = quad + (quad - rc);
+          int axis = 0;
+          for (int a = 1; a < 3; ++a)
+            if (quad[a] != rc[a]) axis = a;
+          if (other[axis] < 0 || other[axis] >= r[axis]) {
+            label = kOrphan;  // ascent exits through the boundary
+            break;
+          }
+          vox = {(other.x - 1) / 2, (other.y - 1) / 2, (other.z - 1) / 2};
+        }
+        for (const std::int64_t vi : path) out.labels[static_cast<std::size_t>(vi)] = label;
+      }
+    }
+  }
+  for (std::int32_t& l : out.labels)
+    if (l == kOrphan) l = kUnlabelled;
+  return out;
+}
+
+}  // namespace msc::analysis

@@ -1,0 +1,49 @@
+/// \file segmentation.hpp
+/// Morse segmentation from the discrete gradient: ascending
+/// 3-manifolds (basins of minima) and descending 3-manifolds
+/// (mountains of maxima).
+///
+/// These are the segmentations behind the paper's motivating
+/// applications (section II: Laney et al. segmenting a mixing
+/// interface, Bremer et al. counting burning regions): every vertex
+/// flows down to exactly one minimum, every voxel drains from exactly
+/// one maximum, and the label fields partition the block.
+#pragma once
+
+#include <vector>
+
+#include "core/gradient.hpp"
+
+namespace msc::analysis {
+
+/// Label of "no region" (only used transiently; every element is
+/// labelled on a complete gradient field).
+inline constexpr std::int32_t kUnlabelled = -1;
+
+/// Result of a segmentation: one label per element, plus the critical
+/// cell that seeds each region.
+struct Segmentation {
+  /// Label per element (vertex or voxel, see the producing call),
+  /// indexed by the element's linear index within the block.
+  std::vector<std::int32_t> labels;
+  /// For each region, the local refined coordinate of its seeding
+  /// critical cell (minimum or maximum).
+  std::vector<Vec3i> seeds;
+
+  std::int32_t regionCount() const { return static_cast<std::int32_t>(seeds.size()); }
+  /// Number of elements per region.
+  std::vector<std::int64_t> regionSizes() const;
+};
+
+/// Ascending-manifold segmentation: every *vertex* is labelled by the
+/// minimum its descending vertex-edge V-path terminates at.
+/// labels[i] indexes into seeds; i is Block::vertexIndex order.
+Segmentation segmentByMinima(const GradientField& grad);
+
+/// Descending-manifold segmentation: every *voxel* (3-cell) is
+/// labelled by the maximum whose descending voxel-quad V-paths reach
+/// it. labels are indexed by voxel in x-fastest order over the
+/// (vdims-1)^3 voxel grid.
+Segmentation segmentByMaxima(const GradientField& grad);
+
+}  // namespace msc::analysis

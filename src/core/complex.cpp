@@ -1,0 +1,303 @@
+#include "core/complex.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace msc {
+
+NodeId addNodeImplCheck(std::size_t n) {
+  if (n > static_cast<std::size_t>(std::numeric_limits<NodeId>::max())) {
+    std::fprintf(stderr, "msc: node table overflow\n");
+    std::abort();
+  }
+  return static_cast<NodeId>(n);
+}
+
+NodeId MsComplex::addNode(CellAddr addr, std::uint8_t index, float value) {
+  const NodeId id = addNodeImplCheck(nodes_.size());
+  Node nd;
+  nd.addr = addr;
+  nd.index = index;
+  nd.value = value;
+  nodes_.push_back(nd);
+  return id;
+}
+
+GeomId MsComplex::addGeom(Geom g) {
+  const GeomId id = static_cast<GeomId>(geoms_.size());
+  geoms_.push_back(std::move(g));
+  return id;
+}
+
+ArcId MsComplex::addArc(NodeId lower, NodeId upper, GeomId geom, std::int32_t created_gen) {
+  assert(node(lower).index + 1 == node(upper).index);
+  const ArcId id = static_cast<ArcId>(arcs_.size());
+  Arc a;
+  a.lower = lower;
+  a.upper = upper;
+  a.geom = geom;
+  a.created_gen = created_gen;
+  arcs_.push_back(a);
+  linkArc(id);
+  return id;
+}
+
+void MsComplex::linkArc(ArcId a) {
+  Arc& ar = arcs_[static_cast<std::size_t>(a)];
+  const NodeId ends[2] = {ar.lower, ar.upper};
+  for (int slot = 0; slot < 2; ++slot) {
+    Node& nd = nodes_[static_cast<std::size_t>(ends[slot])];
+    ar.next[slot] = nd.arcs_head;
+    ar.prev[slot] = kNone;
+    if (nd.arcs_head != kNone) {
+      Arc& head = arcs_[static_cast<std::size_t>(nd.arcs_head)];
+      const int hslot = head.upper == ends[slot] ? 1 : 0;
+      head.prev[hslot] = a;
+    }
+    nd.arcs_head = a;
+    ++nd.n_arcs;
+  }
+}
+
+void MsComplex::unlinkArc(ArcId a) {
+  Arc& ar = arcs_[static_cast<std::size_t>(a)];
+  const NodeId ends[2] = {ar.lower, ar.upper};
+  for (int slot = 0; slot < 2; ++slot) {
+    Node& nd = nodes_[static_cast<std::size_t>(ends[slot])];
+    if (ar.prev[slot] != kNone) {
+      Arc& p = arcs_[static_cast<std::size_t>(ar.prev[slot])];
+      p.next[p.upper == ends[slot] ? 1 : 0] = ar.next[slot];
+    } else {
+      nd.arcs_head = ar.next[slot];
+    }
+    if (ar.next[slot] != kNone) {
+      Arc& nx = arcs_[static_cast<std::size_t>(ar.next[slot])];
+      nx.prev[nx.upper == ends[slot] ? 1 : 0] = ar.prev[slot];
+    }
+    --nd.n_arcs;
+  }
+}
+
+void MsComplex::removeArc(ArcId a, std::int32_t gen) {
+  Arc& ar = arcs_[static_cast<std::size_t>(a)];
+  assert(ar.alive);
+  unlinkArc(a);
+  ar.alive = false;
+  ar.destroyed_gen = gen;
+}
+
+void MsComplex::removeNode(NodeId n, std::int32_t gen) {
+  Node& nd = nodes_[static_cast<std::size_t>(n)];
+  assert(nd.alive && nd.n_arcs == 0);
+  nd.alive = false;
+  nd.destroyed_gen = gen;
+}
+
+int MsComplex::countArcsBetween(NodeId a, NodeId b) const {
+  int count = 0;
+  forEachArc(a, [&](ArcId id) {
+    const Arc& ar = arc(id);
+    if (ar.lower == b || ar.upper == b) ++count;
+    return true;
+  });
+  return count;
+}
+
+std::vector<CellAddr> MsComplex::flattenGeom(GeomId g) const {
+  std::vector<CellAddr> out;
+  // Iterative DAG expansion with explicit reversal handling.
+  struct Frame {
+    GeomId id;
+    bool reversed;
+  };
+  std::vector<Frame> stack{{g, false}};
+  // Depth-first with reversal: a reversed composite visits children
+  // in reverse order with flipped orientation.
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Geom& ge = geoms_[static_cast<std::size_t>(f.id)];
+    if (ge.children.empty()) {
+      if (!f.reversed)
+        out.insert(out.end(), ge.cells.begin(), ge.cells.end());
+      else
+        out.insert(out.end(), ge.cells.rbegin(), ge.cells.rend());
+    } else {
+      // Push children so they pop in the correct order.
+      if (!f.reversed) {
+        for (auto it = ge.children.rbegin(); it != ge.children.rend(); ++it)
+          stack.push_back({it->id, it->reversed});
+      } else {
+        for (const auto& ch : ge.children)
+          stack.push_back({ch.id, !ch.reversed});
+      }
+    }
+  }
+  return out;
+}
+
+void MsComplex::recomputeBoundary() {
+  for (Node& nd : nodes_) {
+    if (!nd.alive) continue;
+    nd.boundary = region_.onSharedBoundary(domain_.coordOf(nd.addr), domain_);
+  }
+}
+
+std::array<std::int64_t, 4> MsComplex::liveNodeCounts() const {
+  std::array<std::int64_t, 4> c{0, 0, 0, 0};
+  for (const Node& nd : nodes_)
+    if (nd.alive) ++c[nd.index];
+  return c;
+}
+
+std::int64_t MsComplex::liveArcCount() const {
+  return std::count_if(arcs_.begin(), arcs_.end(), [](const Arc& a) { return a.alive; });
+}
+
+std::int64_t MsComplex::liveNodeCount() const {
+  return std::count_if(nodes_.begin(), nodes_.end(), [](const Node& n) { return n.alive; });
+}
+
+void MsComplex::compact() {
+  std::vector<NodeId> nodeMap(nodes_.size(), kNone);
+  std::vector<Node> newNodes;
+  newNodes.reserve(static_cast<std::size_t>(liveNodeCount()));
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].alive) continue;
+    nodeMap[i] = static_cast<NodeId>(newNodes.size());
+    Node nd = nodes_[i];
+    nd.arcs_head = kNone;
+    nd.n_arcs = 0;
+    nd.destroyed_gen = kNone;
+    newNodes.push_back(nd);
+  }
+
+  std::vector<Arc> oldArcs = std::move(arcs_);
+  std::vector<Geom> oldGeoms = std::move(geoms_);
+  arcs_.clear();
+  geoms_.clear();
+  nodes_ = std::move(newNodes);
+
+  // Temporarily move old geoms back for flattening via a local helper.
+  const auto flattenOld = [&](GeomId g) {
+    std::vector<CellAddr> out;
+    struct Frame {
+      GeomId id;
+      bool reversed;
+    };
+    std::vector<Frame> stack{{g, false}};
+    while (!stack.empty()) {
+      const Frame f = stack.back();
+      stack.pop_back();
+      const Geom& ge = oldGeoms[static_cast<std::size_t>(f.id)];
+      if (ge.children.empty()) {
+        if (!f.reversed)
+          out.insert(out.end(), ge.cells.begin(), ge.cells.end());
+        else
+          out.insert(out.end(), ge.cells.rbegin(), ge.cells.rend());
+      } else if (!f.reversed) {
+        for (auto it = ge.children.rbegin(); it != ge.children.rend(); ++it)
+          stack.push_back({it->id, it->reversed});
+      } else {
+        for (const auto& ch : ge.children) stack.push_back({ch.id, !ch.reversed});
+      }
+    }
+    return out;
+  };
+
+  for (const Arc& ar : oldArcs) {
+    if (!ar.alive) continue;
+    Geom g;
+    if (ar.geom != kNone) g.cells = flattenOld(ar.geom);
+    const GeomId gid = addGeom(std::move(g));
+    addArc(nodeMap[static_cast<std::size_t>(ar.lower)],
+           nodeMap[static_cast<std::size_t>(ar.upper)], gid, 0);
+  }
+  cancellations_.clear();
+}
+
+std::int32_t MsComplex::generationForThreshold(float threshold) const {
+  std::int32_t g = 0;
+  for (const Cancellation& c : cancellations_) {
+    if (c.persistence > threshold) break;
+    ++g;
+  }
+  return g;
+}
+
+std::array<std::int64_t, 4> MsComplex::liveNodeCountsAt(std::int32_t gen) const {
+  std::array<std::int64_t, 4> c{0, 0, 0, 0};
+  for (NodeId n = 0; n < static_cast<NodeId>(nodes_.size()); ++n)
+    if (nodeLiveAt(n, gen)) ++c[node(n).index];
+  return c;
+}
+
+MsComplex MsComplex::extractAtGeneration(std::int32_t gen) const {
+  MsComplex out(domain_, region_);
+  std::vector<NodeId> map(nodes_.size(), kNone);
+  for (NodeId n = 0; n < static_cast<NodeId>(nodes_.size()); ++n) {
+    if (!nodeLiveAt(n, gen)) continue;
+    const Node& nd = node(n);
+    map[static_cast<std::size_t>(n)] = out.addNode(nd.addr, nd.index, nd.value);
+  }
+  for (ArcId a = 0; a < static_cast<ArcId>(arcs_.size()); ++a) {
+    if (!arcLiveAt(a, gen)) continue;
+    const Arc& ar = arc(a);
+    Geom g;
+    if (ar.geom != kNone) g.cells = flattenGeom(ar.geom);
+    const GeomId gid = out.addGeom(std::move(g));
+    out.addArc(map[static_cast<std::size_t>(ar.lower)],
+               map[static_cast<std::size_t>(ar.upper)], gid);
+  }
+  out.recomputeBoundary();
+  return out;
+}
+
+std::unordered_map<CellAddr, NodeId> MsComplex::addressIndex() const {
+  std::unordered_map<CellAddr, NodeId> m;
+  m.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].alive) m.emplace(nodes_[i].addr, static_cast<NodeId>(i));
+  return m;
+}
+
+void MsComplex::checkInvariants() const {
+  const auto fail = [](const char* what) {
+    std::fprintf(stderr, "MsComplex invariant violated: %s\n", what);
+    std::abort();
+  };
+  std::vector<std::int64_t> degree(nodes_.size(), 0);
+  for (std::size_t i = 0; i < arcs_.size(); ++i) {
+    const Arc& ar = arcs_[i];
+    if (!ar.alive) continue;
+    if (ar.lower < 0 || ar.upper < 0) fail("arc endpoint unset");
+    const Node& lo = node(ar.lower);
+    const Node& up = node(ar.upper);
+    if (!lo.alive || !up.alive) fail("live arc references dead node");
+    if (lo.index + 1 != up.index) fail("arc endpoints not of consecutive index");
+    ++degree[static_cast<std::size_t>(ar.lower)];
+    ++degree[static_cast<std::size_t>(ar.upper)];
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& nd = nodes_[i];
+    if (!nd.alive) {
+      if (nd.n_arcs != 0) fail("dead node retains arcs");
+      continue;
+    }
+    if (nd.n_arcs != degree[i]) fail("node arc count mismatch");
+    // Walk the intrusive list and verify it reaches exactly n_arcs arcs.
+    std::int64_t seen = 0;
+    forEachArc(static_cast<NodeId>(i), [&](ArcId a) {
+      const Arc& ar = arc(a);
+      if (!ar.alive) fail("dead arc in live list");
+      if (ar.lower != static_cast<NodeId>(i) && ar.upper != static_cast<NodeId>(i))
+        fail("arc list contains foreign arc");
+      ++seen;
+      return true;
+    });
+    if (seen != nd.n_arcs) fail("arc list length mismatch");
+  }
+}
+
+}  // namespace msc

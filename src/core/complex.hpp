@@ -1,0 +1,202 @@
+/// \file complex.hpp
+/// The 1-skeleton of the Morse-Smale complex (sections IV-D/IV-E).
+///
+/// Nodes (critical cells), arcs (V-paths between critical cells of
+/// consecutive index) and geometry objects are constant-size records
+/// stored in arrays, following the data structure of ref [11]. Arcs
+/// are threaded through two intrusive doubly-linked lists (one per
+/// endpoint) for O(1) unlinking during cancellation. Cancellations
+/// stamp generation numbers onto destroyed/created elements, forming
+/// the multi-resolution hierarchy of section III-C.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "core/region.hpp"
+
+namespace msc {
+
+using NodeId = std::int32_t;
+using ArcId = std::int32_t;
+using GeomId = std::int32_t;
+inline constexpr std::int32_t kNone = -1;
+
+/// A critical point of the complex.
+struct Node {
+  CellAddr addr{kNoCell};  ///< global refined-grid address of the critical cell
+  float value{0};          ///< scalar value (max over cell vertices)
+  std::uint8_t index{0};   ///< Morse index = cell dimension (0..3)
+  bool boundary{false};    ///< on the unresolved shared boundary of the region
+  bool alive{true};
+  std::int32_t destroyed_gen{kNone};  ///< cancellation generation, kNone if alive
+  ArcId arcs_head{kNone};             ///< intrusive list of incident arcs
+  std::int32_t n_arcs{0};             ///< number of live incident arcs
+};
+
+/// An arc connecting a node of index d ("lower") to one of index d+1
+/// ("upper"). Geometry is recorded descending from the upper node's
+/// cell to the lower node's cell.
+struct Arc {
+  NodeId lower{kNone}, upper{kNone};
+  GeomId geom{kNone};
+  bool alive{true};
+  std::int32_t created_gen{0};
+  std::int32_t destroyed_gen{kNone};
+  /// Intrusive list links; slot 0 threads the lower endpoint's list,
+  /// slot 1 the upper endpoint's.
+  ArcId next[2]{kNone, kNone}, prev[2]{kNone, kNone};
+};
+
+/// Geometric embedding of an arc: either a leaf path of cell
+/// addresses, or a composition of earlier geometries created by a
+/// cancellation (section IV-E: "a new geometry object is created that
+/// references the geometry objects that were merged").
+struct Geom {
+  struct Ref {
+    GeomId id{kNone};
+    bool reversed{false};
+  };
+  std::vector<CellAddr> cells;  ///< leaf path (empty for composites)
+  std::vector<Ref> children;    ///< composite references (empty for leaves)
+};
+
+/// One cancellation record of the hierarchy.
+struct Cancellation {
+  float persistence{0};
+  NodeId lower{kNone}, upper{kNone};
+};
+
+/// The 1-skeleton of an MS complex over a region of the domain.
+class MsComplex {
+ public:
+  MsComplex() = default;
+  MsComplex(Domain domain, Region region) : domain_(domain), region_(std::move(region)) {}
+
+  const Domain& domain() const { return domain_; }
+  const Region& region() const { return region_; }
+  Region& region() { return region_; }
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Arc>& arcs() const { return arcs_; }
+  const std::vector<Geom>& geoms() const { return geoms_; }
+  const std::vector<Cancellation>& cancellations() const { return cancellations_; }
+
+  const Node& node(NodeId n) const { return nodes_[static_cast<std::size_t>(n)]; }
+  const Arc& arc(ArcId a) const { return arcs_[static_cast<std::size_t>(a)]; }
+  const Geom& geom(GeomId g) const { return geoms_[static_cast<std::size_t>(g)]; }
+
+  /// Current cancellation generation (= number of cancellations).
+  std::int32_t generation() const { return static_cast<std::int32_t>(cancellations_.size()); }
+
+  NodeId addNode(CellAddr addr, std::uint8_t index, float value);
+  GeomId addGeom(Geom g);
+  ArcId addArc(NodeId lower, NodeId upper, GeomId geom, std::int32_t created_gen = 0);
+
+  /// Unlink and mark an arc dead, stamping the generation.
+  void removeArc(ArcId a, std::int32_t gen);
+  /// Mark a node dead (its arcs must already be removed).
+  void removeNode(NodeId n, std::int32_t gen);
+
+  /// Number of live arcs between two nodes (the cancellation validity
+  /// test: exactly one is required).
+  int countArcsBetween(NodeId a, NodeId b) const;
+
+  /// Visit the live arcs incident to a node; `fn(ArcId)` returning
+  /// false stops early. Returns false iff stopped early.
+  template <class Fn>
+  bool forEachArc(NodeId n, Fn&& fn) const {
+    const Node& nd = nodes_[static_cast<std::size_t>(n)];
+    for (ArcId a = nd.arcs_head; a != kNone;) {
+      const Arc& ar = arcs_[static_cast<std::size_t>(a)];
+      const int slot = ar.upper == n ? 1 : 0;
+      const ArcId next = ar.next[slot];
+      if (!fn(a)) return false;
+      a = next;
+    }
+    return true;
+  }
+
+  /// Persistence of an arc: |f(upper) - f(lower)| (section III-C).
+  float persistence(ArcId a) const {
+    const Arc& ar = arc(a);
+    const float d = node(ar.upper).value - node(ar.lower).value;
+    return d < 0 ? -d : d;
+  }
+
+  /// Record a cancellation (used by simplify()).
+  void recordCancellation(const Cancellation& c) { cancellations_.push_back(c); }
+
+  /// Flatten a geometry DAG into the full descending cell path.
+  std::vector<CellAddr> flattenGeom(GeomId g) const;
+
+  /// Recompute every live node's boundary flag against the current
+  /// region (IV-F3, after gluing).
+  void recomputeBoundary();
+
+  /// Census helpers.
+  std::array<std::int64_t, 4> liveNodeCounts() const;
+  std::int64_t liveArcCount() const;
+  std::int64_t liveNodeCount() const;
+
+  /// Drop all dead elements and composite geometries (flattening the
+  /// geometry of surviving arcs), remap ids, and clear the hierarchy:
+  /// the surviving complex becomes the new base (IV-F1: "remove from
+  /// memory all but the coarsest levels of the hierarchy").
+  void compact();
+
+  /// Build a map from cell address to live node id (the merge
+  /// stage's gluing anchor lookup).
+  std::unordered_map<CellAddr, NodeId> addressIndex() const;
+
+  // --- Multi-resolution hierarchy queries (section III-C). The
+  // cancellations form a filtration of complexes; generation g is the
+  // complex after the first g cancellations (g = 0 is the unsimplified
+  // base, g = generation() the current coarsest level).
+
+  /// True if the node existed at generation `gen`.
+  bool nodeLiveAt(NodeId n, std::int32_t gen) const {
+    const Node& nd = node(n);
+    return nd.destroyed_gen == kNone || nd.destroyed_gen > gen;
+  }
+  /// True if the arc existed at generation `gen`.
+  bool arcLiveAt(ArcId a, std::int32_t gen) const {
+    const Arc& ar = arc(a);
+    return ar.created_gen <= gen && (ar.destroyed_gen == kNone || ar.destroyed_gen > gen);
+  }
+
+  /// Largest generation whose cancellations all have persistence
+  /// <= threshold (the level a threshold slider selects). Because
+  /// cancellation proceeds in persistence order the prefix property
+  /// holds up to the queue's multi-arc deferrals; the scan is exact
+  /// either way.
+  std::int32_t generationForThreshold(float threshold) const;
+
+  /// Node census at a past generation.
+  std::array<std::int64_t, 4> liveNodeCountsAt(std::int32_t gen) const;
+
+  /// Materialize the complex as it was at generation `gen` (deep
+  /// copy; geometry flattened). The extracted complex has an empty
+  /// hierarchy of its own.
+  MsComplex extractAtGeneration(std::int32_t gen) const;
+
+  /// Check structural invariants (arc list integrity, endpoint index
+  /// difference of one, liveness agreement); aborts on violation.
+  /// Intended for tests; O(nodes + arcs).
+  void checkInvariants() const;
+
+ private:
+  void linkArc(ArcId a);
+  void unlinkArc(ArcId a);
+
+  Domain domain_;
+  Region region_;
+  std::vector<Node> nodes_;
+  std::vector<Arc> arcs_;
+  std::vector<Geom> geoms_;
+  std::vector<Cancellation> cancellations_;
+};
+
+}  // namespace msc

@@ -1,0 +1,119 @@
+/// \file field.hpp
+/// A block of scalar samples plus the strict total order on cells
+/// ("improved simulation of simplicity", section IV-C / ref [11]).
+///
+/// Cell values are the maximum of the cell's vertex values. Ties are
+/// broken by comparing, lexicographically, the cell's (value, global
+/// vertex id) pairs sorted in descending order. Because global vertex
+/// ids are block-independent, the order of any two cells on a shared
+/// block face is identical in both blocks — the property the merge
+/// stage's gluing relies on (IV-F3).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "core/grid.hpp"
+
+namespace msc {
+
+/// Sorted-descending list of (value, global vertex id) pairs for one
+/// cell; the comparison key of the simulation of simplicity.
+struct CellKey {
+  int n{0};
+  std::array<float, 8> value{};
+  std::array<std::uint64_t, 8> vert{};
+
+  /// Strict lexicographic less-than. Keys of cells of equal dimension
+  /// have equal length; across dimensions a missing entry compares
+  /// low (a proper face precedes its cofaces when their leading
+  /// entries tie).
+  friend bool operator<(const CellKey& a, const CellKey& b) {
+    const int n = std::min(a.n, b.n);
+    for (int i = 0; i < n; ++i) {
+      if (a.value[i] != b.value[i]) return a.value[i] < b.value[i];
+      if (a.vert[i] != b.vert[i]) return a.vert[i] < b.vert[i];
+    }
+    return a.n < b.n;
+  }
+  friend bool operator==(const CellKey& a, const CellKey& b) {
+    if (a.n != b.n) return false;
+    for (int i = 0; i < a.n; ++i)
+      if (a.value[i] != b.value[i] || a.vert[i] != b.vert[i]) return false;
+    return true;
+  }
+};
+
+/// Scalar samples over one block's vertices.
+class BlockField {
+ public:
+  BlockField() = default;
+  BlockField(Block block, std::vector<float> values)
+      : block_(block), values_(std::move(values)) {
+    assert(std::ssize(values_) == block_.numVertices());
+  }
+
+  const Block& block() const { return block_; }
+  const std::vector<float>& values() const { return values_; }
+
+  /// Value at a local vertex coordinate.
+  float vertexValue(Vec3i vc) const { return values_[block_.vertexIndex(vc)]; }
+
+  /// Cell value: max over the cell's vertices (section IV-C).
+  float cellValue(Vec3i rc) const {
+    std::array<Vec3i, 8> vs;
+    const int n = cellVertices(rc, vs);
+    float m = vertexValue(vs[0]);
+    for (int i = 1; i < n; ++i) m = std::max(m, vertexValue(vs[i]));
+    return m;
+  }
+
+  /// Full simulation-of-simplicity key of a cell.
+  CellKey cellKey(Vec3i rc) const {
+    std::array<Vec3i, 8> vs;
+    CellKey k;
+    k.n = cellVertices(rc, vs);
+    std::array<std::pair<float, std::uint64_t>, 8> p;
+    for (int i = 0; i < k.n; ++i)
+      p[i] = {vertexValue(vs[i]), block_.globalVertexId(vs[i])};
+    // Insertion sort, descending (n <= 8; also avoids a GCC 12
+    // -Warray-bounds false positive with std::sort on a subrange).
+    for (int i = 1; i < k.n; ++i) {
+      const auto v = p[i];
+      int j = i - 1;
+      for (; j >= 0 && p[j] < v; --j) p[j + 1] = p[j];
+      p[j + 1] = v;
+    }
+    for (int i = 0; i < k.n; ++i) {
+      k.value[i] = p[i].first;
+      k.vert[i] = p[i].second;
+    }
+    return k;
+  }
+
+  /// Strict comparison of two cells of this block under the
+  /// simulation of simplicity. Never reports equality for distinct
+  /// cells of equal dimension (their vertex sets differ, and global
+  /// vertex ids are unique).
+  bool cellLess(Vec3i a, Vec3i b) const { return cellKey(a) < cellKey(b); }
+
+ private:
+  Block block_;
+  std::vector<float> values_;
+};
+
+/// Evaluate an analytic function at every vertex of a block. `fn` is
+/// called with the *global* vertex coordinate so that the sampled
+/// values are identical regardless of the decomposition.
+template <class Fn>
+BlockField sampleBlock(const Block& block, Fn&& fn) {
+  std::vector<float> v(static_cast<std::size_t>(block.numVertices()));
+  std::size_t i = 0;
+  for (std::int64_t z = 0; z < block.vdims.z; ++z)
+    for (std::int64_t y = 0; y < block.vdims.y; ++y)
+      for (std::int64_t x = 0; x < block.vdims.x; ++x)
+        v[i++] = fn(Vec3i{x, y, z} + block.voffset);
+  return BlockField(block, std::move(v));
+}
+
+}  // namespace msc

@@ -1,0 +1,114 @@
+#include "core/gradient.hpp"
+
+#include <algorithm>
+
+namespace msc {
+
+std::uint8_t directionCode(Vec3i from, Vec3i to) {
+  for (int a = 0; a < 3; ++a) {
+    if (to[a] == from[a] + 1) return static_cast<std::uint8_t>(a * 2 + 1);
+    if (to[a] == from[a] - 1) return static_cast<std::uint8_t>(a * 2);
+  }
+  assert(false && "cells are not facet-adjacent");
+  return kUnassigned;
+}
+
+std::array<std::int64_t, 4> GradientField::criticalCounts() const {
+  std::array<std::int64_t, 4> c{0, 0, 0, 0};
+  const Vec3i r = block_.rdims();
+  LocalCell i = 0;
+  for (std::int64_t z = 0; z < r.z; ++z)
+    for (std::int64_t y = 0; y < r.y; ++y)
+      for (std::int64_t x = 0; x < r.x; ++x, ++i)
+        if (state_[i] == kCritical) ++c[Domain::cellDim({x, y, z})];
+  return c;
+}
+
+namespace {
+
+/// Comparator implementing the strict simulation-of-simplicity order,
+/// short-circuiting on the cached cell value (the key's first entry).
+struct CellLess {
+  const BlockField& field;
+  const Block& blk;
+  const std::vector<float>& val;
+
+  bool operator()(std::uint32_t a, std::uint32_t b) const {
+    if (val[a] != val[b]) return val[a] < val[b];
+    return field.cellKey(blk.cellCoord(a)) < field.cellKey(blk.cellCoord(b));
+  }
+};
+
+}  // namespace
+
+GradientField computeGradientSweep(const BlockField& field, const GradientOptions& opts) {
+  const Block& blk = field.block();
+  const Vec3i r = blk.rdims();
+  const std::int64_t n = blk.numCells();
+  assert(n < (std::int64_t(1) << 32) && "block too large for 32-bit local cell ids");
+
+  std::vector<std::uint8_t> state(static_cast<std::size_t>(n), kUnassigned);
+  std::vector<float> val(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> ufacets(static_cast<std::size_t>(n));
+  std::vector<AxisMask> sig(static_cast<std::size_t>(n), 0);
+  std::array<std::vector<std::uint32_t>, 4> byDim;
+
+  {
+    LocalCell i = 0;
+    for (std::int64_t z = 0; z < r.z; ++z)
+      for (std::int64_t y = 0; y < r.y; ++y)
+        for (std::int64_t x = 0; x < r.x; ++x, ++i) {
+          const Vec3i rc{x, y, z};
+          const int d = Domain::cellDim(rc);
+          val[i] = field.cellValue(rc);
+          ufacets[i] = static_cast<std::uint8_t>(2 * d);
+          if (opts.restrict_boundary) sig[i] = blk.sharedSignature(rc);
+          byDim[d].push_back(static_cast<std::uint32_t>(i));
+        }
+  }
+
+  const CellLess less{field, blk, val};
+
+  // Mark a cell assigned and update the unassigned-facet counts of
+  // its cofacets.
+  std::array<Vec3i, 6> cof;
+  const auto assign = [&](Vec3i rc, std::uint8_t s) {
+    state[blk.cellIndex(rc)] = s;
+    const int nc = cofacets(rc, r, cof);
+    for (int k = 0; k < nc; ++k) --ufacets[blk.cellIndex(cof[k])];
+  };
+
+  for (int d = 0; d < 4; ++d) {
+    std::vector<std::uint32_t>& order = byDim[d];
+    std::sort(order.begin(), order.end(), less);
+    for (const std::uint32_t ci : order) {
+      if (state[ci] != kUnassigned) continue;  // paired as a head in the d-1 pass
+      const Vec3i rc = blk.cellCoord(ci);
+      const AxisMask s = sig[ci];
+      // Candidate heads: unassigned cofacets of equal signature whose
+      // only unassigned facet is this cell; take the steepest
+      // (minimal in the cell order).
+      std::int64_t best = -1;
+      Vec3i bestCoord{};
+      const int nc = cofacets(rc, r, cof);
+      for (int k = 0; k < nc; ++k) {
+        const LocalCell bi = blk.cellIndex(cof[k]);
+        if (state[bi] != kUnassigned || ufacets[bi] != 1 || sig[bi] != s) continue;
+        if (best < 0 || less(static_cast<std::uint32_t>(bi), static_cast<std::uint32_t>(best))) {
+          best = static_cast<std::int64_t>(bi);
+          bestCoord = cof[k];
+        }
+      }
+      if (best >= 0) {
+        assign(rc, directionCode(rc, bestCoord));
+        assign(bestCoord, directionCode(bestCoord, rc));
+      } else {
+        assign(rc, kCritical);
+      }
+    }
+  }
+
+  return GradientField(blk, std::move(state));
+}
+
+}  // namespace msc

@@ -1,0 +1,91 @@
+/// \file gradient.hpp
+/// Discrete gradient vector fields on a block (section IV-C).
+///
+/// The result of gradient computation is one byte per refined-grid
+/// cell: either the cell is *critical*, or it is paired with the
+/// facet/cofacet one step away along a recorded axis/direction. The
+/// pairing restriction on shared block faces ("for a cell on the
+/// boundary of two or more blocks, we only consider for pairing other
+/// cells also on the boundary of those same blocks") is implemented
+/// via the shared-face signature of Block::sharedSignature: two cells
+/// may pair only when their signatures are equal.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/field.hpp"
+
+namespace msc {
+
+/// Per-cell pairing state. Values 0..5 encode "paired with the
+/// neighbour at refined offset +/-1 along axis state/2" (state%2:
+/// 0 = negative direction, 1 = positive direction).
+enum : std::uint8_t {
+  kPairNegX = 0,
+  kPairPosX = 1,
+  kPairNegY = 2,
+  kPairPosY = 3,
+  kPairNegZ = 4,
+  kPairPosZ = 5,
+  kCritical = 6,
+  kUnassigned = 7,
+};
+
+struct GradientOptions {
+  /// Apply the shared-face pairing restriction (must be on whenever
+  /// the block decomposition has more than one block; switching it
+  /// off reproduces an unrestricted serial gradient).
+  bool restrict_boundary = true;
+};
+
+/// A computed discrete gradient vector field over one block.
+class GradientField {
+ public:
+  GradientField() = default;
+  GradientField(Block block, std::vector<std::uint8_t> state)
+      : block_(block), state_(std::move(state)) {}
+
+  const Block& block() const { return block_; }
+  const std::vector<std::uint8_t>& state() const { return state_; }
+
+  std::uint8_t stateAt(Vec3i rc) const { return state_[block_.cellIndex(rc)]; }
+  bool isCritical(Vec3i rc) const { return stateAt(rc) == kCritical; }
+  bool isAssigned(Vec3i rc) const { return stateAt(rc) != kUnassigned; }
+  bool isPaired(Vec3i rc) const { return stateAt(rc) <= kPairPosZ; }
+
+  /// Coordinate of the pairing partner (only valid when isPaired).
+  Vec3i partner(Vec3i rc) const {
+    const std::uint8_t s = stateAt(rc);
+    Vec3i p = rc;
+    p[s / 2] += (s % 2) ? 1 : -1;
+    return p;
+  }
+
+  /// True when the cell is the tail of its vector (paired with a
+  /// cofacet, i.e. flow passes through this cell into the partner).
+  bool isTail(Vec3i rc) const {
+    return isPaired(rc) && Domain::cellDim(partner(rc)) == Domain::cellDim(rc) + 1;
+  }
+
+  /// Count critical cells of each dimension.
+  std::array<std::int64_t, 4> criticalCounts() const;
+
+ private:
+  Block block_;
+  std::vector<std::uint8_t> state_;
+};
+
+/// The paper's gradient algorithm (ref [10], adapted as in IV-C):
+/// cells sorted by increasing dimension then increasing value (with
+/// simulation of simplicity); in this order a d-cell is paired in the
+/// direction of steepest descent with an unassigned cofacet of which
+/// it is the only unassigned facet, or else marked critical.
+GradientField computeGradientSweep(const BlockField& field,
+                                   const GradientOptions& opts = {});
+
+/// Helper shared by gradient algorithms and tests: pairing state code
+/// for the vector from `from` to the adjacent cell `to`.
+std::uint8_t directionCode(Vec3i from, Vec3i to);
+
+}  // namespace msc

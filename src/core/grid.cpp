@@ -1,0 +1,56 @@
+#include "core/grid.hpp"
+
+namespace msc {
+
+int facets(Vec3i rc, Vec3i r, std::span<Vec3i, 6> out) {
+  (void)r;  // facets of in-grid cells are always in-grid
+  int n = 0;
+  for (int a = 0; a < 3; ++a) {
+    if (rc[a] & 1) {
+      Vec3i m = rc;
+      m[a] -= 1;
+      out[n++] = m;
+      m[a] += 2;
+      out[n++] = m;
+    }
+  }
+  return n;
+}
+
+int cofacets(Vec3i rc, Vec3i r, std::span<Vec3i, 6> out) {
+  int n = 0;
+  for (int a = 0; a < 3; ++a) {
+    if (!(rc[a] & 1)) {
+      if (rc[a] - 1 >= 0) {
+        Vec3i m = rc;
+        m[a] -= 1;
+        out[n++] = m;
+      }
+      if (rc[a] + 1 < r[a]) {
+        Vec3i m = rc;
+        m[a] += 1;
+        out[n++] = m;
+      }
+    }
+  }
+  return n;
+}
+
+int cellVertices(Vec3i rc, std::span<Vec3i, 8> out) {
+  // Each odd refined coordinate spans two vertices (floor and ceil of
+  // rc/2); each even coordinate pins one vertex (rc/2).
+  int n = 1;
+  out[0] = {rc.x / 2, rc.y / 2, rc.z / 2};
+  for (int a = 0; a < 3; ++a) {
+    if (rc[a] & 1) {
+      for (int i = 0; i < n; ++i) {
+        out[n + i] = out[i];
+        out[n + i][a] += 1;
+      }
+      n *= 2;
+    }
+  }
+  return n;
+}
+
+}  // namespace msc

@@ -1,0 +1,167 @@
+/// \file grid.hpp
+/// Structured grids and the "refined grid" cubical cell complex.
+///
+/// Scalar data lives at the vertices of a regular 3D grid. Following
+/// section IV-C of the paper, cells of the implicit cubical complex
+/// are stored at the vertices of a *refined* grid that is twice the
+/// length of the original grid (minus one) in each dimension: refined
+/// vertex (i,j,k) represents a d-cell of the original grid with
+/// d = i%2 + j%2 + k%2. The linear index of a cell in the refined
+/// grid is its "address"; addresses in the global refined grid are
+/// what the merge stage uses to co-locate nodes (IV-F1).
+#pragma once
+
+#include <cassert>
+#include <span>
+
+#include "core/types.hpp"
+
+namespace msc {
+
+/// The global structured grid of the whole dataset.
+///
+/// Provides the global refined grid used for global cell addresses.
+struct Domain {
+  Vec3i vdims;  ///< number of vertices per axis (>= 2 each)
+
+  /// Refined-grid dimensions: 2*v - 1 per axis.
+  constexpr Vec3i rdims() const { return {2 * vdims.x - 1, 2 * vdims.y - 1, 2 * vdims.z - 1}; }
+
+  /// Total number of cells of all dimensions.
+  constexpr std::int64_t numCells() const { return rdims().volume(); }
+
+  /// Global address of the cell at global refined coordinate `rc`.
+  constexpr CellAddr addrOf(Vec3i rc) const {
+    const Vec3i r = rdims();
+    return static_cast<CellAddr>(rc.x) + static_cast<CellAddr>(rc.y) * r.x +
+           static_cast<CellAddr>(rc.z) * r.x * r.y;
+  }
+
+  /// Inverse of addrOf.
+  constexpr Vec3i coordOf(CellAddr a) const {
+    const Vec3i r = rdims();
+    const auto rx = static_cast<CellAddr>(r.x), ry = static_cast<CellAddr>(r.y);
+    return {static_cast<std::int64_t>(a % rx), static_cast<std::int64_t>((a / rx) % ry),
+            static_cast<std::int64_t>(a / (rx * ry))};
+  }
+
+  /// Dimension (0..3) of the cell at refined coordinate `rc`.
+  static constexpr int cellDim(Vec3i rc) { return int(rc.x & 1) + int(rc.y & 1) + int(rc.z & 1); }
+
+  /// Global linear id of the vertex at vertex coordinate `vc`
+  /// (used as the simulation-of-simplicity tiebreaker, so it must be
+  /// block-independent).
+  constexpr std::uint64_t vertexId(Vec3i vc) const {
+    return static_cast<std::uint64_t>(vc.x) + static_cast<std::uint64_t>(vc.y) * vdims.x +
+           static_cast<std::uint64_t>(vc.z) * vdims.x * vdims.y;
+  }
+
+  /// True if the global refined coordinate lies on the global domain
+  /// boundary face of the given axis/side (side 0 = low, 1 = high).
+  constexpr bool onGlobalFace(Vec3i rc, int axis, int side) const {
+    return side == 0 ? rc[axis] == 0 : rc[axis] == rdims()[axis] - 1;
+  }
+
+  friend constexpr bool operator==(const Domain&, const Domain&) = default;
+};
+
+/// One block of the domain decomposition (section IV-A).
+///
+/// A block covers vertices [voffset, voffset+vdims-1] of the global
+/// grid; neighbouring blocks share one layer of vertices. The
+/// shared_lo/shared_hi flags record which faces are shared with a
+/// neighbour (as opposed to lying on the global domain boundary);
+/// cells on shared faces are subject to the gradient pairing
+/// restriction of section IV-C.
+struct Block {
+  int id{0};           ///< bisection-tree leaf order index
+  Domain domain;       ///< the global grid this block belongs to
+  Vec3i vdims;         ///< local vertex counts per axis (>= 2 each)
+  Vec3i voffset;       ///< global vertex coordinate of local (0,0,0)
+  bool shared_lo[3]{false, false, false};
+  bool shared_hi[3]{false, false, false};
+
+  /// Local refined-grid dimensions.
+  constexpr Vec3i rdims() const { return {2 * vdims.x - 1, 2 * vdims.y - 1, 2 * vdims.z - 1}; }
+
+  /// Number of cells in the local refined grid.
+  constexpr std::int64_t numCells() const { return rdims().volume(); }
+
+  /// Number of local vertices.
+  constexpr std::int64_t numVertices() const { return vdims.volume(); }
+
+  /// This block's extent in *global refined* coordinates (inclusive).
+  constexpr Box3 refinedBox() const {
+    const Vec3i lo = voffset * 2;
+    const Vec3i ext = rdims();
+    return {lo, lo + ext - Vec3i{1, 1, 1}};
+  }
+
+  /// Linearize a local refined coordinate.
+  constexpr LocalCell cellIndex(Vec3i rc) const {
+    const Vec3i r = rdims();
+    return static_cast<LocalCell>(rc.x) + static_cast<LocalCell>(rc.y) * r.x +
+           static_cast<LocalCell>(rc.z) * r.x * r.y;
+  }
+
+  /// Inverse of cellIndex.
+  constexpr Vec3i cellCoord(LocalCell c) const {
+    const Vec3i r = rdims();
+    const auto rx = static_cast<LocalCell>(r.x), ry = static_cast<LocalCell>(r.y);
+    return {static_cast<std::int64_t>(c % rx), static_cast<std::int64_t>((c / rx) % ry),
+            static_cast<std::int64_t>(c / (rx * ry))};
+  }
+
+  /// Translate a local refined coordinate to a global cell address
+  /// (the "local to global index translation" of IV-F1).
+  constexpr CellAddr globalAddr(Vec3i rc) const { return domain.addrOf(rc + voffset * 2); }
+
+  /// Linear index of the local vertex at local vertex coordinate `vc`.
+  constexpr std::int64_t vertexIndex(Vec3i vc) const {
+    return vc.x + vc.y * vdims.x + vc.z * vdims.x * vdims.y;
+  }
+
+  /// Global vertex id of a local vertex coordinate.
+  constexpr std::uint64_t globalVertexId(Vec3i vc) const {
+    return domain.vertexId(vc + voffset);
+  }
+
+  /// Shared-face signature of the cell at local refined coordinate
+  /// `rc`: bit a is set iff the cell lies on a face of this block
+  /// along axis a that is shared with a neighbouring block. Cells
+  /// may only be paired with cells of equal signature (IV-C). The
+  /// signature is block-independent for cells on shared faces: a
+  /// shared face is seen by both of its blocks with the same axis
+  /// bit, and partition planes on different axes are distinct.
+  constexpr AxisMask sharedSignature(Vec3i rc) const {
+    AxisMask m = 0;
+    const Vec3i r = rdims();
+    for (int a = 0; a < 3; ++a) {
+      if ((rc[a] == 0 && shared_lo[a]) || (rc[a] == r[a] - 1 && shared_hi[a]))
+        m |= AxisMask(1) << a;
+    }
+    return m;
+  }
+
+  /// True if the cell lies on any shared face of the block.
+  constexpr bool onSharedBoundary(Vec3i rc) const { return sharedSignature(rc) != 0; }
+
+  friend bool operator==(const Block&, const Block&) = default;
+};
+
+/// Enumerate the facets (dimension d-1 faces) of the cell at refined
+/// coordinate `rc` inside a refined grid of dims `r`. Returns the
+/// number written into `out` (at most 6).
+int facets(Vec3i rc, Vec3i r, std::span<Vec3i, 6> out);
+
+/// Enumerate the cofacets (dimension d+1 cofaces) of the cell at
+/// refined coordinate `rc` inside a refined grid of dims `r`.
+/// Returns the number written into `out` (at most 6).
+int cofacets(Vec3i rc, Vec3i r, std::span<Vec3i, 6> out);
+
+/// Enumerate the (original-grid) vertices of the cell at refined
+/// coordinate `rc`, as *vertex* coordinates. Returns the count
+/// (2^dim, at most 8).
+int cellVertices(Vec3i rc, std::span<Vec3i, 8> out);
+
+}  // namespace msc

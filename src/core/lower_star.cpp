@@ -1,0 +1,143 @@
+#include "core/lower_star.hpp"
+
+#include <algorithm>
+
+namespace msc {
+
+namespace {
+
+/// One cell of a lower star, with its precomputed key.
+struct StarCell {
+  Vec3i rc;
+  CellKey key;
+  int dim;
+  AxisMask sig;
+  bool assigned{false};
+  int n_unassigned_facets{0};  // facets within the same signature class
+};
+
+/// Facet relation within a lower-star class: b is a facet of a.
+bool isFacetOf(Vec3i facet, Vec3i coface) {
+  int diff = 0;
+  for (int a = 0; a < 3; ++a) {
+    if (facet[a] == coface[a]) continue;
+    if ((coface[a] & 1) && (facet[a] == coface[a] - 1 || facet[a] == coface[a] + 1))
+      ++diff;
+    else
+      return false;
+  }
+  return diff == 1 && Domain::cellDim(facet) + 1 == Domain::cellDim(coface);
+}
+
+}  // namespace
+
+GradientField computeGradientLowerStar(const BlockField& field, const GradientOptions& opts) {
+  const Block& blk = field.block();
+  const Vec3i r = blk.rdims();
+  std::vector<std::uint8_t> state(static_cast<std::size_t>(blk.numCells()), kUnassigned);
+
+  // Reused scratch for one lower star (at most 27 incident cells).
+  std::vector<StarCell> star;
+  star.reserve(27);
+
+  for (std::int64_t vz = 0; vz < blk.vdims.z; ++vz) {
+    for (std::int64_t vy = 0; vy < blk.vdims.y; ++vy) {
+      for (std::int64_t vx = 0; vx < blk.vdims.x; ++vx) {
+        const Vec3i v{vx, vy, vz};
+        const Vec3i vr = v * 2;  // refined coordinate of the vertex
+        const std::uint64_t vid = blk.globalVertexId(v);
+        const float vval = field.vertexValue(v);
+
+        // Gather the lower star: incident cells whose maximal vertex
+        // (by (value, global id)) is v.
+        star.clear();
+        for (std::int64_t dz = -1; dz <= 1; ++dz) {
+          for (std::int64_t dy = -1; dy <= 1; ++dy) {
+            for (std::int64_t dx = -1; dx <= 1; ++dx) {
+              const Vec3i rc = vr + Vec3i{dx, dy, dz};
+              if (rc.x < 0 || rc.y < 0 || rc.z < 0 || rc.x >= r.x || rc.y >= r.y ||
+                  rc.z >= r.z)
+                continue;
+              CellKey k = field.cellKey(rc);
+              // In the descending-sorted key, the maximal vertex is
+              // entry 0; membership in L(v) means it equals v.
+              if (k.value[0] != vval || k.vert[0] != vid) continue;
+              star.push_back({rc, std::move(k), Domain::cellDim(rc),
+                              opts.restrict_boundary ? blk.sharedSignature(rc) : AxisMask(0),
+                              false, 0});
+            }
+          }
+        }
+
+        // Process each signature class independently so that shared
+        // faces are matched identically in both adjacent blocks.
+        AxisMask done = 0;  // bit i: class with sig value i processed (sig < 8)
+        for (std::size_t ci = 0; ci < star.size(); ++ci) {
+          const AxisMask cls = star[ci].sig;
+          if (done & (AxisMask(1) << cls)) continue;
+          done |= AxisMask(1) << cls;
+
+          // Collect the class member indices.
+          std::vector<int> mem;
+          for (std::size_t j = 0; j < star.size(); ++j)
+            if (star[j].sig == cls) mem.push_back(static_cast<int>(j));
+
+          // Count facets within the class.
+          for (const int a : mem) {
+            star[a].n_unassigned_facets = 0;
+            for (const int b : mem)
+              if (isFacetOf(star[b].rc, star[a].rc)) ++star[a].n_unassigned_facets;
+          }
+
+          const auto markAssigned = [&](int idx) {
+            star[idx].assigned = true;
+            for (const int a : mem)
+              if (!star[a].assigned && isFacetOf(star[idx].rc, star[a].rc))
+                --star[a].n_unassigned_facets;
+          };
+          const auto popMin = [&](auto&& pred) -> int {
+            int best = -1;
+            for (const int a : mem) {
+              if (star[a].assigned || !pred(star[a])) continue;
+              if (best < 0 || star[a].key < star[best].key) best = a;
+            }
+            return best;
+          };
+
+          // Generic Robins-style matching of the class: repeatedly
+          // pair a cell having exactly one unassigned facet with that
+          // facet (steepest first), else make the minimal cell with
+          // no unassigned facets critical.
+          while (true) {
+            int head;
+            while ((head = popMin([](const StarCell& c) {
+                     return c.n_unassigned_facets == 1;
+                   })) >= 0) {
+              int tail = -1;
+              for (const int b : mem)
+                if (!star[b].assigned && isFacetOf(star[b].rc, star[head].rc)) tail = b;
+              assert(tail >= 0);
+              state[blk.cellIndex(star[tail].rc)] =
+                  directionCode(star[tail].rc, star[head].rc);
+              state[blk.cellIndex(star[head].rc)] =
+                  directionCode(star[head].rc, star[tail].rc);
+              markAssigned(tail);
+              markAssigned(head);
+            }
+            const int crit = popMin(
+                [](const StarCell& c) { return c.n_unassigned_facets == 0; });
+            if (crit < 0) break;
+            state[blk.cellIndex(star[crit].rc)] = kCritical;
+            markAssigned(crit);
+          }
+          // Every class member must be assigned by now.
+          for ([[maybe_unused]] const int a : mem) assert(star[a].assigned);
+        }
+      }
+    }
+  }
+
+  return GradientField(blk, std::move(state));
+}
+
+}  // namespace msc

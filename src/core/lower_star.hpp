@@ -1,0 +1,25 @@
+/// \file lower_star.hpp
+/// Per-vertex lower-star discrete gradient construction.
+///
+/// An independent, provably-valid alternative to the paper's greedy
+/// sweep (gradient.hpp), in the style of Robins/Wood/Sheppard: each
+/// cell belongs to the lower star of its (simulation-of-simplicity)
+/// maximal vertex, and lower stars are matched independently. The
+/// shared-face pairing restriction is honoured by partitioning each
+/// lower star into signature classes and matching each class
+/// separately, which keeps the computed gradient bit-identical on
+/// shared block faces. Used as a correctness cross-check and an
+/// ablation baseline for the sweep algorithm.
+#pragma once
+
+#include "core/gradient.hpp"
+
+namespace msc {
+
+/// Compute a discrete gradient field by independent lower-star
+/// matching. Produces a valid, acyclic field with the same critical
+/// cells as the sweep on non-degenerate data.
+GradientField computeGradientLowerStar(const BlockField& field,
+                                       const GradientOptions& opts = {});
+
+}  // namespace msc

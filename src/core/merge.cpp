@@ -1,0 +1,61 @@
+#include "core/merge.hpp"
+
+namespace msc {
+
+void glue(MsComplex& root, const MsComplex& other, GlueStats* stats) {
+  assert(root.domain() == other.domain());
+  const auto index = root.addressIndex();
+
+  std::vector<NodeId> map(other.nodes().size(), kNone);
+  std::vector<bool> pre(other.nodes().size(), false);
+
+  for (std::size_t i = 0; i < other.nodes().size(); ++i) {
+    const Node& nd = other.nodes()[i];
+    if (!nd.alive) continue;
+    if (const auto it = index.find(nd.addr); it != index.end()) {
+      map[i] = it->second;
+      pre[i] = true;
+      if (stats) ++stats->nodes_shared;
+    } else {
+      map[i] = root.addNode(nd.addr, nd.index, nd.value);
+      if (stats) ++stats->nodes_added;
+    }
+  }
+
+  for (const Arc& ar : other.arcs()) {
+    if (!ar.alive) continue;
+    const auto lo = static_cast<std::size_t>(ar.lower);
+    const auto up = static_cast<std::size_t>(ar.upper);
+    if (pre[lo] && pre[up]) {
+      // Both endpoints were on the shared boundary: the arc's V-path
+      // lies in the shared face and the root already owns it.
+      if (stats) ++stats->arcs_deduped;
+      continue;
+    }
+    Geom g;
+    if (ar.geom != kNone) g.cells = other.flattenGeom(ar.geom);
+    const GeomId gid = root.addGeom(std::move(g));
+    root.addArc(map[lo], map[up], gid);
+    if (stats) ++stats->arcs_added;
+  }
+
+  root.region().merge(other.region());
+}
+
+std::int64_t finishMerge(MsComplex& root, float persistence_threshold,
+                         SimplifyStats* stats) {
+  root.recomputeBoundary();
+  SimplifyOptions opts;
+  opts.persistence_threshold = persistence_threshold;
+  return simplify(root, opts, stats);
+}
+
+std::int64_t mergeComplexes(MsComplex& root, std::vector<MsComplex> others,
+                            float persistence_threshold, GlueStats* gstats,
+                            SimplifyStats* sstats) {
+  root.compact();
+  for (const MsComplex& o : others) glue(root, o, gstats);
+  return finishMerge(root, persistence_threshold, sstats);
+}
+
+}  // namespace msc

@@ -1,0 +1,43 @@
+/// \file merge.hpp
+/// Gluing MS complexes of neighbouring regions (section IV-F3).
+///
+/// Because the discrete gradient is identical on the shared boundary
+/// between blocks, any critical cell there is a node in both
+/// complexes; those shared nodes anchor the glue. Nodes of the
+/// incoming complex are matched to the root's by global cell address;
+/// arcs are imported unless both endpoints were already present
+/// (such arcs lie entirely in the shared boundary and are guaranteed
+/// to exist in the root). Afterwards the boundary status of every
+/// node is recomputed against the merged region, turning interface
+/// nodes into cancellation candidates.
+#pragma once
+
+#include "core/complex.hpp"
+#include "core/simplify.hpp"
+
+namespace msc {
+
+struct GlueStats {
+  std::int64_t nodes_added{0};
+  std::int64_t nodes_shared{0};
+  std::int64_t arcs_added{0};
+  std::int64_t arcs_deduped{0};
+};
+
+/// Glue `other` into `root` (both complexes over the same Domain).
+/// Does not recompute boundary flags or re-simplify; callers gluing
+/// several complexes call finishMerge() once at the end.
+void glue(MsComplex& root, const MsComplex& other, GlueStats* stats = nullptr);
+
+/// After all glues of a merge round: recompute boundary status
+/// against the merged region and re-simplify to the threshold,
+/// creating a new hierarchy on the merged complex (IV-F3).
+std::int64_t finishMerge(MsComplex& root, float persistence_threshold,
+                         SimplifyStats* stats = nullptr);
+
+/// Convenience: glue all of `others` into `root` and finish.
+std::int64_t mergeComplexes(MsComplex& root, std::vector<MsComplex> others,
+                            float persistence_threshold, GlueStats* gstats = nullptr,
+                            SimplifyStats* sstats = nullptr);
+
+}  // namespace msc

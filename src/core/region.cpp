@@ -1,0 +1,83 @@
+#include "core/region.hpp"
+
+#include <algorithm>
+
+namespace msc {
+
+void Region::merge(const Region& other) {
+  boxes_.insert(boxes_.end(), other.boxes_.begin(), other.boxes_.end());
+  coalesce();
+}
+
+namespace {
+
+/// Try to fuse b into a along one axis. Blocks share one refined
+/// plane, so "adjacent" means the intervals overlap or abut.
+bool tryFuse(Box3& a, const Box3& b) {
+  for (int axis = 0; axis < 3; ++axis) {
+    const int o1 = (axis + 1) % 3, o2 = (axis + 2) % 3;
+    if (a.lo[o1] != b.lo[o1] || a.hi[o1] != b.hi[o1]) continue;
+    if (a.lo[o2] != b.lo[o2] || a.hi[o2] != b.hi[o2]) continue;
+    // Overlapping or abutting intervals on `axis` fuse into one.
+    if (b.lo[axis] <= a.hi[axis] + 1 && a.lo[axis] <= b.hi[axis] + 1) {
+      a.lo[axis] = std::min(a.lo[axis], b.lo[axis]);
+      a.hi[axis] = std::max(a.hi[axis], b.hi[axis]);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void Region::coalesce() {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < boxes_.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < boxes_.size(); ++j) {
+        if (tryFuse(boxes_[i], boxes_[j])) {
+          boxes_.erase(boxes_.begin() + static_cast<std::ptrdiff_t>(j));
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+bool Region::contains(Vec3i rc) const {
+  return std::any_of(boxes_.begin(), boxes_.end(),
+                     [&](const Box3& b) { return b.contains(rc); });
+}
+
+bool Region::onSharedBoundary(Vec3i rc, const Domain& domain) const {
+  const Vec3i rd = domain.rdims();
+  for (const Box3& b : boxes_) {
+    if (!b.contains(rc)) continue;
+    for (int a = 0; a < 3; ++a) {
+      for (int side = 0; side < 2; ++side) {
+        const std::int64_t face = side == 0 ? b.lo[a] : b.hi[a];
+        if (rc[a] != face) continue;
+        Vec3i across = rc;
+        across[a] += side == 0 ? -1 : 1;
+        if (across[a] < 0 || across[a] >= rd[a]) continue;  // global domain face
+        if (!contains(across)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+Box3 Region::bounds() const {
+  Box3 r = boxes_.empty() ? Box3{} : boxes_.front();
+  for (const Box3& b : boxes_) {
+    for (int a = 0; a < 3; ++a) {
+      r.lo[a] = std::min(r.lo[a], b.lo[a]);
+      r.hi[a] = std::max(r.hi[a], b.hi[a]);
+    }
+  }
+  return r;
+}
+
+}  // namespace msc

@@ -1,0 +1,60 @@
+/// \file region.hpp
+/// The spatial extent covered by an MS complex: a union of block
+/// boxes in global refined coordinates. Used to recompute node
+/// boundary status after gluing (section IV-F3: "the boundary status
+/// of each node is updated according to the bounds of the merged
+/// blocks").
+#pragma once
+
+#include <vector>
+
+#include "core/grid.hpp"
+
+namespace msc {
+
+/// A union of inclusive boxes in global refined coordinates.
+///
+/// Neighbouring blocks share one vertex layer, so the boxes of two
+/// adjacent blocks overlap in one refined plane; coalesce() exploits
+/// this to keep the box list small as merges proceed.
+class Region {
+ public:
+  Region() = default;
+  explicit Region(Box3 box) : boxes_{box} {}
+
+  const std::vector<Box3>& boxes() const { return boxes_; }
+  bool empty() const { return boxes_.empty(); }
+
+  /// Add a box (no coalescing; call coalesce() afterwards).
+  void add(Box3 b) { boxes_.push_back(b); }
+
+  /// Merge another region into this one and coalesce.
+  void merge(const Region& other);
+
+  /// Greedily fuse boxes that are adjacent (sharing a full face
+  /// plane) and equal in the other two axes.
+  void coalesce();
+
+  /// True if the global refined coordinate lies inside the union.
+  bool contains(Vec3i rc) const;
+
+  /// True if the cell at `rc` lies on the *unresolved* boundary of
+  /// the region: it is on a face of some member box whose across-face
+  /// neighbour position is outside the union and not beyond the
+  /// global domain boundary. Nodes at such cells must not be
+  /// cancelled (IV-E) and anchor future gluings (IV-F3).
+  bool onSharedBoundary(Vec3i rc, const Domain& domain) const;
+
+  /// Bounding box of the union.
+  Box3 bounds() const;
+
+  /// Total volume if the union were disjoint minus overlaps is NOT
+  /// computed; this is the plain bounding-box volume check helper:
+  /// true if the union of boxes exactly fills bounds().
+  bool isBox() const { return boxes_.size() == 1; }
+
+ private:
+  std::vector<Box3> boxes_;
+};
+
+}  // namespace msc

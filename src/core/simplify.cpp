@@ -1,0 +1,193 @@
+#include "core/simplify.hpp"
+
+#include <queue>
+
+namespace msc {
+
+bool isCancellable(const MsComplex& complex, ArcId a) {
+  const Arc& ar = complex.arc(a);
+  if (!ar.alive) return false;
+  const Node& lo = complex.node(ar.lower);
+  const Node& up = complex.node(ar.upper);
+  if (!lo.alive || !up.alive) return false;
+  if (lo.boundary || up.boundary) return false;
+  return complex.countArcsBetween(ar.lower, ar.upper) == 1;
+}
+
+void cancelArc(MsComplex& complex, ArcId a, SimplifyStats* stats) {
+  const Arc ar = complex.arc(a);  // copy; the record is about to die
+  const NodeId p = ar.lower, q = ar.upper;
+  const std::int32_t gen = complex.generation() + 1;
+
+  // Gather the reconnection neighbourhood before unlinking anything:
+  // upper neighbours of p (index i+1, excluding q) reached via arcs
+  // r->p, and lower neighbours of q (index i, excluding p) via q->t.
+  struct Nbr {
+    NodeId node;
+    GeomId geom;
+  };
+  std::vector<Nbr> uppersOfP, lowersOfQ;
+  std::vector<ArcId> doomed;
+  complex.forEachArc(p, [&](ArcId id) {
+    const Arc& x = complex.arc(id);
+    doomed.push_back(id);
+    if (x.lower == p && x.upper != q) uppersOfP.push_back({x.upper, x.geom});
+    return true;
+  });
+  complex.forEachArc(q, [&](ArcId id) {
+    if (id == a) return true;
+    const Arc& x = complex.arc(id);
+    doomed.push_back(id);
+    if (x.upper == q && x.lower != p) lowersOfQ.push_back({x.lower, x.geom});
+    return true;
+  });
+
+  for (const ArcId id : doomed) complex.removeArc(id, gen);
+  complex.removeNode(p, gen);
+  complex.removeNode(q, gen);
+
+  // Reconnect: every (t, r) pair gets a new arc whose geometry is the
+  // composition r -> p, reversed (q -> p), q -> t (section IV-E).
+  for (const Nbr& up : uppersOfP) {
+    for (const Nbr& lo : lowersOfQ) {
+      Geom g;
+      g.children = {{up.geom, false}, {ar.geom, true}, {lo.geom, false}};
+      const GeomId gid = complex.addGeom(std::move(g));
+      complex.addArc(lo.node, up.node, gid, gen);
+      if (stats) ++stats->arcs_created;
+    }
+  }
+
+  complex.recordCancellation({complex.persistence(a), p, q});
+  if (stats) {
+    ++stats->cancellations;
+    stats->arcs_removed += static_cast<std::int64_t>(doomed.size());
+  }
+}
+
+std::int64_t simplify(MsComplex& complex, const SimplifyOptions& opts, SimplifyStats* stats) {
+  // Priority queue of candidate arcs, lowest persistence first. An
+  // arc is in exactly one of three states: queued (in the PQ),
+  // parked (skipped as part of a multi-arc pair, waiting for a
+  // cancellation that touches one of its endpoints), or out.
+  struct Entry {
+    float pers;
+    ArcId arc;
+    bool operator>(const Entry& o) const {
+      return pers != o.pers ? pers > o.pers : arc > o.arc;
+    }
+  };
+  enum : std::uint8_t { kOut = 0, kQueued = 1, kParked = 2 };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
+  std::vector<std::uint8_t> flag(complex.arcs().size(), kOut);
+  // Arc multiplicity between two nodes only changes when a
+  // cancellation adds or removes arcs at one of them, so parked arcs
+  // are indexed by both endpoints and re-queued only when a
+  // cancellation touches that node (re-queueing after *every*
+  // cancellation is quadratic in dense multi-arc webs).
+  std::unordered_map<NodeId, std::vector<ArcId>> parked;
+
+  std::int64_t done = 0;
+  const auto push = [&](ArcId id) {
+    const Arc& ar = complex.arc(id);
+    if (!ar.alive) return;
+    const float pers = complex.persistence(id);
+    if (pers > opts.persistence_threshold) return;
+    if (flag.size() <= static_cast<std::size_t>(id))
+      flag.resize(static_cast<std::size_t>(id) + 1, kOut);
+    flag[static_cast<std::size_t>(id)] = kQueued;
+    pq.push({pers, id});
+  };
+
+  // A pair of nodes is cancellable only when connected by exactly
+  // one arc; count with an early exit at two.
+  const auto multiplicityAtMost2 = [&](NodeId a, NodeId b) {
+    const NodeId probe = complex.node(a).n_arcs <= complex.node(b).n_arcs ? a : b;
+    const NodeId other = probe == a ? b : a;
+    int count = 0;
+    complex.forEachArc(probe, [&](ArcId id) {
+      const Arc& x = complex.arc(id);
+      if (x.lower == other || x.upper == other) ++count;
+      return count < 2;
+    });
+    return count;
+  };
+
+  for (ArcId id = 0; id < static_cast<ArcId>(complex.arcs().size()); ++id) push(id);
+
+  while (!pq.empty()) {
+    if (opts.max_cancellations > 0 && done >= opts.max_cancellations) break;
+    const Entry e = pq.top();
+    pq.pop();
+    if (flag[static_cast<std::size_t>(e.arc)] != kQueued) continue;
+    flag[static_cast<std::size_t>(e.arc)] = kOut;
+    const Arc& ar = complex.arc(e.arc);
+    if (!ar.alive) continue;
+    const Node& lo = complex.node(ar.lower);
+    const Node& up = complex.node(ar.upper);
+    if (lo.boundary || up.boundary) {
+      if (stats) ++stats->skipped_boundary;
+      continue;  // boundary status only changes at merge time
+    }
+    const auto park = [&] {
+      flag[static_cast<std::size_t>(e.arc)] = kParked;
+      parked[ar.lower].push_back(e.arc);
+      parked[ar.upper].push_back(e.arc);
+    };
+    if (multiplicityAtMost2(ar.lower, ar.upper) != 1) {
+      if (stats) ++stats->skipped_multi_arc;
+      park();
+      continue;
+    }
+    if (opts.max_new_arcs_per_cancellation > 0) {
+      // Degree guard (ref [11]): defer cancellations whose
+      // reconnection would blow up the arc count.
+      std::int64_t deg_up_p = 0, deg_down_q = 0;
+      complex.forEachArc(ar.lower, [&](ArcId id) {
+        if (complex.arc(id).lower == ar.lower) ++deg_up_p;
+        return true;
+      });
+      complex.forEachArc(ar.upper, [&](ArcId id) {
+        if (complex.arc(id).upper == ar.upper) ++deg_down_q;
+        return true;
+      });
+      if ((deg_up_p - 1) * (deg_down_q - 1) > opts.max_new_arcs_per_cancellation) {
+        if (stats) ++stats->skipped_degree;
+        park();
+        continue;
+      }
+    }
+    // Nodes whose arc sets the cancellation will change: the two
+    // dying endpoints' neighbours. Their parked arcs get another try.
+    std::vector<NodeId> affected;
+    for (const NodeId end : {ar.lower, ar.upper}) {
+      complex.forEachArc(end, [&](ArcId id) {
+        const Arc& x = complex.arc(id);
+        affected.push_back(x.lower == end ? x.upper : x.lower);
+        return true;
+      });
+    }
+    const ArcId firstNew = static_cast<ArcId>(complex.arcs().size());
+    cancelArc(complex, e.arc, stats);
+    ++done;
+    for (ArcId id = firstNew; id < static_cast<ArcId>(complex.arcs().size()); ++id)
+      push(id);
+    for (const NodeId n : affected) {
+      const auto it = parked.find(n);
+      if (it == parked.end()) continue;
+      for (const ArcId id : it->second) {
+        if (flag[static_cast<std::size_t>(id)] != kParked) continue;
+        if (!complex.arc(id).alive) {
+          flag[static_cast<std::size_t>(id)] = kOut;
+          continue;
+        }
+        flag[static_cast<std::size_t>(id)] = kQueued;
+        pq.push({complex.persistence(id), id});
+      }
+      parked.erase(it);
+    }
+  }
+  return done;
+}
+
+}  // namespace msc

@@ -1,0 +1,54 @@
+/// \file simplify.hpp
+/// Persistence-based simplification of the 1-skeleton (sections
+/// III-C and IV-E).
+///
+/// Arcs are cancelled in order of persistence, each cancellation
+/// removing the pair of endpoint nodes and all their arcs and
+/// reconnecting the neighbourhood with new arcs whose geometry
+/// references the merged geometry objects. Arcs with an endpoint on
+/// the unresolved block boundary are never cancelled ("we do not
+/// consider for cancellation any arc having boundary nodes").
+#pragma once
+
+#include "core/complex.hpp"
+
+namespace msc {
+
+struct SimplifyOptions {
+  /// Cancel only arcs with persistence <= threshold.
+  float persistence_threshold = 0;
+  /// Maximum cancellations to perform; 0 means unlimited.
+  std::int64_t max_cancellations = 0;
+  /// A cancellation of (p, q) creates (deg_up(p)-1) * (deg_down(q)-1)
+  /// new arcs; on regular lattices repeated cancellation aggregates
+  /// degree into hubs and the arc count explodes quadratically.
+  /// Following the practical guidance of ref [11], cancellations that
+  /// would create more than this many arcs are deferred (they are
+  /// retried when a neighbouring cancellation changes the degrees).
+  /// 0 means unlimited.
+  std::int64_t max_new_arcs_per_cancellation = 64;
+};
+
+struct SimplifyStats {
+  std::int64_t cancellations{0};
+  std::int64_t arcs_removed{0};
+  std::int64_t arcs_created{0};
+  std::int64_t skipped_multi_arc{0};
+  std::int64_t skipped_boundary{0};
+  std::int64_t skipped_degree{0};  ///< deferred by max_new_arcs_per_cancellation
+};
+
+/// Simplify in place. Returns the number of cancellations performed.
+std::int64_t simplify(MsComplex& complex, const SimplifyOptions& opts,
+                      SimplifyStats* stats = nullptr);
+
+/// Perform one cancellation of arc `a` (must be valid: endpoints
+/// interior and connected by exactly this single arc). Exposed for
+/// tests and fine-grained drivers.
+void cancelArc(MsComplex& complex, ArcId a, SimplifyStats* stats = nullptr);
+
+/// True if the arc may be cancelled: both endpoints alive, interior
+/// (not boundary), and connected by exactly one arc.
+bool isCancellable(const MsComplex& complex, ArcId a);
+
+}  // namespace msc

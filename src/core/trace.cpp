@@ -1,0 +1,157 @@
+#include "core/trace.hpp"
+
+namespace msc {
+
+namespace {
+
+/// Iterative depth-first enumeration of the descending V-paths from
+/// one critical cell. The shared `path` vector holds the current
+/// path's local refined coordinates; each emitted arc copies it into
+/// a geometry object (translated to global addresses).
+class PathEnumerator {
+ public:
+  PathEnumerator(const GradientField& grad, MsComplex& out,
+                 const std::unordered_map<CellAddr, NodeId>& nodeOf,
+                 const TraceOptions& opts, TraceStats* stats)
+      : grad_(grad), blk_(grad.block()), out_(out), nodeOf_(nodeOf), opts_(opts),
+        stats_(stats) {}
+
+  void run(Vec3i crit) {
+    paths_emitted_ = 0;
+    truncated_ = false;
+    path_.clear();
+    path_.push_back(crit);
+    const NodeId from = nodeOf_.at(blk_.globalAddr(crit));
+    std::array<Vec3i, 6> fs;
+    const int nf = facets(crit, blk_.rdims(), fs);
+    for (int i = 0; i < nf; ++i) descend(fs[i], from);
+    if (truncated_ && stats_) ++stats_->truncated_cells;
+  }
+
+ private:
+  // Explicit DFS frame: a head cell whose remaining facets are still
+  // to be explored.
+  struct Frame {
+    Vec3i head;
+    Vec3i entered_from;  // the facet we arrived through (excluded)
+    int next_facet{0};
+    std::size_t base_len{0};  // path_ length to restore once exhausted
+  };
+
+  void descend(Vec3i start, NodeId from) {
+    // Walk one (d-1)-cell: either it ends the path (critical), dies
+    // (paired downward / paired into the cell we came from is
+    // impossible), or crosses into its paired d-cell and branches.
+    stack_.clear();
+    walk(start, from);
+    while (!stack_.empty()) {
+      Frame& f = stack_.back();
+      const Vec3i head = f.head;
+      std::array<Vec3i, 6> fs;
+      const int nf = facets(head, blk_.rdims(), fs);
+      bool advanced = false;
+      while (f.next_facet < nf) {
+        const Vec3i cand = fs[f.next_facet++];
+        if (cand == f.entered_from) continue;
+        walk(cand, from);
+        advanced = true;
+        break;
+      }
+      if (!advanced) {
+        path_.resize(stack_.back().base_len);
+        stack_.pop_back();
+      }
+    }
+  }
+
+  /// Process arrival at (d-1)-cell `a`: emit an arc, dead-end, or
+  /// push the frame for its paired head.
+  void walk(Vec3i a, NodeId from) {
+    if (capped()) return;
+    const std::size_t base = path_.size();
+    path_.push_back(a);
+    const std::uint8_t s = grad_.stateAt(a);
+    if (s == kCritical) {
+      emit(from, a);
+      path_.pop_back();
+      return;
+    }
+    if (grad_.isTail(a)) {
+      const Vec3i head = grad_.partner(a);
+      path_.push_back(head);
+      stack_.push_back({head, a, 0, base});
+      return;  // frame unwinding restores the path to base
+    }
+    path_.pop_back();  // paired downward: flow leaves this layer
+  }
+
+  void emit(NodeId from, Vec3i to) {
+    ++paths_emitted_;
+    Geom g;
+    g.cells.reserve(path_.size());
+    for (const Vec3i& rc : path_) g.cells.push_back(blk_.globalAddr(rc));
+    const GeomId gid = out_.addGeom(std::move(g));
+    out_.addArc(nodeOf_.at(blk_.globalAddr(to)), from, gid);
+    if (stats_) {
+      ++stats_->arcs;
+      stats_->geometry_cells += static_cast<std::int64_t>(path_.size());
+    }
+  }
+
+  bool capped() {
+    if (opts_.max_paths_per_cell > 0 && paths_emitted_ >= opts_.max_paths_per_cell) {
+      truncated_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  const GradientField& grad_;
+  const Block& blk_;
+  MsComplex& out_;
+  const std::unordered_map<CellAddr, NodeId>& nodeOf_;
+  const TraceOptions& opts_;
+  TraceStats* stats_;
+  std::vector<Vec3i> path_;
+  std::vector<Frame> stack_;
+  std::int64_t paths_emitted_{0};
+  bool truncated_{false};
+};
+
+}  // namespace
+
+MsComplex traceComplex(const GradientField& grad, const BlockField& field,
+                       const TraceOptions& opts, TraceStats* stats) {
+  const Block& blk = grad.block();
+  MsComplex out(blk.domain, Region(blk.refinedBox()));
+
+  // First pass: all critical cells become nodes (IV-D).
+  std::unordered_map<CellAddr, NodeId> nodeOf;
+  std::vector<Vec3i> criticals;
+  const Vec3i r = blk.rdims();
+  for (std::int64_t z = 0; z < r.z; ++z) {
+    for (std::int64_t y = 0; y < r.y; ++y) {
+      for (std::int64_t x = 0; x < r.x; ++x) {
+        const Vec3i rc{x, y, z};
+        if (!grad.isCritical(rc)) continue;
+        const CellAddr addr = blk.globalAddr(rc);
+        const NodeId id = out.addNode(addr, static_cast<std::uint8_t>(Domain::cellDim(rc)),
+                                      field.cellValue(rc));
+        nodeOf.emplace(addr, id);
+        criticals.push_back(rc);
+        if (stats) ++stats->nodes;
+      }
+    }
+  }
+
+  // Second pass: descending V-paths from every critical cell of
+  // dimension >= 1.
+  PathEnumerator en(grad, out, nodeOf, opts, stats);
+  for (const Vec3i& rc : criticals)
+    if (Domain::cellDim(rc) >= 1) en.run(rc);
+
+  out.recomputeBoundary();
+  return out;
+}
+
+}  // namespace msc

@@ -1,0 +1,36 @@
+/// \file trace.hpp
+/// MS complex computation by tracing V-paths (section IV-D).
+///
+/// Critical cells become nodes; V-paths traced downward from each
+/// critical d-cell (d >= 1) to critical (d-1)-cells become arcs, one
+/// arc per distinct path, carrying the path's cell addresses as its
+/// geometric embedding. The boundary gradient restriction guarantees
+/// paths terminate inside the block.
+#pragma once
+
+#include "core/complex.hpp"
+#include "core/gradient.hpp"
+
+namespace msc {
+
+struct TraceOptions {
+  /// Safety valve against pathological path explosion: maximum number
+  /// of descending paths enumerated from one critical cell. 0 means
+  /// unlimited. Truncations are counted in TraceStats.
+  std::int64_t max_paths_per_cell = 0;
+};
+
+struct TraceStats {
+  std::int64_t nodes{0};
+  std::int64_t arcs{0};
+  std::int64_t geometry_cells{0};  ///< total embedded path length
+  std::int64_t truncated_cells{0};  ///< critical cells whose enumeration hit the cap
+};
+
+/// Build the 1-skeleton of the MS complex of one block from its
+/// discrete gradient field. `field` supplies node values (the block's
+/// scalar samples the gradient was computed from).
+MsComplex traceComplex(const GradientField& grad, const BlockField& field,
+                       const TraceOptions& opts = {}, TraceStats* stats = nullptr);
+
+}  // namespace msc

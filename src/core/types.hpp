@@ -1,0 +1,62 @@
+/// \file types.hpp
+/// Small value types shared across the library: 3D integer vectors,
+/// inclusive integer boxes, and common index aliases.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+
+namespace msc {
+
+/// Linear index of a cell in a (refined) grid; also used as the
+/// paper's global "address" of a cell (section IV-F1).
+using CellAddr = std::uint64_t;
+
+/// Index of a cell within a block's local refined grid.
+using LocalCell = std::uint64_t;
+
+/// Sentinel for "no cell".
+inline constexpr CellAddr kNoCell = ~CellAddr{0};
+
+/// A 3-component integer vector (grid coordinates, dimensions).
+struct Vec3i {
+  std::int64_t x{0}, y{0}, z{0};
+
+  constexpr std::int64_t& operator[](int a) { return a == 0 ? x : (a == 1 ? y : z); }
+  constexpr std::int64_t operator[](int a) const { return a == 0 ? x : (a == 1 ? y : z); }
+
+  friend constexpr Vec3i operator+(Vec3i a, Vec3i b) { return {a.x + b.x, a.y + b.y, a.z + b.z}; }
+  friend constexpr Vec3i operator-(Vec3i a, Vec3i b) { return {a.x - b.x, a.y - b.y, a.z - b.z}; }
+  friend constexpr Vec3i operator*(Vec3i a, std::int64_t s) { return {a.x * s, a.y * s, a.z * s}; }
+  friend constexpr bool operator==(Vec3i a, Vec3i b) = default;
+
+  /// Product of components (e.g. number of grid points).
+  constexpr std::int64_t volume() const { return x * y * z; }
+
+  friend std::ostream& operator<<(std::ostream& os, Vec3i v) {
+    return os << "(" << v.x << "," << v.y << "," << v.z << ")";
+  }
+};
+
+/// An axis-aligned box with *inclusive* integer bounds.
+struct Box3 {
+  Vec3i lo, hi;
+
+  constexpr bool contains(Vec3i p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y && p.z >= lo.z && p.z <= hi.z;
+  }
+  constexpr Vec3i extent() const { return {hi.x - lo.x + 1, hi.y - lo.y + 1, hi.z - lo.z + 1}; }
+  constexpr std::int64_t volume() const { return extent().volume(); }
+  friend constexpr bool operator==(Box3 a, Box3 b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const Box3& b) {
+    return os << "[" << b.lo << ".." << b.hi << "]";
+  }
+};
+
+/// Bitmask of axes (bit a set = axis a), used for the shared-face
+/// signature that drives the boundary gradient restriction (IV-C).
+using AxisMask = std::uint8_t;
+
+}  // namespace msc

@@ -1,0 +1,66 @@
+#include "decomp/decompose.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace msc {
+
+namespace {
+
+/// Recursive bisection over a vertex range [off, off+dims) per axis.
+/// Children share the split plane's vertex layer.
+void bisect(const Domain& domain, Vec3i off, Vec3i dims, int nblocks,
+            std::vector<Block>& out) {
+  if (nblocks == 1) {
+    Block b;
+    b.id = static_cast<int>(out.size());
+    b.domain = domain;
+    b.vdims = dims;
+    b.voffset = off;
+    for (int a = 0; a < 3; ++a) {
+      b.shared_lo[a] = off[a] > 0;
+      b.shared_hi[a] = off[a] + dims[a] < domain.vdims[a];
+    }
+    out.push_back(b);
+    return;
+  }
+  // Longest remaining dimension; ties broken toward x for determinism.
+  int axis = 0;
+  for (int a = 1; a < 3; ++a)
+    if (dims[a] > dims[axis]) axis = a;
+  if (dims[axis] < 3)
+    throw std::invalid_argument("decompose: block too small to bisect (needs >= 3 vertices)");
+
+  // Split the vertex range at the plane proportional to the child
+  // block counts (exactly half for power-of-two totals); both halves
+  // keep the split plane (one shared layer).
+  const int nleft_w = nblocks / 2;
+  std::int64_t h = dims[axis] * nleft_w / nblocks;
+  h = std::max<std::int64_t>(1, std::min<std::int64_t>(h, dims[axis] - 2));
+  Vec3i ldims = dims, rdims = dims, roff = off;
+  ldims[axis] = h + 1;
+  rdims[axis] = dims[axis] - h;
+  roff[axis] = off[axis] + h;
+
+  bisect(domain, off, ldims, nleft_w, out);
+  bisect(domain, roff, rdims, nblocks - nleft_w, out);
+}
+
+}  // namespace
+
+std::vector<Block> decompose(const Domain& domain, int nblocks) {
+  if (nblocks < 1) throw std::invalid_argument("decompose: nblocks must be >= 1");
+  std::vector<Block> out;
+  out.reserve(static_cast<std::size_t>(nblocks));
+  bisect(domain, {0, 0, 0}, domain.vdims, nblocks, out);
+  return out;
+}
+
+std::vector<std::vector<int>> assignBlocks(int nblocks, int nranks) {
+  std::vector<std::vector<int>> byRank(static_cast<std::size_t>(nranks));
+  for (int b = 0; b < nblocks; ++b)
+    byRank[static_cast<std::size_t>(b % nranks)].push_back(b);
+  return byRank;
+}
+
+}  // namespace msc

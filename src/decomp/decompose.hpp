@@ -1,0 +1,26 @@
+/// \file decompose.hpp
+/// Domain decomposition (section IV-A): a bisection algorithm that
+/// iteratively divides the longest remaining data dimension in half
+/// until the desired number of blocks is reached. Neighbouring blocks
+/// share one layer of vertex values. Blocks are numbered in
+/// bisection-tree leaf order, so that any aligned group of 2^k
+/// consecutive block ids covers a contiguous box — the property the
+/// radix merge rounds rely on for exact boundary resolution.
+#pragma once
+
+#include <vector>
+
+#include "core/grid.hpp"
+
+namespace msc {
+
+/// Split the domain into `nblocks` blocks. `nblocks` must be >= 1;
+/// powers of two reproduce the paper's setup exactly, other counts
+/// use an uneven bisection (floor/ceil split of the block count).
+std::vector<Block> decompose(const Domain& domain, int nblocks);
+
+/// Round-robin (block-cyclic) assignment of blocks to ranks
+/// (section IV-A). Returns, for each rank, the list of block ids.
+std::vector<std::vector<int>> assignBlocks(int nblocks, int nranks);
+
+}  // namespace msc

@@ -1,0 +1,206 @@
+#include "io/complex_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+#include "par/comm.hpp"
+
+namespace msc::io {
+
+namespace {
+
+constexpr std::uint32_t kFileMagic = 0x4653534Du;  // "MSSF"
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+File openOrThrow(const std::string& path, const char* mode) {
+  File f(std::fopen(path.c_str(), mode));
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return f;
+}
+
+void writeOrThrow(std::FILE* f, const void* p, std::size_t n) {
+  if (n && std::fwrite(p, 1, n, f) != n) throw std::runtime_error("short write");
+}
+
+void readOrThrow(std::FILE* f, void* p, std::size_t n) {
+  if (n && std::fread(p, 1, n, f) != n) throw std::runtime_error("short read");
+}
+
+}  // namespace
+
+void writeComplexFile(const std::string& path, const std::vector<Bytes>& blocks) {
+  File f = openOrThrow(path, "wb");
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> index;
+  index.reserve(blocks.size());
+  std::uint64_t offset = 0;
+  for (const Bytes& b : blocks) {
+    writeOrThrow(f.get(), b.data(), b.size());
+    index.emplace_back(offset, b.size());
+    offset += b.size();
+  }
+  for (const auto& [off, size] : index) {
+    writeOrThrow(f.get(), &off, sizeof(off));
+    writeOrThrow(f.get(), &size, sizeof(size));
+  }
+  const std::uint64_t n = blocks.size();
+  writeOrThrow(f.get(), &n, sizeof(n));
+  writeOrThrow(f.get(), &kFileMagic, sizeof(kFileMagic));
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> readComplexFileIndex(
+    const std::string& path) {
+  File f = openOrThrow(path, "rb");
+  if (std::fseek(f.get(), -(long)(sizeof(std::uint64_t) + sizeof(std::uint32_t)), SEEK_END))
+    throw std::runtime_error("seek failed: " + path);
+  std::uint64_t n = 0;
+  std::uint32_t magic = 0;
+  readOrThrow(f.get(), &n, sizeof(n));
+  readOrThrow(f.get(), &magic, sizeof(magic));
+  if (magic != kFileMagic) throw std::runtime_error("bad complex file magic: " + path);
+
+  const long footer = -(long)(sizeof(std::uint64_t) + sizeof(std::uint32_t) +
+                              n * 2 * sizeof(std::uint64_t));
+  if (std::fseek(f.get(), footer, SEEK_END)) throw std::runtime_error("seek failed");
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> index(n);
+  for (auto& [off, size] : index) {
+    readOrThrow(f.get(), &off, sizeof(off));
+    readOrThrow(f.get(), &size, sizeof(size));
+  }
+  return index;
+}
+
+std::vector<Bytes> readComplexFile(const std::string& path) {
+  const auto index = readComplexFileIndex(path);
+  File f = openOrThrow(path, "rb");
+  std::vector<Bytes> out;
+  out.reserve(index.size());
+  for (const auto& [off, size] : index) {
+    if (std::fseek(f.get(), static_cast<long>(off), SEEK_SET))
+      throw std::runtime_error("seek failed");
+    Bytes b(size);
+    readOrThrow(f.get(), b.data(), b.size());
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+
+namespace {
+
+constexpr int kTagSizes = 900;
+
+void pwriteOrThrow(int fd, const void* p, std::size_t n, std::uint64_t offset) {
+  const auto* b = static_cast<const char*>(p);
+  while (n > 0) {
+    const ssize_t w = ::pwrite(fd, b, n, static_cast<off_t>(offset));
+    if (w < 0) throw std::runtime_error("pwrite failed");
+    b += w;
+    n -= static_cast<std::size_t>(w);
+    offset += static_cast<std::uint64_t>(w);
+  }
+}
+
+}  // namespace
+
+void parallelWriteComplexFile(par::Comm& comm, const std::string& path, int total_slots,
+                              const std::vector<WriteContribution>& mine) {
+  // Phase 1: rank 0 gathers (slot, size) pairs and computes offsets.
+  {
+    std::vector<std::byte> sizes(mine.size() * (sizeof(std::int32_t) + sizeof(std::uint64_t)));
+    std::size_t o = 0;
+    for (const WriteContribution& c : mine) {
+      const auto slot = static_cast<std::int32_t>(c.slot);
+      const auto size = static_cast<std::uint64_t>(c.bytes.size());
+      std::memcpy(sizes.data() + o, &slot, sizeof(slot));
+      std::memcpy(sizes.data() + o + sizeof(slot), &size, sizeof(size));
+      o += sizeof(slot) + sizeof(size);
+    }
+    comm.send(0, kTagSizes, std::move(sizes));
+  }
+  std::vector<std::uint64_t> slot_sizes;
+  if (comm.rank() == 0) {
+    slot_sizes.assign(static_cast<std::size_t>(total_slots), ~std::uint64_t{0});
+    for (int r = 0; r < comm.size(); ++r) {
+      const par::Bytes b = comm.recv(par::kAny, kTagSizes);
+      for (std::size_t o = 0; o + sizeof(std::int32_t) + sizeof(std::uint64_t) <= b.size();
+           o += sizeof(std::int32_t) + sizeof(std::uint64_t)) {
+        std::int32_t slot = 0;
+        std::uint64_t size = 0;
+        std::memcpy(&slot, b.data() + o, sizeof(slot));
+        std::memcpy(&size, b.data() + o + sizeof(slot), sizeof(size));
+        if (slot < 0 || slot >= total_slots ||
+            slot_sizes[static_cast<std::size_t>(slot)] != ~std::uint64_t{0})
+          throw std::runtime_error("parallelWriteComplexFile: bad or duplicate slot");
+        slot_sizes[static_cast<std::size_t>(slot)] = size;
+      }
+    }
+    for (const std::uint64_t s : slot_sizes)
+      if (s == ~std::uint64_t{0})
+        throw std::runtime_error("parallelWriteComplexFile: missing slot");
+    // Create/truncate the file before anyone writes into it.
+    File f = openOrThrow(path, "wb");
+  }
+
+  // Phase 2: broadcast per-slot offsets.
+  {
+    par::Bytes offsets;
+    if (comm.rank() == 0) {
+      offsets.resize(static_cast<std::size_t>(total_slots) * sizeof(std::uint64_t));
+      std::uint64_t off = 0;
+      for (int i = 0; i < total_slots; ++i) {
+        std::memcpy(offsets.data() + static_cast<std::size_t>(i) * sizeof(std::uint64_t),
+                    &off, sizeof(off));
+        off += slot_sizes[static_cast<std::size_t>(i)];
+      }
+    }
+    offsets = comm.broadcast(0, std::move(offsets));
+
+    // Phase 3: every rank writes its payloads at its offsets.
+    const int fd = ::open(path.c_str(), O_WRONLY);
+    if (fd < 0) throw std::runtime_error("cannot open for parallel write: " + path);
+    for (const WriteContribution& c : mine) {
+      std::uint64_t off = 0;
+      std::memcpy(&off,
+                  offsets.data() + static_cast<std::size_t>(c.slot) * sizeof(std::uint64_t),
+                  sizeof(off));
+      pwriteOrThrow(fd, c.bytes.data(), c.bytes.size(), off);
+    }
+    ::close(fd);
+  }
+
+  // Phase 4: rank 0 appends the footer once all data is in place.
+  comm.barrier();
+  if (comm.rank() == 0) {
+    const int fd = ::open(path.c_str(), O_WRONLY);
+    if (fd < 0) throw std::runtime_error("cannot open for footer: " + path);
+    std::uint64_t off = 0;
+    std::uint64_t pos = 0;
+    for (const std::uint64_t s : slot_sizes) pos += s;
+    for (const std::uint64_t s : slot_sizes) {
+      pwriteOrThrow(fd, &off, sizeof(off), pos);
+      pos += sizeof(off);
+      pwriteOrThrow(fd, &s, sizeof(s), pos);
+      pos += sizeof(s);
+      off += s;
+    }
+    const std::uint64_t n = slot_sizes.size();
+    pwriteOrThrow(fd, &n, sizeof(n), pos);
+    pos += sizeof(n);
+    pwriteOrThrow(fd, &kFileMagic, sizeof(kFileMagic), pos);
+    ::close(fd);
+  }
+  comm.barrier();
+}
+
+}  // namespace msc::io

@@ -1,0 +1,54 @@
+/// \file complex_file.hpp
+/// The output container of section IV-G: "a binary collection of all
+/// of the output blocks, followed by a footer that provides an index
+/// to the MS complexes contained in the file."
+///
+/// Layout:
+///   [block 0 bytes][block 1 bytes]...[block N-1 bytes]
+///   footer: N x { u64 offset, u64 size }, u64 N, u32 magic
+/// The footer is written last so writers can stream blocks without
+/// knowing their sizes in advance; readers locate it from the end.
+#pragma once
+
+#include <string>
+
+#include "io/pack.hpp"
+
+namespace msc::io {
+
+/// Write packed complexes to `path`. Ranks with no output contribute
+/// an empty element ("null write"), mirroring the paper's collective.
+void writeComplexFile(const std::string& path, const std::vector<Bytes>& blocks);
+
+/// Read back every block's bytes.
+std::vector<Bytes> readComplexFile(const std::string& path);
+
+/// Read only the footer: per-block (offset, size) index.
+std::vector<std::pair<std::uint64_t, std::uint64_t>> readComplexFileIndex(
+    const std::string& path);
+
+/// One rank's contribution to a collective write.
+struct WriteContribution {
+  int slot;     ///< global block position in the file (0-based)
+  Bytes bytes;  ///< payload (may be empty: the "null write")
+};
+
+}  // namespace msc::io
+
+namespace msc::par {
+class Comm;
+}
+
+namespace msc::io {
+
+/// Collectively write the output container from all ranks (the
+/// paper's future-work "improve output I/O"): sizes are gathered and
+/// offsets broadcast, then every rank writes its blocks at its own
+/// offsets concurrently with positioned writes; rank 0 appends the
+/// footer. `total_slots` must match across ranks; every global slot
+/// must be contributed by exactly one rank. Ranks without blocks
+/// participate with no contributions.
+void parallelWriteComplexFile(par::Comm& comm, const std::string& path, int total_slots,
+                              const std::vector<WriteContribution>& mine);
+
+}  // namespace msc::io

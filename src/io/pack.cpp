@@ -1,0 +1,99 @@
+#include "io/pack.hpp"
+
+#include <cstring>
+
+namespace msc::io {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4243534Du;  // "MSCB"
+}
+
+Bytes pack(const MsComplex& c) {
+  Bytes out;
+  out.reserve(packedSize(c));
+  Writer w(out);
+  w.put(kMagic);
+  w.put(c.domain().vdims);
+
+  const auto& boxes = c.region().boxes();
+  w.put(static_cast<std::uint32_t>(boxes.size()));
+  for (const Box3& b : boxes) w.put(b);
+
+  // Live nodes with remapped contiguous ids.
+  std::vector<NodeId> map(c.nodes().size(), kNone);
+  std::uint32_t nlive = 0;
+  for (std::size_t i = 0; i < c.nodes().size(); ++i)
+    if (c.nodes()[i].alive) map[i] = static_cast<NodeId>(nlive++);
+  w.put(nlive);
+  for (const Node& nd : c.nodes()) {
+    if (!nd.alive) continue;
+    w.put(nd.addr);
+    w.put(nd.value);
+    w.put(nd.index);
+  }
+
+  w.put(static_cast<std::uint32_t>(c.liveArcCount()));
+  for (std::size_t i = 0; i < c.arcs().size(); ++i) {
+    const Arc& ar = c.arcs()[i];
+    if (!ar.alive) continue;
+    w.put(static_cast<std::uint32_t>(map[static_cast<std::size_t>(ar.lower)]));
+    w.put(static_cast<std::uint32_t>(map[static_cast<std::size_t>(ar.upper)]));
+    const std::vector<CellAddr> cells =
+        ar.geom == kNone ? std::vector<CellAddr>{} : c.flattenGeom(ar.geom);
+    w.put(static_cast<std::uint32_t>(cells.size()));
+    w.putBytes(cells.data(), cells.size() * sizeof(CellAddr));
+  }
+  return out;
+}
+
+MsComplex unpack(const Bytes& bytes) {
+  Reader r(bytes);
+  const std::uint32_t magic = r.get<std::uint32_t>();
+  if (magic != kMagic) throw std::runtime_error("unpack: bad magic");
+  Domain domain{r.get<Vec3i>()};
+
+  Region region;
+  const std::uint32_t nboxes = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < nboxes; ++i) region.add(r.get<Box3>());
+
+  MsComplex c(domain, std::move(region));
+  const std::uint32_t nnodes = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < nnodes; ++i) {
+    const CellAddr addr = r.get<CellAddr>();
+    const float value = r.get<float>();
+    const std::uint8_t index = r.get<std::uint8_t>();
+    c.addNode(addr, index, value);
+  }
+
+  const std::uint32_t narcs = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < narcs; ++i) {
+    const auto lower = static_cast<NodeId>(r.get<std::uint32_t>());
+    const auto upper = static_cast<NodeId>(r.get<std::uint32_t>());
+    Geom g;
+    g.cells.resize(r.get<std::uint32_t>());
+    r.getBytes(g.cells.data(), g.cells.size() * sizeof(CellAddr));
+    const GeomId gid = c.addGeom(std::move(g));
+    c.addArc(lower, upper, gid);
+  }
+  c.recomputeBoundary();
+  return c;
+}
+
+std::size_t packedSize(const MsComplex& c) {
+  std::size_t s = sizeof(std::uint32_t) + sizeof(Vec3i);
+  s += sizeof(std::uint32_t) + c.region().boxes().size() * sizeof(Box3);
+  s += sizeof(std::uint32_t);
+  for (const Node& nd : c.nodes())
+    if (nd.alive) s += sizeof(CellAddr) + sizeof(float) + sizeof(std::uint8_t);
+  s += sizeof(std::uint32_t);
+  for (std::size_t i = 0; i < c.arcs().size(); ++i) {
+    const Arc& ar = c.arcs()[i];
+    if (!ar.alive) continue;
+    s += 3 * sizeof(std::uint32_t);
+    // Flattened geometry length: walk the DAG counting leaf cells.
+    if (ar.geom != kNone) s += c.flattenGeom(ar.geom).size() * sizeof(CellAddr);
+  }
+  return s;
+}
+
+}  // namespace msc::io

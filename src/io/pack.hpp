@@ -1,0 +1,72 @@
+/// \file pack.hpp
+/// Serialization of MS complexes for communication and storage
+/// (sections IV-F1/IV-G). Only living elements are encoded; geometry
+/// is flattened to plain global-address paths. The byte counts
+/// reported here also feed the network/I/O cost models.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+#include "core/complex.hpp"
+
+namespace msc::io {
+
+using Bytes = std::vector<std::byte>;
+
+/// Serialize the living part of a complex.
+Bytes pack(const MsComplex& complex);
+
+/// Reconstruct a complex from pack() output. Boundary flags are
+/// recomputed from the encoded region; the hierarchy starts empty
+/// (packing happens after per-block cleanup, IV-F1).
+MsComplex unpack(const Bytes& bytes);
+
+/// Size in bytes that pack() would produce, without producing it.
+std::size_t packedSize(const MsComplex& complex);
+
+/// Little helpers shared by the file container.
+class Writer {
+ public:
+  explicit Writer(Bytes& out) : out_(out) {}
+  template <class T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::byte*>(&v);
+    out_.insert(out_.end(), p, p + sizeof(T));
+  }
+  void putBytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::byte*>(p);
+    out_.insert(out_.end(), b, b + n);
+  }
+
+ private:
+  Bytes& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const Bytes& in) : in_(in) {}
+  template <class T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    assert(pos_ + sizeof(T) <= in_.size());
+    std::memcpy(&v, in_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  void getBytes(void* p, std::size_t n) {
+    assert(pos_ + n <= in_.size());
+    std::memcpy(p, in_.data() + pos_, n);
+    pos_ += n;
+  }
+  std::size_t remaining() const { return in_.size() - pos_; }
+
+ private:
+  const Bytes& in_;
+  std::size_t pos_{0};
+};
+
+}  // namespace msc::io

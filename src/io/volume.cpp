@@ -1,0 +1,122 @@
+#include "io/volume.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace msc::io {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+File openOrThrow(const std::string& path, const char* mode) {
+  File f(std::fopen(path.c_str(), mode));
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return f;
+}
+
+void convertOut(const float* in, std::size_t n, SampleType t, std::vector<std::byte>& out) {
+  out.resize(n * sampleSize(t));
+  switch (t) {
+    case SampleType::kUint8: {
+      auto* p = reinterpret_cast<std::uint8_t*>(out.data());
+      for (std::size_t i = 0; i < n; ++i) p[i] = static_cast<std::uint8_t>(in[i]);
+      break;
+    }
+    case SampleType::kFloat32:
+      std::memcpy(out.data(), in, n * sizeof(float));
+      break;
+    case SampleType::kFloat64: {
+      auto* p = reinterpret_cast<double*>(out.data());
+      for (std::size_t i = 0; i < n; ++i) p[i] = static_cast<double>(in[i]);
+      break;
+    }
+  }
+}
+
+void convertIn(const std::byte* in, std::size_t n, SampleType t, float* out) {
+  switch (t) {
+    case SampleType::kUint8: {
+      const auto* p = reinterpret_cast<const std::uint8_t*>(in);
+      for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<float>(p[i]);
+      break;
+    }
+    case SampleType::kFloat32:
+      std::memcpy(out, in, n * sizeof(float));
+      break;
+    case SampleType::kFloat64: {
+      const auto* p = reinterpret_cast<const double*>(in);
+      for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<float>(p[i]);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t sampleSize(SampleType t) {
+  switch (t) {
+    case SampleType::kUint8: return 1;
+    case SampleType::kFloat32: return 4;
+    case SampleType::kFloat64: return 8;
+  }
+  return 0;
+}
+
+void writeVolume(const std::string& path, const Domain& domain,
+                 const std::vector<float>& samples, SampleType type) {
+  if (std::ssize(samples) != domain.vdims.volume())
+    throw std::invalid_argument("writeVolume: sample count mismatch");
+  File f = openOrThrow(path, "wb");
+  std::vector<std::byte> buf;
+  convertOut(samples.data(), samples.size(), type, buf);
+  if (std::fwrite(buf.data(), 1, buf.size(), f.get()) != buf.size())
+    throw std::runtime_error("short write: " + path);
+}
+
+BlockField readBlock(const std::string& path, const Block& block, SampleType type) {
+  File f = openOrThrow(path, "rb");
+  const std::size_t ss = sampleSize(type);
+  const Vec3i g = block.domain.vdims;
+  std::vector<float> out(static_cast<std::size_t>(block.numVertices()));
+  std::vector<std::byte> row(static_cast<std::size_t>(block.vdims.x) * ss);
+
+  // One contiguous read per (y,z) row of the sub-extent -- the same
+  // access pattern an MPI subarray file view produces.
+  std::size_t o = 0;
+  for (std::int64_t z = 0; z < block.vdims.z; ++z) {
+    for (std::int64_t y = 0; y < block.vdims.y; ++y) {
+      const std::int64_t gy = y + block.voffset.y, gz = z + block.voffset.z;
+      const std::int64_t start = block.voffset.x + gy * g.x + gz * g.x * g.y;
+      if (std::fseek(f.get(), static_cast<long>(static_cast<std::size_t>(start) * ss),
+                     SEEK_SET))
+        throw std::runtime_error("seek failed: " + path);
+      if (std::fread(row.data(), 1, row.size(), f.get()) != row.size())
+        throw std::runtime_error("short read: " + path);
+      convertIn(row.data(), static_cast<std::size_t>(block.vdims.x), type, out.data() + o);
+      o += static_cast<std::size_t>(block.vdims.x);
+    }
+  }
+  return BlockField(block, std::move(out));
+}
+
+std::vector<float> readVolume(const std::string& path, const Domain& domain,
+                              SampleType type) {
+  File f = openOrThrow(path, "rb");
+  const auto n = static_cast<std::size_t>(domain.vdims.volume());
+  std::vector<std::byte> buf(n * sampleSize(type));
+  if (std::fread(buf.data(), 1, buf.size(), f.get()) != buf.size())
+    throw std::runtime_error("short read: " + path);
+  std::vector<float> out(n);
+  convertIn(buf.data(), n, type, out.data());
+  return out;
+}
+
+}  // namespace msc::io

@@ -1,0 +1,34 @@
+/// \file volume.hpp
+/// Raw volume files and subarray block reads (section IV-B).
+///
+/// The paper reads blocks with MPI-IO subarray types: each process
+/// reads exactly its block's (x,y,z) sub-extent from the row-major
+/// global array. This module implements the same access pattern over
+/// ordinary files, supporting the paper's three sample types:
+/// unsigned byte, single- and double-precision floating point.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/field.hpp"
+
+namespace msc::io {
+
+enum class SampleType { kUint8, kFloat32, kFloat64 };
+
+std::size_t sampleSize(SampleType t);
+
+/// Write a full volume, row-major x-fastest, converting from float.
+void writeVolume(const std::string& path, const Domain& domain,
+                 const std::vector<float>& samples, SampleType type);
+
+/// Read one block's sub-extent (the subarray read): returns the
+/// block's samples as floats regardless of the on-disk type.
+BlockField readBlock(const std::string& path, const Block& block, SampleType type);
+
+/// Read a whole volume as floats.
+std::vector<float> readVolume(const std::string& path, const Domain& domain,
+                              SampleType type);
+
+}  // namespace msc::io

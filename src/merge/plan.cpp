@@ -1,0 +1,66 @@
+#include "merge/plan.hpp"
+
+#include <stdexcept>
+
+namespace msc {
+
+std::vector<MergeGroup> makeRound(int active, int radix) {
+  std::vector<MergeGroup> groups;
+  for (int i = 0; i < active; i += radix) {
+    MergeGroup g;
+    g.root = i;
+    for (int j = i; j < active && j < i + radix; ++j) g.members.push_back(j);
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+MergePlan::MergePlan(std::vector<int> radices) : radices_(std::move(radices)) {
+  for (const int r : radices_)
+    if (r != 2 && r != 4 && r != 8)
+      throw std::invalid_argument("MergePlan: radix must be 2, 4 or 8");
+}
+
+int MergePlan::outputsFor(int nblocks) const {
+  int n = nblocks;
+  for (const int r : radices_) n = (n + r - 1) / r;
+  return n;
+}
+
+std::vector<MergeGroup> MergePlan::round(int r, int survivors_in) const {
+  return makeRound(survivors_in, radices_.at(static_cast<std::size_t>(r)));
+}
+
+std::vector<int> MergePlan::survivorIds(int nblocks, int completed_rounds) const {
+  std::vector<int> ids(static_cast<std::size_t>(nblocks));
+  for (int i = 0; i < nblocks; ++i) ids[static_cast<std::size_t>(i)] = i;
+  for (int r = 0; r < completed_rounds; ++r) {
+    std::vector<int> next;
+    for (const MergeGroup& g : round(r, static_cast<int>(ids.size())))
+      next.push_back(ids[static_cast<std::size_t>(g.root)]);
+    ids = std::move(next);
+  }
+  return ids;
+}
+
+MergePlan MergePlan::fullMerge(int nblocks) {
+  // Number of halvings needed to reach one block.
+  int e = 0;
+  while ((1 << e) < nblocks) ++e;
+  const int rem = e % 3;
+  std::vector<int> radices;
+  if (rem > 0) radices.push_back(1 << rem);  // smaller radices first (VI-C2)
+  for (int i = 0; i < e / 3; ++i) radices.push_back(8);
+  return MergePlan(std::move(radices));
+}
+
+std::string MergePlan::toString() const {
+  std::string s = "[";
+  for (std::size_t i = 0; i < radices_.size(); ++i) {
+    if (i) s += ",";
+    s += std::to_string(radices_[i]);
+  }
+  return s + "]";
+}
+
+}  // namespace msc

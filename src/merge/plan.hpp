@@ -1,0 +1,66 @@
+/// \file plan.hpp
+/// Radix-configurable merge schedule (section IV-F2, after the
+/// Radix-k compositing idea of ref [22]).
+///
+/// A merge plan is a list of rounds, each with a radix in {2, 4, 8}.
+/// In each round, the currently-active complexes are grouped by
+/// consecutive position into groups of `radix` members; the first
+/// member is the group's root, the others send it their complex and
+/// drop out. After all rounds, ceil(B / prod(radices)) complexes
+/// remain. Because blocks are numbered in bisection-tree order,
+/// power-of-two groups of consecutive ids cover contiguous boxes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msc {
+
+/// One merge group within a round.
+struct MergeGroup {
+  int root;                  ///< active-index of the root member
+  std::vector<int> members;  ///< active-indices incl. root (root first)
+};
+
+/// The groups of one round over `active` survivors.
+std::vector<MergeGroup> makeRound(int active, int radix);
+
+/// A full merge plan.
+class MergePlan {
+ public:
+  MergePlan() = default;
+  explicit MergePlan(std::vector<int> radices);
+
+  const std::vector<int>& radices() const { return radices_; }
+  int rounds() const { return static_cast<int>(radices_.size()); }
+
+  /// Number of complexes remaining after all rounds, starting from
+  /// `nblocks`.
+  int outputsFor(int nblocks) const;
+
+  /// The groups of round `r` given the number of survivors entering
+  /// that round. Indices are positions within the survivor list; use
+  /// survivorIds() to map to original block ids.
+  std::vector<MergeGroup> round(int r, int survivors_in) const;
+
+  /// Survivor block ids after `r` completed rounds, starting from
+  /// blocks 0..nblocks-1.
+  std::vector<int> survivorIds(int nblocks, int completed_rounds) const;
+
+  /// Full merge: prefer radix 8 whenever possible, placing smaller
+  /// radices in earlier rounds (the paper's guideline, section
+  /// VI-C2). Produces rounds whose product >= nblocks.
+  static MergePlan fullMerge(int nblocks);
+
+  /// Partial merge: the given radices verbatim (e.g. {8, 8} for the
+  /// Rayleigh-Taylor study).
+  static MergePlan partial(std::vector<int> radices) { return MergePlan(std::move(radices)); }
+
+  std::string toString() const;
+
+ private:
+  std::vector<int> radices_;
+};
+
+}  // namespace msc

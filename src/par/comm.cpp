@@ -1,0 +1,118 @@
+#include "par/comm.hpp"
+
+#include <cassert>
+#include <exception>
+#include <thread>
+
+namespace msc::par {
+
+void Comm::send(int dst, int tag, Bytes payload) const {
+  rt_->send(rank_, dst, tag, std::move(payload));
+}
+
+Bytes Comm::recv(int src, int tag, int* out_src, int* out_tag) const {
+  return rt_->recv(rank_, src, tag, out_src, out_tag);
+}
+
+bool Comm::probe(int src, int tag) const { return rt_->probe(rank_, src, tag); }
+
+void Comm::barrier() const { rt_->barrier(); }
+
+std::vector<Bytes> Comm::gather(int root, Bytes payload) const {
+  std::vector<Bytes> out;
+  if (rank_ == root) {
+    out.resize(static_cast<std::size_t>(size_));
+    out[static_cast<std::size_t>(root)] = std::move(payload);
+    for (int i = 0; i < size_ - 1; ++i) {
+      int src = kAny;
+      Bytes b = recv(kAny, kTagGather, &src, nullptr);
+      out[static_cast<std::size_t>(src)] = std::move(b);
+    }
+  } else {
+    send(root, kTagGather, std::move(payload));
+  }
+  return out;
+}
+
+Bytes Comm::broadcast(int root, Bytes payload) const {
+  if (rank_ == root) {
+    for (int dst = 0; dst < size_; ++dst)
+      if (dst != root) send(dst, kTagBcast, payload);
+    return payload;
+  }
+  return recv(root, kTagBcast);
+}
+
+Runtime::Runtime(int nranks) : boxes_(static_cast<std::size_t>(nranks)), nranks_(nranks) {}
+
+void Runtime::send(int src, int dst, int tag, Bytes payload) {
+  assert(dst >= 0 && dst < nranks_);
+  Mailbox& box = boxes_[static_cast<std::size_t>(dst)];
+  {
+    const std::lock_guard lock(box.mu);
+    box.messages.push_back({src, tag, std::move(payload)});
+  }
+  box.cv.notify_all();
+}
+
+Bytes Runtime::recv(int self, int src, int tag, int* out_src, int* out_tag) {
+  Mailbox& box = boxes_[static_cast<std::size_t>(self)];
+  std::unique_lock lock(box.mu);
+  for (;;) {
+    for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+      if ((src == kAny || it->src == src) && (tag == kAny || it->tag == tag)) {
+        if (out_src) *out_src = it->src;
+        if (out_tag) *out_tag = it->tag;
+        Bytes b = std::move(it->payload);
+        box.messages.erase(it);
+        return b;
+      }
+    }
+    box.cv.wait(lock);
+  }
+}
+
+bool Runtime::probe(int self, int src, int tag) {
+  Mailbox& box = boxes_[static_cast<std::size_t>(self)];
+  const std::lock_guard lock(box.mu);
+  for (const Message& m : box.messages)
+    if ((src == kAny || m.src == src) && (tag == kAny || m.tag == tag)) return true;
+  return false;
+}
+
+void Runtime::barrier() {
+  std::unique_lock lock(barrier_mu_);
+  const std::int64_t gen = barrier_gen_;
+  if (++barrier_count_ == nranks_) {
+    barrier_count_ = 0;
+    ++barrier_gen_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock, [&] { return barrier_gen_ != gen; });
+}
+
+void Runtime::run(int nranks, const std::function<void(Comm&)>& fn) {
+  assert(nranks >= 1);
+  Runtime rt(nranks);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&rt, &fn, r, nranks, &err_mu, &first_error] {
+      Comm comm(rt, r, nranks);
+      try {
+        fn(comm);
+      } catch (...) {
+        const std::lock_guard lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace msc::par

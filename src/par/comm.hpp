@@ -1,0 +1,126 @@
+/// \file comm.hpp
+/// In-process message-passing runtime: the repository's substitute
+/// for the MPI subset the paper uses (point-to-point send/recv,
+/// barrier, gather). Each *rank* is a thread; ranks share nothing by
+/// convention and communicate only through deep-copied byte messages
+/// delivered via per-rank mailboxes, so the code exercises the same
+/// pack -> transmit -> unpack paths as a distributed run.
+///
+/// See DESIGN.md, "Substitutions", for why this preserves the
+/// behaviour the paper's evaluation measures.
+#pragma once
+
+#include <cassert>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace msc::par {
+
+/// Matches any source rank / any tag in recv().
+inline constexpr int kAny = -1;
+
+/// Tags reserved by the collectives; user tags must be >= 0.
+inline constexpr int kTagGather = -1000;
+inline constexpr int kTagBcast = -1001;
+
+using Bytes = std::vector<std::byte>;
+
+class Runtime;
+
+/// A rank's endpoint into the runtime. Valid only inside the
+/// function passed to Runtime::run.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+
+  /// Deliver a message (deep copy) to `dst`'s mailbox. Messages from
+  /// the same (src, tag) are received in send order.
+  void send(int dst, int tag, Bytes payload) const;
+
+  /// Block until a message matching (src, tag) arrives (kAny wildcards
+  /// allowed). Outputs the actual source/tag if requested.
+  Bytes recv(int src, int tag, int* out_src = nullptr, int* out_tag = nullptr) const;
+
+  /// True if a matching message is already queued.
+  bool probe(int src, int tag) const;
+
+  /// Synchronize all ranks.
+  void barrier() const;
+
+  /// Gather every rank's payload at `root` (returned in rank order
+  /// there; empty elsewhere).
+  std::vector<Bytes> gather(int root, Bytes payload) const;
+
+  /// Broadcast `payload` from root to all ranks; every rank returns
+  /// the root's bytes.
+  Bytes broadcast(int root, Bytes payload) const;
+
+  /// Convenience for trivially copyable values.
+  template <class T>
+  void sendValue(int dst, int tag, const T& v) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Bytes b(sizeof(T));
+    std::memcpy(b.data(), &v, sizeof(T));
+    send(dst, tag, std::move(b));
+  }
+  template <class T>
+  T recvValue(int src, int tag) const {
+    const Bytes b = recv(src, tag);
+    T v;
+    assert(b.size() == sizeof(T));
+    std::memcpy(&v, b.data(), sizeof(T));
+    return v;
+  }
+
+ private:
+  friend class Runtime;
+  Comm(Runtime& rt, int rank, int size) : rt_(&rt), rank_(rank), size_(size) {}
+  Runtime* rt_;
+  int rank_;
+  int size_;
+};
+
+/// Owns the mailboxes and threads of one parallel execution.
+class Runtime {
+ public:
+  /// Run `fn(comm)` on `nranks` concurrent ranks; returns when all
+  /// ranks finish. Exceptions thrown by a rank are rethrown here
+  /// (first one wins) after all ranks are joined.
+  static void run(int nranks, const std::function<void(Comm&)>& fn);
+
+ private:
+  friend class Comm;
+
+  struct Message {
+    int src;
+    int tag;
+    Bytes payload;
+  };
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> messages;
+  };
+
+  explicit Runtime(int nranks);
+
+  void send(int src, int dst, int tag, Bytes payload);
+  Bytes recv(int self, int src, int tag, int* out_src, int* out_tag);
+  bool probe(int self, int src, int tag);
+  void barrier();
+
+  std::vector<Mailbox> boxes_;
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_{0};
+  std::int64_t barrier_gen_{0};
+  int nranks_;
+};
+
+}  // namespace msc::par

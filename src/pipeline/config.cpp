@@ -1,0 +1,33 @@
+#include "pipeline/config.hpp"
+
+#include "core/lower_star.hpp"
+#include "core/simplify.hpp"
+
+namespace msc::pipeline {
+
+MsComplex computeBlockComplex(const PipelineConfig& cfg, const Block& block,
+                              TraceStats* tstats, SimplifyStats* sstats) {
+  const BlockField bf = cfg.source.volume_path
+                            ? io::readBlock(*cfg.source.volume_path, block,
+                                            cfg.source.sample_type)
+                            : synth::sample(block, cfg.source.field);
+  return computeBlockComplex(cfg, bf, tstats, sstats);
+}
+
+MsComplex computeBlockComplex(const PipelineConfig& cfg, const BlockField& bf,
+                              TraceStats* tstats, SimplifyStats* sstats) {
+  GradientOptions gopts;
+  gopts.restrict_boundary = true;
+  const GradientField grad = cfg.algorithm == GradientAlgorithm::kSweep
+                                 ? computeGradientSweep(bf, gopts)
+                                 : computeGradientLowerStar(bf, gopts);
+
+  MsComplex c = traceComplex(grad, bf, cfg.trace, tstats);
+  SimplifyOptions sopts;
+  sopts.persistence_threshold = cfg.persistence_threshold;
+  simplify(c, sopts, sstats);
+  c.compact();  // keep only the living elements for communication
+  return c;
+}
+
+}  // namespace msc::pipeline

@@ -1,0 +1,61 @@
+/// \file config.hpp
+/// Shared configuration of the end-to-end pipeline drivers
+/// (Algorithm 1): domain, data source, decomposition, simplification
+/// threshold, gradient algorithm, and merge plan.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/simplify.hpp"
+#include "core/trace.hpp"
+#include "io/pack.hpp"
+#include "io/volume.hpp"
+#include "merge/plan.hpp"
+#include "synth/fields.hpp"
+
+namespace msc::pipeline {
+
+enum class GradientAlgorithm {
+  kSweep,      ///< the paper's greedy steepest-descent sweep (ref [10])
+  kLowerStar,  ///< per-vertex lower-star matching (default: fewer
+               ///< spurious criticals, same boundary consistency)
+};
+
+/// Where block samples come from.
+struct DataSource {
+  /// Analytic field (evaluated lazily per block; the common case for
+  /// the studies -- no full-volume allocation ever happens).
+  synth::Field field;
+  /// If set, blocks are instead read from this raw volume file with
+  /// the paper's subarray access pattern.
+  std::optional<std::string> volume_path;
+  io::SampleType sample_type = io::SampleType::kFloat32;
+};
+
+struct PipelineConfig {
+  Domain domain;
+  DataSource source;
+  int nblocks{1};
+  int nranks{1};
+  float persistence_threshold{0.0f};
+  MergePlan plan;  ///< empty plan = no merging (write local complexes)
+  GradientAlgorithm algorithm = GradientAlgorithm::kLowerStar;
+  TraceOptions trace;
+  /// Optional output file (the IV-G container); empty = skip writing.
+  std::string output_path;
+};
+
+/// Compute one block's complex from already-loaded samples:
+/// gradient, trace, simplify, leaving the complex compacted to the
+/// living elements (IV-F1 cleanup). Shared by both drivers and tests.
+MsComplex computeBlockComplex(const PipelineConfig& cfg, const BlockField& field,
+                              TraceStats* tstats = nullptr,
+                              SimplifyStats* sstats = nullptr);
+
+/// Convenience overload: sample/read the block first.
+MsComplex computeBlockComplex(const PipelineConfig& cfg, const Block& block,
+                              TraceStats* tstats = nullptr,
+                              SimplifyStats* sstats = nullptr);
+
+}  // namespace msc::pipeline

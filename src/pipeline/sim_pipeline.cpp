@@ -1,0 +1,119 @@
+#include "pipeline/sim_pipeline.hpp"
+
+#include <chrono>
+
+#include "core/lower_star.hpp"
+#include "core/merge.hpp"
+#include "decomp/decompose.hpp"
+#include "io/complex_file.hpp"
+
+namespace msc::pipeline {
+
+namespace {
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One surviving complex during the merge rounds.
+struct ActiveSet {
+  int root_block;
+  int owner_rank;
+  MsComplex complex;
+  std::int64_t packed_bytes;
+};
+
+}  // namespace
+
+SimResult runSimPipeline(const PipelineConfig& cfg, const SimModels& models) {
+  const double t_start = now();
+  SimResult res;
+
+  const std::vector<Block> blocks = decompose(cfg.domain, cfg.nblocks);
+  simnet::TimelineInputs& in = res.inputs;
+  in.nranks = cfg.nranks;
+  in.input_bytes =
+      cfg.domain.vdims.volume() *
+      static_cast<std::int64_t>(io::sampleSize(cfg.source.sample_type));
+  in.compute_per_rank.assign(static_cast<std::size_t>(cfg.nranks), 0.0);
+  in.merge_prep_per_rank.assign(static_cast<std::size_t>(cfg.nranks), 0.0);
+
+  // --- Compute stage (Fig. 3 (b)-(c)) + local merge prep ((d)-(e)).
+  std::vector<ActiveSet> active;
+  active.reserve(blocks.size());
+  for (const Block& blk : blocks) {
+    const int owner = blk.id % cfg.nranks;
+    const BlockField bf = cfg.source.volume_path
+                              ? io::readBlock(*cfg.source.volume_path, blk,
+                                              cfg.source.sample_type)
+                              : synth::sample(blk, cfg.source.field);
+    double t0 = now();
+    GradientOptions gopts;
+    gopts.restrict_boundary = cfg.nblocks > 1;
+    const GradientField grad = cfg.algorithm == GradientAlgorithm::kSweep
+                                   ? computeGradientSweep(bf, gopts)
+                                   : computeGradientLowerStar(bf, gopts);
+    MsComplex c = traceComplex(grad, bf, cfg.trace);
+    in.compute_per_rank[static_cast<std::size_t>(owner)] += now() - t0;
+
+    t0 = now();
+    SimplifyOptions sopts;
+    sopts.persistence_threshold = cfg.persistence_threshold;
+    simplify(c, sopts);
+    c.compact();
+    const std::int64_t bytes = static_cast<std::int64_t>(io::packedSize(c));
+    in.merge_prep_per_rank[static_cast<std::size_t>(owner)] += now() - t0;
+
+    active.push_back({blk.id, owner, std::move(c), bytes});
+  }
+
+  // --- Merge rounds (Fig. 3 (d)-(f) repeated).
+  for (int r = 0; r < cfg.plan.rounds(); ++r) {
+    const auto groups = cfg.plan.round(r, static_cast<int>(active.size()));
+    std::vector<ActiveSet> next;
+    std::vector<simnet::GroupRecord> recs;
+    next.reserve(groups.size());
+    for (const MergeGroup& g : groups) {
+      ActiveSet& root = active[static_cast<std::size_t>(g.root)];
+      simnet::GroupRecord rec;
+      rec.root_rank = root.owner_rank;
+      const double t0 = now();
+      for (std::size_t m = 1; m < g.members.size(); ++m) {
+        ActiveSet& member = active[static_cast<std::size_t>(g.members[m])];
+        rec.sends.emplace_back(member.owner_rank, member.packed_bytes);
+        glue(root.complex, member.complex);
+        member.complex = MsComplex();  // free early
+      }
+      finishMerge(root.complex, cfg.persistence_threshold);
+      root.complex.compact();
+      root.packed_bytes = static_cast<std::int64_t>(io::packedSize(root.complex));
+      rec.merge_seconds = now() - t0;
+      recs.push_back(std::move(rec));
+      next.push_back(std::move(root));
+    }
+    in.rounds.push_back(std::move(recs));
+    active = std::move(next);
+  }
+
+  // --- Write stage.
+  for (ActiveSet& a : active) {
+    io::Bytes b = io::pack(a.complex);
+    res.output_bytes += static_cast<std::int64_t>(b.size());
+    const auto counts = a.complex.liveNodeCounts();
+    for (int i = 0; i < 4; ++i) res.node_counts[static_cast<std::size_t>(i)] += counts[i];
+    res.arc_count += a.complex.liveArcCount();
+    res.outputs.push_back(std::move(b));
+  }
+  in.output_bytes = res.output_bytes;
+  if (!cfg.output_path.empty()) io::writeComplexFile(cfg.output_path, res.outputs);
+
+  const simnet::TorusModel net(simnet::Torus::fit(cfg.nranks), models.net);
+  const simnet::IoModel io(models.io);
+  res.times = simnet::reconstruct(in, net, io, models.scale);
+  res.serial_seconds = now() - t_start;
+  return res;
+}
+
+}  // namespace msc::pipeline

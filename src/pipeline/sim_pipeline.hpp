@@ -1,0 +1,33 @@
+/// \file sim_pipeline.hpp
+/// The simulated pipeline driver: executes Algorithm 1's tasks for
+/// real (sequentially), records per-task costs and exact message byte
+/// counts, and reconstructs the parallel timeline at the configured
+/// rank count against the torus/I-O models. This is the repository's
+/// substitute for a 32k-node Blue Gene/P run; see DESIGN.md.
+#pragma once
+
+#include "pipeline/config.hpp"
+#include "simnet/timeline.hpp"
+
+namespace msc::pipeline {
+
+struct SimModels {
+  simnet::NetworkParams net;
+  simnet::IoParams io;
+  simnet::CostScale scale;
+};
+
+struct SimResult {
+  simnet::StageTimes times;       ///< reconstructed parallel stage times
+  simnet::TimelineInputs inputs;  ///< the recorded raw costs (for ablation)
+  std::vector<io::Bytes> outputs; ///< packed final complexes
+  std::int64_t output_bytes{0};
+  std::array<std::int64_t, 4> node_counts{};  ///< census over all outputs
+  std::int64_t arc_count{0};
+  double serial_seconds{0};  ///< actual wall time of the sequential execution
+};
+
+/// Run the full pipeline under simulation.
+SimResult runSimPipeline(const PipelineConfig& cfg, const SimModels& models = {});
+
+}  // namespace msc::pipeline

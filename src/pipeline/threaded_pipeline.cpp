@@ -1,0 +1,183 @@
+#include "pipeline/threaded_pipeline.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "core/merge.hpp"
+#include "decomp/decompose.hpp"
+#include "io/complex_file.hpp"
+#include "par/comm.hpp"
+
+namespace msc::pipeline {
+
+namespace {
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr int kTagMergeBase = 100;  // + round
+constexpr int kTagWrite = 50;
+
+/// Message framing: [u32 dest_block_id][u32 sender_block_id][payload].
+/// The sender id lets roots glue members in deterministic (block id)
+/// order regardless of message arrival order, so the merged complex
+/// is bit-identical to the simulated driver's.
+par::Bytes frame(int dest_block, int sender_block, const io::Bytes& packed) {
+  par::Bytes out(2 * sizeof(std::uint32_t) + packed.size());
+  const auto d = static_cast<std::uint32_t>(dest_block);
+  const auto s = static_cast<std::uint32_t>(sender_block);
+  std::memcpy(out.data(), &d, sizeof(d));
+  std::memcpy(out.data() + sizeof(d), &s, sizeof(s));
+  std::memcpy(out.data() + 2 * sizeof(d), packed.data(), packed.size());
+  return out;
+}
+
+struct Framed {
+  int dest_block;
+  int sender_block;
+  io::Bytes packed;
+};
+
+Framed unframe(const par::Bytes& in) {
+  std::uint32_t d = 0, s = 0;
+  std::memcpy(&d, in.data(), sizeof(d));
+  std::memcpy(&s, in.data() + sizeof(d), sizeof(s));
+  io::Bytes packed(in.begin() + 2 * sizeof(d), in.end());
+  return {static_cast<int>(d), static_cast<int>(s), std::move(packed)};
+}
+
+}  // namespace
+
+ThreadedResult runThreadedPipeline(const PipelineConfig& cfg) {
+  ThreadedResult result;
+  std::mutex result_mu;
+
+  par::Runtime::run(cfg.nranks, [&](par::Comm& comm) {
+    const int rank = comm.rank();
+    const std::vector<Block> blocks = decompose(cfg.domain, cfg.nblocks);
+
+    // --- Read/sample stage.
+    comm.barrier();
+    const double t_read0 = now();
+    std::map<int, BlockField> fields;
+    for (const Block& blk : blocks) {
+      if (blk.id % cfg.nranks != rank) continue;
+      fields.emplace(blk.id, cfg.source.volume_path
+                                 ? io::readBlock(*cfg.source.volume_path, blk,
+                                                 cfg.source.sample_type)
+                                 : synth::sample(blk, cfg.source.field));
+    }
+    comm.barrier();
+    const double t_read1 = now();
+
+    // --- Compute + local simplification.
+    std::map<int, MsComplex> owned;  // by root block id
+    for (auto& [id, bf] : fields) owned.emplace(id, computeBlockComplex(cfg, bf));
+    fields.clear();
+    comm.barrier();
+    const double t_compute1 = now();
+
+    // --- Merge rounds. Every rank derives the same schedule.
+    std::vector<int> survivors(static_cast<std::size_t>(cfg.nblocks));
+    for (int i = 0; i < cfg.nblocks; ++i) survivors[static_cast<std::size_t>(i)] = i;
+    std::vector<double> round_ends;
+    for (int r = 0; r < cfg.plan.rounds(); ++r) {
+      const auto groups = cfg.plan.round(r, static_cast<int>(survivors.size()));
+      const int tag = kTagMergeBase + r;
+      // Send phase: non-root members ship their complex to the root's
+      // owner and drop out.
+      int expected = 0;
+      for (const MergeGroup& g : groups) {
+        const int root_block = survivors[static_cast<std::size_t>(g.root)];
+        const int root_owner = root_block % cfg.nranks;
+        for (std::size_t m = 1; m < g.members.size(); ++m) {
+          const int blk = survivors[static_cast<std::size_t>(g.members[m])];
+          const int owner = blk % cfg.nranks;
+          if (owner == rank) {
+            const auto it = owned.find(blk);
+            comm.send(root_owner, tag, frame(root_block, blk, io::pack(it->second)));
+            owned.erase(it);
+          }
+          if (root_owner == rank) ++expected;
+        }
+      }
+      // Receive phase: roots collect, order members by block id, and
+      // glue + re-simplify once per group.
+      std::map<int, std::map<int, MsComplex>> incoming;  // root -> (sender -> complex)
+      for (int i = 0; i < expected; ++i) {
+        Framed f = unframe(comm.recv(par::kAny, tag));
+        incoming[f.dest_block].emplace(f.sender_block, io::unpack(f.packed));
+      }
+      for (auto& [root_block, by_sender] : incoming) {
+        std::vector<MsComplex> members;
+        members.reserve(by_sender.size());
+        for (auto& [sender, c] : by_sender) members.push_back(std::move(c));
+        MsComplex& root = owned.at(root_block);
+        mergeComplexes(root, std::move(members), cfg.persistence_threshold);
+        root.compact();
+      }
+      std::vector<int> next;
+      for (const MergeGroup& g : groups)
+        next.push_back(survivors[static_cast<std::size_t>(g.root)]);
+      survivors = std::move(next);
+      comm.barrier();
+      round_ends.push_back(now());
+    }
+
+    // --- Write. The output file is written collectively: offsets
+    // are agreed once, then every rank writes its own blocks in
+    // place (ranks with nothing to contribute still participate --
+    // "null write"). Rank 0 additionally gathers the payloads to
+    // populate the in-memory result.
+    std::map<int, int> slotOf;
+    for (std::size_t i = 0; i < survivors.size(); ++i)
+      slotOf.emplace(survivors[i], static_cast<int>(i));
+    std::vector<io::WriteContribution> contrib;
+    for (auto& [id, c] : owned) {
+      io::Bytes packed = io::pack(c);
+      comm.send(0, kTagWrite, frame(id, id, packed));
+      if (!cfg.output_path.empty()) contrib.push_back({slotOf.at(id), std::move(packed)});
+    }
+    if (!cfg.output_path.empty())
+      io::parallelWriteComplexFile(comm, cfg.output_path,
+                                   static_cast<int>(survivors.size()), contrib);
+    if (rank == 0) {
+      std::map<int, io::Bytes> by_block;
+      for (std::size_t i = 0; i < survivors.size(); ++i) {
+        Framed f = unframe(comm.recv(par::kAny, kTagWrite));
+        by_block.emplace(f.dest_block, std::move(f.packed));
+      }
+      ThreadedResult local;
+      for (const int id : survivors) {
+        io::Bytes& b = by_block.at(id);
+        local.output_bytes += static_cast<std::int64_t>(b.size());
+        const MsComplex c = io::unpack(b);
+        const auto counts = c.liveNodeCounts();
+        for (int i = 0; i < 4; ++i)
+          local.node_counts[static_cast<std::size_t>(i)] += counts[i];
+        local.arc_count += c.liveArcCount();
+        local.outputs.push_back(std::move(b));
+      }
+      local.times.read = t_read1 - t_read0;
+      local.times.compute = t_compute1 - t_read1;
+      double prev = t_compute1;
+      for (const double e : round_ends) {
+        local.times.merge_rounds.push_back(e - prev);
+        prev = e;
+      }
+      local.times.write = now() - prev;
+      const std::lock_guard lock(result_mu);
+      result = std::move(local);
+    }
+    comm.barrier();
+  });
+
+  return result;
+}
+
+}  // namespace msc::pipeline

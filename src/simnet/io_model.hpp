@@ -1,0 +1,45 @@
+/// \file io_model.hpp
+/// Collective parallel-filesystem cost model (sections IV-B/IV-G).
+///
+/// The paper reads blocks with collective MPI-IO and writes the
+/// output file collectively; both stages share a parallel filesystem
+/// whose aggregate bandwidth saturates well below "per-process
+/// bandwidth x P". We model a collective transfer of B bytes over P
+/// processes as
+///   t = t_open + t_sync * log2(P) + B / min(agg_bw, per_proc_bw * P)
+/// which reproduces the observed behaviour: I/O time shrinks with P
+/// while per-process bandwidth is the binding constraint, then
+/// flattens once the filesystem is saturated and slowly grows with
+/// the collective synchronisation term.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace msc::simnet {
+
+struct IoParams {
+  double open_s = 0.02;            ///< file open/close + view setup
+  double sync_per_level_s = 0.003; ///< collective synchronisation per log2(P) level
+  double aggregate_bw_Bps = 4e9;   ///< filesystem saturation bandwidth
+  double per_proc_bw_Bps = 50e6;   ///< single-process streaming bandwidth
+};
+
+class IoModel {
+ public:
+  explicit IoModel(IoParams p = {}) : p_(p) {}
+  const IoParams& params() const { return p_; }
+
+  /// Time for all P processes to collectively move `bytes` in total.
+  double collectiveTime(std::int64_t bytes, int nranks) const {
+    const double levels = nranks > 1 ? std::log2(static_cast<double>(nranks)) : 0.0;
+    const double bw =
+        std::min(p_.aggregate_bw_Bps, p_.per_proc_bw_Bps * static_cast<double>(nranks));
+    return p_.open_s + p_.sync_per_level_s * levels + static_cast<double>(bytes) / bw;
+  }
+
+ private:
+  IoParams p_;
+};
+
+}  // namespace msc::simnet

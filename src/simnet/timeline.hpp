@@ -1,0 +1,71 @@
+/// \file timeline.hpp
+/// Discrete-event reconstruction of the parallel schedule.
+///
+/// The simulated pipeline executes every task of Algorithm 1 for real
+/// (sequentially), recording wall-clock costs and exact message byte
+/// counts; this module then replays them against the torus and I/O
+/// models with the same barrier structure the paper's implementation
+/// has: read | compute | merge round 1 | ... | merge round R | write,
+/// each stage ending when its slowest rank finishes.
+#pragma once
+
+#include <vector>
+
+#include "simnet/io_model.hpp"
+#include "simnet/torus.hpp"
+
+namespace msc::simnet {
+
+/// One merge group's recorded work in one round.
+struct GroupRecord {
+  int root_rank{0};
+  /// (source rank, message bytes) for each non-root member.
+  std::vector<std::pair<int, std::int64_t>> sends;
+  /// Measured glue + re-simplify + repack seconds at the root.
+  double merge_seconds{0};
+};
+
+/// Everything the reconstruction needs, as recorded by a pipeline run.
+struct TimelineInputs {
+  int nranks{1};
+  std::int64_t input_bytes{0};
+  std::int64_t output_bytes{0};
+  /// Measured local compute seconds per rank: gradient + trace over
+  /// the rank's blocks (the paper's "compute" stage, Fig. 3 (b)-(c)).
+  std::vector<double> compute_per_rank;
+  /// Measured local simplification + pack seconds per rank (Fig. 3
+  /// (d)-(e) before the first communication; the paper counts this
+  /// toward the "merge" stage).
+  std::vector<double> merge_prep_per_rank;
+  /// Merge groups per round.
+  std::vector<std::vector<GroupRecord>> rounds;
+};
+
+/// Scaling knobs of the replay.
+struct CostScale {
+  /// Ratio of target-machine to measurement-machine compute cost
+  /// (BG/P PPC450 850 MHz vs. the machine the tasks ran on).
+  double cpu_scale = 12.0;
+};
+
+/// Per-stage times of one reconstructed run (seconds).
+struct StageTimes {
+  double read{0};
+  double compute{0};
+  double merge_prep{0};  ///< local simplification + pack (merge stage)
+  std::vector<double> merge_rounds;
+  double write{0};
+
+  double mergeTotal() const {
+    double t = merge_prep;
+    for (const double r : merge_rounds) t += r;
+    return t;
+  }
+  double total() const { return read + compute + mergeTotal() + write; }
+};
+
+/// Replay recorded work against the models.
+StageTimes reconstruct(const TimelineInputs& in, const TorusModel& net, const IoModel& io,
+                       const CostScale& scale);
+
+}  // namespace msc::simnet

@@ -1,0 +1,38 @@
+#include "simnet/torus.hpp"
+
+#include <cmath>
+
+namespace msc::simnet {
+
+Torus Torus::fit(int nranks) {
+  // Near-cubic factorization: take the largest factor <= cube root,
+  // then the largest factor of the remainder <= square root.
+  const auto largestFactorLE = [](int n, int cap) {
+    for (int f = cap; f >= 1; --f)
+      if (n % f == 0) return f;
+    return 1;
+  };
+  const int z = largestFactorLE(
+      nranks, std::max(1, static_cast<int>(std::cbrt(static_cast<double>(nranks)))));
+  const int rest = nranks / z;
+  const int y = largestFactorLE(
+      rest, std::max(1, static_cast<int>(std::sqrt(static_cast<double>(rest)))));
+  const int x = rest / y;
+  return Torus({x, y, z});
+}
+
+Vec3i Torus::coordOf(int rank) const {
+  return {rank % dims_.x, (rank / dims_.x) % dims_.y, rank / (dims_.x * dims_.y)};
+}
+
+int Torus::hops(int a, int b) const {
+  const Vec3i ca = coordOf(a), cb = coordOf(b);
+  int h = 0;
+  for (int axis = 0; axis < 3; ++axis) {
+    const std::int64_t d = std::abs(ca[axis] - cb[axis]);
+    h += static_cast<int>(std::min(d, dims_[axis] - d));  // wrap-around
+  }
+  return h;
+}
+
+}  // namespace msc::simnet

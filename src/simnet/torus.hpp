@@ -1,0 +1,63 @@
+/// \file torus.hpp
+/// A Blue Gene/P-style 3D torus network cost model.
+///
+/// The paper's testbed (Intrepid, ALCF) connects nodes in a 3D torus;
+/// merge-round messages traverse it. We model point-to-point message
+/// time with the standard alpha-beta-hops model:
+///     t(msg) = alpha + hops * t_hop + bytes / beta
+/// and serialize concurrent arrivals at a merge root on its ingress
+/// link, which is what makes later, higher-radix rounds with larger
+/// complexes progressively more expensive (Table I's behaviour).
+/// Constants default to BG/P-era values and are configurable; see
+/// EXPERIMENTS.md for the calibration discussion.
+#pragma once
+
+#include "core/types.hpp"
+
+namespace msc::simnet {
+
+struct NetworkParams {
+  double latency_s = 3.5e-6;      ///< per-message software/DMA latency
+  double per_hop_s = 0.1e-6;      ///< per-hop router traversal
+  double bandwidth_Bps = 425e6;   ///< per-link bandwidth (BG/P: 425 MB/s)
+};
+
+/// Near-cubic 3D torus of a given size with wrap-around links.
+class Torus {
+ public:
+  /// Factor `nranks` into a near-cubic dims (x >= y >= z).
+  static Torus fit(int nranks);
+
+  Vec3i dims() const { return dims_; }
+  int size() const { return static_cast<int>(dims_.volume()); }
+
+  /// Rank -> torus coordinate (row-major placement).
+  Vec3i coordOf(int rank) const;
+
+  /// Minimal hop count between two ranks (per-axis wrap-around).
+  int hops(int a, int b) const;
+
+ private:
+  explicit Torus(Vec3i dims) : dims_(dims) {}
+  Vec3i dims_;
+};
+
+/// Message time under the alpha-beta-hops model.
+class TorusModel {
+ public:
+  TorusModel(Torus torus, NetworkParams params) : torus_(torus), params_(params) {}
+
+  const Torus& torus() const { return torus_; }
+  const NetworkParams& params() const { return params_; }
+
+  double messageTime(std::int64_t bytes, int src, int dst) const {
+    return params_.latency_s + torus_.hops(src, dst) * params_.per_hop_s +
+           static_cast<double>(bytes) / params_.bandwidth_Bps;
+  }
+
+ private:
+  Torus torus_;
+  NetworkParams params_;
+};
+
+}  // namespace msc::simnet

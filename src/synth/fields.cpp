@@ -1,0 +1,182 @@
+#include "synth/fields.hpp"
+
+#include <cmath>
+
+namespace msc::synth {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// SplitMix64: deterministic, platform-independent hashing for the
+/// pseudo-random generators.
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+double hash01(std::uint64_t a, std::uint64_t b) {
+  return static_cast<double>(splitmix(splitmix(a) ^ b) >> 11) * 0x1p-53;
+}
+
+/// Normalized coordinate in [0,1] along one axis.
+double norm(std::int64_t v, std::int64_t n) { return n > 1 ? double(v) / double(n - 1) : 0.0; }
+
+}  // namespace
+
+Field sinusoid(const Domain& domain, int complexity) {
+  const Vec3i d = domain.vdims;
+  const double c = complexity;
+  // Deliberately untilted: breaking the sine product's symmetries
+  // with a linear tilt skews the discrete pairings and causes severe
+  // V-path braiding (hundreds of distinct paths between the same
+  // saddle pair). The symmetric product's exact ties resolve into a
+  // locally consistent matching under simulation of simplicity and
+  // keep path multiplicities small.
+  return [d, c](Vec3i v) {
+    const double x = norm(v.x, d.x), y = norm(v.y, d.y), z = norm(v.z, d.z);
+    return static_cast<float>(std::sin(c * kPi * x) * std::sin(c * kPi * y) *
+                              std::sin(c * kPi * z));
+  };
+}
+
+Field hydrogenLike(const Domain& domain) {
+  const Vec3i d = domain.vdims;
+  return [d](Vec3i p) {
+    // Centered coordinates in [-1,1].
+    const double u = 2 * norm(p.x, d.x) - 1;
+    const double v = 2 * norm(p.y, d.y) - 1;
+    const double w = 2 * norm(p.z, d.z) - 1;
+    // Three lobes along the x axis.
+    const double s2 = 0.018;  // lobe variance
+    double f = std::exp(-((u + 0.55) * (u + 0.55) + v * v + w * w) / s2);
+    f += 1.2 * std::exp(-(u * u + v * v + w * w) / s2);
+    f += std::exp(-((u - 0.55) * (u - 0.55) + v * v + w * w) / s2);
+    // Toroidal ring around the x axis.
+    const double rho = std::sqrt(v * v + w * w);
+    f += 0.8 * std::exp(-((rho - 0.45) * (rho - 0.45) + u * u) / 0.012);
+    // Byte quantisation (the paper's dataset is byte-valued); the
+    // flat exterior becomes an exact plateau at zero.
+    return static_cast<float>(std::floor(std::min(f, 1.0) * 255.0));
+  };
+}
+
+Field jetLike(const Domain& domain, unsigned seed) {
+  const Vec3i d = domain.vdims;
+  // Deterministic multi-octave direction/phase table.
+  struct Mode {
+    double kx, ky, kz, phase, amp;
+  };
+  std::vector<Mode> modes;
+  for (int o = 0; o < 4; ++o) {
+    for (int m = 0; m < 6; ++m) {
+      const std::uint64_t id = static_cast<std::uint64_t>(seed) * 1000 +
+                               static_cast<std::uint64_t>(o) * 16 +
+                               static_cast<std::uint64_t>(m);
+      const double base = 4.0 * (1 << o);
+      modes.push_back({base * (0.5 + hash01(id, 1)), base * (0.5 + hash01(id, 2)),
+                       base * (0.5 + hash01(id, 3)), 2 * kPi * hash01(id, 4),
+                       0.55 / (1 << o)});
+    }
+  }
+  return [d, modes](Vec3i p) {
+    const double x = norm(p.x, d.x);
+    const double v = 2 * norm(p.y, d.y) - 1;
+    const double w = 2 * norm(p.z, d.z) - 1;
+    // Jet core widening downstream (x is the streamwise axis).
+    const double width = 0.18 + 0.5 * x;
+    const double r2 = (v * v + w * w) / (width * width);
+    const double envelope = std::exp(-r2);
+    double turb = 0;
+    for (const Mode& m : modes)
+      turb += m.amp * std::sin(m.kx * kPi * x + m.ky * kPi * v + m.kz * kPi * w + m.phase);
+    // Mixture-fraction-like: high in the core, turbulent in the shear
+    // layer, near zero in the coflow.
+    const double shear = std::exp(-(r2 - 1) * (r2 - 1) * 2.0);
+    return static_cast<float>(envelope + 0.35 * shear * turb);
+  };
+}
+
+Field rtLike(const Domain& domain, unsigned seed) {
+  const Vec3i d = domain.vdims;
+  struct Mode {
+    double kx, ky, px, py, amp;
+  };
+  std::vector<Mode> interface_modes;
+  for (int m = 0; m < 12; ++m) {
+    const std::uint64_t id = static_cast<std::uint64_t>(seed) * 2000 +
+                             static_cast<std::uint64_t>(m);
+    const double k = 2.0 + 2.0 * m;
+    interface_modes.push_back({k, k * (0.7 + 0.6 * hash01(id, 1)), 2 * kPi * hash01(id, 2),
+                               2 * kPi * hash01(id, 3), 0.5 / (1.0 + 0.35 * m)});
+  }
+  struct Blob {
+    double x, y, z, s, a;
+  };
+  std::vector<Blob> plumes;
+  for (int b = 0; b < 24; ++b) {
+    const std::uint64_t id = static_cast<std::uint64_t>(seed) * 3000 +
+                             static_cast<std::uint64_t>(b);
+    const bool bubble = (b % 2) == 0;  // light fluid rising vs heavy falling
+    plumes.push_back({hash01(id, 1), hash01(id, 2),
+                      bubble ? 0.55 + 0.35 * hash01(id, 3) : 0.10 + 0.35 * hash01(id, 3),
+                      0.03 + 0.05 * hash01(id, 4), bubble ? -0.55 : 0.55});
+  }
+  return [d, interface_modes, plumes](Vec3i p) {
+    const double x = norm(p.x, d.x), y = norm(p.y, d.y), z = norm(p.z, d.z);
+    double eta = 0;
+    for (const Mode& m : interface_modes)
+      eta += m.amp * std::sin(m.kx * kPi * x + m.px) * std::sin(m.ky * kPi * y + m.py);
+    // Heavy fluid on top: density increases with height, sharpened at
+    // the perturbed interface.
+    const double iface = z - 0.5 - 0.06 * eta;
+    double rho = 1.0 + 1.0 / (1.0 + std::exp(-iface * 18.0));
+    for (const Blob& bl : plumes) {
+      const double dx = x - bl.x, dy = y - bl.y, dz = z - bl.z;
+      rho += bl.a * std::exp(-(dx * dx + dy * dy + dz * dz) / (bl.s * bl.s));
+    }
+    return static_cast<float>(rho);
+  };
+}
+
+Field noise(unsigned seed) {
+  return [seed](Vec3i p) {
+    const std::uint64_t id = (static_cast<std::uint64_t>(p.x) << 42) ^
+                             (static_cast<std::uint64_t>(p.y) << 21) ^
+                             static_cast<std::uint64_t>(p.z);
+    return static_cast<float>(hash01(id, seed));
+  };
+}
+
+Field ramp() {
+  return [](Vec3i p) { return static_cast<float>(p.x + 2 * p.y + 4 * p.z); };
+}
+
+Field cosineProduct(const Domain& domain, int k) {
+  const Vec3i d = domain.vdims;
+  // Small distinct per-axis tilts break the mirror and permutation
+  // symmetries of the cosine sum; without them, the many exact value
+  // ties produce clouds of zero-persistence critical pairs (valid,
+  // but useless as a closed-form oracle).
+  return [d, k](Vec3i p) {
+    const double x = norm(p.x, d.x), y = norm(p.y, d.y), z = norm(p.z, d.z);
+    return static_cast<float>(std::cos(2 * kPi * k * x) + std::cos(2 * kPi * k * y) +
+                              std::cos(2 * kPi * k * z) + 1e-3 * x + 1.31e-3 * y +
+                              1.73e-3 * z);
+  };
+}
+
+BlockField sample(const Block& block, const Field& f) { return sampleBlock(block, f); }
+
+std::vector<float> sampleAll(const Domain& domain, const Field& f) {
+  std::vector<float> out(static_cast<std::size_t>(domain.vdims.volume()));
+  std::size_t i = 0;
+  for (std::int64_t z = 0; z < domain.vdims.z; ++z)
+    for (std::int64_t y = 0; y < domain.vdims.y; ++y)
+      for (std::int64_t x = 0; x < domain.vdims.x; ++x) out[i++] = f({x, y, z});
+  return out;
+}
+
+}  // namespace msc::synth

@@ -1,0 +1,57 @@
+/// \file fields.hpp
+/// Synthetic scalar fields used by the studies and examples.
+///
+/// Every generator is a deterministic analytic function of the
+/// *global* vertex coordinate, so blocks sampled independently are
+/// bit-identical to a serial sampling — the property the stability
+/// and merging tests rely on. See DESIGN.md, "Substitutions", for
+/// how these stand in for the paper's datasets.
+#pragma once
+
+#include <functional>
+
+#include "core/field.hpp"
+
+namespace msc::synth {
+
+/// An analytic field: evaluated at global vertex coordinates.
+using Field = std::function<float(Vec3i)>;
+
+/// Sinusoidal size/complexity family of section VI-B: `complexity` is
+/// the number of +-1 extrema of the sine along one side of the cube.
+Field sinusoid(const Domain& domain, int complexity);
+
+/// Hydrogen-atom-like probability density (the Fig. 4 stability
+/// study): three lobes in a line plus a torus, in a flat (zero)
+/// exterior. Values are quantised to byte resolution like the
+/// paper's dataset, producing the plateau instabilities section V-A
+/// discusses.
+Field hydrogenLike(const Domain& domain);
+
+/// Turbulent-jet-like mixture fraction analogue (the Fig. 9 strong
+/// scaling study): shear-layer envelope + multi-octave turbulence;
+/// minima-dominated feature population.
+Field jetLike(const Domain& domain, unsigned seed = 7);
+
+/// Rayleigh-Taylor-like mixing density analogue (the Fig. 10 study):
+/// vertical density ramp + perturbed interface + rising/falling
+/// plumes.
+Field rtLike(const Domain& domain, unsigned seed = 11);
+
+/// Deterministic white noise in [0,1) (worst-case feature density).
+Field noise(unsigned seed = 1);
+
+/// Monotone ramp with a single minimum and maximum (best case).
+Field ramp();
+
+/// Separable product of cosines with `k` periods per side: its MS
+/// complex is known in closed form (used by unit tests).
+Field cosineProduct(const Domain& domain, int k);
+
+/// Sample a generator over one block.
+BlockField sample(const Block& block, const Field& f);
+
+/// Sample a generator over the full domain (serial baseline).
+std::vector<float> sampleAll(const Domain& domain, const Field& f);
+
+}  // namespace msc::synth

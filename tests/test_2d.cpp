@@ -1,0 +1,111 @@
+/// 2D domains (vdims.z == 1): the cubical machinery degenerates
+/// gracefully to the 2D MS complex of Edelsbrunner/Bremer (paper
+/// section II). Cells have dimension 0..2; maxima are critical quads.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/census.hpp"
+#include "core/lower_star.hpp"
+#include "core/merge.hpp"
+#include "core/trace.hpp"
+#include "decomp/decompose.hpp"
+#include "oracle.hpp"
+#include "synth/fields.hpp"
+
+namespace msc {
+namespace {
+
+Block flatBlock(const Domain& d) {
+  Block b;
+  b.domain = d;
+  b.vdims = d.vdims;
+  b.voffset = {0, 0, 0};
+  return b;
+}
+
+TEST(TwoD, RefinedGridIsFlat) {
+  const Domain d{{9, 9, 1}};
+  EXPECT_EQ(d.rdims(), (Vec3i{17, 17, 1}));
+  EXPECT_EQ(Domain::cellDim({1, 1, 0}), 2);  // a quad is the top cell
+}
+
+TEST(TwoD, GradientValidAndEulerOne) {
+  const Domain d{{13, 13, 1}};
+  for (const unsigned seed : {1u, 2u, 3u}) {
+    const BlockField bf = synth::sample(flatBlock(d), synth::noise(seed));
+    for (const auto& g : {computeGradientSweep(bf), computeGradientLowerStar(bf)}) {
+      test::expectValidGradient(g);  // chi(square) = 1 as well
+      EXPECT_EQ(g.criticalCounts()[3], 0) << "no 3-cells exist in 2D";
+    }
+  }
+}
+
+TEST(TwoD, CosineCriticalCounts) {
+  // 2D separable cosine sum: c0 = k^2, c1 = 2k(k-1), c2 = (k-1)^2.
+  const int k = 2;
+  const Domain d{{17, 17, 1}};
+  const auto field = [&](Vec3i p) {
+    const double x = p.x / 16.0, y = p.y / 16.0;
+    return static_cast<float>(std::cos(2 * 3.14159265358979 * k * x) +
+                              std::cos(2 * 3.14159265358979 * k * y) + 1e-3 * x +
+                              1.31e-3 * y);
+  };
+  const BlockField bf = synth::sample(flatBlock(d), field);
+  const auto c = computeGradientLowerStar(bf).criticalCounts();
+  EXPECT_EQ(c[0], k * k);
+  EXPECT_EQ(c[1], 2 * k * (k - 1));
+  EXPECT_EQ(c[2], (k - 1) * (k - 1));
+  EXPECT_EQ(c[3], 0);
+}
+
+TEST(TwoD, TraceAndSimplify) {
+  const Domain d{{15, 15, 1}};
+  const BlockField bf = synth::sample(flatBlock(d), synth::noise(5));
+  const GradientField g = computeGradientLowerStar(bf);
+  MsComplex c = traceComplex(g, bf);
+  c.checkInvariants();
+  EXPECT_EQ(c.liveNodeCounts(), g.criticalCounts());
+  const auto n0 = c.liveNodeCounts();
+  EXPECT_EQ(n0[0] - n0[1] + n0[2], 1);
+
+  SimplifyOptions opts;
+  opts.persistence_threshold = 0.4f;
+  EXPECT_GT(simplify(c, opts), 0);
+  const auto n1 = c.liveNodeCounts();
+  EXPECT_EQ(n1[0] - n1[1] + n1[2], 1);
+  c.checkInvariants();
+}
+
+TEST(TwoD, ParallelMergeMatchesSerial) {
+  const Domain d{{17, 17, 1}};
+  const auto field = synth::noise(9);
+  // Serial.
+  const BlockField whole = synth::sample(flatBlock(d), field);
+  MsComplex serial = traceComplex(computeGradientLowerStar(whole), whole);
+  // Parallel: 4 blocks (the z axis is never split), pure glue.
+  const auto blocks = decompose(d, 4);
+  for (const Block& b : blocks) EXPECT_EQ(b.vdims.z, 1);
+  MsComplex root;
+  std::vector<MsComplex> others;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const BlockField bf = synth::sample(blocks[i], field);
+    MsComplex c = traceComplex(computeGradientLowerStar(bf), bf);
+    if (i == 0)
+      root = std::move(c);
+    else
+      others.push_back(std::move(c));
+  }
+  mergeComplexes(root, std::move(others), -1.0f);  // glue only
+  const auto n = root.liveNodeCounts();
+  EXPECT_EQ(n[0] - n[1] + n[2], 1);
+  // After zero-persistence cleanup both agree on the census.
+  SimplifyOptions opts;
+  opts.persistence_threshold = 0.0f;
+  simplify(root, opts);
+  simplify(serial, opts);
+  EXPECT_EQ(root.liveNodeCounts(), serial.liveNodeCounts());
+}
+
+}  // namespace
+}  // namespace msc

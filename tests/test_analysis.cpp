@@ -1,0 +1,160 @@
+/// Tests for the analysis toolkit (census, feature extraction,
+/// network statistics).
+#include <gtest/gtest.h>
+
+#include "analysis/census.hpp"
+#include "analysis/graph.hpp"
+#include "core/lower_star.hpp"
+#include "core/simplify.hpp"
+#include "core/trace.hpp"
+#include "synth/fields.hpp"
+
+namespace msc::analysis {
+namespace {
+
+MsComplex cosineComplex(int k = 2, float threshold = 0.05f) {
+  const Domain d{{17, 17, 17}};
+  Block b;
+  b.domain = d;
+  b.vdims = d.vdims;
+  b.voffset = {0, 0, 0};
+  const BlockField bf = synth::sample(b, synth::cosineProduct(d, k));
+  MsComplex c = traceComplex(computeGradientLowerStar(bf), bf);
+  SimplifyOptions opts;
+  opts.persistence_threshold = threshold;
+  simplify(c, opts);
+  return c;
+}
+
+TEST(Census, CountsMatchComplex) {
+  const MsComplex c = cosineComplex();
+  const Census cs = census(c);
+  EXPECT_EQ(cs.nodes[0], 8);
+  EXPECT_EQ(cs.nodes[1], 12);
+  EXPECT_EQ(cs.nodes[2], 6);
+  EXPECT_EQ(cs.nodes[3], 1);
+  EXPECT_EQ(cs.totalNodes(), c.liveNodeCount());
+  EXPECT_EQ(cs.arcs, c.liveArcCount());
+  EXPECT_EQ(cs.euler(), 1);
+  EXPECT_GT(cs.geometry_cells, 0);
+  EXPECT_LE(cs.min_value, cs.max_value);
+}
+
+TEST(Census, PersistenceHistogramSumsToArcs) {
+  const MsComplex c = cosineComplex();
+  const PersistenceHistogram h = persistenceHistogram(c, 16);
+  std::int64_t total = 0;
+  for (const auto b : h.bins) total += b;
+  EXPECT_EQ(total, c.liveArcCount());
+  EXPECT_GT(h.bin_width, 0);
+}
+
+TEST(Census, CancelledPersistencesBelowThreshold) {
+  const MsComplex c = cosineComplex(2, 0.05f);
+  for (const float p : cancelledPersistences(c)) EXPECT_LE(p, 0.05f);
+}
+
+TEST(Features, ExtractByType) {
+  const MsComplex c = cosineComplex();
+  const auto minSad = extractArcs(c, {ArcType::kMinSaddle, -1e30f, 1e30f});
+  const auto sadSad = extractArcs(c, {ArcType::kSaddleSaddle, -1e30f, 1e30f});
+  const auto sadMax = extractArcs(c, {ArcType::kSaddleMax, -1e30f, 1e30f});
+  const auto all = extractArcs(c, {});
+  EXPECT_EQ(std::ssize(minSad) + std::ssize(sadSad) + std::ssize(sadMax), std::ssize(all));
+  EXPECT_EQ(std::ssize(all), c.liveArcCount());
+  for (const FeatureArc& a : minSad) EXPECT_EQ(c.node(a.lower).index, 0);
+  for (const FeatureArc& a : sadMax) {
+    EXPECT_EQ(c.node(a.lower).index, 2);
+    EXPECT_EQ(c.node(a.upper).index, 3);
+  }
+  // Separable field: the single maximum has 6 descending arcs.
+  EXPECT_EQ(std::ssize(sadMax), 6);
+}
+
+TEST(Features, ValueFilter) {
+  const MsComplex c = cosineComplex();
+  FeatureFilter f;
+  f.value_min = 0.0f;  // keeps arcs whose both endpoints are >= 0
+  const auto arcs = extractArcs(c, f);
+  for (const FeatureArc& a : arcs) {
+    EXPECT_GE(c.node(a.lower).value, 0.0f);
+    EXPECT_GE(c.node(a.upper).value, 0.0f);
+  }
+  EXPECT_LT(std::ssize(arcs), c.liveArcCount());
+}
+
+TEST(Features, ArcLengthPositiveAndPlausible) {
+  const MsComplex c = cosineComplex();
+  for (const FeatureArc& a : extractArcs(c, {})) {
+    const double len = arcLength(c, a);
+    EXPECT_GT(len, 0);
+    // Refined steps are half a grid unit; length bounded by path size.
+    EXPECT_LE(len, 0.5 * static_cast<double>(a.path.size()));
+  }
+}
+
+TEST(Features, SelectNodes) {
+  const MsComplex c = cosineComplex();
+  const auto maxima = selectNodes(c, -1e30f, 3);
+  EXPECT_EQ(std::ssize(maxima), 1);
+  const auto high = selectNodes(c, 2.5f);
+  for (const NodeId n : high) EXPECT_GE(c.node(n).value, 2.5f);
+}
+
+TEST(Graph, ComponentsAndCycles) {
+  const MsComplex c = cosineComplex();
+  // The full min--1-saddle network of the separable field: every
+  // saddle connects two minima; the network is connected.
+  const auto arcs = extractArcs(c, {ArcType::kMinSaddle, -1e30f, 1e30f});
+  const NetworkStats s = networkStats(c, arcs);
+  EXPECT_EQ(s.vertices, 8 + 12);
+  EXPECT_EQ(s.edges, 24);  // 12 saddles x 2 arcs
+  EXPECT_EQ(s.components, 1);
+  EXPECT_EQ(s.cycles(), 24 - 20 + 1);
+  EXPECT_GT(s.total_length, 0);
+  EXPECT_EQ(s.largest_component, 20);
+}
+
+TEST(Graph, DisconnectedComponents) {
+  // Hand-built: two disjoint edges.
+  const Domain d{{9, 9, 9}};
+  MsComplex c(d, Region(Box3{{0, 0, 0}, {16, 16, 16}}));
+  const NodeId m1 = c.addNode(d.addrOf({0, 0, 0}), 0, 0);
+  const NodeId s1 = c.addNode(d.addrOf({1, 0, 0}), 1, 1);
+  const NodeId m2 = c.addNode(d.addrOf({4, 4, 4}), 0, 0);
+  const NodeId s2 = c.addNode(d.addrOf({5, 4, 4}), 1, 1);
+  const ArcId a1 = c.addArc(m1, s1, kNone);
+  const ArcId a2 = c.addArc(m2, s2, kNone);
+  std::vector<FeatureArc> arcs = {{a1, m1, s1, {}}, {a2, m2, s2, {}}};
+  const auto comp = components(arcs);
+  EXPECT_EQ(comp.at(m1), comp.at(s1));
+  EXPECT_EQ(comp.at(m2), comp.at(s2));
+  EXPECT_NE(comp.at(m1), comp.at(m2));
+  const NetworkStats s = networkStats(c, arcs);
+  EXPECT_EQ(s.components, 2);
+  EXPECT_EQ(s.cycles(), 0);
+}
+
+TEST(Graph, MinCut) {
+  // A 4-cycle: min cut between opposite corners is 2.
+  const Domain d{{9, 9, 9}};
+  MsComplex c(d, Region(Box3{{0, 0, 0}, {16, 16, 16}}));
+  const NodeId n0 = c.addNode(d.addrOf({0, 0, 0}), 0, 0);
+  const NodeId n1 = c.addNode(d.addrOf({1, 0, 0}), 1, 1);
+  const NodeId n2 = c.addNode(d.addrOf({2, 0, 0}), 0, 0);
+  const NodeId n3 = c.addNode(d.addrOf({3, 0, 0}), 1, 1);
+  std::vector<FeatureArc> arcs;
+  arcs.push_back({c.addArc(n0, n1, kNone), n0, n1, {}});
+  arcs.push_back({c.addArc(n2, n1, kNone), n2, n1, {}});
+  arcs.push_back({c.addArc(n2, n3, kNone), n2, n3, {}});
+  arcs.push_back({c.addArc(n0, n3, kNone), n0, n3, {}});
+  EXPECT_EQ(minCut(arcs, n0, n2), 2);
+  EXPECT_EQ(minCut(arcs, n0, n1), 2);  // cycle: two edge-disjoint paths
+  // Disconnected target.
+  const NodeId iso = c.addNode(d.addrOf({8, 8, 8}), 0, 0);
+  EXPECT_EQ(minCut(arcs, n0, iso), -1);
+  EXPECT_EQ(minCut(arcs, n0, n0), 0);
+}
+
+}  // namespace
+}  // namespace msc::analysis

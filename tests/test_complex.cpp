@@ -1,0 +1,179 @@
+/// Tests for the MS complex data structure (core/complex): intrusive
+/// arc lists, geometry flattening, compaction, boundary recompute.
+#include <gtest/gtest.h>
+
+#include "core/complex.hpp"
+
+namespace msc {
+namespace {
+
+MsComplex tiny() {
+  const Domain d{{5, 5, 5}};
+  MsComplex c(d, Region(Box3{{0, 0, 0}, {8, 8, 8}}));
+  return c;
+}
+
+TEST(Complex, AddNodesAndArcs) {
+  MsComplex c = tiny();
+  const NodeId mn = c.addNode(0, 0, 1.0f);
+  const NodeId sd = c.addNode(1, 1, 2.0f);
+  const GeomId g = c.addGeom({{1, 0}, {}});
+  const ArcId a = c.addArc(mn, sd, g);
+  EXPECT_EQ(c.node(mn).n_arcs, 1);
+  EXPECT_EQ(c.node(sd).n_arcs, 1);
+  EXPECT_EQ(c.arc(a).lower, mn);
+  EXPECT_EQ(c.arc(a).upper, sd);
+  EXPECT_FLOAT_EQ(c.persistence(a), 1.0f);
+  c.checkInvariants();
+}
+
+TEST(Complex, ArcListTraversalAndRemoval) {
+  MsComplex c = tiny();
+  const NodeId mn = c.addNode(0, 0, 0.0f);
+  const NodeId s1 = c.addNode(1, 1, 1.0f);
+  const NodeId s2 = c.addNode(3, 1, 2.0f);
+  const NodeId s3 = c.addNode(5, 1, 3.0f);
+  const ArcId a1 = c.addArc(mn, s1, kNone);
+  const ArcId a2 = c.addArc(mn, s2, kNone);
+  const ArcId a3 = c.addArc(mn, s3, kNone);
+  EXPECT_EQ(c.node(mn).n_arcs, 3);
+
+  std::vector<ArcId> seen;
+  c.forEachArc(mn, [&](ArcId a) {
+    seen.push_back(a);
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 3u);
+
+  c.removeArc(a2, 1);  // middle of the list
+  seen.clear();
+  c.forEachArc(mn, [&](ArcId a) {
+    seen.push_back(a);
+    return true;
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_TRUE((seen[0] == a1 && seen[1] == a3) || (seen[0] == a3 && seen[1] == a1));
+  EXPECT_FALSE(c.arc(a2).alive);
+  EXPECT_EQ(c.arc(a2).destroyed_gen, 1);
+  c.checkInvariants();
+}
+
+TEST(Complex, CountArcsBetweenSeesMultiArcs) {
+  MsComplex c = tiny();
+  const NodeId mn = c.addNode(0, 0, 0.0f);
+  const NodeId sd = c.addNode(1, 1, 1.0f);
+  c.addArc(mn, sd, kNone);
+  EXPECT_EQ(c.countArcsBetween(mn, sd), 1);
+  c.addArc(mn, sd, kNone);
+  EXPECT_EQ(c.countArcsBetween(mn, sd), 2);
+  EXPECT_EQ(c.countArcsBetween(sd, mn), 2);
+}
+
+TEST(Complex, GeomFlattenLeaf) {
+  MsComplex c = tiny();
+  const GeomId g = c.addGeom({{5, 4, 3}, {}});
+  EXPECT_EQ(c.flattenGeom(g), (std::vector<CellAddr>{5, 4, 3}));
+}
+
+TEST(Complex, GeomFlattenComposite) {
+  MsComplex c = tiny();
+  const GeomId g1 = c.addGeom({{10, 9, 8}, {}});   // r -> p
+  const GeomId g2 = c.addGeom({{12, 11, 8}, {}});  // q -> p (to be reversed)
+  const GeomId g3 = c.addGeom({{12, 13, 14}, {}});  // q -> t
+  Geom comp;
+  comp.children = {{g1, false}, {g2, true}, {g3, false}};
+  const GeomId g = c.addGeom(std::move(comp));
+  EXPECT_EQ(c.flattenGeom(g), (std::vector<CellAddr>{10, 9, 8, 8, 11, 12, 12, 13, 14}));
+}
+
+TEST(Complex, GeomFlattenNestedReversal) {
+  MsComplex c = tiny();
+  const GeomId g1 = c.addGeom({{1, 2}, {}});
+  const GeomId g2 = c.addGeom({{3, 4}, {}});
+  Geom inner;
+  inner.children = {{g1, false}, {g2, true}};  // 1 2 4 3
+  const GeomId gi = c.addGeom(std::move(inner));
+  Geom outer;
+  outer.children = {{gi, true}};  // reverse of (1 2 4 3) = 3 4 2 1
+  const GeomId go = c.addGeom(std::move(outer));
+  EXPECT_EQ(c.flattenGeom(go), (std::vector<CellAddr>{3, 4, 2, 1}));
+}
+
+TEST(Complex, CompactDropsDeadAndFlattens) {
+  MsComplex c = tiny();
+  const NodeId mn = c.addNode(0, 0, 0.0f);
+  const NodeId sd = c.addNode(1, 1, 1.0f);
+  const NodeId mn2 = c.addNode(2, 0, 0.5f);
+  const GeomId g1 = c.addGeom({{1, 0}, {}});
+  const GeomId g2 = c.addGeom({{1, 2}, {}});
+  const ArcId a1 = c.addArc(mn, sd, g1);
+  c.addArc(mn2, sd, g2);
+  c.removeArc(a1, 1);
+  c.node(mn);
+  c.removeNode(mn, 1);
+  c.recordCancellation({0.5f, mn, sd});
+
+  c.compact();
+  EXPECT_EQ(c.liveNodeCount(), 2);
+  EXPECT_EQ(c.liveArcCount(), 1);
+  EXPECT_EQ(c.cancellations().size(), 0u);  // hierarchy rebased
+  EXPECT_EQ(c.nodes().size(), 2u);          // dead node physically gone
+  // Surviving arc geometry flattened and intact.
+  const Arc& ar = c.arcs()[0];
+  EXPECT_EQ(c.flattenGeom(ar.geom), (std::vector<CellAddr>{1, 2}));
+  EXPECT_EQ(c.node(ar.upper).addr, CellAddr{1});
+  EXPECT_EQ(c.node(ar.lower).addr, CellAddr{2});
+  c.checkInvariants();
+}
+
+TEST(Complex, AddressIndexSkipsDead) {
+  MsComplex c = tiny();
+  const NodeId n1 = c.addNode(7, 0, 0.0f);
+  c.addNode(9, 1, 1.0f);
+  c.removeNode(n1, 1);
+  const auto idx = c.addressIndex();
+  EXPECT_EQ(idx.size(), 1u);
+  EXPECT_TRUE(idx.contains(9));
+  EXPECT_FALSE(idx.contains(7));
+}
+
+TEST(Complex, RecomputeBoundary) {
+  const Domain d{{5, 5, 5}};  // refined 9x9x9
+  // Region = left half box [0..4] in x.
+  MsComplex c(d, Region(Box3{{0, 0, 0}, {4, 8, 8}}));
+  const NodeId inner = c.addNode(d.addrOf({2, 4, 4}), 0, 0.0f);
+  const NodeId face = c.addNode(d.addrOf({4, 4, 4}), 0, 0.0f);    // shared plane
+  const NodeId global = c.addNode(d.addrOf({0, 4, 4}), 0, 0.0f);  // global face
+  c.recomputeBoundary();
+  EXPECT_FALSE(c.node(inner).boundary);
+  EXPECT_TRUE(c.node(face).boundary);
+  EXPECT_FALSE(c.node(global).boundary);
+}
+
+TEST(Region, CoalesceMergesAdjacentBoxes) {
+  Region r(Box3{{0, 0, 0}, {4, 8, 8}});
+  r.add(Box3{{4, 0, 0}, {8, 8, 8}});
+  r.coalesce();
+  ASSERT_TRUE(r.isBox());
+  EXPECT_EQ(r.boxes()[0], (Box3{{0, 0, 0}, {8, 8, 8}}));
+}
+
+TEST(Region, NonBoxUnionBoundary) {
+  // An L-shaped union: the inner corner stays shared boundary.
+  const Domain d{{9, 9, 9}};  // refined 17^3
+  Region r(Box3{{0, 0, 0}, {8, 8, 16}});
+  r.add(Box3{{8, 0, 0}, {16, 8, 8}});
+  r.coalesce();
+  EXPECT_FALSE(r.isBox());
+  // Point on the shared plane between the two boxes: interior.
+  EXPECT_FALSE(r.onSharedBoundary({8, 4, 4}, d));
+  // Point on the top face of the second box (inside the union's
+  // bounding box but facing uncovered space): boundary.
+  EXPECT_TRUE(r.onSharedBoundary({12, 4, 8}, d));
+  // Point on the global domain face: not shared boundary.
+  EXPECT_FALSE(r.onSharedBoundary({0, 4, 4}, d));
+  EXPECT_FALSE(r.onSharedBoundary({12, 4, 0}, d));
+}
+
+}  // namespace
+}  // namespace msc

@@ -1,0 +1,143 @@
+/// Tests for domain decomposition (decomp/decompose).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/region.hpp"
+#include "decomp/decompose.hpp"
+
+namespace msc {
+namespace {
+
+TEST(Decompose, SingleBlockCoversDomain) {
+  const Domain d{{10, 11, 12}};
+  const auto blocks = decompose(d, 1);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].vdims, d.vdims);
+  EXPECT_EQ(blocks[0].voffset, (Vec3i{0, 0, 0}));
+  for (int a = 0; a < 3; ++a) {
+    EXPECT_FALSE(blocks[0].shared_lo[a]);
+    EXPECT_FALSE(blocks[0].shared_hi[a]);
+  }
+}
+
+TEST(Decompose, SplitsLongestAxisFirst) {
+  const Domain d{{17, 9, 9}};
+  const auto blocks = decompose(d, 2);
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].vdims, (Vec3i{9, 9, 9}));
+  EXPECT_EQ(blocks[1].vdims, (Vec3i{9, 9, 9}));
+  EXPECT_EQ(blocks[1].voffset, (Vec3i{8, 0, 0}));
+  EXPECT_TRUE(blocks[0].shared_hi[0]);
+  EXPECT_TRUE(blocks[1].shared_lo[0]);
+}
+
+TEST(Decompose, SharedLayerOverlapsByOneVertex) {
+  const Domain d{{9, 9, 9}};
+  for (const int n : {2, 4, 8, 16, 32}) {
+    const auto blocks = decompose(d, n);
+    ASSERT_EQ(std::ssize(blocks), n);
+    // Every pair of face-adjacent blocks shares exactly one vertex
+    // plane (paper IV-A: B[X-1][y][z] == B'[0][y][z]).
+    for (const Block& a : blocks) {
+      for (const Block& b : blocks) {
+        if (a.id >= b.id) continue;
+        for (int axis = 0; axis < 3; ++axis) {
+          const std::int64_t a_hi = a.voffset[axis] + a.vdims[axis] - 1;
+          if (a_hi == b.voffset[axis]) {
+            // They abut on this axis; if they overlap transversally
+            // the shared flags must be consistent.
+            EXPECT_TRUE(a.shared_hi[axis] || a_hi == d.vdims[axis] - 1);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Decompose, VertexCoverageIsExact) {
+  const Domain d{{12, 10, 9}};
+  for (const int n : {2, 3, 4, 6, 8, 16}) {
+    const auto blocks = decompose(d, n);
+    // Every vertex of the domain is covered; interior partition
+    // planes are covered exactly twice along their split axis.
+    std::vector<int> cover(static_cast<std::size_t>(d.vdims.volume()), 0);
+    for (const Block& b : blocks)
+      for (std::int64_t z = 0; z < b.vdims.z; ++z)
+        for (std::int64_t y = 0; y < b.vdims.y; ++y)
+          for (std::int64_t x = 0; x < b.vdims.x; ++x) {
+            const Vec3i g = Vec3i{x, y, z} + b.voffset;
+            ++cover[static_cast<std::size_t>(d.vertexId(g))];
+          }
+    for (const int c : cover) EXPECT_GE(c, 1);
+  }
+}
+
+TEST(Decompose, BisectionTreeOrderGivesBoxGroups) {
+  // Aligned groups of 2^k consecutive block ids must cover contiguous
+  // boxes -- the property the radix merge relies on.
+  const Domain d{{17, 17, 17}};
+  const int n = 16;
+  const auto blocks = decompose(d, n);
+  for (const int group : {2, 4, 8, 16}) {
+    for (int start = 0; start < n; start += group) {
+      Box3 bbox = blocks[static_cast<std::size_t>(start)].refinedBox();
+      std::int64_t vol = 0;
+      for (int i = start; i < start + group; ++i) {
+        const Box3 rb = blocks[static_cast<std::size_t>(i)].refinedBox();
+        for (int a = 0; a < 3; ++a) {
+          bbox.lo[a] = std::min(bbox.lo[a], rb.lo[a]);
+          bbox.hi[a] = std::max(bbox.hi[a], rb.hi[a]);
+        }
+        vol += rb.volume();
+      }
+      // Member boxes overlap on shared planes, so the sum of volumes
+      // is at least the bbox volume; equality of the union with the
+      // bbox is checked via Region.
+      Region r;
+      for (int i = start; i < start + group; ++i)
+        r.add(blocks[static_cast<std::size_t>(i)].refinedBox());
+      r.coalesce();
+      EXPECT_TRUE(r.isBox()) << "group [" << start << "," << start + group << ")";
+      EXPECT_EQ(r.boxes()[0], bbox);
+      EXPECT_GE(vol, bbox.volume());
+    }
+  }
+}
+
+TEST(Decompose, MinimumBlockSizeEnforced) {
+  const Domain d{{3, 3, 3}};
+  EXPECT_THROW(decompose(d, 64), std::invalid_argument);
+  EXPECT_THROW(decompose(d, 0), std::invalid_argument);
+}
+
+TEST(Decompose, NonPowerOfTwoCounts) {
+  const Domain d{{21, 19, 18}};
+  for (const int n : {3, 5, 6, 7, 12}) {
+    const auto blocks = decompose(d, n);
+    EXPECT_EQ(std::ssize(blocks), n);
+    std::set<int> ids;
+    for (const Block& b : blocks) ids.insert(b.id);
+    EXPECT_EQ(std::ssize(ids), n);
+  }
+}
+
+TEST(AssignBlocks, RoundRobin) {
+  const auto byRank = assignBlocks(10, 4);
+  ASSERT_EQ(byRank.size(), 4u);
+  EXPECT_EQ(byRank[0], (std::vector<int>{0, 4, 8}));
+  EXPECT_EQ(byRank[1], (std::vector<int>{1, 5, 9}));
+  EXPECT_EQ(byRank[2], (std::vector<int>{2, 6}));
+  EXPECT_EQ(byRank[3], (std::vector<int>{3, 7}));
+}
+
+TEST(AssignBlocks, MoreRanksThanBlocks) {
+  const auto byRank = assignBlocks(2, 5);
+  ASSERT_EQ(byRank.size(), 5u);
+  EXPECT_EQ(byRank[0].size(), 1u);
+  EXPECT_EQ(byRank[1].size(), 1u);
+  EXPECT_TRUE(byRank[2].empty());
+}
+
+}  // namespace
+}  // namespace msc

@@ -1,0 +1,156 @@
+/// Unit tests for the refined-grid cell complex (core/grid).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/grid.hpp"
+
+namespace msc {
+namespace {
+
+Domain smallDomain() { return Domain{{5, 4, 3}}; }
+
+TEST(Domain, RefinedDims) {
+  const Domain d = smallDomain();
+  EXPECT_EQ(d.rdims(), (Vec3i{9, 7, 5}));
+  EXPECT_EQ(d.numCells(), 9 * 7 * 5);
+}
+
+TEST(Domain, AddressRoundTrip) {
+  const Domain d = smallDomain();
+  const Vec3i r = d.rdims();
+  for (std::int64_t z = 0; z < r.z; ++z)
+    for (std::int64_t y = 0; y < r.y; ++y)
+      for (std::int64_t x = 0; x < r.x; ++x) {
+        const Vec3i rc{x, y, z};
+        EXPECT_EQ(d.coordOf(d.addrOf(rc)), rc);
+      }
+}
+
+TEST(Domain, CellDim) {
+  EXPECT_EQ(Domain::cellDim({0, 0, 0}), 0);
+  EXPECT_EQ(Domain::cellDim({1, 0, 0}), 1);
+  EXPECT_EQ(Domain::cellDim({0, 1, 0}), 1);
+  EXPECT_EQ(Domain::cellDim({1, 1, 0}), 2);
+  EXPECT_EQ(Domain::cellDim({1, 1, 1}), 3);
+  EXPECT_EQ(Domain::cellDim({2, 4, 6}), 0);
+}
+
+TEST(Domain, VertexIdsAreUnique) {
+  const Domain d = smallDomain();
+  std::set<std::uint64_t> ids;
+  for (std::int64_t z = 0; z < d.vdims.z; ++z)
+    for (std::int64_t y = 0; y < d.vdims.y; ++y)
+      for (std::int64_t x = 0; x < d.vdims.x; ++x)
+        EXPECT_TRUE(ids.insert(d.vertexId({x, y, z})).second);
+  EXPECT_EQ(std::ssize(ids), d.vdims.volume());
+}
+
+TEST(Cells, FacetCountMatchesDimension) {
+  const Domain d = smallDomain();
+  const Vec3i r = d.rdims();
+  std::array<Vec3i, 6> out;
+  for (std::int64_t z = 0; z < r.z; ++z)
+    for (std::int64_t y = 0; y < r.y; ++y)
+      for (std::int64_t x = 0; x < r.x; ++x) {
+        const Vec3i rc{x, y, z};
+        EXPECT_EQ(facets(rc, r, out), 2 * Domain::cellDim(rc));
+      }
+}
+
+TEST(Cells, FacetsHaveDimensionOneLess) {
+  const Domain d = smallDomain();
+  const Vec3i r = d.rdims();
+  std::array<Vec3i, 6> out;
+  for (std::int64_t z = 0; z < r.z; ++z)
+    for (std::int64_t y = 0; y < r.y; ++y)
+      for (std::int64_t x = 0; x < r.x; ++x) {
+        const Vec3i rc{x, y, z};
+        const int n = facets(rc, r, out);
+        for (int i = 0; i < n; ++i)
+          EXPECT_EQ(Domain::cellDim(out[i]), Domain::cellDim(rc) - 1);
+      }
+}
+
+TEST(Cells, CofacetsInverseOfFacets) {
+  const Domain d = smallDomain();
+  const Vec3i r = d.rdims();
+  std::array<Vec3i, 6> fs, cs;
+  for (std::int64_t z = 0; z < r.z; ++z)
+    for (std::int64_t y = 0; y < r.y; ++y)
+      for (std::int64_t x = 0; x < r.x; ++x) {
+        const Vec3i rc{x, y, z};
+        const int nc = cofacets(rc, r, cs);
+        for (int i = 0; i < nc; ++i) {
+          EXPECT_EQ(Domain::cellDim(cs[i]), Domain::cellDim(rc) + 1);
+          const int nf = facets(cs[i], r, fs);
+          bool found = false;
+          for (int j = 0; j < nf; ++j) found |= fs[j] == rc;
+          EXPECT_TRUE(found) << "cofacet does not list the cell as facet";
+        }
+      }
+}
+
+TEST(Cells, InteriorCofacetCount) {
+  const Domain d = smallDomain();
+  const Vec3i r = d.rdims();
+  std::array<Vec3i, 6> cs;
+  // Strictly interior cells have 2*(3-dim) cofacets.
+  for (std::int64_t z = 1; z < r.z - 1; ++z)
+    for (std::int64_t y = 1; y < r.y - 1; ++y)
+      for (std::int64_t x = 1; x < r.x - 1; ++x) {
+        const Vec3i rc{x, y, z};
+        EXPECT_EQ(cofacets(rc, r, cs), 2 * (3 - Domain::cellDim(rc)));
+      }
+}
+
+TEST(Cells, VertexEnumeration) {
+  std::array<Vec3i, 8> vs;
+  EXPECT_EQ(cellVertices({0, 0, 0}, vs), 1);
+  EXPECT_EQ(vs[0], (Vec3i{0, 0, 0}));
+
+  EXPECT_EQ(cellVertices({3, 2, 4}, vs), 2);  // an x-edge
+  EXPECT_EQ(vs[0], (Vec3i{1, 1, 2}));
+  EXPECT_EQ(vs[1], (Vec3i{2, 1, 2}));
+
+  EXPECT_EQ(cellVertices({1, 1, 1}, vs), 8);  // a voxel
+  std::set<std::array<std::int64_t, 3>> set;
+  for (int i = 0; i < 8; ++i) set.insert({vs[i].x, vs[i].y, vs[i].z});
+  EXPECT_EQ(set.size(), 8u);
+}
+
+TEST(Block, GlobalAddressTranslation) {
+  const Domain d{{9, 9, 9}};
+  Block b;
+  b.domain = d;
+  b.vdims = {5, 9, 9};
+  b.voffset = {4, 0, 0};
+  // The paper's address formula: local (i,j,k) maps to the global
+  // refined array with offsets doubled.
+  const Vec3i rc{2, 3, 4};
+  EXPECT_EQ(b.globalAddr(rc), d.addrOf({2 + 8, 3, 4}));
+}
+
+TEST(Block, SharedSignature) {
+  const Domain d{{9, 9, 9}};
+  Block b;
+  b.domain = d;
+  b.vdims = {5, 9, 9};
+  b.voffset = {4, 0, 0};
+  b.shared_lo[0] = true;  // split at x-plane 4; low face shared
+  EXPECT_EQ(b.sharedSignature({0, 3, 3}), AxisMask{1});
+  EXPECT_EQ(b.sharedSignature({1, 3, 3}), AxisMask{0});
+  EXPECT_EQ(b.sharedSignature({8, 3, 3}), AxisMask{0});  // high face is global boundary
+}
+
+TEST(Block, RefinedBox) {
+  const Domain d{{9, 9, 9}};
+  Block b;
+  b.domain = d;
+  b.vdims = {5, 9, 9};
+  b.voffset = {4, 0, 0};
+  EXPECT_EQ(b.refinedBox(), (Box3{{8, 0, 0}, {16, 16, 16}}));
+}
+
+}  // namespace
+}  // namespace msc

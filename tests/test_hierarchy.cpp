@@ -1,0 +1,100 @@
+/// Tests for the multi-resolution hierarchy queries (section III-C):
+/// generation filtration, threshold lookup, and level extraction.
+#include <gtest/gtest.h>
+
+#include "core/lower_star.hpp"
+#include "core/simplify.hpp"
+#include "core/trace.hpp"
+#include "synth/fields.hpp"
+
+namespace msc {
+namespace {
+
+MsComplex simplifiedNoise(unsigned seed, float threshold, int size = 11) {
+  const Domain d{{size, size, size}};
+  Block whole;
+  whole.domain = d;
+  whole.vdims = d.vdims;
+  whole.voffset = {0, 0, 0};
+  const BlockField bf = synth::sample(whole, synth::noise(seed));
+  MsComplex c = traceComplex(computeGradientLowerStar(bf), bf);
+  SimplifyOptions opts;
+  opts.persistence_threshold = threshold;
+  simplify(c, opts);
+  return c;
+}
+
+TEST(Hierarchy, GenerationZeroIsBaseComplex) {
+  const MsComplex c = simplifiedNoise(3, 0.4f);
+  ASSERT_GT(c.generation(), 0);
+  // At generation 0 every base node is live, every base arc too.
+  const auto base = c.liveNodeCountsAt(0);
+  std::array<std::int64_t, 4> expected{0, 0, 0, 0};
+  for (const Node& nd : c.nodes())
+    if (nd.destroyed_gen != kNone || nd.alive) ++expected[nd.index];
+  EXPECT_EQ(base, expected);
+}
+
+TEST(Hierarchy, CurrentGenerationMatchesLiveCounts) {
+  const MsComplex c = simplifiedNoise(5, 0.3f);
+  EXPECT_EQ(c.liveNodeCountsAt(c.generation()), c.liveNodeCounts());
+}
+
+TEST(Hierarchy, EachGenerationRemovesOnePair) {
+  const MsComplex c = simplifiedNoise(7, 0.5f);
+  for (std::int32_t g = 1; g <= c.generation(); ++g) {
+    const auto prev = c.liveNodeCountsAt(g - 1);
+    const auto cur = c.liveNodeCountsAt(g);
+    const std::int64_t tprev = prev[0] + prev[1] + prev[2] + prev[3];
+    const std::int64_t tcur = cur[0] + cur[1] + cur[2] + cur[3];
+    EXPECT_EQ(tprev - tcur, 2) << "generation " << g;
+    // Euler characteristic is preserved at every level.
+    EXPECT_EQ(cur[0] - cur[1] + cur[2] - cur[3], 1);
+  }
+}
+
+TEST(Hierarchy, GenerationForThresholdIsMonotone) {
+  const MsComplex c = simplifiedNoise(9, 0.6f);
+  std::int32_t prev = 0;
+  for (const float t : {0.0f, 0.1f, 0.2f, 0.4f, 0.6f}) {
+    const std::int32_t g = c.generationForThreshold(t);
+    EXPECT_GE(g, prev);
+    prev = g;
+  }
+  EXPECT_EQ(c.generationForThreshold(1e9f), c.generation());
+}
+
+TEST(Hierarchy, ExtractAtGenerationMatchesCounts) {
+  const MsComplex c = simplifiedNoise(11, 0.4f);
+  for (const std::int32_t g : {0, c.generation() / 2, c.generation()}) {
+    const MsComplex level = c.extractAtGeneration(g);
+    level.checkInvariants();
+    EXPECT_EQ(level.liveNodeCounts(), c.liveNodeCountsAt(g));
+    EXPECT_EQ(level.generation(), 0);  // fresh hierarchy
+  }
+}
+
+TEST(Hierarchy, ExtractedMidLevelArcsConnectLiveNodes) {
+  const MsComplex c = simplifiedNoise(13, 0.5f);
+  const std::int32_t g = c.generation() / 2;
+  std::int64_t arcs_at_g = 0;
+  for (ArcId a = 0; a < static_cast<ArcId>(c.arcs().size()); ++a) {
+    if (!c.arcLiveAt(a, g)) continue;
+    ++arcs_at_g;
+    EXPECT_TRUE(c.nodeLiveAt(c.arc(a).lower, g));
+    EXPECT_TRUE(c.nodeLiveAt(c.arc(a).upper, g));
+  }
+  const MsComplex level = c.extractAtGeneration(g);
+  EXPECT_EQ(level.liveArcCount(), arcs_at_g);
+}
+
+TEST(Hierarchy, ExtractFullGenerationEqualsCompactedLive) {
+  MsComplex c = simplifiedNoise(15, 0.3f);
+  const MsComplex level = c.extractAtGeneration(c.generation());
+  c.compact();
+  EXPECT_EQ(level.liveNodeCounts(), c.liveNodeCounts());
+  EXPECT_EQ(level.liveArcCount(), c.liveArcCount());
+}
+
+}  // namespace
+}  // namespace msc

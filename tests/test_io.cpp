@@ -1,0 +1,231 @@
+/// Tests for serialization (io/pack), the output container
+/// (io/complex_file), and subarray volume reads (io/volume).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/lower_star.hpp"
+#include "core/simplify.hpp"
+#include "core/trace.hpp"
+#include "decomp/decompose.hpp"
+#include "io/complex_file.hpp"
+#include "io/volume.hpp"
+#include "synth/fields.hpp"
+
+namespace msc {
+namespace {
+
+std::string tmpPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+MsComplex sampleComplex(unsigned seed = 3) {
+  const Domain d{{8, 8, 8}};
+  Block b;
+  b.domain = d;
+  b.vdims = d.vdims;
+  b.voffset = {0, 0, 0};
+  const BlockField bf = synth::sample(b, synth::noise(seed));
+  return traceComplex(computeGradientLowerStar(bf), bf);
+}
+
+TEST(Pack, RoundTripPreservesStructure) {
+  const MsComplex c = sampleComplex();
+  const io::Bytes bytes = io::pack(c);
+  const MsComplex r = io::unpack(bytes);
+
+  EXPECT_EQ(r.domain().vdims, c.domain().vdims);
+  EXPECT_EQ(r.region().boxes(), c.region().boxes());
+  EXPECT_EQ(r.liveNodeCount(), c.liveNodeCount());
+  EXPECT_EQ(r.liveArcCount(), c.liveArcCount());
+  EXPECT_EQ(r.liveNodeCounts(), c.liveNodeCounts());
+
+  // Node identity survives (addresses and values, same order after
+  // compaction-style remap).
+  const auto ia = c.addressIndex();
+  for (const Node& nd : r.nodes()) {
+    ASSERT_TRUE(nd.alive);
+    const auto it = ia.find(nd.addr);
+    ASSERT_NE(it, ia.end());
+    const Node& orig = c.node(it->second);
+    EXPECT_EQ(nd.index, orig.index);
+    EXPECT_EQ(nd.value, orig.value);
+    EXPECT_EQ(nd.boundary, orig.boundary);  // recomputed, must agree
+  }
+}
+
+TEST(Pack, RoundTripPreservesGeometry) {
+  const MsComplex c = sampleComplex(9);
+  const MsComplex r = io::unpack(io::pack(c));
+  // Compare multisets of flattened arc paths.
+  const auto paths = [](const MsComplex& x) {
+    std::vector<std::vector<CellAddr>> out;
+    for (const Arc& ar : x.arcs())
+      if (ar.alive && ar.geom != kNone) out.push_back(x.flattenGeom(ar.geom));
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(paths(c), paths(r));
+}
+
+TEST(Pack, PackedSizeMatchesActual) {
+  MsComplex c = sampleComplex(5);
+  EXPECT_EQ(io::packedSize(c), io::pack(c).size());
+  SimplifyOptions opts;
+  opts.persistence_threshold = 0.4f;
+  simplify(c, opts);
+  EXPECT_EQ(io::packedSize(c), io::pack(c).size());
+}
+
+TEST(Pack, UnpackRejectsGarbage) {
+  io::Bytes junk(64, std::byte{0x5A});
+  EXPECT_THROW(io::unpack(junk), std::runtime_error);
+}
+
+TEST(ComplexFile, RoundTripBlocksAndFooter) {
+  const std::string path = tmpPath("msc_test_blocks.bin");
+  std::vector<io::Bytes> blocks;
+  blocks.push_back(io::pack(sampleComplex(1)));
+  blocks.push_back(io::pack(sampleComplex(2)));
+  blocks.push_back({});  // a "null write" contribution
+  blocks.push_back(io::pack(sampleComplex(3)));
+  io::writeComplexFile(path, blocks);
+
+  const auto index = io::readComplexFileIndex(path);
+  ASSERT_EQ(index.size(), 4u);
+  EXPECT_EQ(index[0].first, 0u);
+  EXPECT_EQ(index[2].second, 0u);  // the null block
+  for (std::size_t i = 1; i < index.size(); ++i)
+    EXPECT_EQ(index[i].first, index[i - 1].first + index[i - 1].second);
+
+  const auto back = io::readComplexFile(path);
+  ASSERT_EQ(back.size(), blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) EXPECT_EQ(back[i], blocks[i]);
+
+  // And the payloads still unpack.
+  const MsComplex c = io::unpack(back[3]);
+  EXPECT_GT(c.liveNodeCount(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(ComplexFile, BadMagicRejected) {
+  const std::string path = tmpPath("msc_test_bad.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[32] = "not a complex file at all";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  EXPECT_THROW(io::readComplexFileIndex(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+class VolumeRoundTrip : public testing::TestWithParam<io::SampleType> {};
+
+TEST_P(VolumeRoundTrip, FullVolume) {
+  const io::SampleType type = GetParam();
+  const Domain d{{7, 6, 5}};
+  std::vector<float> samples(static_cast<std::size_t>(d.vdims.volume()));
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    samples[i] = type == io::SampleType::kUint8 ? static_cast<float>(i % 251)
+                                                : 0.5f * static_cast<float>(i);
+  const std::string path = tmpPath("msc_test_vol.raw");
+  io::writeVolume(path, d, samples, type);
+  EXPECT_EQ(std::filesystem::file_size(path),
+            samples.size() * io::sampleSize(type));
+  const auto back = io::readVolume(path, d, type);
+  EXPECT_EQ(back, samples);
+  std::remove(path.c_str());
+}
+
+TEST_P(VolumeRoundTrip, SubarrayBlockReadMatchesSampling) {
+  const io::SampleType type = GetParam();
+  const Domain d{{9, 8, 7}};
+  // Quantised field so uint8 round-trips exactly.
+  const auto field = [](Vec3i v) {
+    return static_cast<float>((v.x * 31 + v.y * 17 + v.z * 7) % 199);
+  };
+  std::vector<float> samples;
+  samples.reserve(static_cast<std::size_t>(d.vdims.volume()));
+  for (std::int64_t z = 0; z < d.vdims.z; ++z)
+    for (std::int64_t y = 0; y < d.vdims.y; ++y)
+      for (std::int64_t x = 0; x < d.vdims.x; ++x) samples.push_back(field({x, y, z}));
+  const std::string path = tmpPath("msc_test_vol2.raw");
+  io::writeVolume(path, d, samples, type);
+
+  for (const Block& blk : decompose(d, 4)) {
+    const BlockField fromFile = io::readBlock(path, blk, type);
+    const BlockField direct = sampleBlock(blk, field);
+    EXPECT_EQ(fromFile.values(), direct.values()) << "block " << blk.id;
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Types, VolumeRoundTrip,
+                         testing::Values(io::SampleType::kUint8, io::SampleType::kFloat32,
+                                         io::SampleType::kFloat64),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case io::SampleType::kUint8: return "u8";
+                             case io::SampleType::kFloat32: return "f32";
+                             default: return "f64";
+                           }
+                         });
+
+}  // namespace
+}  // namespace msc
+
+// Appended: collective parallel write (io::parallelWriteComplexFile).
+#include "par/comm.hpp"
+
+namespace msc {
+namespace {
+
+TEST(ParallelWrite, MatchesSequentialWriter) {
+  const std::string seq = tmpPath("msc_pw_seq.bin");
+  const std::string par_path = tmpPath("msc_pw_par.bin");
+  std::vector<io::Bytes> blocks;
+  for (unsigned s = 1; s <= 7; ++s) blocks.push_back(io::pack(sampleComplex(s)));
+  blocks[3] = {};  // one null write
+  io::writeComplexFile(seq, blocks);
+
+  par::Runtime::run(4, [&](par::Comm& comm) {
+    // Round-robin slot ownership across ranks.
+    std::vector<io::WriteContribution> mine;
+    for (int slot = 0; slot < std::ssize(blocks); ++slot)
+      if (slot % comm.size() == comm.rank())
+        mine.push_back({slot, blocks[static_cast<std::size_t>(slot)]});
+    io::parallelWriteComplexFile(comm, par_path, static_cast<int>(blocks.size()), mine);
+  });
+
+  // Byte-identical files.
+  const auto a = io::readComplexFile(seq);
+  const auto b = io::readComplexFile(par_path);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(io::readComplexFileIndex(seq), io::readComplexFileIndex(par_path));
+  std::remove(seq.c_str());
+  std::remove(par_path.c_str());
+}
+
+TEST(ParallelWrite, RejectsDuplicateAndMissingSlots) {
+  // Single rank so the error surfaces before any peer could block in
+  // a collective (the runtime has no failure broadcast, like MPI).
+  const std::string path = tmpPath("msc_pw_dup.bin");
+  EXPECT_THROW(par::Runtime::run(1, [&](par::Comm& comm) {
+                 std::vector<io::WriteContribution> mine;
+                 mine.push_back({0, io::pack(sampleComplex(1))});
+                 mine.push_back({0, io::pack(sampleComplex(2))});  // duplicate slot
+                 io::parallelWriteComplexFile(comm, path, 2, mine);
+               }),
+               std::runtime_error);
+  EXPECT_THROW(par::Runtime::run(1, [&](par::Comm& comm) {
+                 std::vector<io::WriteContribution> mine;
+                 mine.push_back({0, io::pack(sampleComplex(1))});  // slot 1 missing
+                 io::parallelWriteComplexFile(comm, path, 2, mine);
+               }),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace msc

@@ -1,0 +1,236 @@
+/// Tests for gluing MS complexes across blocks (core/merge): shared
+/// node deduplication, arc import rules, boundary recomputation, and
+/// end-to-end equivalence of a fully merged parallel computation with
+/// the serial computation on stable features.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/lower_star.hpp"
+#include "core/merge.hpp"
+#include "core/trace.hpp"
+#include "decomp/decompose.hpp"
+#include "synth/fields.hpp"
+
+namespace msc {
+namespace {
+
+MsComplex blockComplex(const Block& blk, const synth::Field& f,
+                       float local_threshold = 0.0f) {
+  const BlockField bf = synth::sample(blk, f);
+  MsComplex c = traceComplex(computeGradientLowerStar(bf), bf);
+  if (local_threshold > 0) {
+    SimplifyOptions opts;
+    opts.persistence_threshold = local_threshold;
+    simplify(c, opts);
+  }
+  return c;
+}
+
+std::int64_t euler(const MsComplex& c) {
+  const auto n = c.liveNodeCounts();
+  return n[0] - n[1] + n[2] - n[3];
+}
+
+TEST(Merge, TwoBlocksShareNodesOnPlane) {
+  const Domain d{{9, 9, 9}};
+  const auto field = synth::noise(21);
+  const auto blocks = decompose(d, 2);
+  MsComplex root = blockComplex(blocks[0], field);
+  const MsComplex other = blockComplex(blocks[1], field);
+
+  GlueStats stats;
+  glue(root, other, &stats);
+  EXPECT_GT(stats.nodes_shared, 0) << "no anchor nodes on the shared plane";
+  EXPECT_GT(stats.nodes_added, 0);
+  EXPECT_GT(stats.arcs_added, 0);
+  // Arcs fully inside the shared plane exist in both and are deduped.
+  EXPECT_GT(stats.arcs_deduped, 0);
+  // No duplicate addresses after the glue.
+  std::set<CellAddr> addrs;
+  for (const Node& nd : root.nodes()) {
+    if (!nd.alive) continue;
+    EXPECT_TRUE(addrs.insert(nd.addr).second) << "duplicate node at " << nd.addr;
+  }
+  root.checkInvariants();
+}
+
+TEST(Merge, EulerCharacteristicIsOneAfterGlue) {
+  // chi(A union B) = chi(A) + chi(B) - chi(A intersect B); both
+  // blocks and the shared plane each have chi 1, so the glued complex
+  // has chi 1 again. Violations indicate dropped or doubled cells.
+  const Domain d{{10, 9, 8}};
+  const auto field = synth::noise(2);
+  const auto blocks = decompose(d, 2);
+  MsComplex root = blockComplex(blocks[0], field);
+  const MsComplex other = blockComplex(blocks[1], field);
+  EXPECT_EQ(euler(root), 1);
+  EXPECT_EQ(euler(other), 1);
+  glue(root, other, nullptr);
+  EXPECT_EQ(euler(root), 1);
+}
+
+TEST(Merge, EightBlockTreeMergeRegionBecomesBox) {
+  const Domain d{{9, 9, 9}};
+  const auto field = synth::noise(33);
+  const auto blocks = decompose(d, 8);
+  MsComplex root = blockComplex(blocks[0], field);
+  std::vector<MsComplex> others;
+  for (int i = 1; i < 8; ++i) others.push_back(blockComplex(blocks[i], field));
+  mergeComplexes(root, std::move(others), 0.0f);
+  ASSERT_TRUE(root.region().isBox());
+  EXPECT_EQ(root.region().boxes()[0], (Box3{{0, 0, 0}, {16, 16, 16}}));
+  EXPECT_EQ(euler(root), 1);
+  // Fully merged: nothing is on a shared boundary any more.
+  for (const Node& nd : root.nodes())
+    if (nd.alive) EXPECT_FALSE(nd.boundary);
+  root.checkInvariants();
+}
+
+TEST(Merge, BoundaryNodesBecomeInteriorAndCancel) {
+  const Domain d{{9, 9, 9}};
+  const auto field = synth::noise(55);
+  const auto blocks = decompose(d, 2);
+  MsComplex a = blockComplex(blocks[0], field);
+  const MsComplex b = blockComplex(blocks[1], field);
+
+  std::int64_t boundary_before = 0;
+  for (const Node& nd : a.nodes())
+    if (nd.alive && nd.boundary) ++boundary_before;
+  ASSERT_GT(boundary_before, 0);
+
+  glue(a, b, nullptr);
+  SimplifyStats sstats;
+  finishMerge(a, 0.01f, &sstats);
+  // The spurious plane criticals have near-zero persistence and must
+  // cancel once the plane becomes interior.
+  EXPECT_GT(sstats.cancellations, 0);
+  for (const Node& nd : a.nodes())
+    if (nd.alive) EXPECT_FALSE(nd.boundary);
+}
+
+/// The flagship correctness property (Fig. 4): a full parallel merge
+/// with final simplification recovers the same stable critical
+/// points as the serial computation, for a clean Morse field.
+class MergeVsSerial : public testing::TestWithParam<int> {};
+
+TEST_P(MergeVsSerial, StableCriticalPointsMatch) {
+  const int nblocks = GetParam();
+  const int k = 2;
+  const Domain d{{17, 17, 17}};
+  const auto field = synth::cosineProduct(d, k);
+  const float threshold = 0.05f;  // well below the feature persistence
+
+  // Serial baseline: one block covering the domain.
+  Block whole;
+  whole.domain = d;
+  whole.vdims = d.vdims;
+  whole.voffset = {0, 0, 0};
+  MsComplex serial = blockComplex(whole, field);
+  SimplifyOptions sopts;
+  sopts.persistence_threshold = threshold;
+  simplify(serial, sopts);
+
+  // Parallel: local complexes, local simplification, full merge.
+  const auto blocks = decompose(d, nblocks);
+  MsComplex root = blockComplex(blocks[0], field, threshold);
+  std::vector<MsComplex> others;
+  for (int i = 1; i < nblocks; ++i) others.push_back(blockComplex(blocks[i], field, threshold));
+  mergeComplexes(root, std::move(others), threshold);
+
+  // Counts per index match exactly.
+  EXPECT_EQ(root.liveNodeCounts(), serial.liveNodeCounts());
+
+  // Every serial node has a parallel node of equal index within a
+  // one-cell geometric tolerance (discretisation can shift nodes by
+  // half a cell, section V-A).
+  std::vector<std::pair<Vec3i, int>> par;
+  for (const Node& nd : root.nodes())
+    if (nd.alive) par.push_back({d.coordOf(nd.addr), nd.index});
+  for (const Node& nd : serial.nodes()) {
+    if (!nd.alive) continue;
+    const Vec3i sc = d.coordOf(nd.addr);
+    bool matched = false;
+    for (const auto& [pc, idx] : par) {
+      if (idx != nd.index) continue;
+      const Vec3i diff = pc - sc;
+      if (std::abs(diff.x) <= 2 && std::abs(diff.y) <= 2 && std::abs(diff.z) <= 2) {
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched) << "serial node idx " << int(nd.index) << " at " << sc
+                         << " missing from parallel result";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockCounts, MergeVsSerial, testing::Values(2, 4, 8, 16),
+                         testing::PrintToStringParamName());
+
+TEST(Merge, IncrementalPairwiseEqualsOneShot) {
+  // Gluing {B1,...,B7} into B0 in one shot must give the same
+  // complex as radix-2 tree rounds with intermediate finishes. A
+  // negative threshold suppresses all cancellation (boundary
+  // artifacts have *exactly* zero persistence under the max-vertex
+  // rule, so even threshold 0 would cancel): the comparison isolates
+  // the gluing rules from cancellation-order freedom.
+  const Domain d{{9, 9, 9}};
+  const auto field = synth::noise(77);
+  const float threshold = -1.0f;
+  const auto blocks = decompose(d, 8);
+
+  MsComplex oneshot = blockComplex(blocks[0], field, threshold);
+  {
+    std::vector<MsComplex> others;
+    for (int i = 1; i < 8; ++i) others.push_back(blockComplex(blocks[i], field, threshold));
+    mergeComplexes(oneshot, std::move(others), threshold);
+  }
+
+  // Radix-2 tree: (0,1)(2,3)(4,5)(6,7) -> (01,23)(45,67) -> final.
+  std::vector<MsComplex> level;
+  for (int i = 0; i < 8; ++i) level.push_back(blockComplex(blocks[i], field, threshold));
+  while (level.size() > 1) {
+    std::vector<MsComplex> next;
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      std::vector<MsComplex> o;
+      o.push_back(std::move(level[i + 1]));
+      mergeComplexes(level[i], std::move(o), threshold);
+      next.push_back(std::move(level[i]));
+    }
+    level = std::move(next);
+  }
+  const MsComplex& tree = level[0];
+
+  const auto addrsOf = [](const MsComplex& c) {
+    std::set<std::pair<CellAddr, int>> s;
+    for (const Node& nd : c.nodes())
+      if (nd.alive) s.insert({nd.addr, nd.index});
+    return s;
+  };
+  EXPECT_EQ(addrsOf(oneshot), addrsOf(tree));
+  EXPECT_EQ(oneshot.liveArcCount(), tree.liveArcCount());
+  EXPECT_EQ(euler(oneshot), euler(tree));
+}
+
+TEST(Merge, GlueIsIdempotentForIdenticalComplex) {
+  // Gluing a complex into itself adds nothing: all nodes pre-exist
+  // and all arcs dedupe.
+  const Domain d{{8, 8, 8}};
+  Block whole;
+  whole.domain = d;
+  whole.vdims = d.vdims;
+  whole.voffset = {0, 0, 0};
+  MsComplex a = blockComplex(whole, synth::noise(5));
+  const MsComplex b = blockComplex(whole, synth::noise(5));
+  const std::int64_t nodes = a.liveNodeCount(), arcs = a.liveArcCount();
+  GlueStats stats;
+  glue(a, b, &stats);
+  EXPECT_EQ(stats.nodes_added, 0);
+  EXPECT_EQ(stats.arcs_added, 0);
+  EXPECT_EQ(a.liveNodeCount(), nodes);
+  EXPECT_EQ(a.liveArcCount(), arcs);
+}
+
+}  // namespace
+}  // namespace msc

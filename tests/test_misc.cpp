@@ -1,0 +1,110 @@
+/// Gap-filling tests: region algebra, error paths, threaded pipeline
+/// with the sweep algorithm, torus factorization edge cases.
+#include <gtest/gtest.h>
+
+#include "core/region.hpp"
+#include "io/volume.hpp"
+#include "pipeline/sim_pipeline.hpp"
+#include "pipeline/threaded_pipeline.hpp"
+#include "simnet/torus.hpp"
+
+namespace msc {
+namespace {
+
+TEST(Region, BoundsOfDisjointBoxes) {
+  Region r(Box3{{0, 0, 0}, {4, 4, 4}});
+  r.add(Box3{{10, 10, 10}, {12, 12, 12}});
+  EXPECT_EQ(r.bounds(), (Box3{{0, 0, 0}, {12, 12, 12}}));
+  EXPECT_FALSE(r.isBox());
+  EXPECT_TRUE(r.contains({2, 2, 2}));
+  EXPECT_TRUE(r.contains({11, 11, 11}));
+  EXPECT_FALSE(r.contains({7, 7, 7}));
+}
+
+TEST(Region, CoalesceDoesNotFuseDiagonalBoxes) {
+  Region r(Box3{{0, 0, 0}, {4, 4, 4}});
+  r.add(Box3{{4, 4, 0}, {8, 8, 4}});  // shares only an edge line
+  r.coalesce();
+  EXPECT_EQ(r.boxes().size(), 2u);
+}
+
+TEST(Region, MergeCombinesAndCoalesces) {
+  Region a(Box3{{0, 0, 0}, {4, 8, 8}});
+  Region b(Box3{{4, 0, 0}, {8, 8, 8}});
+  a.merge(b);
+  ASSERT_TRUE(a.isBox());
+  EXPECT_EQ(a.boxes()[0], (Box3{{0, 0, 0}, {8, 8, 8}}));
+}
+
+TEST(Region, EightOctantsCoalesceToCube) {
+  Region r;
+  for (int z = 0; z < 2; ++z)
+    for (int y = 0; y < 2; ++y)
+      for (int x = 0; x < 2; ++x)
+        r.add(Box3{{x * 8, y * 8, z * 8}, {x * 8 + 8, y * 8 + 8, z * 8 + 8}});
+  r.coalesce();
+  ASSERT_TRUE(r.isBox());
+  EXPECT_EQ(r.boxes()[0], (Box3{{0, 0, 0}, {16, 16, 16}}));
+}
+
+TEST(VolumeIo, MissingFileThrows) {
+  const Domain d{{4, 4, 4}};
+  Block b;
+  b.domain = d;
+  b.vdims = d.vdims;
+  b.voffset = {0, 0, 0};
+  EXPECT_THROW(io::readBlock("/nonexistent/path.raw", b, io::SampleType::kFloat32),
+               std::runtime_error);
+  EXPECT_THROW(io::readVolume("/nonexistent/path.raw", d, io::SampleType::kFloat32),
+               std::runtime_error);
+}
+
+TEST(VolumeIo, WriteVolumeSampleCountValidated) {
+  const Domain d{{4, 4, 4}};
+  std::vector<float> wrong(10);
+  EXPECT_THROW(io::writeVolume("/tmp/msc_bad.raw", d, wrong, io::SampleType::kFloat32),
+               std::invalid_argument);
+}
+
+TEST(Torus, PrimeAndAwkwardSizes) {
+  for (const int p : {7, 13, 17, 31, 97, 2 * 3 * 5 * 7}) {
+    const simnet::Torus t = simnet::Torus::fit(p);
+    EXPECT_EQ(t.size(), p);
+    // Hops are bounded by the sum of half-dimensions.
+    const Vec3i dm = t.dims();
+    const int maxh = static_cast<int>(dm.x / 2 + dm.y / 2 + dm.z / 2);
+    for (int a = 0; a < p; a += 3) EXPECT_LE(t.hops(0, a), maxh);
+  }
+}
+
+TEST(Pipeline, ThreadedWithSweepAlgorithmAgreesWithSim) {
+  pipeline::PipelineConfig cfg;
+  cfg.domain = Domain{{13, 13, 13}};
+  cfg.source.field = synth::sinusoid(cfg.domain, 3);
+  cfg.nblocks = 8;
+  cfg.nranks = 4;
+  cfg.persistence_threshold = 0.05f;
+  cfg.plan = MergePlan::fullMerge(8);
+  cfg.algorithm = pipeline::GradientAlgorithm::kSweep;
+  const pipeline::SimResult sim = runSimPipeline(cfg);
+  const pipeline::ThreadedResult thr = runThreadedPipeline(cfg);
+  EXPECT_EQ(sim.node_counts, thr.node_counts);
+  EXPECT_EQ(sim.output_bytes, thr.output_bytes);
+}
+
+TEST(Pipeline, TraceCapPlumbsThrough) {
+  pipeline::PipelineConfig cfg;
+  cfg.domain = Domain{{11, 11, 11}};
+  cfg.source.field = synth::noise(3);
+  cfg.nblocks = 1;
+  cfg.nranks = 1;
+  cfg.persistence_threshold = -1.0f;  // keep everything
+  cfg.plan = MergePlan::partial({});
+  const pipeline::SimResult full = runSimPipeline(cfg);
+  cfg.trace.max_paths_per_cell = 1;
+  const pipeline::SimResult capped = runSimPipeline(cfg);
+  EXPECT_LT(capped.arc_count, full.arc_count);
+}
+
+}  // namespace
+}  // namespace msc

@@ -1,0 +1,181 @@
+/// Tests for the message-passing runtime (par/comm).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "par/comm.hpp"
+
+namespace msc::par {
+namespace {
+
+Bytes toBytes(const std::string& s) {
+  Bytes b(s.size());
+  std::memcpy(b.data(), s.data(), s.size());
+  return b;
+}
+std::string fromBytes(const Bytes& b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+TEST(Comm, SendRecvPointToPoint) {
+  Runtime::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 7, toBytes("hello"));
+    } else {
+      EXPECT_EQ(fromBytes(c.recv(0, 7)), "hello");
+    }
+  });
+}
+
+TEST(Comm, MessagesFromSameSourceArriveInOrder) {
+  Runtime::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 100; ++i) c.sendValue(1, 3, i);
+    } else {
+      for (int i = 0; i < 100; ++i) EXPECT_EQ(c.recvValue<int>(0, 3), i);
+    }
+  });
+}
+
+TEST(Comm, WildcardReceive) {
+  Runtime::run(4, [](Comm& c) {
+    if (c.rank() != 0) {
+      c.sendValue(0, c.rank(), c.rank());
+    } else {
+      int sum = 0;
+      for (int i = 0; i < 3; ++i) {
+        int src = kAny, tag = kAny;
+        const Bytes b = c.recv(kAny, kAny, &src, &tag);
+        int v;
+        std::memcpy(&v, b.data(), sizeof(v));
+        EXPECT_EQ(v, src);
+        EXPECT_EQ(v, tag);
+        sum += v;
+      }
+      EXPECT_EQ(sum, 1 + 2 + 3);
+    }
+  });
+}
+
+TEST(Comm, TagSelectiveReceiveReordersQueue) {
+  Runtime::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.sendValue(1, 10, 100);
+      c.sendValue(1, 20, 200);
+    } else {
+      // Receive the tag-20 message first even though tag-10 arrived
+      // earlier.
+      EXPECT_EQ(c.recvValue<int>(0, 20), 200);
+      EXPECT_EQ(c.recvValue<int>(0, 10), 100);
+    }
+  });
+}
+
+TEST(Comm, BarrierSynchronizes) {
+  std::atomic<int> phase{0};
+  Runtime::run(8, [&](Comm& c) {
+    phase.fetch_add(1);
+    c.barrier();
+    // All ranks incremented before anyone proceeds.
+    EXPECT_EQ(phase.load(), 8);
+    c.barrier();
+  });
+}
+
+TEST(Comm, RepeatedBarriers) {
+  std::atomic<int> counter{0};
+  Runtime::run(4, [&](Comm& c) {
+    for (int i = 0; i < 50; ++i) {
+      if (c.rank() == 0) counter.fetch_add(1);
+      c.barrier();
+      EXPECT_EQ(counter.load(), i + 1);
+      c.barrier();
+    }
+  });
+}
+
+TEST(Comm, GatherCollectsInRankOrder) {
+  Runtime::run(5, [](Comm& c) {
+    const auto v = static_cast<std::byte>(c.rank() * 11);
+    const auto all = c.gather(2, Bytes{v});
+    if (c.rank() == 2) {
+      ASSERT_EQ(all.size(), 5u);
+      for (int i = 0; i < 5; ++i) {
+        ASSERT_EQ(all[static_cast<std::size_t>(i)].size(), 1u);
+        EXPECT_EQ(all[static_cast<std::size_t>(i)][0], static_cast<std::byte>(i * 11));
+      }
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST(Comm, Broadcast) {
+  Runtime::run(6, [](Comm& c) {
+    Bytes payload = c.rank() == 3 ? toBytes("root-data") : Bytes{};
+    EXPECT_EQ(fromBytes(c.broadcast(3, std::move(payload))), "root-data");
+  });
+}
+
+TEST(Comm, ProbeSeesQueuedMessage) {
+  Runtime::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.sendValue(1, 5, 42);
+      c.barrier();
+    } else {
+      c.barrier();  // message is definitely queued now
+      EXPECT_TRUE(c.probe(0, 5));
+      EXPECT_FALSE(c.probe(0, 6));
+      EXPECT_EQ(c.recvValue<int>(0, 5), 42);
+      EXPECT_FALSE(c.probe(0, 5));
+    }
+  });
+}
+
+TEST(Comm, ManyToOneStress) {
+  constexpr int kRanks = 8, kMsgs = 200;
+  Runtime::run(kRanks, [](Comm& c) {
+    if (c.rank() == 0) {
+      std::int64_t sum = 0;
+      for (int i = 0; i < (kRanks - 1) * kMsgs; ++i) sum += c.recvValue<int>(kAny, 1);
+      std::int64_t expect = 0;
+      for (int r = 1; r < kRanks; ++r)
+        for (int i = 0; i < kMsgs; ++i) expect += r * 1000 + i;
+      EXPECT_EQ(sum, expect);
+    } else {
+      for (int i = 0; i < kMsgs; ++i) c.sendValue(0, 1, c.rank() * 1000 + i);
+    }
+  });
+}
+
+TEST(Comm, ExceptionsPropagate) {
+  EXPECT_THROW(Runtime::run(1, [](Comm&) { throw std::runtime_error("rank failed"); }),
+               std::runtime_error);
+}
+
+TEST(Comm, SendToSelf) {
+  Runtime::run(1, [](Comm& c) {
+    c.sendValue(0, 9, 123);
+    EXPECT_EQ(c.recvValue<int>(0, 9), 123);
+  });
+}
+
+TEST(Comm, LargePayloadRoundTrip) {
+  Runtime::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      Bytes big(1 << 20);
+      for (std::size_t i = 0; i < big.size(); ++i)
+        big[i] = static_cast<std::byte>(i * 2654435761u >> 24);
+      c.send(1, 1, std::move(big));
+    } else {
+      const Bytes got = c.recv(0, 1);
+      ASSERT_EQ(got.size(), std::size_t{1} << 20);
+      for (std::size_t i = 0; i < got.size(); i += 4097)
+        EXPECT_EQ(got[i], static_cast<std::byte>(i * 2654435761u >> 24));
+    }
+  });
+}
+
+}  // namespace
+}  // namespace msc::par

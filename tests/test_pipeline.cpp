@@ -1,0 +1,170 @@
+/// End-to-end tests of the pipeline drivers: the concurrent ranks
+/// driver (threaded_pipeline) against the simulated driver
+/// (sim_pipeline) and against the serial baseline.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "io/complex_file.hpp"
+#include "pipeline/sim_pipeline.hpp"
+#include "pipeline/threaded_pipeline.hpp"
+
+namespace msc::pipeline {
+namespace {
+
+PipelineConfig baseConfig(int nblocks, int nranks, float threshold = 0.05f) {
+  PipelineConfig cfg;
+  cfg.domain = Domain{{17, 17, 17}};
+  cfg.source.field = synth::cosineProduct(cfg.domain, 2);
+  cfg.nblocks = nblocks;
+  cfg.nranks = nranks;
+  cfg.persistence_threshold = threshold;
+  cfg.plan = MergePlan::fullMerge(nblocks);
+  return cfg;
+}
+
+std::set<std::pair<CellAddr, int>> nodeSet(const std::vector<io::Bytes>& outputs) {
+  std::set<std::pair<CellAddr, int>> s;
+  for (const io::Bytes& b : outputs) {
+    const MsComplex c = io::unpack(b);
+    for (const Node& nd : c.nodes())
+      if (nd.alive) s.insert({nd.addr, nd.index});
+  }
+  return s;
+}
+
+TEST(Pipeline, SimMatchesThreadedFullMerge) {
+  const PipelineConfig cfg = baseConfig(8, 4);
+  const SimResult sim = runSimPipeline(cfg);
+  const ThreadedResult thr = runThreadedPipeline(cfg);
+
+  EXPECT_EQ(sim.node_counts, thr.node_counts);
+  EXPECT_EQ(sim.arc_count, thr.arc_count);
+  EXPECT_EQ(sim.output_bytes, thr.output_bytes);
+  ASSERT_EQ(sim.outputs.size(), thr.outputs.size());
+  EXPECT_EQ(nodeSet(sim.outputs), nodeSet(thr.outputs));
+}
+
+TEST(Pipeline, SimMatchesThreadedPartialMerge) {
+  PipelineConfig cfg = baseConfig(16, 4);
+  cfg.plan = MergePlan::partial({4});
+  const SimResult sim = runSimPipeline(cfg);
+  const ThreadedResult thr = runThreadedPipeline(cfg);
+  EXPECT_EQ(sim.outputs.size(), 4u);
+  ASSERT_EQ(thr.outputs.size(), 4u);
+  EXPECT_EQ(sim.node_counts, thr.node_counts);
+  EXPECT_EQ(nodeSet(sim.outputs), nodeSet(thr.outputs));
+}
+
+TEST(Pipeline, NoMergeLeavesOneComplexPerBlock) {
+  PipelineConfig cfg = baseConfig(8, 2);
+  cfg.plan = MergePlan::partial({});
+  const SimResult sim = runSimPipeline(cfg);
+  EXPECT_EQ(sim.outputs.size(), 8u);
+  const ThreadedResult thr = runThreadedPipeline(cfg);
+  EXPECT_EQ(thr.outputs.size(), 8u);
+  EXPECT_EQ(nodeSet(sim.outputs), nodeSet(thr.outputs));
+}
+
+TEST(Pipeline, FullMergeMatchesSerialCriticalCounts) {
+  // Fully merged parallel result vs a serial one-block run: same
+  // census on a clean Morse field (the Fig. 4 property, end-to-end).
+  const PipelineConfig par = baseConfig(16, 8);
+  const SimResult sim = runSimPipeline(par);
+
+  const PipelineConfig ser = baseConfig(1, 1);
+  const SimResult serial = runSimPipeline(ser);
+
+  EXPECT_EQ(sim.node_counts, serial.node_counts);
+  const std::int64_t k = 2, kx = 1;
+  EXPECT_EQ(sim.node_counts[0], k * k * k);
+  EXPECT_EQ(sim.node_counts[3], kx * kx * kx);
+}
+
+TEST(Pipeline, ThreadedMoreRanksThanBlocks) {
+  PipelineConfig cfg = baseConfig(4, 7);  // idle ranks must not hang
+  cfg.plan = MergePlan::fullMerge(4);
+  const ThreadedResult thr = runThreadedPipeline(cfg);
+  EXPECT_EQ(thr.outputs.size(), 1u);
+  EXPECT_GT(thr.node_counts[0], 0);
+}
+
+TEST(Pipeline, MultipleBlocksPerRank) {
+  PipelineConfig cfg = baseConfig(16, 3);  // 16 blocks over 3 ranks
+  const SimResult sim = runSimPipeline(cfg);
+  const ThreadedResult thr = runThreadedPipeline(cfg);
+  EXPECT_EQ(sim.node_counts, thr.node_counts);
+  EXPECT_EQ(nodeSet(sim.outputs), nodeSet(thr.outputs));
+}
+
+TEST(Pipeline, OutputFileWrittenAndReadable) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "msc_pipeline_out.bin").string();
+  PipelineConfig cfg = baseConfig(8, 4);
+  cfg.plan = MergePlan::partial({2});  // 4 output blocks
+  cfg.output_path = path;
+  const ThreadedResult thr = runThreadedPipeline(cfg);
+  ASSERT_EQ(thr.outputs.size(), 4u);
+
+  const auto back = io::readComplexFile(path);
+  ASSERT_EQ(back.size(), 4u);
+  std::array<std::int64_t, 4> counts{};
+  for (const io::Bytes& b : back) {
+    const MsComplex c = io::unpack(b);
+    const auto n = c.liveNodeCounts();
+    for (int i = 0; i < 4; ++i) counts[static_cast<std::size_t>(i)] += n[i];
+  }
+  EXPECT_EQ(counts, thr.node_counts);
+  std::remove(path.c_str());
+}
+
+TEST(Pipeline, SweepAndLowerStarConvergeAfterSimplification) {
+  PipelineConfig cfg = baseConfig(8, 4, 0.05f);
+  cfg.algorithm = GradientAlgorithm::kLowerStar;
+  const SimResult ls = runSimPipeline(cfg);
+  cfg.algorithm = GradientAlgorithm::kSweep;
+  const SimResult sw = runSimPipeline(cfg);
+  // Zero-persistence sweep artifacts cancel during simplification;
+  // the surviving censuses agree on the clean field.
+  EXPECT_EQ(ls.node_counts, sw.node_counts);
+}
+
+TEST(Pipeline, VolumeFileSourceMatchesAnalytic) {
+  const Domain d{{13, 13, 13}};
+  const auto field = synth::sinusoid(d, 2);
+  const std::string vol =
+      (std::filesystem::temp_directory_path() / "msc_pipeline_vol.raw").string();
+  io::writeVolume(vol, d, synth::sampleAll(d, field), io::SampleType::kFloat32);
+
+  PipelineConfig cfg;
+  cfg.domain = d;
+  cfg.source.field = field;
+  cfg.nblocks = 4;
+  cfg.nranks = 2;
+  cfg.persistence_threshold = 0.01f;
+  cfg.plan = MergePlan::fullMerge(4);
+  const SimResult analytic = runSimPipeline(cfg);
+
+  cfg.source.volume_path = vol;
+  const SimResult fromFile = runSimPipeline(cfg);
+  EXPECT_EQ(analytic.node_counts, fromFile.node_counts);
+  EXPECT_EQ(analytic.arc_count, fromFile.arc_count);
+  std::remove(vol.c_str());
+}
+
+TEST(Pipeline, TimesArePopulated) {
+  const PipelineConfig cfg = baseConfig(8, 8);
+  const SimResult sim = runSimPipeline(cfg);
+  EXPECT_GT(sim.times.read, 0);
+  EXPECT_GT(sim.times.compute, 0);
+  EXPECT_EQ(std::ssize(sim.times.merge_rounds), cfg.plan.rounds());
+  EXPECT_GT(sim.times.write, 0);
+  EXPECT_GT(sim.times.total(), 0);
+  EXPECT_GT(sim.output_bytes, 0);
+  EXPECT_GT(sim.serial_seconds, 0);
+}
+
+}  // namespace
+}  // namespace msc::pipeline

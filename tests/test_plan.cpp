@@ -1,0 +1,64 @@
+/// Tests for radix merge plans (merge/plan).
+#include <gtest/gtest.h>
+
+#include "merge/plan.hpp"
+
+namespace msc {
+namespace {
+
+TEST(MergePlan, RejectsInvalidRadix) {
+  EXPECT_THROW(MergePlan({3}), std::invalid_argument);
+  EXPECT_THROW(MergePlan({16}), std::invalid_argument);
+  EXPECT_NO_THROW(MergePlan({2, 4, 8}));
+}
+
+TEST(MergePlan, OutputsFor) {
+  EXPECT_EQ(MergePlan({8, 8}).outputsFor(2048), 32);
+  EXPECT_EQ(MergePlan({4, 8, 8, 8}).outputsFor(2048), 1);
+  EXPECT_EQ(MergePlan({8}).outputsFor(10), 2);  // ragged last group
+  EXPECT_EQ(MergePlan(std::vector<int>{}).outputsFor(7), 7);
+}
+
+TEST(MergePlan, FullMergeMatchesPaperExamples) {
+  // 2048 blocks -> [4,8,8,8] (Table I); 8192 -> [2,8,8,8,8]
+  // (section VI-D1); 256 -> [4,8,8] (Table II row 1); smaller
+  // radices come first (section VI-C2).
+  EXPECT_EQ(MergePlan::fullMerge(2048).radices(), (std::vector<int>{4, 8, 8, 8}));
+  EXPECT_EQ(MergePlan::fullMerge(8192).radices(), (std::vector<int>{2, 8, 8, 8, 8}));
+  EXPECT_EQ(MergePlan::fullMerge(256).radices(), (std::vector<int>{4, 8, 8}));
+  EXPECT_EQ(MergePlan::fullMerge(512).radices(), (std::vector<int>{8, 8, 8}));
+  EXPECT_EQ(MergePlan::fullMerge(2).radices(), (std::vector<int>{2}));
+  EXPECT_EQ(MergePlan::fullMerge(1).radices(), (std::vector<int>{}));
+}
+
+TEST(MergePlan, FullMergeAlwaysReachesOne) {
+  for (int n = 1; n <= 4096; n *= 2) EXPECT_EQ(MergePlan::fullMerge(n).outputsFor(n), 1);
+  EXPECT_EQ(MergePlan::fullMerge(100).outputsFor(100), 1);
+}
+
+TEST(MergePlan, RoundGroups) {
+  const auto groups = makeRound(10, 4);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].root, 0);
+  EXPECT_EQ(groups[0].members, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(groups[1].members, (std::vector<int>{4, 5, 6, 7}));
+  EXPECT_EQ(groups[2].members, (std::vector<int>{8, 9}));  // ragged
+}
+
+TEST(MergePlan, SurvivorIdsAfterRounds) {
+  const MergePlan plan({2, 4});
+  const auto after0 = plan.survivorIds(16, 0);
+  EXPECT_EQ(std::ssize(after0), 16);
+  const auto after1 = plan.survivorIds(16, 1);
+  EXPECT_EQ(after1, (std::vector<int>{0, 2, 4, 6, 8, 10, 12, 14}));
+  const auto after2 = plan.survivorIds(16, 2);
+  EXPECT_EQ(after2, (std::vector<int>{0, 8}));
+}
+
+TEST(MergePlan, ToString) {
+  EXPECT_EQ(MergePlan({4, 8, 8}).toString(), "[4,8,8]");
+  EXPECT_EQ(MergePlan(std::vector<int>{}).toString(), "[]");
+}
+
+}  // namespace
+}  // namespace msc

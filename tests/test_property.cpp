@@ -1,0 +1,131 @@
+/// Property-based sweeps: the core invariants checked over a grid of
+/// random fields, sizes, block counts and algorithms.
+#include <gtest/gtest.h>
+
+#include "core/merge.hpp"
+#include "core/trace.hpp"
+#include "decomp/decompose.hpp"
+#include "io/pack.hpp"
+#include "oracle.hpp"
+
+namespace msc {
+namespace {
+
+struct PropCase {
+  unsigned seed;
+  int size;
+  int nblocks;
+  bool sweep;
+};
+
+std::string propName(const testing::TestParamInfo<PropCase>& info) {
+  const PropCase& c = info.param;
+  return "seed" + std::to_string(c.seed) + "_n" + std::to_string(c.size) + "_b" +
+         std::to_string(c.nblocks) + (c.sweep ? "_sweep" : "_lstar");
+}
+
+class RandomFieldProperties : public testing::TestWithParam<PropCase> {};
+
+TEST_P(RandomFieldProperties, AllInvariantsHold) {
+  const PropCase pc = GetParam();
+  const Domain d{{pc.size, pc.size, pc.size}};
+  const auto field = synth::noise(pc.seed);
+  const auto blocks = decompose(d, pc.nblocks);
+
+  std::vector<MsComplex> complexes;
+  std::int64_t boundary_nodes = 0;
+  for (const Block& blk : blocks) {
+    const BlockField bf = synth::sample(blk, field);
+    const GradientField g =
+        pc.sweep ? computeGradientSweep(bf) : computeGradientLowerStar(bf);
+
+    // Invariant 1: valid acyclic gradient with chi = 1.
+    test::expectValidGradient(g);
+
+    // Invariant 2: the traced complex is structurally sound and its
+    // node census equals the gradient's critical census.
+    MsComplex c = traceComplex(g, bf);
+    c.checkInvariants();
+    EXPECT_EQ(c.liveNodeCounts(), g.criticalCounts());
+
+    // Invariant 3: pack/unpack is the identity on living structure.
+    const io::Bytes bytes = io::pack(c);
+    const MsComplex r = io::unpack(bytes);
+    EXPECT_EQ(r.liveNodeCounts(), c.liveNodeCounts());
+    EXPECT_EQ(r.liveArcCount(), c.liveArcCount());
+    EXPECT_EQ(io::pack(r), bytes);  // idempotent serialization
+
+    for (const Node& nd : c.nodes())
+      if (nd.alive && nd.boundary) ++boundary_nodes;
+    complexes.push_back(std::move(c));
+  }
+  if (pc.nblocks > 1) EXPECT_GT(boundary_nodes, 0);
+
+  // Invariant 4: the fully merged complex has chi = 1, no boundary
+  // nodes, no duplicate addresses, and is structurally sound.
+  MsComplex root = std::move(complexes[0]);
+  std::vector<MsComplex> others(std::make_move_iterator(complexes.begin() + 1),
+                                std::make_move_iterator(complexes.end()));
+  mergeComplexes(root, std::move(others), 0.1f);
+  root.checkInvariants();
+  const auto n = root.liveNodeCounts();
+  EXPECT_EQ(n[0] - n[1] + n[2] - n[3], 1);
+  std::unordered_map<CellAddr, int> seen;
+  for (const Node& nd : root.nodes()) {
+    if (!nd.alive) continue;
+    EXPECT_FALSE(nd.boundary);
+    EXPECT_EQ(seen[nd.addr]++, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomFieldProperties,
+    testing::Values(PropCase{1, 8, 2, false}, PropCase{2, 8, 4, false},
+                    PropCase{3, 9, 8, false}, PropCase{4, 10, 2, true},
+                    PropCase{5, 10, 4, true}, PropCase{6, 9, 8, true},
+                    PropCase{7, 11, 16, false}, PropCase{8, 12, 8, false},
+                    PropCase{9, 11, 16, true}, PropCase{10, 12, 1, false},
+                    PropCase{11, 12, 1, true}, PropCase{12, 13, 32, false}),
+    propName);
+
+/// Simplification keeps chi and the persistence bound at every step,
+/// for any threshold, on random data.
+class SimplifyProperties : public testing::TestWithParam<std::pair<unsigned, int>> {};
+
+TEST_P(SimplifyProperties, MonotoneThresholdNesting) {
+  const auto [seed, size] = GetParam();
+  const Domain d{{size, size, size}};
+  Block whole;
+  whole.domain = d;
+  whole.vdims = d.vdims;
+  whole.voffset = {0, 0, 0};
+  const BlockField bf = synth::sample(whole, synth::noise(seed));
+  const GradientField g = computeGradientLowerStar(bf);
+
+  // Increasing thresholds produce nested (non-increasing) censuses.
+  std::int64_t prev_nodes = std::numeric_limits<std::int64_t>::max();
+  for (const float t : {0.0f, 0.1f, 0.3f, 0.6f, 1.0f}) {
+    MsComplex c = traceComplex(g, bf);
+    SimplifyOptions opts;
+    opts.persistence_threshold = t;
+    simplify(c, opts);
+    c.checkInvariants();
+    const auto n = c.liveNodeCounts();
+    EXPECT_EQ(n[0] - n[1] + n[2] - n[3], 1);
+    const std::int64_t total = n[0] + n[1] + n[2] + n[3];
+    EXPECT_LE(total, prev_nodes) << "threshold " << t;
+    prev_nodes = total;
+    for (const Cancellation& cc : c.cancellations()) EXPECT_LE(cc.persistence, t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyProperties,
+                         testing::Values(std::pair{21u, 9}, std::pair{22u, 10},
+                                         std::pair{23u, 11}, std::pair{24u, 12}),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param.first) + "_n" +
+                                  std::to_string(info.param.second);
+                         });
+
+}  // namespace
+}  // namespace msc

@@ -1,0 +1,164 @@
+/// Tests for Morse segmentation (analysis/segmentation): basins of
+/// minima (ascending manifolds) and mountains of maxima (descending
+/// manifolds).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/segmentation.hpp"
+#include "core/lower_star.hpp"
+#include "synth/fields.hpp"
+
+namespace msc::analysis {
+namespace {
+
+Block wholeDomainBlock(const Domain& d) {
+  Block b;
+  b.domain = d;
+  b.vdims = d.vdims;
+  b.voffset = {0, 0, 0};
+  return b;
+}
+
+GradientField gradientOf(const Domain& d, const synth::Field& f) {
+  return computeGradientLowerStar(synth::sample(wholeDomainBlock(d), f));
+}
+
+TEST(SegmentMinima, RampIsOneBasin) {
+  const Domain d{{7, 7, 7}};
+  const Segmentation s = segmentByMinima(gradientOf(d, synth::ramp()));
+  ASSERT_EQ(s.regionCount(), 1);
+  EXPECT_EQ(s.seeds[0], (Vec3i{0, 0, 0}));
+  for (const std::int32_t l : s.labels) EXPECT_EQ(l, 0);
+}
+
+TEST(SegmentMinima, CosineBasinsMatchMinimaCount) {
+  const int k = 2;
+  const Domain d{{17, 17, 17}};
+  const GradientField g = gradientOf(d, synth::cosineProduct(d, k));
+  const Segmentation s = segmentByMinima(g);
+  EXPECT_EQ(s.regionCount(), k * k * k);
+  // Every vertex labelled; every region non-empty and containing its
+  // seed's vertex.
+  for (const std::int32_t l : s.labels) {
+    ASSERT_NE(l, kUnlabelled);
+    ASSERT_LT(l, s.regionCount());
+  }
+  const auto sizes = s.regionSizes();
+  std::int64_t total = 0;
+  for (const std::int64_t sz : sizes) {
+    EXPECT_GT(sz, 0);
+    total += sz;
+  }
+  EXPECT_EQ(total, d.vdims.volume());
+  // Symmetric field: basins have comparable sizes.
+  for (const std::int64_t sz : sizes) {
+    EXPECT_GT(sz, total / (2 * k * k * k));
+    EXPECT_LT(sz, 2 * total / (k * k * k));
+  }
+}
+
+TEST(SegmentMinima, SeedsAreCriticalMinima) {
+  const Domain d{{11, 11, 11}};
+  const GradientField g = gradientOf(d, synth::noise(7));
+  const Segmentation s = segmentByMinima(g);
+  EXPECT_EQ(static_cast<std::int64_t>(s.seeds.size()), g.criticalCounts()[0]);
+  for (const Vec3i& seed : s.seeds) {
+    EXPECT_TRUE(g.isCritical(seed));
+    EXPECT_EQ(Domain::cellDim(seed), 0);
+  }
+}
+
+TEST(SegmentMinima, BasinValueNotBelowItsMinimum) {
+  const Domain d{{10, 10, 10}};
+  Block b = wholeDomainBlock(d);
+  const BlockField bf = synth::sample(b, synth::noise(5));
+  const GradientField g = computeGradientLowerStar(bf);
+  const Segmentation s = segmentByMinima(g);
+  for (std::int64_t z = 0; z < d.vdims.z; ++z)
+    for (std::int64_t y = 0; y < d.vdims.y; ++y)
+      for (std::int64_t x = 0; x < d.vdims.x; ++x) {
+        const std::int32_t l = s.labels[static_cast<std::size_t>(b.vertexIndex({x, y, z}))];
+        const Vec3i seed = s.seeds[static_cast<std::size_t>(l)];
+        const Vec3i seedVert{seed.x / 2, seed.y / 2, seed.z / 2};
+        EXPECT_GE(bf.vertexValue({x, y, z}), bf.vertexValue(seedVert));
+      }
+}
+
+TEST(SegmentMaxima, RampHasNoMountains) {
+  // The ramp's maximum sits on the boundary *vertex*, so there is no
+  // critical voxel at all: zero descending 3-manifolds is correct.
+  const Domain d{{7, 7, 7}};
+  const Segmentation s = segmentByMaxima(gradientOf(d, synth::ramp()));
+  EXPECT_EQ(s.regionCount(), 0);
+}
+
+TEST(SegmentMaxima, SingleBumpIsOneMountain) {
+  const Domain d{{15, 15, 15}};
+  const auto bump = [](Vec3i p) {
+    const double x = p.x / 14.0 - 0.5, y = p.y / 14.0 - 0.5, z = p.z / 14.0 - 0.5;
+    return static_cast<float>(std::exp(-(x * x + y * y + z * z) / 0.05));
+  };
+  const Segmentation s = segmentByMaxima(gradientOf(d, bump));
+  ASSERT_EQ(s.regionCount(), 1);
+  const auto sizes = s.regionSizes();
+  // The single mountain covers the majority of the voxels (boundary
+  // ascents may orphan a thin shell).
+  EXPECT_GT(sizes[0] * 2, std::ssize(s.labels));
+}
+
+TEST(SegmentMaxima, SeedsAreCriticalMaxima) {
+  const Domain d{{11, 11, 11}};
+  const GradientField g = gradientOf(d, synth::noise(9));
+  const Segmentation s = segmentByMaxima(g);
+  EXPECT_EQ(static_cast<std::int64_t>(s.seeds.size()), g.criticalCounts()[3]);
+  for (const Vec3i& seed : s.seeds) {
+    EXPECT_TRUE(g.isCritical(seed));
+    EXPECT_EQ(Domain::cellDim(seed), 3);
+  }
+}
+
+TEST(SegmentMaxima, MostVoxelsLabelledOnNoise) {
+  const Domain d{{12, 12, 12}};
+  const Segmentation s = segmentByMaxima(gradientOf(d, synth::noise(11)));
+  std::int64_t labelled = 0;
+  for (const std::int32_t l : s.labels)
+    if (l != kUnlabelled) ++labelled;
+  // Orphans (ascents exiting through the boundary) concentrate near
+  // the boundary shell, which is a large fraction at this size; the
+  // interior majority must still be labelled.
+  EXPECT_GT(labelled * 10, std::ssize(s.labels) * 6);
+}
+
+TEST(SegmentMaxima, RegionSizesSumToLabelled) {
+  const Domain d{{10, 10, 10}};
+  const Segmentation s = segmentByMaxima(gradientOf(d, synth::sinusoid(d, 3)));
+  std::int64_t labelled = 0;
+  for (const std::int32_t l : s.labels)
+    if (l != kUnlabelled) ++labelled;
+  std::int64_t total = 0;
+  for (const std::int64_t sz : s.regionSizes()) total += sz;
+  EXPECT_EQ(total, labelled);
+}
+
+TEST(Segmentation, BubbleCountUseCase) {
+  // The Laney et al. workflow (paper section II): count isolated
+  // regions of one fluid penetrating the other. Two Gaussian bumps =
+  // two mountains of significant size.
+  const Domain d{{21, 21, 21}};
+  const auto field = [&](Vec3i p) {
+    const double x = p.x / 20.0 - 0.5, y = p.y / 20.0 - 0.5, z = p.z / 20.0 - 0.5;
+    const double b1 = std::exp(-((x + 0.22) * (x + 0.22) + y * y + z * z) / 0.02);
+    const double b2 = std::exp(-((x - 0.22) * (x - 0.22) + y * y + z * z) / 0.02);
+    return static_cast<float>(b1 + b2);
+  };
+  const Segmentation s = segmentByMaxima(gradientOf(d, field));
+  // Count regions with >= 5% of the voxels: exactly the two bubbles.
+  std::int64_t big = 0;
+  for (const std::int64_t sz : s.regionSizes())
+    if (sz * 20 >= std::ssize(s.labels)) ++big;
+  EXPECT_EQ(big, 2);
+}
+
+}  // namespace
+}  // namespace msc::analysis

@@ -1,0 +1,121 @@
+/// Tests for the performance models (simnet): torus geometry,
+/// message costs, I/O model, and timeline reconstruction.
+#include <gtest/gtest.h>
+
+#include "simnet/timeline.hpp"
+
+namespace msc::simnet {
+namespace {
+
+TEST(Torus, FitIsExactFactorization) {
+  for (const int p : {1, 2, 4, 8, 32, 512, 2048, 8192, 32768, 100, 96}) {
+    const Torus t = Torus::fit(p);
+    EXPECT_EQ(t.size(), p) << "P=" << p;
+  }
+}
+
+TEST(Torus, FitIsNearCubic) {
+  const Torus t = Torus::fit(4096);
+  EXPECT_EQ(t.dims(), (Vec3i{16, 16, 16}));
+  const Torus t2 = Torus::fit(8);
+  EXPECT_EQ(t2.dims(), (Vec3i{2, 2, 2}));
+}
+
+TEST(Torus, HopsAreSymmetricAndWrap) {
+  const Torus t = Torus::fit(64);  // 4x4x4
+  EXPECT_EQ(t.hops(0, 0), 0);
+  for (int a = 0; a < 64; a += 7)
+    for (int b = 0; b < 64; b += 5) EXPECT_EQ(t.hops(a, b), t.hops(b, a));
+  // Wrap-around: coordinate distance 3 on a ring of 4 is 1 hop.
+  const Vec3i c0 = t.coordOf(0);
+  ASSERT_EQ(c0, (Vec3i{0, 0, 0}));
+  EXPECT_EQ(t.hops(0, 3), 1);  // (3,0,0) wraps to distance 1
+}
+
+TEST(Torus, MessageTimeMonotoneInBytes) {
+  const TorusModel m(Torus::fit(64), {});
+  EXPECT_LT(m.messageTime(1000, 0, 1), m.messageTime(100000, 0, 1));
+  EXPECT_GT(m.messageTime(0, 0, 63), 0);  // latency + hops only
+}
+
+TEST(IoModel, SaturatesAtAggregateBandwidth) {
+  IoParams p;
+  p.open_s = 0;
+  p.sync_per_level_s = 0;
+  p.aggregate_bw_Bps = 1e9;
+  p.per_proc_bw_Bps = 1e8;
+  const IoModel io(p);
+  const std::int64_t bytes = 1'000'000'000;
+  // Below saturation: doubling P halves the time.
+  EXPECT_NEAR(io.collectiveTime(bytes, 2) / io.collectiveTime(bytes, 4), 2.0, 1e-9);
+  // At/after saturation (P >= 10): flat.
+  EXPECT_NEAR(io.collectiveTime(bytes, 16), io.collectiveTime(bytes, 1024), 1e-9);
+}
+
+TEST(IoModel, SyncTermGrowsWithRanks) {
+  IoParams p;
+  p.aggregate_bw_Bps = 1e12;
+  p.per_proc_bw_Bps = 1e12;
+  const IoModel io(p);
+  EXPECT_LT(io.collectiveTime(0, 2), io.collectiveTime(0, 4096));
+}
+
+TEST(Timeline, ComputeIsMaxOverRanks) {
+  TimelineInputs in;
+  in.nranks = 4;
+  in.compute_per_rank = {1.0, 3.0, 2.0, 0.5};
+  in.merge_prep_per_rank = {0.1, 0.2, 0.1, 0.1};
+  const TorusModel net(Torus::fit(4), {});
+  const IoModel io;
+  CostScale scale;
+  scale.cpu_scale = 2.0;
+  const StageTimes t = reconstruct(in, net, io, scale);
+  EXPECT_DOUBLE_EQ(t.compute, 6.0);      // max * cpu_scale
+  EXPECT_DOUBLE_EQ(t.merge_prep, 0.4);
+}
+
+TEST(Timeline, MergeRoundIsMaxOverGroupsAndSerializesAtRoot) {
+  TimelineInputs in;
+  in.nranks = 4;
+  in.compute_per_rank = {0, 0, 0, 0};
+  NetworkParams np;
+  np.latency_s = 1.0;
+  np.per_hop_s = 0.0;
+  np.bandwidth_Bps = 100.0;
+  GroupRecord g1;
+  g1.root_rank = 0;
+  g1.sends = {{1, 100}, {2, 100}};  // 2 x 1s byte time, serialized
+  g1.merge_seconds = 1.0;
+  GroupRecord g2;
+  g2.root_rank = 3;
+  g2.sends = {{2, 50}};
+  g2.merge_seconds = 0.1;
+  in.rounds.push_back({g1, g2});
+  const TorusModel net(Torus::fit(4), np);
+  const IoModel io;
+  CostScale scale;
+  scale.cpu_scale = 1.0;
+  const StageTimes t = reconstruct(in, net, io, scale);
+  ASSERT_EQ(t.merge_rounds.size(), 1u);
+  // g1: latency 1.0 (overlapped) + bytes 2*1.0 + merge 1.0 = 4.0
+  // g2: 1.0 + 0.5 + 0.1 = 1.6; stage = max = 4.0
+  EXPECT_DOUBLE_EQ(t.merge_rounds[0], 4.0);
+  EXPECT_DOUBLE_EQ(t.mergeTotal(), 4.0);
+}
+
+TEST(Timeline, TotalIsSumOfStages) {
+  TimelineInputs in;
+  in.nranks = 2;
+  in.input_bytes = 1'000'000;
+  in.output_bytes = 10'000;
+  in.compute_per_rank = {1.0, 2.0};
+  in.merge_prep_per_rank = {0.5, 0.25};
+  const TorusModel net(Torus::fit(2), {});
+  const IoModel io;
+  const CostScale scale{1.0};
+  const StageTimes t = reconstruct(in, net, io, scale);
+  EXPECT_DOUBLE_EQ(t.total(), t.read + t.compute + t.merge_prep + t.write);
+}
+
+}  // namespace
+}  // namespace msc::simnet

@@ -1,0 +1,270 @@
+/// Tests for persistence-based simplification (core/simplify).
+#include <gtest/gtest.h>
+
+#include "core/lower_star.hpp"
+#include "core/simplify.hpp"
+#include "core/trace.hpp"
+#include "synth/fields.hpp"
+
+namespace msc {
+namespace {
+
+Block wholeDomainBlock(const Domain& d) {
+  Block b;
+  b.domain = d;
+  b.vdims = d.vdims;
+  b.voffset = {0, 0, 0};
+  return b;
+}
+
+MsComplex buildComplex(const Domain& d, const synth::Field& f, bool sweep = false) {
+  const BlockField bf = synth::sample(wholeDomainBlock(d), f);
+  const GradientField g = sweep ? computeGradientSweep(bf) : computeGradientLowerStar(bf);
+  return traceComplex(g, bf);
+}
+
+std::int64_t euler(const MsComplex& c) {
+  const auto n = c.liveNodeCounts();
+  return n[0] - n[1] + n[2] - n[3];
+}
+
+/// Hand-built "two minima, one saddle between them" complex.
+MsComplex twoMinOneSaddle(NodeId* m1 = nullptr, NodeId* m2 = nullptr, NodeId* s = nullptr) {
+  const Domain d{{9, 9, 9}};
+  MsComplex c(d, Region(Box3{{0, 0, 0}, {16, 16, 16}}));
+  const NodeId a = c.addNode(d.addrOf({2, 2, 2}), 0, 1.0f);
+  const NodeId b = c.addNode(d.addrOf({10, 2, 2}), 0, 0.0f);
+  const NodeId sd = c.addNode(d.addrOf({5, 2, 2}), 1, 2.0f);
+  const GeomId g1 = c.addGeom({{d.addrOf({5, 2, 2}), d.addrOf({4, 2, 2}), d.addrOf({3, 2, 2}),
+                                d.addrOf({2, 2, 2})},
+                               {}});
+  const GeomId g2 = c.addGeom({{d.addrOf({5, 2, 2}), d.addrOf({6, 2, 2}), d.addrOf({10, 2, 2})},
+                               {}});
+  c.addArc(a, sd, g1);
+  c.addArc(b, sd, g2);
+  c.recomputeBoundary();
+  if (m1) *m1 = a;
+  if (m2) *m2 = b;
+  if (s) *s = sd;
+  return c;
+}
+
+TEST(Simplify, CancelMinSaddlePair) {
+  NodeId m1, m2, s;
+  MsComplex c = twoMinOneSaddle(&m1, &m2, &s);
+  // The (m1, s) arc has persistence 1, the (m2, s) arc 2.
+  SimplifyOptions opts;
+  opts.persistence_threshold = 1.5f;
+  SimplifyStats stats;
+  EXPECT_EQ(simplify(c, opts, &stats), 1);
+  EXPECT_EQ(stats.cancellations, 1);
+  EXPECT_FALSE(c.node(m1).alive);
+  EXPECT_FALSE(c.node(s).alive);
+  EXPECT_TRUE(c.node(m2).alive);
+  // No saddles left to connect to: the surviving minimum is isolated.
+  EXPECT_EQ(c.node(m2).n_arcs, 0);
+  EXPECT_EQ(c.liveNodeCount(), 1);
+  c.checkInvariants();
+}
+
+TEST(Simplify, ThresholdRespected) {
+  MsComplex c = twoMinOneSaddle();
+  SimplifyOptions opts;
+  opts.persistence_threshold = 0.5f;  // below both persistences
+  EXPECT_EQ(simplify(c, opts), 0);
+  EXPECT_EQ(c.liveNodeCount(), 3);
+}
+
+TEST(Simplify, CancellationRewiresNeighbours) {
+  // min m -- saddle s (to cancel, pers small), plus s -- m2, and a
+  // second saddle s2 -- m. After cancelling (m, s): new arc m2 -- s2.
+  const Domain d{{9, 9, 9}};
+  MsComplex c(d, Region(Box3{{0, 0, 0}, {16, 16, 16}}));
+  const NodeId m = c.addNode(d.addrOf({2, 2, 2}), 0, 1.0f);
+  const NodeId m2 = c.addNode(d.addrOf({10, 2, 2}), 0, 0.0f);
+  const NodeId s = c.addNode(d.addrOf({5, 2, 2}), 1, 1.1f);
+  const NodeId s2 = c.addNode(d.addrOf({2, 7, 2}), 1, 3.0f);
+  const GeomId gms = c.addGeom({{d.addrOf({5, 2, 2}), d.addrOf({2, 2, 2})}, {}});
+  const GeomId gm2s = c.addGeom({{d.addrOf({5, 2, 2}), d.addrOf({10, 2, 2})}, {}});
+  const GeomId gms2 = c.addGeom({{d.addrOf({2, 7, 2}), d.addrOf({2, 2, 2})}, {}});
+  c.addArc(m, s, gms);
+  c.addArc(m2, s, gm2s);
+  c.addArc(m, s2, gms2);
+  c.recomputeBoundary();
+
+  SimplifyOptions opts;
+  opts.persistence_threshold = 0.2f;
+  SimplifyStats stats;
+  ASSERT_EQ(simplify(c, opts, &stats), 1);
+  EXPECT_EQ(stats.arcs_created, 1);
+  // The new arc connects m2 (lower nbr of s) with s2 (upper nbr of m).
+  ASSERT_EQ(c.liveArcCount(), 1);
+  for (const Arc& ar : c.arcs()) {
+    if (!ar.alive) continue;
+    EXPECT_EQ(ar.lower, m2);
+    EXPECT_EQ(ar.upper, s2);
+    // Geometry: s2 -> m, reverse(s -> m), s -> m2.
+    EXPECT_EQ(c.flattenGeom(ar.geom),
+              (std::vector<CellAddr>{d.addrOf({2, 7, 2}), d.addrOf({2, 2, 2}),
+                                     d.addrOf({2, 2, 2}), d.addrOf({5, 2, 2}),
+                                     d.addrOf({5, 2, 2}), d.addrOf({10, 2, 2})}));
+  }
+  c.checkInvariants();
+}
+
+TEST(Simplify, MultiArcPairNotCancelled) {
+  // Two arcs between the same min and saddle (a loop): cancelling
+  // would strangle the complex; both must survive.
+  const Domain d{{9, 9, 9}};
+  MsComplex c(d, Region(Box3{{0, 0, 0}, {16, 16, 16}}));
+  const NodeId m = c.addNode(d.addrOf({2, 2, 2}), 0, 0.0f);
+  const NodeId s = c.addNode(d.addrOf({5, 2, 2}), 1, 0.1f);
+  c.addArc(m, s, kNone);
+  c.addArc(m, s, kNone);
+  c.recomputeBoundary();
+  SimplifyOptions opts;
+  opts.persistence_threshold = 10.0f;
+  SimplifyStats stats;
+  EXPECT_EQ(simplify(c, opts, &stats), 0);
+  EXPECT_EQ(stats.skipped_multi_arc, 2);  // both arcs attempted
+  EXPECT_EQ(c.liveNodeCount(), 2);
+}
+
+TEST(Simplify, BoundaryNodesNeverCancelled) {
+  const Domain d{{9, 9, 9}};
+  Block left;
+  left.domain = d;
+  left.vdims = {5, 9, 9};
+  left.voffset = {0, 0, 0};
+  left.shared_hi[0] = true;
+  const BlockField bf = synth::sample(left, synth::noise(4));
+  MsComplex c = traceComplex(computeGradientSweep(bf), bf);
+
+  SimplifyOptions opts;
+  opts.persistence_threshold = 10.0f;  // everything interior goes
+  simplify(c, opts);
+  for (const Node& nd : c.nodes()) {
+    if (!nd.alive) continue;
+    if (!nd.boundary) continue;
+    // All boundary nodes survived (none were cancelled).
+    EXPECT_TRUE(true);
+  }
+  // At least one interior node survives too (chi bookkeeping), but
+  // every boundary critical cell must still be present: recount from
+  // the gradient.
+  const GradientField g = computeGradientSweep(bf);
+  std::int64_t boundary_criticals = 0;
+  const Vec3i r = left.rdims();
+  for (std::int64_t z = 0; z < r.z; ++z)
+    for (std::int64_t y = 0; y < r.y; ++y)
+      for (std::int64_t x = 0; x < r.x; ++x)
+        if (g.isCritical({x, y, z}) && left.onSharedBoundary({x, y, z})) ++boundary_criticals;
+  std::int64_t live_boundary = 0;
+  for (const Node& nd : c.nodes())
+    if (nd.alive && nd.boundary) ++live_boundary;
+  EXPECT_EQ(live_boundary, boundary_criticals);
+}
+
+TEST(Simplify, EulerInvariantUnderCancellation) {
+  const Domain d{{12, 12, 12}};
+  MsComplex c = buildComplex(d, synth::noise(8));
+  const std::int64_t chi = euler(c);
+  SimplifyOptions opts;
+  opts.persistence_threshold = 0.3f;
+  opts.max_cancellations = 1;
+  while (simplify(c, opts) == 1) EXPECT_EQ(euler(c), chi);
+}
+
+TEST(Simplify, FullSimplificationReachesCancellationFixedPoint) {
+  // On a single interior block (no shared boundary), cancelling with
+  // an unbounded threshold runs until no *valid* cancellation
+  // remains. Extrema simplify completely (one global minimum
+  // survives, chi bookkeeping); what may survive beyond that are
+  // saddle-saddle pairs connected by more than one arc, which the
+  // multi-arc rule correctly refuses to cancel (strangulation).
+  const Domain d{{12, 12, 12}};
+  MsComplex c = buildComplex(d, synth::noise(12));
+  SimplifyOptions opts;
+  opts.persistence_threshold = 100.0f;
+  opts.max_new_arcs_per_cancellation = 0;  // no degree guard: pure fixed point
+  simplify(c, opts);
+  const auto n = c.liveNodeCounts();
+  EXPECT_EQ(n[0], 1);
+  EXPECT_EQ(n[3], 0);
+  EXPECT_EQ(n[0] - n[1] + n[2] - n[3], 1);
+  // Fixed point: every surviving arc is part of a multi-arc pair.
+  for (ArcId a = 0; a < static_cast<ArcId>(c.arcs().size()); ++a) {
+    if (!c.arc(a).alive) continue;
+    EXPECT_FALSE(isCancellable(c, a));
+    EXPECT_GE(c.countArcsBetween(c.arc(a).lower, c.arc(a).upper), 2);
+  }
+}
+
+TEST(Simplify, CleanFieldSimplifiesToMinimalComplex) {
+  // Without strangulation (a clean Morse field), unbounded
+  // simplification does reach the minimal complex of a box.
+  const Domain d{{17, 17, 17}};
+  MsComplex c = buildComplex(d, synth::cosineProduct(d, 2));
+  SimplifyOptions opts;
+  opts.persistence_threshold = 100.0f;
+  simplify(c, opts);
+  const auto n = c.liveNodeCounts();
+  EXPECT_EQ(n[0], 1);
+  EXPECT_EQ(n[1], 0);
+  EXPECT_EQ(n[2], 0);
+  EXPECT_EQ(n[3], 0);
+}
+
+TEST(Simplify, SweepNoiseCancelsAtZeroPersistence) {
+  // The greedy sweep's extra critical cells on the cosine field are
+  // zero-persistence pairs; simplifying with a tiny threshold must
+  // recover the closed-form counts (cf. test_gradient).
+  const int k = 2;
+  const Domain d{{17, 17, 17}};
+  MsComplex c = buildComplex(d, synth::cosineProduct(d, k), /*sweep=*/true);
+  SimplifyOptions opts;
+  opts.persistence_threshold = 1e-5f;
+  simplify(c, opts);
+  const auto n = c.liveNodeCounts();
+  const std::int64_t km = k, kx = k - 1;
+  EXPECT_EQ(n[0], km * km * km);
+  EXPECT_EQ(n[1], 3 * km * km * kx);
+  EXPECT_EQ(n[2], 3 * km * kx * kx);
+  EXPECT_EQ(n[3], kx * kx * kx);
+}
+
+TEST(Simplify, HierarchyRecordsPersistence) {
+  const Domain d{{10, 10, 10}};
+  MsComplex c = buildComplex(d, synth::noise(5));
+  SimplifyOptions opts;
+  opts.persistence_threshold = 0.5f;
+  SimplifyStats stats;
+  const std::int64_t n = simplify(c, opts, &stats);
+  ASSERT_GT(n, 0);
+  EXPECT_EQ(std::ssize(c.cancellations()), n);
+  for (const Cancellation& cc : c.cancellations()) {
+    EXPECT_LE(cc.persistence, 0.5f);
+    EXPECT_FALSE(c.node(cc.lower).alive);
+    EXPECT_FALSE(c.node(cc.upper).alive);
+    EXPECT_EQ(c.node(cc.lower).index + 1, c.node(cc.upper).index);
+  }
+  // Generation stamps are consistent: destroyed at gen g means the
+  // g-th cancellation named this node.
+  for (std::int32_t gen = 1; gen <= c.generation(); ++gen) {
+    const Cancellation& cc = c.cancellations()[static_cast<std::size_t>(gen - 1)];
+    EXPECT_EQ(c.node(cc.lower).destroyed_gen, gen);
+    EXPECT_EQ(c.node(cc.upper).destroyed_gen, gen);
+  }
+}
+
+TEST(Simplify, MaxCancellationsHonoured) {
+  const Domain d{{10, 10, 10}};
+  MsComplex c = buildComplex(d, synth::noise(6));
+  SimplifyOptions opts;
+  opts.persistence_threshold = 100.0f;
+  opts.max_cancellations = 3;
+  EXPECT_EQ(simplify(c, opts), 3);
+}
+
+}  // namespace
+}  // namespace msc

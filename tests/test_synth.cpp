@@ -1,0 +1,123 @@
+/// Tests for the synthetic field generators (synth/fields).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/lower_star.hpp"
+#include "decomp/decompose.hpp"
+#include "synth/fields.hpp"
+
+namespace msc::synth {
+namespace {
+
+TEST(Synth, BlockSamplingMatchesGlobalSampling) {
+  // Blocks sampled independently must agree with the serial sampling
+  // at every shared vertex -- the determinism every stability result
+  // depends on.
+  const Domain d{{13, 12, 11}};
+  for (const Field& f : {sinusoid(d, 3), hydrogenLike(d), jetLike(d), rtLike(d),
+                         noise(9), cosineProduct(d, 2)}) {
+    const std::vector<float> all = sampleAll(d, f);
+    for (const Block& blk : decompose(d, 8)) {
+      const BlockField bf = sample(blk, f);
+      for (std::int64_t z = 0; z < blk.vdims.z; ++z)
+        for (std::int64_t y = 0; y < blk.vdims.y; ++y)
+          for (std::int64_t x = 0; x < blk.vdims.x; ++x) {
+            const Vec3i g = Vec3i{x, y, z} + blk.voffset;
+            ASSERT_EQ(bf.vertexValue({x, y, z}),
+                      all[static_cast<std::size_t>(d.vertexId(g))]);
+          }
+    }
+  }
+}
+
+TEST(Synth, SinusoidComplexityControlsFeatureCount) {
+  // More periods per side => more critical points; the relation
+  // behind the Fig. 5 / Fig. 6 complexity axis.
+  const Domain d{{33, 33, 33}};
+  Block whole;
+  whole.domain = d;
+  whole.vdims = d.vdims;
+  whole.voffset = {0, 0, 0};
+  std::int64_t prev = 0;
+  for (const int complexity : {2, 4, 8}) {
+    const BlockField bf = sample(whole, sinusoid(d, complexity));
+    const auto counts = computeGradientLowerStar(bf).criticalCounts();
+    const std::int64_t total = counts[0] + counts[1] + counts[2] + counts[3];
+    EXPECT_GT(total, prev) << "complexity " << complexity;
+    prev = total;
+  }
+}
+
+TEST(Synth, SinusoidRange) {
+  const Domain d{{17, 17, 17}};
+  const Field f = sinusoid(d, 4);
+  for (std::int64_t i = 0; i < 17; ++i) {
+    const float v = f({i, i, i});
+    EXPECT_GE(v, -1.001f);
+    EXPECT_LE(v, 1.001f);
+  }
+}
+
+TEST(Synth, HydrogenHasFlatExteriorAndThreeLobes) {
+  const Domain d{{33, 33, 33}};
+  const Field f = hydrogenLike(d);
+  // Corners are flat zero (byte-quantised plateau).
+  EXPECT_EQ(f({0, 0, 0}), 0.0f);
+  EXPECT_EQ(f({32, 32, 32}), 0.0f);
+  EXPECT_EQ(f({32, 0, 0}), 0.0f);
+  // The three lobes along x are bright.
+  EXPECT_GT(f({16, 16, 16}), 200.0f);  // centre lobe
+  EXPECT_GT(f({7, 16, 16}), 100.0f);   // left lobe
+  EXPECT_GT(f({25, 16, 16}), 100.0f);  // right lobe
+  // The torus ring in the y-z plane through the centre is elevated.
+  EXPECT_GT(f({16, 16 + 7, 16}), 50.0f);
+  // Integer-valued everywhere (byte data).
+  for (std::int64_t i = 0; i < 33; i += 3) {
+    const float v = f({i, 16, 16});
+    EXPECT_EQ(v, std::floor(v));
+  }
+}
+
+TEST(Synth, JetEnvelopeDecaysRadially) {
+  const Domain d{{48, 56, 32}};
+  const Field f = jetLike(d);
+  // On-axis value well above the far-field coflow.
+  const float core = f({8, 28, 16});
+  const float coflow = f({8, 2, 2});
+  EXPECT_GT(core, coflow + 0.3f);
+}
+
+TEST(Synth, RtDensityIncreasesUpward) {
+  const Domain d{{32, 32, 32}};
+  const Field f = rtLike(d);
+  // Heavy fluid on top: average density at the top exceeds bottom.
+  double top = 0, bottom = 0;
+  for (std::int64_t x = 0; x < 32; x += 4)
+    for (std::int64_t y = 0; y < 32; y += 4) {
+      bottom += f({x, y, 2});
+      top += f({x, y, 29});
+    }
+  EXPECT_GT(top, bottom + 8.0);
+}
+
+TEST(Synth, NoiseIsDeterministicAndSeedDependent) {
+  const Field a = noise(1), b = noise(1), c = noise(2);
+  EXPECT_EQ(a({3, 4, 5}), b({3, 4, 5}));
+  EXPECT_NE(a({3, 4, 5}), c({3, 4, 5}));
+  // In range [0, 1).
+  for (std::int64_t i = 0; i < 50; ++i) {
+    const float v = a({i, i * 3, i * 7});
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(Synth, RampIsMonotone) {
+  const Field f = ramp();
+  EXPECT_LT(f({0, 0, 0}), f({1, 0, 0}));
+  EXPECT_LT(f({5, 5, 5}), f({5, 6, 5}));
+}
+
+}  // namespace
+}  // namespace msc::synth

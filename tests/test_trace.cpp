@@ -1,0 +1,180 @@
+/// Tests for V-path tracing (core/trace): arc structure, geometry
+/// validity, and closed-form arc counts on separable fields.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/lower_star.hpp"
+#include "core/trace.hpp"
+#include "synth/fields.hpp"
+
+namespace msc {
+namespace {
+
+Block wholeDomainBlock(const Domain& d) {
+  Block b;
+  b.domain = d;
+  b.vdims = d.vdims;
+  b.voffset = {0, 0, 0};
+  return b;
+}
+
+MsComplex traceField(const Domain& d, const synth::Field& f, TraceStats* stats = nullptr) {
+  const BlockField bf = synth::sample(wholeDomainBlock(d), f);
+  const GradientField g = computeGradientLowerStar(bf);
+  return traceComplex(g, bf, {}, stats);
+}
+
+TEST(Trace, RampSingleMinimumNoArcs) {
+  const Domain d{{6, 6, 6}};
+  const MsComplex c = traceField(d, synth::ramp());
+  EXPECT_EQ(c.liveNodeCount(), 1);
+  EXPECT_EQ(c.liveArcCount(), 0);
+  EXPECT_EQ(c.nodes()[0].index, 0);
+}
+
+/// On the separable cosine field, every critical point of index d has
+/// exactly 2d descending arcs (demote one of its d max-axes to either
+/// adjacent minimum), and each arc connects 1D-adjacent criticals.
+TEST(Trace, CosineProductArcDegrees) {
+  const int k = 2;
+  const Domain d{{17, 17, 17}};
+  TraceStats stats;
+  const MsComplex c = traceField(d, synth::cosineProduct(d, k), &stats);
+
+  const std::int64_t km = k, kx = k - 1;
+  const auto counts = c.liveNodeCounts();
+  ASSERT_EQ(counts[0], km * km * km);
+  ASSERT_EQ(counts[3], kx * kx * kx);
+
+  // Count descending arcs per node.
+  std::map<NodeId, int> down;
+  for (std::size_t i = 0; i < c.arcs().size(); ++i) {
+    const Arc& ar = c.arcs()[i];
+    if (!ar.alive) continue;
+    ++down[ar.upper];
+  }
+  for (std::size_t i = 0; i < c.nodes().size(); ++i) {
+    const Node& nd = c.nodes()[i];
+    if (!nd.alive || nd.index == 0) continue;
+    EXPECT_EQ(down[static_cast<NodeId>(i)], 2 * nd.index)
+        << "node index " << int(nd.index) << " at addr " << nd.addr;
+  }
+  EXPECT_EQ(stats.nodes, c.liveNodeCount());
+  EXPECT_EQ(stats.arcs, c.liveArcCount());
+  EXPECT_EQ(stats.truncated_cells, 0);
+}
+
+/// Every arc's geometry must be a structurally valid V-path: starts
+/// at the upper node's cell, ends at the lower node's, alternates
+/// dimensions d, d-1, d, ..., with consecutive cells facet-adjacent,
+/// and interior pairs following the gradient.
+void expectValidArcGeometry(const MsComplex& c, const GradientField& g) {
+  const Domain& dom = c.domain();
+  for (std::size_t i = 0; i < c.arcs().size(); ++i) {
+    const Arc& ar = c.arcs()[i];
+    if (!ar.alive) continue;
+    const std::vector<CellAddr> path = c.flattenGeom(ar.geom);
+    ASSERT_GE(path.size(), 2u);
+    ASSERT_EQ(path.size() % 2, 0u)
+        << "V-path starts at a d-cell and ends at a (d-1)-cell";
+    EXPECT_EQ(path.front(), c.node(ar.upper).addr);
+    EXPECT_EQ(path.back(), c.node(ar.lower).addr);
+    const int d = c.node(ar.upper).index;
+    for (std::size_t j = 0; j < path.size(); ++j) {
+      const Vec3i rc = dom.coordOf(path[j]);
+      EXPECT_EQ(Domain::cellDim(rc), (j % 2 == 0) ? d : d - 1);
+      if (j > 0) {
+        const Vec3i prev = dom.coordOf(path[j - 1]);
+        const Vec3i diff = rc - prev;
+        EXPECT_EQ(std::abs(diff.x) + std::abs(diff.y) + std::abs(diff.z), 1)
+            << "path cells not facet-adjacent";
+      }
+      // Odd positions (d-1 cells) other than the last must be paired
+      // with the next cell (the d-cell they flow into).
+      if (j % 2 == 1 && j + 1 < path.size()) {
+        const Vec3i local = rc - g.block().voffset * 2;
+        EXPECT_TRUE(g.isTail(local));
+        EXPECT_EQ(g.partner(local) + g.block().voffset * 2, dom.coordOf(path[j + 1]));
+      }
+    }
+  }
+}
+
+TEST(Trace, GeometryIsValidVPath) {
+  const Domain d{{12, 12, 12}};
+  const BlockField bf = synth::sample(wholeDomainBlock(d), synth::noise(17));
+  const GradientField g = computeGradientLowerStar(bf);
+  const MsComplex c = traceComplex(g, bf);
+  expectValidArcGeometry(c, g);
+}
+
+TEST(Trace, ArcsConnectConsecutiveIndices) {
+  const Domain d{{10, 10, 10}};
+  const BlockField bf = synth::sample(wholeDomainBlock(d), synth::noise(23));
+  const GradientField g = computeGradientLowerStar(bf);
+  const MsComplex c = traceComplex(g, bf);
+  for (const Arc& ar : c.arcs()) {
+    if (!ar.alive) continue;
+    EXPECT_EQ(c.node(ar.lower).index + 1, c.node(ar.upper).index);
+  }
+  c.checkInvariants();
+}
+
+TEST(Trace, EverySaddleHasTwoDescendingArcsToMinima) {
+  // A critical edge has exactly two descending V-paths (one per
+  // endpoint vertex); paths in the (0,1) layer cannot branch.
+  const Domain d{{11, 11, 11}};
+  const BlockField bf = synth::sample(wholeDomainBlock(d), synth::noise(31));
+  const GradientField g = computeGradientLowerStar(bf);
+  const MsComplex c = traceComplex(g, bf);
+  std::map<NodeId, int> down;
+  for (const Arc& ar : c.arcs())
+    if (ar.alive) ++down[ar.upper];
+  for (std::size_t i = 0; i < c.nodes().size(); ++i) {
+    const Node& nd = c.nodes()[i];
+    if (nd.alive && nd.index == 1)
+      EXPECT_EQ(down[static_cast<NodeId>(i)], 2) << "1-saddle at " << nd.addr;
+  }
+}
+
+TEST(Trace, BoundaryNodesFlagged) {
+  const Domain d{{9, 9, 9}};
+  Block left;
+  left.domain = d;
+  left.vdims = {5, 9, 9};
+  left.voffset = {0, 0, 0};
+  left.shared_hi[0] = true;
+  const BlockField bf = synth::sample(left, synth::noise(7));
+  const GradientField g = computeGradientSweep(bf);
+  const MsComplex c = traceComplex(g, bf);
+  bool found_boundary = false;
+  for (const Node& nd : c.nodes()) {
+    if (!nd.alive) continue;
+    const Vec3i rc = d.coordOf(nd.addr);
+    EXPECT_EQ(nd.boundary, rc.x == 8) << "node at " << rc;
+    found_boundary |= nd.boundary;
+  }
+  // The restriction to the shared plane must produce at least one
+  // boundary critical cell (the plane's own minimum).
+  EXPECT_TRUE(found_boundary);
+}
+
+TEST(Trace, PathCapTruncates) {
+  const Domain d{{12, 12, 12}};
+  const BlockField bf = synth::sample(wholeDomainBlock(d), synth::noise(3));
+  const GradientField g = computeGradientLowerStar(bf);
+  TraceOptions opts;
+  opts.max_paths_per_cell = 1;
+  TraceStats stats;
+  const MsComplex c = traceComplex(g, bf, opts, &stats);
+  // With at most one path per critical cell, descending degrees are
+  // capped at 1; a noise field is guaranteed to have had more.
+  TraceStats full;
+  traceComplex(g, bf, {}, &full);
+  EXPECT_LT(stats.arcs, full.arcs);
+  EXPECT_GT(stats.truncated_cells, 0);
+}
+
+}  // namespace
+}  // namespace msc
