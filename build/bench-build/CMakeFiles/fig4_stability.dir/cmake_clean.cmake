@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_stability"
+  "../bench/fig4_stability.pdb"
+  "CMakeFiles/fig4_stability.dir/fig4_stability.cpp.o"
+  "CMakeFiles/fig4_stability.dir/fig4_stability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

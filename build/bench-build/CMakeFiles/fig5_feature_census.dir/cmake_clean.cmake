@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_feature_census"
+  "../bench/fig5_feature_census.pdb"
+  "CMakeFiles/fig5_feature_census.dir/fig5_feature_census.cpp.o"
+  "CMakeFiles/fig5_feature_census.dir/fig5_feature_census.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_feature_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

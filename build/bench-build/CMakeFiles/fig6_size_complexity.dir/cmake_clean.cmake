@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_size_complexity"
+  "../bench/fig6_size_complexity.pdb"
+  "CMakeFiles/fig6_size_complexity.dir/fig6_size_complexity.cpp.o"
+  "CMakeFiles/fig6_size_complexity.dir/fig6_size_complexity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_size_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

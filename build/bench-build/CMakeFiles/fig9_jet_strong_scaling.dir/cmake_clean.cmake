@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_jet_strong_scaling"
+  "../bench/fig9_jet_strong_scaling.pdb"
+  "CMakeFiles/fig9_jet_strong_scaling.dir/fig9_jet_strong_scaling.cpp.o"
+  "CMakeFiles/fig9_jet_strong_scaling.dir/fig9_jet_strong_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_jet_strong_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

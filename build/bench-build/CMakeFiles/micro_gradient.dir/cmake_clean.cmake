@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_gradient"
+  "../bench/micro_gradient.pdb"
+  "CMakeFiles/micro_gradient.dir/micro_gradient.cpp.o"
+  "CMakeFiles/micro_gradient.dir/micro_gradient.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_gradient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

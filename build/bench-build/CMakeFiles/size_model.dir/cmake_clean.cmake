@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/size_model"
+  "../bench/size_model.pdb"
+  "CMakeFiles/size_model.dir/size_model.cpp.o"
+  "CMakeFiles/size_model.dir/size_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/size_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

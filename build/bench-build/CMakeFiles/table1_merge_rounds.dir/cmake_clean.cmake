@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_merge_rounds"
+  "../bench/table1_merge_rounds.pdb"
+  "CMakeFiles/table1_merge_rounds.dir/table1_merge_rounds.cpp.o"
+  "CMakeFiles/table1_merge_rounds.dir/table1_merge_rounds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_merge_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

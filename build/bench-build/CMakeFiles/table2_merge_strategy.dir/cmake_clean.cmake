@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_merge_strategy"
+  "../bench/table2_merge_strategy.pdb"
+  "CMakeFiles/table2_merge_strategy.dir/table2_merge_strategy.cpp.o"
+  "CMakeFiles/table2_merge_strategy.dir/table2_merge_strategy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_merge_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

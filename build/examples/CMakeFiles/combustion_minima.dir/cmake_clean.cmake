@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combustion_minima.dir/combustion_minima.cpp.o"
+  "CMakeFiles/combustion_minima.dir/combustion_minima.cpp.o.d"
+  "combustion_minima"
+  "combustion_minima.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combustion_minima.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for combustion_minima.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for combustion_minima.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_tracking.dir/insitu_tracking.cpp.o"
+  "CMakeFiles/insitu_tracking.dir/insitu_tracking.cpp.o.d"
+  "insitu_tracking"
+  "insitu_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msc_compute_cli.dir/msc_compute_cli.cpp.o"
+  "CMakeFiles/msc_compute_cli.dir/msc_compute_cli.cpp.o.d"
+  "msc_compute_cli"
+  "msc_compute_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msc_compute_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

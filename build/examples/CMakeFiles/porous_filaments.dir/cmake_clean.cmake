@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/porous_filaments.dir/porous_filaments.cpp.o"
+  "CMakeFiles/porous_filaments.dir/porous_filaments.cpp.o.d"
+  "porous_filaments"
+  "porous_filaments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/porous_filaments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

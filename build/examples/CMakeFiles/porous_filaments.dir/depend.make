@@ -1,0 +1,2 @@
+# Empty dependencies file for porous_filaments.
+# This may be replaced when dependencies are built.

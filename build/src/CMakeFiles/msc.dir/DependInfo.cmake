@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/census.cpp" "src/CMakeFiles/msc.dir/analysis/census.cpp.o" "gcc" "src/CMakeFiles/msc.dir/analysis/census.cpp.o.d"
+  "/root/repo/src/analysis/features.cpp" "src/CMakeFiles/msc.dir/analysis/features.cpp.o" "gcc" "src/CMakeFiles/msc.dir/analysis/features.cpp.o.d"
+  "/root/repo/src/analysis/graph.cpp" "src/CMakeFiles/msc.dir/analysis/graph.cpp.o" "gcc" "src/CMakeFiles/msc.dir/analysis/graph.cpp.o.d"
+  "/root/repo/src/analysis/segmentation.cpp" "src/CMakeFiles/msc.dir/analysis/segmentation.cpp.o" "gcc" "src/CMakeFiles/msc.dir/analysis/segmentation.cpp.o.d"
+  "/root/repo/src/core/complex.cpp" "src/CMakeFiles/msc.dir/core/complex.cpp.o" "gcc" "src/CMakeFiles/msc.dir/core/complex.cpp.o.d"
+  "/root/repo/src/core/gradient.cpp" "src/CMakeFiles/msc.dir/core/gradient.cpp.o" "gcc" "src/CMakeFiles/msc.dir/core/gradient.cpp.o.d"
+  "/root/repo/src/core/grid.cpp" "src/CMakeFiles/msc.dir/core/grid.cpp.o" "gcc" "src/CMakeFiles/msc.dir/core/grid.cpp.o.d"
+  "/root/repo/src/core/lower_star.cpp" "src/CMakeFiles/msc.dir/core/lower_star.cpp.o" "gcc" "src/CMakeFiles/msc.dir/core/lower_star.cpp.o.d"
+  "/root/repo/src/core/merge.cpp" "src/CMakeFiles/msc.dir/core/merge.cpp.o" "gcc" "src/CMakeFiles/msc.dir/core/merge.cpp.o.d"
+  "/root/repo/src/core/region.cpp" "src/CMakeFiles/msc.dir/core/region.cpp.o" "gcc" "src/CMakeFiles/msc.dir/core/region.cpp.o.d"
+  "/root/repo/src/core/simplify.cpp" "src/CMakeFiles/msc.dir/core/simplify.cpp.o" "gcc" "src/CMakeFiles/msc.dir/core/simplify.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/CMakeFiles/msc.dir/core/trace.cpp.o" "gcc" "src/CMakeFiles/msc.dir/core/trace.cpp.o.d"
+  "/root/repo/src/decomp/decompose.cpp" "src/CMakeFiles/msc.dir/decomp/decompose.cpp.o" "gcc" "src/CMakeFiles/msc.dir/decomp/decompose.cpp.o.d"
+  "/root/repo/src/io/complex_file.cpp" "src/CMakeFiles/msc.dir/io/complex_file.cpp.o" "gcc" "src/CMakeFiles/msc.dir/io/complex_file.cpp.o.d"
+  "/root/repo/src/io/pack.cpp" "src/CMakeFiles/msc.dir/io/pack.cpp.o" "gcc" "src/CMakeFiles/msc.dir/io/pack.cpp.o.d"
+  "/root/repo/src/io/volume.cpp" "src/CMakeFiles/msc.dir/io/volume.cpp.o" "gcc" "src/CMakeFiles/msc.dir/io/volume.cpp.o.d"
+  "/root/repo/src/merge/plan.cpp" "src/CMakeFiles/msc.dir/merge/plan.cpp.o" "gcc" "src/CMakeFiles/msc.dir/merge/plan.cpp.o.d"
+  "/root/repo/src/par/comm.cpp" "src/CMakeFiles/msc.dir/par/comm.cpp.o" "gcc" "src/CMakeFiles/msc.dir/par/comm.cpp.o.d"
+  "/root/repo/src/pipeline/config.cpp" "src/CMakeFiles/msc.dir/pipeline/config.cpp.o" "gcc" "src/CMakeFiles/msc.dir/pipeline/config.cpp.o.d"
+  "/root/repo/src/pipeline/sim_pipeline.cpp" "src/CMakeFiles/msc.dir/pipeline/sim_pipeline.cpp.o" "gcc" "src/CMakeFiles/msc.dir/pipeline/sim_pipeline.cpp.o.d"
+  "/root/repo/src/pipeline/threaded_pipeline.cpp" "src/CMakeFiles/msc.dir/pipeline/threaded_pipeline.cpp.o" "gcc" "src/CMakeFiles/msc.dir/pipeline/threaded_pipeline.cpp.o.d"
+  "/root/repo/src/simnet/timeline.cpp" "src/CMakeFiles/msc.dir/simnet/timeline.cpp.o" "gcc" "src/CMakeFiles/msc.dir/simnet/timeline.cpp.o.d"
+  "/root/repo/src/simnet/torus.cpp" "src/CMakeFiles/msc.dir/simnet/torus.cpp.o" "gcc" "src/CMakeFiles/msc.dir/simnet/torus.cpp.o.d"
+  "/root/repo/src/synth/fields.cpp" "src/CMakeFiles/msc.dir/synth/fields.cpp.o" "gcc" "src/CMakeFiles/msc.dir/synth/fields.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_2d.cpp" "tests/CMakeFiles/msc_tests.dir/test_2d.cpp.o" "gcc" "tests/CMakeFiles/msc_tests.dir/test_2d.cpp.o.d"
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/msc_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/msc_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_complex.cpp" "tests/CMakeFiles/msc_tests.dir/test_complex.cpp.o" "gcc" "tests/CMakeFiles/msc_tests.dir/test_complex.cpp.o.d"
+  "/root/repo/tests/test_decomp.cpp" "tests/CMakeFiles/msc_tests.dir/test_decomp.cpp.o" "gcc" "tests/CMakeFiles/msc_tests.dir/test_decomp.cpp.o.d"
+  "/root/repo/tests/test_field.cpp" "tests/CMakeFiles/msc_tests.dir/test_field.cpp.o" "gcc" "tests/CMakeFiles/msc_tests.dir/test_field.cpp.o.d"
+  "/root/repo/tests/test_glue_preconditions.cpp" "tests/CMakeFiles/msc_tests.dir/test_glue_preconditions.cpp.o" "gcc" "tests/CMakeFiles/msc_tests.dir/test_glue_preconditions.cpp.o.d"
+  "/root/repo/tests/test_gradient.cpp" "tests/CMakeFiles/msc_tests.dir/test_gradient.cpp.o" "gcc" "tests/CMakeFiles/msc_tests.dir/test_gradient.cpp.o.d"
+  "/root/repo/tests/test_grid.cpp" "tests/CMakeFiles/msc_tests.dir/test_grid.cpp.o" "gcc" "tests/CMakeFiles/msc_tests.dir/test_grid.cpp.o.d"
+  "/root/repo/tests/test_hierarchy.cpp" "tests/CMakeFiles/msc_tests.dir/test_hierarchy.cpp.o" "gcc" "tests/CMakeFiles/msc_tests.dir/test_hierarchy.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/msc_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/msc_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_merge.cpp" "tests/CMakeFiles/msc_tests.dir/test_merge.cpp.o" "gcc" "tests/CMakeFiles/msc_tests.dir/test_merge.cpp.o.d"
+  "/root/repo/tests/test_misc.cpp" "tests/CMakeFiles/msc_tests.dir/test_misc.cpp.o" "gcc" "tests/CMakeFiles/msc_tests.dir/test_misc.cpp.o.d"
+  "/root/repo/tests/test_par.cpp" "tests/CMakeFiles/msc_tests.dir/test_par.cpp.o" "gcc" "tests/CMakeFiles/msc_tests.dir/test_par.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/msc_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/msc_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_plan.cpp" "tests/CMakeFiles/msc_tests.dir/test_plan.cpp.o" "gcc" "tests/CMakeFiles/msc_tests.dir/test_plan.cpp.o.d"
+  "/root/repo/tests/test_property.cpp" "tests/CMakeFiles/msc_tests.dir/test_property.cpp.o" "gcc" "tests/CMakeFiles/msc_tests.dir/test_property.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/msc_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/msc_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_segmentation.cpp" "tests/CMakeFiles/msc_tests.dir/test_segmentation.cpp.o" "gcc" "tests/CMakeFiles/msc_tests.dir/test_segmentation.cpp.o.d"
+  "/root/repo/tests/test_simnet.cpp" "tests/CMakeFiles/msc_tests.dir/test_simnet.cpp.o" "gcc" "tests/CMakeFiles/msc_tests.dir/test_simnet.cpp.o.d"
+  "/root/repo/tests/test_simplify.cpp" "tests/CMakeFiles/msc_tests.dir/test_simplify.cpp.o" "gcc" "tests/CMakeFiles/msc_tests.dir/test_simplify.cpp.o.d"
+  "/root/repo/tests/test_stress.cpp" "tests/CMakeFiles/msc_tests.dir/test_stress.cpp.o" "gcc" "tests/CMakeFiles/msc_tests.dir/test_stress.cpp.o.d"
+  "/root/repo/tests/test_synth.cpp" "tests/CMakeFiles/msc_tests.dir/test_synth.cpp.o" "gcc" "tests/CMakeFiles/msc_tests.dir/test_synth.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/msc_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/msc_tests.dir/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/msc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
