@@ -5,9 +5,11 @@
 #pragma once
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -33,6 +35,10 @@ class Flags {
   bool getBool(const std::string& key, bool def = false) const {
     const std::string v = raw(key);
     return v.empty() ? def : v != "0" && v != "false";
+  }
+  std::string getString(const std::string& key, std::string def = {}) const {
+    const std::string v = raw(key);
+    return v.empty() ? def : v;
   }
   std::vector<int> getIntList(const std::string& key, std::vector<int> def) const {
     const std::string v = raw(key);
@@ -82,6 +88,152 @@ inline void note(const char* fmt, ...) {
   std::vprintf(fmt, ap);
   std::printf("\n");
   va_end(ap);
+}
+
+/// Per-merge-round communication stats derived from a recorded
+/// timeline: total payload bytes shipped, the most-loaded root rank's
+/// ingress bytes, and the imbalance factor max/mean over roots
+/// (1.0 = perfectly balanced; the paper's slowest-rank attribution).
+struct RoundCommStats {
+  std::int64_t total_bytes{0};
+  std::int64_t max_root_bytes{0};
+  int max_root_rank{0};
+  int groups{0};
+  int messages{0};
+  double imbalance{1.0};
+};
+
+inline std::vector<RoundCommStats> roundCommStats(const simnet::TimelineInputs& in) {
+  std::vector<RoundCommStats> out;
+  out.reserve(in.rounds.size());
+  for (const auto& round : in.rounds) {
+    RoundCommStats s;
+    std::map<int, std::int64_t> per_root;
+    for (const simnet::GroupRecord& g : round) {
+      ++s.groups;
+      for (const auto& [src, bytes] : g.sends) {
+        (void)src;
+        ++s.messages;
+        s.total_bytes += bytes;
+        per_root[g.root_rank] += bytes;
+      }
+    }
+    for (const auto& [rank, bytes] : per_root) {
+      if (bytes > s.max_root_bytes) {
+        s.max_root_bytes = bytes;
+        s.max_root_rank = rank;
+      }
+    }
+    if (!per_root.empty()) {
+      const double mean =
+          static_cast<double>(s.total_bytes) / static_cast<double>(per_root.size());
+      if (mean > 0) s.imbalance = static_cast<double>(s.max_root_bytes) / mean;
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+/// Minimal streaming JSON writer for the bench harness output files.
+/// Handles nesting/commas; callers supply already-escaped keys (all
+/// keys used here are plain identifiers).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* f) : f_(f) {}
+
+  JsonWriter& beginObject() { return open('{'); }
+  JsonWriter& endObject() { return close('}'); }
+  JsonWriter& beginArray() { return open('['); }
+  JsonWriter& endArray() { return close(']'); }
+
+  JsonWriter& key(const char* k) {
+    comma();
+    std::fprintf(f_, "\"%s\":", k);
+    pending_value_ = true;
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    comma();
+    std::fprintf(f_, "%lld", static_cast<long long>(v));
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(double v) {
+    comma();
+    std::fprintf(f_, "%.9g", v);
+    return *this;
+  }
+  JsonWriter& value(const char* s) {
+    comma();
+    std::fputc('"', f_);
+    for (const char* p = s; *p; ++p) {
+      if (*p == '"' || *p == '\\') std::fputc('\\', f_);
+      std::fputc(*p, f_);
+    }
+    std::fputc('"', f_);
+    return *this;
+  }
+  void finish() { std::fputc('\n', f_); }
+
+ private:
+  JsonWriter& open(char c) {
+    comma();
+    std::fputc(c, f_);
+    need_comma_ = false;
+    return *this;
+  }
+  JsonWriter& close(char c) {
+    std::fputc(c, f_);
+    need_comma_ = true;
+    return *this;
+  }
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;
+      need_comma_ = true;
+      return;
+    }
+    if (need_comma_) std::fputc(',', f_);
+    need_comma_ = true;
+  }
+  std::FILE* f_;
+  bool need_comma_ = false;
+  bool pending_value_ = false;
+};
+
+/// One strong-scaling data point as a JSON object: stage times plus
+/// the per-round byte/imbalance counters (the observability the
+/// paper's Tables 1-2 are built from). Shared by fig9/fig10.
+inline void writeRunJson(JsonWriter& json, int procs, const char* plan,
+                         const pipeline::SimResult& r, double efficiency) {
+  json.beginObject();
+  json.key("procs").value(procs);
+  json.key("plan").value(plan);
+  json.key("read_s").value(r.times.read);
+  json.key("compute_s").value(r.times.compute);
+  json.key("merge_prep_s").value(r.times.merge_prep);
+  json.key("merge_s").value(r.times.mergeTotal());
+  json.key("write_s").value(r.times.write);
+  json.key("total_s").value(r.times.total());
+  json.key("efficiency").value(efficiency);
+  json.key("output_bytes").value(r.output_bytes);
+  json.key("rounds").beginArray();
+  const std::vector<RoundCommStats> stats = roundCommStats(r.inputs);
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const RoundCommStats& s = stats[i];
+    json.beginObject();
+    json.key("round").value(static_cast<int>(i));
+    json.key("seconds").value(i < r.times.merge_rounds.size() ? r.times.merge_rounds[i] : 0.0);
+    json.key("groups").value(s.groups);
+    json.key("messages").value(s.messages);
+    json.key("total_bytes").value(s.total_bytes);
+    json.key("max_root_bytes").value(s.max_root_bytes);
+    json.key("max_root_rank").value(s.max_root_rank);
+    json.key("imbalance").value(s.imbalance);
+    json.endObject();
+  }
+  json.endArray();
+  json.endObject();
 }
 
 }  // namespace msc::bench

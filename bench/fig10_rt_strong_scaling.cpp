@@ -13,6 +13,12 @@ int main(int argc, char** argv) {
   const auto procs = flags.getIntList("procs", {64, 128, 256, 512, 1024, 2048, 4096});
   const Domain domain{{side, side, side}};
   const pipeline::SimModels models = bench::defaultModels(flags);
+  const std::string json_path = flags.getString("json");
+  std::FILE* jf = json_path.empty() ? nullptr : std::fopen(json_path.c_str(), "w");
+  if (!json_path.empty() && !jf)
+    std::fprintf(stderr, "warning: cannot open %s; json output disabled\n", json_path.c_str());
+  bench::JsonWriter json(jf);
+  if (jf) json.beginArray();
 
   bench::header("Figure 10: Rayleigh-Taylor-like strong scaling, partial merge [8,8]");
   bench::note("grid %d^3, 1 block/process, two rounds of radix-8", side);
@@ -42,6 +48,15 @@ int main(int argc, char** argv) {
     std::printf("%7d %10.3f %12.3f %12.3f %10.3f %10.3f %13.1f%% %13.1f%%\n", p,
                 r.times.read, r.times.compute, r.times.mergeTotal(), r.times.write,
                 total, 100 * (base_total / total) / ratio, 100 * (base_cm / cm) / ratio);
+    if (jf)
+      bench::writeRunJson(json, p, cfg.plan.toString().c_str(), r,
+                          (base_total / total) / ratio);
+  }
+  if (jf) {
+    json.endArray();
+    json.finish();
+    std::fclose(jf);
+    bench::note("json -> %s", json_path.c_str());
   }
   bench::note("paper shape: compute+merge scales markedly better (66%%) than the");
   bench::note("end-to-end time (35%%), whose scaling is capped by I/O saturation");

@@ -17,6 +17,12 @@ int main(int argc, char** argv) {
   const auto procs = flags.getIntList("procs", {32, 64, 128, 256, 512, 1024, 2048, 4096, 8192});
   const Domain domain{{96 * scale + 1, 112 * scale + 1, 64 * scale + 1}};
   const pipeline::SimModels models = bench::defaultModels(flags);
+  const std::string json_path = flags.getString("json");
+  std::FILE* jf = json_path.empty() ? nullptr : std::fopen(json_path.c_str(), "w");
+  if (!json_path.empty() && !jf)
+    std::fprintf(stderr, "warning: cannot open %s; json output disabled\n", json_path.c_str());
+  bench::JsonWriter json(jf);
+  if (jf) json.beginArray();
 
   bench::header("Figure 9: JET-like strong scaling, full merge");
   bench::note("grid %lld x %lld x %lld, 1 block/process, full radix-8-preferring merge",
@@ -48,6 +54,13 @@ int main(int argc, char** argv) {
                 cfg.plan.toString().c_str(), r.times.read, r.times.compute,
                 r.times.mergeTotal(), r.times.write, total, 100 * efficiency,
                 static_cast<long long>(r.output_bytes));
+    if (jf) bench::writeRunJson(json, p, cfg.plan.toString().c_str(), r, efficiency);
+  }
+  if (jf) {
+    json.endArray();
+    json.finish();
+    std::fclose(jf);
+    bench::note("json -> %s", json_path.c_str());
   }
   bench::note("paper shape: compute dominates at low P; merge time grows and");
   bench::note("dominates beyond ~2048; efficiency ~35%% @2048, ~13%% @8192");

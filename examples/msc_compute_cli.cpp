@@ -17,11 +17,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "analysis/census.hpp"
 #include "io/pack.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/summary.hpp"
 #include "pipeline/threaded_pipeline.hpp"
 
 using namespace msc;
@@ -41,6 +44,8 @@ struct Options {
   bool no_merge = false;
   std::string algorithm = "lowerstar";
   std::string out;
+  std::string trace_path;
+  bool stats = false;
   bool help = false;
 };
 
@@ -78,6 +83,8 @@ Options parse(int argc, char** argv) {
     else if (a == "--no-merge") o.no_merge = true;
     else if (const char* v = val("algorithm")) o.algorithm = v;
     else if (const char* v = val("out")) o.out = v;
+    else if (const char* v = val("trace")) o.trace_path = v;
+    else if (a == "--stats") o.stats = true;
     else {
       std::fprintf(stderr, "unknown argument: %s (try --help)\n", a.c_str());
       std::exit(2);
@@ -100,7 +107,10 @@ void usage() {
       "  --radices=R1,R2,...  merge plan (default: full merge)\n"
       "  --no-merge           skip merging entirely (one output per block)\n"
       "  --algorithm=A        lowerstar|sweep (default lowerstar)\n"
-      "  --out=FILE           write the block+footer output container");
+      "  --out=FILE           write the block+footer output container\n"
+      "  --trace=FILE         write a Chrome trace-event JSON of the run\n"
+      "                       (open in Perfetto or chrome://tracing)\n"
+      "  --stats              print the per-rank/per-stage summary table");
 }
 
 }  // namespace
@@ -136,6 +146,12 @@ int main(int argc, char** argv) {
                                          : pipeline::GradientAlgorithm::kLowerStar;
   cfg.output_path = o.out;
 
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!o.trace_path.empty() || o.stats) {
+    tracer = std::make_unique<obs::Tracer>(o.ranks);
+    cfg.tracer = tracer.get();
+  }
+
   std::printf("msc_compute: %lld x %lld x %lld, %d blocks on %d ranks, plan %s, "
               "persistence %.4g, %s gradient\n",
               (long long)o.dims.x, (long long)o.dims.y, (long long)o.dims.z, o.blocks,
@@ -156,6 +172,17 @@ int main(int argc, char** argv) {
                 i, (long long)cs.nodes[0], (long long)cs.nodes[1], (long long)cs.nodes[2],
                 (long long)cs.nodes[3], (long long)cs.arcs, (long long)cs.euler(),
                 cs.min_value, cs.max_value);
+  }
+
+  if (tracer && o.stats) {
+    std::printf("\n%s", obs::summaryText(*tracer).c_str());
+  }
+  if (tracer && !o.trace_path.empty()) {
+    if (!obs::writeChromeTraceFile(*tracer, o.trace_path, "msc_compute")) {
+      std::fprintf(stderr, "failed to write trace file %s\n", o.trace_path.c_str());
+      return 1;
+    }
+    std::printf("\ntrace: %s (open at https://ui.perfetto.dev)\n", o.trace_path.c_str());
   }
   return 0;
 }

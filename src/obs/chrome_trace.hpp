@@ -1,0 +1,30 @@
+/// \file chrome_trace.hpp
+/// Chrome trace-event JSON exporter: serializes a Tracer's recorded
+/// events into the format accepted by Perfetto / chrome://tracing
+/// (the "JSON Object Format": {"traceEvents": [...]}). One thread
+/// track (`tid`) per rank under a single process (`pid` 0); spans
+/// become complete ("X") events, counters become cumulative counter
+/// ("C") samples, instants become "i" events. Timestamps are
+/// microseconds since the tracer's epoch.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace msc::obs {
+
+/// Serialize `t` as Chrome trace-event JSON.
+void writeChromeTrace(const Tracer& t, std::ostream& os,
+                      const std::string& process_name = "msc");
+
+/// Convenience: serialize to a string (mainly for tests).
+std::string chromeTraceJson(const Tracer& t, const std::string& process_name = "msc");
+
+/// Write to `path`; returns false (and reports nothing else) if the
+/// file cannot be opened.
+bool writeChromeTraceFile(const Tracer& t, const std::string& path,
+                          const std::string& process_name = "msc");
+
+}  // namespace msc::obs

@@ -1,0 +1,139 @@
+#include "obs/obs.hpp"
+
+#include <cassert>
+
+namespace msc::obs {
+
+const char* counterName(Counter c) {
+  switch (c) {
+    case Counter::kMessagesSent: return "messages_sent";
+    case Counter::kMessagesReceived: return "messages_received";
+    case Counter::kBytesSent: return "bytes_sent";
+    case Counter::kBytesReceived: return "bytes_received";
+    case Counter::kMailboxWaitSeconds: return "mailbox_wait_s";
+    case Counter::kBarrierWaitSeconds: return "barrier_wait_s";
+    case Counter::kGlueSeconds: return "glue_s";
+  }
+  return "unknown";
+}
+
+bool counterIsSeconds(Counter c) {
+  switch (c) {
+    case Counter::kMailboxWaitSeconds:
+    case Counter::kBarrierWaitSeconds:
+    case Counter::kGlueSeconds:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Tracer::Tracer(int nranks) : epoch_(std::chrono::steady_clock::now()) {
+  assert(nranks >= 1);
+  ranks_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) ranks_.push_back(std::make_unique<RankLog>());
+}
+
+Tracer::~Tracer() = default;
+
+void Tracer::record(int rank, Event e) {
+  RankLog& log = *ranks_[static_cast<std::size_t>(rank)];
+  const std::lock_guard lock(log.mu);
+  log.events.push_back(std::move(e));
+}
+
+Tracer::Span::Span(Tracer* t, int rank, std::string name, const char* cat)
+    : tracer_(t), rank_(rank), name_(std::move(name)), cat_(cat) {
+  RankLog& log = *t->ranks_[static_cast<std::size_t>(rank)];
+  {
+    const std::lock_guard lock(log.mu);
+    ++log.depth;
+  }
+  start_ = t->now();
+}
+
+void Tracer::Span::end() {
+  if (!tracer_) return;
+  const double stop = tracer_->now();
+  RankLog& log = *tracer_->ranks_[static_cast<std::size_t>(rank_)];
+  Event e;
+  e.kind = EventKind::kSpan;
+  e.name = std::move(name_);
+  e.cat = cat_;
+  e.ts = start_;
+  e.dur = stop - start_;
+  e.arg_keys = arg_keys_;
+  e.arg_vals = arg_vals_;
+  {
+    const std::lock_guard lock(log.mu);
+    e.depth = --log.depth;
+    log.events.push_back(std::move(e));
+  }
+  tracer_ = nullptr;
+}
+
+Tracer::Span Tracer::span(int rank, std::string name, const char* cat) {
+  return Span(this, rank, std::move(name), cat);
+}
+
+void Tracer::instant(int rank, std::string name, const char* cat) {
+  Event e;
+  e.kind = EventKind::kInstant;
+  e.name = std::move(name);
+  e.cat = cat;
+  e.ts = now();
+  record(rank, std::move(e));
+}
+
+void Tracer::count(int rank, Counter c, double delta) { countAt(rank, c, now(), delta); }
+
+void Tracer::countAt(int rank, Counter c, double ts, double delta) {
+  RankLog& log = *ranks_[static_cast<std::size_t>(rank)];
+  Event e;
+  e.kind = EventKind::kCounter;
+  e.name = counterName(c);
+  e.cat = "counter";
+  e.ts = ts;
+  const std::lock_guard lock(log.mu);
+  log.counters.v[static_cast<std::size_t>(c)] += delta;
+  e.value = log.counters.v[static_cast<std::size_t>(c)];
+  log.events.push_back(std::move(e));
+}
+
+void Tracer::spanAt(int rank, std::string name, double ts, double dur, const char* cat,
+                    const char* arg_key, std::int64_t arg_val) {
+  Event e;
+  e.kind = EventKind::kSpan;
+  e.name = std::move(name);
+  e.cat = cat;
+  e.ts = ts;
+  e.dur = dur;
+  if (arg_key) {
+    e.arg_keys[0] = arg_key;
+    e.arg_vals[0] = arg_val;
+  }
+  record(rank, std::move(e));
+}
+
+CounterSet Tracer::counters(int rank) const {
+  const RankLog& log = *ranks_[static_cast<std::size_t>(rank)];
+  const std::lock_guard lock(log.mu);
+  return log.counters;
+}
+
+std::vector<Event> Tracer::events(int rank) const {
+  const RankLog& log = *ranks_[static_cast<std::size_t>(rank)];
+  const std::lock_guard lock(log.mu);
+  return log.events;
+}
+
+CounterSet Tracer::totals() const {
+  CounterSet out;
+  for (const auto& log : ranks_) {
+    const std::lock_guard lock(log->mu);
+    for (std::size_t i = 0; i < out.v.size(); ++i) out.v[i] += log->counters.v[i];
+  }
+  return out;
+}
+
+}  // namespace msc::obs

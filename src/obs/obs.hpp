@@ -1,0 +1,188 @@
+/// \file obs.hpp
+/// Observability substrate: a low-overhead, thread-safe event
+/// recorder with RAII spans, monotonic timestamps, and named per-rank
+/// counters. The paper's evaluation attributes wall-clock to stages
+/// and to the slowest rank inside each barrier-delimited stage; this
+/// module records exactly that -- per-rank spans for every pipeline
+/// stage and comm operation, plus counters for messages, payload
+/// bytes and blocked time -- so both the threaded driver and the
+/// simulated 1k-rank schedules can be inspected in one viewer.
+///
+/// Ownership/overhead contract: a `Tracer` is created by the caller
+/// and passed around as a non-owning pointer; every instrumentation
+/// site is gated on that pointer being non-null, so the default-off
+/// path costs one predictable branch and touches no shared state.
+/// When on, each rank writes only to its own cache-line-padded slot,
+/// so recording never contends across ranks.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace msc::obs {
+
+/// Named per-rank counters. Values are doubles: time counters are
+/// seconds, the rest are exact integers (counts fit in the 2^53
+/// integer range of a double by a wide margin).
+enum class Counter : int {
+  kMessagesSent = 0,
+  kMessagesReceived,
+  kBytesSent,      ///< payload bytes handed to send()
+  kBytesReceived,  ///< payload bytes returned by recv()
+  kMailboxWaitSeconds,  ///< blocked inside recv() waiting for a match
+  kBarrierWaitSeconds,  ///< blocked inside barrier()
+  kGlueSeconds,         ///< merge-group glue + re-simplify at roots
+};
+inline constexpr int kNumCounters = 7;
+
+const char* counterName(Counter c);
+
+/// True for counters measured in seconds (affects summary formatting).
+bool counterIsSeconds(Counter c);
+
+struct CounterSet {
+  std::array<double, kNumCounters> v{};
+  double operator[](Counter c) const { return v[static_cast<std::size_t>(c)]; }
+};
+
+enum class EventKind { kSpan, kInstant, kCounter };
+
+/// One recorded event. Spans carry [ts, ts+dur]; counter events are
+/// cumulative samples of the named counter at `ts`.
+struct Event {
+  EventKind kind{EventKind::kSpan};
+  std::string name;
+  const char* cat = "";
+  double ts{0};     ///< seconds since the tracer's epoch
+  double dur{0};    ///< spans only
+  double value{0};  ///< counter samples only (cumulative)
+  int depth{0};     ///< span nesting depth at record time (0 = top level)
+  /// Up to two numeric args surfaced in the trace viewer.
+  std::array<const char*, 2> arg_keys{nullptr, nullptr};
+  std::array<std::int64_t, 2> arg_vals{0, 0};
+};
+
+/// Thread-safe per-rank event recorder. One instance spans one
+/// parallel execution; rank indices must be in [0, nranks).
+class Tracer {
+ public:
+  explicit Tracer(int nranks);
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  int nranks() const { return static_cast<int>(ranks_.size()); }
+
+  /// Monotonic seconds since this tracer was constructed.
+  double now() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+  }
+
+  /// RAII span: records a kSpan event on destruction (or end()).
+  /// A default-constructed span is inert, so call sites can write
+  ///   auto s = tracer ? tracer->span(...) : obs::Tracer::Span{};
+  /// or use the obs::span() helper below.
+  class Span {
+   public:
+    Span() = default;
+    Span(Span&& o) noexcept { *this = std::move(o); }
+    Span& operator=(Span&& o) noexcept {
+      end();
+      tracer_ = o.tracer_;
+      rank_ = o.rank_;
+      name_ = std::move(o.name_);
+      cat_ = o.cat_;
+      start_ = o.start_;
+      nargs_ = o.nargs_;
+      arg_keys_ = o.arg_keys_;
+      arg_vals_ = o.arg_vals_;
+      o.tracer_ = nullptr;
+      return *this;
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { end(); }
+
+    /// Attach a numeric argument (at most two are kept).
+    Span& arg(const char* key, std::int64_t value) {
+      if (tracer_ && nargs_ < 2) {
+        arg_keys_[static_cast<std::size_t>(nargs_)] = key;
+        arg_vals_[static_cast<std::size_t>(nargs_)] = value;
+        ++nargs_;
+      }
+      return *this;
+    }
+
+    /// End the span now instead of at scope exit. Idempotent.
+    void end();
+
+   private:
+    friend class Tracer;
+    Span(Tracer* t, int rank, std::string name, const char* cat);
+    Tracer* tracer_ = nullptr;
+    int rank_ = 0;
+    std::string name_;
+    const char* cat_ = "";
+    double start_ = 0;
+    int nargs_ = 0;
+    std::array<const char*, 2> arg_keys_{nullptr, nullptr};
+    std::array<std::int64_t, 2> arg_vals_{0, 0};
+  };
+
+  /// Open a span on `rank`'s track, closed when the returned object
+  /// is destroyed.
+  Span span(int rank, std::string name, const char* cat = "");
+
+  /// Record a zero-duration marker.
+  void instant(int rank, std::string name, const char* cat = "");
+
+  /// Add `delta` to a counter and record a cumulative sample event.
+  void count(int rank, Counter c, double delta);
+
+  /// Record a span with explicit timestamps (seconds since epoch).
+  /// Used by the simulated driver to emit reconstructed schedules as
+  /// synthetic traces.
+  void spanAt(int rank, std::string name, double ts, double dur, const char* cat = "",
+              const char* arg_key = nullptr, std::int64_t arg_val = 0);
+
+  /// Record a cumulative counter sample with an explicit timestamp
+  /// (also bumps the counter total by `delta`).
+  void countAt(int rank, Counter c, double ts, double delta);
+
+  // --- Read side (call after the instrumented run completes; safe
+  // concurrently with recording but snapshots under the rank lock).
+  CounterSet counters(int rank) const;
+  std::vector<Event> events(int rank) const;
+  /// Counter totals summed over all ranks.
+  CounterSet totals() const;
+
+ private:
+  /// Per-rank slot, padded so concurrent ranks never share a line.
+  struct alignas(64) RankLog {
+    mutable std::mutex mu;
+    std::vector<Event> events;
+    CounterSet counters;
+    int depth{0};  ///< currently open spans
+  };
+
+  void record(int rank, Event e);
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::unique_ptr<RankLog>> ranks_;
+};
+
+/// Null-safe helpers: the idiomatic call sites for optionally-traced
+/// code. All are no-ops (and allocate nothing) when `t` is null.
+inline Tracer::Span span(Tracer* t, int rank, std::string name, const char* cat = "") {
+  return t ? t->span(rank, std::move(name), cat) : Tracer::Span{};
+}
+inline void count(Tracer* t, int rank, Counter c, double delta) {
+  if (t) t->count(rank, c, delta);
+}
+
+}  // namespace msc::obs

@@ -1,0 +1,162 @@
+#include "obs/summary.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace msc::obs {
+
+namespace {
+
+struct StageRow {
+  std::string name;
+  double first_ts = 1e300;                 // for stable, schedule-ordered rows
+  std::vector<double> seconds_per_rank;    // summed span durations
+  std::vector<std::int64_t> count_per_rank;
+};
+
+std::string fmtSeconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%10.4f", s);
+  return buf;
+}
+
+}  // namespace
+
+void writeSummary(const Tracer& t, std::ostream& os, const SummaryOptions& opts) {
+  const int n = t.nranks();
+
+  // --- Aggregate spans by name.
+  std::map<std::string, StageRow> by_name;
+  for (int r = 0; r < n; ++r) {
+    for (const Event& e : t.events(r)) {
+      if (e.kind != EventKind::kSpan) continue;
+      if (!opts.include_nested && e.depth > 0) continue;
+      StageRow& row = by_name[e.name];
+      if (row.seconds_per_rank.empty()) {
+        row.name = e.name;
+        row.seconds_per_rank.assign(static_cast<std::size_t>(n), 0.0);
+        row.count_per_rank.assign(static_cast<std::size_t>(n), 0);
+      }
+      row.first_ts = std::min(row.first_ts, e.ts);
+      row.seconds_per_rank[static_cast<std::size_t>(r)] += e.dur;
+      row.count_per_rank[static_cast<std::size_t>(r)] += 1;
+    }
+  }
+  std::vector<const StageRow*> rows;
+  rows.reserve(by_name.size());
+  for (const auto& [name, row] : by_name) rows.push_back(&row);
+  std::sort(rows.begin(), rows.end(),
+            [](const StageRow* a, const StageRow* b) { return a->first_ts < b->first_ts; });
+
+  const bool wide = n <= opts.max_rank_columns;
+  os << "== per-rank stage times (seconds" << (wide ? "" : "; aggregated over ranks")
+     << ") ==\n";
+  {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%-24s", "stage");
+    os << buf;
+  }
+  if (wide) {
+    for (int r = 0; r < n; ++r) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "    rank%-3d", r);
+      os << buf;
+    }
+  } else {
+    os << "       min        mean         max   slowest";
+  }
+  os << '\n';
+
+  for (const StageRow* row : rows) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%-24s", row->name.c_str());
+    os << buf;
+    if (wide) {
+      for (int r = 0; r < n; ++r)
+        os << ' ' << fmtSeconds(row->seconds_per_rank[static_cast<std::size_t>(r)]);
+    } else {
+      double mn = 1e300, mx = -1e300, sum = 0;
+      int slowest = 0;
+      for (int r = 0; r < n; ++r) {
+        const double s = row->seconds_per_rank[static_cast<std::size_t>(r)];
+        sum += s;
+        mn = std::min(mn, s);
+        if (s > mx) {
+          mx = s;
+          slowest = r;
+        }
+      }
+      os << ' ' << fmtSeconds(mn) << ' ' << fmtSeconds(sum / n) << ' ' << fmtSeconds(mx);
+      std::snprintf(buf, sizeof(buf), " %9d", slowest);
+      os << buf;
+    }
+    os << '\n';
+  }
+
+  // --- Counter table.
+  os << "\n== counters ==\n";
+  {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%-24s", "counter");
+    os << buf;
+  }
+  if (wide) {
+    for (int r = 0; r < n; ++r) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "    rank%-3d", r);
+      os << buf;
+    }
+    os << "      total";
+  } else {
+    os << "       min        mean         max     total";
+  }
+  os << '\n';
+
+  std::vector<CounterSet> per_rank;
+  per_rank.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) per_rank.push_back(t.counters(r));
+  for (int ci = 0; ci < kNumCounters; ++ci) {
+    const auto c = static_cast<Counter>(ci);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%-24s", counterName(c));
+    os << buf;
+    const bool secs = counterIsSeconds(c);
+    const auto fmt = [&](double v) -> std::string {
+      char b[32];
+      if (secs) std::snprintf(b, sizeof(b), "%10.4f", v);
+      else std::snprintf(b, sizeof(b), "%10.0f", v);
+      return b;
+    };
+    double total = 0;
+    if (wide) {
+      for (int r = 0; r < n; ++r) {
+        const double v = per_rank[static_cast<std::size_t>(r)][c];
+        total += v;
+        os << ' ' << fmt(v);
+      }
+      os << ' ' << fmt(total);
+    } else {
+      double mn = 1e300, mx = -1e300;
+      for (int r = 0; r < n; ++r) {
+        const double v = per_rank[static_cast<std::size_t>(r)][c];
+        total += v;
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+      }
+      os << ' ' << fmt(mn) << ' ' << fmt(total / n) << ' ' << fmt(mx) << ' ' << fmt(total);
+    }
+    os << '\n';
+  }
+}
+
+std::string summaryText(const Tracer& t, const SummaryOptions& opts) {
+  std::ostringstream os;
+  writeSummary(t, os, opts);
+  return os.str();
+}
+
+}  // namespace msc::obs

@@ -1,0 +1,32 @@
+/// \file summary.hpp
+/// Plain-text per-rank / per-stage summary of a Tracer: the terminal
+/// companion to the Chrome-trace exporter. Mirrors the paper's
+/// attribution style -- each barrier-delimited stage is charged to
+/// its slowest rank -- by printing, per span name, either a full
+/// per-rank matrix (few ranks) or min/mean/max plus the slowest
+/// rank's id (many ranks), followed by the counter table.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace msc::obs {
+
+struct SummaryOptions {
+  /// Print one column per rank up to this many ranks; beyond it,
+  /// collapse to min/mean/max/slowest columns.
+  int max_rank_columns = 8;
+  /// Only aggregate spans at nesting depth 0 unless this is set
+  /// (sub-spans double-count their parents' time in totals).
+  bool include_nested = false;
+};
+
+/// Aggregate and print `t`'s spans and counters to `os`.
+void writeSummary(const Tracer& t, std::ostream& os, const SummaryOptions& opts = {});
+
+/// Convenience: summary as a string.
+std::string summaryText(const Tracer& t, const SummaryOptions& opts = {});
+
+}  // namespace msc::obs

@@ -4,6 +4,8 @@
 #include <exception>
 #include <thread>
 
+#include "obs/obs.hpp"
+
 namespace msc::par {
 
 void Comm::send(int dst, int tag, Bytes payload) const {
@@ -16,9 +18,14 @@ Bytes Comm::recv(int src, int tag, int* out_src, int* out_tag) const {
 
 bool Comm::probe(int src, int tag) const { return rt_->probe(rank_, src, tag); }
 
-void Comm::barrier() const { rt_->barrier(); }
+void Comm::barrier() const { rt_->barrier(rank_); }
 
 std::vector<Bytes> Comm::gather(int root, Bytes payload) const {
+  obs::Tracer::Span sp;
+  if (rt_->tracer_) {
+    sp = rt_->tracer_->span(rank_, "gather", "comm");
+    sp.arg("root", root).arg("bytes", static_cast<std::int64_t>(payload.size()));
+  }
   std::vector<Bytes> out;
   if (rank_ == root) {
     out.resize(static_cast<std::size_t>(size_));
@@ -35,6 +42,11 @@ std::vector<Bytes> Comm::gather(int root, Bytes payload) const {
 }
 
 Bytes Comm::broadcast(int root, Bytes payload) const {
+  obs::Tracer::Span sp;
+  if (rt_->tracer_) {
+    sp = rt_->tracer_->span(rank_, "broadcast", "comm");
+    sp.arg("root", root);
+  }
   if (rank_ == root) {
     for (int dst = 0; dst < size_; ++dst)
       if (dst != root) send(dst, kTagBcast, payload);
@@ -43,20 +55,39 @@ Bytes Comm::broadcast(int root, Bytes payload) const {
   return recv(root, kTagBcast);
 }
 
-Runtime::Runtime(int nranks) : boxes_(static_cast<std::size_t>(nranks)), nranks_(nranks) {}
+Runtime::Runtime(int nranks, obs::Tracer* tracer)
+    : boxes_(static_cast<std::size_t>(nranks)), nranks_(nranks), tracer_(tracer) {
+  assert(!tracer || tracer->nranks() >= nranks);
+}
 
 void Runtime::send(int src, int dst, int tag, Bytes payload) {
   assert(dst >= 0 && dst < nranks_);
+  obs::Tracer::Span sp;
+  const auto nbytes = static_cast<std::int64_t>(payload.size());
+  if (tracer_) {
+    sp = tracer_->span(src, "send", "comm");
+    sp.arg("dst", dst).arg("bytes", nbytes);
+  }
   Mailbox& box = boxes_[static_cast<std::size_t>(dst)];
   {
     const std::lock_guard lock(box.mu);
     box.messages.push_back({src, tag, std::move(payload)});
   }
   box.cv.notify_all();
+  if (tracer_) {
+    tracer_->count(src, obs::Counter::kMessagesSent, 1);
+    tracer_->count(src, obs::Counter::kBytesSent, static_cast<double>(nbytes));
+  }
 }
 
 Bytes Runtime::recv(int self, int src, int tag, int* out_src, int* out_tag) {
+  obs::Tracer::Span sp;
+  if (tracer_) {
+    sp = tracer_->span(self, "recv", "comm");
+    sp.arg("src", src).arg("tag", tag);
+  }
   Mailbox& box = boxes_[static_cast<std::size_t>(self)];
+  double waited = 0;
   std::unique_lock lock(box.mu);
   for (;;) {
     for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
@@ -65,10 +96,22 @@ Bytes Runtime::recv(int self, int src, int tag, int* out_src, int* out_tag) {
         if (out_tag) *out_tag = it->tag;
         Bytes b = std::move(it->payload);
         box.messages.erase(it);
+        if (tracer_) {
+          lock.unlock();
+          tracer_->count(self, obs::Counter::kMessagesReceived, 1);
+          tracer_->count(self, obs::Counter::kBytesReceived, static_cast<double>(b.size()));
+          if (waited > 0) tracer_->count(self, obs::Counter::kMailboxWaitSeconds, waited);
+        }
         return b;
       }
     }
-    box.cv.wait(lock);
+    if (tracer_) {
+      const double t0 = tracer_->now();
+      box.cv.wait(lock);
+      waited += tracer_->now() - t0;
+    } else {
+      box.cv.wait(lock);
+    }
   }
 }
 
@@ -80,21 +123,27 @@ bool Runtime::probe(int self, int src, int tag) {
   return false;
 }
 
-void Runtime::barrier() {
-  std::unique_lock lock(barrier_mu_);
-  const std::int64_t gen = barrier_gen_;
-  if (++barrier_count_ == nranks_) {
-    barrier_count_ = 0;
-    ++barrier_gen_;
-    barrier_cv_.notify_all();
-    return;
+void Runtime::barrier(int self) {
+  obs::Tracer::Span sp;
+  const double t0 = tracer_ ? tracer_->now() : 0;
+  if (tracer_) sp = tracer_->span(self, "barrier", "comm");
+  {
+    std::unique_lock lock(barrier_mu_);
+    const std::int64_t gen = barrier_gen_;
+    if (++barrier_count_ == nranks_) {
+      barrier_count_ = 0;
+      ++barrier_gen_;
+      barrier_cv_.notify_all();
+    } else {
+      barrier_cv_.wait(lock, [&] { return barrier_gen_ != gen; });
+    }
   }
-  barrier_cv_.wait(lock, [&] { return barrier_gen_ != gen; });
+  if (tracer_) tracer_->count(self, obs::Counter::kBarrierWaitSeconds, tracer_->now() - t0);
 }
 
-void Runtime::run(int nranks, const std::function<void(Comm&)>& fn) {
+void Runtime::run(int nranks, const std::function<void(Comm&)>& fn, obs::Tracer* tracer) {
   assert(nranks >= 1);
-  Runtime rt(nranks);
+  Runtime rt(nranks, tracer);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
   std::mutex err_mu;

@@ -17,7 +17,13 @@
 #include <functional>
 #include <mutex>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
+
+namespace msc::obs {
+class Tracer;
+}
 
 namespace msc::par {
 
@@ -71,9 +77,14 @@ class Comm {
   }
   template <class T>
   T recvValue(int src, int tag) const {
-    const Bytes b = recv(src, tag);
+    int actual_src = src, actual_tag = tag;
+    const Bytes b = recv(src, tag, &actual_src, &actual_tag);
+    if (b.size() != sizeof(T))
+      throw std::runtime_error(
+          "Comm::recvValue: payload size mismatch from src " + std::to_string(actual_src) +
+          " tag " + std::to_string(actual_tag) + ": expected " + std::to_string(sizeof(T)) +
+          " bytes, got " + std::to_string(b.size()));
     T v;
-    assert(b.size() == sizeof(T));
     std::memcpy(&v, b.data(), sizeof(T));
     return v;
   }
@@ -92,7 +103,14 @@ class Runtime {
   /// Run `fn(comm)` on `nranks` concurrent ranks; returns when all
   /// ranks finish. Exceptions thrown by a rank are rethrown here
   /// (first one wins) after all ranks are joined.
-  static void run(int nranks, const std::function<void(Comm&)>& fn);
+  ///
+  /// If `tracer` is non-null (it must outlive the call and have been
+  /// created with >= nranks slots), every send/recv/barrier/gather/
+  /// broadcast records a span on its rank's track plus message,
+  /// byte, and blocked-time counters. With a null tracer the
+  /// instrumentation reduces to one branch per operation.
+  static void run(int nranks, const std::function<void(Comm&)>& fn,
+                  obs::Tracer* tracer = nullptr);
 
  private:
   friend class Comm;
@@ -108,12 +126,12 @@ class Runtime {
     std::deque<Message> messages;
   };
 
-  explicit Runtime(int nranks);
+  Runtime(int nranks, obs::Tracer* tracer);
 
   void send(int src, int dst, int tag, Bytes payload);
   Bytes recv(int self, int src, int tag, int* out_src, int* out_tag);
   bool probe(int self, int src, int tag);
-  void barrier();
+  void barrier(int self);
 
   std::vector<Mailbox> boxes_;
   std::mutex barrier_mu_;
@@ -121,6 +139,7 @@ class Runtime {
   int barrier_count_{0};
   std::int64_t barrier_gen_{0};
   int nranks_;
+  obs::Tracer* tracer_{nullptr};  ///< non-owning; null = tracing off
 };
 
 }  // namespace msc::par

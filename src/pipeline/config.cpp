@@ -6,23 +6,29 @@
 namespace msc::pipeline {
 
 MsComplex computeBlockComplex(const PipelineConfig& cfg, const Block& block,
-                              TraceStats* tstats, SimplifyStats* sstats) {
+                              TraceStats* tstats, SimplifyStats* sstats, int obs_rank) {
   const BlockField bf = cfg.source.volume_path
                             ? io::readBlock(*cfg.source.volume_path, block,
                                             cfg.source.sample_type)
                             : synth::sample(block, cfg.source.field);
-  return computeBlockComplex(cfg, bf, tstats, sstats);
+  return computeBlockComplex(cfg, bf, tstats, sstats, obs_rank);
 }
 
 MsComplex computeBlockComplex(const PipelineConfig& cfg, const BlockField& bf,
-                              TraceStats* tstats, SimplifyStats* sstats) {
+                              TraceStats* tstats, SimplifyStats* sstats, int obs_rank) {
   GradientOptions gopts;
   gopts.restrict_boundary = true;
+  auto gspan = obs::span(cfg.tracer, obs_rank, "gradient", "stage");
   const GradientField grad = cfg.algorithm == GradientAlgorithm::kSweep
                                  ? computeGradientSweep(bf, gopts)
                                  : computeGradientLowerStar(bf, gopts);
+  gspan.end();
 
+  auto tspan = obs::span(cfg.tracer, obs_rank, "trace", "stage");
   MsComplex c = traceComplex(grad, bf, cfg.trace, tstats);
+  tspan.end();
+
+  auto sspan = obs::span(cfg.tracer, obs_rank, "simplify+pack", "stage");
   SimplifyOptions sopts;
   sopts.persistence_threshold = cfg.persistence_threshold;
   simplify(c, sopts, sstats);

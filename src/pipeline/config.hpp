@@ -12,6 +12,7 @@
 #include "io/pack.hpp"
 #include "io/volume.hpp"
 #include "merge/plan.hpp"
+#include "obs/obs.hpp"
 #include "synth/fields.hpp"
 
 namespace msc::pipeline {
@@ -44,18 +45,25 @@ struct PipelineConfig {
   TraceOptions trace;
   /// Optional output file (the IV-G container); empty = skip writing.
   std::string output_path;
+  /// Observability: when non-null (non-owning; must outlive the run
+  /// and have >= nranks slots), both drivers record per-rank spans
+  /// for every stage of Algorithm 1 plus comm/byte counters. Null
+  /// (the default) keeps the zero-overhead path.
+  obs::Tracer* tracer{nullptr};
 };
 
 /// Compute one block's complex from already-loaded samples:
 /// gradient, trace, simplify, leaving the complex compacted to the
 /// living elements (IV-F1 cleanup). Shared by both drivers and tests.
+/// When cfg.tracer is set, `obs_rank` selects the track the
+/// gradient/trace/simplify+pack sub-spans are recorded on.
 MsComplex computeBlockComplex(const PipelineConfig& cfg, const BlockField& field,
                               TraceStats* tstats = nullptr,
-                              SimplifyStats* sstats = nullptr);
+                              SimplifyStats* sstats = nullptr, int obs_rank = 0);
 
 /// Convenience overload: sample/read the block first.
 MsComplex computeBlockComplex(const PipelineConfig& cfg, const Block& block,
                               TraceStats* tstats = nullptr,
-                              SimplifyStats* sstats = nullptr);
+                              SimplifyStats* sstats = nullptr, int obs_rank = 0);
 
 }  // namespace msc::pipeline

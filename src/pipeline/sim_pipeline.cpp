@@ -111,7 +111,10 @@ SimResult runSimPipeline(const PipelineConfig& cfg, const SimModels& models) {
 
   const simnet::TorusModel net(simnet::Torus::fit(cfg.nranks), models.net);
   const simnet::IoModel io(models.io);
-  res.times = simnet::reconstruct(in, net, io, models.scale);
+  // When observability is on, the reconstruction doubles as a trace
+  // generator: the simulated schedule lands on cfg.tracer with
+  // model-time timestamps, one track per simulated rank.
+  res.times = simnet::reconstruct(in, net, io, models.scale, cfg.tracer);
   res.serial_seconds = now() - t_start;
   return res;
 }

@@ -8,6 +8,7 @@
 #include "core/merge.hpp"
 #include "decomp/decompose.hpp"
 #include "io/complex_file.hpp"
+#include "obs/obs.hpp"
 #include "par/comm.hpp"
 
 namespace msc::pipeline {
@@ -56,6 +57,7 @@ Framed unframe(const par::Bytes& in) {
 ThreadedResult runThreadedPipeline(const PipelineConfig& cfg) {
   ThreadedResult result;
   std::mutex result_mu;
+  obs::Tracer* const tr = cfg.tracer;
 
   par::Runtime::run(cfg.nranks, [&](par::Comm& comm) {
     const int rank = comm.rank();
@@ -65,19 +67,31 @@ ThreadedResult runThreadedPipeline(const PipelineConfig& cfg) {
     comm.barrier();
     const double t_read0 = now();
     std::map<int, BlockField> fields;
-    for (const Block& blk : blocks) {
-      if (blk.id % cfg.nranks != rank) continue;
-      fields.emplace(blk.id, cfg.source.volume_path
-                                 ? io::readBlock(*cfg.source.volume_path, blk,
-                                                 cfg.source.sample_type)
-                                 : synth::sample(blk, cfg.source.field));
+    {
+      auto sp = obs::span(tr, rank, "read", "stage");
+      for (const Block& blk : blocks) {
+        if (blk.id % cfg.nranks != rank) continue;
+        auto bsp = obs::span(tr, rank, "read_block", "stage");
+        bsp.arg("block", blk.id);
+        fields.emplace(blk.id, cfg.source.volume_path
+                                   ? io::readBlock(*cfg.source.volume_path, blk,
+                                                   cfg.source.sample_type)
+                                   : synth::sample(blk, cfg.source.field));
+      }
     }
     comm.barrier();
     const double t_read1 = now();
 
     // --- Compute + local simplification.
     std::map<int, MsComplex> owned;  // by root block id
-    for (auto& [id, bf] : fields) owned.emplace(id, computeBlockComplex(cfg, bf));
+    {
+      auto sp = obs::span(tr, rank, "compute", "stage");
+      for (auto& [id, bf] : fields) {
+        auto bsp = obs::span(tr, rank, "compute_block", "stage");
+        bsp.arg("block", id);
+        owned.emplace(id, computeBlockComplex(cfg, bf, nullptr, nullptr, rank));
+      }
+    }
     fields.clear();
     comm.barrier();
     const double t_compute1 = now();
@@ -89,6 +103,8 @@ ThreadedResult runThreadedPipeline(const PipelineConfig& cfg) {
     for (int r = 0; r < cfg.plan.rounds(); ++r) {
       const auto groups = cfg.plan.round(r, static_cast<int>(survivors.size()));
       const int tag = kTagMergeBase + r;
+      auto round_span = obs::span(tr, rank, "merge_round", "stage");
+      round_span.arg("round", r);
       // Send phase: non-root members ship their complex to the root's
       // owner and drop out.
       int expected = 0;
@@ -118,13 +134,18 @@ ThreadedResult runThreadedPipeline(const PipelineConfig& cfg) {
         members.reserve(by_sender.size());
         for (auto& [sender, c] : by_sender) members.push_back(std::move(c));
         MsComplex& root = owned.at(root_block);
+        auto gsp = obs::span(tr, rank, "glue", "stage");
+        gsp.arg("root_block", root_block).arg("members", static_cast<std::int64_t>(members.size()));
+        const double g0 = tr ? tr->now() : 0;
         mergeComplexes(root, std::move(members), cfg.persistence_threshold);
         root.compact();
+        if (tr) tr->count(rank, obs::Counter::kGlueSeconds, tr->now() - g0);
       }
       std::vector<int> next;
       for (const MergeGroup& g : groups)
         next.push_back(survivors[static_cast<std::size_t>(g.root)]);
       survivors = std::move(next);
+      round_span.end();
       comm.barrier();
       round_ends.push_back(now());
     }
@@ -134,6 +155,7 @@ ThreadedResult runThreadedPipeline(const PipelineConfig& cfg) {
     // place (ranks with nothing to contribute still participate --
     // "null write"). Rank 0 additionally gathers the payloads to
     // populate the in-memory result.
+    auto write_span = obs::span(tr, rank, "write", "stage");
     std::map<int, int> slotOf;
     for (std::size_t i = 0; i < survivors.size(); ++i)
       slotOf.emplace(survivors[i], static_cast<int>(i));
@@ -174,8 +196,9 @@ ThreadedResult runThreadedPipeline(const PipelineConfig& cfg) {
       const std::lock_guard lock(result_mu);
       result = std::move(local);
     }
+    write_span.end();
     comm.barrier();
-  });
+  }, cfg.tracer);
 
   return result;
 }

@@ -2,23 +2,65 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace msc::simnet {
 
+namespace {
+
+/// Emit one barrier-aligned stage of per-rank busy times as synthetic
+/// spans: a work span per rank plus a "barrier_wait" filler up to the
+/// stage end (and a barrier-wait counter sample), mirroring how the
+/// threaded driver's traces look.
+void emitStage(obs::Tracer* tracer, const char* name, double start,
+               const std::vector<double>& busy, double stage_dur) {
+  if (!tracer) return;
+  for (std::size_t r = 0; r < busy.size(); ++r) {
+    const int rank = static_cast<int>(r);
+    tracer->spanAt(rank, name, start, busy[r], "stage");
+    const double wait = stage_dur - busy[r];
+    if (wait > 0) {
+      tracer->spanAt(rank, "barrier_wait", start + busy[r], wait, "wait");
+      tracer->countAt(rank, obs::Counter::kBarrierWaitSeconds, start + stage_dur, wait);
+    }
+  }
+}
+
+}  // namespace
+
 StageTimes reconstruct(const TimelineInputs& in, const TorusModel& net, const IoModel& io,
-                       const CostScale& scale) {
+                       const CostScale& scale, obs::Tracer* tracer) {
   StageTimes out;
+  const auto nranks = static_cast<std::size_t>(in.nranks);
   out.read = io.collectiveTime(in.input_bytes, in.nranks);
 
   out.compute = 0;
-  for (const double t : in.compute_per_rank)
-    out.compute = std::max(out.compute, t * scale.cpu_scale);
+  std::vector<double> busy(nranks, 0.0);
+  for (std::size_t r = 0; r < in.compute_per_rank.size(); ++r) {
+    busy[r] = in.compute_per_rank[r] * scale.cpu_scale;
+    out.compute = std::max(out.compute, busy[r]);
+  }
+  double cursor = 0;
+  if (tracer) {
+    emitStage(tracer, "read", cursor, std::vector<double>(nranks, out.read), out.read);
+    emitStage(tracer, "compute", out.read, busy, out.compute);
+  }
+  cursor = out.read + out.compute;
 
   out.merge_prep = 0;
-  for (const double t : in.merge_prep_per_rank)
-    out.merge_prep = std::max(out.merge_prep, t * scale.cpu_scale);
+  for (std::size_t r = 0; r < in.merge_prep_per_rank.size(); ++r) {
+    busy[r] = in.merge_prep_per_rank[r] * scale.cpu_scale;
+    out.merge_prep = std::max(out.merge_prep, busy[r]);
+  }
+  if (tracer) emitStage(tracer, "merge_prep", cursor, busy, out.merge_prep);
+  cursor += out.merge_prep;
 
+  int round_index = 0;
   for (const auto& round : in.rounds) {
     double stage = 0;
+    // Per-rank lay-out cursors for the synthetic spans: groups rooted
+    // at the same rank are drawn end-to-end on its track.
+    std::vector<double> lane(nranks, cursor);
     for (const GroupRecord& g : round) {
       // Non-root members inject concurrently, but the root's ingress
       // link serializes the payload bytes; message latencies overlap
@@ -26,19 +68,56 @@ StageTimes reconstruct(const TimelineInputs& in, const TorusModel& net, const Io
       // serialized byte time, which matches the radix behaviour of
       // ref [22].
       double bytes_time = 0, max_lat = 0;
+      std::int64_t group_bytes = 0;
       for (const auto& [src, bytes] : g.sends) {
         const double t = net.messageTime(bytes, src, g.root_rank);
         const double byte_part =
             static_cast<double>(bytes) / net.params().bandwidth_Bps;
         bytes_time += byte_part;
         max_lat = std::max(max_lat, t - byte_part);
+        group_bytes += bytes;
+        if (tracer) {
+          const auto sr = static_cast<std::size_t>(src);
+          tracer->spanAt(src, "send", lane[sr], t, "comm", "bytes", bytes);
+          lane[sr] += t;
+          tracer->countAt(src, obs::Counter::kBytesSent, lane[sr],
+                          static_cast<double>(bytes));
+          tracer->countAt(src, obs::Counter::kMessagesSent, lane[sr], 1);
+        }
       }
-      stage = std::max(stage, max_lat + bytes_time + g.merge_seconds * scale.cpu_scale);
+      const double group_dur = max_lat + bytes_time + g.merge_seconds * scale.cpu_scale;
+      stage = std::max(stage, group_dur);
+      if (tracer && !g.sends.empty()) {
+        const auto rr = static_cast<std::size_t>(g.root_rank);
+        tracer->spanAt(g.root_rank, "merge_group", lane[rr], group_dur, "stage", "round",
+                       round_index);
+        lane[rr] += group_dur;
+        tracer->countAt(g.root_rank, obs::Counter::kBytesReceived, lane[rr],
+                        static_cast<double>(group_bytes));
+        tracer->countAt(g.root_rank, obs::Counter::kMessagesReceived, lane[rr],
+                        static_cast<double>(g.sends.size()));
+        tracer->countAt(g.root_rank, obs::Counter::kGlueSeconds, lane[rr],
+                        g.merge_seconds * scale.cpu_scale);
+      }
+    }
+    if (tracer) {
+      for (std::size_t r = 0; r < nranks; ++r) {
+        const double wait = cursor + stage - lane[r];
+        if (wait > 0) {
+          tracer->spanAt(static_cast<int>(r), "barrier_wait", lane[r], wait, "wait");
+          tracer->countAt(static_cast<int>(r), obs::Counter::kBarrierWaitSeconds,
+                          cursor + stage, wait);
+        }
+      }
     }
     out.merge_rounds.push_back(stage);
+    cursor += stage;
+    ++round_index;
   }
 
   out.write = io.collectiveTime(in.output_bytes, in.nranks);
+  if (tracer)
+    emitStage(tracer, "write", cursor, std::vector<double>(nranks, out.write), out.write);
   return out;
 }
 

@@ -14,6 +14,10 @@
 #include "simnet/io_model.hpp"
 #include "simnet/torus.hpp"
 
+namespace msc::obs {
+class Tracer;
+}
+
 namespace msc::simnet {
 
 /// One merge group's recorded work in one round.
@@ -64,8 +68,14 @@ struct StageTimes {
   double total() const { return read + compute + mergeTotal() + write; }
 };
 
-/// Replay recorded work against the models.
+/// Replay recorded work against the models. If `tracer` is non-null
+/// (created with >= in.nranks slots), the reconstructed schedule is
+/// additionally emitted as a *synthetic* trace -- per-rank spans with
+/// model-time timestamps for read, compute, merge prep, every merge
+/// round (group recv+glue at roots, sends at members, barrier waits)
+/// and write -- so a simulated 1k-rank schedule can be inspected in
+/// the same Chrome-trace viewer as a real threaded run.
 StageTimes reconstruct(const TimelineInputs& in, const TorusModel& net, const IoModel& io,
-                       const CostScale& scale);
+                       const CostScale& scale, obs::Tracer* tracer = nullptr);
 
 }  // namespace msc::simnet

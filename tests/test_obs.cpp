@@ -1,0 +1,370 @@
+/// Tests for the observability subsystem (obs/): span nesting under
+/// concurrency, exact counter totals for the collectives, Chrome
+/// trace export validity, and the tracing-does-not-perturb-results
+/// guarantee for the threaded pipeline.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/obs.hpp"
+#include "obs/summary.hpp"
+#include "par/comm.hpp"
+#include "pipeline/sim_pipeline.hpp"
+#include "pipeline/threaded_pipeline.hpp"
+
+namespace msc {
+namespace {
+
+// --- A tiny recursive-descent JSON syntax checker, so the "valid
+// JSON" acceptance criterion is tested without a JSON dependency.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    pos_ = 0;
+    skipWs();
+    if (!value()) return false;
+    skipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skipWs();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skipWs();
+      if (!string()) return false;
+      skipWs();
+      if (peek() != ':') return false;
+      ++pos_;
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skipWs();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    const std::size_t len = std::strlen(lit);
+    if (s_.compare(pos_, len, lit) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(Obs, SpansNestCorrectlyUnderConcurrency) {
+  constexpr int kRanks = 8, kIters = 50;
+  obs::Tracer tracer(kRanks);
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kRanks; ++r) {
+    threads.emplace_back([&tracer, r] {
+      for (int i = 0; i < kIters; ++i) {
+        auto outer = tracer.span(r, "outer", "test");
+        {
+          auto inner = tracer.span(r, "inner", "test");
+          auto innermost = tracer.span(r, "innermost", "test");
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int r = 0; r < kRanks; ++r) {
+    const std::vector<obs::Event> events = tracer.events(r);
+    int outer = 0, inner = 0, innermost = 0;
+    // Spans are recorded at close, innermost-first; reconstruct the
+    // nesting from depth + interval containment.
+    std::vector<const obs::Event*> by_name[3];
+    for (const obs::Event& e : events) {
+      ASSERT_EQ(e.kind, obs::EventKind::kSpan);
+      if (e.name == "outer") { EXPECT_EQ(e.depth, 0); by_name[0].push_back(&e); ++outer; }
+      if (e.name == "inner") { EXPECT_EQ(e.depth, 1); by_name[1].push_back(&e); ++inner; }
+      if (e.name == "innermost") { EXPECT_EQ(e.depth, 2); by_name[2].push_back(&e); ++innermost; }
+    }
+    EXPECT_EQ(outer, kIters);
+    EXPECT_EQ(inner, kIters);
+    EXPECT_EQ(innermost, kIters);
+    // Each inner span lies within its iteration's outer span.
+    for (int i = 0; i < kIters; ++i) {
+      const obs::Event& o = *by_name[0][static_cast<std::size_t>(i)];
+      const obs::Event& in = *by_name[1][static_cast<std::size_t>(i)];
+      const obs::Event& im = *by_name[2][static_cast<std::size_t>(i)];
+      EXPECT_GE(in.ts, o.ts);
+      EXPECT_LE(in.ts + in.dur, o.ts + o.dur + 1e-9);
+      EXPECT_GE(im.ts, in.ts);
+      EXPECT_LE(im.ts + im.dur, in.ts + in.dur + 1e-9);
+    }
+  }
+}
+
+TEST(Obs, GatherCountersMatchExactTotals) {
+  constexpr int kRanks = 5, kRoot = 2;
+  obs::Tracer tracer(kRanks);
+  par::Runtime::run(kRanks, [](par::Comm& c) {
+    // Rank r contributes r+1 payload bytes.
+    par::Bytes payload(static_cast<std::size_t>(c.rank() + 1));
+    c.gather(kRoot, std::move(payload));
+  }, &tracer);
+
+  for (int r = 0; r < kRanks; ++r) {
+    const obs::CounterSet cs = tracer.counters(r);
+    if (r == kRoot) {
+      EXPECT_EQ(cs[obs::Counter::kMessagesSent], 0);
+      EXPECT_EQ(cs[obs::Counter::kMessagesReceived], kRanks - 1);
+      // Receives every other rank's payload: sum of (i+1) minus own.
+      EXPECT_EQ(cs[obs::Counter::kBytesReceived], 1 + 2 + 3 + 4 + 5 - (kRoot + 1));
+    } else {
+      EXPECT_EQ(cs[obs::Counter::kMessagesSent], 1);
+      EXPECT_EQ(cs[obs::Counter::kBytesSent], r + 1);
+      EXPECT_EQ(cs[obs::Counter::kMessagesReceived], 0);
+      EXPECT_EQ(cs[obs::Counter::kBytesReceived], 0);
+    }
+    // Exactly one gather span per rank, at nesting depth 0.
+    int gathers = 0;
+    for (const obs::Event& e : tracer.events(r))
+      if (e.kind == obs::EventKind::kSpan && e.name == "gather") {
+        EXPECT_EQ(e.depth, 0);
+        ++gathers;
+      }
+    EXPECT_EQ(gathers, 1);
+  }
+  const obs::CounterSet totals = tracer.totals();
+  EXPECT_EQ(totals[obs::Counter::kMessagesSent], kRanks - 1);
+  EXPECT_EQ(totals[obs::Counter::kMessagesReceived], kRanks - 1);
+  EXPECT_EQ(totals[obs::Counter::kBytesSent], totals[obs::Counter::kBytesReceived]);
+}
+
+TEST(Obs, BroadcastCountersMatchExactTotals) {
+  static constexpr int kRanks = 6, kRoot = 1;
+  static constexpr std::size_t kBytes = 77;
+  obs::Tracer tracer(kRanks);
+  par::Runtime::run(kRanks, [](par::Comm& c) {
+    par::Bytes payload = c.rank() == kRoot ? par::Bytes(kBytes) : par::Bytes{};
+    const par::Bytes got = c.broadcast(kRoot, std::move(payload));
+    EXPECT_EQ(got.size(), kBytes);
+  }, &tracer);
+
+  for (int r = 0; r < kRanks; ++r) {
+    const obs::CounterSet cs = tracer.counters(r);
+    if (r == kRoot) {
+      EXPECT_EQ(cs[obs::Counter::kMessagesSent], kRanks - 1);
+      EXPECT_EQ(cs[obs::Counter::kBytesSent], (kRanks - 1) * kBytes);
+      EXPECT_EQ(cs[obs::Counter::kMessagesReceived], 0);
+    } else {
+      EXPECT_EQ(cs[obs::Counter::kMessagesSent], 0);
+      EXPECT_EQ(cs[obs::Counter::kMessagesReceived], 1);
+      EXPECT_EQ(cs[obs::Counter::kBytesReceived], kBytes);
+    }
+  }
+}
+
+TEST(Obs, ChromeTraceIsValidJsonWithOneTidPerRank) {
+  constexpr int kRanks = 4;
+  obs::Tracer tracer(kRanks);
+  par::Runtime::run(kRanks, [](par::Comm& c) {
+    c.barrier();
+    if (c.rank() != 0) c.sendValue(0, 1, c.rank());
+    else
+      for (int i = 1; i < kRanks; ++i) c.recvValue<int>(par::kAny, 1);
+    c.barrier();
+  }, &tracer);
+
+  const std::string json = obs::chromeTraceJson(tracer, "test");
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // complete spans
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);  // counter samples
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+
+  // Every rank appears as a tid; no other tids do.
+  std::set<int> tids;
+  const std::string key = "\"tid\":";
+  for (std::size_t pos = json.find(key); pos != std::string::npos;
+       pos = json.find(key, pos + 1))
+    tids.insert(std::atoi(json.c_str() + pos + key.size()));
+  std::set<int> expected;
+  for (int r = 0; r < kRanks; ++r) expected.insert(r);
+  EXPECT_EQ(tids, expected);
+}
+
+TEST(Obs, SummaryListsStagesAndCounters) {
+  obs::Tracer tracer(2);
+  { auto s = tracer.span(0, "alpha", "stage"); }
+  { auto s = tracer.span(1, "beta", "stage"); }
+  tracer.count(0, obs::Counter::kBytesSent, 123);
+  const std::string text = obs::summaryText(tracer);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("beta"), std::string::npos);
+  EXPECT_NE(text.find("bytes_sent"), std::string::npos);
+  EXPECT_NE(text.find("123"), std::string::npos);
+}
+
+TEST(Obs, SyntheticSpanAtAndCountAt) {
+  obs::Tracer tracer(2);
+  tracer.spanAt(1, "read", 0.5, 2.0, "stage", "block", 7);
+  tracer.countAt(1, obs::Counter::kBytesReceived, 2.5, 1000);
+  tracer.countAt(1, obs::Counter::kBytesReceived, 3.0, 500);
+  const auto events = tracer.events(1);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, "read");
+  EXPECT_DOUBLE_EQ(events[0].ts, 0.5);
+  EXPECT_DOUBLE_EQ(events[0].dur, 2.0);
+  EXPECT_DOUBLE_EQ(events[2].value, 1500);  // cumulative
+  EXPECT_EQ(tracer.counters(1)[obs::Counter::kBytesReceived], 1500);
+  EXPECT_EQ(tracer.counters(0)[obs::Counter::kBytesReceived], 0);
+}
+
+TEST(Obs, RecvValueSizeMismatchThrows) {
+  EXPECT_THROW(
+      par::Runtime::run(2, [](par::Comm& c) {
+        if (c.rank() == 0) {
+          c.send(1, 4, par::Bytes(3));  // 3 bytes, receiver expects sizeof(int)
+        } else {
+          c.recvValue<int>(0, 4);
+        }
+      }),
+      std::runtime_error);
+  // And the message is diagnosable: carries expected and actual sizes.
+  try {
+    par::Runtime::run(2, [](par::Comm& c) {
+      if (c.rank() == 0) c.send(1, 4, par::Bytes(3));
+      else c.recvValue<int>(0, 4);
+    });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("expected 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("got 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("src 0"), std::string::npos) << what;
+  }
+}
+
+TEST(Obs, TracingDoesNotPerturbPipelineOutputs) {
+  pipeline::PipelineConfig cfg;
+  cfg.domain = Domain{{33, 33, 17}};
+  cfg.source.field = synth::sinusoid(cfg.domain, 4);
+  cfg.nblocks = 4;
+  cfg.nranks = 2;
+  cfg.persistence_threshold = 0.05f;
+  cfg.plan = MergePlan::fullMerge(cfg.nblocks);
+
+  const pipeline::ThreadedResult plain = pipeline::runThreadedPipeline(cfg);
+
+  obs::Tracer tracer(cfg.nranks);
+  cfg.tracer = &tracer;
+  const pipeline::ThreadedResult traced = pipeline::runThreadedPipeline(cfg);
+
+  ASSERT_EQ(traced.outputs.size(), plain.outputs.size());
+  for (std::size_t i = 0; i < plain.outputs.size(); ++i)
+    EXPECT_EQ(traced.outputs[i], plain.outputs[i]) << "packed complex " << i << " differs";
+  EXPECT_EQ(traced.node_counts, plain.node_counts);
+  EXPECT_EQ(traced.arc_count, plain.arc_count);
+  EXPECT_EQ(traced.output_bytes, plain.output_bytes);
+
+  // The traced run actually recorded the Algorithm 1 stages.
+  std::set<std::string> names;
+  for (int r = 0; r < cfg.nranks; ++r)
+    for (const obs::Event& e : tracer.events(r))
+      if (e.kind == obs::EventKind::kSpan) names.insert(e.name);
+  for (const char* stage : {"read", "compute", "gradient", "trace", "simplify+pack",
+                            "merge_round", "glue", "write", "send", "recv", "barrier"})
+    EXPECT_TRUE(names.count(stage)) << "missing span: " << stage;
+  EXPECT_GT(tracer.totals()[obs::Counter::kBytesSent], 0);
+}
+
+TEST(Obs, SimPipelineEmitsSyntheticTimeline) {
+  pipeline::PipelineConfig cfg;
+  cfg.domain = Domain{{17, 17, 17}};
+  cfg.source.field = synth::sinusoid(cfg.domain, 2);
+  cfg.nblocks = 8;
+  cfg.nranks = 8;
+  cfg.persistence_threshold = 0.05f;
+  cfg.plan = MergePlan::fullMerge(cfg.nblocks);
+  obs::Tracer tracer(cfg.nranks);
+  cfg.tracer = &tracer;
+
+  const pipeline::SimResult r = pipeline::runSimPipeline(cfg);
+  (void)r;
+  std::set<std::string> names;
+  int spans = 0;
+  for (int rk = 0; rk < cfg.nranks; ++rk)
+    for (const obs::Event& e : tracer.events(rk))
+      if (e.kind == obs::EventKind::kSpan) { names.insert(e.name); ++spans; }
+  for (const char* stage : {"read", "compute", "merge_prep", "merge_group", "send", "write"})
+    EXPECT_TRUE(names.count(stage)) << "missing synthetic span: " << stage;
+  EXPECT_GE(spans, cfg.nranks * 4);
+
+  const std::string json = obs::chromeTraceJson(tracer, "sim");
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid());
+}
+
+}  // namespace
+}  // namespace msc

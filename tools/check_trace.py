@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file emitted by msc::obs.
+
+Checks that the file is valid JSON in the Trace Event "JSON Object
+Format", that every event carries the fields Perfetto needs (ph, ts,
+pid, tid; dur for complete events), that there is one thread track per
+rank, and that at least one counter track is present.
+
+Usage:
+  check_trace.py TRACE.json [--ranks=N]
+  check_trace.py --run CLI_BINARY [ARGS...]   # run the CLI with
+      --trace into a temp file, then validate it (used by ctest)
+"""
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(path, expect_ranks=None):
+    try:
+        with open(path, "rb") as f:
+            data = json.load(f)
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        fail("top level must be an object with a traceEvents array")
+    events = data["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("traceEvents must be a non-empty array")
+
+    tids = set()
+    counter_tracks = set()
+    span_names = set()
+    for i, e in enumerate(events):
+        for field in ("ph", "pid", "tid"):
+            if field not in e:
+                fail(f"event {i} missing required field '{field}': {e}")
+        ph = e["ph"]
+        if ph not in ("M", "X", "C", "i", "B", "E"):
+            fail(f"event {i} has unknown phase {ph!r}")
+        if ph != "M" and "ts" not in e:
+            fail(f"event {i} ({ph}) missing 'ts': {e}")
+        if ph == "X":
+            if "dur" not in e:
+                fail(f"complete event {i} missing 'dur': {e}")
+            tids.add(e["tid"])
+            span_names.add(e["name"])
+        if ph == "C":
+            counter_tracks.add(e["name"])
+
+    if not tids:
+        fail("no complete ('X') span events found")
+    if expect_ranks is not None and tids != set(range(expect_ranks)):
+        fail(f"expected tids 0..{expect_ranks - 1}, got {sorted(tids)}")
+    if not counter_tracks:
+        fail("no counter ('C') track found")
+
+    print(f"check_trace: OK: {len(events)} events, {len(tids)} rank track(s), "
+          f"{len(counter_tracks)} counter track(s), spans: {sorted(span_names)[:12]}")
+    return 0
+
+
+def run_and_validate(cli, extra):
+    ranks = 2
+    with tempfile.TemporaryDirectory() as tmp:
+        trace = os.path.join(tmp, "trace.json")
+        cmd = [cli, "--field=sinusoid", "--dims=17,17,17", "--complexity=2",
+               "--blocks=4", f"--ranks={ranks}", "--persistence=0.05",
+               f"--trace={trace}", "--stats"] + extra
+        print("check_trace: running:", " ".join(cmd))
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        sys.stdout.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        if proc.returncode != 0:
+            fail(f"CLI exited with {proc.returncode}")
+        # Every stage of Algorithm 1 must appear in the per-rank spans.
+        with open(trace) as f:
+            names = {e["name"] for e in json.load(f)["traceEvents"] if e["ph"] == "X"}
+        for stage in ("read", "compute", "merge_round", "write"):
+            if stage not in names:
+                fail(f"stage span {stage!r} missing from trace (have {sorted(names)})")
+        return validate(trace, expect_ranks=ranks)
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--run":
+        if len(argv) < 3:
+            fail("--run requires the CLI binary path")
+        return run_and_validate(argv[2], argv[3:])
+    if len(argv) < 2:
+        fail("usage: check_trace.py TRACE.json [--ranks=N] | --run CLI [ARGS...]")
+    expect = None
+    for a in argv[2:]:
+        if a.startswith("--ranks="):
+            expect = int(a.split("=", 1)[1])
+    return validate(argv[1], expect)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
