@@ -1,0 +1,183 @@
+#include "check/canonical.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace msc::check {
+
+namespace {
+
+CanonicalArc canonicalArc(CellAddr lower, CellAddr upper, std::vector<CellAddr> path) {
+  CanonicalArc out;
+  out.lower = lower;
+  out.upper = upper;
+  // Collapse the junction-cell duplicates composite geometries leave
+  // behind, then fix the traversal direction.
+  for (const CellAddr a : path)
+    if (out.path.empty() || out.path.back() != a) out.path.push_back(a);
+  if (!out.path.empty()) {
+    const auto rbegin = out.path.rbegin(), rend = out.path.rend();
+    if (std::lexicographical_compare(rbegin, rend, out.path.begin(), out.path.end()))
+      std::reverse(out.path.begin(), out.path.end());
+  }
+  return out;
+}
+
+void finalize(CanonicalComplex& out) {
+  std::sort(out.nodes.begin(), out.nodes.end());
+  std::sort(out.arcs.begin(), out.arcs.end());
+  for (const CanonicalNode& n : out.nodes) ++out.census[n.index];
+}
+
+}  // namespace
+
+CanonicalComplex canonicalize(const MsComplex& c) {
+  CanonicalComplex out;
+  out.domain = c.domain();
+  for (const Node& nd : c.nodes())
+    if (nd.alive) out.nodes.push_back({nd.addr, nd.index, nd.value});
+  for (const Arc& ar : c.arcs()) {
+    if (!ar.alive) continue;
+    out.arcs.push_back(canonicalArc(
+        c.node(ar.lower).addr, c.node(ar.upper).addr,
+        ar.geom == kNone ? std::vector<CellAddr>{} : c.flattenGeom(ar.geom)));
+  }
+  finalize(out);
+  return out;
+}
+
+CanonicalComplex canonicalize(const Domain& domain, const std::vector<io::Bytes>& parts) {
+  CanonicalComplex out;
+  out.domain = domain;
+  std::vector<CellAddr> seen;  // addresses of nodes already collected
+  for (const io::Bytes& b : parts) {
+    const MsComplex c = io::unpack(b);
+    for (const Node& nd : c.nodes()) {
+      if (!nd.alive) continue;
+      if (std::find(seen.begin(), seen.end(), nd.addr) != seen.end()) continue;
+      seen.push_back(nd.addr);
+      out.nodes.push_back({nd.addr, nd.index, nd.value});
+    }
+    for (const Arc& ar : c.arcs()) {
+      if (!ar.alive) continue;
+      out.arcs.push_back(canonicalArc(
+          c.node(ar.lower).addr, c.node(ar.upper).addr,
+          ar.geom == kNone ? std::vector<CellAddr>{} : c.flattenGeom(ar.geom)));
+    }
+  }
+  finalize(out);
+  return out;
+}
+
+CheckReport compareExact(const CanonicalComplex& a, const CanonicalComplex& b) {
+  CheckReport rep;
+  rep.subject = "exact comparison";
+  rep.checked = static_cast<std::int64_t>(a.nodes.size() + a.arcs.size());
+  if (!(a.domain == b.domain)) {
+    rep.fail("diff.domain", "domains differ");
+    return rep;
+  }
+  // Report per-element differences (set differences of the sorted
+  // sequences) rather than one blunt "not equal".
+  std::size_t i = 0, j = 0;
+  while (i < a.nodes.size() || j < b.nodes.size()) {
+    const bool takeA = j >= b.nodes.size() ||
+                       (i < a.nodes.size() && a.nodes[i] < b.nodes[j]);
+    const bool takeB = i >= a.nodes.size() ||
+                       (j < b.nodes.size() && b.nodes[j] < a.nodes[i]);
+    if (takeA && takeB) {  // unreachable; keeps the invariant obvious
+      ++i, ++j;
+      continue;
+    }
+    if (takeA) {
+      std::ostringstream os;
+      os << "node (addr " << a.nodes[i].addr << ", index " << int(a.nodes[i].index)
+         << ", value " << a.nodes[i].value << ") only in first";
+      rep.fail("diff.node", os.str());
+      ++i;
+    } else if (takeB) {
+      std::ostringstream os;
+      os << "node (addr " << b.nodes[j].addr << ", index " << int(b.nodes[j].index)
+         << ", value " << b.nodes[j].value << ") only in second";
+      rep.fail("diff.node", os.str());
+      ++j;
+    } else {
+      ++i, ++j;
+    }
+  }
+  i = j = 0;
+  while (i < a.arcs.size() || j < b.arcs.size()) {
+    const bool takeA = j >= b.arcs.size() || (i < a.arcs.size() && a.arcs[i] < b.arcs[j]);
+    const bool takeB = i >= a.arcs.size() || (j < b.arcs.size() && b.arcs[j] < a.arcs[i]);
+    if (takeA) {
+      std::ostringstream os;
+      os << "arc " << a.arcs[i].lower << " -- " << a.arcs[i].upper << " ("
+         << a.arcs[i].path.size() << " cells) only in first";
+      rep.fail("diff.arc", os.str());
+      ++i;
+    } else if (takeB) {
+      std::ostringstream os;
+      os << "arc " << b.arcs[j].lower << " -- " << b.arcs[j].upper << " ("
+         << b.arcs[j].path.size() << " cells) only in second";
+      rep.fail("diff.arc", os.str());
+      ++j;
+    } else {
+      ++i, ++j;
+    }
+  }
+  return rep;
+}
+
+CheckReport compareCensus(const CanonicalComplex& serial, const CanonicalComplex& parallel,
+                          bool exact_ties) {
+  CheckReport rep;
+  {
+    std::ostringstream os;
+    os << "census comparison (serial " << serial.census[0] << "/" << serial.census[1] << "/"
+       << serial.census[2] << "/" << serial.census[3] << ", parallel " << parallel.census[0]
+       << "/" << parallel.census[1] << "/" << parallel.census[2] << "/"
+       << parallel.census[3] << ")";
+    rep.subject = os.str();
+  }
+  rep.checked = 4;
+  if (!(serial.domain == parallel.domain)) {
+    rep.fail("diff.domain", "domains differ");
+    return rep;
+  }
+  if (exact_ties) {
+    // Exact ties give the serial run zero-persistence pairs of its
+    // own; either side may strand some behind multi-arcs, so the
+    // per-index deltas can carry either sign and only the Euler
+    // characteristic is comparable.
+    if (serial.chi() != parallel.chi())
+      rep.fail("census.chi", "Euler characteristics differ: " +
+                                 std::to_string(serial.chi()) + " vs " +
+                                 std::to_string(parallel.chi()));
+    return rep;
+  }
+  // Tie-free field: only the parallel run produces zero-persistence
+  // pairs (decomposition-boundary artifacts), so its stuck pairs show
+  // up as a surplus of adjacent-index pairs: `a` (min, 1-saddle), `b`
+  // (1-saddle, 2-saddle) and `c` (2-saddle, max) pairs give a census
+  // delta of (a, a+b, b+c, c). Anything that does not decompose this
+  // way (including any deficit) is a violation; note chi equality is
+  // implied by the pattern.
+  const std::int64_t a = parallel.census[0] - serial.census[0];
+  const std::int64_t c = parallel.census[3] - serial.census[3];
+  const std::int64_t b1 = parallel.census[1] - serial.census[1] - a;
+  const std::int64_t b2 = parallel.census[2] - serial.census[2] - c;
+  if (a < 0)
+    rep.fail("census.minima", "parallel run lost " + std::to_string(-a) + " minima");
+  if (c < 0)
+    rep.fail("census.maxima", "parallel run lost " + std::to_string(-c) + " maxima");
+  if (b1 != b2)
+    rep.fail("census.chi", "saddle surpluses differ (" + std::to_string(b1) + " vs " +
+                               std::to_string(b2) + "): Euler characteristics disagree");
+  else if (b1 < 0)
+    rep.fail("census.surplus",
+             "parallel run has fewer saddles than artifact pairs explain (" +
+                 std::to_string(b1) + ")");
+  return rep;
+}
+
+}  // namespace msc::check

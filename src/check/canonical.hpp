@@ -1,0 +1,77 @@
+/// \file canonical.hpp
+/// Canonical forms of MS complexes and the comparison policies of the
+/// differential oracle.
+///
+/// Two comparison strengths are provided, matching what actually
+/// holds for this pipeline (established empirically; see DESIGN.md,
+/// "Correctness & fuzzing"):
+///
+///  * compareExact — full node/arc/geometry equality after sorting.
+///    Holds between the sequential and threaded drivers of the *same*
+///    parallel schedule, which are bit-identical by construction.
+///
+///  * compareCensus — the serial-vs-parallel contract at persistence
+///    threshold 0. Either run may be unable to cancel a
+///    zero-persistence pair whose nodes are joined by more than one
+///    arc (cancellation requires a single arc), so stuck pairs are
+///    tolerated but must decompose into adjacent-index pairs:
+///      - tie-free field: only the parallel run produces
+///        zero-persistence pairs (decomposition-boundary artifacts),
+///        so its census surplus must be (a, a+b, b+c, c) with
+///        a, b, c >= 0 and the serial census is a floor;
+///      - field with exact value ties: the serial run has
+///        zero-persistence pairs of its own and either side may
+///        strand some, so only the Euler characteristic must agree.
+#pragma once
+
+#include "check/check.hpp"
+#include "io/pack.hpp"
+
+namespace msc::check {
+
+struct CanonicalNode {
+  CellAddr addr{kNoCell};
+  std::uint8_t index{0};
+  float value{0};
+
+  friend auto operator<=>(const CanonicalNode&, const CanonicalNode&) = default;
+};
+
+struct CanonicalArc {
+  CellAddr lower{kNoCell}, upper{kNoCell};
+  /// Flattened path, consecutive duplicates collapsed; stored in the
+  /// lexicographically smaller of the two traversal directions so the
+  /// comparison is orientation-independent.
+  std::vector<CellAddr> path;
+
+  friend auto operator<=>(const CanonicalArc&, const CanonicalArc&) = default;
+};
+
+/// Order- and id-independent form of a complex's living 1-skeleton.
+struct CanonicalComplex {
+  Domain domain;
+  std::array<std::int64_t, 4> census{0, 0, 0, 0};
+  std::vector<CanonicalNode> nodes;  ///< sorted
+  std::vector<CanonicalArc> arcs;    ///< sorted
+
+  std::int64_t chi() const { return census[0] - census[1] + census[2] - census[3]; }
+};
+
+CanonicalComplex canonicalize(const MsComplex& c);
+
+/// Canonicalize the union of packed pipeline outputs. Nodes shared by
+/// several parts (unresolved boundary nodes of a partial merge) are
+/// deduplicated by address.
+CanonicalComplex canonicalize(const Domain& domain, const std::vector<io::Bytes>& parts);
+
+/// Full equality of nodes and arcs (with geometry).
+CheckReport compareExact(const CanonicalComplex& a, const CanonicalComplex& b);
+
+/// The serial-vs-parallel census contract at threshold 0 (see file
+/// comment). Pass `exact_ties = true` when the input field holds the
+/// same value at two or more vertices: stuck pairs then occur on both
+/// sides and only chi equality remains checkable.
+CheckReport compareCensus(const CanonicalComplex& serial, const CanonicalComplex& parallel,
+                          bool exact_ties = false);
+
+}  // namespace msc::check

@@ -1,0 +1,108 @@
+/// \file check.hpp
+/// Structural invariant checkers for every artifact the pipeline
+/// produces: discrete gradients, MS-complex 1-skeletons, domain
+/// decompositions and Morse segmentations.
+///
+/// Unlike the assert-style helpers that preceded them (and unlike
+/// MsComplex::checkInvariants, which aborts), these checkers *report*:
+/// each returns a CheckReport listing every violated rule with enough
+/// detail to locate the defect. That makes them usable both from unit
+/// tests (EXPECT the report is ok) and from the fuzz harness, which
+/// needs to keep running, shrink the failing case, and dump artifacts
+/// after a violation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/segmentation.hpp"
+#include "core/complex.hpp"
+#include "core/gradient.hpp"
+
+namespace msc::check {
+
+/// One violated rule instance.
+struct Violation {
+  std::string rule;    ///< stable dotted identifier, e.g. "pairing.mutual"
+  std::string detail;  ///< human-readable location/values
+};
+
+/// Outcome of one checker run. Violations are capped (a corrupt input
+/// can violate a rule at every cell); `dropped` counts the overflow so
+/// a truncated report never reads as cleaner than it is.
+struct CheckReport {
+  /// What was checked, e.g. "gradient 17x17x9".
+  std::string subject;
+  /// Number of elements examined (cells, nodes+arcs, blocks, labels).
+  std::int64_t checked = 0;
+  std::vector<Violation> violations;
+  std::int64_t dropped = 0;
+
+  static constexpr std::size_t kMaxViolations = 64;
+
+  bool ok() const { return violations.empty() && dropped == 0; }
+
+  /// Record a violation (or bump `dropped` once the cap is reached).
+  void fail(std::string rule, std::string detail);
+
+  /// Fold another checker's findings into this report.
+  void merge(CheckReport other);
+
+  /// One line when ok; otherwise a multi-line listing of violations.
+  std::string summary() const;
+};
+
+// --- Discrete gradient validity ------------------------------------
+
+/// Every cell assigned; pairs are mutual, facet/cofacet, in range.
+CheckReport checkPairing(const GradientField& g);
+
+/// Alternating critical-count sum equals the Euler characteristic of
+/// the block (a solid box: 1).
+CheckReport checkGradientEuler(const GradientField& g);
+
+/// No V-path cycles in any (d-1, d) layer.
+CheckReport checkAcyclic(const GradientField& g);
+
+/// All of the above.
+CheckReport checkGradient(const GradientField& g);
+
+// --- MS complex 1-skeleton -----------------------------------------
+
+/// Well-formedness of the 1-skeleton: live arcs join live nodes of
+/// consecutive Morse index; node addresses decode to cells of the
+/// node's index inside the domain; intrusive arc lists agree with the
+/// per-node live-arc counts; arc geometry descends from the upper
+/// node's cell to the lower node's cell through facet-adjacent cells
+/// that stay inside the complex's region; boundary flags match the
+/// region.
+CheckReport checkComplex(const MsComplex& c);
+
+/// Morse-Euler consistency: the alternating node-count sum equals
+/// `expected_chi` (1 for any complex whose region is a solid box,
+/// including the fully merged domain).
+CheckReport checkEuler(const MsComplex& c, std::int64_t expected_chi = 1);
+
+// --- Domain decomposition ------------------------------------------
+
+/// Blocks tile the domain: every vertex is covered, blocks overlap
+/// only in their shared one-vertex-deep ghost layers, shared-face
+/// flags are consistent with the geometry, and ids follow the
+/// bisection leaf order.
+CheckReport checkDecomposition(const Domain& domain, const std::vector<Block>& blocks);
+
+// --- Morse segmentation --------------------------------------------
+
+/// Which element grid a segmentation labels.
+enum class SegmentationKind { kMinima, kMaxima };
+
+/// The labelling is a partition consistent with the gradient flow:
+/// sizes match the element grid, every element is labelled, every
+/// label is in range, seeds are critical cells of the right dimension,
+/// and each element's label equals the region of the critical cell its
+/// V-path terminates at (recomputed here by an independent walk).
+CheckReport checkSegmentation(const analysis::Segmentation& seg, const GradientField& g,
+                              SegmentationKind kind);
+
+}  // namespace msc::check

@@ -1,0 +1,152 @@
+#include <sstream>
+
+#include "check/check.hpp"
+
+namespace msc::check {
+
+namespace {
+
+std::string nodeStr(const MsComplex& c, NodeId n) {
+  std::ostringstream os;
+  const Node& nd = c.node(n);
+  os << "node " << n << " (addr " << nd.addr << ", index " << int(nd.index) << ")";
+  return os.str();
+}
+
+/// Consecutive path cells must differ by one unit step along exactly
+/// one axis (which also flips that axis parity, i.e. steps between a
+/// facet and a cofacet).
+bool facetStep(Vec3i a, Vec3i b) {
+  int moved = 0;
+  for (int ax = 0; ax < 3; ++ax) {
+    const std::int64_t d = b[ax] - a[ax];
+    if (d == 1 || d == -1)
+      ++moved;
+    else if (d != 0)
+      return false;
+  }
+  return moved == 1;
+}
+
+}  // namespace
+
+CheckReport checkComplex(const MsComplex& c) {
+  CheckReport rep;
+  {
+    std::ostringstream os;
+    os << "complex (" << c.liveNodeCount() << " nodes, " << c.liveArcCount() << " arcs)";
+    rep.subject = os.str();
+  }
+  const Domain& dom = c.domain();
+  const std::int64_t ncells = dom.numCells();
+
+  // --- Nodes: address decodes to a cell of the node's index; the
+  // boundary flag matches the region; the intrusive arc list agrees
+  // with the live-arc counter.
+  for (std::size_t i = 0; i < c.nodes().size(); ++i) {
+    const Node& nd = c.nodes()[i];
+    if (!nd.alive) continue;
+    ++rep.checked;
+    const auto n = static_cast<NodeId>(i);
+    if (nd.addr >= static_cast<CellAddr>(ncells)) {
+      rep.fail("node.addr", nodeStr(c, n) + ": address outside the domain");
+      continue;
+    }
+    const Vec3i rc = dom.coordOf(nd.addr);
+    if (Domain::cellDim(rc) != nd.index)
+      rep.fail("node.index", nodeStr(c, n) + ": cell dimension does not match Morse index");
+    if (!c.region().contains(rc))
+      rep.fail("node.region", nodeStr(c, n) + ": outside the complex's region");
+    if (nd.boundary != c.region().onSharedBoundary(rc, dom))
+      rep.fail("node.boundary", nodeStr(c, n) + ": stale boundary flag");
+    std::int32_t walked = 0;
+    c.forEachArc(n, [&](ArcId a) {
+      const Arc& ar = c.arc(a);
+      if (!ar.alive)
+        rep.fail("node.arclist", nodeStr(c, n) + ": dead arc " + std::to_string(a) +
+                                     " still linked");
+      else if (ar.lower != n && ar.upper != n)
+        rep.fail("node.arclist", nodeStr(c, n) + ": linked arc " + std::to_string(a) +
+                                     " does not reference the node");
+      ++walked;
+      return true;
+    });
+    if (walked != nd.n_arcs)
+      rep.fail("node.degree", nodeStr(c, n) + ": n_arcs=" + std::to_string(nd.n_arcs) +
+                                  " but list walk found " + std::to_string(walked));
+  }
+
+  // --- Arcs: endpoints live, indices consecutive, geometry descends
+  // upper -> lower through facet steps inside the region.
+  for (std::size_t i = 0; i < c.arcs().size(); ++i) {
+    const Arc& ar = c.arcs()[i];
+    if (!ar.alive) continue;
+    ++rep.checked;
+    const std::string id = "arc " + std::to_string(i);
+    const auto nnodes = static_cast<std::int64_t>(c.nodes().size());
+    if (ar.lower < 0 || ar.lower >= nnodes || ar.upper < 0 || ar.upper >= nnodes) {
+      rep.fail("arc.endpoints", id + ": endpoint id out of range");
+      continue;
+    }
+    const Node& lo = c.node(ar.lower);
+    const Node& up = c.node(ar.upper);
+    if (!lo.alive || !up.alive) {
+      rep.fail("arc.endpoints", id + ": joins a dead node");
+      continue;
+    }
+    if (up.index != lo.index + 1)
+      rep.fail("arc.index", id + ": joins indices " + std::to_string(lo.index) + " and " +
+                                std::to_string(up.index) + ", expected consecutive");
+    std::vector<CellAddr> path;
+    if (ar.geom != kNone) path = c.flattenGeom(ar.geom);
+    if (path.empty()) {
+      rep.fail("geom.empty", id + ": no geometry");
+      continue;
+    }
+    // Composite geometries duplicate the junction cell where two
+    // child paths meet; collapse runs before the step checks.
+    std::vector<CellAddr> dedup;
+    dedup.reserve(path.size());
+    for (const CellAddr a : path)
+      if (dedup.empty() || dedup.back() != a) dedup.push_back(a);
+    bool decodable = true;
+    for (const CellAddr a : dedup)
+      if (a >= static_cast<CellAddr>(ncells)) {
+        rep.fail("geom.addr", id + ": path cell outside the domain");
+        decodable = false;
+        break;
+      }
+    if (!decodable) continue;
+    if (dedup.front() != up.addr || dedup.back() != lo.addr)
+      rep.fail("geom.endpoints", id + ": path does not run from the upper node's cell to " +
+                                     "the lower node's cell");
+    for (std::size_t k = 0; k + 1 < dedup.size(); ++k)
+      if (!facetStep(dom.coordOf(dedup[k]), dom.coordOf(dedup[k + 1]))) {
+        rep.fail("geom.step", id + ": non-adjacent consecutive path cells at offset " +
+                                  std::to_string(k));
+        break;
+      }
+    for (const CellAddr a : dedup)
+      if (!c.region().contains(dom.coordOf(a))) {
+        rep.fail("geom.region", id + ": path leaves the complex's region");
+        break;
+      }
+  }
+  return rep;
+}
+
+CheckReport checkEuler(const MsComplex& c, std::int64_t expected_chi) {
+  CheckReport rep;
+  const auto n = c.liveNodeCounts();
+  rep.checked = n[0] + n[1] + n[2] + n[3];
+  const std::int64_t chi = n[0] - n[1] + n[2] - n[3];
+  std::ostringstream os;
+  os << "complex Euler (census " << n[0] << "/" << n[1] << "/" << n[2] << "/" << n[3] << ")";
+  rep.subject = os.str();
+  if (chi != expected_chi)
+    rep.fail("euler.complex", "alternating sum is " + std::to_string(chi) + ", expected " +
+                                  std::to_string(expected_chi));
+  return rep;
+}
+
+}  // namespace msc::check

@@ -1,0 +1,101 @@
+#include <sstream>
+
+#include "check/check.hpp"
+
+namespace msc::check {
+
+namespace {
+
+std::string blockStr(const Block& b) {
+  std::ostringstream os;
+  os << "block " << b.id << " [" << b.voffset << " +" << b.vdims << "]";
+  return os.str();
+}
+
+}  // namespace
+
+CheckReport checkDecomposition(const Domain& domain, const std::vector<Block>& blocks) {
+  CheckReport rep;
+  rep.subject = "decomposition (" + std::to_string(blocks.size()) + " blocks)";
+  if (blocks.empty()) {
+    rep.fail("decomp.empty", "no blocks");
+    return rep;
+  }
+
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const Block& b = blocks[i];
+    ++rep.checked;
+    if (b.id != static_cast<int>(i))
+      rep.fail("decomp.order", blockStr(b) + ": id does not match bisection leaf position " +
+                                   std::to_string(i));
+    if (!(b.domain == domain))
+      rep.fail("decomp.domain", blockStr(b) + ": wrong domain reference");
+    for (int a = 0; a < 3; ++a) {
+      if (b.vdims[a] < 2)
+        rep.fail("decomp.extent", blockStr(b) + ": fewer than two vertices along an axis");
+      if (b.voffset[a] < 0 || b.voffset[a] + b.vdims[a] > domain.vdims[a])
+        rep.fail("decomp.bounds", blockStr(b) + ": extends outside the domain");
+      // Every interior face of a tiling must be shared with some
+      // neighbour; a domain-boundary face cannot be.
+      const bool lo_interior = b.voffset[a] > 0;
+      const bool hi_interior = b.voffset[a] + b.vdims[a] < domain.vdims[a];
+      if (b.shared_lo[a] != lo_interior)
+        rep.fail("decomp.flags", blockStr(b) + ": shared_lo inconsistent on axis " +
+                                     std::to_string(a));
+      if (b.shared_hi[a] != hi_interior)
+        rep.fail("decomp.flags", blockStr(b) + ": shared_hi inconsistent on axis " +
+                                     std::to_string(a));
+    }
+  }
+
+  // Coverage vote: every vertex covered at least once; any vertex
+  // covered more than once must lie in the one-vertex-deep ghost
+  // layer of *every* block covering it (neighbouring blocks share
+  // exactly one vertex layer).
+  const std::int64_t nverts = domain.vdims.volume();
+  if (nverts > (std::int64_t(1) << 26)) return rep;  // vote array too large; skip
+  std::vector<std::uint8_t> votes(static_cast<std::size_t>(nverts), 0);
+  const auto vid = [&](Vec3i vc) {
+    return static_cast<std::size_t>(vc.x + vc.y * domain.vdims.x +
+                                    vc.z * domain.vdims.x * domain.vdims.y);
+  };
+  for (const Block& b : blocks)
+    for (std::int64_t z = 0; z < b.vdims.z; ++z)
+      for (std::int64_t y = 0; y < b.vdims.y; ++y)
+        for (std::int64_t x = 0; x < b.vdims.x; ++x) {
+          const Vec3i g = Vec3i{x, y, z} + b.voffset;
+          auto& v = votes[vid(g)];
+          if (v < 255) ++v;
+        }
+  rep.checked += nverts;
+  for (std::int64_t z = 0; z < domain.vdims.z; ++z)
+    for (std::int64_t y = 0; y < domain.vdims.y; ++y)
+      for (std::int64_t x = 0; x < domain.vdims.x; ++x) {
+        const Vec3i g{x, y, z};
+        const std::uint8_t v = votes[vid(g)];
+        if (v == 0) {
+          std::ostringstream os;
+          os << "vertex " << g << " is not covered by any block";
+          rep.fail("decomp.gap", os.str());
+          continue;
+        }
+        if (v == 1) continue;
+        for (const Block& b : blocks) {
+          const Vec3i l = g - b.voffset;
+          if (l.x < 0 || l.y < 0 || l.z < 0 || l.x >= b.vdims.x || l.y >= b.vdims.y ||
+              l.z >= b.vdims.z)
+            continue;
+          bool on_face = false;
+          for (int a = 0; a < 3; ++a)
+            on_face = on_face || l[a] == 0 || l[a] == b.vdims[a] - 1;
+          if (!on_face) {
+            std::ostringstream os;
+            os << "vertex " << g << " is shared but interior to " << blockStr(b);
+            rep.fail("decomp.overlap", os.str());
+          }
+        }
+      }
+  return rep;
+}
+
+}  // namespace msc::check

@@ -1,0 +1,291 @@
+#include "check/fuzz.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "check/canonical.hpp"
+#include "check/check.hpp"
+#include "core/boundary.hpp"
+#include "core/lower_star.hpp"
+#include "decomp/decompose.hpp"
+#include "io/complex_file.hpp"
+#include "pipeline/sim_pipeline.hpp"
+#include "pipeline/threaded_pipeline.hpp"
+
+namespace msc::check {
+
+namespace {
+
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Block-count choices, smallest first (the shrinker walks left).
+/// Non-powers of two exercise the uneven bisections whose T-junctions
+/// broke the block-local pairing rule (core/boundary.hpp).
+constexpr int kBlockChoices[] = {2, 3, 4, 5, 6, 8, 12, 16};
+
+/// Field families, adversarial generators weighted double.
+constexpr const char* kFamilies[] = {
+    "noise",    "noise", "plateaus",    "plateaus", "nearTies", "nearTies",
+    "thinSaddles", "thinSaddles", "ramp", "cosine",   "sinusoid", "hydrogen",
+    "jet",      "rt"};
+
+pipeline::PipelineConfig configFor(const FuzzCase& c, int nblocks, int nranks) {
+  pipeline::PipelineConfig cfg;
+  cfg.domain = Domain{c.vdims};
+  cfg.source.field = fieldFor(c);
+  cfg.nblocks = nblocks;
+  cfg.nranks = nranks;
+  cfg.persistence_threshold = c.threshold;
+  cfg.plan = MergePlan::fullMerge(nblocks);
+  return cfg;
+}
+
+void reportProblem(std::vector<std::string>& problems, const CheckReport& rep,
+                   const std::string& where) {
+  if (!rep.ok()) problems.push_back(where + ": " + rep.summary());
+}
+
+}  // namespace
+
+std::string FuzzCase::describe() const {
+  std::ostringstream os;
+  os << "seed=" << seed << " grid=" << vdims.x << "x" << vdims.y << "x" << vdims.z
+     << " field=" << field << " nblocks=" << nblocks << " nranks=" << nranks
+     << " threshold=" << threshold;
+  return os.str();
+}
+
+FuzzCase caseFromSeed(unsigned seed, const FuzzLimits& lim) {
+  FuzzCase c;
+  c.seed = seed;
+  const std::uint64_t h = splitmix(static_cast<std::uint64_t>(seed) * 0x51ED2701u + 17);
+  const int span = lim.max_size - lim.min_size + 1;
+  c.vdims = {lim.min_size + static_cast<int>(h % span),
+             lim.min_size + static_cast<int>((h >> 8) % span),
+             lim.min_size + static_cast<int>((h >> 16) % span)};
+  c.field = kFamilies[(h >> 24) % std::size(kFamilies)];
+  c.nblocks = kBlockChoices[(h >> 32) % std::size(kBlockChoices)];
+  c.nranks = 1 + static_cast<int>((h >> 40) % lim.max_ranks);
+  // Mostly threshold 0 (where the serial-vs-parallel census contract
+  // applies); sometimes a positive threshold to fuzz the hierarchy.
+  const int tsel = static_cast<int>((h >> 48) % 10);
+  c.threshold = tsel < 7 ? 0.0f : (tsel == 7 ? 0.05f : (tsel == 8 ? 0.15f : 0.3f));
+  return c;
+}
+
+synth::Field fieldFor(const FuzzCase& c) {
+  const Domain d{c.vdims};
+  if (c.field == "noise") return synth::noise(c.seed);
+  if (c.field == "plateaus") return synth::plateaus(c.seed, 3 + static_cast<int>(c.seed % 4));
+  if (c.field == "nearTies") return synth::nearTies(c.seed);
+  if (c.field == "thinSaddles") return synth::thinSaddles(d, c.seed);
+  if (c.field == "ramp") return synth::ramp();
+  if (c.field == "cosine") return synth::cosineProduct(d, 1 + static_cast<int>(c.seed % 3));
+  if (c.field == "sinusoid") return synth::sinusoid(d, 2 + static_cast<int>(c.seed % 3));
+  if (c.field == "hydrogen") return synth::hydrogenLike(d);
+  if (c.field == "jet") return synth::jetLike(d, c.seed);
+  if (c.field == "rt") return synth::rtLike(d, c.seed);
+  return synth::noise(c.seed);  // unknown family: degrade gracefully
+}
+
+std::vector<std::string> runFuzzCase(const FuzzCase& c) {
+  std::vector<std::string> problems;
+  const Domain domain{c.vdims};
+  const synth::Field field = fieldFor(c);
+
+  // --- Decomposition invariants.
+  const std::vector<Block> blocks = decompose(domain, c.nblocks);
+  reportProblem(problems, checkDecomposition(domain, blocks), "decomposition");
+
+  // --- Per-block restricted gradients (the exact IV-C rule).
+  for (const Block& blk : blocks) {
+    GradientOptions gopts;
+    gopts.restrict_boundary = true;
+    const BoundarySignatures sigs(blocks, blk);
+    gopts.signatures = &sigs;
+    const GradientField grad =
+        computeGradientLowerStar(synth::sample(blk, field), gopts);
+    reportProblem(problems, checkGradient(grad),
+                  "block " + std::to_string(blk.id) + " gradient");
+  }
+
+  // --- Serial gradient + its segmentations.
+  const std::vector<Block> whole = decompose(domain, 1);
+  GradientOptions serial_gopts;
+  serial_gopts.restrict_boundary = false;
+  const GradientField serial_grad =
+      computeGradientLowerStar(synth::sample(whole[0], field), serial_gopts);
+  reportProblem(problems, checkGradient(serial_grad), "serial gradient");
+  reportProblem(problems,
+                checkSegmentation(analysis::segmentByMinima(serial_grad), serial_grad,
+                                  SegmentationKind::kMinima),
+                "minima segmentation");
+  reportProblem(problems,
+                checkSegmentation(analysis::segmentByMaxima(serial_grad), serial_grad,
+                                  SegmentationKind::kMaxima),
+                "maxima segmentation");
+
+  // --- The three pipeline runs.
+  const pipeline::PipelineConfig par = configFor(c, c.nblocks, c.nranks);
+  const pipeline::SimResult sim = pipeline::runSimPipeline(par);
+  const pipeline::ThreadedResult thr = pipeline::runThreadedPipeline(par);
+  const pipeline::PipelineConfig ser = configFor(c, 1, 1);
+  const pipeline::SimResult serial = pipeline::runSimPipeline(ser);
+
+  // --- Differential leg 1: the two parallel drivers execute the same
+  // schedule and must agree to the byte.
+  bool bytes_equal = sim.outputs.size() == thr.outputs.size();
+  for (std::size_t i = 0; bytes_equal && i < sim.outputs.size(); ++i)
+    bytes_equal = sim.outputs[i] == thr.outputs[i];
+  if (!bytes_equal) {
+    problems.push_back("sequential and threaded drivers produced different bytes");
+    // Locate the difference for the report.
+    const CanonicalComplex a = canonicalize(domain, sim.outputs);
+    const CanonicalComplex b = canonicalize(domain, thr.outputs);
+    reportProblem(problems, compareExact(a, b), "sim vs threaded");
+  }
+
+  // --- Invariants on the merged outputs.
+  for (std::size_t i = 0; i < sim.outputs.size(); ++i) {
+    const MsComplex merged = io::unpack(sim.outputs[i]);
+    reportProblem(problems, checkComplex(merged), "merged output " + std::to_string(i));
+  }
+  if (sim.outputs.size() == 1) {
+    // A full merge covers the whole domain: chi of a solid box is 1.
+    reportProblem(problems, checkEuler(io::unpack(sim.outputs[0]), 1), "merged output");
+  }
+  for (std::size_t i = 0; i < serial.outputs.size(); ++i) {
+    const MsComplex sc = io::unpack(serial.outputs[i]);
+    reportProblem(problems, checkComplex(sc), "serial output " + std::to_string(i));
+    reportProblem(problems, checkEuler(sc, 1), "serial output");
+  }
+
+  // --- Differential leg 2: serial vs parallel census at threshold 0.
+  if (c.threshold == 0.0f && sim.outputs.size() == 1) {
+    // Exact value ties (plateau-style fields) weaken the contract to
+    // chi equality; detect them from the sampled volume itself rather
+    // than trusting the family name.
+    std::vector<float> vals = synth::sampleAll(domain, field);
+    std::sort(vals.begin(), vals.end());
+    const bool ties = std::adjacent_find(vals.begin(), vals.end()) != vals.end();
+    const CanonicalComplex s = canonicalize(domain, serial.outputs);
+    const CanonicalComplex p = canonicalize(domain, sim.outputs);
+    reportProblem(problems, compareCensus(s, p, ties), "serial vs parallel");
+  }
+  return problems;
+}
+
+FuzzCase shrinkCase(const FuzzCase& c, const FuzzLimits& lim, std::ostream* log) {
+  FuzzCase cur = c;
+  const auto fails = [](const FuzzCase& cand) { return !runFuzzCase(cand).empty(); };
+  for (int round = 0; round < 32; ++round) {
+    std::vector<FuzzCase> candidates;
+    if (cur.threshold != 0.0f) {
+      FuzzCase t = cur;
+      t.threshold = 0.0f;
+      candidates.push_back(t);
+    }
+    if (cur.nranks > 1) {
+      FuzzCase t = cur;
+      t.nranks = 1;
+      candidates.push_back(t);
+    }
+    for (int a = 0; a < 3; ++a) {
+      if (cur.vdims[a] <= lim.min_size) continue;
+      FuzzCase t = cur;
+      t.vdims[a] = std::max<std::int64_t>(lim.min_size, (cur.vdims[a] + lim.min_size) / 2);
+      candidates.push_back(t);
+      if (t.vdims[a] != cur.vdims[a] - 1) {
+        FuzzCase u = cur;
+        u.vdims[a] = cur.vdims[a] - 1;
+        candidates.push_back(u);
+      }
+    }
+    for (std::size_t bi = std::size(kBlockChoices); bi-- > 0;) {
+      if (kBlockChoices[bi] < cur.nblocks) {
+        FuzzCase t = cur;
+        t.nblocks = kBlockChoices[bi];
+        candidates.push_back(t);
+        break;
+      }
+    }
+    bool reduced = false;
+    for (const FuzzCase& cand : candidates) {
+      if (fails(cand)) {
+        cur = cand;
+        reduced = true;
+        if (log) *log << "  shrink -> " << cur.describe() << "\n";
+        break;
+      }
+    }
+    if (!reduced) break;
+  }
+  return cur;
+}
+
+std::string dumpArtifacts(const FuzzCase& c, const std::vector<std::string>& problems,
+                          const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  const Domain domain{c.vdims};
+  const synth::Field field = fieldFor(c);
+
+  io::writeVolume(dir + "/input.f32", domain, synth::sampleAll(domain, field),
+                  io::SampleType::kFloat32);
+
+  pipeline::PipelineConfig par = configFor(c, c.nblocks, c.nranks);
+  par.output_path = dir + "/parallel.msc";
+  pipeline::runSimPipeline(par);
+  pipeline::PipelineConfig ser = configFor(c, 1, 1);
+  ser.output_path = dir + "/serial.msc";
+  pipeline::runSimPipeline(ser);
+
+  std::ofstream repro(dir + "/repro.txt");
+  repro << "msc_fuzz repro\n" << c.describe() << "\n\n"
+        << "input.f32: raw float32 volume, x-fastest, " << c.vdims.x << "x" << c.vdims.y
+        << "x" << c.vdims.z << "\n"
+        << "parallel.msc / serial.msc: io::writeComplexFile containers\n\n"
+        << "problems:\n";
+  for (const std::string& p : problems) repro << "  " << p << "\n";
+  return dir;
+}
+
+FuzzSummary runFuzzSweep(const FuzzOptions& opts) {
+  FuzzSummary sum;
+  for (int i = 0; i < opts.num_seeds; ++i) {
+    const unsigned seed = opts.first_seed + static_cast<unsigned>(i);
+    const FuzzCase c = caseFromSeed(seed, opts.limits);
+    std::vector<std::string> problems = runFuzzCase(c);
+    ++sum.cases_run;
+    if (opts.log && (i + 1) % 50 == 0)
+      *opts.log << "[fuzz] " << (i + 1) << "/" << opts.num_seeds << " cases, "
+                << sum.failures.size() << " failures\n";
+    if (problems.empty()) continue;
+
+    FuzzFailure f;
+    f.original = c;
+    if (opts.log) {
+      *opts.log << "[fuzz] FAIL " << c.describe() << "\n";
+      for (const std::string& p : problems) *opts.log << "  " << p << "\n";
+    }
+    f.minimal = opts.shrink ? shrinkCase(c, opts.limits, opts.log) : c;
+    f.problems = opts.shrink ? runFuzzCase(f.minimal) : std::move(problems);
+    if (f.problems.empty()) f.problems = runFuzzCase(f.original);  // shrink went flaky
+    if (!opts.artifact_dir.empty())
+      f.artifact_path = dumpArtifacts(
+          f.minimal, f.problems, opts.artifact_dir + "/seed" + std::to_string(seed));
+    if (opts.log && !f.artifact_path.empty())
+      *opts.log << "[fuzz] artifacts: " << f.artifact_path << "\n";
+    sum.failures.push_back(std::move(f));
+  }
+  return sum;
+}
+
+}  // namespace msc::check

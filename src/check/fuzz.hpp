@@ -1,0 +1,101 @@
+/// \file fuzz.hpp
+/// Seeded differential fuzzing of the MS-complex pipeline.
+///
+/// Each seed deterministically derives a case: a synthetic field
+/// (including the adversarial plateau/near-tie/thin-saddle
+/// generators), a grid size, a decomposition, a rank count and a
+/// persistence threshold. For each case the harness runs the serial
+/// single-block pipeline and both parallel drivers over the same
+/// schedule, then applies every oracle that is known to hold:
+///
+///  * the sequential and threaded drivers must produce byte-identical
+///    outputs;
+///  * every invariant checker of check.hpp must pass on the
+///    decomposition, the per-block restricted gradients, the serial
+///    gradient's segmentations, and the merged complexes;
+///  * at threshold 0 the serial-vs-parallel census contract of
+///    canonical.hpp (compareCensus) must hold.
+///
+/// Failures are shrunk (smaller grid, fewer blocks/ranks, threshold
+/// to zero) while they keep failing, and the minimal case's inputs
+/// and outputs can be dumped as repro artifacts.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/grid.hpp"
+#include "synth/fields.hpp"
+
+namespace msc::check {
+
+/// One deterministic fuzz case.
+struct FuzzCase {
+  unsigned seed{0};
+  Vec3i vdims{8, 8, 8};
+  std::string field;  ///< family name, see fieldFor()
+  int nblocks{2};
+  int nranks{1};
+  float threshold{0.0f};
+
+  std::string describe() const;
+};
+
+/// Bounds for case derivation (and the floor shrinking stops at).
+struct FuzzLimits {
+  int min_size = 6;
+  int max_size = 13;
+  int max_ranks = 6;
+};
+
+/// Derive the case a seed denotes.
+FuzzCase caseFromSeed(unsigned seed, const FuzzLimits& lim = {});
+
+/// The case's field generator (deterministic in seed and family).
+synth::Field fieldFor(const FuzzCase& c);
+
+struct FuzzOptions {
+  unsigned first_seed = 0;
+  int num_seeds = 100;
+  FuzzLimits limits;
+  bool shrink = true;
+  /// When non-empty, failing cases dump repro artifacts (input
+  /// volume, packed outputs, a repro description) under
+  /// `<artifact_dir>/seed<N>/`.
+  std::string artifact_dir;
+  /// Progress/failure log (null = silent).
+  std::ostream* log = nullptr;
+};
+
+struct FuzzFailure {
+  FuzzCase original;                  ///< the case as derived from the seed
+  FuzzCase minimal;                   ///< after shrinking (== original if not shrunk)
+  std::vector<std::string> problems;  ///< oracle summaries from the minimal case
+  std::string artifact_path;          ///< directory written, empty if none
+};
+
+struct FuzzSummary {
+  int cases_run = 0;
+  std::vector<FuzzFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// Run every oracle on one case. Returns the violated oracles'
+/// summaries; empty means the case passed.
+std::vector<std::string> runFuzzCase(const FuzzCase& c);
+
+/// Shrink a failing case: greedily apply size/block/rank/threshold
+/// reductions while the case keeps failing.
+FuzzCase shrinkCase(const FuzzCase& c, const FuzzLimits& lim, std::ostream* log = nullptr);
+
+/// Dump repro artifacts for a case into `dir` (created if needed).
+/// Returns the directory written.
+std::string dumpArtifacts(const FuzzCase& c, const std::vector<std::string>& problems,
+                          const std::string& dir);
+
+/// The full sweep: derive, run, shrink, dump.
+FuzzSummary runFuzzSweep(const FuzzOptions& opts);
+
+}  // namespace msc::check

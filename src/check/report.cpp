@@ -1,0 +1,39 @@
+#include "check/check.hpp"
+
+#include <sstream>
+
+namespace msc::check {
+
+void CheckReport::fail(std::string rule, std::string detail) {
+  if (violations.size() >= kMaxViolations) {
+    ++dropped;
+    return;
+  }
+  violations.push_back({std::move(rule), std::move(detail)});
+}
+
+void CheckReport::merge(CheckReport other) {
+  checked += other.checked;
+  for (Violation& v : other.violations) {
+    if (violations.size() >= kMaxViolations)
+      ++dropped;
+    else
+      violations.push_back(std::move(v));
+  }
+  dropped += other.dropped;
+}
+
+std::string CheckReport::summary() const {
+  std::ostringstream os;
+  if (ok()) {
+    os << subject << ": ok (" << checked << " elements)";
+    return os.str();
+  }
+  os << subject << ": " << (violations.size() + static_cast<std::size_t>(dropped))
+     << " violation(s)";
+  for (const Violation& v : violations) os << "\n  [" << v.rule << "] " << v.detail;
+  if (dropped > 0) os << "\n  ... " << dropped << " more dropped";
+  return os.str();
+}
+
+}  // namespace msc::check

@@ -1,0 +1,153 @@
+#include <map>
+#include <sstream>
+
+#include "check/check.hpp"
+
+namespace msc::check {
+
+namespace {
+
+std::string coordStr(Vec3i rc) {
+  std::ostringstream os;
+  os << rc;
+  return os.str();
+}
+
+}  // namespace
+
+CheckReport checkSegmentation(const analysis::Segmentation& seg, const GradientField& g,
+                              SegmentationKind kind) {
+  CheckReport rep;
+  rep.subject = std::string("segmentation (") +
+                (kind == SegmentationKind::kMinima ? "minima" : "maxima") + ", " +
+                std::to_string(seg.regionCount()) + " regions)";
+  const Block& blk = g.block();
+  const Vec3i r = blk.rdims();
+  const int seed_dim = kind == SegmentationKind::kMinima ? 0 : 3;
+
+  // --- Seeds: distinct critical cells of the right dimension, and
+  // exactly the critical cells of that dimension.
+  std::map<LocalCell, std::int32_t> seedOf;
+  for (std::size_t s = 0; s < seg.seeds.size(); ++s) {
+    const Vec3i rc = seg.seeds[s];
+    ++rep.checked;
+    if (rc.x < 0 || rc.y < 0 || rc.z < 0 || rc.x >= r.x || rc.y >= r.y || rc.z >= r.z) {
+      rep.fail("seg.seed", "seed " + std::to_string(s) + " at " + coordStr(rc) +
+                               " outside the block");
+      continue;
+    }
+    if (Domain::cellDim(rc) != seed_dim)
+      rep.fail("seg.seed", "seed " + std::to_string(s) + " at " + coordStr(rc) +
+                               " is not a " + std::to_string(seed_dim) + "-cell");
+    else if (!g.isCritical(rc))
+      rep.fail("seg.seed", "seed " + std::to_string(s) + " at " + coordStr(rc) +
+                               " is not critical");
+    if (!seedOf.emplace(blk.cellIndex(rc), static_cast<std::int32_t>(s)).second)
+      rep.fail("seg.seed", "seed " + std::to_string(s) + " at " + coordStr(rc) +
+                               " duplicates an earlier seed");
+  }
+  const auto crit = g.criticalCounts();
+  if (static_cast<std::int64_t>(seg.seeds.size()) != crit[seed_dim])
+    rep.fail("seg.seedcount",
+             std::to_string(seg.seeds.size()) + " seeds but " +
+                 std::to_string(crit[seed_dim]) + " critical " +
+                 std::to_string(seed_dim) + "-cells");
+  if (!rep.ok()) return rep;  // label checks below assume sound seeds
+
+  // --- Labels: one per element, each equal to the region of the
+  // critical cell the element's V-path terminates at (recomputed by
+  // an independent walk; a step budget turns a cyclic walk into a
+  // reported violation instead of a hang).
+  const std::int64_t budget = blk.numCells() + 1;
+  if (kind == SegmentationKind::kMinima) {
+    if (static_cast<std::int64_t>(seg.labels.size()) != blk.numVertices()) {
+      rep.fail("seg.size", std::to_string(seg.labels.size()) + " labels for " +
+                               std::to_string(blk.numVertices()) + " vertices");
+      return rep;
+    }
+    for (std::int64_t vz = 0; vz < blk.vdims.z; ++vz)
+      for (std::int64_t vy = 0; vy < blk.vdims.y; ++vy)
+        for (std::int64_t vx = 0; vx < blk.vdims.x; ++vx) {
+          ++rep.checked;
+          Vec3i vc{vx, vy, vz};
+          std::int32_t want = analysis::kUnlabelled;
+          for (std::int64_t step = 0; step < budget; ++step) {
+            const Vec3i rc = vc * 2;
+            if (g.isCritical(rc)) {
+              want = seedOf.at(blk.cellIndex(rc));
+              break;
+            }
+            const Vec3i edge = g.partner(rc);
+            const Vec3i other = edge + (edge - rc);
+            vc = {other.x / 2, other.y / 2, other.z / 2};
+          }
+          const Vec3i start{vx, vy, vz};
+          if (want == analysis::kUnlabelled) {
+            rep.fail("seg.flow", "descent from vertex " + coordStr(start) +
+                                     " does not terminate");
+            continue;
+          }
+          const std::int32_t got =
+              seg.labels[static_cast<std::size_t>(blk.vertexIndex(start))];
+          if (got != want)
+            rep.fail("seg.label", "vertex " + coordStr(start) + " labelled " +
+                                      std::to_string(got) + ", flow reaches region " +
+                                      std::to_string(want));
+        }
+    return rep;
+  }
+
+  const Vec3i nvox{blk.vdims.x - 1, blk.vdims.y - 1, blk.vdims.z - 1};
+  const std::int64_t total = std::max<std::int64_t>(nvox.volume(), 0);
+  if (static_cast<std::int64_t>(seg.labels.size()) != total) {
+    rep.fail("seg.size", std::to_string(seg.labels.size()) + " labels for " +
+                             std::to_string(total) + " voxels");
+    return rep;
+  }
+  if (total == 0) return rep;
+  for (std::int64_t z = 0; z < nvox.z; ++z)
+    for (std::int64_t y = 0; y < nvox.y; ++y)
+      for (std::int64_t x = 0; x < nvox.x; ++x) {
+        ++rep.checked;
+        Vec3i vox{x, y, z};
+        // kUnlabelled = the ascent exits through the domain boundary
+        // (orphan chains belong to lower-dimensional manifolds).
+        std::int32_t want = analysis::kUnlabelled;
+        bool terminated = false;
+        for (std::int64_t step = 0; step < budget; ++step) {
+          const Vec3i rc{2 * vox.x + 1, 2 * vox.y + 1, 2 * vox.z + 1};
+          if (g.isCritical(rc)) {
+            want = seedOf.at(blk.cellIndex(rc));
+            terminated = true;
+            break;
+          }
+          const Vec3i quad = g.partner(rc);
+          const Vec3i other = quad + (quad - rc);
+          int axis = 0;
+          for (int a = 1; a < 3; ++a)
+            if (quad[a] != rc[a]) axis = a;
+          if (other[axis] < 0 || other[axis] >= r[axis]) {
+            terminated = true;  // orphan
+            break;
+          }
+          vox = {(other.x - 1) / 2, (other.y - 1) / 2, (other.z - 1) / 2};
+        }
+        const Vec3i start{x, y, z};
+        if (!terminated) {
+          rep.fail("seg.flow", "ascent from voxel " + coordStr(start) +
+                                   " does not terminate");
+          continue;
+        }
+        const std::int32_t got =
+            seg.labels[static_cast<std::size_t>(x + y * nvox.x + z * nvox.x * nvox.y)];
+        if (got != want)
+          rep.fail("seg.label", "voxel " + coordStr(start) + " labelled " +
+                                    std::to_string(got) + ", flow reaches " +
+                                    (want == analysis::kUnlabelled
+                                         ? std::string("no maximum")
+                                         : "region " + std::to_string(want)));
+      }
+  return rep;
+}
+
+}  // namespace msc::check

@@ -1,0 +1,61 @@
+#include "core/boundary.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace msc {
+
+BoundarySignatures::BoundarySignatures(const std::vector<Block>& all, const Block& mine)
+    : block_(mine) {
+  // Candidate neighbours: blocks whose refined box intersects mine's.
+  // Two blocks overlap in at most one shared vertex layer per axis,
+  // so any cell contained in another block lies on one of mine's
+  // boundary faces.
+  const Box3 my_box = mine.refinedBox();
+  std::vector<Box3> neighbours;
+  for (const Block& b : all) {
+    if (b.id == mine.id) continue;
+    const Box3 nb = b.refinedBox();
+    const bool overlaps = nb.lo.x <= my_box.hi.x && nb.hi.x >= my_box.lo.x &&
+                          nb.lo.y <= my_box.hi.y && nb.hi.y >= my_box.lo.y &&
+                          nb.lo.z <= my_box.hi.z && nb.hi.z >= my_box.lo.z;
+    if (overlaps) neighbours.push_back(nb);
+  }
+  if (neighbours.empty()) return;
+
+  // Intern each distinct containing-set (as a sorted list of
+  // neighbour indices; "mine" is implicit) into a small id.
+  std::map<std::vector<int>, std::uint32_t> interned;
+  std::vector<int> key;
+  const Vec3i r = mine.rdims();
+  const auto visit = [&](Vec3i rc) {
+    const LocalCell ci = mine.cellIndex(rc);
+    if (sig_.count(ci)) return;
+    const Vec3i grc = rc + mine.voffset * 2;
+    key.clear();
+    for (std::size_t n = 0; n < neighbours.size(); ++n)
+      if (neighbours[n].contains(grc)) key.push_back(static_cast<int>(n));
+    if (key.empty()) return;  // interior: on a global-domain face only
+    const auto [it, fresh] = interned.try_emplace(key, next_id_);
+    if (fresh) ++next_id_;
+    sig_.emplace(ci, it->second);
+  };
+
+  // Only cells on the block's six boundary planes can be contained in
+  // a neighbour.
+  for (int axis = 0; axis < 3; ++axis) {
+    const int u = (axis + 1) % 3, v = (axis + 2) % 3;
+    for (const std::int64_t plane : {std::int64_t{0}, r[axis] - 1}) {
+      for (std::int64_t a = 0; a < r[u]; ++a)
+        for (std::int64_t b = 0; b < r[v]; ++b) {
+          Vec3i rc;
+          rc[axis] = plane;
+          rc[u] = a;
+          rc[v] = b;
+          visit(rc);
+        }
+    }
+  }
+}
+
+}  // namespace msc

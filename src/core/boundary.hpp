@@ -1,0 +1,63 @@
+/// \file boundary.hpp
+/// Global boundary-pairing signatures (the exact IV-C rule).
+///
+/// The paper restricts the discrete gradient on block boundaries:
+/// "for a cell on the boundary of two or more blocks, we only
+/// consider for pairing other cells also on the boundary of those
+/// same blocks". Block::sharedSignature approximates this with a
+/// block-local face mask, which is exact only when every partition
+/// plane extends across the whole domain. The uneven bisections
+/// produced by decompose() create T-junctions — a partition plane
+/// that exists on one side of a neighbouring plane but not the other
+/// — where the local masks of two blocks disagree about a corner
+/// cell, the blocks pair it differently, and the union of the
+/// per-block gradients stops being a valid global gradient (the
+/// merged complex then violates the Morse-Euler relation; found by
+/// the msc::check fuzz harness).
+///
+/// BoundarySignatures implements the rule exactly: the signature of a
+/// cell is (an interned id of) the set of blocks whose refined box
+/// contains it. Two cells may pair iff their signatures are equal.
+/// Both blocks sharing a cell compute the same set, so the
+/// restriction is symmetric by construction, for any decomposition.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/grid.hpp"
+
+namespace msc {
+
+class BoundarySignatures {
+ public:
+  BoundarySignatures() = default;
+
+  /// Build the signatures of `mine`'s cells against the full
+  /// decomposition `all` (which must contain `mine`). Cost is
+  /// O(boundary cells x intersecting neighbours).
+  BoundarySignatures(const std::vector<Block>& all, const Block& mine);
+
+  /// Signature class of the cell at *local* refined coordinate `rc`:
+  /// 0 for cells interior to the block (contained in no other block),
+  /// equal non-zero ids iff the cells lie in exactly the same set of
+  /// blocks. Ids are only meaningful within one BoundarySignatures
+  /// instance; equality of the underlying block sets is what they
+  /// encode.
+  std::uint32_t at(Vec3i rc) const {
+    if (sig_.empty()) return 0;
+    const auto it = sig_.find(block_.cellIndex(rc));
+    return it == sig_.end() ? 0 : it->second;
+  }
+
+  /// Number of distinct non-interior classes.
+  std::uint32_t classCount() const { return next_id_ - 1; }
+
+ private:
+  Block block_;
+  std::unordered_map<LocalCell, std::uint32_t> sig_;
+  std::uint32_t next_id_{1};
+};
+
+}  // namespace msc

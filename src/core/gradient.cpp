@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/boundary.hpp"
+
 namespace msc {
 
 std::uint8_t directionCode(Vec3i from, Vec3i to) {
@@ -50,7 +52,7 @@ GradientField computeGradientSweep(const BlockField& field, const GradientOption
   std::vector<std::uint8_t> state(static_cast<std::size_t>(n), kUnassigned);
   std::vector<float> val(static_cast<std::size_t>(n));
   std::vector<std::uint8_t> ufacets(static_cast<std::size_t>(n));
-  std::vector<AxisMask> sig(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint32_t> sig(static_cast<std::size_t>(n), 0);
   std::array<std::vector<std::uint32_t>, 4> byDim;
 
   {
@@ -62,7 +64,9 @@ GradientField computeGradientSweep(const BlockField& field, const GradientOption
           const int d = Domain::cellDim(rc);
           val[i] = field.cellValue(rc);
           ufacets[i] = static_cast<std::uint8_t>(2 * d);
-          if (opts.restrict_boundary) sig[i] = blk.sharedSignature(rc);
+          if (opts.restrict_boundary)
+            sig[i] = opts.signatures ? opts.signatures->at(rc)
+                                     : std::uint32_t{blk.sharedSignature(rc)};
           byDim[d].push_back(static_cast<std::uint32_t>(i));
         }
   }
@@ -84,7 +88,7 @@ GradientField computeGradientSweep(const BlockField& field, const GradientOption
     for (const std::uint32_t ci : order) {
       if (state[ci] != kUnassigned) continue;  // paired as a head in the d-1 pass
       const Vec3i rc = blk.cellCoord(ci);
-      const AxisMask s = sig[ci];
+      const std::uint32_t s = sig[ci];
       // Candidate heads: unassigned cofacets of equal signature whose
       // only unassigned facet is this cell; take the steepest
       // (minimal in the cell order).

@@ -32,11 +32,21 @@ enum : std::uint8_t {
   kUnassigned = 7,
 };
 
+class BoundarySignatures;
+
 struct GradientOptions {
   /// Apply the shared-face pairing restriction (must be on whenever
   /// the block decomposition has more than one block; switching it
   /// off reproduces an unrestricted serial gradient).
   bool restrict_boundary = true;
+  /// Decomposition-global pairing signatures (core/boundary.hpp).
+  /// When set (and restrict_boundary is on), cells pair only when
+  /// contained in the same set of blocks — the paper's exact rule,
+  /// correct for any decomposition. When null, the block-local face
+  /// mask is used instead, which is exact only for decompositions
+  /// without T-junctions (see BoundarySignatures). Multi-block
+  /// pipelines always supply this.
+  const BoundarySignatures* signatures = nullptr;
 };
 
 /// A computed discrete gradient vector field over one block.

@@ -129,10 +129,14 @@ struct Block {
   /// Shared-face signature of the cell at local refined coordinate
   /// `rc`: bit a is set iff the cell lies on a face of this block
   /// along axis a that is shared with a neighbouring block. Cells
-  /// may only be paired with cells of equal signature (IV-C). The
-  /// signature is block-independent for cells on shared faces: a
-  /// shared face is seen by both of its blocks with the same axis
-  /// bit, and partition planes on different axes are distinct.
+  /// may only be paired with cells of equal signature (IV-C).
+  ///
+  /// Caveat: this local mask is block-independent only when every
+  /// partition plane extends across the whole domain. At T-junctions
+  /// of uneven decompositions two blocks can disagree about a corner
+  /// cell's class; multi-block pipelines therefore use the exact
+  /// decomposition-global BoundarySignatures (core/boundary.hpp)
+  /// instead of this mask.
   constexpr AxisMask sharedSignature(Vec3i rc) const {
     AxisMask m = 0;
     const Vec3i r = rdims();

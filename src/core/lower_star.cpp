@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/boundary.hpp"
+
 namespace msc {
 
 namespace {
@@ -11,7 +13,7 @@ struct StarCell {
   Vec3i rc;
   CellKey key;
   int dim;
-  AxisMask sig;
+  std::uint32_t sig;
   bool assigned{false};
   int n_unassigned_facets{0};  // facets within the same signature class
 };
@@ -62,20 +64,22 @@ GradientField computeGradientLowerStar(const BlockField& field, const GradientOp
               // In the descending-sorted key, the maximal vertex is
               // entry 0; membership in L(v) means it equals v.
               if (k.value[0] != vval || k.vert[0] != vid) continue;
-              star.push_back({rc, std::move(k), Domain::cellDim(rc),
-                              opts.restrict_boundary ? blk.sharedSignature(rc) : AxisMask(0),
-                              false, 0});
+              std::uint32_t sig = 0;
+              if (opts.restrict_boundary)
+                sig = opts.signatures ? opts.signatures->at(rc)
+                                      : std::uint32_t{blk.sharedSignature(rc)};
+              star.push_back({rc, std::move(k), Domain::cellDim(rc), sig, false, 0});
             }
           }
         }
 
         // Process each signature class independently so that shared
         // faces are matched identically in both adjacent blocks.
-        AxisMask done = 0;  // bit i: class with sig value i processed (sig < 8)
         for (std::size_t ci = 0; ci < star.size(); ++ci) {
-          const AxisMask cls = star[ci].sig;
-          if (done & (AxisMask(1) << cls)) continue;
-          done |= AxisMask(1) << cls;
+          const std::uint32_t cls = star[ci].sig;
+          bool seen = false;  // class already processed at an earlier index
+          for (std::size_t j = 0; j < ci && !seen; ++j) seen = star[j].sig == cls;
+          if (seen) continue;
 
           // Collect the class member indices.
           std::vector<int> mem;

@@ -5,6 +5,9 @@ namespace msc {
 void glue(MsComplex& root, const MsComplex& other, GlueStats* stats) {
   assert(root.domain() == other.domain());
   const auto index = root.addressIndex();
+  // Region covered by the root before this glue: the only place where
+  // both complexes can have traced the same arc.
+  const Region covered = root.region();
 
   std::vector<NodeId> map(other.nodes().size(), kNone);
   std::vector<bool> pre(other.nodes().size(), false);
@@ -26,14 +29,27 @@ void glue(MsComplex& root, const MsComplex& other, GlueStats* stats) {
     if (!ar.alive) continue;
     const auto lo = static_cast<std::size_t>(ar.lower);
     const auto up = static_cast<std::size_t>(ar.upper);
-    if (pre[lo] && pre[up]) {
-      // Both endpoints were on the shared boundary: the arc's V-path
-      // lies in the shared face and the root already owns it.
-      if (stats) ++stats->arcs_deduped;
-      continue;
-    }
     Geom g;
     if (ar.geom != kNone) g.cells = other.flattenGeom(ar.geom);
+    if (pre[lo] && pre[up]) {
+      // Both endpoints were on the shared boundary. The root already
+      // owns the arc iff its whole V-path lies in the region the root
+      // covered before this glue (there both sides traced identical
+      // restricted gradients). An arc between two shared nodes whose
+      // path crosses `other`'s uncovered interior — e.g. a composite
+      // created by a round of simplification reconnecting across a
+      // cancelled pair — is new and must be kept.
+      bool duplicate = true;
+      for (const CellAddr a : g.cells)
+        if (!covered.contains(other.domain().coordOf(a))) {
+          duplicate = false;
+          break;
+        }
+      if (duplicate) {
+        if (stats) ++stats->arcs_deduped;
+        continue;
+      }
+    }
     const GeomId gid = root.addGeom(std::move(g));
     root.addArc(map[lo], map[up], gid);
     if (stats) ++stats->arcs_added;

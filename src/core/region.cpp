@@ -52,20 +52,28 @@ bool Region::contains(Vec3i rc) const {
 }
 
 bool Region::onSharedBoundary(Vec3i rc, const Domain& domain) const {
+  // A cell is unresolved iff some block outside the region also
+  // contains it. With one-vertex-deep sharing that is exactly "some
+  // in-domain cell of the 26-neighbourhood lies outside the region":
+  // the face-neighbour test used previously misses the re-entrant
+  // corners and edges of non-box unions (which arise from the uneven
+  // merge groups of non-power-of-two block counts), where a shared
+  // cell's face neighbours are all inside but a diagonal one is not.
+  // Under-protecting such a cell lets one active complex cancel a
+  // node another complex still carries; the later glue resurrects it
+  // and the merged complex is corrupt (fuzz finding, see
+  // tools/msc_fuzz).
+  if (!contains(rc)) return false;
   const Vec3i rd = domain.rdims();
-  for (const Box3& b : boxes_) {
-    if (!b.contains(rc)) continue;
-    for (int a = 0; a < 3; ++a) {
-      for (int side = 0; side < 2; ++side) {
-        const std::int64_t face = side == 0 ? b.lo[a] : b.hi[a];
-        if (rc[a] != face) continue;
-        Vec3i across = rc;
-        across[a] += side == 0 ? -1 : 1;
-        if (across[a] < 0 || across[a] >= rd[a]) continue;  // global domain face
-        if (!contains(across)) return true;
+  for (std::int64_t dz = -1; dz <= 1; ++dz)
+    for (std::int64_t dy = -1; dy <= 1; ++dy)
+      for (std::int64_t dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        const Vec3i q{rc.x + dx, rc.y + dy, rc.z + dz};
+        if (q.x < 0 || q.y < 0 || q.z < 0 || q.x >= rd.x || q.y >= rd.y || q.z >= rd.z)
+          continue;  // beyond the global domain: no block there
+        if (!contains(q)) return true;
       }
-    }
-  }
   return false;
 }
 

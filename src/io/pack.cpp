@@ -46,6 +46,21 @@ Bytes pack(const MsComplex& c) {
   return out;
 }
 
+namespace {
+
+/// A corrupt count field must not drive a huge allocation: every
+/// element of the claimed count still has to fit in the bytes that
+/// remain, so validate before resizing.
+void requireCount(const Reader& r, std::uint64_t count, std::size_t elem_size,
+                  const char* what) {
+  if (count * elem_size > r.remaining())
+    throw std::runtime_error(std::string("unpack: ") + what + " count " +
+                             std::to_string(count) + " exceeds the remaining " +
+                             std::to_string(r.remaining()) + " bytes");
+}
+
+}  // namespace
+
 MsComplex unpack(const Bytes& bytes) {
   Reader r(bytes);
   const std::uint32_t magic = r.get<std::uint32_t>();
@@ -54,10 +69,12 @@ MsComplex unpack(const Bytes& bytes) {
 
   Region region;
   const std::uint32_t nboxes = r.get<std::uint32_t>();
+  requireCount(r, nboxes, sizeof(Box3), "region box");
   for (std::uint32_t i = 0; i < nboxes; ++i) region.add(r.get<Box3>());
 
   MsComplex c(domain, std::move(region));
   const std::uint32_t nnodes = r.get<std::uint32_t>();
+  requireCount(r, nnodes, sizeof(CellAddr) + sizeof(float) + sizeof(std::uint8_t), "node");
   for (std::uint32_t i = 0; i < nnodes; ++i) {
     const CellAddr addr = r.get<CellAddr>();
     const float value = r.get<float>();
@@ -66,14 +83,19 @@ MsComplex unpack(const Bytes& bytes) {
   }
 
   const std::uint32_t narcs = r.get<std::uint32_t>();
+  requireCount(r, narcs, 3 * sizeof(std::uint32_t), "arc");
   for (std::uint32_t i = 0; i < narcs; ++i) {
-    const auto lower = static_cast<NodeId>(r.get<std::uint32_t>());
-    const auto upper = static_cast<NodeId>(r.get<std::uint32_t>());
+    const std::uint32_t lower = r.get<std::uint32_t>();
+    const std::uint32_t upper = r.get<std::uint32_t>();
+    if (lower >= nnodes || upper >= nnodes)
+      throw std::runtime_error("unpack: arc endpoint out of range");
     Geom g;
-    g.cells.resize(r.get<std::uint32_t>());
+    const std::uint32_t ncells = r.get<std::uint32_t>();
+    requireCount(r, ncells, sizeof(CellAddr), "geometry cell");
+    g.cells.resize(ncells);
     r.getBytes(g.cells.data(), g.cells.size() * sizeof(CellAddr));
     const GeomId gid = c.addGeom(std::move(g));
-    c.addArc(lower, upper, gid);
+    c.addArc(static_cast<NodeId>(lower), static_cast<NodeId>(upper), gid);
   }
   c.recomputeBoundary();
   return c;

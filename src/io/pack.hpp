@@ -7,6 +7,8 @@
 
 #include <cstddef>
 #include <cstring>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/complex.hpp"
@@ -45,26 +47,36 @@ class Writer {
   Bytes& out_;
 };
 
+/// Reads throw std::runtime_error on a short buffer: packed complexes
+/// arrive over the wire and from disk, so a truncated or corrupt
+/// buffer must produce a clean error, never an out-of-bounds read.
 class Reader {
  public:
   explicit Reader(const Bytes& in) : in_(in) {}
   template <class T>
   T get() {
     static_assert(std::is_trivially_copyable_v<T>);
+    require(sizeof(T));
     T v;
-    assert(pos_ + sizeof(T) <= in_.size());
     std::memcpy(&v, in_.data() + pos_, sizeof(T));
     pos_ += sizeof(T);
     return v;
   }
   void getBytes(void* p, std::size_t n) {
-    assert(pos_ + n <= in_.size());
+    require(n);
     std::memcpy(p, in_.data() + pos_, n);
     pos_ += n;
   }
   std::size_t remaining() const { return in_.size() - pos_; }
 
  private:
+  void require(std::size_t n) const {
+    if (n > in_.size() - pos_)
+      throw std::runtime_error("io::Reader: truncated buffer (need " + std::to_string(n) +
+                               " bytes at offset " + std::to_string(pos_) + ", have " +
+                               std::to_string(in_.size() - pos_) + ")");
+  }
+
   const Bytes& in_;
   std::size_t pos_{0};
 };

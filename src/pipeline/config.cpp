@@ -1,7 +1,9 @@
 #include "pipeline/config.hpp"
 
+#include "core/boundary.hpp"
 #include "core/lower_star.hpp"
 #include "core/simplify.hpp"
+#include "decomp/decompose.hpp"
 
 namespace msc::pipeline {
 
@@ -18,6 +20,14 @@ MsComplex computeBlockComplex(const PipelineConfig& cfg, const BlockField& bf,
                               TraceStats* tstats, SimplifyStats* sstats, int obs_rank) {
   GradientOptions gopts;
   gopts.restrict_boundary = true;
+  // The exact boundary-pairing rule needs the global decomposition:
+  // uneven bisections have T-junctions where the block-local face
+  // mask is inconsistent between neighbours (see core/boundary.hpp).
+  BoundarySignatures sigs;
+  if (cfg.nblocks > 1) {
+    sigs = BoundarySignatures(decompose(cfg.domain, cfg.nblocks), bf.block());
+    gopts.signatures = &sigs;
+  }
   auto gspan = obs::span(cfg.tracer, obs_rank, "gradient", "stage");
   const GradientField grad = cfg.algorithm == GradientAlgorithm::kSweep
                                  ? computeGradientSweep(bf, gopts)

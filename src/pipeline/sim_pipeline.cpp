@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "core/boundary.hpp"
 #include "core/lower_star.hpp"
 #include "core/merge.hpp"
 #include "decomp/decompose.hpp"
@@ -52,6 +53,13 @@ SimResult runSimPipeline(const PipelineConfig& cfg, const SimModels& models) {
     double t0 = now();
     GradientOptions gopts;
     gopts.restrict_boundary = cfg.nblocks > 1;
+    // Same exact boundary-pairing rule as computeBlockComplex: the
+    // sequential driver must stay bit-identical to the threaded one.
+    BoundarySignatures sigs;
+    if (cfg.nblocks > 1) {
+      sigs = BoundarySignatures(blocks, blk);
+      gopts.signatures = &sigs;
+    }
     const GradientField grad = cfg.algorithm == GradientAlgorithm::kSweep
                                    ? computeGradientSweep(bf, gopts)
                                    : computeGradientLowerStar(bf, gopts);

@@ -168,6 +168,49 @@ Field cosineProduct(const Domain& domain, int k) {
   };
 }
 
+Field plateaus(unsigned seed, int levels) {
+  const Field base = noise(seed);
+  const double n = std::max(levels, 2);
+  return [base, n](Vec3i p) { return static_cast<float>(std::floor(base(p) * n)); };
+}
+
+Field nearTies(unsigned seed) {
+  const Field coarse = noise(seed);
+  const Field fine = noise(seed ^ 0x9E3779B9u);
+  return [coarse, fine](Vec3i p) {
+    const double level = std::floor(coarse(p) * 5.0);
+    return static_cast<float>(level + 1e-5 * fine(p));
+  };
+}
+
+Field thinSaddles(const Domain& domain, unsigned seed) {
+  const Vec3i d = domain.vdims;
+  // Axis-aligned lines through random points: line m runs along axis
+  // `axis` at fixed normalized coordinates (c1, c2) in the other two.
+  struct Line {
+    int axis;
+    double c1, c2;
+  };
+  std::vector<Line> lines;
+  for (int m = 0; m < 9; ++m) {
+    const std::uint64_t id = static_cast<std::uint64_t>(seed) * 4000 +
+                             static_cast<std::uint64_t>(m);
+    lines.push_back({m % 3, hash01(id, 1), hash01(id, 2)});
+  }
+  const Field tiebreak = noise(seed ^ 0x7F4A7C15u);
+  return [d, lines, tiebreak](Vec3i p) {
+    const double c[3] = {norm(p.x, d.x), norm(p.y, d.y), norm(p.z, d.z)};
+    double f = 0;
+    for (const Line& ln : lines) {
+      const double u = c[(ln.axis + 1) % 3] - ln.c1;
+      const double v = c[(ln.axis + 2) % 3] - ln.c2;
+      // Narrow ridge: width ~2 vertices on a 16^3 grid.
+      f = std::max(f, std::exp(-(u * u + v * v) / 0.012));
+    }
+    return static_cast<float>(f + 1e-4 * tiebreak(p));
+  };
+}
+
 BlockField sample(const Block& block, const Field& f) { return sampleBlock(block, f); }
 
 std::vector<float> sampleAll(const Domain& domain, const Field& f) {

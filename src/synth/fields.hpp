@@ -48,6 +48,26 @@ Field ramp();
 /// complex is known in closed form (used by unit tests).
 Field cosineProduct(const Domain& domain, int k);
 
+// --- Adversarial generators (fuzzing). Degenerate value patterns
+// that stress the simulation-of-simplicity ordering, the plateau
+// handling, and the boundary pairing restriction.
+
+/// Large exact plateaus: white noise quantised to `levels` distinct
+/// values, so most of the domain is flat and every flat region's
+/// critical cells are chosen purely by the vertex-id tiebreak.
+Field plateaus(unsigned seed, int levels = 4);
+
+/// Near-ties: a few widely separated base levels, each perturbed by
+/// an epsilon several orders of magnitude smaller than the gaps —
+/// values are distinct but comparisons are dominated by noise bits.
+Field nearTies(unsigned seed);
+
+/// Thin saddles: narrow knife-edge ridges along random axis-aligned
+/// lines; where ridges approach each other they form elongated
+/// near-degenerate saddle corridors. A tiny noise term breaks exact
+/// ties.
+Field thinSaddles(const Domain& domain, unsigned seed);
+
 /// Sample a generator over one block.
 BlockField sample(const Block& block, const Field& f);
 

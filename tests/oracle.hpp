@@ -1,100 +1,41 @@
 /// \file oracle.hpp
-/// Shared test helpers: discrete-gradient validity checks used across
-/// the gradient, trace, merge and pipeline test suites.
+/// Shared test helpers for the gradient, trace, merge and pipeline
+/// test suites. The invariant logic itself lives in src/check (the
+/// same checkers the fuzz harness runs); these wrappers only adapt a
+/// CheckReport to a gtest failure.
 #pragma once
 
 #include <gtest/gtest.h>
 
 #include <map>
-#include <vector>
 
+#include "check/check.hpp"
 #include "core/gradient.hpp"
 #include "core/lower_star.hpp"
 #include "synth/fields.hpp"
 
 namespace msc::test {
 
-/// Every cell assigned; pairs are mutual facet/cofacet pairs.
-inline void expectValidPairing(const GradientField& g) {
-  const Block& blk = g.block();
-  const Vec3i r = blk.rdims();
-  for (std::int64_t z = 0; z < r.z; ++z)
-    for (std::int64_t y = 0; y < r.y; ++y)
-      for (std::int64_t x = 0; x < r.x; ++x) {
-        const Vec3i rc{x, y, z};
-        const std::uint8_t s = g.stateAt(rc);
-        ASSERT_NE(s, kUnassigned) << "unassigned cell at " << rc;
-        if (s == kCritical) continue;
-        const Vec3i p = g.partner(rc);
-        ASSERT_TRUE(p.x >= 0 && p.y >= 0 && p.z >= 0 && p.x < r.x && p.y < r.y && p.z < r.z)
-            << "partner out of range at " << rc;
-        EXPECT_EQ(g.partner(p), rc) << "pairing not mutual at " << rc;
-        EXPECT_EQ(std::abs(Domain::cellDim(p) - Domain::cellDim(rc)), 1);
-      }
+/// Assert a checker found nothing; on failure the report's full
+/// violation listing becomes the test message.
+inline void expectOk(const check::CheckReport& rep) {
+  EXPECT_TRUE(rep.ok()) << rep.summary();
 }
+
+/// Every cell assigned; pairs are mutual facet/cofacet pairs.
+inline void expectValidPairing(const GradientField& g) { expectOk(check::checkPairing(g)); }
 
 /// Euler characteristic from critical counts must equal chi of a
 /// solid box, which is 1, for any discrete gradient field.
 inline void expectEulerOne(const GradientField& g) {
-  const auto c = g.criticalCounts();
-  EXPECT_EQ(c[0] - c[1] + c[2] - c[3], 1)
-      << "counts: " << c[0] << " " << c[1] << " " << c[2] << " " << c[3];
+  expectOk(check::checkGradientEuler(g));
 }
 
-/// V-paths must be acyclic: for each (d-1, d) layer, the directed
-/// graph tail->head (pairs) and head->other-facets must have no
-/// cycle. Checked by iterative DFS with colors.
-inline void expectAcyclic(const GradientField& g) {
-  const Block& blk = g.block();
-  const Vec3i r = blk.rdims();
-  const auto n = static_cast<std::size_t>(blk.numCells());
-  // Colors: 0 = unvisited, 1 = on stack, 2 = done. Only tail cells
-  // participate (we step tail -> head -> next tails).
-  for (int layer = 0; layer < 3; ++layer) {  // tail dimension d-1 = layer
-    std::vector<std::uint8_t> color(n, 0);
-    std::vector<std::pair<LocalCell, int>> stack;
-    for (std::int64_t z = 0; z < r.z; ++z)
-      for (std::int64_t y = 0; y < r.y; ++y)
-        for (std::int64_t x = 0; x < r.x; ++x) {
-          const Vec3i start{x, y, z};
-          if (Domain::cellDim(start) != layer || !g.isTail(start)) continue;
-          const LocalCell si = blk.cellIndex(start);
-          if (color[si] == 2) continue;
-          stack.clear();
-          stack.push_back({si, 0});
-          color[si] = 1;
-          while (!stack.empty()) {
-            auto& [ci, next] = stack.back();
-            const Vec3i rc = blk.cellCoord(ci);
-            const Vec3i head = g.partner(rc);
-            std::array<Vec3i, 6> fs;
-            const int nf = facets(head, r, fs);
-            bool pushed = false;
-            while (next < nf) {
-              const Vec3i cand = fs[next++];
-              if (cand == rc || !g.isTail(cand)) continue;
-              const LocalCell cj = blk.cellIndex(cand);
-              ASSERT_NE(color[cj], 1) << "V-path cycle through " << cand;
-              if (color[cj] == 0) {
-                color[cj] = 1;
-                stack.push_back({cj, 0});
-                pushed = true;
-                break;
-              }
-            }
-            if (!pushed && next >= nf) {
-              color[ci] = 2;
-              stack.pop_back();
-            }
-          }
-        }
-  }
-}
+/// V-paths must be acyclic in every (d-1, d) layer.
+inline void expectAcyclic(const GradientField& g) { expectOk(check::checkAcyclic(g)); }
 
 inline void expectValidGradient(const GradientField& g) {
-  expectValidPairing(g);
-  expectEulerOne(g);
-  expectAcyclic(g);
+  expectOk(check::checkGradient(g));
 }
 
 /// Extract the gradient states of all cells on a given global refined

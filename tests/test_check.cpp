@@ -1,0 +1,277 @@
+/// Mutation self-tests for the msc::check invariant checkers: plant a
+/// known defect in an otherwise-valid artifact and require the
+/// matching checker to report it (and name the right rule). A checker
+/// that cannot see its own target mutation is dead weight — these
+/// tests are what keep the fuzz harness's oracles honest.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "check/canonical.hpp"
+#include "check/check.hpp"
+#include "check/fuzz.hpp"
+#include "core/lower_star.hpp"
+#include "decomp/decompose.hpp"
+#include "io/pack.hpp"
+#include "merge/plan.hpp"
+#include "pipeline/sim_pipeline.hpp"
+#include "synth/fields.hpp"
+
+namespace msc {
+namespace {
+
+using check::CheckReport;
+
+bool hasRule(const CheckReport& rep, const std::string& rule) {
+  return std::any_of(rep.violations.begin(), rep.violations.end(),
+                     [&](const check::Violation& v) { return v.rule == rule; });
+}
+
+GradientField cleanGradient(Vec3i vdims = {7, 7, 7}, unsigned seed = 3) {
+  const Domain d{vdims};
+  const Block whole = decompose(d, 1)[0];
+  GradientOptions opts;
+  opts.restrict_boundary = false;
+  return computeGradientLowerStar(synth::sample(whole, synth::noise(seed)), opts);
+}
+
+/// Fully merged single-block pipeline output for complex-level tests.
+MsComplex cleanComplex(int nblocks = 2) {
+  pipeline::PipelineConfig cfg;
+  cfg.domain = Domain{{9, 8, 7}};
+  cfg.source.field = synth::noise(11);
+  cfg.nblocks = nblocks;
+  cfg.plan = MergePlan::fullMerge(nblocks);
+  const pipeline::SimResult r = pipeline::runSimPipeline(cfg);
+  return io::unpack(r.outputs.at(0));
+}
+
+// --- Gradient mutations --------------------------------------------
+
+TEST(CheckMutation, CleanGradientPasses) {
+  const CheckReport rep = check::checkGradient(cleanGradient());
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+  EXPECT_GT(rep.checked, 0);
+}
+
+TEST(CheckMutation, FlippedGradientPairIsDetected) {
+  const GradientField g = cleanGradient();
+  const Block& blk = g.block();
+  // Turn the first paired cell critical; its partner still points at
+  // it, so mutuality breaks, and the critical count (hence chi) is off.
+  std::vector<std::uint8_t> state = g.state();
+  const auto idx = static_cast<std::size_t>(
+      std::find_if(state.begin(), state.end(),
+                   [](std::uint8_t s) { return s <= kPairPosZ; }) -
+      state.begin());
+  ASSERT_LT(idx, state.size());
+  state[idx] = kCritical;
+  const GradientField bad(blk, std::move(state));
+  EXPECT_TRUE(hasRule(check::checkPairing(bad), "pairing.mutual"));
+  EXPECT_TRUE(hasRule(check::checkGradientEuler(bad), "euler.block"));
+  EXPECT_FALSE(check::checkGradient(bad).ok());
+}
+
+TEST(CheckMutation, RedirectedGradientPairIsDetected) {
+  const GradientField g = cleanGradient();
+  const Block& blk = g.block();
+  // Point a paired cell at the opposite neighbour: the new partner
+  // never points back.
+  std::vector<std::uint8_t> state = g.state();
+  const Vec3i r = blk.rdims();
+  for (std::int64_t z = 1; z < r.z - 1; ++z)
+    for (std::int64_t y = 1; y < r.y - 1; ++y)
+      for (std::int64_t x = 1; x < r.x - 1; ++x) {
+        const std::size_t i = static_cast<std::size_t>(blk.cellIndex({x, y, z}));
+        if (state[i] > kPairPosZ) continue;
+        state[i] = static_cast<std::uint8_t>(state[i] ^ 1u);  // flip direction bit
+        const GradientField bad(blk, std::move(state));
+        EXPECT_TRUE(hasRule(check::checkPairing(bad), "pairing.mutual"));
+        return;
+      }
+  FAIL() << "no interior paired cell found";
+}
+
+TEST(CheckMutation, UnassignedCellIsDetected) {
+  const GradientField g = cleanGradient();
+  std::vector<std::uint8_t> state = g.state();
+  state[state.size() / 2] = kUnassigned;
+  const GradientField bad(g.block(), std::move(state));
+  EXPECT_TRUE(hasRule(check::checkPairing(bad), "pairing.assigned"));
+}
+
+// --- Complex mutations ---------------------------------------------
+
+TEST(CheckMutation, CleanMergedComplexPasses) {
+  const MsComplex c = cleanComplex();
+  const CheckReport rep = check::checkComplex(c);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+  EXPECT_TRUE(check::checkEuler(c, 1).ok());
+}
+
+TEST(CheckMutation, NonConsecutiveArcIndexIsDetected) {
+  const Domain d{{5, 5, 5}};
+  MsComplex c(d, Region(Box3{{0, 0, 0}, {8, 8, 8}}));
+  // Two vertices (both index 0) joined by an arc: indices must differ
+  // by exactly one.
+  const NodeId a = c.addNode(0, 0, 1.0f);
+  const NodeId b = c.addNode(2, 0, 2.0f);
+  c.addArc(a, b, kNone);
+  EXPECT_TRUE(hasRule(check::checkComplex(c), "arc.index"));
+}
+
+TEST(CheckMutation, WrongNodeAddressIsDetected) {
+  const Domain d{{5, 5, 5}};
+  MsComplex c(d, Region(Box3{{0, 0, 0}, {8, 8, 8}}));
+  // Address 1 decodes to an edge cell (dimension 1), not a minimum...
+  c.addNode(1, 0, 1.0f);
+  EXPECT_TRUE(hasRule(check::checkComplex(c), "node.index"));
+  // ...and an address past the refined grid decodes to nothing.
+  MsComplex c2(d, Region(Box3{{0, 0, 0}, {8, 8, 8}}));
+  c2.addNode(static_cast<CellAddr>(d.numCells()) + 5, 0, 1.0f);
+  EXPECT_TRUE(hasRule(check::checkComplex(c2), "node.addr"));
+}
+
+TEST(CheckMutation, EulerMutationIsDetected) {
+  const Domain d{{5, 5, 5}};
+  MsComplex c(d, Region(Box3{{0, 0, 0}, {8, 8, 8}}));
+  c.addNode(1, 1, 1.0f);  // lone 1-saddle: chi = -1, not 1
+  EXPECT_TRUE(hasRule(check::checkEuler(c, 1), "euler.complex"));
+}
+
+TEST(CheckMutation, DroppedArcIsDetectedByExactComparison) {
+  const MsComplex c = cleanComplex();
+  const check::CanonicalComplex a = check::canonicalize(c);
+  check::CanonicalComplex b = a;
+  ASSERT_FALSE(b.arcs.empty());
+  b.arcs.erase(b.arcs.begin() + static_cast<std::ptrdiff_t>(b.arcs.size() / 2));
+  EXPECT_TRUE(check::compareExact(a, a).ok());
+  EXPECT_TRUE(hasRule(check::compareExact(a, b), "diff.arc"));
+}
+
+TEST(CheckMutation, DroppedNodeIsDetectedByExactAndCensusComparison) {
+  const MsComplex c = cleanComplex();
+  const check::CanonicalComplex a = check::canonicalize(c);
+  check::CanonicalComplex b = a;
+  // Drop one minimum (nodes are sorted by address, so find one).
+  const auto it = std::find_if(b.nodes.begin(), b.nodes.end(),
+                               [](const check::CanonicalNode& n) { return n.index == 0; });
+  ASSERT_NE(it, b.nodes.end());
+  b.nodes.erase(it);
+  --b.census[0];
+  EXPECT_TRUE(hasRule(check::compareExact(a, b), "diff.node"));
+  // As the "parallel" side of the census contract, a lost minimum is
+  // a violation in both tie modes (chi changes too).
+  EXPECT_TRUE(hasRule(check::compareCensus(a, b, false), "census.minima"));
+  EXPECT_TRUE(hasRule(check::compareCensus(a, b, true), "census.chi"));
+}
+
+TEST(CheckMutation, StuckArtifactPairSurplusIsAccepted) {
+  // The documented tolerance: one extra (min, 1-saddle) and one extra
+  // (1-saddle, 2-saddle) zero-persistence pair on the parallel side
+  // must pass, while the same census as a *deficit* must fail.
+  check::CanonicalComplex serial;
+  serial.census = {10, 20, 15, 4};
+  check::CanonicalComplex parallel;
+  parallel.census = {11, 22, 16, 4};
+  EXPECT_TRUE(check::compareCensus(serial, parallel, false).ok());
+  EXPECT_FALSE(check::compareCensus(parallel, serial, false).ok());
+  // With exact ties either direction passes (chi is equal), but a
+  // chi-breaking census never does.
+  EXPECT_TRUE(check::compareCensus(parallel, serial, true).ok());
+  check::CanonicalComplex broken = parallel;
+  ++broken.census[1];
+  EXPECT_TRUE(hasRule(check::compareCensus(serial, broken, true), "census.chi"));
+}
+
+// --- Decomposition mutations ---------------------------------------
+
+TEST(CheckMutation, CleanDecompositionPasses) {
+  const Domain d{{11, 9, 10}};
+  for (int nb : {1, 2, 3, 5, 8, 12}) {
+    const CheckReport rep = check::checkDecomposition(d, decompose(d, nb));
+    EXPECT_TRUE(rep.ok()) << "nblocks=" << nb << ": " << rep.summary();
+  }
+}
+
+TEST(CheckMutation, ShrunkBlockIsDetected) {
+  const Domain d{{11, 9, 10}};
+  std::vector<Block> blocks = decompose(d, 4);
+  // Shrink a block along an axis where its hi face is the *domain*
+  // boundary (an interior shared face would still be covered by the
+  // neighbour's ghost layer): that plane is now covered by nobody.
+  const auto it = std::find_if(blocks.begin(), blocks.end(),
+                               [](const Block& b) { return !b.shared_hi[0]; });
+  ASSERT_NE(it, blocks.end());
+  it->vdims.x -= 1;
+  EXPECT_TRUE(hasRule(check::checkDecomposition(d, blocks), "decomp.gap"));
+}
+
+TEST(CheckMutation, ShiftedBlockIsDetected) {
+  const Domain d{{11, 9, 10}};
+  std::vector<Block> blocks = decompose(d, 4);
+  blocks[2].voffset.y += 1;  // mis-registers the block against its neighbours
+  EXPECT_FALSE(check::checkDecomposition(d, blocks).ok());
+}
+
+// --- Segmentation mutations ----------------------------------------
+
+TEST(CheckMutation, RelabeledSegmentIsDetected) {
+  const GradientField g = cleanGradient({8, 8, 8}, 5);
+  analysis::Segmentation seg = analysis::segmentByMinima(g);
+  ASSERT_GE(seg.regionCount(), 2);
+  EXPECT_TRUE(check::checkSegmentation(seg, g, check::SegmentationKind::kMinima).ok());
+  // Reassign one vertex to a different (still valid) region.
+  seg.labels[0] = (seg.labels[0] + 1) % seg.regionCount();
+  EXPECT_TRUE(hasRule(check::checkSegmentation(seg, g, check::SegmentationKind::kMinima),
+                      "seg.label"));
+}
+
+TEST(CheckMutation, CorruptSeedIsDetected) {
+  const GradientField g = cleanGradient({8, 8, 8}, 5);
+  analysis::Segmentation seg = analysis::segmentByMaxima(g);
+  ASSERT_GE(seg.regionCount(), 1);
+  EXPECT_TRUE(check::checkSegmentation(seg, g, check::SegmentationKind::kMaxima).ok());
+  seg.seeds[0] = Vec3i{0, 0, 0};  // a vertex, never a maximum's voxel
+  EXPECT_TRUE(hasRule(check::checkSegmentation(seg, g, check::SegmentationKind::kMaxima),
+                      "seg.seed"));
+}
+
+// --- Report mechanics ----------------------------------------------
+
+TEST(CheckMutation, ViolationCapCountsDroppedFindings) {
+  CheckReport rep;
+  for (std::size_t i = 0; i < CheckReport::kMaxViolations + 10; ++i)
+    rep.fail("test.rule", "violation " + std::to_string(i));
+  EXPECT_EQ(rep.violations.size(), CheckReport::kMaxViolations);
+  EXPECT_EQ(rep.dropped, 10);
+  EXPECT_FALSE(rep.ok());
+  // The summary must admit the truncation.
+  EXPECT_NE(rep.summary().find("more"), std::string::npos);
+}
+
+// --- Fuzz harness self-test ----------------------------------------
+
+TEST(CheckMutation, FuzzCaseDerivationIsDeterministic) {
+  const check::FuzzCase a = check::caseFromSeed(42);
+  const check::FuzzCase b = check::caseFromSeed(42);
+  EXPECT_EQ(a.describe(), b.describe());
+  EXPECT_GE(a.vdims.x, check::FuzzLimits{}.min_size);
+  EXPECT_LE(a.vdims.x, check::FuzzLimits{}.max_size);
+}
+
+TEST(CheckMutation, FuzzCasePasses) {
+  // One representative case end to end through every oracle.
+  check::FuzzCase c;
+  c.seed = 7;
+  c.vdims = {8, 7, 9};
+  c.field = "plateaus";
+  c.nblocks = 3;
+  c.nranks = 2;
+  c.threshold = 0.0f;
+  const std::vector<std::string> problems = check::runFuzzCase(c);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+}  // namespace
+}  // namespace msc
