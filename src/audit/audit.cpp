@@ -1,0 +1,288 @@
+#include "audit/audit.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "audit/tag_alloc.hpp"
+
+namespace msc::audit {
+
+Auditor::Auditor(int nranks) : Auditor(nranks, Options()) {}
+
+Auditor::Auditor(int nranks, Options opts)
+    : ranks_(static_cast<std::size_t>(nranks)),
+      mail_(static_cast<std::size_t>(nranks)),
+      nranks_(nranks),
+      opts_(opts) {}
+
+std::int64_t Auditor::onCollectiveEnter(int rank, OpKind kind, int root) {
+  const std::lock_guard lock(mu_);
+  RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+  ++rs.epoch;
+  recordHistoryLocked(rank, {kind, false, root, 0, rs.epoch});
+  return rs.epoch;
+}
+
+void Auditor::onBarrierReleased(std::int64_t gen) {
+  const std::lock_guard lock(mu_);
+  released_gen_ = std::max(released_gen_, gen);
+}
+
+std::int64_t Auditor::epochOf(int rank) const {
+  const std::lock_guard lock(mu_);
+  return ranks_[static_cast<std::size_t>(rank)].epoch;
+}
+
+std::uint64_t Auditor::onSend(int src, int dst, int tag, OpKind kind, std::size_t bytes,
+                              std::int64_t epoch) {
+  const std::lock_guard lock(mu_);
+  const std::uint64_t seq = next_seq_++;
+  mail_[static_cast<std::size_t>(dst)].push_back({seq, src, tag, bytes, kind, epoch});
+  recordHistoryLocked(src, {kind, true, dst, tag, epoch});
+  ++messages_;
+  return seq;
+}
+
+void Auditor::onDequeue(int self, std::uint64_t seq, int wildcard_alternatives) {
+  const std::lock_guard lock(mu_);
+  auto& box = mail_[static_cast<std::size_t>(self)];
+  const auto it = std::find_if(box.begin(), box.end(),
+                               [seq](const MsgInfo& m) { return m.seq == seq; });
+  if (it != box.end()) {
+    recordHistoryLocked(self, {it->kind, false, it->src, it->tag, it->epoch});
+    if (wildcard_alternatives > 0) {
+      ++wildcard_candidates_;
+      if (notes_.size() < 64)
+        notes_.push_back("wildcard-recv nondeterminism candidate: rank " +
+                         std::to_string(self) + " consumed src=" + std::to_string(it->src) +
+                         " tag=" + std::to_string(it->tag) + " with " +
+                         std::to_string(wildcard_alternatives) +
+                         " other eligible source(s) queued");
+    }
+    box.erase(it);
+  }
+}
+
+void Auditor::onBlocked(int self, const Wait& w) {
+  const std::lock_guard lock(mu_);
+  RankState& rs = ranks_[static_cast<std::size_t>(self)];
+  rs.phase = Phase::kBlocked;
+  rs.wait = w;
+  if (failed_.load(std::memory_order_relaxed)) return;  // unwinding anyway
+  const std::vector<int> path = findDeadlockLocked();
+  if (!path.empty()) {
+    std::string summary = "deadlock detected when rank " + std::to_string(self) +
+                          " blocked in " + opKindName(w.op) + ": waits-for path";
+    for (const int r : path) summary += " -> rank " + std::to_string(r);
+    failLocked(AuditError::Code::kDeadlock, std::move(summary));
+  }
+}
+
+void Auditor::onUnblocked(int self) {
+  const std::lock_guard lock(mu_);
+  ranks_[static_cast<std::size_t>(self)].phase = Phase::kRunning;
+}
+
+void Auditor::onDone(int rank) {
+  const std::lock_guard lock(mu_);
+  ranks_[static_cast<std::size_t>(rank)].phase = Phase::kDone;
+  if (failed_.load(std::memory_order_relaxed)) return;
+  const std::vector<int> path = findDeadlockLocked();
+  if (!path.empty()) {
+    std::string summary = "deadlock: rank " + std::to_string(rank) +
+                          " finished while other ranks wait on it: waits-for path";
+    for (const int r : path) summary += " -> rank " + std::to_string(r);
+    failLocked(AuditError::Code::kDeadlock, std::move(summary));
+  }
+}
+
+void Auditor::checkMessage(int self, OpKind expect, std::int64_t expect_epoch, int msg_src,
+                           int msg_tag, const WireHeader& h) {
+  const std::lock_guard lock(mu_);
+  if (h.kind != expect) {
+    failLocked(AuditError::Code::kCollectiveMismatch,
+               "collective mismatch: rank " + std::to_string(self) + " receiving " +
+                   opKindName(expect) + " (tag " + std::to_string(msg_tag) +
+                   ") consumed a " + opKindName(h.kind) + " message from rank " +
+                   std::to_string(msg_src) + " (sender epoch " + std::to_string(h.epoch) +
+                   ") — the two ranks are executing different protocols");
+  }
+  if (expect_epoch >= 0 && h.epoch != expect_epoch) {
+    failLocked(AuditError::Code::kEpochMismatch,
+               "out-of-epoch receive: rank " + std::to_string(self) + " in " +
+                   opKindName(expect) + " epoch " + std::to_string(expect_epoch) +
+                   " consumed a message from rank " + std::to_string(msg_src) +
+                   " stamped epoch " + std::to_string(h.epoch) +
+                   " — the ranks disagree on the collective sequence");
+  }
+}
+
+void Auditor::onStuck(int self) {
+  const std::lock_guard lock(mu_);
+  if (failed_.load(std::memory_order_relaxed)) {
+    throw AuditError(AuditError::Code::kAborted,
+                     "rank " + std::to_string(self) + " aborted: " + failure_summary_, "");
+  }
+  failLocked(AuditError::Code::kStuck,
+             "watchdog: rank " + std::to_string(self) + " blocked longer than " +
+                 std::to_string(opts_.block_timeout_seconds) +
+                 " s with no structural deadlock proof; protocol state follows");
+}
+
+void Auditor::onAborted(int self) {
+  std::string first;
+  {
+    const std::lock_guard lock(mu_);
+    first = failure_summary_;
+  }
+  throw AuditError(AuditError::Code::kAborted,
+                   "rank " + std::to_string(self) + " aborted: " + first, "");
+}
+
+void Auditor::finalize() {
+  const std::lock_guard lock(mu_);
+  if (failed_.load(std::memory_order_relaxed)) return;
+  int leaked = 0;
+  for (const auto& box : mail_) leaked += static_cast<int>(box.size());
+  if (leaked > 0) {
+    failLocked(AuditError::Code::kMailboxLeak,
+               "mailbox leak: " + std::to_string(leaked) +
+                   " message(s) were still queued when Runtime::run exited — every "
+                   "send must be received (see per-rank mailbox contents below)");
+  }
+  if (opts_.track_ownership) {
+    const auto violations = AllocTracking::drainViolations();
+    if (!violations.empty()) {
+      const AllocTracking::Violation& v = violations.front();
+      failLocked(AuditError::Code::kOwnership,
+                 "ownership violation: " + std::to_string(violations.size()) +
+                     " buffer(s) freed by a rank that does not own them (first: " +
+                     std::to_string(v.bytes) + " bytes allocated on rank " +
+                     std::to_string(v.owner) + ", freed on rank " +
+                     std::to_string(v.freer) +
+                     ") — cross-rank handoff outside the transmit path breaks "
+                     "share-nothing");
+    }
+  }
+}
+
+std::int64_t Auditor::wildcardCandidates() const {
+  const std::lock_guard lock(mu_);
+  return wildcard_candidates_;
+}
+
+std::int64_t Auditor::messagesAudited() const {
+  const std::lock_guard lock(mu_);
+  return messages_;
+}
+
+std::string Auditor::report() const {
+  const std::lock_guard lock(mu_);
+  return renderLocked();
+}
+
+void Auditor::recordHistoryLocked(int rank, OpRecord rec) {
+  RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+  rs.history.push_back(rec);
+  while (static_cast<int>(rs.history.size()) > opts_.history_depth) rs.history.pop_front();
+}
+
+bool Auditor::wakeableLocked(int rank) const {
+  const RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+  if (rs.phase != Phase::kBlocked) return false;
+  // A rank parked at an already-completed barrier generation has been
+  // released; it just has not run yet.
+  if (rs.wait.op == OpKind::kBarrier) return rs.wait.barrier_gen <= released_gen_;
+  for (const MsgInfo& m : mail_[static_cast<std::size_t>(rank)])
+    if ((rs.wait.src < 0 || m.src == rs.wait.src) && (rs.wait.tag < 0 || m.tag == rs.wait.tag))
+      return true;
+  return false;
+}
+
+std::vector<int> Auditor::findDeadlockLocked() const {
+  const int n = nranks_;
+  // Fast path: the global stall. Every rank is parked (blocked or
+  // done), at least one is blocked, and no blocked receive has an
+  // eligible message queued — nobody can ever send again.
+  bool all_parked = true, any_blocked = false, any_wakeable = false;
+  for (int r = 0; r < n; ++r) {
+    const Phase p = ranks_[static_cast<std::size_t>(r)].phase;
+    if (p == Phase::kRunning) all_parked = false;
+    if (p == Phase::kBlocked) {
+      any_blocked = true;
+      if (wakeableLocked(r)) any_wakeable = true;
+    }
+  }
+  if (all_parked && any_blocked && !any_wakeable) {
+    std::vector<int> path;
+    for (int r = 0; r < n; ++r)
+      if (ranks_[static_cast<std::size_t>(r)].phase == Phase::kBlocked) path.push_back(r);
+    return path;
+  }
+
+  // Waits-for traversal: an edge r -> e means "r cannot proceed until
+  // e acts". A blocked recv from a specific source waits on exactly
+  // that source; a barrier waits on every rank not already parked in
+  // the same barrier generation. Wildcard receives contribute no
+  // edges (any rank could satisfy them). A rank provably never acts
+  // if it is done, or blocked with some successor that never acts
+  // (including through a cycle). This fires on partial deadlocks even
+  // while unrelated ranks keep running.
+  auto edges = [&](int r) {
+    std::vector<int> out;
+    const RankState& rs = ranks_[static_cast<std::size_t>(r)];
+    if (rs.wait.op == OpKind::kBarrier) {
+      for (int r2 = 0; r2 < n; ++r2) {
+        if (r2 == r) continue;
+        const RankState& other = ranks_[static_cast<std::size_t>(r2)];
+        const bool at_same_barrier = other.phase == Phase::kBlocked &&
+                                     other.wait.op == OpKind::kBarrier &&
+                                     other.wait.barrier_gen == rs.wait.barrier_gen;
+        if (!at_same_barrier) out.push_back(r2);
+      }
+    } else if (rs.wait.src >= 0) {
+      out.push_back(rs.wait.src);
+    }
+    return out;
+  };
+
+  std::vector<int> color(static_cast<std::size_t>(n), 0);  // 0 new, 1 on stack, 2 cleared
+  std::vector<int> stack;
+  const std::function<bool(int)> neverActs = [&](int r) -> bool {
+    const RankState& rs = ranks_[static_cast<std::size_t>(r)];
+    if (rs.phase == Phase::kDone) {
+      stack.push_back(r);
+      return true;
+    }
+    if (rs.phase != Phase::kBlocked || wakeableLocked(r)) return false;
+    if (color[static_cast<std::size_t>(r)] == 1) {
+      stack.push_back(r);
+      return true;  // cycle closed
+    }
+    if (color[static_cast<std::size_t>(r)] == 2) return false;
+    color[static_cast<std::size_t>(r)] = 1;
+    stack.push_back(r);
+    for (const int e : edges(r))
+      if (neverActs(e)) return true;
+    stack.pop_back();
+    color[static_cast<std::size_t>(r)] = 2;
+    return false;
+  };
+
+  for (int r = 0; r < n; ++r) {
+    if (ranks_[static_cast<std::size_t>(r)].phase != Phase::kBlocked || wakeableLocked(r))
+      continue;
+    if (color[static_cast<std::size_t>(r)] != 0) continue;
+    stack.clear();
+    if (neverActs(r)) return stack;
+  }
+  return {};
+}
+
+void Auditor::failLocked(AuditError::Code code, std::string summary) {
+  failure_summary_ = summary;
+  failed_.store(true, std::memory_order_release);
+  throw AuditError(code, std::move(summary), renderLocked());
+}
+
+}  // namespace msc::audit

@@ -1,0 +1,206 @@
+/// \file audit.hpp
+/// Protocol auditor for the message-passing runtime (msc::par).
+///
+/// The paper's algorithm is correct because ranks share nothing and
+/// every cross-block fact travels through an explicit message. This
+/// module turns that convention into a checked contract. An Auditor
+/// is attached to par::Runtime::run (opt-in, like obs::Tracer); the
+/// runtime then reports every protocol event to it:
+///
+///  * **Deadlock detection** — each blocking recv/barrier registers a
+///    node in a waits-for graph (recv from a specific source waits on
+///    that source; a barrier waits on every rank not yet at it). A
+///    cycle of blocked ranks, a wait on a finished rank, or all ranks
+///    parked with no receivable message is reported as a structured
+///    AuditError — per-rank pending ops, op histories and mailbox
+///    contents — instead of hanging the run.
+///  * **Collective matching** — messages carry a piggybacked trailer
+///    (see wire.hpp) with the sender's collective epoch and op kind;
+///    the receiver detects mismatched collectives, out-of-epoch
+///    receives, and collective framing consumed by user receives.
+///    Wildcard receives with more than one eligible source are
+///    counted as nondeterminism candidates.
+///  * **Leak & ownership accounting** — a mirror of every mailbox is
+///    kept by (src, tag, seq); finalize() fails the run if any
+///    message was never received, or if the tagging allocator (see
+///    tag_alloc.hpp) recorded a buffer packed on one rank and freed
+///    on another outside the sanctioned transmit path.
+///
+/// Thread-safety: every hook may be called concurrently from rank
+/// threads; all state is guarded by one internal mutex. Hooks that
+/// detect a violation throw AuditError on the calling rank's thread
+/// and latch failed(), which the runtime's audited wait loops poll so
+/// every other rank unwinds promptly too.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "audit/wire.hpp"
+
+namespace msc::audit {
+
+/// A detected protocol violation. `summary()` is one line;
+/// `diagnostic()` is the full multi-line report (also included in
+/// what()).
+class AuditError : public std::runtime_error {
+ public:
+  enum class Code {
+    kDeadlock,            ///< waits-for cycle / wait on finished rank / global stall
+    kCollectiveMismatch,  ///< op kind of message != op kind of receive
+    kEpochMismatch,       ///< collective message from a different epoch
+    kMailboxLeak,         ///< messages never received at Runtime::run exit
+    kOwnership,           ///< buffer freed by a rank that does not own it
+    kStuck,               ///< watchdog: blocked past the configured timeout
+    kAborted,             ///< secondary: another rank hit one of the above
+  };
+
+  AuditError(Code code, std::string summary, std::string diagnostic);
+
+  Code code() const { return code_; }
+  const std::string& summary() const { return summary_; }
+  const std::string& diagnostic() const { return diagnostic_; }
+
+ private:
+  Code code_;
+  std::string summary_;
+  std::string diagnostic_;
+};
+
+const char* auditCodeName(AuditError::Code code);
+
+/// One parallel execution's protocol monitor. Create with at least
+/// the runtime's rank count and pass to par::Runtime::run (non-owning;
+/// must outlive the call).
+class Auditor {
+ public:
+  struct Options {
+    /// Also enable the tagging allocator: per-rank allocation
+    /// accounting plus cross-rank-free detection on par::Bytes.
+    bool track_ownership = true;
+    /// Backstop watchdog: a rank blocked longer than this fails the
+    /// run with a full state report even if the structural detectors
+    /// stayed silent (they fire event-driven, normally in well under
+    /// a second).
+    double block_timeout_seconds = 30.0;
+    /// Per-rank op history kept for diagnostics.
+    int history_depth = 16;
+  };
+
+  explicit Auditor(int nranks);
+  Auditor(int nranks, Options opts);
+
+  int nranks() const { return nranks_; }
+  const Options& options() const { return opts_; }
+  /// Latched once any detector fired; polled by the runtime's audited
+  /// wait loops so every rank unwinds.
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+
+  // --- Hooks called by par::Runtime. Not for direct use.
+
+  /// What a blocked rank is waiting on.
+  struct Wait {
+    OpKind op{OpKind::kP2P};  ///< kBarrier, or the expected kind of a recv
+    int src{-1};              ///< recv: requested source (-1 = any)
+    int tag{0};               ///< recv: requested tag
+    std::int64_t barrier_gen{-1};
+  };
+
+  /// The rank entered a collective; bumps and returns its epoch.
+  std::int64_t onCollectiveEnter(int rank, OpKind kind, int root);
+  /// Barrier generation `gen` completed: ranks still parked at it are
+  /// released, merely not woken yet — they must not look deadlocked.
+  void onBarrierReleased(std::int64_t gen);
+  /// The rank's current epoch (reads are cheap; used to stamp sends).
+  std::int64_t epochOf(int rank) const;
+  /// A message entered dst's mailbox. Returns its sequence id.
+  /// Must be called under the same lock that orders the mailbox.
+  std::uint64_t onSend(int src, int dst, int tag, OpKind kind, std::size_t bytes,
+                       std::int64_t epoch);
+  /// A message left self's mailbox. `wildcard_alternatives` counts
+  /// queued messages from *other* sources that also matched the
+  /// receive predicate (nondeterminism candidates).
+  void onDequeue(int self, std::uint64_t seq, int wildcard_alternatives);
+  /// The rank is about to block. Runs deadlock detection; throws
+  /// AuditError(kDeadlock) when the wait can never be satisfied.
+  void onBlocked(int self, const Wait& w);
+  void onUnblocked(int self);
+  /// The rank's function returned. May throw: remaining blocked ranks
+  /// can become provably stuck at this moment.
+  void onDone(int rank);
+  /// Validate a received message's trailer against the receive.
+  /// `expect_epoch` < 0 skips the epoch check (point-to-point).
+  void checkMessage(int self, OpKind expect, std::int64_t expect_epoch, int msg_src,
+                    int msg_tag, const WireHeader& h);
+  /// Watchdog backstop: the calling rank exceeded
+  /// block_timeout_seconds. Always throws.
+  [[noreturn]] void onStuck(int self);
+  /// Another rank latched a failure; unwind this one. Always throws.
+  [[noreturn]] void onAborted(int self);
+  /// End-of-run accounting: throws on leaked mailbox messages or
+  /// recorded ownership violations.
+  void finalize();
+
+  // --- Results / introspection.
+  std::int64_t wildcardCandidates() const;
+  std::int64_t messagesAudited() const;
+  /// Human-readable dump of the current protocol state (also the body
+  /// of every AuditError diagnostic).
+  std::string report() const;
+
+ private:
+  enum class Phase { kRunning, kBlocked, kDone };
+
+  struct OpRecord {
+    OpKind kind;
+    bool is_send;  ///< send-side record (false = receive/collective entry)
+    int peer;      ///< dst for sends, src for receives, root for collectives
+    int tag;
+    std::int64_t epoch;
+  };
+
+  struct MsgInfo {
+    std::uint64_t seq;
+    int src;
+    int tag;
+    std::size_t bytes;
+    OpKind kind;
+    std::int64_t epoch;
+  };
+
+  struct RankState {
+    Phase phase = Phase::kRunning;
+    Wait wait;
+    std::int64_t epoch = 0;
+    std::deque<OpRecord> history;  ///< newest at back, capped
+  };
+
+  void recordHistoryLocked(int rank, OpRecord rec);
+  /// True if a queued message matches the rank's blocked receive.
+  bool wakeableLocked(int rank) const;
+  /// Waits-for analysis; returns a non-empty doomed path (trigger
+  /// first) if a deadlock is provable.
+  std::vector<int> findDeadlockLocked() const;
+  std::string renderLocked() const;
+  [[noreturn]] void failLocked(AuditError::Code code, std::string summary);
+
+  mutable std::mutex mu_;
+  std::vector<RankState> ranks_;
+  std::vector<std::deque<MsgInfo>> mail_;  ///< mailbox mirror, per dst
+  std::deque<std::string> notes_;          ///< wildcard candidates etc., capped
+  std::uint64_t next_seq_ = 1;
+  std::int64_t released_gen_ = -1;  ///< highest completed barrier generation
+  std::int64_t wildcard_candidates_ = 0;
+  std::int64_t messages_ = 0;
+  int nranks_;
+  Options opts_;
+  std::atomic<bool> failed_{false};
+  std::string failure_summary_;
+};
+
+}  // namespace msc::audit

@@ -1,0 +1,100 @@
+/// Rendering of audit diagnostics: AuditError text and the full
+/// protocol-state report (per-rank phase + pending op + op history,
+/// mailbox mirrors, allocation accounting, nondeterminism notes).
+#include <string>
+
+#include "audit/audit.hpp"
+#include "audit/tag_alloc.hpp"
+
+namespace msc::audit {
+
+const char* opKindName(OpKind k) {
+  switch (k) {
+    case OpKind::kP2P: return "p2p";
+    case OpKind::kGatherContrib: return "gather";
+    case OpKind::kBcast: return "broadcast";
+    case OpKind::kBarrier: return "barrier";
+  }
+  return "?";
+}
+
+const char* auditCodeName(AuditError::Code code) {
+  switch (code) {
+    case AuditError::Code::kDeadlock: return "deadlock";
+    case AuditError::Code::kCollectiveMismatch: return "collective-mismatch";
+    case AuditError::Code::kEpochMismatch: return "epoch-mismatch";
+    case AuditError::Code::kMailboxLeak: return "mailbox-leak";
+    case AuditError::Code::kOwnership: return "ownership";
+    case AuditError::Code::kStuck: return "stuck";
+    case AuditError::Code::kAborted: return "aborted";
+  }
+  return "?";
+}
+
+AuditError::AuditError(Code code, std::string summary, std::string diagnostic)
+    : std::runtime_error("AuditError[" + std::string(auditCodeName(code)) + "]: " + summary +
+                         (diagnostic.empty() ? "" : "\n" + diagnostic)),
+      code_(code),
+      summary_(std::move(summary)),
+      diagnostic_(std::move(diagnostic)) {}
+
+std::string Auditor::renderLocked() const {
+  std::string out = "=== msc::audit protocol state ===\n";
+  out += "ranks: " + std::to_string(nranks_) +
+         ", messages audited: " + std::to_string(messages_) +
+         ", wildcard candidates: " + std::to_string(wildcard_candidates_) + "\n";
+  for (int r = 0; r < nranks_; ++r) {
+    const RankState& rs = ranks_[static_cast<std::size_t>(r)];
+    out += "rank " + std::to_string(r) + ": ";
+    switch (rs.phase) {
+      case Phase::kRunning: out += "RUNNING"; break;
+      case Phase::kDone: out += "DONE"; break;
+      case Phase::kBlocked:
+        out += "BLOCKED in ";
+        if (rs.wait.op == OpKind::kBarrier) {
+          out += "barrier(gen " + std::to_string(rs.wait.barrier_gen) + ")";
+        } else {
+          out += std::string("recv(src=") +
+                 (rs.wait.src < 0 ? "any" : std::to_string(rs.wait.src)) +
+                 ", tag=" + (rs.wait.tag < 0 ? "any" : std::to_string(rs.wait.tag)) +
+                 ", expecting " + opKindName(rs.wait.op) + ")";
+        }
+        break;
+    }
+    out += " epoch=" + std::to_string(rs.epoch) + "\n";
+    if (!rs.history.empty()) {
+      out += "  recent ops (oldest first):\n";
+      for (const OpRecord& op : rs.history) {
+        out += std::string("    ") + (op.is_send ? "send " : "recv/enter ") +
+               opKindName(op.kind);
+        if (op.kind == OpKind::kBarrier) {
+          out += " epoch=" + std::to_string(op.epoch);
+        } else {
+          out += std::string(op.is_send ? " -> " : " <- ") + std::to_string(op.peer) +
+                 " tag=" + std::to_string(op.tag) + " epoch=" + std::to_string(op.epoch);
+        }
+        out += "\n";
+      }
+    }
+    const auto& box = mail_[static_cast<std::size_t>(r)];
+    if (!box.empty()) {
+      out += "  mailbox (" + std::to_string(box.size()) + " queued):\n";
+      for (const MsgInfo& m : box)
+        out += "    [seq " + std::to_string(m.seq) + "] src=" + std::to_string(m.src) +
+               " tag=" + std::to_string(m.tag) + " " + opKindName(m.kind) +
+               " epoch=" + std::to_string(m.epoch) + " " + std::to_string(m.bytes) +
+               " bytes\n";
+    }
+  }
+  if (opts_.track_ownership) {
+    out += "allocation accounting (par::Bytes, bytes since run start):\n";
+    for (int r = 0; r < nranks_; ++r)
+      out += "  rank " + std::to_string(r) +
+             ": allocated=" + std::to_string(AllocTracking::allocatedBytes(r)) +
+             " freed=" + std::to_string(AllocTracking::freedBytes(r)) + "\n";
+  }
+  for (const std::string& n : notes_) out += "note: " + n + "\n";
+  return out;
+}
+
+}  // namespace msc::audit

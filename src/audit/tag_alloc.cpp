@@ -1,0 +1,114 @@
+#include "audit/tag_alloc.hpp"
+
+#include <mutex>
+
+namespace msc::audit {
+
+namespace {
+
+/// Cache-line padded per-rank byte counters, so concurrent ranks
+/// never contend while tracking.
+struct alignas(64) RankBytes {
+  std::atomic<std::int64_t> allocated{0};
+  std::atomic<std::int64_t> freed{0};
+};
+
+/// All mutable tracking state lives in one leaked singleton: the
+/// allocator can be called from detached/exiting threads during
+/// static destruction, so the state must never be torn down.
+struct State {
+  std::mutex mu;
+  int refcount = 0;
+  /// Grown under mu (by replacement, old vector leaked so racing
+  /// readers stay valid); read lock-free on the allocation path.
+  std::atomic<std::vector<RankBytes>*> counters{nullptr};
+  std::vector<AllocTracking::Violation> violations;
+};
+
+State& state() {
+  // msc-lint: allow(naked-new): intentionally leaked singleton; see State.
+  static State* s = new State();
+  return *s;
+}
+
+thread_local int t_rank = kUntagged;  // msc-lint: allow(mutable-global): per-thread rank tag, the allocator's only channel to know "who is freeing"; thread_local by design.
+
+}  // namespace
+
+std::atomic<bool> AllocTracking::enabled_{false};  // msc-lint: allow(mutable-global): process-wide opt-in switch read on the allocation fast path; guarded by State::mu for writes.
+
+void AllocTracking::enable(int nranks) {
+  State& s = state();
+  const std::lock_guard lock(s.mu);
+  std::vector<RankBytes>* c = s.counters.load(std::memory_order_relaxed);
+  if (!c || static_cast<int>(c->size()) < nranks) {
+    // msc-lint: allow(naked-new): see above.
+    c = new std::vector<RankBytes>(static_cast<std::size_t>(nranks));
+    s.counters.store(c, std::memory_order_release);
+  }
+  if (s.refcount++ == 0) {
+    for (RankBytes& rb : *c) {
+      rb.allocated.store(0, std::memory_order_relaxed);
+      rb.freed.store(0, std::memory_order_relaxed);
+    }
+    s.violations.clear();
+    enabled_.store(true, std::memory_order_release);
+  }
+}
+
+void AllocTracking::disable() {
+  State& s = state();
+  const std::lock_guard lock(s.mu);
+  if (s.refcount > 0 && --s.refcount == 0) enabled_.store(false, std::memory_order_release);
+}
+
+void AllocTracking::setThreadRank(int rank) { t_rank = rank; }
+int AllocTracking::threadRank() { return t_rank; }
+
+void AllocTracking::adopt(void* data, int new_owner) {
+  if (!data) return;
+  auto* h = static_cast<detail::AllocHeader*>(data) - 1;
+  if (h->magic == detail::kAllocMagic) h->owner = new_owner;
+}
+
+void AllocTracking::onAlloc(int rank, std::size_t bytes) {
+  State& s = state();
+  std::vector<RankBytes>* c = s.counters.load(std::memory_order_acquire);
+  if (c && rank < static_cast<int>(c->size()))
+    (*c)[static_cast<std::size_t>(rank)].allocated.fetch_add(
+        static_cast<std::int64_t>(bytes), std::memory_order_relaxed);
+}
+
+void AllocTracking::onFree(int owner, int freer, std::size_t bytes) {
+  State& s = state();
+  if (owner >= 0 && owner != freer) {
+    const std::lock_guard lock(s.mu);
+    s.violations.push_back({owner, freer, bytes});
+  }
+  std::vector<RankBytes>* c = s.counters.load(std::memory_order_acquire);
+  if (c && freer < static_cast<int>(c->size()))
+    (*c)[static_cast<std::size_t>(freer)].freed.fetch_add(static_cast<std::int64_t>(bytes),
+                                                          std::memory_order_relaxed);
+}
+
+std::vector<AllocTracking::Violation> AllocTracking::drainViolations() {
+  State& s = state();
+  const std::lock_guard lock(s.mu);
+  std::vector<Violation> out = std::move(s.violations);
+  s.violations.clear();
+  return out;
+}
+
+std::int64_t AllocTracking::allocatedBytes(int rank) {
+  std::vector<RankBytes>* c = state().counters.load(std::memory_order_acquire);
+  if (!c || rank < 0 || rank >= static_cast<int>(c->size())) return 0;
+  return (*c)[static_cast<std::size_t>(rank)].allocated.load(std::memory_order_relaxed);
+}
+
+std::int64_t AllocTracking::freedBytes(int rank) {
+  std::vector<RankBytes>* c = state().counters.load(std::memory_order_acquire);
+  if (!c || rank < 0 || rank >= static_cast<int>(c->size())) return 0;
+  return (*c)[static_cast<std::size_t>(rank)].freed.load(std::memory_order_relaxed);
+}
+
+}  // namespace msc::audit

@@ -1,0 +1,138 @@
+/// \file tag_alloc.hpp
+/// Ownership-tagging allocator for message buffers (`par::Bytes`).
+///
+/// The runtime's share-nothing contract says a buffer is owned by the
+/// rank that allocated it until it is handed over through the
+/// sanctioned transmit path (mailbox enqueue -> dequeue). This
+/// allocator makes that checkable: every allocation carries a small
+/// header recording the owning rank (the thread-local rank tag set by
+/// par::Runtime), the transmit path re-tags buffers as they change
+/// hands, and a free performed by a rank that does not own the buffer
+/// is recorded as an ownership violation for msc::audit to report.
+///
+/// Always compiled, runtime opt-in: when tracking is disabled (the
+/// default) the cost is the 16-byte header plus one relaxed atomic
+/// load per allocation; no shared state is touched.
+///
+/// This header is a leaf: it depends on nothing else in the repo so
+/// that `par` (and anything below it) can use the allocator without
+/// layering cycles.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace msc::audit {
+
+/// Owner tags stored in allocation headers. Ranks are >= 0.
+inline constexpr int kUntagged = -1;   ///< allocated outside any rank, or tracking off
+inline constexpr int kInTransit = -2;  ///< sitting in a mailbox between ranks
+
+/// Process-wide switchboard for the tagging allocator. Enabled by
+/// par::Runtime::run while an Auditor with ownership tracking is
+/// attached; per-thread rank tags are set by the rank threads.
+class AllocTracking {
+ public:
+  /// A free of a buffer owned by one rank performed by a different
+  /// rank, outside the sanctioned transmit path.
+  struct Violation {
+    int owner;          ///< rank recorded in the allocation header
+    int freer;          ///< rank that performed the free
+    std::size_t bytes;  ///< allocation size
+  };
+
+  /// Start tracking (refcounted; nestable). Counter slots cover ranks
+  /// [0, nranks); enabling with a larger nranks grows the slots.
+  static void enable(int nranks);
+  /// End one enable(). Tracking stops when the refcount hits zero.
+  static void disable();
+  static bool enabled() { return enabled_.load(std::memory_order_acquire); }
+
+  /// Set/get the calling thread's rank tag (kUntagged = not a rank).
+  static void setThreadRank(int rank);
+  static int threadRank();
+
+  /// Re-tag a live allocation (sanctioned transmit path only).
+  /// `data` must be a pointer returned by TagAlloc::allocate, or null.
+  static void adopt(void* data, int new_owner);
+
+  /// Drain recorded cross-rank-free violations (oldest first).
+  static std::vector<Violation> drainViolations();
+
+  /// Bytes allocated / freed by rank since the outermost enable().
+  static std::int64_t allocatedBytes(int rank);
+  static std::int64_t freedBytes(int rank);
+
+ private:
+  template <class T>
+  friend struct TagAlloc;
+
+  static void onAlloc(int rank, std::size_t bytes);
+  static void onFree(int owner, int freer, std::size_t bytes);
+
+  static std::atomic<bool> enabled_;
+};
+
+namespace detail {
+/// Header prepended to every TagAlloc allocation. 16 bytes keeps the
+/// user pointer max_align_t-aligned on every platform we target.
+struct alignas(16) AllocHeader {
+  std::uint32_t magic;
+  std::int32_t owner;
+  std::uint64_t bytes;
+};
+inline constexpr std::uint32_t kAllocMagic = 0x4d534154;  // "MSAT"
+static_assert(sizeof(AllocHeader) == 16);
+}  // namespace detail
+
+/// Minimal allocator wrapper adding the ownership header. Stateless;
+/// all instances compare equal.
+template <class T>
+struct TagAlloc {
+  using value_type = T;
+
+  TagAlloc() = default;
+  template <class U>
+  TagAlloc(const TagAlloc<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    // msc-lint: allow(naked-new): this IS the allocator; everything
+    // else in the repo goes through containers that use it.
+    void* raw = ::operator new(bytes + sizeof(detail::AllocHeader));
+    auto* h = static_cast<detail::AllocHeader*>(raw);
+    h->magic = detail::kAllocMagic;
+    h->bytes = bytes;
+    if (AllocTracking::enabled()) {
+      const int rank = AllocTracking::threadRank();
+      h->owner = rank;
+      if (rank >= 0) AllocTracking::onAlloc(rank, bytes);
+    } else {
+      h->owner = kUntagged;
+    }
+    return static_cast<T*>(static_cast<void*>(h + 1));
+  }
+
+  void deallocate(T* p, std::size_t /*n*/) noexcept {
+    auto* h = static_cast<detail::AllocHeader*>(static_cast<void*>(p)) - 1;
+    if (AllocTracking::enabled() && h->magic == detail::kAllocMagic) {
+      const int freer = AllocTracking::threadRank();
+      const int owner = h->owner;
+      if (freer >= 0) {
+        AllocTracking::onFree(owner, freer, h->bytes);
+      }
+    }
+    // msc-lint: allow(naked-new): see allocate().
+    ::operator delete(static_cast<void*>(h));
+  }
+
+  template <class U>
+  bool operator==(const TagAlloc<U>&) const noexcept {
+    return true;
+  }
+};
+
+}  // namespace msc::audit

@@ -1,0 +1,83 @@
+/// \file wire.hpp
+/// Piggybacked protocol metadata for audited runs.
+///
+/// When an Auditor is attached, the runtime appends a fixed 24-byte
+/// trailer to every message carrying (collective epoch, op kind,
+/// source rank, user tag). The receiver strips and validates it:
+/// mismatched collectives, out-of-epoch receives and reserved-tag
+/// abuse are all detected from this trailer, Lamport-style — the
+/// epoch is a per-rank count of collective entries, so two ranks
+/// executing the same protocol present identical epochs at every
+/// matching collective.
+///
+/// The trailer lives at the *tail* of the payload so attaching and
+/// stripping are O(1) amortized (no memmove of user bytes).
+///
+/// Leaf header: no internal dependencies; operates on any
+/// std::vector<std::byte, A>.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+
+namespace msc::audit {
+
+/// What a message (or a blocking operation) is, protocol-wise.
+enum class OpKind : std::uint8_t {
+  kP2P = 0,            ///< user point-to-point send/recv
+  kGatherContrib = 1,  ///< non-root contribution inside gather()
+  kBcast = 2,          ///< root payload inside broadcast()
+  kBarrier = 3,        ///< no message; used in waits/history only
+};
+
+const char* opKindName(OpKind k);
+
+/// The appended trailer. Fixed wire layout (little-endian hosts
+/// only, like the rest of the repo's serialization).
+struct WireHeader {
+  std::int64_t epoch{0};  ///< sender's collective epoch at send time
+  std::int32_t src{0};    ///< sending rank
+  std::int32_t tag{0};    ///< tag as passed by the caller
+  OpKind kind{OpKind::kP2P};
+};
+
+inline constexpr std::size_t kWireHeaderBytes = 24;
+inline constexpr std::uint8_t kWireMagic = 0xA5;
+
+/// Append `h` to `b` (the audited send path).
+template <class ByteVec>
+void appendHeader(ByteVec& b, const WireHeader& h) {
+  const std::size_t base = b.size();
+  b.resize(base + kWireHeaderBytes);
+  std::byte* p = b.data() + base;
+  std::memcpy(p, &h.epoch, 8);
+  std::memcpy(p + 8, &h.src, 4);
+  std::memcpy(p + 12, &h.tag, 4);
+  p[16] = static_cast<std::byte>(h.kind);
+  // bytes 17..22 reserved (zeroed by resize's value-init)
+  p[23] = static_cast<std::byte>(kWireMagic);
+}
+
+/// Strip the trailer from `b` (the audited receive path). Throws
+/// std::runtime_error on a malformed trailer: that means a message
+/// bypassed the audited send path entirely.
+template <class ByteVec>
+WireHeader stripHeader(ByteVec& b) {
+  if (b.size() < kWireHeaderBytes ||
+      b[b.size() - 1] != static_cast<std::byte>(kWireMagic))
+    throw std::runtime_error(
+        "audit: message without a protocol trailer reached an audited receive "
+        "(send bypassed the audited runtime?)");
+  const std::byte* p = b.data() + (b.size() - kWireHeaderBytes);
+  WireHeader h;
+  std::memcpy(&h.epoch, p, 8);
+  std::memcpy(&h.src, p + 8, 4);
+  std::memcpy(&h.tag, p + 12, 4);
+  h.kind = static_cast<OpKind>(p[16]);
+  b.resize(b.size() - kWireHeaderBytes);
+  return h;
+}
+
+}  // namespace msc::audit

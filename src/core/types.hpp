@@ -31,8 +31,15 @@ struct Vec3i {
   friend constexpr Vec3i operator*(Vec3i a, std::int64_t s) { return {a.x * s, a.y * s, a.z * s}; }
   friend constexpr bool operator==(Vec3i a, Vec3i b) = default;
 
-  /// Product of components (e.g. number of grid points).
-  constexpr std::int64_t volume() const { return x * y * z; }
+  /// Product of components (e.g. number of grid points). Multiplies
+  /// in uint64 so hostile dims (fuzzed/corrupt headers) wrap instead
+  /// of overflowing signed; consumers must validate the result
+  /// against the actual buffer anyway.
+  constexpr std::int64_t volume() const {
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(x) *
+                                     static_cast<std::uint64_t>(y) *
+                                     static_cast<std::uint64_t>(z));
+  }
 
   friend std::ostream& operator<<(std::ostream& os, Vec3i v) {
     return os << "(" << v.x << "," << v.y << "," << v.z << ")";

@@ -117,7 +117,7 @@ void parallelWriteComplexFile(par::Comm& comm, const std::string& path, int tota
                               const std::vector<WriteContribution>& mine) {
   // Phase 1: rank 0 gathers (slot, size) pairs and computes offsets.
   {
-    std::vector<std::byte> sizes(mine.size() * (sizeof(std::int32_t) + sizeof(std::uint64_t)));
+    par::Bytes sizes(mine.size() * (sizeof(std::int32_t) + sizeof(std::uint64_t)));
     std::size_t o = 0;
     for (const WriteContribution& c : mine) {
       const auto slot = static_cast<std::int32_t>(c.slot);

@@ -64,6 +64,8 @@ class Reader {
   }
   void getBytes(void* p, std::size_t n) {
     require(n);
+    if (n == 0) return;  // an empty vector's data() may be null, and
+                         // memcpy's arguments are declared nonnull
     std::memcpy(p, in_.data() + pos_, n);
     pos_ += n;
   }

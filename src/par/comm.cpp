@@ -1,66 +1,131 @@
 #include "par/comm.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <exception>
 #include <thread>
 
+#include "audit/audit.hpp"
 #include "obs/obs.hpp"
 
 namespace msc::par {
 
+namespace {
+
+/// Audited blocking waits poll at this period: the auditor's failed()
+/// latch has no handle on the runtime's condition variables, so a
+/// rank learns that another rank aborted within one poll. Detection
+/// itself is event-driven (it runs the moment a rank blocks); the
+/// poll only bounds the unwind latency of the *other* ranks.
+constexpr auto kAuditPoll = std::chrono::milliseconds(20);
+
+double steadySeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 void Comm::send(int dst, int tag, Bytes payload) const {
-  rt_->send(rank_, dst, tag, std::move(payload));
+  if (dst < 0 || dst >= size_)
+    throw std::invalid_argument("Comm::send: dst " + std::to_string(dst) +
+                                " out of range [0, " + std::to_string(size_) + ")");
+  if (tag < 0)
+    throw std::invalid_argument(
+        "Comm::send: tag " + std::to_string(tag) +
+        " is reserved: user tags must be >= 0 (negative tags belong to runtime "
+        "framing: kAny = -1, kTagGather = -1000, kTagBcast = -1001)");
+  rt_->send(rank_, dst, tag, std::move(payload), audit::OpKind::kP2P);
 }
 
 Bytes Comm::recv(int src, int tag, int* out_src, int* out_tag) const {
-  return rt_->recv(rank_, src, tag, out_src, out_tag);
+  if (src != kAny && (src < 0 || src >= size_))
+    throw std::invalid_argument("Comm::recv: src " + std::to_string(src) +
+                                " out of range [0, " + std::to_string(size_) +
+                                ") and not kAny");
+  if (tag != kAny && tag < 0)
+    throw std::invalid_argument(
+        "Comm::recv: tag " + std::to_string(tag) +
+        " is reserved: user tags must be >= 0 (negative tags belong to runtime "
+        "framing: kAny = -1, kTagGather = -1000, kTagBcast = -1001)");
+  return rt_->recv(rank_, src, tag, out_src, out_tag, audit::OpKind::kP2P, -1);
 }
 
-bool Comm::probe(int src, int tag) const { return rt_->probe(rank_, src, tag); }
+bool Comm::probe(int src, int tag) const {
+  if (src != kAny && (src < 0 || src >= size_))
+    throw std::invalid_argument("Comm::probe: src " + std::to_string(src) +
+                                " out of range [0, " + std::to_string(size_) +
+                                ") and not kAny");
+  if (tag != kAny && tag < 0)
+    throw std::invalid_argument("Comm::probe: tag " + std::to_string(tag) +
+                                " is reserved: user tags must be >= 0");
+  return rt_->probe(rank_, src, tag);
+}
 
 void Comm::barrier() const { rt_->barrier(rank_); }
 
 std::vector<Bytes> Comm::gather(int root, Bytes payload) const {
+  if (root < 0 || root >= size_)
+    throw std::invalid_argument("Comm::gather: root " + std::to_string(root) +
+                                " out of range [0, " + std::to_string(size_) + ")");
   obs::Tracer::Span sp;
   if (rt_->tracer_) {
     sp = rt_->tracer_->span(rank_, "gather", "comm");
     sp.arg("root", root).arg("bytes", static_cast<std::int64_t>(payload.size()));
   }
+  std::int64_t epoch = -1;
+  if (rt_->auditor_)
+    epoch = rt_->auditor_->onCollectiveEnter(rank_, audit::OpKind::kGatherContrib, root);
   std::vector<Bytes> out;
   if (rank_ == root) {
     out.resize(static_cast<std::size_t>(size_));
     out[static_cast<std::size_t>(root)] = std::move(payload);
-    for (int i = 0; i < size_ - 1; ++i) {
-      int src = kAny;
-      Bytes b = recv(kAny, kTagGather, &src, nullptr);
-      out[static_cast<std::size_t>(src)] = std::move(b);
+    // Receive per source rather than by arrival order: per-source
+    // FIFO then guarantees each gather consumes exactly its own
+    // contribution even when the same root gathers back-to-back and
+    // a fast rank's next contribution is already queued.
+    for (int src = 0; src < size_; ++src) {
+      if (src == root) continue;
+      out[static_cast<std::size_t>(src)] = rt_->recv(
+          rank_, src, kTagGather, nullptr, nullptr, audit::OpKind::kGatherContrib, epoch);
     }
   } else {
-    send(root, kTagGather, std::move(payload));
+    rt_->send(rank_, root, kTagGather, std::move(payload), audit::OpKind::kGatherContrib);
   }
   return out;
 }
 
 Bytes Comm::broadcast(int root, Bytes payload) const {
+  if (root < 0 || root >= size_)
+    throw std::invalid_argument("Comm::broadcast: root " + std::to_string(root) +
+                                " out of range [0, " + std::to_string(size_) + ")");
   obs::Tracer::Span sp;
   if (rt_->tracer_) {
     sp = rt_->tracer_->span(rank_, "broadcast", "comm");
     sp.arg("root", root);
   }
+  std::int64_t epoch = -1;
+  if (rt_->auditor_)
+    epoch = rt_->auditor_->onCollectiveEnter(rank_, audit::OpKind::kBcast, root);
   if (rank_ == root) {
     for (int dst = 0; dst < size_; ++dst)
-      if (dst != root) send(dst, kTagBcast, payload);
+      if (dst != root) rt_->send(rank_, dst, kTagBcast, payload, audit::OpKind::kBcast);
     return payload;
   }
-  return recv(root, kTagBcast);
+  return rt_->recv(rank_, root, kTagBcast, nullptr, nullptr, audit::OpKind::kBcast, epoch);
 }
 
-Runtime::Runtime(int nranks, obs::Tracer* tracer)
-    : boxes_(static_cast<std::size_t>(nranks)), nranks_(nranks), tracer_(tracer) {
+Runtime::Runtime(int nranks, obs::Tracer* tracer, audit::Auditor* auditor)
+    : boxes_(static_cast<std::size_t>(nranks)),
+      nranks_(nranks),
+      tracer_(tracer),
+      auditor_(auditor) {
   assert(!tracer || tracer->nranks() >= nranks);
+  assert(!auditor || auditor->nranks() >= nranks);
 }
 
-void Runtime::send(int src, int dst, int tag, Bytes payload) {
+void Runtime::send(int src, int dst, int tag, Bytes payload, audit::OpKind kind) {
   assert(dst >= 0 && dst < nranks_);
   obs::Tracer::Span sp;
   const auto nbytes = static_cast<std::int64_t>(payload.size());
@@ -69,9 +134,27 @@ void Runtime::send(int src, int dst, int tag, Bytes payload) {
     sp.arg("dst", dst).arg("bytes", nbytes);
   }
   Mailbox& box = boxes_[static_cast<std::size_t>(dst)];
-  {
+  if (auditor_) {
+    audit::WireHeader h;
+    h.epoch = auditor_->epochOf(src);
+    h.src = src;
+    h.tag = tag;
+    h.kind = kind;
+    audit::appendHeader(payload, h);
+    // Sanctioned handoff: the buffer stops belonging to `src` the
+    // moment it enters the mailbox.
+    audit::AllocTracking::adopt(payload.data(), audit::kInTransit);
+    {
+      const std::lock_guard lock(box.mu);
+      // Mirror registration under the mailbox lock so the auditor's
+      // view is ordered exactly like the real queue.
+      const std::uint64_t seq =
+          auditor_->onSend(src, dst, tag, kind, static_cast<std::size_t>(nbytes), h.epoch);
+      box.messages.push_back({src, tag, seq, std::move(payload)});
+    }
+  } else {
     const std::lock_guard lock(box.mu);
-    box.messages.push_back({src, tag, std::move(payload)});
+    box.messages.push_back({src, tag, 0, std::move(payload)});
   }
   box.cv.notify_all();
   if (tracer_) {
@@ -80,7 +163,8 @@ void Runtime::send(int src, int dst, int tag, Bytes payload) {
   }
 }
 
-Bytes Runtime::recv(int self, int src, int tag, int* out_src, int* out_tag) {
+Bytes Runtime::recv(int self, int src, int tag, int* out_src, int* out_tag,
+                    audit::OpKind expect, std::int64_t expect_epoch) {
   obs::Tracer::Span sp;
   if (tracer_) {
     sp = tracer_->span(self, "recv", "comm");
@@ -88,6 +172,8 @@ Bytes Runtime::recv(int self, int src, int tag, int* out_src, int* out_tag) {
   }
   Mailbox& box = boxes_[static_cast<std::size_t>(self)];
   double waited = 0;
+  bool registered = false;  // audited: this rank is recorded as blocked
+  double block_start = 0;
   std::unique_lock lock(box.mu);
   for (;;) {
     for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
@@ -95,6 +181,29 @@ Bytes Runtime::recv(int self, int src, int tag, int* out_src, int* out_tag) {
         if (out_src) *out_src = it->src;
         if (out_tag) *out_tag = it->tag;
         Bytes b = std::move(it->payload);
+        if (auditor_) {
+          int alternatives = 0;
+          if (src == kAny)
+            for (auto jt = box.messages.begin(); jt != box.messages.end(); ++jt)
+              if (jt != it && jt->src != it->src && (tag == kAny || jt->tag == tag))
+                ++alternatives;
+          const std::uint64_t seq = it->seq;
+          const int msg_src = it->src;
+          const int msg_tag = it->tag;
+          box.messages.erase(it);
+          auditor_->onDequeue(self, seq, alternatives);
+          if (registered) auditor_->onUnblocked(self);
+          lock.unlock();
+          audit::AllocTracking::adopt(b.data(), self);
+          const audit::WireHeader h = audit::stripHeader(b);
+          auditor_->checkMessage(self, expect, expect_epoch, msg_src, msg_tag, h);
+          if (tracer_) {
+            tracer_->count(self, obs::Counter::kMessagesReceived, 1);
+            tracer_->count(self, obs::Counter::kBytesReceived, static_cast<double>(b.size()));
+            if (waited > 0) tracer_->count(self, obs::Counter::kMailboxWaitSeconds, waited);
+          }
+          return b;
+        }
         box.messages.erase(it);
         if (tracer_) {
           lock.unlock();
@@ -105,7 +214,23 @@ Bytes Runtime::recv(int self, int src, int tag, int* out_src, int* out_tag) {
         return b;
       }
     }
-    if (tracer_) {
+    if (auditor_) {
+      if (!registered) {
+        audit::Auditor::Wait w;
+        w.op = expect;
+        w.src = src;
+        w.tag = tag;
+        auditor_->onBlocked(self, w);  // runs deadlock detection; may throw
+        registered = true;
+        block_start = steadySeconds();
+      }
+      if (auditor_->failed()) auditor_->onAborted(self);
+      const double t0 = tracer_ ? tracer_->now() : 0;
+      box.cv.wait_for(lock, kAuditPoll);
+      if (tracer_) waited += tracer_->now() - t0;
+      if (steadySeconds() - block_start > auditor_->options().block_timeout_seconds)
+        auditor_->onStuck(self);
+    } else if (tracer_) {
       const double t0 = tracer_->now();
       box.cv.wait(lock);
       waited += tracer_->now() - t0;
@@ -127,13 +252,31 @@ void Runtime::barrier(int self) {
   obs::Tracer::Span sp;
   const double t0 = tracer_ ? tracer_->now() : 0;
   if (tracer_) sp = tracer_->span(self, "barrier", "comm");
+  if (auditor_) auditor_->onCollectiveEnter(self, audit::OpKind::kBarrier, -1);
   {
     std::unique_lock lock(barrier_mu_);
     const std::int64_t gen = barrier_gen_;
     if (++barrier_count_ == nranks_) {
       barrier_count_ = 0;
       ++barrier_gen_;
+      // Tell the auditor before anyone can observe the new generation:
+      // ranks still parked at `gen` are released, not deadlocked, even
+      // though their phase stays kBlocked until they actually wake.
+      if (auditor_) auditor_->onBarrierReleased(gen);
       barrier_cv_.notify_all();
+    } else if (auditor_) {
+      audit::Auditor::Wait w;
+      w.op = audit::OpKind::kBarrier;
+      w.barrier_gen = gen;
+      auditor_->onBlocked(self, w);  // runs deadlock detection; may throw
+      const double block_start = steadySeconds();
+      while (barrier_gen_ == gen) {
+        if (auditor_->failed()) auditor_->onAborted(self);
+        barrier_cv_.wait_for(lock, kAuditPoll);
+        if (steadySeconds() - block_start > auditor_->options().block_timeout_seconds)
+          auditor_->onStuck(self);
+      }
+      auditor_->onUnblocked(self);
     } else {
       barrier_cv_.wait(lock, [&] { return barrier_gen_ != gen; });
     }
@@ -141,27 +284,58 @@ void Runtime::barrier(int self) {
   if (tracer_) tracer_->count(self, obs::Counter::kBarrierWaitSeconds, tracer_->now() - t0);
 }
 
-void Runtime::run(int nranks, const std::function<void(Comm&)>& fn, obs::Tracer* tracer) {
+void Runtime::run(int nranks, const std::function<void(Comm&)>& fn, obs::Tracer* tracer,
+                  audit::Auditor* auditor) {
   assert(nranks >= 1);
-  Runtime rt(nranks, tracer);
+  Runtime rt(nranks, tracer, auditor);
+  const bool track = auditor && auditor->options().track_ownership;
+  if (track) audit::AllocTracking::enable(nranks);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
   std::mutex err_mu;
   std::exception_ptr first_error;
 
   for (int r = 0; r < nranks; ++r) {
-    threads.emplace_back([&rt, &fn, r, nranks, &err_mu, &first_error] {
+    threads.emplace_back([&rt, &fn, r, nranks, &err_mu, &first_error, auditor, track] {
+      if (track) audit::AllocTracking::setThreadRank(r);
       Comm comm(rt, r, nranks);
       try {
         fn(comm);
+        // A clean exit can still prove other ranks deadlocked (they
+        // may be waiting on this rank forever).
+        if (auditor) auditor->onDone(r);
       } catch (...) {
-        const std::lock_guard lock(err_mu);
-        if (!first_error) first_error = std::current_exception();
+        {
+          const std::lock_guard lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        if (auditor) {
+          // A throwing rank never sends again either; let the
+          // detector release anyone waiting on it. Its own error is
+          // already latched, so a second one is dropped here.
+          try {
+            auditor->onDone(r);
+          } catch (...) {
+          }
+        }
       }
+      if (track) audit::AllocTracking::setThreadRank(audit::kUntagged);
     });
   }
   for (std::thread& t : threads) t.join();
+  // End-of-run accounting: leaked mailbox messages and cross-rank
+  // frees fail the run, but a rank's own error stays the primary one.
+  std::exception_ptr audit_error;
+  if (auditor && !first_error) {
+    try {
+      auditor->finalize();
+    } catch (...) {
+      audit_error = std::current_exception();
+    }
+  }
+  if (track) audit::AllocTracking::disable();
   if (first_error) std::rethrow_exception(first_error);
+  if (audit_error) std::rethrow_exception(audit_error);
 }
 
 }  // namespace msc::par

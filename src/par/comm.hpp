@@ -1,10 +1,19 @@
 /// \file comm.hpp
 /// In-process message-passing runtime: the repository's substitute
 /// for the MPI subset the paper uses (point-to-point send/recv,
-/// barrier, gather). Each *rank* is a thread; ranks share nothing by
-/// convention and communicate only through deep-copied byte messages
-/// delivered via per-rank mailboxes, so the code exercises the same
+/// barrier, gather). Each *rank* is a thread; ranks share nothing and
+/// communicate only through deep-copied byte messages delivered via
+/// per-rank mailboxes, so the code exercises the same
 /// pack -> transmit -> unpack paths as a distributed run.
+///
+/// The share-nothing discipline is a checked contract, not just a
+/// convention: attach an audit::Auditor to Runtime::run and every
+/// blocking operation feeds a waits-for deadlock detector, every
+/// message carries a piggybacked protocol trailer (collective epoch +
+/// op kind) validated at the receiver, and Runtime::run fails if
+/// messages leak in a mailbox or a buffer is freed off its owning
+/// rank (see src/audit/). With no auditor attached each operation
+/// pays one branch, exactly like the obs::Tracer hook.
 ///
 /// See DESIGN.md, "Substitutions", for why this preserves the
 /// behaviour the paper's evaluation measures.
@@ -21,8 +30,14 @@
 #include <string>
 #include <vector>
 
+#include "audit/tag_alloc.hpp"
+#include "audit/wire.hpp"
+
 namespace msc::obs {
 class Tracer;
+}
+namespace msc::audit {
+class Auditor;
 }
 
 namespace msc::par {
@@ -34,7 +49,10 @@ inline constexpr int kAny = -1;
 inline constexpr int kTagGather = -1000;
 inline constexpr int kTagBcast = -1001;
 
-using Bytes = std::vector<std::byte>;
+/// Message payload. The ownership-tagging allocator is inert until an
+/// Auditor with ownership tracking is attached to Runtime::run; see
+/// audit/tag_alloc.hpp for the contract it then enforces.
+using Bytes = std::vector<std::byte, audit::TagAlloc<std::byte>>;
 
 class Runtime;
 
@@ -46,14 +64,21 @@ class Comm {
   int size() const { return size_; }
 
   /// Deliver a message (deep copy) to `dst`'s mailbox. Messages from
-  /// the same (src, tag) are received in send order.
+  /// the same (src, tag) are received in send order. Throws
+  /// std::invalid_argument for an out-of-range `dst` or a negative
+  /// `tag`: tags < 0 are reserved for runtime framing (kAny = -1,
+  /// kTagGather = -1000, kTagBcast = -1001), so user traffic can
+  /// never collide with the collectives.
   void send(int dst, int tag, Bytes payload) const;
 
   /// Block until a message matching (src, tag) arrives (kAny wildcards
-  /// allowed). Outputs the actual source/tag if requested.
+  /// allowed). Outputs the actual source/tag if requested. Throws
+  /// std::invalid_argument for an out-of-range `src` or a reserved
+  /// (negative, non-kAny) `tag`.
   Bytes recv(int src, int tag, int* out_src = nullptr, int* out_tag = nullptr) const;
 
-  /// True if a matching message is already queued.
+  /// True if a matching message is already queued. Same argument
+  /// validation as recv().
   bool probe(int src, int tag) const;
 
   /// Synchronize all ranks.
@@ -109,8 +134,14 @@ class Runtime {
   /// broadcast records a span on its rank's track plus message,
   /// byte, and blocked-time counters. With a null tracer the
   /// instrumentation reduces to one branch per operation.
+  ///
+  /// If `auditor` is non-null (same lifetime/slot contract), the run
+  /// is protocol-audited: provable deadlocks, mismatched collectives,
+  /// out-of-epoch receives, leaked mailbox messages and cross-rank
+  /// buffer frees abort the run with a structured audit::AuditError
+  /// instead of hanging or corrupting silently.
   static void run(int nranks, const std::function<void(Comm&)>& fn,
-                  obs::Tracer* tracer = nullptr);
+                  obs::Tracer* tracer = nullptr, audit::Auditor* auditor = nullptr);
 
  private:
   friend class Comm;
@@ -118,6 +149,7 @@ class Runtime {
   struct Message {
     int src;
     int tag;
+    std::uint64_t seq;  ///< auditor sequence id (0 when unaudited)
     Bytes payload;
   };
   struct Mailbox {
@@ -126,10 +158,11 @@ class Runtime {
     std::deque<Message> messages;
   };
 
-  Runtime(int nranks, obs::Tracer* tracer);
+  Runtime(int nranks, obs::Tracer* tracer, audit::Auditor* auditor);
 
-  void send(int src, int dst, int tag, Bytes payload);
-  Bytes recv(int self, int src, int tag, int* out_src, int* out_tag);
+  void send(int src, int dst, int tag, Bytes payload, audit::OpKind kind);
+  Bytes recv(int self, int src, int tag, int* out_src, int* out_tag, audit::OpKind expect,
+             std::int64_t expect_epoch);
   bool probe(int self, int src, int tag);
   void barrier(int self);
 
@@ -139,7 +172,8 @@ class Runtime {
   int barrier_count_{0};
   std::int64_t barrier_gen_{0};
   int nranks_;
-  obs::Tracer* tracer_{nullptr};  ///< non-owning; null = tracing off
+  obs::Tracer* tracer_{nullptr};      ///< non-owning; null = tracing off
+  audit::Auditor* auditor_{nullptr};  ///< non-owning; null = auditing off
 };
 
 }  // namespace msc::par

@@ -15,6 +15,10 @@
 #include "obs/obs.hpp"
 #include "synth/fields.hpp"
 
+namespace msc::audit {
+class Auditor;
+}
+
 namespace msc::pipeline {
 
 enum class GradientAlgorithm {
@@ -50,6 +54,14 @@ struct PipelineConfig {
   /// for every stage of Algorithm 1 plus comm/byte counters. Null
   /// (the default) keeps the zero-overhead path.
   obs::Tracer* tracer{nullptr};
+  /// Protocol auditing: when non-null (non-owning; must outlive the
+  /// run and have >= nranks slots), the threaded driver's runtime is
+  /// audited -- deadlocks, mismatched collectives, mailbox leaks and
+  /// cross-rank buffer frees raise audit::AuditError instead of
+  /// hanging or corrupting. Null (the default) keeps the
+  /// one-branch-per-op path. The simulated driver has no real
+  /// communication, so the knob only affects runThreadedPipeline.
+  audit::Auditor* auditor{nullptr};
 };
 
 /// Compute one block's complex from already-loaded samples:

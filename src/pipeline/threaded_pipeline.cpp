@@ -198,7 +198,7 @@ ThreadedResult runThreadedPipeline(const PipelineConfig& cfg) {
     }
     write_span.end();
     comm.barrier();
-  }, cfg.tracer);
+  }, cfg.tracer, cfg.auditor);
 
   return result;
 }

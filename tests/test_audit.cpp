@@ -1,0 +1,235 @@
+/// Seeded-defect tests for the protocol auditor (src/audit): each
+/// classic par-runtime bug — cyclic receives, mismatched collectives,
+/// reserved-tag abuse, leaked mailbox messages, cross-rank frees — is
+/// planted deliberately and must be *diagnosed* (structured
+/// AuditError, quickly) rather than hang the run. A final property
+/// test checks the auditor is an observer: audited and unaudited
+/// pipeline runs produce byte-identical outputs on fuzz seeds.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <optional>
+#include <string>
+
+#include "audit/audit.hpp"
+#include "check/fuzz.hpp"
+#include "par/comm.hpp"
+#include "pipeline/threaded_pipeline.hpp"
+
+namespace msc {
+namespace {
+
+using audit::AuditError;
+using Code = AuditError::Code;
+
+double secondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+audit::Auditor::Options fastOptions() {
+  audit::Auditor::Options o;
+  // Backstop only; the structural detectors must fire long before.
+  o.block_timeout_seconds = 5.0;
+  return o;
+}
+
+/// Runs fn under an auditor, expecting an AuditError. Returns the
+/// error and asserts it surfaced within `budget` seconds.
+AuditError expectAuditError(int nranks, const std::function<void(par::Comm&)>& fn,
+                            audit::Auditor& auditor, double budget = 2.0) {
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    par::Runtime::run(nranks, fn, nullptr, &auditor);
+  } catch (const AuditError& e) {
+    EXPECT_LT(secondsSince(t0), budget) << "detection was not fast";
+    return e;
+  }
+  ADD_FAILURE() << "expected an AuditError, run completed cleanly";
+  return AuditError(Code::kAborted, "missing", "");
+}
+
+TEST(Audit, CyclicRecvDeadlockDiagnosedNotHung) {
+  // Ranks 0 and 1 each wait for the other to speak first.
+  audit::Auditor auditor(2, fastOptions());
+  const AuditError e = expectAuditError(
+      2, [](par::Comm& c) { (void)c.recv(1 - c.rank(), /*tag=*/7); }, auditor);
+  // The detecting rank throws kDeadlock; the peer unwinds with
+  // kAborted carrying the same summary. Either may win the race to be
+  // the run's primary error.
+  EXPECT_TRUE(e.code() == Code::kDeadlock || e.code() == Code::kAborted)
+      << audit::auditCodeName(e.code());
+  EXPECT_NE(e.summary().find("deadlock"), std::string::npos) << e.summary();
+  if (e.code() == Code::kDeadlock) {
+    // Structured state: both ranks listed as blocked receives.
+    EXPECT_NE(e.diagnostic().find("rank 0"), std::string::npos);
+    EXPECT_NE(e.diagnostic().find("rank 1"), std::string::npos);
+    EXPECT_NE(e.diagnostic().find("BLOCKED"), std::string::npos) << e.diagnostic();
+  }
+}
+
+TEST(Audit, BarrierVsGatherMismatchDiagnosed) {
+  // Rank 0 thinks the protocol says "gather at 0"; ranks 1 and 2
+  // think it says "barrier". Nobody can proceed: 0 waits on 1's
+  // contribution, 1 and 2 wait on 0 at the barrier.
+  audit::Auditor auditor(3, fastOptions());
+  const AuditError e = expectAuditError(
+      3,
+      [](par::Comm& c) {
+        if (c.rank() == 0) {
+          (void)c.gather(0, par::Bytes(8));
+        } else {
+          c.barrier();
+        }
+      },
+      auditor);
+  EXPECT_TRUE(e.code() == Code::kDeadlock || e.code() == Code::kAborted)
+      << audit::auditCodeName(e.code());
+  EXPECT_NE(e.summary().find("deadlock"), std::string::npos) << e.summary();
+  if (e.code() == Code::kDeadlock) {
+    EXPECT_NE(e.diagnostic().find("barrier"), std::string::npos) << e.diagnostic();
+  }
+}
+
+TEST(Audit, MisorderedCollectivesDiagnosedAsEpochMismatch) {
+  // Rank 0 runs broadcast-then-gather, ranks 1 and 2 run
+  // gather-then-broadcast. The piggybacked epoch exposes the
+  // disagreement at the first cross-order receive.
+  audit::Auditor auditor(3, fastOptions());
+  const AuditError e = expectAuditError(
+      3,
+      [](par::Comm& c) {
+        if (c.rank() == 0) {
+          (void)c.broadcast(0, par::Bytes(4));
+          (void)c.gather(0, par::Bytes(4));
+        } else {
+          (void)c.gather(0, par::Bytes(4));
+          (void)c.broadcast(0, par::Bytes(4));
+        }
+      },
+      auditor);
+  EXPECT_TRUE(e.code() == Code::kEpochMismatch || e.code() == Code::kAborted)
+      << audit::auditCodeName(e.code());
+  EXPECT_NE(e.summary().find("epoch"), std::string::npos) << e.summary();
+}
+
+TEST(Audit, ReservedTagSendAndRecvThrow) {
+  // Unconditional (no auditor needed): user tags must be >= 0.
+  EXPECT_THROW(
+      par::Runtime::run(1, [](par::Comm& c) { c.send(0, -3, par::Bytes(1)); }),
+      std::invalid_argument);
+  EXPECT_THROW(
+      par::Runtime::run(1, [](par::Comm& c) { (void)c.recv(0, par::kTagGather); }),
+      std::invalid_argument);
+  try {
+    par::Runtime::run(1, [](par::Comm& c) { c.send(0, par::kTagBcast, par::Bytes(1)); });
+    FAIL() << "reserved-tag send must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("reserved"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Audit, MessageLeftInMailboxFailsTheRun) {
+  // Rank 0 sends; rank 1 forgets to receive. Unaudited this is silent
+  // message loss; audited it fails finalize() with the mailbox dump.
+  audit::Auditor auditor(2, fastOptions());
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    par::Runtime::run(
+        2,
+        [](par::Comm& c) {
+          if (c.rank() == 0) c.sendValue<int>(1, /*tag=*/3, 42);
+        },
+        nullptr, &auditor);
+    FAIL() << "expected kMailboxLeak";
+  } catch (const AuditError& e) {
+    EXPECT_LT(secondsSince(t0), 2.0);
+    EXPECT_EQ(e.code(), Code::kMailboxLeak) << audit::auditCodeName(e.code());
+    EXPECT_NE(e.summary().find("mailbox leak"), std::string::npos) << e.summary();
+    // The diagnostic names the stuck message (dst rank 1, tag 3).
+    EXPECT_NE(e.diagnostic().find("tag=3"), std::string::npos) << e.diagnostic();
+  }
+}
+
+TEST(Audit, CrossRankFreeFailsTheRun) {
+  // A buffer allocated on rank 0 escapes through shared memory and is
+  // freed on rank 1 — exactly the aliasing the transmit path exists
+  // to prevent. Barriers order the handoff so the defect is
+  // deterministic.
+  audit::Auditor auditor(2, fastOptions());
+  std::optional<par::Bytes> escaped;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    par::Runtime::run(
+        2,
+        [&escaped](par::Comm& c) {
+          if (c.rank() == 0) escaped.emplace(1024);
+          c.barrier();
+          if (c.rank() == 1) escaped.reset();
+          c.barrier();
+        },
+        nullptr, &auditor);
+    FAIL() << "expected kOwnership";
+  } catch (const AuditError& e) {
+    EXPECT_LT(secondsSince(t0), 2.0);
+    EXPECT_EQ(e.code(), Code::kOwnership) << audit::auditCodeName(e.code());
+    EXPECT_NE(e.summary().find("allocated on rank 0"), std::string::npos) << e.summary();
+    EXPECT_NE(e.summary().find("freed on rank 1"), std::string::npos) << e.summary();
+  }
+}
+
+TEST(Audit, CleanRunCountsWildcardCandidates) {
+  // Two sources race into one wildcard receive: legal, but flagged as
+  // a nondeterminism candidate for the report.
+  audit::Auditor auditor(3, fastOptions());
+  par::Runtime::run(
+      3,
+      [](par::Comm& c) {
+        if (c.rank() != 0) c.sendValue<int>(0, /*tag=*/5, c.rank());
+        c.barrier();  // both messages are queued before rank 0 receives
+        if (c.rank() == 0) {
+          (void)c.recv(par::kAny, 5);
+          (void)c.recv(par::kAny, 5);
+        }
+      },
+      nullptr, &auditor);
+  EXPECT_FALSE(auditor.failed());
+  EXPECT_GE(auditor.wildcardCandidates(), 1);
+  EXPECT_GE(auditor.messagesAudited(), 2);
+  EXPECT_NE(auditor.report().find("wildcard"), std::string::npos);
+}
+
+TEST(Audit, AuditedPipelineIsByteIdenticalToUnaudited) {
+  // The auditor must be a pure observer: piggybacked trailers,
+  // per-source gather and ownership tagging may not change a single
+  // output byte. Differential check over deterministic fuzz cases.
+  for (unsigned seed : {1u, 7u, 13u, 21u, 34u}) {
+    const check::FuzzCase c = check::caseFromSeed(seed);
+    pipeline::PipelineConfig cfg;
+    cfg.domain = Domain{c.vdims};
+    cfg.source.field = check::fieldFor(c);
+    cfg.nblocks = c.nblocks;
+    cfg.nranks = c.nranks;
+    cfg.persistence_threshold = c.threshold;
+    cfg.plan = MergePlan::fullMerge(c.nblocks);
+
+    const pipeline::ThreadedResult plain = pipeline::runThreadedPipeline(cfg);
+
+    audit::Auditor auditor(c.nranks);
+    cfg.auditor = &auditor;
+    const pipeline::ThreadedResult audited = pipeline::runThreadedPipeline(cfg);
+
+    EXPECT_FALSE(auditor.failed()) << c.describe();
+    EXPECT_EQ(plain.node_counts, audited.node_counts) << c.describe();
+    EXPECT_EQ(plain.arc_count, audited.arc_count) << c.describe();
+    ASSERT_EQ(plain.outputs.size(), audited.outputs.size()) << c.describe();
+    for (std::size_t i = 0; i < plain.outputs.size(); ++i)
+      EXPECT_EQ(plain.outputs[i], audited.outputs[i])
+          << c.describe() << " output block " << i;
+    if (c.nranks > 1) {
+      EXPECT_GT(auditor.messagesAudited(), 0) << c.describe();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace msc

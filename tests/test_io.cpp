@@ -2,6 +2,8 @@
 /// (io/complex_file), and subarray volume reads (io/volume).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 
@@ -17,7 +19,10 @@ namespace msc {
 namespace {
 
 std::string tmpPath(const std::string& name) {
-  return (std::filesystem::temp_directory_path() / name).string();
+  // Pid-qualified: parametrised instances of one test run as separate
+  // ctest processes and must not collide on the same file.
+  return (std::filesystem::temp_directory_path() / (std::to_string(::getpid()) + "_" + name))
+      .string();
 }
 
 MsComplex sampleComplex(unsigned seed = 3) {

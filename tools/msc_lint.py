@@ -1,0 +1,385 @@
+#!/usr/bin/env python3
+"""msc_lint: layering + hygiene lint for src/.
+
+The library's correctness argument leans on a strict dependency
+layering (core/synth/obs/audit are leaves; par talks only to its
+instrumentation; check must never depend on what it is checking the
+observability of) and on a few hygiene rules that keep the runtime
+auditable (no hidden mutable globals, no naked new/delete outside the
+tagging allocator, every header self-guarded). This tool enforces
+both, file by file, and is wired into ctest as a tier-1 test — a
+violation fails the build's test suite, not a style bot.
+
+Rules are machine-readable: `msc_lint.py --rules` emits the table as
+JSON. Violations can be suppressed ONLY with an inline justification
+
+    // msc-lint: allow(<rule-id>): <reason>
+
+on the offending line or the line directly above it. The GRANDFATHER
+table below exists so a rule can be introduced before the tree is
+clean; it is required to be EMPTY on every mainline commit — new debt
+must either be fixed or carry an inline justification that reviewers
+can see next to the code.
+
+Exit status: 0 clean, 1 violations, 2 usage/internal error.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+# --------------------------------------------------------------------------
+# Rules table (machine-readable; --rules prints it as JSON).
+# --------------------------------------------------------------------------
+
+RULES = [
+    {
+        "id": "layering",
+        "severity": "error",
+        "description": "A module may #include only from itself and its allowed "
+                       "dependencies (see LAYERS). Keeps the dependency graph a "
+                       "DAG with core/obs/audit as leaves.",
+    },
+    {
+        "id": "pragma-once",
+        "severity": "error",
+        "description": "Every header must contain #pragma once.",
+    },
+    {
+        "id": "using-namespace-header",
+        "severity": "error",
+        "description": "No `using namespace` at any scope in a header; it leaks "
+                       "into every includer.",
+    },
+    {
+        "id": "naked-new",
+        "severity": "error",
+        "description": "No new/delete expressions or ::operator new/delete "
+                       "outside the audit tagging allocator; ownership must be "
+                       "RAII (containers, unique_ptr).",
+    },
+    {
+        "id": "mutable-global",
+        "severity": "error",
+        "description": "No mutable (non-const, non-constexpr) namespace-scope "
+                       "variables; hidden shared state breaks the share-nothing "
+                       "model the auditor checks.",
+    },
+]
+
+RULE_IDS = {r["id"] for r in RULES}
+
+# Allowed internal dependencies per src/ module, derived from the actual
+# tree and frozen here. A module always may include from itself.
+#   - core, obs, audit, merge are leaves (no internal includes).
+#   - audit must stay a leaf: par depends on it, so anything audit pulled
+#     in would be dragged under the runtime.
+#   - par may see only its instrumentation (obs) and its contract
+#     checker (audit) — never domain code.
+#   - check must never depend on obs (it validates runs that may or may
+#     not be traced) nor on bench.
+LAYERS = {
+    "core": set(),
+    "obs": set(),
+    "audit": set(),
+    "merge": set(),
+    "synth": {"core"},
+    "decomp": {"core"},
+    "analysis": {"core"},
+    "simnet": {"core", "obs"},
+    "par": {"obs", "audit"},
+    "io": {"core", "par"},
+    "pipeline": {"core", "decomp", "io", "merge", "obs", "par", "simnet", "synth"},
+    "check": {"core", "synth", "decomp", "analysis", "io", "pipeline"},
+}
+
+# Modules that must never appear in a given module's include closure is
+# expressed by omission above; two bans called out by name for clarity:
+EXPLICIT_BANS = [
+    ("check", "obs", "check must not depend on obs"),
+    ("check", "bench", "check must not depend on bench"),
+]
+
+# Debt accepted at rule-introduction time. MUST be empty on mainline:
+# fix the code or justify it inline with `// msc-lint: allow(...)`.
+# Maps "path:line" -> rule id.
+GRANDFATHER = {}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([A-Za-z0-9_]+)/[^"]+"')
+ALLOW_RE = re.compile(r"msc-lint:\s*allow\(([a-z-]+)\)")
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line
+    structure, so the regex checks cannot fire inside them. The
+    comment text itself is kept separately per line for ALLOW_RE."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(" ")
+            elif c == "\n":  # unterminated; bail to code to stay line-stable
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def key(self):
+        return f"{self.path}:{self.line}"
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def allowed_rules_for_line(raw_lines, lineno):
+    """Inline suppressions on the offending line or in the contiguous
+    comment block directly above it."""
+    allowed = set()
+    if 1 <= lineno <= len(raw_lines):
+        allowed.update(ALLOW_RE.findall(raw_lines[lineno - 1]))
+    ln = lineno - 1
+    while 1 <= ln <= len(raw_lines) and raw_lines[ln - 1].lstrip().startswith("//"):
+        allowed.update(ALLOW_RE.findall(raw_lines[ln - 1]))
+        ln -= 1
+    return allowed
+
+
+NAKED_NEW_RE = re.compile(
+    r"::\s*operator\s+(?:new|delete)"      # raw operator calls
+    r"|(?<![\w.])new\s+[A-Za-z_(:]"        # new-expressions: `new T`, `new (buf) T`
+    r"|(?<![\w.])delete\s*\[\s*\]"          # delete[] p
+    r"|(?<![\w.])delete\s+[A-Za-z_*(]"      # delete p
+)
+EQ_DELETE_RE = re.compile(r"=\s*delete\b")
+
+# Namespace-scope variable definition heuristic. Requires a type-ish
+# token sequence then an identifier then `=`, `{...};` or `;`. Lines
+# containing `(` before any `=` are declarations of functions and are
+# skipped by the caller.
+GLOBAL_VAR_RE = re.compile(
+    r"^\s*(?:static\s+|inline\s+|thread_local\s+)*"
+    r"(?:[A-Za-z_][\w:]*(?:<[^;{}]*>)?)"    # type (possibly templated)
+    r"(?:\s*[*&])?\s+"
+    r"[A-Za-z_]\w*(?:\s*\[[^\]]*\])?"        # name (possibly array)
+    r"\s*(?:=[^=]|\{|;)"
+)
+GLOBAL_SKIP_RE = re.compile(
+    r"\b(?:const|constexpr|consteval|constinit|using|typedef|struct|class|enum|"
+    r"union|template|friend|operator|return|extern|namespace|concept|requires|"
+    r"public|private|protected|case|goto|if|else|for|while|do|switch|throw|new|"
+    r"delete|static_assert)\b"
+)
+
+
+def lint_file(path, rel, module, findings):
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    raw_lines = text.split("\n")
+    stripped = strip_comments_and_strings(text)
+    lines = stripped.split("\n")
+    is_header = rel.endswith(".hpp")
+
+    def report(lineno, rule, message):
+        if rule in allowed_rules_for_line(raw_lines, lineno):
+            return
+        f = Finding(rel, lineno, rule, message)
+        if GRANDFATHER.get(f.key()) == rule:
+            return
+        findings.append(f)
+
+    # --- layering -------------------------------------------------------
+    # Include paths are string literals, so match on the raw line; the
+    # stripped line gates out includes that are commented out.
+    allowed = LAYERS.get(module)
+    for lineno, raw in enumerate(raw_lines, 1):
+        m = INCLUDE_RE.match(raw)
+        if not m or not re.match(r"\s*#\s*include\b", lines[lineno - 1]):
+            continue
+        dep = m.group(1)
+        if dep == module or dep not in LAYERS:
+            continue  # self-includes and non-module paths are fine
+        if allowed is None:
+            report(lineno, "layering",
+                   f"module '{module}' is not in the LAYERS table; add it with "
+                   f"an explicit dependency set")
+        elif dep not in allowed:
+            permitted = ", ".join(sorted(allowed)) if allowed else "(none)"
+            report(lineno, "layering",
+                   f"'{module}' must not include from '{dep}' "
+                   f"(allowed internal deps: {permitted})")
+
+    # --- header hygiene -------------------------------------------------
+    if is_header:
+        if "#pragma once" not in text:
+            report(1, "pragma-once", "header is missing #pragma once")
+        for lineno, line in enumerate(lines, 1):
+            if re.search(r"\busing\s+namespace\b", line):
+                report(lineno, "using-namespace-header",
+                       "`using namespace` in a header leaks into every includer")
+
+    # --- naked new/delete ----------------------------------------------
+    for lineno, line in enumerate(lines, 1):
+        probe = EQ_DELETE_RE.sub(" ", line)  # `= delete;` is not a delete-expression
+        if NAKED_NEW_RE.search(probe):
+            report(lineno, "naked-new",
+                   "naked new/delete; use containers or unique_ptr (only the "
+                   "audit tagging allocator may justify this inline)")
+
+    # --- mutable namespace-scope globals --------------------------------
+    # Brace tracking: depth counts every `{`; ns_depth counts only
+    # braces opened by namespace/extern-"C" lines. A line starting at
+    # depth == ns_depth is at namespace scope.
+    depth = 0
+    pdepth = 0  # net open parens; >0 means we are inside a signature/call
+    ns_stack = []  # True for namespace-opened braces
+    for lineno, line in enumerate(lines, 1):
+        at_ns_scope = (all(ns_stack) if ns_stack else True) and pdepth == 0
+        opens_ns = bool(re.match(r"\s*(inline\s+)?namespace\b[^;]*\{", line)) or \
+            bool(re.match(r'\s*extern\s*\{', line))
+        if at_ns_scope and GLOBAL_VAR_RE.match(line) and not GLOBAL_SKIP_RE.search(line):
+            eq = line.find("=")
+            paren = line.find("(")
+            if paren == -1 or (eq != -1 and eq < paren):
+                report(lineno, "mutable-global",
+                       "mutable namespace-scope variable; make it const/"
+                       "constexpr, function-local static, or justify inline")
+        for ch in line:
+            if ch == "{":
+                ns_stack.append(opens_ns and depth == len(ns_stack))
+                depth += 1
+                opens_ns = False
+            elif ch == "}":
+                depth = max(0, depth - 1)
+                if ns_stack:
+                    ns_stack.pop()
+            elif ch == "(":
+                pdepth += 1
+            elif ch == ")":
+                pdepth = max(0, pdepth - 1)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--root", default=None,
+                    help="repository root (default: parent of this script's dir)")
+    ap.add_argument("--rules", action="store_true",
+                    help="print the rules table as JSON and exit")
+    ap.add_argument("--json", action="store_true",
+                    help="emit findings as JSON instead of text")
+    args = ap.parse_args()
+
+    if args.rules:
+        json.dump({"rules": RULES,
+                   "layers": {k: sorted(v) for k, v in LAYERS.items()},
+                   "explicit_bans": [list(b) for b in EXPLICIT_BANS]},
+                  sys.stdout, indent=2)
+        print()
+        return 0
+
+    root = args.root or os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    src = os.path.join(root, "src")
+    if not os.path.isdir(src):
+        print(f"msc_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    for mod, deps in LAYERS.items():
+        unknown = deps - set(LAYERS)
+        if unknown:
+            print(f"msc_lint: LAYERS['{mod}'] references unknown modules {unknown}",
+                  file=sys.stderr)
+            return 2
+    for src_mod, banned, why in EXPLICIT_BANS:
+        if banned in LAYERS.get(src_mod, set()):
+            print(f"msc_lint: LAYERS contradicts ban: {why}", file=sys.stderr)
+            return 2
+
+    findings = []
+    nfiles = 0
+    for dirpath, _dirnames, filenames in sorted(os.walk(src)):
+        for name in sorted(filenames):
+            if not name.endswith((".hpp", ".cpp")):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root)
+            module = os.path.relpath(dirpath, src).split(os.sep)[0]
+            nfiles += 1
+            lint_file(path, rel, module, findings)
+
+    stale = [k for k in GRANDFATHER if not any(f.key() == k for f in findings)]
+    if GRANDFATHER:
+        print(f"msc_lint: GRANDFATHER must be empty on mainline "
+              f"({len(GRANDFATHER)} entr{'y' if len(GRANDFATHER) == 1 else 'ies'}); "
+              f"fix or justify inline", file=sys.stderr)
+        return 1
+    del stale
+
+    if args.json:
+        json.dump([{"path": f.path, "line": f.line, "rule": f.rule,
+                    "message": f.message} for f in findings], sys.stdout, indent=2)
+        print()
+    else:
+        for f in findings:
+            print(f)
+        print(f"msc_lint: {nfiles} files, {len(findings)} violation(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

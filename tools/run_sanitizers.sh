@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Build and run the full test suite across the sanitizer matrix:
+#
+#   none  thread  address  undefined
+#
+# Each configuration gets its own build directory (build-san-<name>)
+# so incremental reruns are cheap and configurations never contaminate
+# each other. Any test failure or sanitizer report fails that config
+# and, at the end, this script. UBSan runs with
+# -fno-sanitize-recover=undefined (set by CMakeLists.txt), so findings
+# abort the offending test instead of just printing.
+#
+# Usage:
+#   tools/run_sanitizers.sh            # the whole matrix
+#   tools/run_sanitizers.sh thread     # one or more named configs
+#   MSC_SAN_JOBS=4 tools/run_sanitizers.sh
+set -u
+
+cd "$(dirname "$0")/.."
+jobs="${MSC_SAN_JOBS:-$(nproc)}"
+configs=("$@")
+[ ${#configs[@]} -eq 0 ] && configs=(none thread address undefined)
+
+failed=()
+for cfg in "${configs[@]}"; do
+  case "$cfg" in
+    none) san="" ;;
+    thread|address|undefined) san="$cfg" ;;
+    thread,undefined|address,undefined) san="$cfg" ;;
+    *) echo "unknown config '$cfg' (want: none thread address undefined)" >&2; exit 2 ;;
+  esac
+  bdir="build-san-${cfg//,/-}"
+  echo "=== [$cfg] configure + build in $bdir ==="
+  if ! cmake -B "$bdir" -S . -DMSC_SANITIZE="$san" >/dev/null; then
+    echo "=== [$cfg] CONFIGURE FAILED ==="; failed+=("$cfg"); continue
+  fi
+  if ! cmake --build "$bdir" -j "$jobs" >/dev/null; then
+    echo "=== [$cfg] BUILD FAILED ==="; failed+=("$cfg"); continue
+  fi
+  echo "=== [$cfg] ctest ==="
+  # halt_on_error makes TSan/ASan reports fail the process, so ctest
+  # sees them; abort_on_error=0 keeps gtest's reporting readable.
+  if (cd "$bdir" && \
+      TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+      ASAN_OPTIONS="detect_leaks=1" \
+      UBSAN_OPTIONS="print_stacktrace=1" \
+      ctest --output-on-failure -j "$jobs"); then
+    echo "=== [$cfg] OK ==="
+  else
+    echo "=== [$cfg] TESTS FAILED ==="
+    failed+=("$cfg")
+  fi
+done
+
+echo
+if [ ${#failed[@]} -gt 0 ]; then
+  echo "sanitizer matrix FAILED for: ${failed[*]}"
+  exit 1
+fi
+echo "sanitizer matrix clean: ${configs[*]}"
