@@ -96,6 +96,21 @@ void Auditor::onDone(int rank) {
   }
 }
 
+void Auditor::onRespawn(int rank) {
+  const std::lock_guard lock(mu_);
+  RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+  // The replacement starts with a clean slate: not blocked, not done.
+  // Epoch and history survive — the respawned function re-executes
+  // whole collectives, so its epoch keeps counting from where the
+  // rank's previous incarnation left it.
+  rs.phase = Phase::kRunning;
+  rs.wait = Wait{};
+  ++respawns_;
+  if (notes_.size() < 64)
+    notes_.push_back("respawn: rank " + std::to_string(rank) +
+                     " died and was re-invoked (respawn #" + std::to_string(respawns_) + ")");
+}
+
 void Auditor::checkMessage(int self, OpKind expect, std::int64_t expect_epoch, int msg_src,
                            int msg_tag, const WireHeader& h) {
   const std::lock_guard lock(mu_);
@@ -174,6 +189,20 @@ std::int64_t Auditor::wildcardCandidates() const {
 std::int64_t Auditor::messagesAudited() const {
   const std::lock_guard lock(mu_);
   return messages_;
+}
+
+std::int64_t Auditor::respawns() const {
+  const std::lock_guard lock(mu_);
+  return respawns_;
+}
+
+void Auditor::setBlockTimeoutSeconds(double seconds) {
+  if (!(seconds > 0))
+    throw std::invalid_argument(
+        "Auditor::setBlockTimeoutSeconds: block_timeout_seconds must be > 0, got " +
+        std::to_string(seconds));
+  const std::lock_guard lock(mu_);
+  opts_.block_timeout_seconds = seconds;
 }
 
 std::string Auditor::report() const {

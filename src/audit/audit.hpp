@@ -97,6 +97,11 @@ class Auditor {
 
   int nranks() const { return nranks_; }
   const Options& options() const { return opts_; }
+  /// Adjust the watchdog timeout after construction (the pipeline
+  /// promotes its configured block timeout onto an attached auditor).
+  /// Call before Runtime::run starts; throws std::invalid_argument on
+  /// a non-positive value.
+  void setBlockTimeoutSeconds(double seconds);
   /// Latched once any detector fired; polled by the runtime's audited
   /// wait loops so every rank unwinds.
   bool failed() const { return failed_.load(std::memory_order_acquire); }
@@ -133,6 +138,11 @@ class Auditor {
   /// The rank's function returned. May throw: remaining blocked ranks
   /// can become provably stuck at this moment.
   void onDone(int rank);
+  /// The rank died (par::RankFailure) and is being re-invoked by the
+  /// runtime's respawn supervisor. Unlike onDone this keeps the rank
+  /// alive in the waits-for graph — a respawning rank will block and
+  /// send again, so peers waiting on it are not deadlocked.
+  void onRespawn(int rank);
   /// Validate a received message's trailer against the receive.
   /// `expect_epoch` < 0 skips the epoch check (point-to-point).
   void checkMessage(int self, OpKind expect, std::int64_t expect_epoch, int msg_src,
@@ -149,6 +159,8 @@ class Auditor {
   // --- Results / introspection.
   std::int64_t wildcardCandidates() const;
   std::int64_t messagesAudited() const;
+  /// Rank deaths survived by respawning (onRespawn calls).
+  std::int64_t respawns() const;
   /// Human-readable dump of the current protocol state (also the body
   /// of every AuditError diagnostic).
   std::string report() const;
@@ -197,6 +209,7 @@ class Auditor {
   std::int64_t released_gen_ = -1;  ///< highest completed barrier generation
   std::int64_t wildcard_candidates_ = 0;
   std::int64_t messages_ = 0;
+  std::int64_t respawns_ = 0;
   int nranks_;
   Options opts_;
   std::atomic<bool> failed_{false};

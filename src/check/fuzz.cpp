@@ -11,6 +11,8 @@
 #include "core/boundary.hpp"
 #include "core/lower_star.hpp"
 #include "decomp/decompose.hpp"
+#include "fault/inject.hpp"
+#include "fault/recovery.hpp"
 #include "io/complex_file.hpp"
 #include "pipeline/sim_pipeline.hpp"
 #include "pipeline/threaded_pipeline.hpp"
@@ -60,6 +62,7 @@ std::string FuzzCase::describe() const {
   os << "seed=" << seed << " grid=" << vdims.x << "x" << vdims.y << "x" << vdims.z
      << " field=" << field << " nblocks=" << nblocks << " nranks=" << nranks
      << " threshold=" << threshold;
+  if (fault_seed != 0) os << " fault_seed=" << fault_seed;
   return os.str();
 }
 
@@ -73,11 +76,15 @@ FuzzCase caseFromSeed(unsigned seed, const FuzzLimits& lim) {
              lim.min_size + static_cast<int>((h >> 16) % span)};
   c.field = kFamilies[(h >> 24) % std::size(kFamilies)];
   c.nblocks = kBlockChoices[(h >> 32) % std::size(kBlockChoices)];
-  c.nranks = 1 + static_cast<int>((h >> 40) % lim.max_ranks);
+  // The pipeline rejects nranks > nblocks (a rank with no block), so
+  // the derivation clamps to the block count.
+  c.nranks = std::min(1 + static_cast<int>((h >> 40) % lim.max_ranks), c.nblocks);
   // Mostly threshold 0 (where the serial-vs-parallel census contract
   // applies); sometimes a positive threshold to fuzz the hierarchy.
   const int tsel = static_cast<int>((h >> 48) % 10);
   c.threshold = tsel < 7 ? 0.0f : (tsel == 7 ? 0.05f : (tsel == 8 ? 0.15f : 0.3f));
+  if (lim.with_faults)
+    c.fault_seed = static_cast<unsigned>(splitmix(h ^ 0xFA17u) | 1u);  // non-zero
   return c;
 }
 
@@ -153,6 +160,46 @@ std::vector<std::string> runFuzzCase(const FuzzCase& c) {
     reportProblem(problems, compareExact(a, b), "sim vs threaded");
   }
 
+  // --- Differential leg 1b (chaos): under deterministic fault
+  // injection, the recovered run must reproduce the fault-free bytes
+  // exactly, in both recovery modes.
+  if (c.fault_seed != 0) {
+    for (const fault::RecoveryMode mode :
+         {fault::RecoveryMode::kRespawn, fault::RecoveryMode::kDegrade}) {
+      fault::InjectorOptions fopts;
+      fopts.seed = c.fault_seed;
+      fault::Injector injector(c.nranks, fopts);
+      pipeline::PipelineConfig fcfg = configFor(c, c.nblocks, c.nranks);
+      fcfg.fault.injector = &injector;
+      fcfg.fault.recovery = mode;
+      fcfg.fault.recv_deadline_seconds = 2.0;
+      fcfg.fault.max_round_attempts = 32;
+      fcfg.fault.max_respawns_per_rank = fopts.max_crashes_per_rank;
+      const std::string leg =
+          std::string("chaos (") + fault::recoveryModeName(mode) + ")";
+      try {
+        const pipeline::ThreadedResult faulty = pipeline::runThreadedPipeline(fcfg);
+        bool same = faulty.outputs.size() == thr.outputs.size();
+        for (std::size_t i = 0; same && i < faulty.outputs.size(); ++i)
+          same = faulty.outputs[i] == thr.outputs[i];
+        if (!same) {
+          problems.push_back(leg + ": recovered run diverged from fault-free bytes");
+          const CanonicalComplex a = canonicalize(domain, thr.outputs);
+          const CanonicalComplex b = canonicalize(domain, faulty.outputs);
+          reportProblem(problems, compareExact(a, b), leg);
+        }
+      } catch (const fault::RecoveryError& e) {
+        // Total loss (every rank dead in degrade mode) is a legal
+        // graceful-degradation outcome: a structured error, never a
+        // hang or silent divergence. Anything else is a bug.
+        if (std::string(e.what()).find("no live ranks") == std::string::npos)
+          problems.push_back(leg + ": run failed: " + e.what());
+      } catch (const std::exception& e) {
+        problems.push_back(leg + ": run failed: " + e.what());
+      }
+    }
+  }
+
   // --- Invariants on the merged outputs.
   for (std::size_t i = 0; i < sim.outputs.size(); ++i) {
     const MsComplex merged = io::unpack(sim.outputs[i]);
@@ -188,6 +235,13 @@ FuzzCase shrinkCase(const FuzzCase& c, const FuzzLimits& lim, std::ostream* log)
   const auto fails = [](const FuzzCase& cand) { return !runFuzzCase(cand).empty(); };
   for (int round = 0; round < 32; ++round) {
     std::vector<FuzzCase> candidates;
+    if (cur.fault_seed != 0) {
+      // If the failure survives without injection it is not a fault
+      // bug — the simpler repro wins.
+      FuzzCase t = cur;
+      t.fault_seed = 0;
+      candidates.push_back(t);
+    }
     if (cur.threshold != 0.0f) {
       FuzzCase t = cur;
       t.threshold = 0.0f;

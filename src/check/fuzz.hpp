@@ -38,6 +38,11 @@ struct FuzzCase {
   int nblocks{2};
   int nranks{1};
   float threshold{0.0f};
+  /// Non-zero: the threaded driver is additionally run under
+  /// deterministic fault injection with this injector seed, in both
+  /// recovery modes, and the recovered outputs must be byte-identical
+  /// to the fault-free run's.
+  unsigned fault_seed{0};
 
   std::string describe() const;
 };
@@ -47,6 +52,8 @@ struct FuzzLimits {
   int min_size = 6;
   int max_size = 13;
   int max_ranks = 6;
+  /// Derive a non-zero fault_seed for every case (the chaos sweep).
+  bool with_faults = false;
 };
 
 /// Derive the case a seed denotes.

@@ -1,0 +1,81 @@
+#include "fault/checkpoint.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace msc::fault {
+
+CheckpointStore::CheckpointStore(std::string spill_dir) : dir_(std::move(spill_dir)) {
+  if (!dir_.empty()) std::filesystem::create_directories(dir_);
+}
+
+std::string CheckpointStore::spillPath(int round, int block) const {
+  return dir_ + "/ckpt_r" + std::to_string(round) + "_b" + std::to_string(block) + ".bin";
+}
+
+void CheckpointStore::put(int round, int block, const io::Bytes& bytes) {
+  const std::lock_guard lock(mu_);
+  mem_[{round, block}] = bytes;
+  ++stats_.puts;
+  stats_.bytes_stored += static_cast<std::int64_t>(bytes.size());
+  if (!dir_.empty()) {
+    // Write-then-rename so a torn write never masquerades as a valid
+    // checkpoint for a later restore.
+    const std::string final_path = spillPath(round, block);
+    const std::string tmp_path = final_path + ".tmp";
+    {
+      std::ofstream f(tmp_path, std::ios::binary | std::ios::trunc);
+      if (!f) throw std::runtime_error("CheckpointStore: cannot write " + tmp_path);
+      f.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+      if (!f) throw std::runtime_error("CheckpointStore: short write to " + tmp_path);
+    }
+    std::filesystem::rename(tmp_path, final_path);
+    ++stats_.spilled_files;
+  }
+}
+
+std::optional<io::Bytes> CheckpointStore::get(int round, int block) const {
+  const std::lock_guard lock(mu_);
+  const auto it = mem_.find({round, block});
+  if (it != mem_.end()) {
+    ++stats_.restores;
+    return it->second;
+  }
+  if (!dir_.empty()) {
+    std::ifstream f(spillPath(round, block), std::ios::binary | std::ios::ate);
+    if (f) {
+      const std::streamsize n = f.tellg();
+      f.seekg(0);
+      io::Bytes b(static_cast<std::size_t>(n));
+      f.read(reinterpret_cast<char*>(b.data()), n);
+      if (f) {
+        ++stats_.restores;
+        return b;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool CheckpointStore::contains(int round, int block) const {
+  {
+    const std::lock_guard lock(mu_);
+    if (mem_.count({round, block})) return true;
+  }
+  return !dir_.empty() && std::filesystem::exists(spillPath(round, block));
+}
+
+void CheckpointStore::dropBelow(int round) {
+  const std::lock_guard lock(mu_);
+  for (auto it = mem_.begin(); it != mem_.end();)
+    it = it->first.first < round ? mem_.erase(it) : std::next(it);
+}
+
+CheckpointStore::Stats CheckpointStore::stats() const {
+  const std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace msc::fault

@@ -1,0 +1,79 @@
+/// \file checkpoint.hpp
+/// Per-round checkpoint storage for the threaded pipeline's recovery
+/// layer.
+///
+/// The merge rounds of Algorithm 1 are natural checkpoint boundaries:
+/// between rounds every surviving block's complex is quiescent and
+/// already has a canonical serialized form (io::pack, the same bytes
+/// that travel on the wire). After each successful round every rank
+/// stores, keyed by (round, block), the packed bytes of each
+/// surviving block it owns; restart/reassignment restores by
+/// unpacking those bytes. Because io::pack is a projection
+/// (pack(unpack(p)) == p, pinned by tests/test_fault.cpp), a replay
+/// from checkpoint re-sends byte-identical messages and re-glues to
+/// byte-identical complexes — the recovered output equals the
+/// fault-free run's exactly.
+///
+/// The store is in-memory by default (it stands in for the parallel
+/// file system / burst buffer a BG/P-scale run would use) and can
+/// additionally spill every checkpoint to a directory, from which a
+/// *different* store instance can restore — that path is what a real
+/// cross-process restart would exercise, and is covered by tests.
+///
+/// Thread-safety: all methods are safe to call concurrently from rank
+/// threads (one mutex; checkpoint payloads are copied in and out).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "io/pack.hpp"
+
+namespace msc::fault {
+
+class CheckpointStore {
+ public:
+  struct Stats {
+    std::int64_t puts = 0;
+    std::int64_t restores = 0;        ///< successful get() calls
+    std::int64_t bytes_stored = 0;    ///< sum of payload sizes over puts
+    std::int64_t spilled_files = 0;   ///< files written to the spill dir
+  };
+
+  /// `spill_dir` empty = in-memory only; otherwise every put is also
+  /// written to `<spill_dir>/ckpt_r<round>_b<block>.bin` (created if
+  /// needed) and get() falls back to reading it, so a fresh store
+  /// pointed at the same directory can restore a previous run.
+  explicit CheckpointStore(std::string spill_dir = "");
+
+  /// Store the packed complex of `block` at the entry of `round`.
+  /// Re-putting the same key overwrites (idempotent replays).
+  void put(int round, int block, const io::Bytes& bytes);
+
+  /// Latest checkpoint for (round, block), or nullopt if none exists
+  /// in memory or on disk.
+  std::optional<io::Bytes> get(int round, int block) const;
+
+  /// True if (round, block) is restorable.
+  bool contains(int round, int block) const;
+
+  /// Drop in-memory checkpoints for rounds < `round` (spilled files
+  /// are kept: they are the durable medium).
+  void dropBelow(int round);
+
+  Stats stats() const;
+
+ private:
+  std::string spillPath(int round, int block) const;
+
+  mutable std::mutex mu_;
+  std::map<std::pair<int, int>, io::Bytes> mem_;
+  std::string dir_;
+  mutable Stats stats_;
+};
+
+}  // namespace msc::fault

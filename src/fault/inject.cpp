@@ -1,0 +1,147 @@
+#include "fault/inject.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "obs/obs.hpp"
+#include "par/comm.hpp"
+
+namespace msc::fault {
+
+namespace {
+
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform in [0, 1) from the top 53 bits (exactly representable).
+double unitOf(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* faultKindName(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kStall: return "stall";
+  }
+  return "unknown";
+}
+
+Injector::Injector(int nranks, InjectorOptions opts)
+    : opts_(opts), nranks_(nranks), slots_(static_cast<std::size_t>(nranks)) {
+  assert(nranks >= 1);
+  const double sum =
+      opts.crash_rate + opts.delay_rate + opts.duplicate_rate + opts.stall_rate;
+  if (opts.crash_rate < 0 || opts.delay_rate < 0 || opts.duplicate_rate < 0 ||
+      opts.stall_rate < 0 || sum > 1.0)
+    throw std::invalid_argument(
+        "fault::Injector: rates must be non-negative and sum to <= 1 (got sum " +
+        std::to_string(sum) + ")");
+  if (opts.max_crashes_per_rank < 0)
+    throw std::invalid_argument("fault::Injector: max_crashes_per_rank must be >= 0 (got " +
+                                std::to_string(opts.max_crashes_per_rank) + ")");
+  if (opts.delay_ms < 0 || opts.stall_ms < 0)
+    throw std::invalid_argument("fault::Injector: delay_ms/stall_ms must be >= 0");
+}
+
+FaultKind Injector::decide(int rank, std::uint64_t op, OpClass cls) const {
+  const std::uint64_t h = splitmix(
+      splitmix(opts_.seed ^ 0xC2B2AE3D27D4EB4Full) ^
+      (static_cast<std::uint64_t>(static_cast<unsigned>(rank)) * 0x9E3779B97F4A7C15ull) ^
+      (op * 0xD6E8FEB86659FD93ull));
+  const double u = unitOf(h);
+  double edge = opts_.crash_rate;
+  if (u < edge) return FaultKind::kCrash;
+  edge += opts_.delay_rate;
+  if (u < edge) return FaultKind::kDelay;
+  edge += opts_.duplicate_rate;
+  if (u < edge)
+    // A receive cannot be duplicated by its receiver; the slot
+    // degrades to a delay so the schedule stays op-class-stable.
+    return cls == OpClass::kSend ? FaultKind::kDuplicate : FaultKind::kDelay;
+  edge += opts_.stall_rate;
+  if (u < edge) return FaultKind::kStall;
+  return FaultKind::kNone;
+}
+
+FaultKind Injector::next(int rank, OpClass cls) {
+  assert(rank >= 0 && rank < nranks_);
+  RankSlot& slot = slots_[static_cast<std::size_t>(rank)];
+  const std::uint64_t op = slot.ops.fetch_add(1, std::memory_order_relaxed);
+  FaultKind k = decide(rank, op, cls);
+  if (k == FaultKind::kCrash) {
+    if (slot.crashes.load(std::memory_order_relaxed) >= opts_.max_crashes_per_rank)
+      return FaultKind::kNone;  // cap reached: the rank stays up
+    slot.crashes.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (k != FaultKind::kNone)
+    fired_[static_cast<std::size_t>(k)].fetch_add(1, std::memory_order_relaxed);
+  return k;
+}
+
+bool Injector::everCrashed(int rank) const {
+  return crashCount(rank) > 0;
+}
+
+int Injector::crashCount(int rank) const {
+  assert(rank >= 0 && rank < nranks_);
+  return slots_[static_cast<std::size_t>(rank)].crashes.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Injector::opCount(int rank) const {
+  assert(rank >= 0 && rank < nranks_);
+  return slots_[static_cast<std::size_t>(rank)].ops.load(std::memory_order_relaxed);
+}
+
+std::int64_t Injector::fired(FaultKind k) const {
+  return fired_[static_cast<std::size_t>(k)].load(std::memory_order_relaxed);
+}
+
+std::int64_t Injector::firedTotal() const {
+  std::int64_t t = 0;
+  for (int k = 1; k < kNumFaultKinds; ++k)
+    t += fired_[static_cast<std::size_t>(k)].load(std::memory_order_relaxed);
+  return t;
+}
+
+bool applyFault(Injector* inj, int rank, OpClass cls, obs::Tracer* tr) {
+  if (!inj) return false;
+  const FaultKind k = inj->next(rank, cls);
+  switch (k) {
+    case FaultKind::kNone:
+      return false;
+    case FaultKind::kCrash:
+      if (tr) tr->instant(rank, "fault_crash", "fault");
+      throw par::RankFailure(rank, "fault::Injector: injected crash on rank " +
+                                       std::to_string(rank) + " (seed " +
+                                       std::to_string(inj->options().seed) + ", op " +
+                                       std::to_string(inj->opCount(rank) - 1) + ")");
+    case FaultKind::kDelay:
+      if (tr) tr->instant(rank, "fault_delay", "fault");
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          inj->options().delay_ms));
+      return false;
+    case FaultKind::kDuplicate:
+      if (tr) tr->instant(rank, "fault_duplicate", "fault");
+      return true;
+    case FaultKind::kStall:
+      if (tr) tr->instant(rank, "fault_stall", "fault");
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          inj->options().stall_ms));
+      return false;
+  }
+  return false;
+}
+
+}  // namespace msc::fault

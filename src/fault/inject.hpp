@@ -1,0 +1,132 @@
+/// \file inject.hpp
+/// Seeded, deterministic fault injection for the message-passing
+/// pipeline (msc::par + the threaded driver).
+///
+/// The paper's runs reached 32,768 BG/P processes — a scale where
+/// rank loss, stragglers and flaky links are routine. An Injector is
+/// attached to the pipeline through PipelineConfig::fault (same
+/// non-owning-pointer pattern as obs::Tracer and audit::Auditor) and
+/// decides, as a pure function of (seed, rank, op-index), whether a
+/// communication operation of the threaded driver's merge rounds is
+/// perturbed:
+///
+///  * kCrash     — the rank dies: par::RankFailure is thrown at the
+///                 op, unwinding the rank's function. With recovery
+///                 enabled the runtime respawns it from the last
+///                 checkpoint (see fault/recovery.hpp).
+///  * kDelay     — the sender stalls briefly *before* depositing the
+///                 message. Modelling delay as sender-side latency
+///                 keeps the runtime's ordering guarantees intact:
+///                 per-(src, tag) FIFO still holds, and a message is
+///                 always delivered before its sender's next
+///                 synchronisation point.
+///  * kDuplicate — the message is delivered twice (send ops only;
+///                 on a receive op the slot degrades to kDelay).
+///                 Receivers of the recovery protocol deduplicate by
+///                 (dest block, sender block).
+///  * kStall     — the rank pauses at the op (a straggler), long
+///                 enough to shuffle arrival orders but bounded well
+///                 below the receive deadline.
+///
+/// Determinism contract: the decision for the N-th injected op of a
+/// rank depends only on (seed, rank, N) plus the deterministic
+/// per-rank crash cap — never on timing, scheduling, or other ranks.
+/// (Which ops *execute* can vary with timing once faults fire; the
+/// schedule itself cannot.)
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace msc::obs {
+class Tracer;
+}
+
+namespace msc::fault {
+
+enum class FaultKind : int {
+  kNone = 0,
+  kCrash,
+  kDelay,
+  kDuplicate,
+  kStall,
+};
+inline constexpr int kNumFaultKinds = 5;
+
+const char* faultKindName(FaultKind k);
+
+/// Which side of a communication operation a fault point guards.
+enum class OpClass { kSend, kRecv };
+
+struct InjectorOptions {
+  std::uint64_t seed = 0;
+  /// Per-op firing probabilities (evaluated in this order; they
+  /// partition [0, 1), so their sum must be <= 1).
+  double crash_rate = 0.02;
+  double delay_rate = 0.04;
+  double duplicate_rate = 0.03;
+  double stall_rate = 0.02;
+  /// Hard cap so every run terminates: once a rank has crashed this
+  /// many times, further kCrash slots degrade to kNone. The cap is
+  /// per-rank (not global) to keep the schedule a pure function of
+  /// (seed, rank, op-index).
+  int max_crashes_per_rank = 2;
+  /// Sleep lengths for the latency faults, kept well below any
+  /// receive deadline so they perturb order, not liveness.
+  double delay_ms = 1.0;
+  double stall_ms = 5.0;
+};
+
+/// One parallel execution's fault schedule. Thread-safe: each rank
+/// only touches its own op counter; the fired() totals are atomics.
+class Injector {
+ public:
+  Injector(int nranks, InjectorOptions opts);
+
+  int nranks() const { return nranks_; }
+  const InjectorOptions& options() const { return opts_; }
+
+  /// Decide the fault for the calling rank's next communication op
+  /// (advances the rank's op counter). `cls` distinguishes send ops
+  /// (which may duplicate) from receive ops (which cannot).
+  FaultKind next(int rank, OpClass cls);
+
+  /// Pure decision function: what `next` would return for op `op` of
+  /// `rank`, ignoring the crash cap. Exposed so tests can verify the
+  /// schedule is a function of (seed, rank, op-index).
+  FaultKind decide(int rank, std::uint64_t op, OpClass cls) const;
+
+  /// Death notice: true once `rank` has crashed at least once.
+  bool everCrashed(int rank) const;
+  /// Crashes fired so far on `rank`.
+  int crashCount(int rank) const;
+  /// Ops seen so far on `rank`.
+  std::uint64_t opCount(int rank) const;
+  /// Total faults fired of kind `k`, across all ranks.
+  std::int64_t fired(FaultKind k) const;
+  /// Total faults fired of any kind.
+  std::int64_t firedTotal() const;
+
+ private:
+  struct alignas(64) RankSlot {
+    std::atomic<std::uint64_t> ops{0};
+    std::atomic<int> crashes{0};
+  };
+
+  InjectorOptions opts_;
+  int nranks_;
+  std::vector<RankSlot> slots_;
+  std::array<std::atomic<std::int64_t>, kNumFaultKinds> fired_{};
+};
+
+/// Apply the injector's decision for one comm op: throws
+/// par::RankFailure on kCrash (after recording the death notice),
+/// sleeps through kDelay/kStall, and returns true when a send must be
+/// performed twice (kDuplicate). Null-safe: returns false when `inj`
+/// is null. When `tr` is non-null an instant event marks each fired
+/// fault on the rank's track.
+bool applyFault(Injector* inj, int rank, OpClass cls, obs::Tracer* tr);
+
+}  // namespace msc::fault

@@ -1,0 +1,90 @@
+#include "fault/recovery.hpp"
+
+#include <cassert>
+
+namespace msc::fault {
+
+const char* recoveryModeName(RecoveryMode m) {
+  switch (m) {
+    case RecoveryMode::kOff: return "off";
+    case RecoveryMode::kRespawn: return "respawn";
+    case RecoveryMode::kDegrade: return "degrade";
+  }
+  return "unknown";
+}
+
+int ownerOf(int block, int nranks, const std::vector<bool>& dead) {
+  assert(block >= 0 && nranks >= 1);
+  const int home = block % nranks;
+  if (dead.empty() || !dead[static_cast<std::size_t>(home)]) return home;
+  std::vector<int> live;
+  live.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r)
+    if (!dead[static_cast<std::size_t>(r)]) live.push_back(r);
+  assert(!live.empty());  // callers guard the no-survivors case
+  return live[static_cast<std::size_t>(block) % live.size()];
+}
+
+Coordinator::Coordinator(int nranks, RecoveryMode mode, CheckpointStore* store)
+    : dead_(static_cast<std::size_t>(nranks), false),
+      entries_(static_cast<std::size_t>(nranks), 0),
+      mode_(mode),
+      nranks_(nranks),
+      store_(store) {
+  assert(nranks >= 1 && store != nullptr);
+}
+
+Coordinator::Position Coordinator::position() const {
+  const std::lock_guard lock(mu_);
+  return pos_;
+}
+
+void Coordinator::advanceTo(int round, int attempt) {
+  const std::lock_guard lock(mu_);
+  if (round > pos_.round || (round == pos_.round && attempt > pos_.attempt)) {
+    pos_.round = round;
+    pos_.attempt = attempt;
+  }
+}
+
+void Coordinator::setFinished() {
+  const std::lock_guard lock(mu_);
+  pos_.finished = true;
+}
+
+void Coordinator::markDead(int rank) {
+  const std::lock_guard lock(mu_);
+  dead_[static_cast<std::size_t>(rank)] = true;
+}
+
+bool Coordinator::isDead(int rank) const {
+  const std::lock_guard lock(mu_);
+  return dead_[static_cast<std::size_t>(rank)];
+}
+
+std::vector<bool> Coordinator::deadMask() const {
+  const std::lock_guard lock(mu_);
+  return dead_;
+}
+
+int Coordinator::liveCount() const {
+  const std::lock_guard lock(mu_);
+  int n = 0;
+  for (const bool d : dead_)
+    if (!d) ++n;
+  return n;
+}
+
+int Coordinator::noteEntry(int rank) {
+  const std::lock_guard lock(mu_);
+  return entries_[static_cast<std::size_t>(rank)]++;
+}
+
+std::int64_t Coordinator::respawns() const {
+  const std::lock_guard lock(mu_);
+  std::int64_t n = 0;
+  for (const int e : entries_) n += e > 0 ? e - 1 : 0;
+  return n;
+}
+
+}  // namespace msc::fault

@@ -1,0 +1,144 @@
+/// \file recovery.hpp
+/// Recovery protocol state shared by the rank threads of one faulty
+/// pipeline execution.
+///
+/// The threaded driver's recovery loop (pipeline/threaded_pipeline.cpp)
+/// turns every merge round into a transaction:
+///
+///   1. attempt: attempt-tagged sends -> deadline receives (with
+///      duplicate suppression) -> glue;
+///   2. vote: a gather+broadcast at rank 0 agrees on the outcome and,
+///      in graceful-degradation mode, on the set of dead ranks;
+///   3. drain: every rank empties its mailbox of the attempt's tag
+///      (late or duplicate deliveries — all deposited before the vote
+///      completed, so the drain races with nothing);
+///   4. commit or roll back: on success every rank checkpoints its
+///      surviving blocks for the next round; on failure every rank
+///      restores its blocks from the current round's checkpoints and
+///      replays with the next attempt tag.
+///
+/// A crashed rank (par::RankFailure) unwinds out of the rank function
+/// entirely; par::Runtime::run's respawn supervisor re-invokes it and
+/// the replacement reads this Coordinator to learn where the run is:
+/// which (round, attempt) is in flight and which ranks are dead. In
+/// kRespawn mode it restores its blocks from the last checkpoint and
+/// re-executes the attempt (duplicate suppression absorbs its
+/// pre-crash sends); in kDegrade mode it marks itself dead and serves
+/// out the run as a spare that only votes, drains and participates in
+/// the collective write, while its blocks are reassigned to surviving
+/// ranks (ownerOf) that restore them from the checkpoint store.
+///
+/// All Coordinator state is monotone (position only advances, dead
+/// ranks stay dead), so concurrent identical writes by ranks leaving
+/// the same vote are harmless.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fault/checkpoint.hpp"
+
+namespace msc::fault {
+
+enum class RecoveryMode : int {
+  kOff = 0,   ///< faults surface as structured errors; no recovery
+  kRespawn,   ///< a crashed rank is respawned from its last checkpoint
+  kDegrade,   ///< a crashed rank stays dead; its blocks move to survivors
+};
+
+const char* recoveryModeName(RecoveryMode m);
+
+/// A recovery-protocol failure that is *not* recoverable (attempt
+/// budget exhausted, missing checkpoint, no survivors left). Carries
+/// the protocol position for diagnostics.
+class RecoveryError : public std::runtime_error {
+ public:
+  RecoveryError(int rank, int round, int attempt, const std::string& what_arg)
+      : std::runtime_error("fault::RecoveryError [rank " + std::to_string(rank) +
+                           ", round " + std::to_string(round) + ", attempt " +
+                           std::to_string(attempt) + "]: " + what_arg),
+        rank_(rank), round_(round), attempt_(attempt) {}
+  int rank() const { return rank_; }
+  int round() const { return round_; }
+  int attempt() const { return attempt_; }
+
+ private:
+  int rank_, round_, attempt_;
+};
+
+/// Deterministic block ownership under a dead-rank mask: the home
+/// rank (block % nranks) while it lives, else the surviving rank at
+/// the block's position in the sorted live list. Every rank computes
+/// the same map from the same mask; a mask of all-false reproduces
+/// the fault-free owner exactly.
+int ownerOf(int block, int nranks, const std::vector<bool>& dead);
+
+class Coordinator {
+ public:
+  Coordinator(int nranks, RecoveryMode mode, CheckpointStore* store);
+
+  RecoveryMode mode() const { return mode_; }
+  CheckpointStore& store() { return *store_; }
+  int nranks() const { return nranks_; }
+
+  struct Position {
+    int round = 0;
+    int attempt = 0;
+    bool finished = false;
+  };
+
+  /// The attempt currently in flight. A respawned rank reads this to
+  /// rejoin; it is exact because no peer can pass the attempt's vote
+  /// without the crashed rank's contribution.
+  Position position() const;
+  /// Advance to (round, attempt); monotone — a stale write (from a
+  /// rank leaving an earlier vote late) is ignored.
+  void advanceTo(int round, int attempt);
+  void setFinished();
+
+  /// Dead-rank bookkeeping (kDegrade). markDead is idempotent.
+  void markDead(int rank);
+  bool isDead(int rank) const;
+  std::vector<bool> deadMask() const;
+  int liveCount() const;
+
+  /// Per-rank entry counter: 0 for the first invocation of the rank
+  /// function, >= 1 for a respawned replacement. Called once at entry.
+  int noteEntry(int rank);
+  /// Total respawns across all ranks so far.
+  std::int64_t respawns() const;
+
+  // --- Recovery accounting (for ThreadedResult/msc_chaos reporting).
+  void noteReplay() { replays_.fetch_add(1, std::memory_order_relaxed); }
+  void noteReassigned(int blocks) {
+    reassigned_.fetch_add(blocks, std::memory_order_relaxed);
+  }
+  void noteDrained(int messages) {
+    drained_.fetch_add(messages, std::memory_order_relaxed);
+  }
+  std::int64_t replays() const { return replays_.load(std::memory_order_relaxed); }
+  std::int64_t reassignedBlocks() const {
+    return reassigned_.load(std::memory_order_relaxed);
+  }
+  std::int64_t drainedMessages() const {
+    return drained_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Position pos_;
+  std::vector<bool> dead_;
+  std::vector<int> entries_;
+  RecoveryMode mode_;
+  int nranks_;
+  CheckpointStore* store_;  ///< non-owning; outlives the run
+  std::atomic<std::int64_t> replays_{0};
+  std::atomic<std::int64_t> reassigned_{0};
+  std::atomic<std::int64_t> drained_{0};
+};
+
+}  // namespace msc::fault

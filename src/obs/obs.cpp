@@ -13,6 +13,10 @@ const char* counterName(Counter c) {
     case Counter::kMailboxWaitSeconds: return "mailbox_wait_s";
     case Counter::kBarrierWaitSeconds: return "barrier_wait_s";
     case Counter::kGlueSeconds: return "glue_s";
+    case Counter::kRecvRetries: return "recv_retries";
+    case Counter::kRecvTimeouts: return "recv_timeouts";
+    case Counter::kRespawns: return "respawns";
+    case Counter::kRoundReplays: return "round_replays";
   }
   return "unknown";
 }

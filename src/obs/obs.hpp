@@ -37,8 +37,12 @@ enum class Counter : int {
   kMailboxWaitSeconds,  ///< blocked inside recv() waiting for a match
   kBarrierWaitSeconds,  ///< blocked inside barrier()
   kGlueSeconds,         ///< merge-group glue + re-simplify at roots
+  kRecvRetries,         ///< empty wakeups inside deadline-bounded tryRecv()
+  kRecvTimeouts,        ///< tryRecv() deadlines that expired without a message
+  kRespawns,            ///< rank deaths survived by the respawn supervisor
+  kRoundReplays,        ///< merge-round attempts rolled back and re-executed
 };
-inline constexpr int kNumCounters = 7;
+inline constexpr int kNumCounters = 11;
 
 const char* counterName(Counter c);
 

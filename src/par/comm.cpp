@@ -1,5 +1,6 @@
 #include "par/comm.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <exception>
@@ -50,6 +51,26 @@ Bytes Comm::recv(int src, int tag, int* out_src, int* out_tag) const {
         " is reserved: user tags must be >= 0 (negative tags belong to runtime "
         "framing: kAny = -1, kTagGather = -1000, kTagBcast = -1001)");
   return rt_->recv(rank_, src, tag, out_src, out_tag, audit::OpKind::kP2P, -1);
+}
+
+std::optional<Bytes> Comm::tryRecv(int src, int tag, const RecvDeadline& deadline,
+                                   int* out_src, int* out_tag) const {
+  if (src != kAny && (src < 0 || src >= size_))
+    throw std::invalid_argument("Comm::tryRecv: src " + std::to_string(src) +
+                                " out of range [0, " + std::to_string(size_) +
+                                ") and not kAny");
+  if (tag != kAny && tag < 0)
+    throw std::invalid_argument(
+        "Comm::tryRecv: tag " + std::to_string(tag) +
+        " is reserved: user tags must be >= 0 (negative tags belong to runtime "
+        "framing: kAny = -1, kTagGather = -1000, kTagBcast = -1001)");
+  if (deadline.seconds <= 0 || deadline.backoff_initial_ms <= 0 ||
+      deadline.backoff_max_ms < deadline.backoff_initial_ms)
+    throw std::invalid_argument(
+        "Comm::tryRecv: invalid RecvDeadline: seconds and backoff_initial_ms must be "
+        "> 0 and backoff_max_ms >= backoff_initial_ms");
+  return rt_->recvImpl(rank_, src, tag, out_src, out_tag, audit::OpKind::kP2P, -1,
+                       &deadline);
 }
 
 bool Comm::probe(int src, int tag) const {
@@ -165,15 +186,26 @@ void Runtime::send(int src, int dst, int tag, Bytes payload, audit::OpKind kind)
 
 Bytes Runtime::recv(int self, int src, int tag, int* out_src, int* out_tag,
                     audit::OpKind expect, std::int64_t expect_epoch) {
+  auto b = recvImpl(self, src, tag, out_src, out_tag, expect, expect_epoch, nullptr);
+  assert(b.has_value());  // no deadline: recvImpl can only return by matching
+  return std::move(*b);
+}
+
+std::optional<Bytes> Runtime::recvImpl(int self, int src, int tag, int* out_src,
+                                       int* out_tag, audit::OpKind expect,
+                                       std::int64_t expect_epoch,
+                                       const Comm::RecvDeadline* deadline) {
   obs::Tracer::Span sp;
   if (tracer_) {
-    sp = tracer_->span(self, "recv", "comm");
+    sp = tracer_->span(self, deadline ? "try_recv" : "recv", "comm");
     sp.arg("src", src).arg("tag", tag);
   }
   Mailbox& box = boxes_[static_cast<std::size_t>(self)];
   double waited = 0;
   bool registered = false;  // audited: this rank is recorded as blocked
   double block_start = 0;
+  const double give_up_at = deadline ? steadySeconds() + deadline->seconds : 0;
+  double backoff_ms = deadline ? deadline->backoff_initial_ms : 0;
   std::unique_lock lock(box.mu);
   for (;;) {
     for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
@@ -214,6 +246,23 @@ Bytes Runtime::recv(int self, int src, int tag, int* out_src, int* out_tag,
         return b;
       }
     }
+    double wait_ms = 1e12;  // effectively "wait until notified"
+    if (deadline) {
+      const double remaining_ms = (give_up_at - steadySeconds()) * 1000.0;
+      if (remaining_ms <= 0) {
+        // Give up. The blocked registration must be withdrawn so the
+        // deadlock detector never sees a rank that already moved on.
+        if (auditor_ && registered) auditor_->onUnblocked(self);
+        lock.unlock();
+        if (tracer_) {
+          tracer_->count(self, obs::Counter::kRecvTimeouts, 1);
+          if (waited > 0) tracer_->count(self, obs::Counter::kMailboxWaitSeconds, waited);
+        }
+        return std::nullopt;
+      }
+      wait_ms = std::min(backoff_ms, remaining_ms);
+      backoff_ms = std::min(backoff_ms * 2.0, deadline->backoff_max_ms);
+    }
     if (auditor_) {
       if (!registered) {
         audit::Auditor::Wait w;
@@ -226,10 +275,16 @@ Bytes Runtime::recv(int self, int src, int tag, int* out_src, int* out_tag,
       }
       if (auditor_->failed()) auditor_->onAborted(self);
       const double t0 = tracer_ ? tracer_->now() : 0;
-      box.cv.wait_for(lock, kAuditPoll);
+      const double poll_ms =
+          std::min(wait_ms, std::chrono::duration<double, std::milli>(kAuditPoll).count());
+      box.cv.wait_for(lock, std::chrono::duration<double, std::milli>(poll_ms));
       if (tracer_) waited += tracer_->now() - t0;
       if (steadySeconds() - block_start > auditor_->options().block_timeout_seconds)
         auditor_->onStuck(self);
+    } else if (deadline) {
+      const double t0 = tracer_ ? tracer_->now() : 0;
+      box.cv.wait_for(lock, std::chrono::duration<double, std::milli>(wait_ms));
+      if (tracer_) waited += tracer_->now() - t0;
     } else if (tracer_) {
       const double t0 = tracer_->now();
       box.cv.wait(lock);
@@ -237,6 +292,7 @@ Bytes Runtime::recv(int self, int src, int tag, int* out_src, int* out_tag,
     } else {
       box.cv.wait(lock);
     }
+    if (deadline && tracer_) tracer_->count(self, obs::Counter::kRecvRetries, 1);
   }
 }
 
@@ -285,7 +341,7 @@ void Runtime::barrier(int self) {
 }
 
 void Runtime::run(int nranks, const std::function<void(Comm&)>& fn, obs::Tracer* tracer,
-                  audit::Auditor* auditor) {
+                  audit::Auditor* auditor, const RunOptions* opts) {
   assert(nranks >= 1);
   Runtime rt(nranks, tracer, auditor);
   const bool track = auditor && auditor->options().track_ownership;
@@ -296,28 +352,50 @@ void Runtime::run(int nranks, const std::function<void(Comm&)>& fn, obs::Tracer*
   std::exception_ptr first_error;
 
   for (int r = 0; r < nranks; ++r) {
-    threads.emplace_back([&rt, &fn, r, nranks, &err_mu, &first_error, auditor, track] {
+    threads.emplace_back([&rt, &fn, r, nranks, &err_mu, &first_error, tracer, auditor,
+                          track, opts] {
       if (track) audit::AllocTracking::setThreadRank(r);
       Comm comm(rt, r, nranks);
-      try {
-        fn(comm);
-        // A clean exit can still prove other ranks deadlocked (they
-        // may be waiting on this rank forever).
-        if (auditor) auditor->onDone(r);
-      } catch (...) {
-        {
-          const std::lock_guard lock(err_mu);
-          if (!first_error) first_error = std::current_exception();
+      const auto record_error = [&err_mu, &first_error] {
+        const std::lock_guard lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      };
+      const auto settle_auditor = [auditor, r] {
+        if (!auditor) return;
+        // A failed rank never sends again either; let the detector
+        // release anyone waiting on it. Its own error is already
+        // latched, so a second one is dropped here.
+        try {
+          auditor->onDone(r);
+        } catch (...) {
         }
-        if (auditor) {
-          // A throwing rank never sends again either; let the
-          // detector release anyone waiting on it. Its own error is
-          // already latched, so a second one is dropped here.
-          try {
-            auditor->onDone(r);
-          } catch (...) {
+      };
+      int respawns = 0;
+      for (;;) {
+        try {
+          fn(comm);
+          // A clean exit can still prove other ranks deadlocked (they
+          // may be waiting on this rank forever).
+          if (auditor) auditor->onDone(r);
+        } catch (const RankFailure&) {
+          if (opts && respawns < opts->max_respawns_per_rank) {
+            // Supervised death: restart the rank function in place —
+            // the replacement process a scheduler would start. The
+            // auditor must NOT see this as done (a respawning rank is
+            // not a deadlock; it will block and send again).
+            ++respawns;
+            if (auditor) auditor->onRespawn(r);
+            if (tracer) tracer->count(r, obs::Counter::kRespawns, 1);
+            if (opts->on_respawn) opts->on_respawn(r, respawns);
+            continue;
           }
+          record_error();
+          settle_auditor();
+        } catch (...) {
+          record_error();
+          settle_auditor();
         }
+        break;
       }
       if (track) audit::AllocTracking::setThreadRank(audit::kUntagged);
     });

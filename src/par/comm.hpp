@@ -25,6 +25,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -54,6 +55,23 @@ inline constexpr int kTagBcast = -1001;
 /// audit/tag_alloc.hpp for the contract it then enforces.
 using Bytes = std::vector<std::byte, audit::TagAlloc<std::byte>>;
 
+/// The death of a rank: thrown (by fault injection, or by any code
+/// that decides a rank cannot continue) to unwind the rank's function
+/// at its current operation. Runtime::run treats it specially when a
+/// respawn policy is attached (RunOptions): the rank's thread
+/// re-invokes the rank function, impersonating the replacement
+/// process a scheduler would start. Without a policy it is an
+/// ordinary fatal rank error.
+class RankFailure : public std::runtime_error {
+ public:
+  RankFailure(int rank, const std::string& what_arg)
+      : std::runtime_error(what_arg), rank_(rank) {}
+  int rank() const { return rank_; }
+
+ private:
+  int rank_;
+};
+
 class Runtime;
 
 /// A rank's endpoint into the runtime. Valid only inside the
@@ -76,6 +94,25 @@ class Comm {
   /// std::invalid_argument for an out-of-range `src` or a reserved
   /// (negative, non-kAny) `tag`.
   Bytes recv(int src, int tag, int* out_src = nullptr, int* out_tag = nullptr) const;
+
+  /// Bounded-wait receive knobs: how long to wait in total, and the
+  /// wake-up cadence, which backs off exponentially from
+  /// `backoff_initial_ms` to `backoff_max_ms` so a late message is
+  /// noticed quickly while a dead peer costs few spurious wakeups.
+  struct RecvDeadline {
+    double seconds = 5.0;
+    double backoff_initial_ms = 0.2;
+    double backoff_max_ms = 10.0;
+  };
+
+  /// Like recv(), but gives up after `deadline.seconds` and returns
+  /// std::nullopt instead of blocking forever — the building block of
+  /// the pipeline's crash recovery (a dead source rank must surface
+  /// as a timeout the caller can vote on, never as a hang). Audited
+  /// and traced exactly like recv(); a timeout additionally bumps the
+  /// obs kRecvTimeouts counter (each empty wakeup bumps kRecvRetries).
+  std::optional<Bytes> tryRecv(int src, int tag, const RecvDeadline& deadline,
+                               int* out_src = nullptr, int* out_tag = nullptr) const;
 
   /// True if a matching message is already queued. Same argument
   /// validation as recv().
@@ -125,6 +162,18 @@ class Comm {
 /// Owns the mailboxes and threads of one parallel execution.
 class Runtime {
  public:
+  /// Supervision policy for rank death (par::RankFailure).
+  struct RunOptions {
+    /// When > 0, a rank function that throws RankFailure is re-invoked
+    /// on the same thread — the replacement process — up to this many
+    /// times per rank; the failure beyond the budget becomes the run's
+    /// error. 0 (the default) rethrows the first RankFailure.
+    int max_respawns_per_rank = 0;
+    /// Called right before each re-invocation (concurrently across
+    /// ranks). `attempt` is 1 for the first respawn.
+    std::function<void(int rank, int attempt)> on_respawn;
+  };
+
   /// Run `fn(comm)` on `nranks` concurrent ranks; returns when all
   /// ranks finish. Exceptions thrown by a rank are rethrown here
   /// (first one wins) after all ranks are joined.
@@ -140,8 +189,14 @@ class Runtime {
   /// out-of-epoch receives, leaked mailbox messages and cross-rank
   /// buffer frees abort the run with a structured audit::AuditError
   /// instead of hanging or corrupting silently.
+  ///
+  /// If `opts` is non-null, its respawn policy supervises RankFailure:
+  /// the dying rank is restarted in place (the auditor is told via
+  /// onRespawn, so a respawning rank is never mistaken for a finished
+  /// one by the deadlock detector; the tracer counts kRespawns).
   static void run(int nranks, const std::function<void(Comm&)>& fn,
-                  obs::Tracer* tracer = nullptr, audit::Auditor* auditor = nullptr);
+                  obs::Tracer* tracer = nullptr, audit::Auditor* auditor = nullptr,
+                  const RunOptions* opts = nullptr);
 
  private:
   friend class Comm;
@@ -163,6 +218,11 @@ class Runtime {
   void send(int src, int dst, int tag, Bytes payload, audit::OpKind kind);
   Bytes recv(int self, int src, int tag, int* out_src, int* out_tag, audit::OpKind expect,
              std::int64_t expect_epoch);
+  /// Shared receive loop: blocks forever when `deadline` is null,
+  /// else returns nullopt once the deadline expires.
+  std::optional<Bytes> recvImpl(int self, int src, int tag, int* out_src, int* out_tag,
+                                audit::OpKind expect, std::int64_t expect_epoch,
+                                const Comm::RecvDeadline* deadline);
   bool probe(int self, int src, int tag);
   void barrier(int self);
 

@@ -1,11 +1,112 @@
 #include "pipeline/config.hpp"
 
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
 #include "core/boundary.hpp"
 #include "core/lower_star.hpp"
 #include "core/simplify.hpp"
 #include "decomp/decompose.hpp"
+#include "fault/inject.hpp"
 
 namespace msc::pipeline {
+
+namespace {
+
+/// Parse `name` from the environment as a double into `out`; absent
+/// leaves `out` untouched, garbage throws naming the variable.
+void envDouble(const char* name, double* out) {
+  const char* s = std::getenv(name);
+  if (!s || !*s) return;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (!end || *end != '\0')
+    throw std::invalid_argument(std::string(name) + ": cannot parse '" + s +
+                                "' as a number");
+  *out = v;
+}
+
+void envInt(const char* name, int* out) {
+  const char* s = std::getenv(name);
+  if (!s || !*s) return;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (!end || *end != '\0')
+    throw std::invalid_argument(std::string(name) + ": cannot parse '" + s +
+                                "' as an integer");
+  *out = static_cast<int>(v);
+}
+
+[[noreturn]] void rejectConfig(const std::string& knob, const std::string& why) {
+  throw std::invalid_argument("PipelineConfig: " + knob + " " + why);
+}
+
+}  // namespace
+
+PipelineConfig withEnvOverrides(const PipelineConfig& cfg) {
+  PipelineConfig out = cfg;
+  envDouble("MSC_BLOCK_TIMEOUT", &out.block_timeout_seconds);
+  envDouble("MSC_RECV_DEADLINE", &out.fault.recv_deadline_seconds);
+  envDouble("MSC_BACKOFF_INITIAL_MS", &out.fault.backoff_initial_ms);
+  envDouble("MSC_BACKOFF_MAX_MS", &out.fault.backoff_max_ms);
+  envInt("MSC_MAX_ROUND_ATTEMPTS", &out.fault.max_round_attempts);
+  return out;
+}
+
+void validatePipelineConfig(const PipelineConfig& cfg) {
+  if (cfg.nranks < 1)
+    rejectConfig("nranks", "must be >= 1, got " + std::to_string(cfg.nranks));
+  if (cfg.nblocks < 1)
+    rejectConfig("nblocks", "must be >= 1, got " + std::to_string(cfg.nblocks));
+  if (cfg.nranks > cfg.nblocks)
+    rejectConfig("nranks",
+                 "(" + std::to_string(cfg.nranks) + ") must not exceed nblocks (" +
+                     std::to_string(cfg.nblocks) +
+                     "): a rank with no block would idle through every stage");
+  if (!(cfg.block_timeout_seconds > 0))
+    rejectConfig("block_timeout_seconds", "must be > 0, got " +
+                                              std::to_string(cfg.block_timeout_seconds));
+  const FaultToleranceConfig& f = cfg.fault;
+  if (!(f.recv_deadline_seconds > 0))
+    rejectConfig("fault.recv_deadline_seconds",
+                 "must be > 0, got " + std::to_string(f.recv_deadline_seconds));
+  if (!(f.recv_deadline_seconds < cfg.block_timeout_seconds))
+    rejectConfig("fault.recv_deadline_seconds",
+                 "(" + std::to_string(f.recv_deadline_seconds) +
+                     ") must be below block_timeout_seconds (" +
+                     std::to_string(cfg.block_timeout_seconds) +
+                     "): the watchdog would fire before the receive gives up");
+  if (!(f.backoff_initial_ms > 0))
+    rejectConfig("fault.backoff_initial_ms",
+                 "must be > 0, got " + std::to_string(f.backoff_initial_ms));
+  if (!(f.backoff_max_ms >= f.backoff_initial_ms))
+    rejectConfig("fault.backoff_max_ms",
+                 "(" + std::to_string(f.backoff_max_ms) +
+                     ") must be >= backoff_initial_ms (" +
+                     std::to_string(f.backoff_initial_ms) + ")");
+  if (f.max_round_attempts < 1 || f.max_round_attempts > 64)
+    rejectConfig("fault.max_round_attempts",
+                 "must be in [1, 64] (attempt-tag stride), got " +
+                     std::to_string(f.max_round_attempts));
+  if (f.recovery != fault::RecoveryMode::kOff && f.max_respawns_per_rank < 1)
+    rejectConfig("fault.max_respawns_per_rank",
+                 "must be >= 1 when recovery is enabled, got " +
+                     std::to_string(f.max_respawns_per_rank));
+  if (f.injector) {
+    if (f.recovery == fault::RecoveryMode::kOff && !cfg.auditor)
+      rejectConfig("fault.injector",
+                   "with recovery off requires an attached auditor: a crashed rank "
+                   "must surface as a structured error, never a hang");
+    if (f.recovery != fault::RecoveryMode::kOff &&
+        f.max_respawns_per_rank < f.injector->options().max_crashes_per_rank)
+      rejectConfig("fault.max_respawns_per_rank",
+                   "(" + std::to_string(f.max_respawns_per_rank) +
+                       ") must cover the injector's max_crashes_per_rank (" +
+                       std::to_string(f.injector->options().max_crashes_per_rank) +
+                       ") or a run can die with retries still owed");
+  }
+}
 
 MsComplex computeBlockComplex(const PipelineConfig& cfg, const Block& block,
                               TraceStats* tstats, SimplifyStats* sstats, int obs_rank) {

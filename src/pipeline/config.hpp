@@ -9,6 +9,7 @@
 
 #include "core/simplify.hpp"
 #include "core/trace.hpp"
+#include "fault/recovery.hpp"
 #include "io/pack.hpp"
 #include "io/volume.hpp"
 #include "merge/plan.hpp"
@@ -17,6 +18,9 @@
 
 namespace msc::audit {
 class Auditor;
+}
+namespace msc::fault {
+class Injector;
 }
 
 namespace msc::pipeline {
@@ -36,6 +40,35 @@ struct DataSource {
   /// the paper's subarray access pattern.
   std::optional<std::string> volume_path;
   io::SampleType sample_type = io::SampleType::kFloat32;
+};
+
+/// Fault injection and recovery policy for the threaded driver. With
+/// no injector and recovery off (the defaults) the driver takes the
+/// original fault-free code path untouched.
+struct FaultToleranceConfig {
+  /// Deterministic fault injector (non-owning; must outlive the run).
+  /// Null = no faults. Injection is scoped to the merge rounds' data
+  /// sends/receives; votes, drains, barriers and the write phase are
+  /// the reliable control channel.
+  fault::Injector* injector{nullptr};
+  /// What happens when a rank dies. kOff requires an attached auditor
+  /// when an injector is present, so a crash surfaces as a structured
+  /// error instead of a hang.
+  fault::RecoveryMode recovery{fault::RecoveryMode::kOff};
+  /// Merge-round receive deadline: how long a root waits for one
+  /// member complex before voting the attempt failed.
+  double recv_deadline_seconds{5.0};
+  /// Exponential wake-up backoff inside a deadline-bounded receive.
+  double backoff_initial_ms{0.2};
+  double backoff_max_ms{10.0};
+  /// Replay budget per merge round (attempt tags need 1..64).
+  int max_round_attempts{16};
+  /// Respawn budget per rank; must cover the injector's per-rank
+  /// crash cap or a run can die with retries still owed.
+  int max_respawns_per_rank{8};
+  /// Non-empty: checkpoints are also spilled to this directory (the
+  /// durable medium a cross-process restart would restore from).
+  std::string checkpoint_dir;
 };
 
 struct PipelineConfig {
@@ -62,7 +95,31 @@ struct PipelineConfig {
   /// one-branch-per-op path. The simulated driver has no real
   /// communication, so the knob only affects runThreadedPipeline.
   audit::Auditor* auditor{nullptr};
+  /// Watchdog promoted from audit::Options: a rank blocked longer
+  /// than this fails an audited run. The threaded driver applies it
+  /// to the attached auditor, replacing the hard-coded 30 s.
+  double block_timeout_seconds{30.0};
+  /// Fault injection + recovery (threaded driver only).
+  FaultToleranceConfig fault;
 };
+
+/// A copy of `cfg` with environment overrides applied:
+///   MSC_BLOCK_TIMEOUT        -> block_timeout_seconds
+///   MSC_RECV_DEADLINE        -> fault.recv_deadline_seconds
+///   MSC_BACKOFF_INITIAL_MS   -> fault.backoff_initial_ms
+///   MSC_BACKOFF_MAX_MS       -> fault.backoff_max_ms
+///   MSC_MAX_ROUND_ATTEMPTS   -> fault.max_round_attempts
+/// Unset variables leave the field untouched; an unparsable value
+/// throws std::invalid_argument naming the variable.
+PipelineConfig withEnvOverrides(const PipelineConfig& cfg);
+
+/// Reject invalid configurations with a std::invalid_argument whose
+/// message names the offending knob: non-positive block/timeout
+/// values, nranks > nblocks, backoff inversions, attempt budgets
+/// outside [1, 64], a recovery mode without a respawn budget, or
+/// fault injection with recovery off and no auditor attached. Both
+/// drivers call this (after env overrides) before running.
+void validatePipelineConfig(const PipelineConfig& cfg);
 
 /// Compute one block's complex from already-loaded samples:
 /// gradient, trace, simplify, leaving the complex compacted to the

@@ -28,7 +28,9 @@ struct ActiveSet {
 
 }  // namespace
 
-SimResult runSimPipeline(const PipelineConfig& cfg, const SimModels& models) {
+SimResult runSimPipeline(const PipelineConfig& user_cfg, const SimModels& models) {
+  const PipelineConfig cfg = withEnvOverrides(user_cfg);
+  validatePipelineConfig(cfg);
   const double t_start = now();
   SimResult res;
 

@@ -1,15 +1,23 @@
 #include "pipeline/threaded_pipeline.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <map>
 #include <mutex>
+#include <optional>
+#include <set>
+#include <utility>
 
+#include "audit/audit.hpp"
 #include "core/merge.hpp"
 #include "decomp/decompose.hpp"
+#include "fault/inject.hpp"
+#include "fault/recovery.hpp"
 #include "io/complex_file.hpp"
 #include "obs/obs.hpp"
 #include "par/comm.hpp"
+#include "pipeline/wire_format.hpp"
 
 namespace msc::pipeline {
 
@@ -21,42 +29,23 @@ double now() {
       .count();
 }
 
-constexpr int kTagMergeBase = 100;  // + round
+constexpr int kTagMergeBase = 100;  // + round (fault-free driver)
 constexpr int kTagWrite = 50;
 
-/// Message framing: [u32 dest_block_id][u32 sender_block_id][payload].
-/// The sender id lets roots glue members in deterministic (block id)
-/// order regardless of message arrival order, so the merged complex
-/// is bit-identical to the simulated driver's.
-par::Bytes frame(int dest_block, int sender_block, const io::Bytes& packed) {
-  par::Bytes out(2 * sizeof(std::uint32_t) + packed.size());
-  const auto d = static_cast<std::uint32_t>(dest_block);
-  const auto s = static_cast<std::uint32_t>(sender_block);
-  std::memcpy(out.data(), &d, sizeof(d));
-  std::memcpy(out.data() + sizeof(d), &s, sizeof(s));
-  std::memcpy(out.data() + 2 * sizeof(d), packed.data(), packed.size());
-  return out;
+/// The recovery driver qualifies merge tags by attempt so a replayed
+/// round can never consume a failed attempt's stragglers:
+/// tag = kTagMergeBase + round * kAttemptStride + attempt. The stride
+/// bounds max_round_attempts (validated to [1, 64]); the fault-free
+/// driver keeps the original kTagMergeBase + round tags untouched.
+constexpr int kAttemptStride = 64;
+
+int mergeTag(int round, int attempt) {
+  return kTagMergeBase + round * kAttemptStride + attempt;
 }
 
-struct Framed {
-  int dest_block;
-  int sender_block;
-  io::Bytes packed;
-};
-
-Framed unframe(const par::Bytes& in) {
-  std::uint32_t d = 0, s = 0;
-  std::memcpy(&d, in.data(), sizeof(d));
-  std::memcpy(&s, in.data() + sizeof(d), sizeof(s));
-  io::Bytes packed(in.begin() + 2 * sizeof(d), in.end());
-  return {static_cast<int>(d), static_cast<int>(s), std::move(packed)};
-}
-
-}  // namespace
-
-ThreadedResult runThreadedPipeline(const PipelineConfig& cfg) {
-  ThreadedResult result;
-  std::mutex result_mu;
+/// The original fault-free driver, byte-for-byte: taken whenever no
+/// injector is attached and recovery is off.
+void runPlain(const PipelineConfig& cfg, ThreadedResult& result, std::mutex& result_mu) {
   obs::Tracer* const tr = cfg.tracer;
 
   par::Runtime::run(cfg.nranks, [&](par::Comm& comm) {
@@ -199,7 +188,315 @@ ThreadedResult runThreadedPipeline(const PipelineConfig& cfg) {
     write_span.end();
     comm.barrier();
   }, cfg.tracer, cfg.auditor);
+}
 
+/// The recovery driver: every merge round becomes a transaction
+/// (attempt -> vote -> drain -> commit/rollback) over per-round
+/// checkpoints, under deterministic fault injection. See
+/// fault/recovery.hpp for the protocol and its invariants.
+void runRecovering(const PipelineConfig& cfg, ThreadedResult& result,
+                   std::mutex& result_mu) {
+  obs::Tracer* const tr = cfg.tracer;
+  fault::Injector* const inj = cfg.fault.injector;
+  const fault::RecoveryMode mode = cfg.fault.recovery;
+  fault::CheckpointStore store(cfg.fault.checkpoint_dir);
+  fault::Coordinator coord(cfg.nranks, mode, &store);
+  const par::Comm::RecvDeadline deadline{cfg.fault.recv_deadline_seconds,
+                                         cfg.fault.backoff_initial_ms,
+                                         cfg.fault.backoff_max_ms};
+  par::Runtime::RunOptions ropts;
+  ropts.max_respawns_per_rank =
+      mode == fault::RecoveryMode::kOff ? 0 : cfg.fault.max_respawns_per_rank;
+
+  par::Runtime::run(cfg.nranks, [&](par::Comm& comm) {
+    const int rank = comm.rank();
+    const int nranks = cfg.nranks;
+    const int incarnation = coord.noteEntry(rank);
+
+    std::map<int, MsComplex> owned;  // by block id
+    std::vector<bool> mask(static_cast<std::size_t>(nranks), false);  // agreed dead set
+    bool zombie = false;        // kDegrade: serves votes/drains/write only
+    bool fresh_corpse = false;  // newly dead: first vote must veto the attempt
+    int start_round = 0;
+    int attempt = 0;
+    double t_read0 = now(), t_read1 = t_read0, t_compute1 = t_read0;
+    std::vector<double> round_ends;
+
+    if (incarnation == 0) {
+      // --- Read/sample + compute, exactly as the fault-free driver.
+      // Faults are scoped to the merge rounds, so every rank runs
+      // this prologue exactly once.
+      comm.barrier();
+      t_read0 = now();
+      std::map<int, BlockField> fields;
+      {
+        auto sp = obs::span(tr, rank, "read", "stage");
+        for (const Block& blk : decompose(cfg.domain, cfg.nblocks)) {
+          if (blk.id % nranks != rank) continue;
+          auto bsp = obs::span(tr, rank, "read_block", "stage");
+          bsp.arg("block", blk.id);
+          fields.emplace(blk.id, cfg.source.volume_path
+                                     ? io::readBlock(*cfg.source.volume_path, blk,
+                                                     cfg.source.sample_type)
+                                     : synth::sample(blk, cfg.source.field));
+        }
+      }
+      comm.barrier();
+      t_read1 = now();
+      {
+        auto sp = obs::span(tr, rank, "compute", "stage");
+        for (auto& [id, bf] : fields) {
+          auto bsp = obs::span(tr, rank, "compute_block", "stage");
+          bsp.arg("block", id);
+          owned.emplace(id, computeBlockComplex(cfg, bf, nullptr, nullptr, rank));
+        }
+      }
+      fields.clear();
+      comm.barrier();
+      t_compute1 = now();
+      // Round-0 checkpoint: the recovery baseline.
+      for (const auto& [id, c] : owned) store.put(0, id, io::pack(c));
+    } else {
+      // --- Respawned replacement: rejoin the in-flight attempt. The
+      // position is exact because no peer can pass an attempt's vote
+      // without this rank's contribution.
+      const fault::Coordinator::Position pos = coord.position();
+      start_round = pos.round;
+      attempt = pos.attempt;
+      mask = coord.deadMask();
+      if (mode == fault::RecoveryMode::kDegrade) {
+        zombie = true;
+        fresh_corpse = !coord.isDead(rank);
+        coord.markDead(rank);
+        mask[static_cast<std::size_t>(rank)] = true;
+      } else {
+        // kRespawn: restore every home-owned block at the current
+        // round's entry, then re-execute the attempt from scratch
+        // (peers' duplicate suppression absorbs anything the previous
+        // incarnation already sent).
+        for (const int b : cfg.plan.survivorIds(cfg.nblocks, start_round)) {
+          if (b % nranks != rank) continue;
+          const auto bytes = store.get(start_round, b);
+          if (!bytes)
+            throw fault::RecoveryError(rank, start_round, attempt,
+                                       "missing checkpoint for block " + std::to_string(b));
+          owned.emplace(b, io::unpack(*bytes));
+        }
+      }
+    }
+
+    // Agree on an attempt's outcome and the dead set, then sweep the
+    // attempt's stragglers. Every deposit for (round, attempt)
+    // happens-before the decision broadcast (a sender deposits before
+    // it votes), so the post-vote drain races with nothing.
+    const auto voteAndDrain = [&](int round, int att, bool my_ok) -> bool {
+      par::Bytes ballot(2);
+      ballot[0] = static_cast<std::byte>(my_ok ? 1 : 0);
+      ballot[1] = static_cast<std::byte>(zombie ? 1 : 0);
+      std::vector<par::Bytes> ballots = comm.gather(0, std::move(ballot));
+      par::Bytes decision;
+      if (rank == 0) {
+        decision.resize(1 + static_cast<std::size_t>(nranks));
+        bool all_ok = true;
+        for (int i = 0; i < nranks; ++i) {
+          const par::Bytes& b = ballots[static_cast<std::size_t>(i)];
+          all_ok = all_ok && std::to_integer<int>(b[0]) != 0;
+          decision[1 + static_cast<std::size_t>(i)] = b[1];
+        }
+        decision[0] = static_cast<std::byte>(all_ok ? 1 : 0);
+      }
+      decision = comm.broadcast(0, std::move(decision));
+      for (int i = 0; i < nranks; ++i)
+        if (std::to_integer<int>(decision[1 + static_cast<std::size_t>(i)]) != 0 &&
+            !mask[static_cast<std::size_t>(i)]) {
+          mask[static_cast<std::size_t>(i)] = true;
+          coord.markDead(i);
+        }
+      const int tag = mergeTag(round, att);
+      int drained = 0;
+      while (comm.probe(par::kAny, tag)) {
+        comm.recv(par::kAny, tag);
+        ++drained;
+      }
+      if (drained > 0) coord.noteDrained(drained);
+      return std::to_integer<int>(decision[0]) != 0;
+    };
+
+    // --- Merge rounds as transactions.
+    std::vector<int> survivors = cfg.plan.survivorIds(cfg.nblocks, start_round);
+    for (int r = start_round; r < cfg.plan.rounds(); ++r) {
+      for (;;) {
+        if (attempt >= cfg.fault.max_round_attempts)
+          // Shared decisions advance `attempt` in lockstep, so every
+          // rank exhausts the budget at once: structured, not a hang.
+          throw fault::RecoveryError(rank, r, attempt,
+                                     "merge-round attempt budget exhausted (" +
+                                         std::to_string(cfg.fault.max_round_attempts) +
+                                         " attempts)");
+        coord.advanceTo(r, attempt);
+        const int tag = mergeTag(r, attempt);
+        bool ok = true;
+        std::vector<int> sent;
+        std::map<int, std::map<int, io::Bytes>> incoming;  // root -> (sender -> bytes)
+        if (!zombie) {
+          auto att_span = obs::span(tr, rank, "merge_attempt", "stage");
+          att_span.arg("round", r).arg("attempt", attempt);
+          const auto groups = cfg.plan.round(r, static_cast<int>(survivors.size()));
+          // Send phase (fault point per send): members ship to the
+          // root's owner under the agreed dead mask. Nothing is
+          // erased yet — rollback needs the blocks in place.
+          std::set<std::pair<int, int>> missing;  // (root, sender) still awaited
+          for (const MergeGroup& g : groups) {
+            const int root_block = survivors[static_cast<std::size_t>(g.root)];
+            const int root_owner = fault::ownerOf(root_block, nranks, mask);
+            for (std::size_t m = 1; m < g.members.size(); ++m) {
+              const int blk = survivors[static_cast<std::size_t>(g.members[m])];
+              if (fault::ownerOf(blk, nranks, mask) == rank) {
+                const bool dup = fault::applyFault(inj, rank, fault::OpClass::kSend, tr);
+                par::Bytes f = frame(root_block, blk, io::pack(owned.at(blk)));
+                if (dup) comm.send(root_owner, tag, f);
+                comm.send(root_owner, tag, std::move(f));
+                sent.push_back(blk);
+              }
+              if (root_owner == rank) missing.insert({root_block, blk});
+            }
+          }
+          // Receive phase (fault point per receive): deadline-bounded
+          // and keyed on (root, sender) so duplicates and replayed
+          // sends collapse to one delivery.
+          while (!missing.empty()) {
+            fault::applyFault(inj, rank, fault::OpClass::kRecv, tr);
+            auto msg = comm.tryRecv(par::kAny, tag, deadline);
+            if (!msg) {
+              ok = false;
+              break;
+            }
+            Framed f = unframe(*msg);
+            if (missing.erase({f.dest_block, f.sender_block}) > 0)
+              incoming[f.dest_block].emplace(f.sender_block, std::move(f.packed));
+          }
+        }
+        const bool advance = voteAndDrain(r, attempt, zombie ? !fresh_corpse : ok);
+        fresh_corpse = false;
+        if (std::all_of(mask.begin(), mask.end(), [](bool d) { return d; }))
+          throw fault::RecoveryError(rank, r, attempt, "no live ranks remain");
+        if (advance) {
+          if (!zombie) {
+            for (const int b : sent) owned.erase(b);
+            for (auto& [root_block, by_sender] : incoming) {
+              std::vector<MsComplex> members;
+              members.reserve(by_sender.size());
+              for (auto& [sender, bytes] : by_sender) members.push_back(io::unpack(bytes));
+              MsComplex& root = owned.at(root_block);
+              auto gsp = obs::span(tr, rank, "glue", "stage");
+              gsp.arg("root_block", root_block)
+                  .arg("members", static_cast<std::int64_t>(members.size()));
+              const double g0 = tr ? tr->now() : 0;
+              mergeComplexes(root, std::move(members), cfg.persistence_threshold);
+              root.compact();
+              if (tr) tr->count(rank, obs::Counter::kGlueSeconds, tr->now() - g0);
+            }
+            // Checkpoint the committed round's exit state — the entry
+            // state of round r + 1.
+            for (const auto& [id, c] : owned) store.put(r + 1, id, io::pack(c));
+          }
+          round_ends.push_back(now());
+          attempt = 0;
+          break;
+        }
+        // Rollback: uniformly restore this rank's round-entry state
+        // from the checkpoints (reassignment under a grown dead mask
+        // may have changed what this rank owns).
+        coord.noteReplay();
+        if (tr) tr->count(rank, obs::Counter::kRoundReplays, 1);
+        if (!zombie) {
+          owned.clear();
+          for (const int b : survivors) {
+            if (fault::ownerOf(b, nranks, mask) != rank) continue;
+            const auto bytes = store.get(r, b);
+            if (!bytes)
+              throw fault::RecoveryError(rank, r, attempt,
+                                         "missing checkpoint for block " + std::to_string(b));
+            if (b % nranks != rank) coord.noteReassigned(1);
+            owned.emplace(b, io::unpack(*bytes));
+          }
+        }
+        ++attempt;
+      }
+      survivors = cfg.plan.survivorIds(cfg.nblocks, r + 1);
+    }
+    coord.setFinished();
+
+    // --- Write, as in the fault-free driver; zombies participate in
+    // the collective write with zero contributions ("null write").
+    auto write_span = obs::span(tr, rank, "write", "stage");
+    std::map<int, int> slotOf;
+    for (std::size_t i = 0; i < survivors.size(); ++i)
+      slotOf.emplace(survivors[i], static_cast<int>(i));
+    std::vector<io::WriteContribution> contrib;
+    for (auto& [id, c] : owned) {
+      io::Bytes packed = io::pack(c);
+      comm.send(0, kTagWrite, frame(id, id, packed));
+      if (!cfg.output_path.empty()) contrib.push_back({slotOf.at(id), std::move(packed)});
+    }
+    if (!cfg.output_path.empty())
+      io::parallelWriteComplexFile(comm, cfg.output_path,
+                                   static_cast<int>(survivors.size()), contrib);
+    if (rank == 0) {
+      std::map<int, io::Bytes> by_block;
+      for (std::size_t i = 0; i < survivors.size(); ++i) {
+        Framed f = unframe(comm.recv(par::kAny, kTagWrite));
+        by_block.emplace(f.dest_block, std::move(f.packed));
+      }
+      ThreadedResult local;
+      for (const int id : survivors) {
+        io::Bytes& b = by_block.at(id);
+        local.output_bytes += static_cast<std::int64_t>(b.size());
+        const MsComplex c = io::unpack(b);
+        const auto counts = c.liveNodeCounts();
+        for (int i = 0; i < 4; ++i)
+          local.node_counts[static_cast<std::size_t>(i)] += counts[i];
+        local.arc_count += c.liveArcCount();
+        local.outputs.push_back(std::move(b));
+      }
+      local.times.read = t_read1 - t_read0;
+      local.times.compute = t_compute1 - t_read1;
+      double prev = t_compute1;
+      for (const double e : round_ends) {
+        local.times.merge_rounds.push_back(e - prev);
+        prev = e;
+      }
+      local.times.write = now() - prev;
+      const std::lock_guard lock(result_mu);
+      result = std::move(local);
+    }
+    write_span.end();
+    comm.barrier();
+  }, tr, cfg.auditor, &ropts);
+
+  const fault::CheckpointStore::Stats cs = store.stats();
+  result.recovery.respawns = coord.respawns();
+  result.recovery.round_replays = coord.replays();
+  result.recovery.reassigned_blocks = coord.reassignedBlocks();
+  result.recovery.drained_messages = coord.drainedMessages();
+  result.recovery.checkpoint_puts = cs.puts;
+  result.recovery.checkpoint_restores = cs.restores;
+  if (inj) result.recovery.faults_injected = inj->firedTotal();
+}
+
+}  // namespace
+
+ThreadedResult runThreadedPipeline(const PipelineConfig& user_cfg) {
+  const PipelineConfig cfg = withEnvOverrides(user_cfg);
+  validatePipelineConfig(cfg);
+  if (cfg.auditor) cfg.auditor->setBlockTimeoutSeconds(cfg.block_timeout_seconds);
+
+  ThreadedResult result;
+  std::mutex result_mu;
+  if (cfg.fault.injector == nullptr && cfg.fault.recovery == fault::RecoveryMode::kOff)
+    runPlain(cfg, result, result_mu);
+  else
+    runRecovering(cfg, result, result_mu);
   return result;
 }
 

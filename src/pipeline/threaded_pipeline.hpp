@@ -15,11 +15,25 @@ struct ThreadedResult {
   /// Packed final complexes, in survivor order (gathered at rank 0).
   std::vector<io::Bytes> outputs;
   /// Measured wall-clock stage times (read/sample, compute,
-  /// merge rounds, write).
+  /// merge rounds, write). Best-effort when ranks were respawned.
   simnet::StageTimes times;
   std::array<std::int64_t, 4> node_counts{};
   std::int64_t arc_count{0};
   std::int64_t output_bytes{0};
+
+  /// Recovery accounting, populated when the run used the recovery
+  /// driver (an injector attached or a recovery mode enabled); all
+  /// zero on the fault-free path.
+  struct RecoveryStats {
+    std::int64_t respawns{0};           ///< rank deaths survived in place
+    std::int64_t round_replays{0};      ///< attempts rolled back (per rank)
+    std::int64_t reassigned_blocks{0};  ///< block restores onto a non-home rank
+    std::int64_t drained_messages{0};   ///< stale/duplicate frames swept post-vote
+    std::int64_t checkpoint_puts{0};
+    std::int64_t checkpoint_restores{0};
+    std::int64_t faults_injected{0};    ///< injector faults that fired
+  };
+  RecoveryStats recovery;
 };
 
 /// Run the pipeline on cfg.nranks concurrent ranks.

@@ -1,0 +1,53 @@
+/// \file wire_format.hpp
+/// Message framing shared by the threaded pipeline's merge and write
+/// phases: [u32 dest_block_id][u32 sender_block_id][payload].
+///
+/// The sender id lets roots glue members in deterministic (block id)
+/// order regardless of message arrival order, so the merged complex
+/// is bit-identical to the simulated driver's. The recovery layer
+/// additionally keys duplicate suppression on (dest, sender).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "io/pack.hpp"
+#include "par/comm.hpp"
+
+namespace msc::pipeline {
+
+inline constexpr std::size_t kFrameHeader = 2 * sizeof(std::uint32_t);
+
+inline par::Bytes frame(int dest_block, int sender_block, const io::Bytes& packed) {
+  par::Bytes out(kFrameHeader + packed.size());
+  const auto d = static_cast<std::uint32_t>(dest_block);
+  const auto s = static_cast<std::uint32_t>(sender_block);
+  std::memcpy(out.data(), &d, sizeof(d));
+  std::memcpy(out.data() + sizeof(d), &s, sizeof(s));
+  std::memcpy(out.data() + kFrameHeader, packed.data(), packed.size());
+  return out;
+}
+
+struct Framed {
+  int dest_block;
+  int sender_block;
+  io::Bytes packed;
+};
+
+/// Throws std::runtime_error on a frame too short to hold its header
+/// (a truncated or foreign message must never be memcpy'd blind).
+inline Framed unframe(const par::Bytes& in) {
+  if (in.size() < kFrameHeader)
+    throw std::runtime_error("pipeline::unframe: frame of " + std::to_string(in.size()) +
+                             " bytes is shorter than the " + std::to_string(kFrameHeader) +
+                             "-byte header");
+  std::uint32_t d = 0, s = 0;
+  std::memcpy(&d, in.data(), sizeof(d));
+  std::memcpy(&s, in.data() + sizeof(d), sizeof(s));
+  io::Bytes packed(in.begin() + static_cast<std::ptrdiff_t>(kFrameHeader), in.end());
+  return {static_cast<int>(d), static_cast<int>(s), std::move(packed)};
+}
+
+}  // namespace msc::pipeline

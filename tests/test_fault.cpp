@@ -1,0 +1,602 @@
+/// Fault injection + recovery tests (the chaos tier).
+///
+/// The contract under test: with deterministic fault injection
+/// attached (seeded crashes, delays, duplicate deliveries, straggler
+/// stalls), the threaded pipeline's recovered output is byte-identical
+/// to the fault-free run's — in respawn mode (dead ranks come back
+/// from the last checkpoint) and in graceful-degradation mode (dead
+/// ranks stay dead, their blocks move to survivors). The chaos matrix
+/// sweeps seeded fault schedules through both modes; the remaining
+/// tests pin the pieces that argument rests on: injector determinism,
+/// the pack projection, checkpoint store semantics (including the
+/// disk-spill restart path), ownership reassignment, config
+/// validation, and the no-hang guarantee when recovery is off.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "audit/audit.hpp"
+#include "check/canonical.hpp"
+#include "check/fuzz.hpp"
+#include "fault/checkpoint.hpp"
+#include "fault/inject.hpp"
+#include "fault/recovery.hpp"
+#include "io/pack.hpp"
+#include "par/comm.hpp"
+#include "pipeline/threaded_pipeline.hpp"
+#include "pipeline/wire_format.hpp"
+#include "synth/fields.hpp"
+
+namespace msc {
+namespace {
+
+pipeline::PipelineConfig chaosConfig(int nblocks = 8, int nranks = 4) {
+  pipeline::PipelineConfig cfg;
+  cfg.domain = Domain{{10, 10, 10}};
+  cfg.source.field = synth::noise(3);
+  cfg.nblocks = nblocks;
+  cfg.nranks = nranks;
+  cfg.persistence_threshold = 0.0f;
+  cfg.plan = MergePlan::fullMerge(nblocks);
+  return cfg;
+}
+
+void expectSameBytes(const std::vector<io::Bytes>& got,
+                     const std::vector<io::Bytes>& want, const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(got[i], want[i]) << what << ": output " << i << " differs";
+}
+
+// ---------------------------------------------------------------- injector
+
+TEST(Injector, ScheduleIsAFunctionOfSeedRankAndOpIndex) {
+  fault::InjectorOptions opts;
+  opts.seed = 42;
+  fault::Injector a(4, opts), b(4, opts);
+  for (int rank = 0; rank < 4; ++rank)
+    for (std::uint64_t op = 0; op < 500; ++op)
+      EXPECT_EQ(a.decide(rank, op, fault::OpClass::kSend),
+                b.decide(rank, op, fault::OpClass::kSend));
+
+  // decide() is pure: calling next() on one injector must not change
+  // what decide() reports, and interleaving ranks must not matter.
+  const fault::FaultKind later = a.decide(2, 123, fault::OpClass::kRecv);
+  for (int i = 0; i < 50; ++i) {
+    try {
+      a.next(0, fault::OpClass::kSend);
+    } catch (const par::RankFailure&) {
+    }
+  }
+  EXPECT_EQ(a.decide(2, 123, fault::OpClass::kRecv), later);
+}
+
+TEST(Injector, DifferentSeedsGiveDifferentSchedules) {
+  fault::InjectorOptions a_opts, b_opts;
+  a_opts.seed = 1;
+  b_opts.seed = 2;
+  fault::Injector a(2, a_opts), b(2, b_opts);
+  int differ = 0;
+  for (std::uint64_t op = 0; op < 2000; ++op)
+    differ += a.decide(0, op, fault::OpClass::kSend) !=
+              b.decide(0, op, fault::OpClass::kSend);
+  EXPECT_GT(differ, 0);
+}
+
+TEST(Injector, EveryFaultKindFires) {
+  // Drive each rate to 1.0 in turn and check the advertised behavior.
+  {
+    fault::InjectorOptions opts;
+    opts.seed = 7;
+    opts.crash_rate = 1.0;
+    opts.delay_rate = opts.duplicate_rate = opts.stall_rate = 0.0;
+    fault::Injector inj(1, opts);
+    EXPECT_THROW(fault::applyFault(&inj, 0, fault::OpClass::kSend, nullptr),
+                 par::RankFailure);
+    EXPECT_TRUE(inj.everCrashed(0));
+    EXPECT_EQ(inj.fired(fault::FaultKind::kCrash), 1);
+  }
+  {
+    fault::InjectorOptions opts;
+    opts.seed = 7;
+    opts.duplicate_rate = 1.0;
+    opts.crash_rate = opts.delay_rate = opts.stall_rate = 0.0;
+    fault::Injector inj(1, opts);
+    // Duplicates are a send-side fault; the same slot on a receive op
+    // degrades to a latency fault, never a double-delivery.
+    EXPECT_TRUE(fault::applyFault(&inj, 0, fault::OpClass::kSend, nullptr));
+    EXPECT_FALSE(fault::applyFault(&inj, 0, fault::OpClass::kRecv, nullptr));
+    EXPECT_GT(inj.fired(fault::FaultKind::kDuplicate), 0);
+  }
+  {
+    fault::InjectorOptions opts;
+    opts.seed = 7;
+    opts.delay_rate = 1.0;
+    opts.crash_rate = opts.duplicate_rate = opts.stall_rate = 0.0;
+    opts.delay_ms = 0.1;
+    fault::Injector inj(1, opts);
+    EXPECT_FALSE(fault::applyFault(&inj, 0, fault::OpClass::kSend, nullptr));
+    EXPECT_EQ(inj.fired(fault::FaultKind::kDelay), 1);
+  }
+  {
+    fault::InjectorOptions opts;
+    opts.seed = 7;
+    opts.stall_rate = 1.0;
+    opts.crash_rate = opts.delay_rate = opts.duplicate_rate = 0.0;
+    opts.stall_ms = 0.1;
+    fault::Injector inj(1, opts);
+    EXPECT_FALSE(fault::applyFault(&inj, 0, fault::OpClass::kRecv, nullptr));
+    EXPECT_EQ(inj.fired(fault::FaultKind::kStall), 1);
+  }
+}
+
+TEST(Injector, CrashCapIsPerRank) {
+  fault::InjectorOptions opts;
+  opts.seed = 11;
+  opts.crash_rate = 1.0;
+  opts.delay_rate = opts.duplicate_rate = opts.stall_rate = 0.0;
+  opts.max_crashes_per_rank = 2;
+  fault::Injector inj(2, opts);
+  for (int i = 0; i < 2; ++i)
+    EXPECT_THROW(fault::applyFault(&inj, 0, fault::OpClass::kSend, nullptr),
+                 par::RankFailure);
+  // Rank 0 hit its cap: further slots degrade to no-fault.
+  EXPECT_NO_THROW(fault::applyFault(&inj, 0, fault::OpClass::kSend, nullptr));
+  EXPECT_EQ(inj.crashCount(0), 2);
+  // The cap is per-rank: rank 1 still has its full budget.
+  EXPECT_THROW(fault::applyFault(&inj, 1, fault::OpClass::kSend, nullptr),
+               par::RankFailure);
+}
+
+TEST(Injector, NullInjectorIsANoOp) {
+  EXPECT_FALSE(fault::applyFault(nullptr, 0, fault::OpClass::kSend, nullptr));
+}
+
+// ------------------------------------------------------------- checkpoints
+
+TEST(CheckpointStore, PutGetRoundtripAndOverwrite) {
+  fault::CheckpointStore store;
+  const io::Bytes v1{std::byte{1}, std::byte{2}, std::byte{3}};
+  const io::Bytes v2{std::byte{9}, std::byte{8}};
+  EXPECT_FALSE(store.contains(0, 5));
+  store.put(0, 5, v1);
+  ASSERT_TRUE(store.contains(0, 5));
+  EXPECT_EQ(store.get(0, 5).value(), v1);
+  store.put(0, 5, v2);  // idempotent replays overwrite
+  EXPECT_EQ(store.get(0, 5).value(), v2);
+  EXPECT_FALSE(store.get(1, 5).has_value());
+  EXPECT_EQ(store.stats().puts, 2);
+}
+
+TEST(CheckpointStore, DropBelowFreesOlderRounds) {
+  fault::CheckpointStore store;
+  store.put(0, 0, {std::byte{1}});
+  store.put(1, 0, {std::byte{2}});
+  store.put(2, 0, {std::byte{3}});
+  store.dropBelow(2);
+  EXPECT_FALSE(store.contains(0, 0));
+  EXPECT_FALSE(store.contains(1, 0));
+  EXPECT_TRUE(store.contains(2, 0));
+}
+
+TEST(CheckpointStore, AFreshStoreRestoresFromTheSpillDirectory) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "msc_ckpt_spill_test").string();
+  std::filesystem::remove_all(dir);
+  const io::Bytes payload{std::byte{0}, std::byte{255}, std::byte{7},
+                          std::byte{42}, std::byte{13}};
+  {
+    fault::CheckpointStore store(dir);
+    store.put(3, 1, payload);
+    EXPECT_EQ(store.stats().spilled_files, 1);
+    // dropBelow only evicts memory; the spilled file is the durable copy.
+    store.dropBelow(10);
+    EXPECT_TRUE(store.contains(3, 1));
+  }
+  // A different store instance — the cross-process restart path.
+  fault::CheckpointStore fresh(dir);
+  ASSERT_TRUE(fresh.contains(3, 1));
+  EXPECT_EQ(fresh.get(3, 1).value(), payload);
+  EXPECT_FALSE(fresh.contains(3, 2));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointStore, PackIsAProjection) {
+  // pack(unpack(p)) == p: the property that makes checkpoint replay
+  // byte-identical. Pin it on real pipeline output, not a toy complex.
+  const pipeline::ThreadedResult r = pipeline::runThreadedPipeline(chaosConfig());
+  ASSERT_FALSE(r.outputs.empty());
+  for (const io::Bytes& p : r.outputs) EXPECT_EQ(io::pack(io::unpack(p)), p);
+}
+
+// ---------------------------------------------------------------- ownership
+
+TEST(OwnerOf, AllAliveMatchesHomeRank) {
+  const std::vector<bool> none(4, false);
+  for (int b = 0; b < 16; ++b) EXPECT_EQ(fault::ownerOf(b, 4, none), b % 4);
+}
+
+TEST(OwnerOf, DeadHomeReassignsToALiveRank) {
+  std::vector<bool> dead(4, false);
+  dead[1] = true;
+  for (int b = 0; b < 16; ++b) {
+    const int owner = fault::ownerOf(b, 4, dead);
+    EXPECT_FALSE(dead[static_cast<std::size_t>(owner)]) << "block " << b;
+    if (b % 4 != 1) EXPECT_EQ(owner, b % 4) << "live homes must not move";
+  }
+  // Deterministic: every rank computes the same map from the same mask.
+  for (int b = 0; b < 16; ++b)
+    EXPECT_EQ(fault::ownerOf(b, 4, dead), fault::ownerOf(b, 4, dead));
+}
+
+// ------------------------------------------------------------- wire format
+
+TEST(WireFormat, UnframeRejectsTruncatedFrames) {
+  const io::Bytes packed{std::byte{1}, std::byte{2}, std::byte{3}, std::byte{4}};
+  const par::Bytes framed = pipeline::frame(3, 7, packed);
+  const pipeline::Framed f = pipeline::unframe(framed);
+  EXPECT_EQ(f.dest_block, 3);
+  EXPECT_EQ(f.sender_block, 7);
+  EXPECT_EQ(f.packed, packed);
+
+  for (std::size_t n = 0; n < pipeline::kFrameHeader; ++n) {
+    const par::Bytes truncated(framed.begin(),
+                               framed.begin() + static_cast<std::ptrdiff_t>(n));
+    EXPECT_THROW(pipeline::unframe(truncated), std::runtime_error) << n;
+  }
+}
+
+// ---------------------------------------------------------- config checks
+
+TEST(PipelineConfigValidation, RejectsBadShapesAndKnobs) {
+  const auto expectRejected = [](void (*mutate)(pipeline::PipelineConfig&)) {
+    pipeline::PipelineConfig cfg = chaosConfig();
+    mutate(cfg);
+    EXPECT_THROW(pipeline::validatePipelineConfig(cfg), std::invalid_argument);
+  };
+  expectRejected([](pipeline::PipelineConfig& c) { c.nranks = 0; });
+  expectRejected([](pipeline::PipelineConfig& c) { c.nblocks = 0; });
+  expectRejected([](pipeline::PipelineConfig& c) { c.nranks = c.nblocks + 1; });
+  expectRejected([](pipeline::PipelineConfig& c) { c.block_timeout_seconds = 0.0; });
+  expectRejected([](pipeline::PipelineConfig& c) { c.block_timeout_seconds = -3.0; });
+  expectRejected([](pipeline::PipelineConfig& c) { c.fault.recv_deadline_seconds = 0.0; });
+  expectRejected([](pipeline::PipelineConfig& c) {
+    // The deadline must be able to fire before the audit watchdog
+    // declares the whole run wedged.
+    c.fault.recv_deadline_seconds = c.block_timeout_seconds + 1.0;
+  });
+  expectRejected([](pipeline::PipelineConfig& c) { c.fault.backoff_initial_ms = 0.0; });
+  expectRejected([](pipeline::PipelineConfig& c) {
+    c.fault.backoff_max_ms = c.fault.backoff_initial_ms / 2.0;
+  });
+  expectRejected([](pipeline::PipelineConfig& c) { c.fault.max_round_attempts = 0; });
+  expectRejected([](pipeline::PipelineConfig& c) { c.fault.max_round_attempts = 65; });
+  expectRejected([](pipeline::PipelineConfig& c) {
+    c.fault.recovery = fault::RecoveryMode::kRespawn;
+    c.fault.max_respawns_per_rank = 0;
+  });
+}
+
+TEST(PipelineConfigValidation, InjectorWithRecoveryOffRequiresAnAuditor) {
+  fault::InjectorOptions fopts;
+  fault::Injector inj(4, fopts);
+  pipeline::PipelineConfig cfg = chaosConfig();
+  cfg.fault.injector = &inj;
+  cfg.fault.recovery = fault::RecoveryMode::kOff;
+  EXPECT_THROW(pipeline::validatePipelineConfig(cfg), std::invalid_argument);
+  audit::Auditor auditor(4);
+  cfg.auditor = &auditor;
+  EXPECT_NO_THROW(pipeline::validatePipelineConfig(cfg));
+}
+
+TEST(PipelineConfigValidation, RespawnBudgetMustCoverTheCrashCap) {
+  fault::InjectorOptions fopts;
+  fopts.max_crashes_per_rank = 3;
+  fault::Injector inj(4, fopts);
+  pipeline::PipelineConfig cfg = chaosConfig();
+  cfg.fault.injector = &inj;
+  cfg.fault.recovery = fault::RecoveryMode::kRespawn;
+  cfg.fault.max_respawns_per_rank = 2;  // < crash cap: a rank can die for good
+  EXPECT_THROW(pipeline::validatePipelineConfig(cfg), std::invalid_argument);
+  cfg.fault.max_respawns_per_rank = 3;
+  EXPECT_NO_THROW(pipeline::validatePipelineConfig(cfg));
+}
+
+TEST(PipelineConfigValidation, ValidationErrorNamesTheKnob) {
+  pipeline::PipelineConfig cfg = chaosConfig();
+  cfg.fault.recv_deadline_seconds = -1.0;
+  try {
+    pipeline::validatePipelineConfig(cfg);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("recv_deadline_seconds"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+class EnvOverrideTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const char* v :
+         {"MSC_BLOCK_TIMEOUT", "MSC_RECV_DEADLINE", "MSC_BACKOFF_INITIAL_MS",
+          "MSC_BACKOFF_MAX_MS", "MSC_MAX_ROUND_ATTEMPTS"})
+      ::unsetenv(v);
+  }
+};
+
+TEST_F(EnvOverrideTest, EnvVarsOverrideTheConfig) {
+  ::setenv("MSC_BLOCK_TIMEOUT", "12.5", 1);
+  ::setenv("MSC_RECV_DEADLINE", "3.25", 1);
+  ::setenv("MSC_BACKOFF_INITIAL_MS", "0.5", 1);
+  ::setenv("MSC_BACKOFF_MAX_MS", "20", 1);
+  ::setenv("MSC_MAX_ROUND_ATTEMPTS", "8", 1);
+  const pipeline::PipelineConfig out = pipeline::withEnvOverrides(chaosConfig());
+  EXPECT_DOUBLE_EQ(out.block_timeout_seconds, 12.5);
+  EXPECT_DOUBLE_EQ(out.fault.recv_deadline_seconds, 3.25);
+  EXPECT_DOUBLE_EQ(out.fault.backoff_initial_ms, 0.5);
+  EXPECT_DOUBLE_EQ(out.fault.backoff_max_ms, 20.0);
+  EXPECT_EQ(out.fault.max_round_attempts, 8);
+}
+
+TEST_F(EnvOverrideTest, UnsetVariablesLeaveTheConfigUntouched) {
+  pipeline::PipelineConfig cfg = chaosConfig();
+  cfg.block_timeout_seconds = 45.0;
+  const pipeline::PipelineConfig out = pipeline::withEnvOverrides(cfg);
+  EXPECT_DOUBLE_EQ(out.block_timeout_seconds, 45.0);
+  EXPECT_DOUBLE_EQ(out.fault.recv_deadline_seconds,
+                   cfg.fault.recv_deadline_seconds);
+}
+
+TEST_F(EnvOverrideTest, GarbageValuesThrowNamingTheVariable) {
+  ::setenv("MSC_BLOCK_TIMEOUT", "soon", 1);
+  try {
+    pipeline::withEnvOverrides(chaosConfig());
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("MSC_BLOCK_TIMEOUT"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(EnvOverrideTest, OverriddenValuesAreStillValidated) {
+  // The pipeline validates the *effective* config, so a bad env value
+  // is rejected like any other.
+  ::setenv("MSC_BLOCK_TIMEOUT", "-5", 1);
+  pipeline::PipelineConfig cfg = chaosConfig();
+  EXPECT_THROW(pipeline::runThreadedPipeline(cfg), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- deadline recv
+
+TEST(TryRecv, ReturnsNulloptAfterTheDeadline) {
+  par::Runtime::run(1, [](par::Comm& comm) {
+    par::Comm::RecvDeadline d;
+    d.seconds = 0.05;
+    EXPECT_FALSE(comm.tryRecv(par::kAny, 7, d).has_value());
+  });
+}
+
+TEST(TryRecv, DeliversAPendingMessageImmediately) {
+  par::Runtime::run(2, [](par::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, par::Bytes{std::byte{42}});
+    } else {
+      par::Comm::RecvDeadline d;
+      d.seconds = 5.0;
+      const auto b = comm.tryRecv(0, 7, d);
+      ASSERT_TRUE(b.has_value());
+      EXPECT_EQ(*b, (par::Bytes{std::byte{42}}));
+    }
+    comm.barrier();
+  });
+}
+
+TEST(TryRecv, RejectsBadDeadlines) {
+  par::Runtime::run(1, [](par::Comm& comm) {
+    par::Comm::RecvDeadline d;
+    d.seconds = 0.0;
+    EXPECT_THROW(comm.tryRecv(par::kAny, 7, d), std::invalid_argument);
+    d.seconds = 1.0;
+    d.backoff_initial_ms = 2.0;
+    d.backoff_max_ms = 1.0;
+    EXPECT_THROW(comm.tryRecv(par::kAny, 7, d), std::invalid_argument);
+  });
+}
+
+// ------------------------------------------------------------ the recovery
+
+TEST(Recovery, NoFaultsIsByteIdenticalToThePlainDriver) {
+  const pipeline::ThreadedResult plain = pipeline::runThreadedPipeline(chaosConfig());
+  for (const fault::RecoveryMode mode :
+       {fault::RecoveryMode::kRespawn, fault::RecoveryMode::kDegrade}) {
+    pipeline::PipelineConfig cfg = chaosConfig();
+    cfg.fault.recovery = mode;  // recovery armed, nothing to recover from
+    const pipeline::ThreadedResult r = pipeline::runThreadedPipeline(cfg);
+    expectSameBytes(r.outputs, plain.outputs, fault::recoveryModeName(mode));
+    EXPECT_EQ(r.recovery.respawns, 0);
+    EXPECT_EQ(r.recovery.round_replays, 0);
+    EXPECT_GT(r.recovery.checkpoint_puts, 0);
+    EXPECT_EQ(r.node_counts, plain.node_counts);
+    EXPECT_EQ(r.arc_count, plain.arc_count);
+  }
+}
+
+TEST(Recovery, CrashWithRecoveryDisabledIsAStructuredErrorNotAHang) {
+  fault::InjectorOptions fopts;
+  fopts.seed = 5;
+  fopts.crash_rate = 1.0;  // first comm op of every rank crashes it
+  fopts.delay_rate = fopts.duplicate_rate = fopts.stall_rate = 0.0;
+  fault::Injector inj(4, fopts);
+  audit::Auditor auditor(4);
+  pipeline::PipelineConfig cfg = chaosConfig();
+  cfg.fault.injector = &inj;
+  cfg.fault.recovery = fault::RecoveryMode::kOff;
+  cfg.auditor = &auditor;
+  cfg.block_timeout_seconds = 5.0;
+  cfg.fault.recv_deadline_seconds = 1.0;
+  // The run must end in a structured error (the rank's RankFailure or
+  // the watchdog's AuditError on whoever waited for it) — the
+  // per-test chaos TIMEOUT is the hang backstop.
+  EXPECT_THROW(pipeline::runThreadedPipeline(cfg), std::runtime_error);
+}
+
+TEST(Recovery, RespawnModeSurvivesGuaranteedCrashes) {
+  const pipeline::ThreadedResult plain = pipeline::runThreadedPipeline(chaosConfig());
+  fault::InjectorOptions fopts;
+  fopts.seed = 17;
+  fopts.crash_rate = 0.6;  // every rank will die, most more than once
+  fopts.delay_rate = fopts.duplicate_rate = fopts.stall_rate = 0.0;
+  fault::Injector inj(4, fopts);
+  pipeline::PipelineConfig cfg = chaosConfig();
+  cfg.fault.injector = &inj;
+  cfg.fault.recovery = fault::RecoveryMode::kRespawn;
+  cfg.fault.recv_deadline_seconds = 2.0;
+  cfg.fault.max_round_attempts = 32;
+  cfg.fault.max_respawns_per_rank = fopts.max_crashes_per_rank;
+  const pipeline::ThreadedResult r = pipeline::runThreadedPipeline(cfg);
+  expectSameBytes(r.outputs, plain.outputs, "respawn after crashes");
+  EXPECT_GT(inj.fired(fault::FaultKind::kCrash), 0);
+  EXPECT_GT(r.recovery.respawns, 0);
+  // A crash does not force a round replay (the replacement can redo
+  // the attempt within the deadline), but it always restores its home
+  // blocks from the checkpoint store.
+  EXPECT_GT(r.recovery.checkpoint_restores, 0);
+  EXPECT_EQ(r.recovery.faults_injected, inj.firedTotal());
+}
+
+TEST(Recovery, DegradeModeReassignsTheDeadRanksBlocks) {
+  const pipeline::ThreadedResult plain = pipeline::runThreadedPipeline(chaosConfig());
+  // A schedule that kills at least one rank but cannot kill all four:
+  // only rank 2's slots can crash.
+  fault::InjectorOptions probe;
+  probe.seed = 23;
+  probe.crash_rate = 0.0;
+  probe.delay_rate = 0.3;
+  probe.duplicate_rate = 0.3;
+  probe.stall_rate = 0.0;
+  fault::Injector latency(4, probe);  // latency-only: order shuffling
+  {
+    pipeline::PipelineConfig cfg = chaosConfig();
+    cfg.fault.injector = &latency;
+    cfg.fault.recovery = fault::RecoveryMode::kDegrade;
+    cfg.fault.recv_deadline_seconds = 2.0;
+    cfg.fault.max_round_attempts = 32;
+    const pipeline::ThreadedResult r = pipeline::runThreadedPipeline(cfg);
+    expectSameBytes(r.outputs, plain.outputs, "degrade, latency faults only");
+    EXPECT_EQ(r.recovery.respawns, 0);
+  }
+  // Now with crashes: dead ranks stay dead, blocks move, bytes match.
+  // Which ranks die is a function of the seed; scan (deterministically)
+  // for a schedule that kills some ranks but not all four — a seed
+  // that wipes out every rank is legal total-loss, not what this test
+  // is about.
+  bool found = false;
+  for (unsigned seed = 29; seed < 100 && !found; ++seed) {
+    fault::InjectorOptions fopts;
+    fopts.seed = seed;
+    fopts.crash_rate = 0.25;
+    fopts.delay_rate = fopts.duplicate_rate = fopts.stall_rate = 0.0;
+    fopts.max_crashes_per_rank = 1;
+    fault::Injector inj(4, fopts);
+    pipeline::PipelineConfig cfg = chaosConfig();
+    cfg.fault.injector = &inj;
+    cfg.fault.recovery = fault::RecoveryMode::kDegrade;
+    cfg.fault.recv_deadline_seconds = 2.0;
+    cfg.fault.max_round_attempts = 32;
+    cfg.fault.max_respawns_per_rank = fopts.max_crashes_per_rank;
+    pipeline::ThreadedResult r;
+    try {
+      r = pipeline::runThreadedPipeline(cfg);
+    } catch (const fault::RecoveryError&) {
+      continue;  // every rank died — try the next schedule
+    }
+    if (inj.fired(fault::FaultKind::kCrash) == 0) continue;
+    found = true;
+    expectSameBytes(r.outputs, plain.outputs,
+                    "degrade after crashes, seed " + std::to_string(seed));
+    // A fresh death always vetoes the round's vote, so the round is
+    // replayed and the dead rank's blocks restore onto survivors.
+    EXPECT_GT(r.recovery.round_replays, 0);
+    EXPECT_GT(r.recovery.reassigned_blocks, 0);
+  }
+  EXPECT_TRUE(found) << "no seed in [29, 100) killed 1..3 of 4 ranks";
+}
+
+TEST(Recovery, CheckpointsSpillToDiskWhenConfigured) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "msc_chaos_ckpt_dir").string();
+  std::filesystem::remove_all(dir);
+  pipeline::PipelineConfig cfg = chaosConfig();
+  cfg.fault.recovery = fault::RecoveryMode::kRespawn;
+  cfg.fault.checkpoint_dir = dir;
+  const pipeline::ThreadedResult r = pipeline::runThreadedPipeline(cfg);
+  EXPECT_GT(r.recovery.checkpoint_puts, 0);
+  std::size_t files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir))
+    files += e.is_regular_file();
+  EXPECT_EQ(static_cast<std::int64_t>(files), r.recovery.checkpoint_puts);
+  std::filesystem::remove_all(dir);
+}
+
+// The acceptance matrix: >= 25 seeded fault schedules, each replayed
+// through BOTH recovery modes, every recovered output byte-identical
+// to the fault-free run. Default injector rates: ~11% of merge-round
+// comm ops perturbed (crash/delay/duplicate/stall).
+class ChaosMatrix : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ChaosMatrix, RecoveredOutputMatchesFaultFreeBytes) {
+  const unsigned seed = GetParam();
+  const pipeline::PipelineConfig base = chaosConfig();
+  const pipeline::ThreadedResult golden = pipeline::runThreadedPipeline(base);
+
+  for (const fault::RecoveryMode mode :
+       {fault::RecoveryMode::kRespawn, fault::RecoveryMode::kDegrade}) {
+    fault::InjectorOptions fopts;
+    fopts.seed = seed;
+    fault::Injector inj(base.nranks, fopts);
+    pipeline::PipelineConfig cfg = base;
+    cfg.fault.injector = &inj;
+    cfg.fault.recovery = mode;
+    cfg.fault.recv_deadline_seconds = 2.0;
+    cfg.fault.max_round_attempts = 32;
+    cfg.fault.max_respawns_per_rank = fopts.max_crashes_per_rank;
+    const pipeline::ThreadedResult r = pipeline::runThreadedPipeline(cfg);
+    expectSameBytes(r.outputs, golden.outputs,
+                    std::string("seed ") + std::to_string(seed) + " " +
+                        fault::recoveryModeName(mode));
+    // Byte equality already implies this, but the census comparison
+    // produces a far better failure report, so check it first on
+    // mismatch-prone structures too.
+    const check::CanonicalComplex a = check::canonicalize(base.domain, golden.outputs);
+    const check::CanonicalComplex b = check::canonicalize(base.domain, r.outputs);
+    EXPECT_TRUE(check::compareExact(a, b).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosMatrix, ::testing::Range(1u, 31u));
+
+// Fuzz-derived cases x fault seeds: the full differential oracle
+// (serial vs sim vs threaded vs both recovered runs) on varied
+// grids/fields/decompositions, with the fault dimension switched on.
+class ChaosFuzzCases : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ChaosFuzzCases, FuzzOracleHoldsUnderFaultInjection) {
+  check::FuzzLimits lim;
+  lim.with_faults = true;
+  const check::FuzzCase c = check::caseFromSeed(GetParam(), lim);
+  ASSERT_NE(c.fault_seed, 0u);
+  const std::vector<std::string> problems = check::runFuzzCase(c);
+  EXPECT_TRUE(problems.empty())
+      << c.describe() << ": " << (problems.empty() ? "" : problems.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosFuzzCases,
+                         ::testing::Values(1u, 7u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace msc

@@ -1,0 +1,202 @@
+/// \file msc_chaos.cpp
+/// Chaos-matrix runner for the fault-tolerant threaded pipeline.
+///
+/// Runs one synthetic workload fault-free to establish the golden
+/// bytes, then replays it under deterministic fault injection for a
+/// matrix of (injector seed x recovery mode). Every recovered run
+/// must be byte-identical to the golden one; each run prints the
+/// faults that fired and what the recovery layer did about them
+/// (respawns, round replays, block reassignments, drained frames,
+/// checkpoint traffic).
+///
+/// Usage:
+///   msc_chaos [--seeds N] [--first S] [--mode respawn|degrade|both]
+///             [--size V] [--blocks B] [--ranks R] [--field NAME]
+///             [--threshold T] [--crash-rate P] [--checkpoint-dir D]
+///             [--quiet]
+///
+/// In degrade mode a seed can kill every rank; that run ends in a
+/// structured total-loss error (fault::RecoveryError), is reported as
+/// "lost", and does not fail the matrix — silent divergence and hangs
+/// do. Exit status: 0 when every surviving run matched the golden
+/// bytes, 1 otherwise.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fault/inject.hpp"
+#include "fault/recovery.hpp"
+#include "pipeline/threaded_pipeline.hpp"
+#include "synth/fields.hpp"
+
+namespace {
+
+struct Options {
+  int num_seeds = 25;
+  unsigned first_seed = 1;
+  bool respawn = true;
+  bool degrade = true;
+  int size = 10;
+  int nblocks = 8;
+  int nranks = 4;
+  std::string field = "noise";
+  float threshold = 0.0f;
+  double crash_rate = 0.02;
+  std::string checkpoint_dir;
+  bool quiet = false;
+};
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--seeds N] [--first S] [--mode respawn|degrade|both]"
+               " [--size V] [--blocks B] [--ranks R] [--field NAME]"
+               " [--threshold T] [--crash-rate P] [--checkpoint-dir D]"
+               " [--quiet]\n";
+  return 2;
+}
+
+msc::synth::Field fieldByName(const std::string& name, const msc::Domain& d,
+                              unsigned seed) {
+  using namespace msc::synth;
+  if (name == "noise") return noise(seed);
+  if (name == "plateaus") return plateaus(seed);
+  if (name == "nearTies") return nearTies(seed);
+  if (name == "thinSaddles") return thinSaddles(d, seed);
+  if (name == "ramp") return ramp();
+  if (name == "cosine") return cosineProduct(d, 2);
+  if (name == "sinusoid") return sinusoid(d, 3);
+  if (name == "hydrogen") return hydrogenLike(d);
+  if (name == "jet") return jetLike(d, seed);
+  if (name == "rt") return rtLike(d, seed);
+  throw std::invalid_argument("msc_chaos: unknown field family: " + name);
+}
+
+bool sameBytes(const std::vector<msc::io::Bytes>& a,
+               const std::vector<msc::io::Bytes>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--seeds" && (v = value()))
+      o.num_seeds = std::atoi(v);
+    else if (arg == "--first" && (v = value()))
+      o.first_seed = static_cast<unsigned>(std::atol(v));
+    else if (arg == "--mode" && (v = value())) {
+      const std::string m = v;
+      o.respawn = m == "respawn" || m == "both";
+      o.degrade = m == "degrade" || m == "both";
+      if (!o.respawn && !o.degrade) return usage(argv[0]);
+    } else if (arg == "--size" && (v = value()))
+      o.size = std::atoi(v);
+    else if (arg == "--blocks" && (v = value()))
+      o.nblocks = std::atoi(v);
+    else if (arg == "--ranks" && (v = value()))
+      o.nranks = std::atoi(v);
+    else if (arg == "--field" && (v = value()))
+      o.field = v;
+    else if (arg == "--threshold" && (v = value()))
+      o.threshold = static_cast<float>(std::atof(v));
+    else if (arg == "--crash-rate" && (v = value()))
+      o.crash_rate = std::atof(v);
+    else if (arg == "--checkpoint-dir" && (v = value()))
+      o.checkpoint_dir = v;
+    else if (arg == "--quiet")
+      o.quiet = true;
+    else
+      return usage(argv[0]);
+  }
+  if (o.num_seeds <= 0 || o.size < 4 || o.nblocks < 1 || o.nranks < 1)
+    return usage(argv[0]);
+
+  using namespace msc;
+  pipeline::PipelineConfig base;
+  base.domain = Domain{Vec3i{o.size, o.size, o.size}};
+  base.source.field = fieldByName(o.field, base.domain, o.first_seed);
+  base.nblocks = o.nblocks;
+  base.nranks = o.nranks;
+  base.persistence_threshold = o.threshold;
+  base.plan = MergePlan::fullMerge(o.nblocks);
+
+  // Golden run: no injector, recovery off — the original code path.
+  const pipeline::ThreadedResult golden = pipeline::runThreadedPipeline(base);
+  if (!o.quiet)
+    std::cout << "golden: " << o.field << " " << o.size << "^3, " << o.nblocks
+              << " blocks on " << o.nranks << " ranks, "
+              << golden.outputs.size() << " output complex(es)\n";
+
+  std::vector<fault::RecoveryMode> modes;
+  if (o.respawn) modes.push_back(fault::RecoveryMode::kRespawn);
+  if (o.degrade) modes.push_back(fault::RecoveryMode::kDegrade);
+
+  int runs = 0, matched = 0, lost = 0, diverged = 0, errored = 0;
+  for (int s = 0; s < o.num_seeds; ++s) {
+    const unsigned seed = o.first_seed + static_cast<unsigned>(s);
+    for (const fault::RecoveryMode mode : modes) {
+      fault::InjectorOptions fopts;
+      fopts.seed = seed;
+      fopts.crash_rate = o.crash_rate;
+      fault::Injector injector(o.nranks, fopts);
+
+      pipeline::PipelineConfig cfg = base;
+      cfg.fault.injector = &injector;
+      cfg.fault.recovery = mode;
+      cfg.fault.recv_deadline_seconds = 2.0;
+      cfg.fault.max_round_attempts = 32;
+      cfg.fault.max_respawns_per_rank = fopts.max_crashes_per_rank;
+      cfg.fault.checkpoint_dir = o.checkpoint_dir;
+
+      ++runs;
+      std::string outcome;
+      try {
+        const pipeline::ThreadedResult r = pipeline::runThreadedPipeline(cfg);
+        const bool same = sameBytes(r.outputs, golden.outputs);
+        same ? ++matched : ++diverged;
+        outcome = same ? "match" : "DIVERGED";
+        if (!o.quiet || !same) {
+          const auto& rs = r.recovery;
+          std::cout << "seed " << seed << " " << fault::recoveryModeName(mode)
+                    << ": " << outcome << "  faults=" << rs.faults_injected
+                    << " (crash=" << injector.fired(fault::FaultKind::kCrash)
+                    << " delay=" << injector.fired(fault::FaultKind::kDelay)
+                    << " dup=" << injector.fired(fault::FaultKind::kDuplicate)
+                    << " stall=" << injector.fired(fault::FaultKind::kStall)
+                    << ")  respawns=" << rs.respawns
+                    << " replays=" << rs.round_replays
+                    << " reassigned=" << rs.reassigned_blocks
+                    << " drained=" << rs.drained_messages
+                    << " ckpt_puts=" << rs.checkpoint_puts
+                    << " ckpt_restores=" << rs.checkpoint_restores << "\n";
+        }
+      } catch (const fault::RecoveryError& e) {
+        const std::string what = e.what();
+        const bool total_loss = what.find("no live ranks") != std::string::npos;
+        total_loss ? ++lost : ++errored;
+        std::cout << "seed " << seed << " " << fault::recoveryModeName(mode)
+                  << ": " << (total_loss ? "lost (every rank dead)" : "ERROR")
+                  << "  " << what << "\n";
+      } catch (const std::exception& e) {
+        ++errored;
+        std::cout << "seed " << seed << " " << fault::recoveryModeName(mode)
+                  << ": ERROR  " << e.what() << "\n";
+      }
+    }
+  }
+
+  std::cout << "msc_chaos: " << runs << " runs, " << matched << " matched, "
+            << lost << " lost, " << diverged << " diverged, " << errored
+            << " errored\n";
+  return (diverged == 0 && errored == 0) ? 0 : 1;
+}

@@ -10,7 +10,14 @@
 ///
 /// Usage:
 ///   msc_fuzz [--seeds N] [--first S] [--min-size M] [--max-size M]
-///            [--max-ranks R] [--no-shrink] [--artifacts DIR] [--quiet]
+///            [--max-ranks R] [--faults] [--no-shrink] [--artifacts DIR]
+///            [--quiet]
+///
+/// With --faults every case also runs the threaded driver under
+/// deterministic fault injection (crashes, delays, duplicates,
+/// stalls) in both recovery modes; a recovered run that is not
+/// byte-identical to the fault-free one fails the case, and the
+/// shrunk repro (including the fault seed) is dumped like any other.
 ///
 /// Exit status: 0 when every case passed, 1 otherwise.
 #include <cstdlib>
@@ -25,7 +32,8 @@ namespace {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--seeds N] [--first S] [--min-size M] [--max-size M]"
-               " [--max-ranks R] [--no-shrink] [--artifacts DIR] [--quiet]\n";
+               " [--max-ranks R] [--faults] [--no-shrink] [--artifacts DIR]"
+               " [--quiet]\n";
   return 2;
 }
 
@@ -61,6 +69,8 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (!v) return usage(argv[0]);
       opts.limits.max_ranks = std::atoi(v);
+    } else if (arg == "--faults") {
+      opts.limits.with_faults = true;
     } else if (arg == "--no-shrink") {
       opts.shrink = false;
     } else if (arg == "--artifacts") {

@@ -91,8 +91,11 @@ LAYERS = {
     "simnet": {"core", "obs"},
     "par": {"obs", "audit"},
     "io": {"core", "par"},
-    "pipeline": {"core", "decomp", "io", "merge", "obs", "par", "simnet", "synth"},
-    "check": {"core", "synth", "decomp", "analysis", "io", "pipeline"},
+    "fault": {"core", "io", "obs", "par"},
+    # pipeline sees audit directly since the watchdog knob moved into
+    # PipelineConfig (block_timeout_seconds -> Auditor::setBlockTimeoutSeconds).
+    "pipeline": {"audit", "core", "decomp", "fault", "io", "merge", "obs", "par", "simnet", "synth"},
+    "check": {"core", "synth", "decomp", "analysis", "fault", "io", "pipeline"},
 }
 
 # Modules that must never appear in a given module's include closure is

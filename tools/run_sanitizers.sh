@@ -49,6 +49,21 @@ for cfg in "${configs[@]}"; do
   else
     echo "=== [$cfg] TESTS FAILED ==="
     failed+=("$cfg")
+    continue
+  fi
+  # The chaos matrix (fault injection + recovery) is where the racy
+  # recovery-protocol bugs would live; run it explicitly in every
+  # sanitizer config even if the default label set ever narrows.
+  echo "=== [$cfg] ctest -L chaos ==="
+  if (cd "$bdir" && \
+      TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+      ASAN_OPTIONS="detect_leaks=1" \
+      UBSAN_OPTIONS="print_stacktrace=1" \
+      ctest --output-on-failure -L chaos -j "$jobs"); then
+    echo "=== [$cfg] chaos OK ==="
+  else
+    echo "=== [$cfg] chaos TESTS FAILED ==="
+    failed+=("$cfg")
   fi
 done
 
