@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "causal/critpath.hpp"
 #include "pipeline/sim_pipeline.hpp"
 
 namespace msc::bench {
@@ -201,11 +202,47 @@ class JsonWriter {
   bool pending_value_ = false;
 };
 
+/// Critical-path seconds of one merge round, bucketed three ways for
+/// the scaling studies: locally-bound work (read/compute/merge/glue/
+/// write stage categories), communication (transfer + mailbox wait),
+/// and synchronization (barrier wait + idle).
+struct RoundPathBreakdown {
+  double compute_s{0};
+  double comm_s{0};
+  double wait_s{0};
+};
+
+inline std::map<int, RoundPathBreakdown> roundPathBreakdown(
+    const causal::CriticalPath& cp) {
+  std::map<int, RoundPathBreakdown> out;
+  for (const causal::PathSegment& s : cp.segments) {
+    RoundPathBreakdown& b = out[s.round];
+    switch (s.category) {
+      case causal::PathCategory::kTransfer:
+      case causal::PathCategory::kMailboxWait:
+        b.comm_s += s.seconds();
+        break;
+      case causal::PathCategory::kBarrierWait:
+      case causal::PathCategory::kIdle:
+        b.wait_s += s.seconds();
+        break;
+      default:
+        b.compute_s += s.seconds();
+        break;
+    }
+  }
+  return out;
+}
+
 /// One strong-scaling data point as a JSON object: stage times plus
 /// the per-round byte/imbalance counters (the observability the
-/// paper's Tables 1-2 are built from). Shared by fig9/fig10.
+/// paper's Tables 1-2 are built from). Shared by fig9/fig10. When a
+/// critical path is supplied (the drivers attach a causal::Recorder
+/// in --json mode), the object gains critical_path_seconds and each
+/// round gains its on-path compute/comm/wait split.
 inline void writeRunJson(JsonWriter& json, int procs, const char* plan,
-                         const pipeline::SimResult& r, double efficiency) {
+                         const pipeline::SimResult& r, double efficiency,
+                         const causal::CriticalPath* cp = nullptr) {
   json.beginObject();
   json.key("procs").value(procs);
   json.key("plan").value(plan);
@@ -217,6 +254,12 @@ inline void writeRunJson(JsonWriter& json, int procs, const char* plan,
   json.key("total_s").value(r.times.total());
   json.key("efficiency").value(efficiency);
   json.key("output_bytes").value(r.output_bytes);
+  std::map<int, RoundPathBreakdown> path_rounds;
+  if (cp) {
+    json.key("critical_path_seconds").value(cp->path_seconds);
+    json.key("critical_path_end_rank").value(cp->end_rank);
+    path_rounds = roundPathBreakdown(*cp);
+  }
   json.key("rounds").beginArray();
   const std::vector<RoundCommStats> stats = roundCommStats(r.inputs);
   for (std::size_t i = 0; i < stats.size(); ++i) {
@@ -230,6 +273,14 @@ inline void writeRunJson(JsonWriter& json, int procs, const char* plan,
     json.key("max_root_bytes").value(s.max_root_bytes);
     json.key("max_root_rank").value(s.max_root_rank);
     json.key("imbalance").value(s.imbalance);
+    if (cp) {
+      const auto it = path_rounds.find(static_cast<int>(i));
+      const RoundPathBreakdown b = it == path_rounds.end() ? RoundPathBreakdown{}
+                                                           : it->second;
+      json.key("critpath_compute_s").value(b.compute_s);
+      json.key("critpath_comm_s").value(b.comm_s);
+      json.key("critpath_wait_s").value(b.wait_s);
+    }
     json.endObject();
   }
   json.endArray();

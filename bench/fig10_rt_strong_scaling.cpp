@@ -3,6 +3,8 @@
 /// realistic large-data scenario. Paper: 1152^3 floats, P up to
 /// 32768; 66% strong scaling efficiency for compute+merge, 35% for
 /// the overall end-to-end time (I/O limits the total).
+#include <memory>
+
 #include "bench_util.hpp"
 
 using namespace msc;
@@ -35,7 +37,18 @@ int main(int argc, char** argv) {
     cfg.nranks = p;
     cfg.persistence_threshold = 0.02f;
     cfg.plan = MergePlan::partial({8, 8});
+    // In --json mode the run also records a synthesized causal
+    // journal so each datapoint carries its critical-path breakdown.
+    std::unique_ptr<causal::Recorder> rec;
+    if (jf) {
+      causal::Recorder::Options ropts;
+      ropts.journal_clocks = false;  // wide simulated runs: skip per-event copies
+      rec = std::make_unique<causal::Recorder>(p, ropts);
+      cfg.causal = rec.get();
+    }
     const pipeline::SimResult r = runSimPipeline(cfg, models);
+    causal::CriticalPath cp;
+    if (rec) cp = causal::analyzeCriticalPath(rec->journal());
 
     const double total = r.times.total();
     const double cm = r.times.compute + r.times.mergeTotal();
@@ -50,7 +63,7 @@ int main(int argc, char** argv) {
                 total, 100 * (base_total / total) / ratio, 100 * (base_cm / cm) / ratio);
     if (jf)
       bench::writeRunJson(json, p, cfg.plan.toString().c_str(), r,
-                          (base_total / total) / ratio);
+                          (base_total / total) / ratio, rec ? &cp : nullptr);
   }
   if (jf) {
     json.endArray();

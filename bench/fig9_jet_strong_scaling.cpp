@@ -7,6 +7,8 @@
 ///
 /// The default grid is a scaled-down 6:7:4 jet; --scale= multiplies
 /// it back up toward paper size.
+#include <memory>
+
 #include "bench_util.hpp"
 
 using namespace msc;
@@ -41,7 +43,18 @@ int main(int argc, char** argv) {
     cfg.nranks = p;
     cfg.persistence_threshold = 0.03f;
     cfg.plan = MergePlan::fullMerge(p);
+    // In --json mode the run also records a synthesized causal
+    // journal so each datapoint carries its critical-path breakdown.
+    std::unique_ptr<causal::Recorder> rec;
+    if (jf) {
+      causal::Recorder::Options ropts;
+      ropts.journal_clocks = false;  // wide simulated runs: skip per-event copies
+      rec = std::make_unique<causal::Recorder>(p, ropts);
+      cfg.causal = rec.get();
+    }
     const pipeline::SimResult r = runSimPipeline(cfg, models);
+    causal::CriticalPath cp;
+    if (rec) cp = causal::analyzeCriticalPath(rec->journal());
 
     const double total = r.times.total();
     if (base_procs == 0) {
@@ -54,7 +67,9 @@ int main(int argc, char** argv) {
                 cfg.plan.toString().c_str(), r.times.read, r.times.compute,
                 r.times.mergeTotal(), r.times.write, total, 100 * efficiency,
                 static_cast<long long>(r.output_bytes));
-    if (jf) bench::writeRunJson(json, p, cfg.plan.toString().c_str(), r, efficiency);
+    if (jf)
+      bench::writeRunJson(json, p, cfg.plan.toString().c_str(), r, efficiency,
+                          rec ? &cp : nullptr);
   }
   if (jf) {
     json.endArray();

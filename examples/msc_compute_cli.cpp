@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "analysis/census.hpp"
+#include "causal/causal.hpp"
+#include "causal/critpath.hpp"
 #include "io/pack.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/summary.hpp"
@@ -45,6 +47,8 @@ struct Options {
   std::string algorithm = "lowerstar";
   std::string out;
   std::string trace_path;
+  std::string journal_path;
+  bool critpath = false;
   bool stats = false;
   bool help = false;
 };
@@ -84,6 +88,8 @@ Options parse(int argc, char** argv) {
     else if (const char* v = val("algorithm")) o.algorithm = v;
     else if (const char* v = val("out")) o.out = v;
     else if (const char* v = val("trace")) o.trace_path = v;
+    else if (const char* v = val("journal")) o.journal_path = v;
+    else if (a == "--critpath") o.critpath = true;
     else if (a == "--stats") o.stats = true;
     else {
       std::fprintf(stderr, "unknown argument: %s (try --help)\n", a.c_str());
@@ -109,7 +115,12 @@ void usage() {
       "  --algorithm=A        lowerstar|sweep (default lowerstar)\n"
       "  --out=FILE           write the block+footer output container\n"
       "  --trace=FILE         write a Chrome trace-event JSON of the run\n"
-      "                       (open in Perfetto or chrome://tracing)\n"
+      "                       (open in Perfetto or chrome://tracing; with\n"
+      "                       --journal/--critpath also attached, messages\n"
+      "                       show as cross-rank flow arrows)\n"
+      "  --journal=FILE       write the causal event journal (replay it\n"
+      "                       with tools/msc_critpath)\n"
+      "  --critpath           print the critical-path blame table\n"
       "  --stats              print the per-rank/per-stage summary table");
 }
 
@@ -151,6 +162,11 @@ int main(int argc, char** argv) {
     tracer = std::make_unique<obs::Tracer>(o.ranks);
     cfg.tracer = tracer.get();
   }
+  std::unique_ptr<causal::Recorder> recorder;
+  if (!o.journal_path.empty() || o.critpath || !o.trace_path.empty()) {
+    recorder = std::make_unique<causal::Recorder>(o.ranks);
+    cfg.causal = recorder.get();
+  }
 
   std::printf("msc_compute: %lld x %lld x %lld, %d blocks on %d ranks, plan %s, "
               "persistence %.4g, %s gradient\n",
@@ -183,6 +199,18 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("\ntrace: %s (open at https://ui.perfetto.dev)\n", o.trace_path.c_str());
+  }
+  if (recorder) {
+    const causal::Journal j = recorder->journal();
+    if (!o.journal_path.empty()) {
+      if (!causal::writeJournalFile(j, o.journal_path)) {
+        std::fprintf(stderr, "failed to write journal file %s\n", o.journal_path.c_str());
+        return 1;
+      }
+      std::printf("journal: %s (replay with msc_critpath)\n", o.journal_path.c_str());
+    }
+    if (o.critpath)
+      std::printf("\n%s", causal::blameTable(causal::analyzeCriticalPath(j)).c_str());
   }
   return 0;
 }

@@ -205,6 +205,11 @@ void Auditor::setBlockTimeoutSeconds(double seconds) {
   opts_.block_timeout_seconds = seconds;
 }
 
+void Auditor::setContextProvider(std::function<std::string()> provider) {
+  const std::lock_guard lock(mu_);
+  context_provider_ = std::move(provider);
+}
+
 std::string Auditor::report() const {
   const std::lock_guard lock(mu_);
   return renderLocked();

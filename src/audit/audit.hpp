@@ -36,6 +36,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -102,6 +103,13 @@ class Auditor {
   /// Call before Runtime::run starts; throws std::invalid_argument on
   /// a non-positive value.
   void setBlockTimeoutSeconds(double seconds);
+  /// Optional extra-context hook appended to every diagnostic report:
+  /// the runtime installs one when a causal::Recorder is attached, so
+  /// AuditErrors carry per-rank vector clocks and last-K causal event
+  /// histories without audit depending on the causal layer. The
+  /// provider is called with the auditor's lock held and must not call
+  /// back into the auditor.
+  void setContextProvider(std::function<std::string()> provider);
   /// Latched once any detector fired; polled by the runtime's audited
   /// wait loops so every rank unwinds.
   bool failed() const { return failed_.load(std::memory_order_acquire); }
@@ -212,6 +220,7 @@ class Auditor {
   std::int64_t respawns_ = 0;
   int nranks_;
   Options opts_;
+  std::function<std::string()> context_provider_;
   std::atomic<bool> failed_{false};
   std::string failure_summary_;
 };

@@ -94,6 +94,11 @@ std::string Auditor::renderLocked() const {
              " freed=" + std::to_string(AllocTracking::freedBytes(r)) + "\n";
   }
   for (const std::string& n : notes_) out += "note: " + n + "\n";
+  if (context_provider_) {
+    out += "=== causal context ===\n";
+    out += context_provider_();
+    if (!out.empty() && out.back() != '\n') out += '\n';
+  }
   return out;
 }
 

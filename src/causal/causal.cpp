@@ -1,0 +1,456 @@
+#include "causal/causal.hpp"
+
+#include <cassert>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace msc::causal {
+
+const char* stageName(Stage s) {
+  switch (s) {
+    case Stage::kIdle: return "idle";
+    case Stage::kRead: return "read";
+    case Stage::kCompute: return "compute";
+    case Stage::kMerge: return "merge";
+    case Stage::kGlue: return "glue";
+    case Stage::kWrite: return "write";
+  }
+  return "unknown";
+}
+
+const char* eventKindName(EventKind k) {
+  switch (k) {
+    case EventKind::kSend: return "send";
+    case EventKind::kRecv: return "recv";
+    case EventKind::kRecvTimeout: return "recv_timeout";
+    case EventKind::kBarrierEnter: return "barrier_enter";
+    case EventKind::kBarrierExit: return "barrier_exit";
+    case EventKind::kCollective: return "collective";
+    case EventKind::kStage: return "stage";
+    case EventKind::kRoundCommit: return "round_commit";
+    case EventKind::kRespawn: return "respawn";
+    case EventKind::kDone: return "done";
+  }
+  return "unknown";
+}
+
+Recorder::Recorder(int nranks, Options opts)
+    : opts_(opts), epoch_(std::chrono::steady_clock::now()) {
+  assert(nranks >= 1);
+  ranks_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    auto slot = std::make_unique<RankSlot>();
+    slot->clock = VectorClock(nranks);
+    ranks_.push_back(std::move(slot));
+  }
+}
+
+Recorder::~Recorder() = default;
+
+double Recorder::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+}
+
+void Recorder::recordLocked(RankSlot& slot, Event e) {
+  e.stage = slot.stage;
+  if (e.round < 0) e.round = slot.round;
+  if (opts_.journal_clocks) e.vc = slot.clock.components();
+  slot.events.push_back(std::move(e));
+}
+
+WireStamp Recorder::onSend(int rank, int dst, int tag, std::int64_t payload_bytes) {
+  RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
+  WireStamp stamp;
+  stamp.msg_id = next_msg_id_.fetch_add(1, std::memory_order_relaxed);
+  Event e;
+  e.kind = EventKind::kSend;
+  e.rank = rank;
+  e.ts = now();
+  e.peer = dst;
+  e.tag = tag;
+  e.bytes = payload_bytes;
+  e.msg_id = stamp.msg_id;
+  const std::lock_guard lock(slot.mu);
+  slot.clock.tick(rank);
+  stamp.clock = slot.clock.components();
+  recordLocked(slot, std::move(e));
+  return stamp;
+}
+
+void Recorder::onRecv(int rank, int src, int tag, std::int64_t payload_bytes,
+                      const WireStamp& stamp, double wait_seconds) {
+  RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
+  Event e;
+  e.kind = EventKind::kRecv;
+  e.rank = rank;
+  e.ts = now();
+  e.peer = src;
+  e.tag = tag;
+  e.bytes = payload_bytes;
+  e.msg_id = stamp.msg_id;
+  e.wait = wait_seconds;
+  const std::lock_guard lock(slot.mu);
+  slot.clock.tick(rank);
+  if (!stamp.clock.empty()) slot.clock.merge(stamp.clock.data(), stamp.clock.size());
+  recordLocked(slot, std::move(e));
+}
+
+void Recorder::onRecvTimeout(int rank, int src, int tag, double wait_seconds) {
+  RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
+  Event e;
+  e.kind = EventKind::kRecvTimeout;
+  e.rank = rank;
+  e.ts = now();
+  e.peer = src;
+  e.tag = tag;
+  e.wait = wait_seconds;
+  const std::lock_guard lock(slot.mu);
+  slot.clock.tick(rank);
+  recordLocked(slot, std::move(e));
+}
+
+void Recorder::onBarrierEnter(int rank, std::int64_t gen) {
+  RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
+  Event e;
+  e.kind = EventKind::kBarrierEnter;
+  e.rank = rank;
+  e.ts = now();
+  e.gen = gen;
+  VectorClock entered;
+  {
+    const std::lock_guard lock(slot.mu);
+    slot.clock.tick(rank);
+    entered = slot.clock;
+    recordLocked(slot, std::move(e));
+  }
+  // Join accumulation: by barrier semantics every enter of `gen`
+  // completes (under the runtime's barrier lock) before any rank can
+  // exit, so the merged clock an exit reads is the full join.
+  const std::lock_guard lock(barrier_mu_);
+  BarrierJoin& join = joins_[gen];
+  if (join.merged.nranks() == 0) join.merged = VectorClock(nranks());
+  join.merged.merge(entered);
+}
+
+void Recorder::onBarrierExit(int rank, std::int64_t gen, double wait_seconds) {
+  VectorClock joined;
+  {
+    const std::lock_guard lock(barrier_mu_);
+    auto it = joins_.find(gen);
+    assert(it != joins_.end());
+    joined = it->second.merged;
+    if (++it->second.exits == nranks()) joins_.erase(it);
+  }
+  RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
+  Event e;
+  e.kind = EventKind::kBarrierExit;
+  e.rank = rank;
+  e.ts = now();
+  e.gen = gen;
+  e.wait = wait_seconds;
+  const std::lock_guard lock(slot.mu);
+  slot.clock.merge(joined);
+  recordLocked(slot, std::move(e));
+}
+
+void Recorder::onCollectiveEnter(int rank, int root, std::int64_t epoch) {
+  RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
+  Event e;
+  e.kind = EventKind::kCollective;
+  e.rank = rank;
+  e.ts = now();
+  e.peer = root;
+  e.gen = epoch;
+  const std::lock_guard lock(slot.mu);
+  slot.clock.tick(rank);
+  recordLocked(slot, std::move(e));
+}
+
+void Recorder::onRespawn(int rank) {
+  RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
+  Event e;
+  e.kind = EventKind::kRespawn;
+  e.rank = rank;
+  e.ts = now();
+  const std::lock_guard lock(slot.mu);
+  slot.clock.tick(rank);
+  recordLocked(slot, std::move(e));
+}
+
+void Recorder::onDone(int rank) {
+  RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
+  Event e;
+  e.kind = EventKind::kDone;
+  e.rank = rank;
+  e.ts = now();
+  const std::lock_guard lock(slot.mu);
+  slot.clock.tick(rank);
+  recordLocked(slot, std::move(e));
+}
+
+void Recorder::setStage(int rank, Stage stage, int round) {
+  RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
+  Event e;
+  e.kind = EventKind::kStage;
+  e.rank = rank;
+  e.ts = now();
+  e.round = round;
+  const std::lock_guard lock(slot.mu);
+  slot.stage = stage;
+  slot.round = round;
+  recordLocked(slot, std::move(e));
+  // recordLocked stamps the *current* slot stage, which is already
+  // the new one -- exactly what a kStage event should carry.
+}
+
+void Recorder::roundCommit(int rank, int round) {
+  RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
+  Event e;
+  e.kind = EventKind::kRoundCommit;
+  e.rank = rank;
+  e.ts = now();
+  e.round = round;
+  const std::lock_guard lock(slot.mu);
+  recordLocked(slot, std::move(e));
+}
+
+std::uint64_t Recorder::sendAt(int rank, int dst, int tag, std::int64_t bytes, double ts) {
+  RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
+  Event e;
+  e.kind = EventKind::kSend;
+  e.rank = rank;
+  e.ts = ts;
+  e.peer = dst;
+  e.tag = tag;
+  e.bytes = bytes;
+  e.msg_id = next_msg_id_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t id = e.msg_id;
+  const std::lock_guard lock(slot.mu);
+  e.stage = slot.stage;
+  if (e.round < 0) e.round = slot.round;
+  slot.events.push_back(std::move(e));
+  return id;
+}
+
+void Recorder::recvAt(int rank, int src, int tag, std::int64_t bytes, std::uint64_t msg_id,
+                      double ts, double wait_seconds) {
+  RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
+  Event e;
+  e.kind = EventKind::kRecv;
+  e.rank = rank;
+  e.ts = ts;
+  e.peer = src;
+  e.tag = tag;
+  e.bytes = bytes;
+  e.msg_id = msg_id;
+  e.wait = wait_seconds;
+  const std::lock_guard lock(slot.mu);
+  e.stage = slot.stage;
+  if (e.round < 0) e.round = slot.round;
+  slot.events.push_back(std::move(e));
+}
+
+void Recorder::stageAt(int rank, Stage stage, int round, double ts) {
+  RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
+  Event e;
+  e.kind = EventKind::kStage;
+  e.rank = rank;
+  e.ts = ts;
+  e.round = round;
+  const std::lock_guard lock(slot.mu);
+  slot.stage = stage;
+  slot.round = round;
+  e.stage = stage;
+  slot.events.push_back(std::move(e));
+}
+
+void Recorder::roundCommitAt(int rank, int round, double ts) {
+  RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
+  Event e;
+  e.kind = EventKind::kRoundCommit;
+  e.rank = rank;
+  e.ts = ts;
+  e.round = round;
+  const std::lock_guard lock(slot.mu);
+  e.stage = slot.stage;
+  slot.events.push_back(std::move(e));
+}
+
+void Recorder::barrierAllAt(std::int64_t gen, const std::vector<double>& enter_ts,
+                            double exit_ts) {
+  assert(static_cast<int>(enter_ts.size()) == nranks());
+  for (int r = 0; r < nranks(); ++r) {
+    RankSlot& slot = *ranks_[static_cast<std::size_t>(r)];
+    const std::lock_guard lock(slot.mu);
+    Event enter;
+    enter.kind = EventKind::kBarrierEnter;
+    enter.rank = r;
+    enter.ts = enter_ts[static_cast<std::size_t>(r)];
+    enter.gen = gen;
+    enter.stage = slot.stage;
+    enter.round = slot.round;
+    slot.events.push_back(std::move(enter));
+    Event exit;
+    exit.kind = EventKind::kBarrierExit;
+    exit.rank = r;
+    exit.ts = exit_ts;
+    exit.gen = gen;
+    exit.wait = exit_ts - enter_ts[static_cast<std::size_t>(r)];
+    exit.stage = slot.stage;
+    exit.round = slot.round;
+    slot.events.push_back(std::move(exit));
+  }
+}
+
+void Recorder::doneAt(int rank, double ts) {
+  RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
+  Event e;
+  e.kind = EventKind::kDone;
+  e.rank = rank;
+  e.ts = ts;
+  const std::lock_guard lock(slot.mu);
+  e.stage = slot.stage;
+  slot.events.push_back(std::move(e));
+}
+
+std::vector<Event> Recorder::events(int rank) const {
+  const RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
+  const std::lock_guard lock(slot.mu);
+  return slot.events;
+}
+
+VectorClock Recorder::clock(int rank) const {
+  const RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
+  const std::lock_guard lock(slot.mu);
+  return slot.clock;
+}
+
+Journal Recorder::journal() const {
+  Journal j;
+  j.nranks = nranks();
+  for (int r = 0; r < nranks(); ++r) {
+    auto ev = events(r);
+    j.events.insert(j.events.end(), std::make_move_iterator(ev.begin()),
+                    std::make_move_iterator(ev.end()));
+  }
+  return j;
+}
+
+std::string Recorder::contextReport(int rank, int last_k) const {
+  const RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(6);
+  const std::lock_guard lock(slot.mu);
+  os << "rank " << rank << " vector clock " << slot.clock.toString() << "; last "
+     << std::min<std::size_t>(slot.events.size(), static_cast<std::size_t>(last_k))
+     << " causal events (newest last):";
+  const std::size_t n = slot.events.size();
+  const std::size_t from = n > static_cast<std::size_t>(last_k)
+                               ? n - static_cast<std::size_t>(last_k)
+                               : 0;
+  for (std::size_t i = from; i < n; ++i) {
+    const Event& e = slot.events[i];
+    os << "\n  [" << e.ts << "s] " << eventKindName(e.kind);
+    switch (e.kind) {
+      case EventKind::kSend: os << " dst=" << e.peer << " tag=" << e.tag
+                                << " bytes=" << e.bytes << " id=" << e.msg_id; break;
+      case EventKind::kRecv: os << " src=" << e.peer << " tag=" << e.tag
+                                << " bytes=" << e.bytes << " id=" << e.msg_id
+                                << " waited=" << e.wait << "s"; break;
+      case EventKind::kRecvTimeout: os << " src=" << e.peer << " tag=" << e.tag
+                                       << " waited=" << e.wait << "s"; break;
+      case EventKind::kBarrierEnter: os << " gen=" << e.gen; break;
+      case EventKind::kBarrierExit: os << " gen=" << e.gen << " waited=" << e.wait << "s";
+                                    break;
+      case EventKind::kCollective: os << " root=" << e.peer << " epoch=" << e.gen; break;
+      case EventKind::kStage: os << " -> " << stageName(e.stage); break;
+      case EventKind::kRoundCommit: break;
+      case EventKind::kRespawn: break;
+      case EventKind::kDone: break;
+    }
+    os << " (stage=" << stageName(e.stage);
+    if (e.round >= 0) os << " round=" << e.round;
+    os << ")";
+    if (!e.vc.empty()) {
+      os << " vc=[";
+      for (std::size_t c = 0; c < e.vc.size(); ++c) os << (c ? " " : "") << e.vc[c];
+      os << "]";
+    }
+  }
+  return os.str();
+}
+
+std::string fullContextReport(const Recorder& rec, int last_k) {
+  std::string out;
+  for (int r = 0; r < rec.nranks(); ++r) {
+    out += rec.contextReport(r, last_k);
+    out += '\n';
+  }
+  return out;
+}
+
+// ----------------------------------------------------------- serialization
+
+void writeJournal(const Journal& j, std::ostream& os) {
+  os << "mscjournal 1 " << j.nranks << " " << j.events.size() << "\n";
+  os << std::setprecision(17);
+  for (const Event& e : j.events) {
+    os << static_cast<int>(e.kind) << ' ' << e.rank << ' ' << e.ts << ' ' << e.peer << ' '
+       << e.tag << ' ' << e.bytes << ' ' << e.msg_id << ' ' << e.gen << ' ' << e.wait
+       << ' ' << static_cast<int>(e.stage) << ' ' << e.round << ' ' << e.vc.size();
+    for (const std::int64_t c : e.vc) os << ' ' << c;
+    os << '\n';
+  }
+}
+
+Journal readJournal(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  std::size_t nevents = 0;
+  Journal j;
+  if (!(is >> magic >> version >> j.nranks >> nevents) || magic != "mscjournal")
+    throw std::runtime_error("causal: not a journal (bad header)");
+  if (version != 1)
+    throw std::runtime_error("causal: unsupported journal version " +
+                             std::to_string(version));
+  j.events.reserve(nevents);
+  for (std::size_t i = 0; i < nevents; ++i) {
+    Event e;
+    int kind = 0, stage = 0;
+    std::size_t nvc = 0;
+    if (!(is >> kind >> e.rank >> e.ts >> e.peer >> e.tag >> e.bytes >> e.msg_id >>
+          e.gen >> e.wait >> stage >> e.round >> nvc))
+      throw std::runtime_error("causal: truncated journal at event " + std::to_string(i));
+    if (kind < 0 || kind > static_cast<int>(EventKind::kDone) || stage < 0 ||
+        stage >= kNumStages || e.rank < 0 || e.rank >= j.nranks)
+      throw std::runtime_error("causal: malformed journal event " + std::to_string(i));
+    e.kind = static_cast<EventKind>(kind);
+    e.stage = static_cast<Stage>(stage);
+    e.vc.resize(nvc);
+    for (std::size_t c = 0; c < nvc; ++c)
+      if (!(is >> e.vc[c]))
+        throw std::runtime_error("causal: truncated clock in journal event " +
+                                 std::to_string(i));
+    j.events.push_back(std::move(e));
+  }
+  return j;
+}
+
+bool writeJournalFile(const Journal& j, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  writeJournal(j, f);
+  return static_cast<bool>(f);
+}
+
+Journal readJournalFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("causal: cannot open journal file: " + path);
+  return readJournal(f);
+}
+
+}  // namespace msc::causal

@@ -1,0 +1,195 @@
+/// \file causal.hpp
+/// Causal tracing: per-rank vector clocks advanced on every runtime
+/// operation, plus a structured per-run event journal (sends, recvs,
+/// barriers, collectives, stage changes, round commits) with vector
+/// timestamps. The journal is the input to the critical-path analyzer
+/// (causal/critpath.hpp) and the source of the cross-rank "message
+/// arrow" flow events in Chrome traces; the clocks order cross-rank
+/// evidence in AuditError / RecoveryError reports.
+///
+/// Ownership/overhead contract (same as obs::Tracer / audit::Auditor /
+/// fault::Injector): a Recorder is created by the caller and attached
+/// to Runtime::run / PipelineConfig as a non-owning pointer; every
+/// instrumentation site is gated on that pointer, so the default-off
+/// path costs one predictable branch. When on, each rank writes only
+/// to its own cache-line-padded slot (the barrier join accumulator is
+/// the one small shared section, guarded by its own mutex).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "causal/clock.hpp"
+#include "causal/wire.hpp"
+
+namespace msc::causal {
+
+/// Pipeline stage a rank is in when an event records. Set by the
+/// drivers via Recorder::setStage; kIdle outside any stage.
+enum class Stage : std::uint8_t {
+  kIdle = 0,
+  kRead,
+  kCompute,
+  kMerge,
+  kGlue,
+  kWrite,
+};
+inline constexpr int kNumStages = 6;
+
+const char* stageName(Stage s);
+
+/// One journal record. `vc` is empty when per-event clock journaling
+/// is disabled (Options::journal_clocks) or for synthesized journals.
+enum class EventKind : std::uint8_t {
+  kSend = 0,       ///< peer=dst, tag, bytes, msg_id
+  kRecv,           ///< peer=src, tag, bytes, msg_id, wait=blocked seconds
+  kRecvTimeout,    ///< peer=src, tag; a deadline-bounded recv gave up
+  kBarrierEnter,   ///< gen=barrier generation
+  kBarrierExit,    ///< gen, wait=enter-to-exit seconds
+  kCollective,     ///< peer=root, gen=auditor Lamport epoch (-1 unaudited)
+  kStage,          ///< stage/round changed to the carried values
+  kRoundCommit,    ///< round committed (recovery) or completed (plain)
+  kRespawn,        ///< the respawn supervisor restarted this rank
+  kDone,           ///< rank function returned
+};
+
+const char* eventKindName(EventKind k);
+
+struct Event {
+  EventKind kind{EventKind::kSend};
+  int rank{0};
+  double ts{0};  ///< seconds since the recorder's epoch
+  int peer{-1};  ///< dst (send) / src (recv) / root (collective)
+  int tag{0};
+  std::int64_t bytes{0};
+  std::uint64_t msg_id{0};  ///< shared with the obs flow-event id
+  std::int64_t gen{-1};     ///< barrier generation / collective epoch
+  double wait{0};           ///< blocked seconds (recv, barrier exit)
+  Stage stage{Stage::kIdle};
+  int round{-1};
+  std::vector<std::int64_t> vc;
+};
+
+/// A run's complete journal: what the critical-path analyzer and the
+/// msc_critpath tool consume. Events are in per-rank record order;
+/// no cross-rank order is implied beyond the timestamps.
+struct Journal {
+  int nranks{0};
+  std::vector<Event> events;
+};
+
+/// Thread-safe per-rank causal recorder. One instance spans one
+/// parallel execution; rank indices must be in [0, nranks).
+class Recorder {
+ public:
+  struct Options {
+    /// Copy the rank's full vector clock into every journal event.
+    /// O(nranks) memory per event -- switch off for very wide
+    /// (simulated) runs; the wire trailer and live clocks are
+    /// unaffected, only the per-event journal copies are skipped.
+    bool journal_clocks = true;
+  };
+
+  explicit Recorder(int nranks) : Recorder(nranks, Options()) {}
+  Recorder(int nranks, Options opts);
+  ~Recorder();
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  int nranks() const { return static_cast<int>(ranks_.size()); }
+  const Options& options() const { return opts_; }
+
+  /// Monotonic seconds since this recorder was constructed.
+  double now() const;
+
+  // --- Runtime hooks (live threaded runs; called on the rank's own
+  // thread). onSend ticks the clock and returns the stamp the runtime
+  // appends to the wire; onRecv merges the sender's stamped clock.
+  WireStamp onSend(int rank, int dst, int tag, std::int64_t payload_bytes);
+  void onRecv(int rank, int src, int tag, std::int64_t payload_bytes,
+              const WireStamp& stamp, double wait_seconds);
+  void onRecvTimeout(int rank, int src, int tag, double wait_seconds);
+  /// Called under the runtime's barrier lock, before the generation
+  /// can advance: all enters of a generation are accumulated before
+  /// any exit reads the join, so the exit clock dominates every
+  /// participant's entry clock.
+  void onBarrierEnter(int rank, std::int64_t gen);
+  void onBarrierExit(int rank, std::int64_t gen, double wait_seconds);
+  /// Journal a collective entry (gather/broadcast) with the auditor's
+  /// Lamport epoch when audited (-1 otherwise); ticks the clock.
+  void onCollectiveEnter(int rank, int root, std::int64_t epoch);
+  void onRespawn(int rank);
+  void onDone(int rank);
+
+  // --- Pipeline hooks.
+  void setStage(int rank, Stage stage, int round = -1);
+  void roundCommit(int rank, int round);
+
+  // --- Synthesis hooks (simnet reconstructions; explicit model
+  // timestamps, no live clocks -- journal events carry empty vc).
+  std::uint64_t sendAt(int rank, int dst, int tag, std::int64_t bytes, double ts);
+  void recvAt(int rank, int src, int tag, std::int64_t bytes, std::uint64_t msg_id,
+              double ts, double wait_seconds);
+  void stageAt(int rank, Stage stage, int round, double ts);
+  void roundCommitAt(int rank, int round, double ts);
+  /// One whole synthesized barrier: every rank's enter plus the
+  /// common exit (`exit_ts` >= every enter).
+  void barrierAllAt(std::int64_t gen, const std::vector<double>& enter_ts, double exit_ts);
+  void doneAt(int rank, double ts);
+
+  // --- Read side (safe concurrently with recording; snapshots under
+  // the rank lock).
+  std::vector<Event> events(int rank) const;
+  VectorClock clock(int rank) const;
+  Journal journal() const;
+  /// Human-readable causal context for error reports: the rank's
+  /// current vector clock plus its last `last_k` journal events.
+  std::string contextReport(int rank, int last_k = 8) const;
+
+ private:
+  struct alignas(64) RankSlot {
+    mutable std::mutex mu;
+    VectorClock clock;
+    std::vector<Event> events;
+    Stage stage{Stage::kIdle};
+    int round{-1};
+  };
+  struct BarrierJoin {
+    VectorClock merged;
+    int exits{0};
+  };
+
+  /// Stamp stage/round (+ optional clock copy) and append under the
+  /// slot lock. `e.rank`/`e.ts` must be set by the caller.
+  void recordLocked(RankSlot& slot, Event e);
+
+  Options opts_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> next_msg_id_{1};
+  std::vector<std::unique_ptr<RankSlot>> ranks_;
+  std::mutex barrier_mu_;
+  std::map<std::int64_t, BarrierJoin> joins_;
+};
+
+/// All ranks' contextReport()s concatenated -- what the runtime
+/// installs as the auditor's context provider and what RecoveryError
+/// augmentation appends, so cross-rank evidence in failure reports is
+/// causally ordered by the printed vector clocks.
+std::string fullContextReport(const Recorder& rec, int last_k = 8);
+
+// --- Journal serialization: a line-oriented text format so the
+// msc_critpath tool can replay a run without a JSON parser.
+void writeJournal(const Journal& j, std::ostream& os);
+Journal readJournal(std::istream& is);
+bool writeJournalFile(const Journal& j, const std::string& path);
+/// Throws std::runtime_error if the file is missing or malformed.
+Journal readJournalFile(const std::string& path);
+
+}  // namespace msc::causal

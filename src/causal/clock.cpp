@@ -1,0 +1,50 @@
+#include "causal/clock.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace msc::causal {
+
+const char* orderName(Order o) {
+  switch (o) {
+    case Order::kEqual: return "equal";
+    case Order::kBefore: return "before";
+    case Order::kAfter: return "after";
+    case Order::kConcurrent: return "concurrent";
+  }
+  return "unknown";
+}
+
+void VectorClock::merge(const VectorClock& other) {
+  merge(other.v_.data(), other.v_.size());
+}
+
+void VectorClock::merge(const std::int64_t* other, std::size_t n) {
+  assert(n == v_.size());
+  for (std::size_t i = 0; i < n; ++i) v_[i] = std::max(v_[i], other[i]);
+}
+
+Order VectorClock::compare(const VectorClock& other) const {
+  assert(v_.size() == other.v_.size());
+  bool some_less = false, some_greater = false;
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (v_[i] < other.v_[i]) some_less = true;
+    if (v_[i] > other.v_[i]) some_greater = true;
+  }
+  if (some_less && some_greater) return Order::kConcurrent;
+  if (some_less) return Order::kBefore;
+  if (some_greater) return Order::kAfter;
+  return Order::kEqual;
+}
+
+std::string VectorClock::toString() const {
+  std::string s = "[";
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (i) s += ' ';
+    s += std::to_string(v_[i]);
+  }
+  s += ']';
+  return s;
+}
+
+}  // namespace msc::causal

@@ -1,0 +1,65 @@
+/// \file clock.hpp
+/// Vector clocks: the logical-time backbone of msc::causal. Each rank
+/// keeps one counter per rank; local events tick the own component,
+/// every received message merges (component-wise max) the sender's
+/// clock. Two timestamps then order exactly when one causally
+/// precedes the other -- unlike the auditor's Lamport collective
+/// epochs, concurrency is *representable*: incomparable clocks mean
+/// provably concurrent events.
+///
+/// Leaf header: no dependencies beyond the standard library, so every
+/// layer (par, obs consumers, tools) can use it without widening the
+/// dependency DAG.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msc::causal {
+
+/// How two vector timestamps relate under happens-before.
+enum class Order { kEqual, kBefore, kAfter, kConcurrent };
+
+const char* orderName(Order o);
+
+/// A vector timestamp over a fixed rank count. Value-semantic and
+/// deliberately dumb: thread safety is the Recorder's job.
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(int nranks) : v_(static_cast<std::size_t>(nranks), 0) {}
+
+  int nranks() const { return static_cast<int>(v_.size()); }
+  std::int64_t operator[](int rank) const { return v_[static_cast<std::size_t>(rank)]; }
+
+  /// A local event on `rank`: advance its own component.
+  void tick(int rank) { ++v_[static_cast<std::size_t>(rank)]; }
+
+  /// Incorporate knowledge from another clock (component-wise max).
+  /// Merging is idempotent and commutative; it never decreases any
+  /// component (monotonicity), which the tests pin as laws.
+  void merge(const VectorClock& other);
+  void merge(const std::int64_t* other, std::size_t n);
+
+  /// Happens-before comparison of the events stamped by two clocks.
+  Order compare(const VectorClock& other) const;
+
+  /// True iff the event stamped `*this` causally precedes the event
+  /// stamped `other` (strictly: kBefore, not kEqual).
+  bool happensBefore(const VectorClock& other) const {
+    return compare(other) == Order::kBefore;
+  }
+
+  const std::vector<std::int64_t>& components() const { return v_; }
+
+  /// "[2 0 5 1]" -- used in AuditError/RecoveryError context reports.
+  std::string toString() const;
+
+  friend bool operator==(const VectorClock&, const VectorClock&) = default;
+
+ private:
+  std::vector<std::int64_t> v_;
+};
+
+}  // namespace msc::causal

@@ -1,0 +1,273 @@
+#include "causal/critpath.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace msc::causal {
+
+namespace {
+
+/// Below this, a recorded wait is treated as "never actually blocked"
+/// and the walk continues locally instead of jumping ranks.
+constexpr double kWaitEps = 1e-9;
+
+PathCategory stageCategory(Stage s) {
+  switch (s) {
+    case Stage::kIdle: return PathCategory::kIdle;
+    case Stage::kRead: return PathCategory::kRead;
+    case Stage::kCompute: return PathCategory::kCompute;
+    case Stage::kMerge: return PathCategory::kMerge;
+    case Stage::kGlue: return PathCategory::kGlue;
+    case Stage::kWrite: return PathCategory::kWrite;
+  }
+  return PathCategory::kIdle;
+}
+
+struct RawSegment {
+  int rank;
+  double t0, t1;
+  PathCategory category;
+  int round;
+};
+
+}  // namespace
+
+const char* pathCategoryName(PathCategory c) {
+  switch (c) {
+    case PathCategory::kRead: return "read";
+    case PathCategory::kCompute: return "compute";
+    case PathCategory::kMerge: return "merge";
+    case PathCategory::kGlue: return "glue";
+    case PathCategory::kWrite: return "write";
+    case PathCategory::kIdle: return "idle";
+    case PathCategory::kMailboxWait: return "mailbox_wait";
+    case PathCategory::kTransfer: return "transfer";
+    case PathCategory::kBarrierWait: return "barrier_wait";
+  }
+  return "unknown";
+}
+
+CriticalPath analyzeCriticalPath(const Journal& j) {
+  if (j.events.empty() || j.nranks < 1)
+    throw std::invalid_argument("causal: cannot analyze an empty journal");
+
+  // Per-rank chronological views plus the two cross-rank indices the
+  // backward walk jumps through: message id -> send site, barrier
+  // generation -> last enterer (the rank that released it).
+  std::vector<std::vector<const Event*>> per(static_cast<std::size_t>(j.nranks));
+  std::unordered_map<std::uint64_t, const Event*> send_of;
+  std::map<std::int64_t, const Event*> last_enter;
+  double t_begin = j.events.front().ts;
+  const Event* end_event = &j.events.front();
+  for (const Event& e : j.events) {
+    per[static_cast<std::size_t>(e.rank)].push_back(&e);
+    t_begin = std::min(t_begin, e.ts);
+    if (e.ts > end_event->ts ||
+        (e.kind == EventKind::kDone && end_event->kind != EventKind::kDone &&
+         e.ts >= end_event->ts))
+      end_event = &e;
+    if (e.kind == EventKind::kSend && e.msg_id != 0) send_of.emplace(e.msg_id, &e);
+    if (e.kind == EventKind::kBarrierEnter) {
+      auto [it, inserted] = last_enter.emplace(e.gen, &e);
+      if (!inserted && e.ts > it->second->ts) it->second = &e;
+    }
+  }
+  for (auto& v : per)
+    std::stable_sort(v.begin(), v.end(),
+                     [](const Event* a, const Event* b) { return a->ts < b->ts; });
+
+  // idx[r]: position of the latest event on r at or before the walk
+  // cursor. Rewound by binary search on every cross-rank jump.
+  std::vector<std::ptrdiff_t> idx(static_cast<std::size_t>(j.nranks), -1);
+  const auto rewind = [&](int r, double t) {
+    const auto& v = per[static_cast<std::size_t>(r)];
+    auto it = std::upper_bound(v.begin(), v.end(), t,
+                               [](double tv, const Event* e) { return tv < e->ts; });
+    idx[static_cast<std::size_t>(r)] = (it - v.begin()) - 1;
+  };
+
+  int rank = end_event->rank;
+  double t = end_event->ts;
+  rewind(rank, t);
+
+  std::vector<RawSegment> raw;  // built newest-first
+  const auto attribute = [&](int r, double a, double b, PathCategory c, int round) {
+    if (b - a <= 0) return;
+    raw.push_back({r, a, b, c, round});
+  };
+
+  // Backward walk: every iteration either consumes one event on the
+  // current rank or jumps to the cross-rank dependency that bound a
+  // blocked interval. The cap is a safety net far above the 2x bound.
+  const std::size_t max_iters = 4 * j.events.size() + 16;
+  for (std::size_t iters = 0; t > t_begin && iters < max_iters; ++iters) {
+    const auto& v = per[static_cast<std::size_t>(rank)];
+    const std::ptrdiff_t i = idx[static_cast<std::size_t>(rank)];
+    if (i < 0) {
+      // Before this rank's first event: charge the remainder to idle.
+      attribute(rank, t_begin, t, PathCategory::kIdle, -1);
+      t = t_begin;
+      break;
+    }
+    const Event& e = *v[static_cast<std::size_t>(i)];
+    // Local time from this event up to the cursor runs in the stage
+    // the event recorded under. The cursor only ever moves backward:
+    // measurement jitter that would move it forward is clamped so the
+    // attributed intervals keep tiling [t_begin, t_end].
+    attribute(rank, e.ts, t, stageCategory(e.stage), e.round);
+    t = std::min(t, e.ts);
+
+    if (e.kind == EventKind::kRecv && e.wait > kWaitEps) {
+      const double wait_start = e.ts - e.wait;
+      const auto it = send_of.find(e.msg_id);
+      const Event* s = it == send_of.end() ? nullptr : it->second;
+      if (s && s->rank != rank && s->ts >= wait_start && s->ts <= t) {
+        // The binding dependency: we were already waiting when the
+        // message was sent, so the path runs through the sender.
+        attribute(rank, s->ts, t, PathCategory::kTransfer, e.round);
+        rank = s->rank;
+        t = s->ts;
+        rewind(rank, t);
+        continue;
+      }
+      // Message predates the wait (or is unknown): the delay was
+      // local delivery, not the sender.
+      attribute(rank, wait_start, t, PathCategory::kMailboxWait, e.round);
+      t = std::min(t, wait_start);
+    } else if (e.kind == EventKind::kBarrierExit && e.wait > kWaitEps) {
+      const double enter_ts = e.ts - e.wait;
+      const auto it = last_enter.find(e.gen);
+      const Event* l = it == last_enter.end() ? nullptr : it->second;
+      if (l && l->rank != rank && l->ts >= enter_ts && l->ts <= t) {
+        attribute(rank, l->ts, t, PathCategory::kBarrierWait, e.round);
+        rank = l->rank;
+        t = l->ts;
+        rewind(rank, t);
+        continue;
+      }
+      attribute(rank, enter_ts, t, PathCategory::kBarrierWait, e.round);
+      t = std::min(t, enter_ts);
+    }
+    --idx[static_cast<std::size_t>(rank)];
+  }
+
+  CriticalPath out;
+  out.wall_seconds = end_event->ts - t_begin;
+  out.end_rank = end_event->rank;
+  // Chronological order, then coalesce adjacent same-attribution
+  // stretches so the segment list stays readable.
+  std::reverse(raw.begin(), raw.end());
+  for (const RawSegment& s : raw) {
+    if (!out.segments.empty()) {
+      PathSegment& prev = out.segments.back();
+      if (prev.rank == s.rank && prev.category == s.category && prev.round == s.round &&
+          s.t0 <= prev.t1 + 1e-12) {
+        prev.t1 = std::max(prev.t1, s.t1);
+        continue;
+      }
+    }
+    PathSegment seg;
+    seg.rank = s.rank;
+    seg.t0 = s.t0;
+    seg.t1 = s.t1;
+    seg.category = s.category;
+    seg.round = s.round;
+    out.segments.push_back(seg);
+  }
+  for (const PathSegment& s : out.segments) {
+    out.path_seconds += s.seconds();
+    out.by_category[static_cast<std::size_t>(s.category)] += s.seconds();
+    out.by_round[s.round] += s.seconds();
+  }
+  return out;
+}
+
+std::string blameTable(const CriticalPath& p) {
+  std::ostringstream os;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "critical path: %.6f s over %.6f s wall (%.1f%%), ends on rank %d, %zu "
+                "segments\n",
+                p.path_seconds, p.wall_seconds,
+                p.wall_seconds > 0 ? 100.0 * p.path_seconds / p.wall_seconds : 0.0,
+                p.end_rank, p.segments.size());
+  os << buf;
+  os << "  category        seconds     share\n";
+  for (int c = 0; c < kNumPathCategories; ++c) {
+    const double s = p.by_category[static_cast<std::size_t>(c)];
+    if (s <= 0) continue;
+    std::snprintf(buf, sizeof(buf), "  %-14s %10.6f   %6.2f%%\n",
+                  pathCategoryName(static_cast<PathCategory>(c)), s,
+                  p.path_seconds > 0 ? 100.0 * s / p.path_seconds : 0.0);
+    os << buf;
+  }
+  bool any_round = false;
+  for (const auto& [round, s] : p.by_round)
+    if (round >= 0 && s > 0) any_round = true;
+  if (any_round) {
+    os << "  per merge round:\n";
+    for (const auto& [round, s] : p.by_round) {
+      if (round < 0 || s <= 0) continue;
+      std::snprintf(buf, sizeof(buf), "    round %-8d %10.6f   %6.2f%%\n", round, s,
+                    p.path_seconds > 0 ? 100.0 * s / p.path_seconds : 0.0);
+      os << buf;
+    }
+  }
+  return os.str();
+}
+
+void writeCritPathJson(const CriticalPath& p, std::ostream& os) {
+  char buf[64];
+  const auto num = [&](double v) {
+    std::snprintf(buf, sizeof(buf), "%.9f", v);
+    os << buf;
+  };
+  os << "{\"wall_seconds\":";
+  num(p.wall_seconds);
+  os << ",\"path_seconds\":";
+  num(p.path_seconds);
+  os << ",\"end_rank\":" << p.end_rank << ",\"by_category\":{";
+  bool first = true;
+  for (int c = 0; c < kNumPathCategories; ++c) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << pathCategoryName(static_cast<PathCategory>(c)) << "\":";
+    num(p.by_category[static_cast<std::size_t>(c)]);
+  }
+  os << "},\"by_round\":[";
+  first = true;
+  for (const auto& [round, s] : p.by_round) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"round\":" << round << ",\"seconds\":";
+    num(s);
+    os << '}';
+  }
+  os << "],\"segments\":[";
+  first = true;
+  for (const PathSegment& s : p.segments) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"rank\":" << s.rank << ",\"t0\":";
+    num(s.t0);
+    os << ",\"t1\":";
+    num(s.t1);
+    os << ",\"category\":\"" << pathCategoryName(s.category) << "\",\"round\":" << s.round
+       << '}';
+  }
+  os << "]}\n";
+}
+
+std::string critPathJson(const CriticalPath& p) {
+  std::ostringstream os;
+  writeCritPathJson(p, os);
+  return os.str();
+}
+
+}  // namespace msc::causal

@@ -1,0 +1,78 @@
+/// \file critpath.hpp
+/// Critical-path analysis over a causal journal: replay the
+/// happens-before DAG backwards from the last event to extract the
+/// longest causal chain bounding the run's wall time, and attribute
+/// it per stage (compute / mailbox-wait / transfer / glue / ...) and
+/// per merge round. This is the question the paper's evaluation keeps
+/// asking -- *where does the time go as ranks scale* -- answered
+/// causally instead of by per-rank aggregates: the blame table names
+/// the chain of sends, waits and glues that the run could not have
+/// finished without.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "causal/causal.hpp"
+
+namespace msc::causal {
+
+/// What a critical-path segment was spent on. Stage-derived buckets
+/// (read/compute/merge/glue/write/idle) cover locally-bound time;
+/// the three wait buckets are derived from the journal's blocking
+/// events and name the cross-rank dependency that bound them.
+enum class PathCategory : int {
+  kRead = 0,
+  kCompute,
+  kMerge,     ///< local merge-stage work (pack/unpack/simplify)
+  kGlue,
+  kWrite,
+  kIdle,
+  kMailboxWait,  ///< blocked in recv on a message already in flight
+  kTransfer,     ///< send-to-dequeue latency of the binding message
+  kBarrierWait,  ///< release latency after the last rank arrived
+};
+inline constexpr int kNumPathCategories = 9;
+
+const char* pathCategoryName(PathCategory c);
+
+/// One maximal same-rank, same-category, same-round stretch of the
+/// critical path, in chronological order.
+struct PathSegment {
+  int rank{0};
+  double t0{0};
+  double t1{0};
+  PathCategory category{PathCategory::kIdle};
+  int round{-1};  ///< merge round, -1 outside rounds
+  double seconds() const { return t1 - t0; }
+};
+
+struct CriticalPath {
+  double wall_seconds{0};  ///< last event ts - first event ts
+  double path_seconds{0};  ///< sum over segments (== wall by construction)
+  int end_rank{-1};        ///< rank whose final event terminates the path
+  std::vector<PathSegment> segments;  ///< chronological
+  std::array<double, kNumPathCategories> by_category{};
+  std::map<int, double> by_round;  ///< seconds per merge round (-1 = outside)
+};
+
+/// Extract the critical path. Works on live (threaded) and
+/// synthesized (simnet) journals alike: only timestamps, waits and
+/// message ids are consulted, never the vector clocks, so journals
+/// recorded with journal_clocks=false analyze identically.
+/// Throws std::invalid_argument on an empty journal.
+CriticalPath analyzeCriticalPath(const Journal& j);
+
+/// Render the per-category / per-round blame table as fixed-width
+/// text (what msc_critpath prints).
+std::string blameTable(const CriticalPath& p);
+
+/// Machine-readable form: wall/path seconds, category and round
+/// breakdowns, and the segment list.
+void writeCritPathJson(const CriticalPath& p, std::ostream& os);
+std::string critPathJson(const CriticalPath& p);
+
+}  // namespace msc::causal

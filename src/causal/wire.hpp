@@ -1,0 +1,87 @@
+/// \file wire.hpp
+/// Piggybacked causal metadata: the vector-clock trailer appended to
+/// every message when a causal::Recorder is attached to the runtime.
+/// Mirrors audit/wire.hpp's tail-trailer trick -- variable-length
+/// clock entries followed by a fixed footer whose last byte is a
+/// magic, so attach and strip are O(1) amortized (no memmove of user
+/// bytes) and strip needs no out-of-band length.
+///
+/// Layering with the audit trailer: the causal trailer is appended
+/// *after* (outside) the audit trailer and stripped *first* at the
+/// receiver, so each layer only ever sees its own framing.
+///
+/// Wire layout (little-endian hosts, like the rest of the repo):
+///   [payload][nclock x i64 clock entries][footer]
+///   footer = [u64 msg_id][u32 nclock][u8 version][u16 reserved][u8 magic]
+///
+/// Leaf header: depends only on causal/clock.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace msc::causal {
+
+inline constexpr std::size_t kWireFooterBytes = 16;
+/// Distinct from audit::kWireMagic (0xA5): a message stripped in the
+/// wrong layer order fails loudly instead of mis-decoding.
+inline constexpr std::uint8_t kWireMagic = 0x5C;
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// What the sender stamps on a message: a run-unique id (shared with
+/// the obs flow event so Perfetto arrows and the journal agree) plus
+/// the sender's vector clock right after the send tick.
+struct WireStamp {
+  std::uint64_t msg_id{0};
+  std::vector<std::int64_t> clock;
+};
+
+/// Append `s` to `b` (the recorded send path).
+template <class ByteVec>
+void appendTrailer(ByteVec& b, const WireStamp& s) {
+  const std::size_t base = b.size();
+  const std::size_t clock_bytes = s.clock.size() * 8;
+  b.resize(base + clock_bytes + kWireFooterBytes);
+  std::byte* p = b.data() + base;
+  if (clock_bytes) std::memcpy(p, s.clock.data(), clock_bytes);
+  p += clock_bytes;
+  std::memcpy(p, &s.msg_id, 8);
+  const auto nclock = static_cast<std::uint32_t>(s.clock.size());
+  std::memcpy(p + 8, &nclock, 4);
+  p[12] = static_cast<std::byte>(kWireVersion);
+  // bytes 13..14 reserved (zeroed by resize's value-init)
+  p[15] = static_cast<std::byte>(kWireMagic);
+}
+
+/// Strip the trailer from `b` (the recorded receive path). Throws
+/// std::runtime_error on a malformed trailer: that means a message
+/// bypassed the recorded send path entirely.
+template <class ByteVec>
+WireStamp stripTrailer(ByteVec& b) {
+  if (b.size() < kWireFooterBytes ||
+      b[b.size() - 1] != static_cast<std::byte>(kWireMagic))
+    throw std::runtime_error(
+        "causal: message without a causal trailer reached a recorded receive "
+        "(send bypassed the recorded runtime?)");
+  const std::byte* f = b.data() + (b.size() - kWireFooterBytes);
+  WireStamp s;
+  std::memcpy(&s.msg_id, f, 8);
+  std::uint32_t nclock = 0;
+  std::memcpy(&nclock, f + 8, 4);
+  if (f[12] != static_cast<std::byte>(kWireVersion))
+    throw std::runtime_error("causal: unknown trailer version");
+  const std::size_t clock_bytes = static_cast<std::size_t>(nclock) * 8;
+  if (b.size() < kWireFooterBytes + clock_bytes)
+    throw std::runtime_error("causal: trailer clock length exceeds message size");
+  s.clock.resize(nclock);
+  if (clock_bytes)
+    std::memcpy(s.clock.data(), b.data() + (b.size() - kWireFooterBytes - clock_bytes),
+                clock_bytes);
+  b.resize(b.size() - kWireFooterBytes - clock_bytes);
+  return s;
+}
+
+}  // namespace msc::causal

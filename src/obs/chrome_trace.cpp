@@ -98,6 +98,30 @@ void writeChromeTrace(const Tracer& t, std::ostream& os, const std::string& proc
           os << ",\"s\":\"t\"}";
           break;
         }
+        case EventKind::kFlowStart:
+        case EventKind::kFlowFinish: {
+          // Flow halves bind by (name, cat, id); "bp":"e" attaches
+          // the finish to the enclosing slice at its timestamp.
+          os << "{\"ph\":\"" << (e.kind == EventKind::kFlowStart ? 's' : 'f') << '"';
+          if (e.kind == EventKind::kFlowFinish) os << ",\"bp\":\"e\"";
+          os << ",\"name\":";
+          escaped(os, e.name);
+          os << ",\"cat\":";
+          escaped(os, *e.cat ? e.cat : "flow");
+          os << ",\"id\":" << e.flow_id << ",\"pid\":0,\"tid\":" << r << ",\"ts\":";
+          number(os, e.ts * kUsPerSecond);
+          os << ",\"args\":{";
+          bool ffirst = true;
+          for (std::size_t i = 0; i < e.arg_keys.size(); ++i) {
+            if (!e.arg_keys[i]) continue;
+            if (!ffirst) os << ',';
+            ffirst = false;
+            escaped(os, e.arg_keys[i]);
+            os << ':' << e.arg_vals[i];
+          }
+          os << "}}";
+          break;
+        }
         case EventKind::kCounter: {
           // Counter tracks are keyed by (pid, name); suffix the rank
           // so each rank gets its own track.

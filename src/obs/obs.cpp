@@ -104,6 +104,33 @@ void Tracer::countAt(int rank, Counter c, double ts, double delta) {
   log.events.push_back(std::move(e));
 }
 
+namespace {
+
+obs::Event flowEvent(EventKind kind, std::uint64_t id, double ts, int src, int dst,
+                     int tag, std::int64_t bytes) {
+  Event e;
+  e.kind = kind;
+  e.name = "msg";
+  e.cat = "flow";
+  e.ts = ts;
+  e.flow_id = id;
+  e.arg_keys = {"src", "dst", "tag", "bytes"};
+  e.arg_vals = {src, dst, tag, bytes};
+  return e;
+}
+
+}  // namespace
+
+void Tracer::flowStartAt(int rank, std::uint64_t id, double ts, int src, int dst, int tag,
+                         std::int64_t bytes) {
+  record(rank, flowEvent(EventKind::kFlowStart, id, ts, src, dst, tag, bytes));
+}
+
+void Tracer::flowFinishAt(int rank, std::uint64_t id, double ts, int src, int dst,
+                          int tag, std::int64_t bytes) {
+  record(rank, flowEvent(EventKind::kFlowFinish, id, ts, src, dst, tag, bytes));
+}
+
 void Tracer::spanAt(int rank, std::string name, double ts, double dur, const char* cat,
                     const char* arg_key, std::int64_t arg_val) {
   Event e;

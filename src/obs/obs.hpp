@@ -54,7 +54,11 @@ struct CounterSet {
   double operator[](Counter c) const { return v[static_cast<std::size_t>(c)]; }
 };
 
-enum class EventKind { kSpan, kInstant, kCounter };
+/// kFlowStart/kFlowFinish are Chrome-trace flow events ("s"/"f"):
+/// one started on the sender inside its send span, finished on the
+/// receiver inside its recv span, bound by `flow_id` -- the viewer
+/// renders them as cross-rank message arrows.
+enum class EventKind { kSpan, kInstant, kCounter, kFlowStart, kFlowFinish };
 
 /// One recorded event. Spans carry [ts, ts+dur]; counter events are
 /// cumulative samples of the named counter at `ts`.
@@ -66,9 +70,10 @@ struct Event {
   double dur{0};    ///< spans only
   double value{0};  ///< counter samples only (cumulative)
   int depth{0};     ///< span nesting depth at record time (0 = top level)
-  /// Up to two numeric args surfaced in the trace viewer.
-  std::array<const char*, 2> arg_keys{nullptr, nullptr};
-  std::array<std::int64_t, 2> arg_vals{0, 0};
+  std::uint64_t flow_id{0};  ///< flow events only: the message id
+  /// Up to four numeric args surfaced in the trace viewer.
+  std::array<const char*, 4> arg_keys{nullptr, nullptr, nullptr, nullptr};
+  std::array<std::int64_t, 4> arg_vals{0, 0, 0, 0};
 };
 
 /// Thread-safe per-rank event recorder. One instance spans one
@@ -112,9 +117,9 @@ class Tracer {
     Span& operator=(const Span&) = delete;
     ~Span() { end(); }
 
-    /// Attach a numeric argument (at most two are kept).
+    /// Attach a numeric argument (at most four are kept).
     Span& arg(const char* key, std::int64_t value) {
-      if (tracer_ && nargs_ < 2) {
+      if (tracer_ && nargs_ < 4) {
         arg_keys_[static_cast<std::size_t>(nargs_)] = key;
         arg_vals_[static_cast<std::size_t>(nargs_)] = value;
         ++nargs_;
@@ -134,8 +139,8 @@ class Tracer {
     const char* cat_ = "";
     double start_ = 0;
     int nargs_ = 0;
-    std::array<const char*, 2> arg_keys_{nullptr, nullptr};
-    std::array<std::int64_t, 2> arg_vals_{0, 0};
+    std::array<const char*, 4> arg_keys_{nullptr, nullptr, nullptr, nullptr};
+    std::array<std::int64_t, 4> arg_vals_{0, 0, 0, 0};
   };
 
   /// Open a span on `rank`'s track, closed when the returned object
@@ -157,6 +162,25 @@ class Tracer {
   /// Record a cumulative counter sample with an explicit timestamp
   /// (also bumps the counter total by `delta`).
   void countAt(int rank, Counter c, double ts, double delta);
+
+  /// Flow events: the start half records on the sender's track, the
+  /// finish half on the receiver's, both named "msg" in category
+  /// "flow" and bound by `id` (the causal message id). Emit each half
+  /// while the enclosing comm span is still open so the viewer can
+  /// anchor the arrow to a slice. Args carry src/dst/tag/bytes.
+  void flowStart(int rank, std::uint64_t id, int src, int dst, int tag,
+                 std::int64_t bytes) {
+    flowStartAt(rank, id, now(), src, dst, tag, bytes);
+  }
+  void flowFinish(int rank, std::uint64_t id, int src, int dst, int tag,
+                  std::int64_t bytes) {
+    flowFinishAt(rank, id, now(), src, dst, tag, bytes);
+  }
+  /// Explicit-timestamp variants for synthesized (simnet) schedules.
+  void flowStartAt(int rank, std::uint64_t id, double ts, int src, int dst, int tag,
+                   std::int64_t bytes);
+  void flowFinishAt(int rank, std::uint64_t id, double ts, int src, int dst, int tag,
+                    std::int64_t bytes);
 
   // --- Read side (call after the instrumented run completes; safe
   // concurrently with recording but snapshots under the rank lock).

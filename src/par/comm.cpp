@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "audit/audit.hpp"
+#include "causal/causal.hpp"
 #include "obs/obs.hpp"
 
 namespace msc::par {
@@ -98,6 +99,7 @@ std::vector<Bytes> Comm::gather(int root, Bytes payload) const {
   std::int64_t epoch = -1;
   if (rt_->auditor_)
     epoch = rt_->auditor_->onCollectiveEnter(rank_, audit::OpKind::kGatherContrib, root);
+  if (rt_->recorder_) rt_->recorder_->onCollectiveEnter(rank_, root, epoch);
   std::vector<Bytes> out;
   if (rank_ == root) {
     out.resize(static_cast<std::size_t>(size_));
@@ -129,6 +131,7 @@ Bytes Comm::broadcast(int root, Bytes payload) const {
   std::int64_t epoch = -1;
   if (rt_->auditor_)
     epoch = rt_->auditor_->onCollectiveEnter(rank_, audit::OpKind::kBcast, root);
+  if (rt_->recorder_) rt_->recorder_->onCollectiveEnter(rank_, root, epoch);
   if (rank_ == root) {
     for (int dst = 0; dst < size_; ++dst)
       if (dst != root) rt_->send(rank_, dst, kTagBcast, payload, audit::OpKind::kBcast);
@@ -137,13 +140,16 @@ Bytes Comm::broadcast(int root, Bytes payload) const {
   return rt_->recv(rank_, root, kTagBcast, nullptr, nullptr, audit::OpKind::kBcast, epoch);
 }
 
-Runtime::Runtime(int nranks, obs::Tracer* tracer, audit::Auditor* auditor)
+Runtime::Runtime(int nranks, obs::Tracer* tracer, audit::Auditor* auditor,
+                 causal::Recorder* recorder)
     : boxes_(static_cast<std::size_t>(nranks)),
       nranks_(nranks),
       tracer_(tracer),
-      auditor_(auditor) {
+      auditor_(auditor),
+      recorder_(recorder) {
   assert(!tracer || tracer->nranks() >= nranks);
   assert(!auditor || auditor->nranks() >= nranks);
+  assert(!recorder || recorder->nranks() >= nranks);
 }
 
 void Runtime::send(int src, int dst, int tag, Bytes payload, audit::OpKind kind) {
@@ -155,13 +161,30 @@ void Runtime::send(int src, int dst, int tag, Bytes payload, audit::OpKind kind)
     sp.arg("dst", dst).arg("bytes", nbytes);
   }
   Mailbox& box = boxes_[static_cast<std::size_t>(dst)];
+  audit::WireHeader h;
   if (auditor_) {
-    audit::WireHeader h;
     h.epoch = auditor_->epochOf(src);
     h.src = src;
     h.tag = tag;
     h.kind = kind;
     audit::appendHeader(payload, h);
+  }
+  std::uint64_t flow_id = 0;
+  if (recorder_) {
+    // Causal trailer outside the audit trailer (stripped first at the
+    // receiver). Both appends must precede the ownership handoff
+    // below: a resize after adopt() could reallocate a buffer the
+    // tracker has already re-tagged.
+    const causal::WireStamp stamp = recorder_->onSend(src, dst, tag, nbytes);
+    flow_id = stamp.msg_id;
+    causal::appendTrailer(payload, stamp);
+    // The flow start lands inside the still-open send span (arrow
+    // tail), and must be recorded before the mailbox push: once the
+    // message is visible, the receiver's flow finish can land, and a
+    // finish timestamped before its start is an invalid trace.
+    if (tracer_) tracer_->flowStart(src, flow_id, src, dst, tag, nbytes);
+  }
+  if (auditor_) {
     // Sanctioned handoff: the buffer stops belonging to `src` the
     // moment it enters the mailbox.
     audit::AllocTracking::adopt(payload.data(), audit::kInTransit);
@@ -202,10 +225,31 @@ std::optional<Bytes> Runtime::recvImpl(int self, int src, int tag, int* out_src,
   }
   Mailbox& box = boxes_[static_cast<std::size_t>(self)];
   double waited = 0;
+  // Blocked time is measured whenever anyone will consume it: the
+  // tracer's counter or the recorder's journal (critical-path input).
+  const bool time_waits = tracer_ || recorder_;
   bool registered = false;  // audited: this rank is recorded as blocked
   double block_start = 0;
   const double give_up_at = deadline ? steadySeconds() + deadline->seconds : 0;
   double backoff_ms = deadline ? deadline->backoff_initial_ms : 0;
+  // Common post-dequeue tail (call with the mailbox lock released and
+  // all trailers stripped; the recv span is still open so the flow
+  // finish anchors to it).
+  const auto finish = [&](const Bytes& b, int msg_src, int msg_tag,
+                          const causal::WireStamp& stamp) {
+    if (recorder_) {
+      recorder_->onRecv(self, msg_src, msg_tag, static_cast<std::int64_t>(b.size()),
+                        stamp, waited);
+      if (tracer_)
+        tracer_->flowFinish(self, stamp.msg_id, msg_src, self, msg_tag,
+                            static_cast<std::int64_t>(b.size()));
+    }
+    if (tracer_) {
+      tracer_->count(self, obs::Counter::kMessagesReceived, 1);
+      tracer_->count(self, obs::Counter::kBytesReceived, static_cast<double>(b.size()));
+      if (waited > 0) tracer_->count(self, obs::Counter::kMailboxWaitSeconds, waited);
+    }
+  };
   std::unique_lock lock(box.mu);
   for (;;) {
     for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
@@ -213,6 +257,9 @@ std::optional<Bytes> Runtime::recvImpl(int self, int src, int tag, int* out_src,
         if (out_src) *out_src = it->src;
         if (out_tag) *out_tag = it->tag;
         Bytes b = std::move(it->payload);
+        const int msg_src = it->src;
+        const int msg_tag = it->tag;
+        causal::WireStamp stamp;
         if (auditor_) {
           int alternatives = 0;
           if (src == kAny)
@@ -220,29 +267,23 @@ std::optional<Bytes> Runtime::recvImpl(int self, int src, int tag, int* out_src,
               if (jt != it && jt->src != it->src && (tag == kAny || jt->tag == tag))
                 ++alternatives;
           const std::uint64_t seq = it->seq;
-          const int msg_src = it->src;
-          const int msg_tag = it->tag;
           box.messages.erase(it);
           auditor_->onDequeue(self, seq, alternatives);
           if (registered) auditor_->onUnblocked(self);
           lock.unlock();
           audit::AllocTracking::adopt(b.data(), self);
+          // Strip order mirrors append order: causal (outermost)
+          // first, then the audit trailer.
+          if (recorder_) stamp = causal::stripTrailer(b);
           const audit::WireHeader h = audit::stripHeader(b);
           auditor_->checkMessage(self, expect, expect_epoch, msg_src, msg_tag, h);
-          if (tracer_) {
-            tracer_->count(self, obs::Counter::kMessagesReceived, 1);
-            tracer_->count(self, obs::Counter::kBytesReceived, static_cast<double>(b.size()));
-            if (waited > 0) tracer_->count(self, obs::Counter::kMailboxWaitSeconds, waited);
-          }
+          finish(b, msg_src, msg_tag, stamp);
           return b;
         }
         box.messages.erase(it);
-        if (tracer_) {
-          lock.unlock();
-          tracer_->count(self, obs::Counter::kMessagesReceived, 1);
-          tracer_->count(self, obs::Counter::kBytesReceived, static_cast<double>(b.size()));
-          if (waited > 0) tracer_->count(self, obs::Counter::kMailboxWaitSeconds, waited);
-        }
+        lock.unlock();
+        if (recorder_) stamp = causal::stripTrailer(b);
+        finish(b, msg_src, msg_tag, stamp);
         return b;
       }
     }
@@ -254,6 +295,7 @@ std::optional<Bytes> Runtime::recvImpl(int self, int src, int tag, int* out_src,
         // deadlock detector never sees a rank that already moved on.
         if (auditor_ && registered) auditor_->onUnblocked(self);
         lock.unlock();
+        if (recorder_) recorder_->onRecvTimeout(self, src, tag, waited);
         if (tracer_) {
           tracer_->count(self, obs::Counter::kRecvTimeouts, 1);
           if (waited > 0) tracer_->count(self, obs::Counter::kMailboxWaitSeconds, waited);
@@ -274,21 +316,21 @@ std::optional<Bytes> Runtime::recvImpl(int self, int src, int tag, int* out_src,
         block_start = steadySeconds();
       }
       if (auditor_->failed()) auditor_->onAborted(self);
-      const double t0 = tracer_ ? tracer_->now() : 0;
+      const double t0 = time_waits ? steadySeconds() : 0;
       const double poll_ms =
           std::min(wait_ms, std::chrono::duration<double, std::milli>(kAuditPoll).count());
       box.cv.wait_for(lock, std::chrono::duration<double, std::milli>(poll_ms));
-      if (tracer_) waited += tracer_->now() - t0;
+      if (time_waits) waited += steadySeconds() - t0;
       if (steadySeconds() - block_start > auditor_->options().block_timeout_seconds)
         auditor_->onStuck(self);
     } else if (deadline) {
-      const double t0 = tracer_ ? tracer_->now() : 0;
+      const double t0 = time_waits ? steadySeconds() : 0;
       box.cv.wait_for(lock, std::chrono::duration<double, std::milli>(wait_ms));
-      if (tracer_) waited += tracer_->now() - t0;
-    } else if (tracer_) {
-      const double t0 = tracer_->now();
+      if (time_waits) waited += steadySeconds() - t0;
+    } else if (time_waits) {
+      const double t0 = steadySeconds();
       box.cv.wait(lock);
-      waited += tracer_->now() - t0;
+      waited += steadySeconds() - t0;
     } else {
       box.cv.wait(lock);
     }
@@ -306,12 +348,18 @@ bool Runtime::probe(int self, int src, int tag) {
 
 void Runtime::barrier(int self) {
   obs::Tracer::Span sp;
-  const double t0 = tracer_ ? tracer_->now() : 0;
+  const double t0 = (tracer_ || recorder_) ? steadySeconds() : 0;
   if (tracer_) sp = tracer_->span(self, "barrier", "comm");
   if (auditor_) auditor_->onCollectiveEnter(self, audit::OpKind::kBarrier, -1);
+  std::int64_t my_gen = -1;
   {
     std::unique_lock lock(barrier_mu_);
     const std::int64_t gen = barrier_gen_;
+    my_gen = gen;
+    // Under the barrier lock, before the count can release anyone:
+    // every enter of `gen` reaches the recorder's join accumulator
+    // before any rank exits, so exit clocks dominate all entries.
+    if (recorder_) recorder_->onBarrierEnter(self, gen);
     if (++barrier_count_ == nranks_) {
       barrier_count_ = 0;
       ++barrier_gen_;
@@ -337,13 +385,21 @@ void Runtime::barrier(int self) {
       barrier_cv_.wait(lock, [&] { return barrier_gen_ != gen; });
     }
   }
-  if (tracer_) tracer_->count(self, obs::Counter::kBarrierWaitSeconds, tracer_->now() - t0);
+  if (recorder_) recorder_->onBarrierExit(self, my_gen, steadySeconds() - t0);
+  if (tracer_) tracer_->count(self, obs::Counter::kBarrierWaitSeconds, steadySeconds() - t0);
 }
 
 void Runtime::run(int nranks, const std::function<void(Comm&)>& fn, obs::Tracer* tracer,
-                  audit::Auditor* auditor, const RunOptions* opts) {
+                  audit::Auditor* auditor, causal::Recorder* recorder,
+                  const RunOptions* opts) {
   assert(nranks >= 1);
-  Runtime rt(nranks, tracer, auditor);
+  Runtime rt(nranks, tracer, auditor, recorder);
+  // With both attached, audit diagnostics gain the causal view: every
+  // AuditError report ends with per-rank vector clocks and last-K
+  // event histories, ordering the cross-rank evidence.
+  if (auditor && recorder)
+    auditor->setContextProvider(
+        [recorder] { return causal::fullContextReport(*recorder); });
   const bool track = auditor && auditor->options().track_ownership;
   if (track) audit::AllocTracking::enable(nranks);
   std::vector<std::thread> threads;
@@ -353,7 +409,7 @@ void Runtime::run(int nranks, const std::function<void(Comm&)>& fn, obs::Tracer*
 
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&rt, &fn, r, nranks, &err_mu, &first_error, tracer, auditor,
-                          track, opts] {
+                          recorder, track, opts] {
       if (track) audit::AllocTracking::setThreadRank(r);
       Comm comm(rt, r, nranks);
       const auto record_error = [&err_mu, &first_error] {
@@ -374,6 +430,7 @@ void Runtime::run(int nranks, const std::function<void(Comm&)>& fn, obs::Tracer*
       for (;;) {
         try {
           fn(comm);
+          if (recorder) recorder->onDone(r);
           // A clean exit can still prove other ranks deadlocked (they
           // may be waiting on this rank forever).
           if (auditor) auditor->onDone(r);
@@ -385,6 +442,7 @@ void Runtime::run(int nranks, const std::function<void(Comm&)>& fn, obs::Tracer*
             // not a deadlock; it will block and send again).
             ++respawns;
             if (auditor) auditor->onRespawn(r);
+            if (recorder) recorder->onRespawn(r);
             if (tracer) tracer->count(r, obs::Counter::kRespawns, 1);
             if (opts->on_respawn) opts->on_respawn(r, respawns);
             continue;

@@ -40,6 +40,9 @@ class Tracer;
 namespace msc::audit {
 class Auditor;
 }
+namespace msc::causal {
+class Recorder;
+}
 
 namespace msc::par {
 
@@ -190,13 +193,21 @@ class Runtime {
   /// buffer frees abort the run with a structured audit::AuditError
   /// instead of hanging or corrupting silently.
   ///
+  /// If `recorder` is non-null (same lifetime/slot contract), the run
+  /// is causally traced: every message carries a piggybacked vector
+  /// clock (merged at the receiver), every send/recv/barrier/
+  /// collective lands in the recorder's per-rank journal, and -- when
+  /// a tracer is also attached -- each message emits a Chrome-trace
+  /// flow-event pair so the viewer draws cross-rank arrows. The
+  /// journal feeds causal::analyzeCriticalPath.
+  ///
   /// If `opts` is non-null, its respawn policy supervises RankFailure:
   /// the dying rank is restarted in place (the auditor is told via
   /// onRespawn, so a respawning rank is never mistaken for a finished
   /// one by the deadlock detector; the tracer counts kRespawns).
   static void run(int nranks, const std::function<void(Comm&)>& fn,
                   obs::Tracer* tracer = nullptr, audit::Auditor* auditor = nullptr,
-                  const RunOptions* opts = nullptr);
+                  causal::Recorder* recorder = nullptr, const RunOptions* opts = nullptr);
 
  private:
   friend class Comm;
@@ -213,7 +224,8 @@ class Runtime {
     std::deque<Message> messages;
   };
 
-  Runtime(int nranks, obs::Tracer* tracer, audit::Auditor* auditor);
+  Runtime(int nranks, obs::Tracer* tracer, audit::Auditor* auditor,
+          causal::Recorder* recorder);
 
   void send(int src, int dst, int tag, Bytes payload, audit::OpKind kind);
   Bytes recv(int self, int src, int tag, int* out_src, int* out_tag, audit::OpKind expect,
@@ -232,8 +244,9 @@ class Runtime {
   int barrier_count_{0};
   std::int64_t barrier_gen_{0};
   int nranks_;
-  obs::Tracer* tracer_{nullptr};      ///< non-owning; null = tracing off
-  audit::Auditor* auditor_{nullptr};  ///< non-owning; null = auditing off
+  obs::Tracer* tracer_{nullptr};        ///< non-owning; null = tracing off
+  audit::Auditor* auditor_{nullptr};    ///< non-owning; null = auditing off
+  causal::Recorder* recorder_{nullptr};  ///< non-owning; null = causal off
 };
 
 }  // namespace msc::par

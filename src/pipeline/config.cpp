@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "causal/causal.hpp"
 #include "core/boundary.hpp"
 #include "core/lower_star.hpp"
 #include "core/simplify.hpp"
@@ -93,6 +94,11 @@ void validatePipelineConfig(const PipelineConfig& cfg) {
     rejectConfig("fault.max_respawns_per_rank",
                  "must be >= 1 when recovery is enabled, got " +
                      std::to_string(f.max_respawns_per_rank));
+  if (cfg.causal && cfg.causal->nranks() < cfg.nranks)
+    rejectConfig("causal",
+                 "recorder sized for " + std::to_string(cfg.causal->nranks()) +
+                     " ranks cannot journal a " + std::to_string(cfg.nranks) +
+                     "-rank run");
   if (f.injector) {
     if (f.recovery == fault::RecoveryMode::kOff && !cfg.auditor)
       rejectConfig("fault.injector",

@@ -19,6 +19,9 @@
 namespace msc::audit {
 class Auditor;
 }
+namespace msc::causal {
+class Recorder;
+}
 namespace msc::fault {
 class Injector;
 }
@@ -95,6 +98,18 @@ struct PipelineConfig {
   /// one-branch-per-op path. The simulated driver has no real
   /// communication, so the knob only affects runThreadedPipeline.
   audit::Auditor* auditor{nullptr};
+  /// Causal tracing: when non-null (non-owning; must outlive the run
+  /// and have >= nranks slots), the threaded driver piggybacks vector
+  /// clocks on every message and journals sends/recvs/barriers/
+  /// collectives plus stage and round boundaries; the simulated
+  /// driver synthesizes the same journal from the reconstructed
+  /// schedule. Feed the journal to causal::analyzeCriticalPath (or
+  /// tools/msc_critpath) for the per-stage/per-round blame table.
+  /// With a tracer also attached, every message adds a Chrome-trace
+  /// flow-event pair, so the exported trace shows cross-rank arrows.
+  /// Null (the default) keeps the one-branch-per-op path; pipeline
+  /// output bytes are identical either way.
+  causal::Recorder* causal{nullptr};
   /// Watchdog promoted from audit::Options: a rank blocked longer
   /// than this fails an audited run. The threaded driver applies it
   /// to the attached auditor, replacing the hard-coded 30 s.

@@ -123,8 +123,10 @@ SimResult runSimPipeline(const PipelineConfig& user_cfg, const SimModels& models
   const simnet::IoModel io(models.io);
   // When observability is on, the reconstruction doubles as a trace
   // generator: the simulated schedule lands on cfg.tracer with
-  // model-time timestamps, one track per simulated rank.
-  res.times = simnet::reconstruct(in, net, io, models.scale, cfg.tracer);
+  // model-time timestamps, one track per simulated rank. A causal
+  // recorder likewise gets a synthesized journal of the same
+  // schedule, so msc_critpath works on simulated runs.
+  res.times = simnet::reconstruct(in, net, io, models.scale, cfg.tracer, cfg.causal);
   res.serial_seconds = now() - t_start;
   return res;
 }

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "audit/audit.hpp"
+#include "causal/causal.hpp"
 #include "core/merge.hpp"
 #include "decomp/decompose.hpp"
 #include "fault/inject.hpp"
@@ -47,6 +48,7 @@ int mergeTag(int round, int attempt) {
 /// injector is attached and recovery is off.
 void runPlain(const PipelineConfig& cfg, ThreadedResult& result, std::mutex& result_mu) {
   obs::Tracer* const tr = cfg.tracer;
+  causal::Recorder* const rec = cfg.causal;
 
   par::Runtime::run(cfg.nranks, [&](par::Comm& comm) {
     const int rank = comm.rank();
@@ -55,6 +57,7 @@ void runPlain(const PipelineConfig& cfg, ThreadedResult& result, std::mutex& res
     // --- Read/sample stage.
     comm.barrier();
     const double t_read0 = now();
+    if (rec) rec->setStage(rank, causal::Stage::kRead);
     std::map<int, BlockField> fields;
     {
       auto sp = obs::span(tr, rank, "read", "stage");
@@ -70,6 +73,7 @@ void runPlain(const PipelineConfig& cfg, ThreadedResult& result, std::mutex& res
     }
     comm.barrier();
     const double t_read1 = now();
+    if (rec) rec->setStage(rank, causal::Stage::kCompute);
 
     // --- Compute + local simplification.
     std::map<int, MsComplex> owned;  // by root block id
@@ -94,6 +98,7 @@ void runPlain(const PipelineConfig& cfg, ThreadedResult& result, std::mutex& res
       const int tag = kTagMergeBase + r;
       auto round_span = obs::span(tr, rank, "merge_round", "stage");
       round_span.arg("round", r);
+      if (rec) rec->setStage(rank, causal::Stage::kMerge, r);
       // Send phase: non-root members ship their complex to the root's
       // owner and drop out.
       int expected = 0;
@@ -118,6 +123,7 @@ void runPlain(const PipelineConfig& cfg, ThreadedResult& result, std::mutex& res
         Framed f = unframe(comm.recv(par::kAny, tag));
         incoming[f.dest_block].emplace(f.sender_block, io::unpack(f.packed));
       }
+      if (rec && !incoming.empty()) rec->setStage(rank, causal::Stage::kGlue, r);
       for (auto& [root_block, by_sender] : incoming) {
         std::vector<MsComplex> members;
         members.reserve(by_sender.size());
@@ -135,6 +141,7 @@ void runPlain(const PipelineConfig& cfg, ThreadedResult& result, std::mutex& res
         next.push_back(survivors[static_cast<std::size_t>(g.root)]);
       survivors = std::move(next);
       round_span.end();
+      if (rec) rec->roundCommit(rank, r);
       comm.barrier();
       round_ends.push_back(now());
     }
@@ -145,6 +152,7 @@ void runPlain(const PipelineConfig& cfg, ThreadedResult& result, std::mutex& res
     // "null write"). Rank 0 additionally gathers the payloads to
     // populate the in-memory result.
     auto write_span = obs::span(tr, rank, "write", "stage");
+    if (rec) rec->setStage(rank, causal::Stage::kWrite);
     std::map<int, int> slotOf;
     for (std::size_t i = 0; i < survivors.size(); ++i)
       slotOf.emplace(survivors[i], static_cast<int>(i));
@@ -186,8 +194,9 @@ void runPlain(const PipelineConfig& cfg, ThreadedResult& result, std::mutex& res
       result = std::move(local);
     }
     write_span.end();
+    if (rec) rec->setStage(rank, causal::Stage::kIdle);
     comm.barrier();
-  }, cfg.tracer, cfg.auditor);
+  }, cfg.tracer, cfg.auditor, cfg.causal);
 }
 
 /// The recovery driver: every merge round becomes a transaction
@@ -197,6 +206,14 @@ void runPlain(const PipelineConfig& cfg, ThreadedResult& result, std::mutex& res
 void runRecovering(const PipelineConfig& cfg, ThreadedResult& result,
                    std::mutex& result_mu) {
   obs::Tracer* const tr = cfg.tracer;
+  causal::Recorder* const rec = cfg.causal;
+  // Recovery failures carry the causal view when a recorder is on:
+  // per-rank vector clocks + last-K event histories, so cross-rank
+  // evidence in the report is ordered.
+  const auto withCausal = [rec](std::string what) {
+    if (rec) what += "\n=== causal context ===\n" + causal::fullContextReport(*rec);
+    return what;
+  };
   fault::Injector* const inj = cfg.fault.injector;
   const fault::RecoveryMode mode = cfg.fault.recovery;
   fault::CheckpointStore store(cfg.fault.checkpoint_dir);
@@ -207,6 +224,13 @@ void runRecovering(const PipelineConfig& cfg, ThreadedResult& result,
   par::Runtime::RunOptions ropts;
   ropts.max_respawns_per_rank =
       mode == fault::RecoveryMode::kOff ? 0 : cfg.fault.max_respawns_per_rank;
+  // Fault/recovery lifecycle as trace instants: respawns (here) and
+  // attempt begin/commit/rollback, votes and reassignments (below)
+  // make msc_chaos runs visually debuggable in the trace viewer.
+  if (tr)
+    ropts.on_respawn = [tr](int rank, int attempt) {
+      tr->instant(rank, "respawn(attempt=" + std::to_string(attempt) + ")", "fault");
+    };
 
   par::Runtime::run(cfg.nranks, [&](par::Comm& comm) {
     const int rank = comm.rank();
@@ -228,6 +252,7 @@ void runRecovering(const PipelineConfig& cfg, ThreadedResult& result,
       // this prologue exactly once.
       comm.barrier();
       t_read0 = now();
+      if (rec) rec->setStage(rank, causal::Stage::kRead);
       std::map<int, BlockField> fields;
       {
         auto sp = obs::span(tr, rank, "read", "stage");
@@ -243,6 +268,7 @@ void runRecovering(const PipelineConfig& cfg, ThreadedResult& result,
       }
       comm.barrier();
       t_read1 = now();
+      if (rec) rec->setStage(rank, causal::Stage::kCompute);
       {
         auto sp = obs::span(tr, rank, "compute", "stage");
         for (auto& [id, bf] : fields) {
@@ -278,8 +304,9 @@ void runRecovering(const PipelineConfig& cfg, ThreadedResult& result,
           if (b % nranks != rank) continue;
           const auto bytes = store.get(start_round, b);
           if (!bytes)
-            throw fault::RecoveryError(rank, start_round, attempt,
-                                       "missing checkpoint for block " + std::to_string(b));
+            throw fault::RecoveryError(
+                rank, start_round, attempt,
+                withCausal("missing checkpoint for block " + std::to_string(b)));
           owned.emplace(b, io::unpack(*bytes));
         }
       }
@@ -329,12 +356,18 @@ void runRecovering(const PipelineConfig& cfg, ThreadedResult& result,
         if (attempt >= cfg.fault.max_round_attempts)
           // Shared decisions advance `attempt` in lockstep, so every
           // rank exhausts the budget at once: structured, not a hang.
-          throw fault::RecoveryError(rank, r, attempt,
-                                     "merge-round attempt budget exhausted (" +
-                                         std::to_string(cfg.fault.max_round_attempts) +
-                                         " attempts)");
+          throw fault::RecoveryError(
+              rank, r, attempt,
+              withCausal("merge-round attempt budget exhausted (" +
+                         std::to_string(cfg.fault.max_round_attempts) + " attempts)"));
         coord.advanceTo(r, attempt);
         const int tag = mergeTag(r, attempt);
+        if (rec) rec->setStage(rank, causal::Stage::kMerge, r);
+        if (tr)
+          tr->instant(rank,
+                      "attempt_begin(round=" + std::to_string(r) +
+                          ",attempt=" + std::to_string(attempt) + ")",
+                      "fault");
         bool ok = true;
         std::vector<int> sent;
         std::map<int, std::map<int, io::Bytes>> incoming;  // root -> (sender -> bytes)
@@ -377,12 +410,18 @@ void runRecovering(const PipelineConfig& cfg, ThreadedResult& result,
           }
         }
         const bool advance = voteAndDrain(r, attempt, zombie ? !fresh_corpse : ok);
+        if (tr)
+          tr->instant(rank,
+                      std::string(advance ? "vote_commit" : "vote_rollback") + "(round=" +
+                          std::to_string(r) + ",attempt=" + std::to_string(attempt) + ")",
+                      "fault");
         fresh_corpse = false;
         if (std::all_of(mask.begin(), mask.end(), [](bool d) { return d; }))
-          throw fault::RecoveryError(rank, r, attempt, "no live ranks remain");
+          throw fault::RecoveryError(rank, r, attempt, withCausal("no live ranks remain"));
         if (advance) {
           if (!zombie) {
             for (const int b : sent) owned.erase(b);
+            if (rec && !incoming.empty()) rec->setStage(rank, causal::Stage::kGlue, r);
             for (auto& [root_block, by_sender] : incoming) {
               std::vector<MsComplex> members;
               members.reserve(by_sender.size());
@@ -400,6 +439,8 @@ void runRecovering(const PipelineConfig& cfg, ThreadedResult& result,
             // state of round r + 1.
             for (const auto& [id, c] : owned) store.put(r + 1, id, io::pack(c));
           }
+          if (rec) rec->roundCommit(rank, r);
+          if (tr) tr->instant(rank, "round_commit(round=" + std::to_string(r) + ")", "fault");
           round_ends.push_back(now());
           attempt = 0;
           break;
@@ -408,16 +449,28 @@ void runRecovering(const PipelineConfig& cfg, ThreadedResult& result,
         // from the checkpoints (reassignment under a grown dead mask
         // may have changed what this rank owns).
         coord.noteReplay();
-        if (tr) tr->count(rank, obs::Counter::kRoundReplays, 1);
+        if (tr) {
+          tr->count(rank, obs::Counter::kRoundReplays, 1);
+          tr->instant(rank,
+                      "round_rollback(round=" + std::to_string(r) +
+                          ",attempt=" + std::to_string(attempt) + ")",
+                      "fault");
+        }
         if (!zombie) {
           owned.clear();
           for (const int b : survivors) {
             if (fault::ownerOf(b, nranks, mask) != rank) continue;
             const auto bytes = store.get(r, b);
             if (!bytes)
-              throw fault::RecoveryError(rank, r, attempt,
-                                         "missing checkpoint for block " + std::to_string(b));
-            if (b % nranks != rank) coord.noteReassigned(1);
+              throw fault::RecoveryError(
+                  rank, r, attempt,
+                  withCausal("missing checkpoint for block " + std::to_string(b)));
+            if (b % nranks != rank) {
+              coord.noteReassigned(1);
+              if (tr)
+                tr->instant(rank, "degrade_reassign(block=" + std::to_string(b) + ")",
+                            "fault");
+            }
             owned.emplace(b, io::unpack(*bytes));
           }
         }
@@ -430,6 +483,7 @@ void runRecovering(const PipelineConfig& cfg, ThreadedResult& result,
     // --- Write, as in the fault-free driver; zombies participate in
     // the collective write with zero contributions ("null write").
     auto write_span = obs::span(tr, rank, "write", "stage");
+    if (rec) rec->setStage(rank, causal::Stage::kWrite);
     std::map<int, int> slotOf;
     for (std::size_t i = 0; i < survivors.size(); ++i)
       slotOf.emplace(survivors[i], static_cast<int>(i));
@@ -471,8 +525,9 @@ void runRecovering(const PipelineConfig& cfg, ThreadedResult& result,
       result = std::move(local);
     }
     write_span.end();
+    if (rec) rec->setStage(rank, causal::Stage::kIdle);
     comm.barrier();
-  }, tr, cfg.auditor, &ropts);
+  }, tr, cfg.auditor, cfg.causal, &ropts);
 
   const fault::CheckpointStore::Stats cs = store.stats();
   result.recovery.respawns = coord.respawns();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "causal/causal.hpp"
 #include "obs/obs.hpp"
 
 namespace msc::simnet {
@@ -26,12 +27,31 @@ void emitStage(obs::Tracer* tracer, const char* name, double start,
   }
 }
 
+/// Journal one synthesized barrier: each rank enters when its stage
+/// work finishes (clamped to the common exit, since a root serving
+/// several groups can locally overrun the round's max group time).
+void journalBarrier(causal::Recorder* rec, std::int64_t gen,
+                    const std::vector<double>& enter, double exit_ts) {
+  if (!rec) return;
+  std::vector<double> clamped(enter);
+  for (double& t : clamped) t = std::min(t, exit_ts);
+  rec->barrierAllAt(gen, clamped, exit_ts);
+}
+
+void journalStageAll(causal::Recorder* rec, int nranks, causal::Stage stage, int round,
+                     double ts) {
+  if (!rec) return;
+  for (int r = 0; r < nranks; ++r) rec->stageAt(r, stage, round, ts);
+}
+
 }  // namespace
 
 StageTimes reconstruct(const TimelineInputs& in, const TorusModel& net, const IoModel& io,
-                       const CostScale& scale, obs::Tracer* tracer) {
+                       const CostScale& scale, obs::Tracer* tracer,
+                       causal::Recorder* recorder) {
   StageTimes out;
   const auto nranks = static_cast<std::size_t>(in.nranks);
+  std::int64_t gen = 0;
   out.read = io.collectiveTime(in.input_bytes, in.nranks);
 
   out.compute = 0;
@@ -45,6 +65,14 @@ StageTimes reconstruct(const TimelineInputs& in, const TorusModel& net, const Io
     emitStage(tracer, "read", cursor, std::vector<double>(nranks, out.read), out.read);
     emitStage(tracer, "compute", out.read, busy, out.compute);
   }
+  if (recorder) {
+    journalStageAll(recorder, in.nranks, causal::Stage::kRead, -1, 0.0);
+    journalBarrier(recorder, gen++, std::vector<double>(nranks, out.read), out.read);
+    journalStageAll(recorder, in.nranks, causal::Stage::kCompute, -1, out.read);
+    std::vector<double> enter(nranks);
+    for (std::size_t r = 0; r < nranks; ++r) enter[r] = out.read + busy[r];
+    journalBarrier(recorder, gen++, enter, out.read + out.compute);
+  }
   cursor = out.read + out.compute;
 
   out.merge_prep = 0;
@@ -53,11 +81,19 @@ StageTimes reconstruct(const TimelineInputs& in, const TorusModel& net, const Io
     out.merge_prep = std::max(out.merge_prep, busy[r]);
   }
   if (tracer) emitStage(tracer, "merge_prep", cursor, busy, out.merge_prep);
+  if (recorder) {
+    journalStageAll(recorder, in.nranks, causal::Stage::kMerge, -1, cursor);
+    std::vector<double> enter(nranks);
+    for (std::size_t r = 0; r < nranks; ++r) enter[r] = cursor + busy[r];
+    journalBarrier(recorder, gen++, enter, cursor + out.merge_prep);
+  }
   cursor += out.merge_prep;
 
   int round_index = 0;
   for (const auto& round : in.rounds) {
     double stage = 0;
+    if (recorder)
+      journalStageAll(recorder, in.nranks, causal::Stage::kMerge, round_index, cursor);
     // Per-rank lay-out cursors for the synthetic spans: groups rooted
     // at the same rank are drawn end-to-end on its track.
     std::vector<double> lane(nranks, cursor);
@@ -69,6 +105,8 @@ StageTimes reconstruct(const TimelineInputs& in, const TorusModel& net, const Io
       // ref [22].
       double bytes_time = 0, max_lat = 0;
       std::int64_t group_bytes = 0;
+      // (msg_id, src, bytes, send_ts) of this group's journaled sends.
+      std::vector<std::tuple<std::uint64_t, int, std::int64_t, double>> in_flight;
       for (const auto& [src, bytes] : g.sends) {
         const double t = net.messageTime(bytes, src, g.root_rank);
         const double byte_part =
@@ -76,28 +114,54 @@ StageTimes reconstruct(const TimelineInputs& in, const TorusModel& net, const Io
         bytes_time += byte_part;
         max_lat = std::max(max_lat, t - byte_part);
         group_bytes += bytes;
+        const auto sr = static_cast<std::size_t>(src);
+        const double send_ts = lane[sr];
+        if (recorder) {
+          const std::uint64_t id =
+              recorder->sendAt(src, g.root_rank, 100 + round_index, bytes, send_ts);
+          in_flight.emplace_back(id, src, bytes, send_ts);
+          if (tracer)
+            tracer->flowStartAt(src, id, send_ts, src, g.root_rank, 100 + round_index,
+                                bytes);
+        }
         if (tracer) {
-          const auto sr = static_cast<std::size_t>(src);
           tracer->spanAt(src, "send", lane[sr], t, "comm", "bytes", bytes);
           lane[sr] += t;
           tracer->countAt(src, obs::Counter::kBytesSent, lane[sr],
                           static_cast<double>(bytes));
           tracer->countAt(src, obs::Counter::kMessagesSent, lane[sr], 1);
+        } else if (recorder) {
+          lane[sr] += t;
         }
       }
       const double group_dur = max_lat + bytes_time + g.merge_seconds * scale.cpu_scale;
       stage = std::max(stage, group_dur);
-      if (tracer && !g.sends.empty()) {
-        const auto rr = static_cast<std::size_t>(g.root_rank);
-        tracer->spanAt(g.root_rank, "merge_group", lane[rr], group_dur, "stage", "round",
-                       round_index);
+      const auto rr = static_cast<std::size_t>(g.root_rank);
+      if (recorder && !g.sends.empty()) {
+        // The root has everything once the serialized bytes plus the
+        // worst single latency have elapsed on its lane.
+        const double recv_ts = lane[rr] + max_lat + bytes_time;
+        for (const auto& [id, src, bytes, send_ts] : in_flight) {
+          recorder->recvAt(g.root_rank, src, 100 + round_index, bytes, id, recv_ts,
+                           std::max(0.0, recv_ts - send_ts));
+          if (tracer)
+            tracer->flowFinishAt(g.root_rank, id, recv_ts, src, g.root_rank,
+                                 100 + round_index, bytes);
+        }
+      }
+      if (!g.sends.empty()) {
+        if (tracer)
+          tracer->spanAt(g.root_rank, "merge_group", lane[rr], group_dur, "stage",
+                         "round", round_index);
         lane[rr] += group_dur;
-        tracer->countAt(g.root_rank, obs::Counter::kBytesReceived, lane[rr],
-                        static_cast<double>(group_bytes));
-        tracer->countAt(g.root_rank, obs::Counter::kMessagesReceived, lane[rr],
-                        static_cast<double>(g.sends.size()));
-        tracer->countAt(g.root_rank, obs::Counter::kGlueSeconds, lane[rr],
-                        g.merge_seconds * scale.cpu_scale);
+        if (tracer) {
+          tracer->countAt(g.root_rank, obs::Counter::kBytesReceived, lane[rr],
+                          static_cast<double>(group_bytes));
+          tracer->countAt(g.root_rank, obs::Counter::kMessagesReceived, lane[rr],
+                          static_cast<double>(g.sends.size()));
+          tracer->countAt(g.root_rank, obs::Counter::kGlueSeconds, lane[rr],
+                          g.merge_seconds * scale.cpu_scale);
+        }
       }
     }
     if (tracer) {
@@ -110,6 +174,13 @@ StageTimes reconstruct(const TimelineInputs& in, const TorusModel& net, const Io
         }
       }
     }
+    if (recorder) {
+      for (int r = 0; r < in.nranks; ++r)
+        recorder->roundCommitAt(r, round_index,
+                                std::min(lane[static_cast<std::size_t>(r)],
+                                         cursor + stage));
+      journalBarrier(recorder, gen++, lane, cursor + stage);
+    }
     out.merge_rounds.push_back(stage);
     cursor += stage;
     ++round_index;
@@ -118,6 +189,12 @@ StageTimes reconstruct(const TimelineInputs& in, const TorusModel& net, const Io
   out.write = io.collectiveTime(in.output_bytes, in.nranks);
   if (tracer)
     emitStage(tracer, "write", cursor, std::vector<double>(nranks, out.write), out.write);
+  if (recorder) {
+    journalStageAll(recorder, in.nranks, causal::Stage::kWrite, -1, cursor);
+    journalBarrier(recorder, gen++, std::vector<double>(nranks, cursor + out.write),
+                   cursor + out.write);
+    for (int r = 0; r < in.nranks; ++r) recorder->doneAt(r, cursor + out.write);
+  }
   return out;
 }
 

@@ -17,6 +17,9 @@
 namespace msc::obs {
 class Tracer;
 }
+namespace msc::causal {
+class Recorder;
+}
 
 namespace msc::simnet {
 
@@ -74,8 +77,15 @@ struct StageTimes {
 /// model-time timestamps for read, compute, merge prep, every merge
 /// round (group recv+glue at roots, sends at members, barrier waits)
 /// and write -- so a simulated 1k-rank schedule can be inspected in
-/// the same Chrome-trace viewer as a real threaded run.
+/// the same Chrome-trace viewer as a real threaded run. If `recorder`
+/// is non-null (>= in.nranks slots), the same schedule is synthesized
+/// into a causal journal (sends, recvs, barriers, stage changes,
+/// round commits at model timestamps; no live vector clocks) so
+/// causal::analyzeCriticalPath / msc_critpath work on simulated
+/// 1k-rank runs too; with both attached, every modeled message also
+/// gets a Chrome-trace flow-event pair (cross-rank arrows).
 StageTimes reconstruct(const TimelineInputs& in, const TorusModel& net, const IoModel& io,
-                       const CostScale& scale, obs::Tracer* tracer = nullptr);
+                       const CostScale& scale, obs::Tracer* tracer = nullptr,
+                       causal::Recorder* recorder = nullptr);
 
 }  // namespace msc::simnet

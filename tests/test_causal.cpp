@@ -1,0 +1,415 @@
+/// Tests for msc::causal: vector-clock laws, wire trailer framing,
+/// runtime happens-before (recv dominates send, barrier exits
+/// dominate every enter, collective order consistent with the
+/// auditor's Lamport epochs), the observer property (causal tracking
+/// on/off is byte-identical), journal serialization, flow-event
+/// pairing in Chrome traces, and the critical-path analyzer's tiling
+/// guarantee on live and synthesized journals.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "audit/audit.hpp"
+#include "causal/causal.hpp"
+#include "causal/critpath.hpp"
+#include "obs/chrome_trace.hpp"
+#include "par/comm.hpp"
+#include "pipeline/sim_pipeline.hpp"
+#include "pipeline/threaded_pipeline.hpp"
+
+namespace msc {
+namespace {
+
+using causal::Order;
+using causal::VectorClock;
+
+TEST(VectorClock, TickIsMonotoneAndOrdersSuccessors) {
+  VectorClock a(3);
+  const VectorClock before = a;
+  a.tick(1);
+  EXPECT_EQ(a[1], 1);
+  EXPECT_TRUE(before.happensBefore(a));
+  EXPECT_EQ(a.compare(before), Order::kAfter);
+  EXPECT_EQ(a.compare(a), Order::kEqual);
+}
+
+TEST(VectorClock, MergeIsIdempotentCommutativeAndNeverDecreases) {
+  VectorClock a(4), b(4);
+  a.tick(0);
+  a.tick(0);
+  a.tick(2);
+  b.tick(1);
+  b.tick(3);
+
+  VectorClock ab = a;
+  ab.merge(b);
+  VectorClock ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);  // commutative
+
+  VectorClock twice = ab;
+  twice.merge(b);
+  EXPECT_EQ(twice, ab);  // idempotent
+
+  for (int r = 0; r < 4; ++r) {  // monotone: never below either input
+    EXPECT_GE(ab[r], a[r]);
+    EXPECT_GE(ab[r], b[r]);
+  }
+  EXPECT_TRUE(a.happensBefore(ab) || a == ab);
+}
+
+TEST(VectorClock, ConcurrentOpsAreIncomparable) {
+  VectorClock a(2), b(2);
+  a.tick(0);
+  b.tick(1);
+  EXPECT_EQ(a.compare(b), Order::kConcurrent);
+  EXPECT_EQ(b.compare(a), Order::kConcurrent);
+  EXPECT_FALSE(a.happensBefore(b));
+  EXPECT_FALSE(b.happensBefore(a));
+  EXPECT_EQ(a.toString(), "[1 0]");
+}
+
+TEST(CausalWire, TrailerRoundTripsAndValidates) {
+  causal::WireStamp stamp;
+  stamp.msg_id = 42;
+  stamp.clock = {3, 0, 7};
+  par::Bytes payload(13, std::byte{0x5A});
+  const par::Bytes original = payload;
+  causal::appendTrailer(payload, stamp);
+  EXPECT_GT(payload.size(), original.size());
+
+  const causal::WireStamp back = causal::stripTrailer(payload);
+  EXPECT_EQ(payload, original);
+  EXPECT_EQ(back.msg_id, 42u);
+  EXPECT_EQ(back.clock, stamp.clock);
+
+  par::Bytes garbage(5, std::byte{0x00});
+  EXPECT_THROW(causal::stripTrailer(garbage), std::runtime_error);
+}
+
+TEST(CausalRuntime, RecvClockDominatesSend) {
+  causal::Recorder rec(2);
+  par::Runtime::run(
+      2,
+      [](par::Comm& c) {
+        if (c.rank() == 0) c.send(1, 7, par::Bytes(16));
+        else (void)c.recv(0, 7);
+      },
+      nullptr, nullptr, &rec);
+
+  const auto sends = rec.events(0);
+  const auto recvs = rec.events(1);
+  const auto is_send = [](const causal::Event& e) {
+    return e.kind == causal::EventKind::kSend;
+  };
+  const auto is_recv = [](const causal::Event& e) {
+    return e.kind == causal::EventKind::kRecv;
+  };
+  const auto s = std::find_if(sends.begin(), sends.end(), is_send);
+  const auto r = std::find_if(recvs.begin(), recvs.end(), is_recv);
+  ASSERT_NE(s, sends.end());
+  ASSERT_NE(r, recvs.end());
+  EXPECT_EQ(s->msg_id, r->msg_id);  // one flow id per message
+
+  VectorClock sc(2), rc(2);
+  sc.merge(s->vc.data(), s->vc.size());
+  rc.merge(r->vc.data(), r->vc.size());
+  EXPECT_TRUE(sc.happensBefore(rc));
+  // The receiver's live clock absorbed the sender's component.
+  EXPECT_GE(rec.clock(1)[0], s->vc[0]);
+}
+
+TEST(CausalRuntime, BarrierExitDominatesEveryEnter) {
+  constexpr int kRanks = 4;
+  causal::Recorder rec(kRanks);
+  par::Runtime::run(
+      kRanks,
+      [](par::Comm& c) {
+        if (c.rank() == 0) c.send(1, 1, par::Bytes(8));
+        if (c.rank() == 1) (void)c.recv(0, 1);
+        c.barrier();
+      },
+      nullptr, nullptr, &rec);
+
+  std::vector<causal::Event> enters, exits;
+  for (int r = 0; r < kRanks; ++r)
+    for (const causal::Event& e : rec.events(r)) {
+      if (e.kind == causal::EventKind::kBarrierEnter) enters.push_back(e);
+      if (e.kind == causal::EventKind::kBarrierExit) exits.push_back(e);
+    }
+  ASSERT_EQ(enters.size(), static_cast<std::size_t>(kRanks));
+  ASSERT_EQ(exits.size(), static_cast<std::size_t>(kRanks));
+  for (const causal::Event& x : exits) {
+    VectorClock xc(kRanks);
+    xc.merge(x.vc.data(), x.vc.size());
+    for (const causal::Event& n : enters) {
+      VectorClock nc(kRanks);
+      nc.merge(n.vc.data(), n.vc.size());
+      // Every enter happens-before (or is the exiting rank's own
+      // entry component of) every exit.
+      EXPECT_NE(nc.compare(xc), Order::kConcurrent);
+      EXPECT_NE(nc.compare(xc), Order::kAfter);
+    }
+  }
+}
+
+TEST(CausalRuntime, CollectiveOrderConsistentWithAuditEpochs) {
+  // The journal's happens-before must agree with the auditor's
+  // Lamport collective epochs: a collective entry that causally
+  // precedes another never carries a larger epoch.
+  constexpr int kRanks = 3;
+  audit::Auditor auditor(kRanks);
+  causal::Recorder rec(kRanks);
+  par::Runtime::run(
+      kRanks,
+      [](par::Comm& c) {
+        (void)c.gather(0, par::Bytes(4));
+        (void)c.broadcast(0, c.rank() == 0 ? par::Bytes(4) : par::Bytes());
+        c.barrier();
+        (void)c.gather(1, par::Bytes(4));
+      },
+      nullptr, &auditor, &rec);
+  EXPECT_FALSE(auditor.failed());
+
+  std::vector<causal::Event> colls;
+  for (int r = 0; r < kRanks; ++r)
+    for (const causal::Event& e : rec.events(r))
+      if (e.kind == causal::EventKind::kCollective) colls.push_back(e);
+  ASSERT_GE(colls.size(), static_cast<std::size_t>(3 * kRanks));
+  for (const causal::Event& a : colls) {
+    ASSERT_GE(a.gen, 0) << "audited collectives must carry the Lamport epoch";
+    VectorClock ac(kRanks);
+    ac.merge(a.vc.data(), a.vc.size());
+    for (const causal::Event& b : colls) {
+      VectorClock bc(kRanks);
+      bc.merge(b.vc.data(), b.vc.size());
+      if (ac.happensBefore(bc)) {
+        EXPECT_LE(a.gen, b.gen);
+      }
+    }
+  }
+}
+
+TEST(Causal, RecordedPipelineIsByteIdenticalToPlain) {
+  // The recorder must be a pure observer, exactly like the tracer and
+  // the auditor: trailers on, trailers off -- same output bytes.
+  pipeline::PipelineConfig cfg;
+  cfg.domain = Domain{{17, 17, 17}};
+  cfg.source.field = synth::cosineProduct(cfg.domain, 2);
+  cfg.nblocks = 8;
+  cfg.nranks = 4;
+  cfg.persistence_threshold = 0.05f;
+  cfg.plan = MergePlan::fullMerge(8);
+
+  const pipeline::ThreadedResult plain = pipeline::runThreadedPipeline(cfg);
+
+  causal::Recorder rec(cfg.nranks);
+  cfg.causal = &rec;
+  const pipeline::ThreadedResult recorded = pipeline::runThreadedPipeline(cfg);
+
+  EXPECT_EQ(plain.node_counts, recorded.node_counts);
+  EXPECT_EQ(plain.arc_count, recorded.arc_count);
+  ASSERT_EQ(plain.outputs.size(), recorded.outputs.size());
+  for (std::size_t i = 0; i < plain.outputs.size(); ++i)
+    EXPECT_EQ(plain.outputs[i], recorded.outputs[i]) << "output block " << i;
+  EXPECT_FALSE(rec.journal().events.empty());
+}
+
+TEST(Causal, UndersizedRecorderIsRejectedUpFront) {
+  // A recorder sized below the run would drop ranks from the journal
+  // silently; config validation refuses the shape instead.
+  pipeline::PipelineConfig cfg;
+  cfg.domain = Domain{{9, 9, 9}};
+  cfg.source.field = synth::cosineProduct(cfg.domain, 2);
+  cfg.nblocks = 4;
+  cfg.nranks = 4;
+  cfg.plan = MergePlan::fullMerge(4);
+
+  causal::Recorder rec(2);
+  cfg.causal = &rec;
+  EXPECT_THROW(pipeline::runThreadedPipeline(cfg), std::invalid_argument);
+  EXPECT_THROW(pipeline::runSimPipeline(cfg), std::invalid_argument);
+}
+
+TEST(Causal, JournalSerializationRoundTrips) {
+  causal::Recorder rec(2);
+  par::Runtime::run(
+      2,
+      [](par::Comm& c) {
+        if (c.rank() == 0) c.send(1, 3, par::Bytes(32));
+        else (void)c.recv(0, 3);
+        c.barrier();
+      },
+      nullptr, nullptr, &rec);
+  const causal::Journal j = rec.journal();
+
+  std::stringstream ss;
+  causal::writeJournal(j, ss);
+  const causal::Journal back = causal::readJournal(ss);
+  ASSERT_EQ(back.nranks, j.nranks);
+  ASSERT_EQ(back.events.size(), j.events.size());
+  for (std::size_t i = 0; i < j.events.size(); ++i) {
+    EXPECT_EQ(back.events[i].kind, j.events[i].kind);
+    EXPECT_EQ(back.events[i].rank, j.events[i].rank);
+    EXPECT_EQ(back.events[i].peer, j.events[i].peer);
+    EXPECT_EQ(back.events[i].tag, j.events[i].tag);
+    EXPECT_EQ(back.events[i].msg_id, j.events[i].msg_id);
+    EXPECT_EQ(back.events[i].vc, j.events[i].vc);
+    EXPECT_DOUBLE_EQ(back.events[i].ts, j.events[i].ts);
+  }
+  // Same analysis either side of the round trip.
+  const causal::CriticalPath p0 = causal::analyzeCriticalPath(j);
+  const causal::CriticalPath p1 = causal::analyzeCriticalPath(back);
+  EXPECT_DOUBLE_EQ(p0.path_seconds, p1.path_seconds);
+  EXPECT_EQ(p0.segments.size(), p1.segments.size());
+
+  std::stringstream bad("not a journal");
+  EXPECT_THROW(causal::readJournal(bad), std::runtime_error);
+}
+
+TEST(Causal, CriticalPathTilesWallTimeOnThreadedRun) {
+  // The acceptance bar: stage attribution sums to within 5% of the
+  // measured wall time on an 8-rank threaded run.
+  pipeline::PipelineConfig cfg;
+  cfg.domain = Domain{{17, 17, 17}};
+  cfg.source.field = synth::cosineProduct(cfg.domain, 2);
+  cfg.nblocks = 16;
+  cfg.nranks = 8;
+  cfg.persistence_threshold = 0.05f;
+  cfg.plan = MergePlan::fullMerge(16);
+  causal::Recorder rec(cfg.nranks);
+  cfg.causal = &rec;
+  (void)pipeline::runThreadedPipeline(cfg);
+
+  const causal::CriticalPath p = causal::analyzeCriticalPath(rec.journal());
+  ASSERT_GT(p.wall_seconds, 0.0);
+  EXPECT_NEAR(p.path_seconds, p.wall_seconds, 0.05 * p.wall_seconds);
+  double cat_sum = 0;
+  for (const double s : p.by_category) cat_sum += s;
+  EXPECT_NEAR(cat_sum, p.path_seconds, 1e-9);
+  double round_sum = 0;
+  for (const auto& [round, s] : p.by_round) round_sum += s;
+  EXPECT_NEAR(round_sum, p.path_seconds, 1e-9);
+  // Segments are chronological and contiguous (the tiling property).
+  for (std::size_t i = 0; i < p.segments.size(); ++i) {
+    EXPECT_LE(p.segments[i].t0, p.segments[i].t1);
+    if (i) {
+      EXPECT_NEAR(p.segments[i - 1].t1, p.segments[i].t0, 1e-9);
+    }
+  }
+  EXPECT_FALSE(causal::blameTable(p).empty());
+  EXPECT_NE(causal::critPathJson(p).find("\"path_seconds\""), std::string::npos);
+
+  EXPECT_THROW(causal::analyzeCriticalPath(causal::Journal{}), std::invalid_argument);
+}
+
+TEST(Causal, SimulatedJournalYieldsCriticalPath) {
+  pipeline::PipelineConfig cfg;
+  cfg.domain = Domain{{17, 17, 17}};
+  cfg.source.field = synth::cosineProduct(cfg.domain, 2);
+  cfg.nblocks = 16;
+  cfg.nranks = 16;
+  cfg.persistence_threshold = 0.05f;
+  cfg.plan = MergePlan::fullMerge(16);
+  causal::Recorder::Options opts;
+  opts.journal_clocks = false;  // wide-run mode: no per-event clocks
+  causal::Recorder rec(cfg.nranks, opts);
+  cfg.causal = &rec;
+  const pipeline::SimResult r = pipeline::runSimPipeline(cfg);
+
+  const causal::CriticalPath p = causal::analyzeCriticalPath(rec.journal());
+  // Synthesized journals are exact: the path tiles the model's
+  // end-to-end time.
+  EXPECT_NEAR(p.path_seconds, r.times.total(), 0.05 * r.times.total());
+  EXPECT_GT(p.by_category[static_cast<int>(causal::PathCategory::kRead)], 0.0);
+}
+
+TEST(Causal, FlowEventsPairUpInChromeTrace) {
+  pipeline::PipelineConfig cfg;
+  cfg.domain = Domain{{17, 17, 17}};
+  cfg.source.field = synth::cosineProduct(cfg.domain, 2);
+  cfg.nblocks = 4;
+  cfg.nranks = 2;
+  cfg.persistence_threshold = 0.05f;
+  cfg.plan = MergePlan::fullMerge(4);
+  obs::Tracer tracer(cfg.nranks);
+  causal::Recorder rec(cfg.nranks);
+  cfg.tracer = &tracer;
+  cfg.causal = &rec;
+  (void)pipeline::runThreadedPipeline(cfg);
+
+  const std::string json = obs::chromeTraceJson(tracer);
+  const auto count = [&](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = json.find(needle); pos != std::string::npos;
+         pos = json.find(needle, pos + needle.size()))
+      ++n;
+    return n;
+  };
+  const std::size_t starts = count("\"ph\":\"s\"");
+  const std::size_t finishes = count("\"ph\":\"f\"");
+  EXPECT_GT(starts, 0u);
+  EXPECT_EQ(starts, finishes);
+  EXPECT_EQ(finishes, count("\"bp\":\"e\""));
+}
+
+TEST(Causal, RecoveryLifecycleAppearsAsTraceInstants) {
+  // The recovering driver narrates round transactions into the trace:
+  // attempt begins, vote outcomes and commits show up as instant
+  // events (category "fault") so chaos runs are debuggable in
+  // Perfetto. A fault-free recovering run must still mark every round.
+  pipeline::PipelineConfig cfg;
+  cfg.domain = Domain{{17, 17, 17}};
+  cfg.source.field = synth::cosineProduct(cfg.domain, 2);
+  cfg.nblocks = 4;
+  cfg.nranks = 2;
+  cfg.persistence_threshold = 0.05f;
+  cfg.plan = MergePlan::fullMerge(4);
+  cfg.fault.recovery = fault::RecoveryMode::kRespawn;
+  obs::Tracer tracer(cfg.nranks);
+  causal::Recorder rec(cfg.nranks);
+  cfg.tracer = &tracer;
+  cfg.causal = &rec;
+  (void)pipeline::runThreadedPipeline(cfg);
+
+  const std::string json = obs::chromeTraceJson(tracer);
+  for (const char* marker : {"attempt_begin", "vote_commit", "round_commit"})
+    EXPECT_NE(json.find(marker), std::string::npos) << marker;
+  // The journal saw the commits too.
+  bool committed = false;
+  for (const causal::Event& e : rec.events(0))
+    committed |= e.kind == causal::EventKind::kRoundCommit;
+  EXPECT_TRUE(committed);
+}
+
+TEST(Causal, AuditErrorCarriesCausalContext) {
+  // With both an auditor and a recorder attached, a protocol failure
+  // report embeds the per-rank vector clocks and recent journal tail.
+  audit::Auditor::Options aopts;
+  aopts.block_timeout_seconds = 5.0;
+  audit::Auditor auditor(2, aopts);
+  causal::Recorder rec(2);
+  try {
+    par::Runtime::run(
+        2, [](par::Comm& c) { (void)c.recv(1 - c.rank(), 9); }, nullptr, &auditor, &rec);
+    FAIL() << "expected an AuditError";
+  } catch (const audit::AuditError& e) {
+    EXPECT_NE(e.diagnostic().find("causal context"), std::string::npos)
+        << e.diagnostic();
+    EXPECT_NE(e.diagnostic().find("vector clock ["), std::string::npos)
+        << e.diagnostic();
+  }
+}
+
+TEST(Causal, ContextReportNamesStageAndClock) {
+  causal::Recorder rec(2);
+  rec.setStage(0, causal::Stage::kMerge, 3);
+  const std::string report = causal::fullContextReport(rec);
+  EXPECT_NE(report.find("rank 0"), std::string::npos) << report;
+  EXPECT_NE(report.find("merge"), std::string::npos) << report;
+}
+
+}  // namespace
+}  // namespace msc

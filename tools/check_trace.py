@@ -4,12 +4,17 @@
 Checks that the file is valid JSON in the Trace Event "JSON Object
 Format", that every event carries the fields Perfetto needs (ph, ts,
 pid, tid; dur for complete events), that there is one thread track per
-rank, and that at least one counter track is present.
+rank, that at least one counter track is present, and that flow
+events ("s"/"f", the msc::causal cross-rank message arrows) pair up:
+unique ids, exactly one finish per start, matching src/dst/tag/bytes
+args, and "bp": "e" on the finish half.
 
 Usage:
-  check_trace.py TRACE.json [--ranks=N]
-  check_trace.py --run CLI_BINARY [ARGS...]   # run the CLI with
+  check_trace.py TRACE.json [--ranks=N] [--require-flows]
+  check_trace.py --run CLI_BINARY [ARGS...]       # run the CLI with
       --trace into a temp file, then validate it (used by ctest)
+  check_trace.py --run-flows CLI_BINARY [ARGS...] # same, and require
+      at least one validated flow pair
 """
 import json
 import os
@@ -23,7 +28,43 @@ def fail(msg):
     sys.exit(1)
 
 
-def validate(path, expect_ranks=None):
+def validate_flows(events):
+    """Check flow-event pairing; returns the number of validated pairs."""
+    starts = {}
+    finishes = {}
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph not in ("s", "f"):
+            continue
+        if "id" not in e:
+            fail(f"flow event {i} missing 'id': {e}")
+        if e.get("name") != "msg" or e.get("cat") != "flow":
+            fail(f"flow event {i} must have name 'msg', cat 'flow': {e}")
+        args = e.get("args", {})
+        for k in ("src", "dst", "tag", "bytes"):
+            if k not in args:
+                fail(f"flow event {i} missing args.{k}: {e}")
+        side = starts if ph == "s" else finishes
+        if e["id"] in side:
+            fail(f"duplicate flow {ph!r} event for id {e['id']}")
+        if ph == "f" and e.get("bp") != "e":
+            fail(f"flow finish {i} missing 'bp': 'e' (enclosing-slice binding): {e}")
+        side[e["id"]] = e
+    if set(starts) != set(finishes):
+        unpaired = set(starts) ^ set(finishes)
+        fail(f"{len(unpaired)} unpaired flow id(s), e.g. {sorted(unpaired)[:5]}")
+    for fid, s in starts.items():
+        f = finishes[fid]
+        if s["args"] != f["args"]:
+            fail(f"flow id {fid} start/finish args disagree: {s['args']} vs {f['args']}")
+        if f["ts"] < s["ts"]:
+            fail(f"flow id {fid} finishes before it starts")
+        if s["tid"] != s["args"]["src"] or f["tid"] != f["args"]["dst"]:
+            fail(f"flow id {fid} not anchored on src/dst tracks: {s} {f}")
+    return len(starts)
+
+
+def validate(path, expect_ranks=None, require_flows=False):
     try:
         with open(path, "rb") as f:
             data = json.load(f)
@@ -46,7 +87,7 @@ def validate(path, expect_ranks=None):
             if field not in e:
                 fail(f"event {i} missing required field '{field}': {e}")
         ph = e["ph"]
-        if ph not in ("M", "X", "C", "i", "B", "E"):
+        if ph not in ("M", "X", "C", "i", "B", "E", "s", "f"):
             fail(f"event {i} has unknown phase {ph!r}")
         if ph != "M" and "ts" not in e:
             fail(f"event {i} ({ph}) missing 'ts': {e}")
@@ -64,13 +105,17 @@ def validate(path, expect_ranks=None):
         fail(f"expected tids 0..{expect_ranks - 1}, got {sorted(tids)}")
     if not counter_tracks:
         fail("no counter ('C') track found")
+    flows = validate_flows(events)
+    if require_flows and flows == 0:
+        fail("no flow ('s'/'f') events found, but flows were required")
 
     print(f"check_trace: OK: {len(events)} events, {len(tids)} rank track(s), "
-          f"{len(counter_tracks)} counter track(s), spans: {sorted(span_names)[:12]}")
+          f"{len(counter_tracks)} counter track(s), {flows} flow pair(s), "
+          f"spans: {sorted(span_names)[:12]}")
     return 0
 
 
-def run_and_validate(cli, extra):
+def run_and_validate(cli, extra, require_flows=False):
     ranks = 2
     with tempfile.TemporaryDirectory() as tmp:
         trace = os.path.join(tmp, "trace.json")
@@ -89,21 +134,26 @@ def run_and_validate(cli, extra):
         for stage in ("read", "compute", "merge_round", "write"):
             if stage not in names:
                 fail(f"stage span {stage!r} missing from trace (have {sorted(names)})")
-        return validate(trace, expect_ranks=ranks)
+        return validate(trace, expect_ranks=ranks, require_flows=require_flows)
 
 
 def main(argv):
-    if len(argv) >= 2 and argv[1] == "--run":
+    if len(argv) >= 2 and argv[1] in ("--run", "--run-flows"):
         if len(argv) < 3:
-            fail("--run requires the CLI binary path")
-        return run_and_validate(argv[2], argv[3:])
+            fail(f"{argv[1]} requires the CLI binary path")
+        return run_and_validate(argv[2], argv[3:],
+                                require_flows=argv[1] == "--run-flows")
     if len(argv) < 2:
-        fail("usage: check_trace.py TRACE.json [--ranks=N] | --run CLI [ARGS...]")
+        fail("usage: check_trace.py TRACE.json [--ranks=N] [--require-flows] | "
+             "--run|--run-flows CLI [ARGS...]")
     expect = None
+    require_flows = False
     for a in argv[2:]:
         if a.startswith("--ranks="):
             expect = int(a.split("=", 1)[1])
-    return validate(argv[1], expect)
+        elif a == "--require-flows":
+            require_flows = True
+    return validate(argv[1], expect, require_flows)
 
 
 if __name__ == "__main__":

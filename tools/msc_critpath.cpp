@@ -1,0 +1,176 @@
+/// \file msc_critpath.cpp
+/// Critical-path analyzer CLI: replay a causal journal's
+/// happens-before DAG and print the per-stage / per-round blame
+/// table (causal/critpath.hpp).
+///
+/// Two modes:
+///   msc_critpath run.journal            analyze a saved journal
+///   msc_critpath --run [--ranks=8 ...]  run the threaded pipeline
+///                                       with a recorder attached and
+///                                       analyze the live journal
+///
+/// Options:
+///   --sim               with --run: use the simulated driver (the
+///                       journal is synthesized from the model
+///                       schedule; works for very wide rank counts)
+///   --ranks=N           ranks for --run (default 8)
+///   --blocks=N          blocks for --run (default 2*ranks)
+///   --dims=N            cubic domain side for --run (default 33)
+///   --journal-out=FILE  save the run's journal for later replay
+///   --json[=FILE]       emit the machine-readable analysis (stdout
+///                       or FILE) instead of the text table
+///   --check             exit 1 unless the path attribution is
+///                       self-consistent: path_seconds and the
+///                       category sum each within 5% of wall time
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <numeric>
+#include <string>
+
+#include "causal/causal.hpp"
+#include "causal/critpath.hpp"
+#include "pipeline/sim_pipeline.hpp"
+#include "pipeline/threaded_pipeline.hpp"
+
+namespace {
+
+using namespace msc;
+
+struct Args {
+  std::string journal_path;  // analyze mode
+  bool run = false;
+  bool sim = false;
+  int ranks = 8;
+  int blocks = -1;
+  int dims = 33;
+  std::string journal_out;
+  bool json = false;
+  std::string json_path;
+  bool check = false;
+};
+
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::fprintf(stderr,
+               "usage: %s [--run [--sim] [--ranks=N] [--blocks=N] [--dims=N]\n"
+               "          [--journal-out=FILE]] [--json[=FILE]] [--check]\n"
+               "          [journal-file]\n",
+               argv0);
+  std::exit(code);
+}
+
+bool valueOf(const char* arg, const char* flag, std::string* out) {
+  const std::size_t n = std::strlen(flag);
+  if (std::strncmp(arg, flag, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const char* s = argv[i];
+    std::string v;
+    if (std::strcmp(s, "--run") == 0)
+      a.run = true;
+    else if (std::strcmp(s, "--sim") == 0)
+      a.sim = true;
+    else if (std::strcmp(s, "--check") == 0)
+      a.check = true;
+    else if (std::strcmp(s, "--json") == 0)
+      a.json = true;
+    else if (valueOf(s, "--json", &v)) {
+      a.json = true;
+      a.json_path = v;
+    } else if (valueOf(s, "--ranks", &v))
+      a.ranks = std::atoi(v.c_str());
+    else if (valueOf(s, "--blocks", &v))
+      a.blocks = std::atoi(v.c_str());
+    else if (valueOf(s, "--dims", &v))
+      a.dims = std::atoi(v.c_str());
+    else if (valueOf(s, "--journal-out", &v))
+      a.journal_out = v;
+    else if (std::strcmp(s, "--help") == 0 || std::strcmp(s, "-h") == 0)
+      usage(argv[0], 0);
+    else if (s[0] == '-')
+      usage(argv[0], 2);
+    else if (a.journal_path.empty())
+      a.journal_path = s;
+    else
+      usage(argv[0], 2);
+  }
+  if (a.run == !a.journal_path.empty()) {
+    std::fprintf(stderr, "error: pass exactly one of --run or a journal file\n");
+    usage(argv[0], 2);
+  }
+  if (a.blocks < 0) a.blocks = 2 * a.ranks;
+  return a;
+}
+
+causal::Journal runAndRecord(const Args& a) {
+  pipeline::PipelineConfig cfg;
+  cfg.domain = Domain{{a.dims, a.dims, a.dims}};
+  cfg.source.field = synth::cosineProduct(cfg.domain, 3);
+  cfg.nblocks = a.blocks;
+  cfg.nranks = a.ranks;
+  cfg.persistence_threshold = 0.05f;
+  cfg.plan = MergePlan::fullMerge(a.blocks);
+  causal::Recorder::Options ropts;
+  ropts.journal_clocks = a.ranks <= 64;  // wide sim runs: skip per-event copies
+  causal::Recorder rec(a.ranks, ropts);
+  cfg.causal = &rec;
+  if (a.sim)
+    pipeline::runSimPipeline(cfg);
+  else
+    pipeline::runThreadedPipeline(cfg);
+  return rec.journal();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  causal::Journal j;
+  try {
+    j = a.run ? runAndRecord(a) : causal::readJournalFile(a.journal_path);
+    if (!a.journal_out.empty() && !causal::writeJournalFile(j, a.journal_out)) {
+      std::fprintf(stderr, "error: cannot write %s\n", a.journal_out.c_str());
+      return 1;
+    }
+    const causal::CriticalPath p = causal::analyzeCriticalPath(j);
+
+    if (a.json && a.json_path.empty()) {
+      causal::writeCritPathJson(p, std::cout);
+      std::cout << "\n";
+    } else {
+      if (a.json) {
+        std::ofstream os(a.json_path);
+        if (!os) {
+          std::fprintf(stderr, "error: cannot write %s\n", a.json_path.c_str());
+          return 1;
+        }
+        causal::writeCritPathJson(p, os);
+        os << "\n";
+      }
+      std::cout << blameTable(p);
+    }
+
+    if (a.check) {
+      const double cat_sum =
+          std::accumulate(p.by_category.begin(), p.by_category.end(), 0.0);
+      const double tol = 0.05 * p.wall_seconds;
+      const bool ok = p.wall_seconds > 0 &&
+                      std::abs(p.path_seconds - p.wall_seconds) <= tol &&
+                      std::abs(cat_sum - p.wall_seconds) <= tol;
+      std::fprintf(stderr, "check: wall=%.6fs path=%.6fs categories=%.6fs -> %s\n",
+                   p.wall_seconds, p.path_seconds, cat_sum, ok ? "OK" : "FAIL");
+      if (!ok) return 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -76,33 +76,41 @@ RULE_IDS = {r["id"] for r in RULES}
 #   - core, obs, audit, merge are leaves (no internal includes).
 #   - audit must stay a leaf: par depends on it, so anything audit pulled
 #     in would be dragged under the runtime.
-#   - par may see only its instrumentation (obs) and its contract
-#     checker (audit) — never domain code.
+#   - par may see only its instrumentation (obs, causal) and its
+#     contract checker (audit) — never domain code.
+#   - causal is a leaf like audit: par piggybacks its trailers, so any
+#     dependency causal grew would be dragged under the runtime. In
+#     particular obs must never include causal (nor vice versa): flow
+#     events reach the tracer through par/simnet call sites, keeping
+#     both instrumentation layers independently attachable.
 #   - check must never depend on obs (it validates runs that may or may
 #     not be traced) nor on bench.
 LAYERS = {
     "core": set(),
     "obs": set(),
     "audit": set(),
+    "causal": set(),
     "merge": set(),
     "synth": {"core"},
     "decomp": {"core"},
     "analysis": {"core"},
-    "simnet": {"core", "obs"},
-    "par": {"obs", "audit"},
+    "simnet": {"core", "obs", "causal"},
+    "par": {"obs", "audit", "causal"},
     "io": {"core", "par"},
     "fault": {"core", "io", "obs", "par"},
     # pipeline sees audit directly since the watchdog knob moved into
     # PipelineConfig (block_timeout_seconds -> Auditor::setBlockTimeoutSeconds).
-    "pipeline": {"audit", "core", "decomp", "fault", "io", "merge", "obs", "par", "simnet", "synth"},
+    "pipeline": {"audit", "causal", "core", "decomp", "fault", "io", "merge", "obs", "par", "simnet", "synth"},
     "check": {"core", "synth", "decomp", "analysis", "fault", "io", "pipeline"},
 }
 
 # Modules that must never appear in a given module's include closure is
-# expressed by omission above; two bans called out by name for clarity:
+# expressed by omission above; bans called out by name for clarity:
 EXPLICIT_BANS = [
     ("check", "obs", "check must not depend on obs"),
     ("check", "bench", "check must not depend on bench"),
+    ("obs", "causal", "obs must not depend on causal (independent attach)"),
+    ("causal", "obs", "causal must not depend on obs (stays a leaf under par)"),
 ]
 
 # Debt accepted at rule-introduction time. MUST be empty on mainline:
