@@ -135,9 +135,15 @@ inline std::vector<RoundCommStats> roundCommStats(const simnet::TimelineInputs& 
   return out;
 }
 
+/// Every BENCH_*.json run object carries this so tools/msc_perfgate
+/// (and any other consumer) can reject files written by an
+/// incompatible harness instead of misreading them.
+inline constexpr int kBenchSchemaVersion = 1;
+
 /// Minimal streaming JSON writer for the bench harness output files.
 /// Handles nesting/commas; callers supply already-escaped keys (all
-/// keys used here are plain identifiers).
+/// keys used here are plain identifiers). String values get full
+/// JSON escaping (quotes, backslashes, control characters).
 class JsonWriter {
  public:
   explicit JsonWriter(std::FILE* f) : f_(f) {}
@@ -168,12 +174,23 @@ class JsonWriter {
     comma();
     std::fputc('"', f_);
     for (const char* p = s; *p; ++p) {
-      if (*p == '"' || *p == '\\') std::fputc('\\', f_);
-      std::fputc(*p, f_);
+      switch (*p) {
+        case '"': std::fputs("\\\"", f_); break;
+        case '\\': std::fputs("\\\\", f_); break;
+        case '\n': std::fputs("\\n", f_); break;
+        case '\t': std::fputs("\\t", f_); break;
+        case '\r': std::fputs("\\r", f_); break;
+        default:
+          if (static_cast<unsigned char>(*p) < 0x20)
+            std::fprintf(f_, "\\u%04x", *p);
+          else
+            std::fputc(*p, f_);
+      }
     }
     std::fputc('"', f_);
     return *this;
   }
+  JsonWriter& value(const std::string& s) { return value(s.c_str()); }
   void finish() { std::fputc('\n', f_); }
 
  private:
@@ -244,6 +261,7 @@ inline void writeRunJson(JsonWriter& json, int procs, const char* plan,
                          const pipeline::SimResult& r, double efficiency,
                          const causal::CriticalPath* cp = nullptr) {
   json.beginObject();
+  json.key("schema_version").value(kBenchSchemaVersion);
   json.key("procs").value(procs);
   json.key("plan").value(plan);
   json.key("read_s").value(r.times.read);

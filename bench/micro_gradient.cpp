@@ -8,6 +8,7 @@
 #include "core/gradient.hpp"
 #include "core/lower_star.hpp"
 #include "decomp/decompose.hpp"
+#include "metrics/metrics.hpp"
 #include "synth/fields.hpp"
 
 namespace {
@@ -29,45 +30,61 @@ BlockField makeField(std::int64_t side, bool blocked, const char* kind) {
   return synth::sample(decompose(d, 8)[0], f);  // a corner block
 }
 
-void reportCriticals(benchmark::State& state, const GradientField& g,
-                     std::int64_t cells) {
-  const auto c = g.criticalCounts();
-  state.counters["criticals"] = static_cast<double>(c[0] + c[1] + c[2] + c[3]);
-  state.counters["cells_per_s"] = benchmark::Counter(
-      static_cast<double>(cells) * static_cast<double>(state.iterations()),
-      benchmark::Counter::kIsRate);
+/// Work counters come from the metrics registry the kernel flushed
+/// into, so the reported rates are exact kernel-side tallies rather
+/// than fixture-derived estimates.
+void reportWork(benchmark::State& state, const metrics::Registry& reg) {
+  using metrics::Counter;
+  const auto rate = [&](Counter c) {
+    return benchmark::Counter(static_cast<double>(reg.counterTotal(c)),
+                              benchmark::Counter::kIsRate);
+  };
+  state.counters["criticals"] = static_cast<double>(
+      reg.counterTotal(Counter::kGradCriticals) / state.iterations());
+  state.counters["cells_per_s"] = rate(Counter::kGradCells);
+  state.counters["pairs_per_s"] = rate(Counter::kGradPairs);
 }
 
 void BM_GradientSweep(benchmark::State& state) {
   const BlockField bf = makeField(state.range(0), false, "sinusoid");
+  metrics::Registry reg(1);
+  GradientOptions opts;
+  opts.metrics = &reg;
   GradientField g;
   for (auto _ : state) {
-    g = computeGradientSweep(bf);
+    g = computeGradientSweep(bf, opts);
     benchmark::DoNotOptimize(g.state().data());
   }
-  reportCriticals(state, g, bf.block().numCells());
+  reportWork(state, reg);
 }
 BENCHMARK(BM_GradientSweep)->Arg(17)->Arg(33)->Arg(49)->Unit(benchmark::kMillisecond);
 
 void BM_GradientLowerStar(benchmark::State& state) {
   const BlockField bf = makeField(state.range(0), false, "sinusoid");
+  metrics::Registry reg(1);
+  GradientOptions opts;
+  opts.metrics = &reg;
   GradientField g;
   for (auto _ : state) {
-    g = computeGradientLowerStar(bf);
+    g = computeGradientLowerStar(bf, opts);
     benchmark::DoNotOptimize(g.state().data());
   }
-  reportCriticals(state, g, bf.block().numCells());
+  reportWork(state, reg);
 }
 BENCHMARK(BM_GradientLowerStar)->Arg(17)->Arg(33)->Arg(49)->Unit(benchmark::kMillisecond);
 
 void BM_GradientNoise(benchmark::State& state) {
   const BlockField bf = makeField(33, false, "noise");
+  metrics::Registry reg(1);
+  GradientOptions opts;
+  opts.metrics = &reg;
   GradientField g;
   for (auto _ : state) {
-    g = state.range(0) == 0 ? computeGradientSweep(bf) : computeGradientLowerStar(bf);
+    g = state.range(0) == 0 ? computeGradientSweep(bf, opts)
+                            : computeGradientLowerStar(bf, opts);
     benchmark::DoNotOptimize(g.state().data());
   }
-  reportCriticals(state, g, bf.block().numCells());
+  reportWork(state, reg);
 }
 BENCHMARK(BM_GradientNoise)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
@@ -75,14 +92,16 @@ BENCHMARK(BM_GradientNoise)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 /// restriction on a shared-face block.
 void BM_BoundaryRestriction(benchmark::State& state) {
   const BlockField bf = makeField(33, true, "sinusoid");
+  metrics::Registry reg(1);
   GradientOptions opts;
   opts.restrict_boundary = state.range(0) != 0;
+  opts.metrics = &reg;
   GradientField g;
   for (auto _ : state) {
     g = computeGradientLowerStar(bf, opts);
     benchmark::DoNotOptimize(g.state().data());
   }
-  reportCriticals(state, g, bf.block().numCells());
+  reportWork(state, reg);
 }
 BENCHMARK(BM_BoundaryRestriction)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 

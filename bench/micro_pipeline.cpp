@@ -8,6 +8,7 @@
 #include "core/trace.hpp"
 #include "decomp/decompose.hpp"
 #include "io/pack.hpp"
+#include "metrics/metrics.hpp"
 #include "synth/fields.hpp"
 
 namespace {
@@ -36,19 +37,30 @@ const Fixture& fixture() {
 
 void BM_Trace(benchmark::State& state) {
   const Fixture& f = fixture();
+  metrics::Registry reg(1);
+  TraceOptions topts;
+  topts.metrics = &reg;
   std::int64_t arcs = 0;
   for (auto _ : state) {
-    const MsComplex c = traceComplex(f.grad, f.field);
+    const MsComplex c = traceComplex(f.grad, f.field, topts);
     arcs = c.liveArcCount();
     benchmark::DoNotOptimize(arcs);
   }
   state.counters["arcs"] = static_cast<double>(arcs);
+  // Exact kernel-side work rates from the metrics registry.
+  state.counters["steps_per_s"] = benchmark::Counter(
+      static_cast<double>(reg.counterTotal(metrics::Counter::kTraceSteps)),
+      benchmark::Counter::kIsRate);
+  state.counters["arcs_per_s"] = benchmark::Counter(
+      static_cast<double>(reg.counterTotal(metrics::Counter::kTraceArcs)),
+      benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_Trace)->Unit(benchmark::kMillisecond);
 
 void BM_Simplify(benchmark::State& state) {
   const Fixture& f = fixture();
   const MsComplex base = traceComplex(f.grad, f.field);
+  metrics::Registry reg(1);
   std::int64_t cancels = 0;
   for (auto _ : state) {
     state.PauseTiming();
@@ -56,10 +68,14 @@ void BM_Simplify(benchmark::State& state) {
     state.ResumeTiming();
     SimplifyOptions opts;
     opts.persistence_threshold = static_cast<float>(state.range(0)) / 100.0f;
+    opts.metrics = &reg;
     cancels = simplify(c, opts);
     benchmark::DoNotOptimize(cancels);
   }
   state.counters["cancellations"] = static_cast<double>(cancels);
+  state.counters["cancels_per_s"] = benchmark::Counter(
+      static_cast<double>(reg.counterTotal(metrics::Counter::kSimplifyCancelled)),
+      benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_Simplify)->Arg(10)->Arg(50)->Arg(100)->Unit(benchmark::kMillisecond);
 

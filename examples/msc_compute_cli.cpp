@@ -25,8 +25,11 @@
 #include "causal/causal.hpp"
 #include "causal/critpath.hpp"
 #include "io/pack.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/snapshot.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/summary.hpp"
+#include "pipeline/run_summary.hpp"
 #include "pipeline/threaded_pipeline.hpp"
 
 using namespace msc;
@@ -48,8 +51,10 @@ struct Options {
   std::string out;
   std::string trace_path;
   std::string journal_path;
+  std::string metrics_path;
   bool critpath = false;
   bool stats = false;
+  bool summary = false;
   bool help = false;
 };
 
@@ -89,8 +94,10 @@ Options parse(int argc, char** argv) {
     else if (const char* v = val("out")) o.out = v;
     else if (const char* v = val("trace")) o.trace_path = v;
     else if (const char* v = val("journal")) o.journal_path = v;
+    else if (const char* v = val("metrics")) o.metrics_path = v;
     else if (a == "--critpath") o.critpath = true;
     else if (a == "--stats") o.stats = true;
+    else if (a == "--summary") o.summary = true;
     else {
       std::fprintf(stderr, "unknown argument: %s (try --help)\n", a.c_str());
       std::exit(2);
@@ -121,7 +128,10 @@ void usage() {
       "  --journal=FILE       write the causal event journal (replay it\n"
       "                       with tools/msc_critpath)\n"
       "  --critpath           print the critical-path blame table\n"
-      "  --stats              print the per-rank/per-stage summary table");
+      "  --stats              print the per-rank/per-stage summary table\n"
+      "  --metrics=FILE       write a versioned JSON snapshot of the work and\n"
+      "                       memory counters (see tools/msc_perfgate)\n"
+      "  --summary            print the combined time x work x memory table");
 }
 
 }  // namespace
@@ -157,10 +167,28 @@ int main(int argc, char** argv) {
                                          : pipeline::GradientAlgorithm::kLowerStar;
   cfg.output_path = o.out;
 
+  // Probe --metrics writability up front: a 20-minute run that fails at
+  // the very end because the snapshot directory is missing is the worst
+  // possible failure mode. "a" creates without truncating.
+  if (!o.metrics_path.empty()) {
+    std::FILE* probe = std::fopen(o.metrics_path.c_str(), "a");
+    if (!probe) {
+      std::fprintf(stderr, "cannot write metrics file %s (missing or unwritable parent?)\n",
+                   o.metrics_path.c_str());
+      return 2;
+    }
+    std::fclose(probe);
+  }
+
   std::unique_ptr<obs::Tracer> tracer;
-  if (!o.trace_path.empty() || o.stats) {
+  if (!o.trace_path.empty() || o.stats || o.summary) {
     tracer = std::make_unique<obs::Tracer>(o.ranks);
     cfg.tracer = tracer.get();
+  }
+  std::unique_ptr<metrics::Registry> registry;
+  if (!o.metrics_path.empty() || o.summary) {
+    registry = std::make_unique<metrics::Registry>(o.ranks);
+    cfg.metrics = registry.get();
   }
   std::unique_ptr<causal::Recorder> recorder;
   if (!o.journal_path.empty() || o.critpath || !o.trace_path.empty()) {
@@ -192,6 +220,16 @@ int main(int argc, char** argv) {
 
   if (tracer && o.stats) {
     std::printf("\n%s", obs::summaryText(*tracer).c_str());
+  }
+  if (o.summary) {
+    std::printf("\n%s", pipeline::runSummaryText(tracer.get(), registry.get()).c_str());
+  }
+  if (registry && !o.metrics_path.empty()) {
+    if (!metrics::writeSnapshotFile(*registry, o.metrics_path)) {
+      std::fprintf(stderr, "failed to write metrics file %s\n", o.metrics_path.c_str());
+      return 1;
+    }
+    std::printf("metrics: %s\n", o.metrics_path.c_str());
   }
   if (tracer && !o.trace_path.empty()) {
     if (!obs::writeChromeTraceFile(*tracer, o.trace_path, "msc_compute")) {

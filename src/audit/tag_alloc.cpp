@@ -11,6 +11,8 @@ namespace {
 struct alignas(64) RankBytes {
   std::atomic<std::int64_t> allocated{0};
   std::atomic<std::int64_t> freed{0};
+  std::atomic<std::int64_t> allocs{0};
+  std::atomic<std::int64_t> peak{0};
 };
 
 /// All mutable tracking state lives in one leaked singleton: the
@@ -50,6 +52,8 @@ void AllocTracking::enable(int nranks) {
     for (RankBytes& rb : *c) {
       rb.allocated.store(0, std::memory_order_relaxed);
       rb.freed.store(0, std::memory_order_relaxed);
+      rb.allocs.store(0, std::memory_order_relaxed);
+      rb.peak.store(0, std::memory_order_relaxed);
     }
     s.violations.clear();
     enabled_.store(true, std::memory_order_release);
@@ -74,9 +78,23 @@ void AllocTracking::adopt(void* data, int new_owner) {
 void AllocTracking::onAlloc(int rank, std::size_t bytes) {
   State& s = state();
   std::vector<RankBytes>* c = s.counters.load(std::memory_order_acquire);
-  if (c && rank < static_cast<int>(c->size()))
-    (*c)[static_cast<std::size_t>(rank)].allocated.fetch_add(
-        static_cast<std::int64_t>(bytes), std::memory_order_relaxed);
+  if (c && rank < static_cast<int>(c->size())) {
+    RankBytes& rb = (*c)[static_cast<std::size_t>(rank)];
+    const std::int64_t allocated =
+        rb.allocated.fetch_add(static_cast<std::int64_t>(bytes),
+                               std::memory_order_relaxed) +
+        static_cast<std::int64_t>(bytes);
+    rb.allocs.fetch_add(1, std::memory_order_relaxed);
+    // Live-byte high-water mark. `allocated - freed` is only an
+    // instantaneous approximation under concurrent frees, but each
+    // term is exact, so the peak can only under-report by in-flight
+    // frees -- never invent memory that was not live.
+    const std::int64_t live = allocated - rb.freed.load(std::memory_order_relaxed);
+    std::int64_t prev = rb.peak.load(std::memory_order_relaxed);
+    while (live > prev &&
+           !rb.peak.compare_exchange_weak(prev, live, std::memory_order_relaxed)) {
+    }
+  }
 }
 
 void AllocTracking::onFree(int owner, int freer, std::size_t bytes) {
@@ -109,6 +127,18 @@ std::int64_t AllocTracking::freedBytes(int rank) {
   std::vector<RankBytes>* c = state().counters.load(std::memory_order_acquire);
   if (!c || rank < 0 || rank >= static_cast<int>(c->size())) return 0;
   return (*c)[static_cast<std::size_t>(rank)].freed.load(std::memory_order_relaxed);
+}
+
+std::int64_t AllocTracking::allocationCount(int rank) {
+  std::vector<RankBytes>* c = state().counters.load(std::memory_order_acquire);
+  if (!c || rank < 0 || rank >= static_cast<int>(c->size())) return 0;
+  return (*c)[static_cast<std::size_t>(rank)].allocs.load(std::memory_order_relaxed);
+}
+
+std::int64_t AllocTracking::peakLiveBytes(int rank) {
+  std::vector<RankBytes>* c = state().counters.load(std::memory_order_acquire);
+  if (!c || rank < 0 || rank >= static_cast<int>(c->size())) return 0;
+  return (*c)[static_cast<std::size_t>(rank)].peak.load(std::memory_order_relaxed);
 }
 
 }  // namespace msc::audit

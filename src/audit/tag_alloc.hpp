@@ -65,6 +65,14 @@ class AllocTracking {
   /// Bytes allocated / freed by rank since the outermost enable().
   static std::int64_t allocatedBytes(int rank);
   static std::int64_t freedBytes(int rank);
+  /// Allocation calls charged to rank since the outermost enable().
+  static std::int64_t allocationCount(int rank);
+  /// High-water mark of the rank's live bytes (allocated - freed,
+  /// maintained on the allocation path). A rank that frees buffers it
+  /// received from peers can drive its instantaneous live count
+  /// negative; the peak is still the right per-rank pressure signal
+  /// because it brackets what this rank's allocations pinned at once.
+  static std::int64_t peakLiveBytes(int rank);
 
  private:
   template <class T>

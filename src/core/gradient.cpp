@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/boundary.hpp"
+#include "metrics/metrics.hpp"
 
 namespace msc {
 
@@ -82,6 +83,7 @@ GradientField computeGradientSweep(const BlockField& field, const GradientOption
     for (int k = 0; k < nc; ++k) --ufacets[blk.cellIndex(cof[k])];
   };
 
+  std::int64_t pairs = 0, crits = 0;
   for (int d = 0; d < 4; ++d) {
     std::vector<std::uint32_t>& order = byDim[d];
     std::sort(order.begin(), order.end(), less);
@@ -106,10 +108,19 @@ GradientField computeGradientSweep(const BlockField& field, const GradientOption
       if (best >= 0) {
         assign(rc, directionCode(rc, bestCoord));
         assign(bestCoord, directionCode(bestCoord, rc));
+        ++pairs;
       } else {
         assign(rc, kCritical);
+        ++crits;
       }
     }
+  }
+
+  if (opts.metrics) {
+    using metrics::Counter;
+    opts.metrics->add(opts.metrics_rank, Counter::kGradCells, n);
+    opts.metrics->add(opts.metrics_rank, Counter::kGradPairs, pairs);
+    opts.metrics->add(opts.metrics_rank, Counter::kGradCriticals, crits);
   }
 
   return GradientField(blk, std::move(state));

@@ -16,6 +16,10 @@
 
 #include "core/field.hpp"
 
+namespace msc::metrics {
+class Registry;
+}  // namespace msc::metrics
+
 namespace msc {
 
 /// Per-cell pairing state. Values 0..5 encode "paired with the
@@ -47,6 +51,11 @@ struct GradientOptions {
   /// without T-junctions (see BoundarySignatures). Multi-block
   /// pipelines always supply this.
   const BoundarySignatures* signatures = nullptr;
+  /// Optional work counters (non-owning). The kernels tally into
+  /// stack locals and flush once on return, attributed to
+  /// `metrics_rank`; recording never changes the computed gradient.
+  metrics::Registry* metrics = nullptr;
+  int metrics_rank = 0;
 };
 
 /// A computed discrete gradient vector field over one block.

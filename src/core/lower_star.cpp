@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/boundary.hpp"
+#include "metrics/metrics.hpp"
 
 namespace msc {
 
@@ -42,6 +43,7 @@ GradientField computeGradientLowerStar(const BlockField& field, const GradientOp
   std::vector<StarCell> star;
   star.reserve(27);
 
+  std::int64_t stars = 0, cells = 0, pairs = 0, crits = 0;
   for (std::int64_t vz = 0; vz < blk.vdims.z; ++vz) {
     for (std::int64_t vy = 0; vy < blk.vdims.y; ++vy) {
       for (std::int64_t vx = 0; vx < blk.vdims.x; ++vx) {
@@ -72,6 +74,9 @@ GradientField computeGradientLowerStar(const BlockField& field, const GradientOp
             }
           }
         }
+
+        ++stars;
+        cells += static_cast<std::int64_t>(star.size());
 
         // Process each signature class independently so that shared
         // faces are matched identically in both adjacent blocks.
@@ -127,18 +132,28 @@ GradientField computeGradientLowerStar(const BlockField& field, const GradientOp
                   directionCode(star[head].rc, star[tail].rc);
               markAssigned(tail);
               markAssigned(head);
+              ++pairs;
             }
             const int crit = popMin(
                 [](const StarCell& c) { return c.n_unassigned_facets == 0; });
             if (crit < 0) break;
             state[blk.cellIndex(star[crit].rc)] = kCritical;
             markAssigned(crit);
+            ++crits;
           }
           // Every class member must be assigned by now.
           for ([[maybe_unused]] const int a : mem) assert(star[a].assigned);
         }
       }
     }
+  }
+
+  if (opts.metrics) {
+    using metrics::Counter;
+    opts.metrics->add(opts.metrics_rank, Counter::kGradCells, cells);
+    opts.metrics->add(opts.metrics_rank, Counter::kGradLowerStars, stars);
+    opts.metrics->add(opts.metrics_rank, Counter::kGradPairs, pairs);
+    opts.metrics->add(opts.metrics_rank, Counter::kGradCriticals, crits);
   }
 
   return GradientField(blk, std::move(state));

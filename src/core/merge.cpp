@@ -1,8 +1,14 @@
 #include "core/merge.hpp"
 
+#include "metrics/metrics.hpp"
+
 namespace msc {
 
-void glue(MsComplex& root, const MsComplex& other, GlueStats* stats) {
+void glue(MsComplex& root, const MsComplex& other, GlueStats* stats,
+          metrics::Registry* metrics, int metrics_rank) {
+  GlueStats local{};
+  if (metrics && !stats) stats = &local;
+  const GlueStats before = stats ? *stats : GlueStats{};
   assert(root.domain() == other.domain());
   const auto index = root.addressIndex();
   // Region covered by the root before this glue: the only place where
@@ -56,22 +62,38 @@ void glue(MsComplex& root, const MsComplex& other, GlueStats* stats) {
   }
 
   root.region().merge(other.region());
+
+  if (metrics) {
+    using metrics::Counter;
+    metrics->add(metrics_rank, Counter::kMergeNodesMerged,
+                 stats->nodes_added - before.nodes_added);
+    metrics->add(metrics_rank, Counter::kMergeNodesDeduped,
+                 stats->nodes_shared - before.nodes_shared);
+    metrics->add(metrics_rank, Counter::kMergeArcsMerged,
+                 stats->arcs_added - before.arcs_added);
+    metrics->add(metrics_rank, Counter::kMergeArcsDeduped,
+                 stats->arcs_deduped - before.arcs_deduped);
+  }
 }
 
 std::int64_t finishMerge(MsComplex& root, float persistence_threshold,
-                         SimplifyStats* stats) {
+                         SimplifyStats* stats, metrics::Registry* metrics,
+                         int metrics_rank) {
   root.recomputeBoundary();
   SimplifyOptions opts;
   opts.persistence_threshold = persistence_threshold;
+  opts.metrics = metrics;
+  opts.metrics_rank = metrics_rank;
   return simplify(root, opts, stats);
 }
 
 std::int64_t mergeComplexes(MsComplex& root, std::vector<MsComplex> others,
                             float persistence_threshold, GlueStats* gstats,
-                            SimplifyStats* sstats) {
+                            SimplifyStats* sstats, metrics::Registry* metrics,
+                            int metrics_rank) {
   root.compact();
-  for (const MsComplex& o : others) glue(root, o, gstats);
-  return finishMerge(root, persistence_threshold, sstats);
+  for (const MsComplex& o : others) glue(root, o, gstats, metrics, metrics_rank);
+  return finishMerge(root, persistence_threshold, sstats, metrics, metrics_rank);
 }
 
 }  // namespace msc

@@ -26,18 +26,26 @@ struct GlueStats {
 
 /// Glue `other` into `root` (both complexes over the same Domain).
 /// Does not recompute boundary flags or re-simplify; callers gluing
-/// several complexes call finishMerge() once at the end.
-void glue(MsComplex& root, const MsComplex& other, GlueStats* stats = nullptr);
+/// several complexes call finishMerge() once at the end. When
+/// `metrics` is set the glue deltas are also flushed into the
+/// registry's merge counters under `metrics_rank`.
+void glue(MsComplex& root, const MsComplex& other, GlueStats* stats = nullptr,
+          metrics::Registry* metrics = nullptr, int metrics_rank = 0);
 
 /// After all glues of a merge round: recompute boundary status
 /// against the merged region and re-simplify to the threshold,
-/// creating a new hierarchy on the merged complex (IV-F3).
+/// creating a new hierarchy on the merged complex (IV-F3). `metrics`
+/// is forwarded to the simplification pass.
 std::int64_t finishMerge(MsComplex& root, float persistence_threshold,
-                         SimplifyStats* stats = nullptr);
+                         SimplifyStats* stats = nullptr,
+                         metrics::Registry* metrics = nullptr,
+                         int metrics_rank = 0);
 
 /// Convenience: glue all of `others` into `root` and finish.
 std::int64_t mergeComplexes(MsComplex& root, std::vector<MsComplex> others,
                             float persistence_threshold, GlueStats* gstats = nullptr,
-                            SimplifyStats* sstats = nullptr);
+                            SimplifyStats* sstats = nullptr,
+                            metrics::Registry* metrics = nullptr,
+                            int metrics_rank = 0);
 
 }  // namespace msc

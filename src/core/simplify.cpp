@@ -2,6 +2,8 @@
 
 #include <queue>
 
+#include "metrics/metrics.hpp"
+
 namespace msc {
 
 bool isCancellable(const MsComplex& complex, ArcId a) {
@@ -88,6 +90,10 @@ std::int64_t simplify(MsComplex& complex, const SimplifyOptions& opts, SimplifyS
   std::unordered_map<NodeId, std::vector<ArcId>> parked;
 
   std::int64_t done = 0;
+  SimplifyStats local{};
+  if (opts.metrics && !stats) stats = &local;  // counters need the tallies
+  const SimplifyStats before = stats ? *stats : SimplifyStats{};
+  std::array<std::int64_t, metrics::kHistBuckets> pers_tally{};
   const auto push = [&](ArcId id) {
     const Arc& ar = complex.arc(id);
     if (!ar.alive) return;
@@ -170,6 +176,10 @@ std::int64_t simplify(MsComplex& complex, const SimplifyOptions& opts, SimplifyS
     const ArcId firstNew = static_cast<ArcId>(complex.arcs().size());
     cancelArc(complex, e.arc, stats);
     ++done;
+    if (opts.metrics) {
+      ++pers_tally[static_cast<std::size_t>(
+          metrics::histBucket(static_cast<double>(e.pers)))];
+    }
     for (ArcId id = firstNew; id < static_cast<ArcId>(complex.arcs().size()); ++id)
       push(id);
     for (const NodeId n : affected) {
@@ -186,6 +196,15 @@ std::int64_t simplify(MsComplex& complex, const SimplifyOptions& opts, SimplifyS
       }
       parked.erase(it);
     }
+  }
+  if (opts.metrics) {
+    using metrics::Counter;
+    metrics::Registry* m = opts.metrics;
+    const int r = opts.metrics_rank;
+    m->add(r, Counter::kSimplifyCancelled, stats->cancellations - before.cancellations);
+    m->add(r, Counter::kSimplifyArcsRemoved, stats->arcs_removed - before.arcs_removed);
+    m->add(r, Counter::kSimplifyArcsCreated, stats->arcs_created - before.arcs_created);
+    m->observeBuckets(r, metrics::Hist::kSimplifyPersistence, pers_tally);
   }
   return done;
 }

@@ -12,6 +12,10 @@
 
 #include "core/complex.hpp"
 
+namespace msc::metrics {
+class Registry;
+}  // namespace msc::metrics
+
 namespace msc {
 
 struct SimplifyOptions {
@@ -27,6 +31,12 @@ struct SimplifyOptions {
   /// retried when a neighbouring cancellation changes the degrees).
   /// 0 means unlimited.
   std::int64_t max_new_arcs_per_cancellation = 64;
+  /// Optional work counters (non-owning): cancellations, arcs
+  /// removed/created, and the persistence histogram of cancelled
+  /// pairs, tallied locally and flushed once per simplify() call.
+  /// Recording never changes the simplified complex.
+  metrics::Registry* metrics = nullptr;
+  int metrics_rank = 0;
 };
 
 struct SimplifyStats {

@@ -1,5 +1,7 @@
 #include "core/trace.hpp"
 
+#include "metrics/metrics.hpp"
+
 namespace msc {
 
 namespace {
@@ -15,6 +17,11 @@ class PathEnumerator {
                  const TraceOptions& opts, TraceStats* stats)
       : grad_(grad), blk_(grad.block()), out_(out), nodeOf_(nodeOf), opts_(opts),
         stats_(stats) {}
+
+  std::int64_t steps() const { return steps_; }
+  const std::array<std::int64_t, metrics::kHistBuckets>& pathLenTally() const {
+    return len_tally_;
+  }
 
   void run(Vec3i crit) {
     paths_emitted_ = 0;
@@ -70,6 +77,7 @@ class PathEnumerator {
     if (capped()) return;
     const std::size_t base = path_.size();
     path_.push_back(a);
+    ++steps_;
     const std::uint8_t s = grad_.stateAt(a);
     if (s == kCritical) {
       emit(from, a);
@@ -79,6 +87,7 @@ class PathEnumerator {
     if (grad_.isTail(a)) {
       const Vec3i head = grad_.partner(a);
       path_.push_back(head);
+      ++steps_;
       stack_.push_back({head, a, 0, base});
       return;  // frame unwinding restores the path to base
     }
@@ -95,6 +104,10 @@ class PathEnumerator {
     if (stats_) {
       ++stats_->arcs;
       stats_->geometry_cells += static_cast<std::int64_t>(path_.size());
+    }
+    if (opts_.metrics) {
+      ++len_tally_[static_cast<std::size_t>(
+          metrics::histBucket(static_cast<double>(path_.size())))];
     }
   }
 
@@ -116,6 +129,8 @@ class PathEnumerator {
   std::vector<Frame> stack_;
   std::int64_t paths_emitted_{0};
   bool truncated_{false};
+  std::int64_t steps_{0};
+  std::array<std::int64_t, metrics::kHistBuckets> len_tally_{};
 };
 
 }  // namespace
@@ -147,8 +162,21 @@ MsComplex traceComplex(const GradientField& grad, const BlockField& field,
   // Second pass: descending V-paths from every critical cell of
   // dimension >= 1.
   PathEnumerator en(grad, out, nodeOf, opts, stats);
+  std::int64_t arcs = 0, geom_cells = 0;
   for (const Vec3i& rc : criticals)
     if (Domain::cellDim(rc) >= 1) en.run(rc);
+  if (opts.metrics) {
+    using metrics::Counter;
+    for (const Arc& a : out.arcs()) {
+      ++arcs;
+      geom_cells += static_cast<std::int64_t>(out.geom(a.geom).cells.size());
+    }
+    opts.metrics->add(opts.metrics_rank, Counter::kTraceSteps, en.steps());
+    opts.metrics->add(opts.metrics_rank, Counter::kTraceArcs, arcs);
+    opts.metrics->add(opts.metrics_rank, Counter::kTraceGeomCells, geom_cells);
+    opts.metrics->observeBuckets(opts.metrics_rank, metrics::Hist::kTracePathCells,
+                                 en.pathLenTally());
+  }
 
   out.recomputeBoundary();
   return out;

@@ -18,6 +18,12 @@ struct TraceOptions {
   /// of descending paths enumerated from one critical cell. 0 means
   /// unlimited. Truncations are counted in TraceStats.
   std::int64_t max_paths_per_cell = 0;
+  /// Optional work counters (non-owning): V-path steps, arcs emitted,
+  /// geometry cells, and the path-length histogram, accumulated
+  /// locally and flushed once per traceComplex call. Recording never
+  /// changes the traced complex.
+  metrics::Registry* metrics = nullptr;
+  int metrics_rank = 0;
 };
 
 struct TraceStats {

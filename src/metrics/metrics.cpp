@@ -1,0 +1,172 @@
+#include "metrics/metrics.hpp"
+
+#include <cmath>
+
+namespace msc::metrics {
+namespace {
+
+// Bucket 1 starts at 2^kMinExp; bucket b covers [2^(b-1+kMinExp),
+// 2^(b+kMinExp)). With 31 finite buckets the top one opens at 2^6.
+constexpr int kMinExp = -24;
+
+}  // namespace
+
+const char* counterName(Counter c) {
+  switch (c) {
+    case Counter::kGradCells: return "grad_cells";
+    case Counter::kGradLowerStars: return "grad_lower_stars";
+    case Counter::kGradPairs: return "grad_pairs";
+    case Counter::kGradCriticals: return "grad_criticals";
+    case Counter::kTraceSteps: return "trace_steps";
+    case Counter::kTraceArcs: return "trace_arcs";
+    case Counter::kTraceGeomCells: return "trace_geom_cells";
+    case Counter::kSimplifyCancelled: return "simplify_cancelled";
+    case Counter::kSimplifyArcsRemoved: return "simplify_arcs_removed";
+    case Counter::kSimplifyArcsCreated: return "simplify_arcs_created";
+    case Counter::kMergeNodesMerged: return "merge_nodes_merged";
+    case Counter::kMergeNodesDeduped: return "merge_nodes_deduped";
+    case Counter::kMergeArcsMerged: return "merge_arcs_merged";
+    case Counter::kMergeArcsDeduped: return "merge_arcs_deduped";
+    case Counter::kPackBytes: return "pack_bytes";
+    case Counter::kCheckpointBytes: return "checkpoint_bytes";
+    case Counter::kCheckpointPuts: return "checkpoint_puts";
+  }
+  return "unknown_counter";
+}
+
+const char* gaugeName(Gauge g) {
+  switch (g) {
+    case Gauge::kMemLiveBytes: return "mem_live_bytes";
+    case Gauge::kMemPeakLiveBytes: return "mem_peak_live_bytes";
+    case Gauge::kMemAllocBytes: return "mem_alloc_bytes";
+    case Gauge::kMemAllocCount: return "mem_alloc_count";
+  }
+  return "unknown_gauge";
+}
+
+const char* histName(Hist h) {
+  switch (h) {
+    case Hist::kSimplifyPersistence: return "simplify_persistence";
+    case Hist::kTracePathCells: return "trace_path_cells";
+  }
+  return "unknown_hist";
+}
+
+int histBucket(double v) {
+  if (!(v > 0.0)) return 0;  // <= 0 and NaN
+  if (std::isinf(v)) return kHistBuckets - 1;  // ilogb(inf) is INT_MAX
+  const int e = std::ilogb(v);  // floor(log2(v)) for finite v > 0
+  const int b = e - kMinExp + 1;
+  if (b < 1) return 1;
+  if (b >= kHistBuckets) return kHistBuckets - 1;
+  return b;
+}
+
+double histBucketLowerBound(int b) {
+  if (b <= 0) return 0.0;
+  return std::ldexp(1.0, b - 1 + kMinExp);
+}
+
+Registry::Registry(int nranks) {
+  if (nranks < 1) nranks = 1;
+  ranks_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    ranks_.push_back(std::make_unique<RankSlot>());
+  }
+}
+
+Registry::~Registry() = default;
+
+void Registry::add(int rank, Counter c, std::int64_t delta) {
+  ranks_[static_cast<std::size_t>(rank)]->counters[static_cast<std::size_t>(c)]
+      .fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Registry::set(int rank, Gauge g, std::int64_t value) {
+  ranks_[static_cast<std::size_t>(rank)]->gauges[static_cast<std::size_t>(g)]
+      .store(value, std::memory_order_relaxed);
+}
+
+void Registry::setMax(int rank, Gauge g, std::int64_t value) {
+  auto& slot =
+      ranks_[static_cast<std::size_t>(rank)]->gauges[static_cast<std::size_t>(g)];
+  std::int64_t cur = slot.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void Registry::observe(int rank, Hist h, double value, std::int64_t count) {
+  ranks_[static_cast<std::size_t>(rank)]
+      ->hists[static_cast<std::size_t>(h)]
+             [static_cast<std::size_t>(histBucket(value))]
+      .fetch_add(count, std::memory_order_relaxed);
+}
+
+void Registry::observeBuckets(
+    int rank, Hist h, const std::array<std::int64_t, kHistBuckets>& tally) {
+  auto& row = ranks_[static_cast<std::size_t>(rank)]
+                  ->hists[static_cast<std::size_t>(h)];
+  for (int b = 0; b < kHistBuckets; ++b) {
+    const std::int64_t n = tally[static_cast<std::size_t>(b)];
+    if (n != 0) row[static_cast<std::size_t>(b)].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+}
+
+std::int64_t Registry::counter(int rank, Counter c) const {
+  return ranks_[static_cast<std::size_t>(rank)]
+      ->counters[static_cast<std::size_t>(c)]
+      .load(std::memory_order_relaxed);
+}
+
+std::int64_t Registry::counterTotal(Counter c) const {
+  std::int64_t sum = 0;
+  for (int r = 0; r < nranks(); ++r) sum += counter(r, c);
+  return sum;
+}
+
+std::int64_t Registry::gauge(int rank, Gauge g) const {
+  return ranks_[static_cast<std::size_t>(rank)]
+      ->gauges[static_cast<std::size_t>(g)]
+      .load(std::memory_order_relaxed);
+}
+
+std::int64_t Registry::gaugeTotal(Gauge g) const {
+  std::int64_t sum = 0;
+  for (int r = 0; r < nranks(); ++r) sum += gauge(r, g);
+  return sum;
+}
+
+std::int64_t Registry::gaugeMax(Gauge g) const {
+  std::int64_t mx = 0;
+  for (int r = 0; r < nranks(); ++r) {
+    const std::int64_t v = gauge(r, g);
+    if (v > mx) mx = v;
+  }
+  return mx;
+}
+
+std::int64_t Registry::histCount(int rank, Hist h, int bucket) const {
+  return ranks_[static_cast<std::size_t>(rank)]
+      ->hists[static_cast<std::size_t>(h)][static_cast<std::size_t>(bucket)]
+      .load(std::memory_order_relaxed);
+}
+
+std::int64_t Registry::histCountTotal(Hist h, int bucket) const {
+  std::int64_t sum = 0;
+  for (int r = 0; r < nranks(); ++r) sum += histCount(r, h, bucket);
+  return sum;
+}
+
+void Registry::reset() {
+  for (auto& slot : ranks_) {
+    for (auto& a : slot->counters) a.store(0, std::memory_order_relaxed);
+    for (auto& a : slot->gauges) a.store(0, std::memory_order_relaxed);
+    for (auto& row : slot->hists) {
+      for (auto& a : row) a.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace msc::metrics

@@ -1,0 +1,162 @@
+#pragma once
+// msc::metrics -- kernel-grade work counters, memory gauges, and
+// log-bucketed histograms.
+//
+// The registry answers the question msc::obs cannot: not "how long did
+// the kernel take" but "how much work did it do" -- cells swept, pairs
+// assigned, V-path steps walked, arcs cancelled, bytes packed. Time
+// divided by work gives throughput, and work is deterministic for a
+// fixed input, which is what makes an exact-equality perf gate
+// possible (tools/msc_perfgate).
+//
+// House instrumentation contract (same as the tracer, the auditor and
+// the causal recorder):
+//   - attached as a non-owning pointer (PipelineConfig::metrics, or a
+//     `metrics`/`metrics_rank` pair on a kernel options struct);
+//   - when detached, instrumented code pays one predictable branch per
+//     flush site -- kernels accumulate into stack-local tallies and
+//     flush once per call, so the hot loops carry no atomics at all;
+//   - recording never changes pipeline behaviour: output is
+//     byte-identical with the registry on or off.
+//
+// Concurrency: every rank owns a cache-line-padded slot of relaxed
+// atomics, so same-rank recording never contends and cross-rank
+// flushes (a rank folding a peer's stats in during a merge round) are
+// still exact. Reads are racy-but-atomic; call them between rounds or
+// after the run for exact totals.
+
+#include <atomic>
+#include <cstdint>
+
+#include <array>
+#include <memory>
+#include <vector>
+
+namespace msc::metrics {
+
+/// Monotone work counters. One enum value per instrumented quantity;
+/// names (counterName) are the stable identifiers used by the JSON
+/// snapshot and by BENCH_kernels.json, so renaming one is a schema
+/// change.
+enum class Counter : int {
+  // gradient.cpp / lower_star.cpp
+  kGradCells = 0,      ///< cells evaluated by the gradient kernels
+  kGradLowerStars,     ///< vertices whose lower star was processed
+  kGradPairs,          ///< discrete-gradient pairs assigned
+  kGradCriticals,      ///< cells left critical
+  // trace.cpp
+  kTraceSteps,         ///< V-path steps taken (cells visited on paths)
+  kTraceArcs,          ///< arcs emitted into the complex
+  kTraceGeomCells,     ///< embedded geometry cells recorded on arcs
+  // simplify.cpp
+  kSimplifyCancelled,    ///< persistence pairs cancelled
+  kSimplifyArcsRemoved,  ///< arcs removed by cancellations
+  kSimplifyArcsCreated,  ///< arcs created by cancellations
+  // merge/
+  kMergeNodesMerged,   ///< nodes appended while gluing sub-complexes
+  kMergeNodesDeduped,  ///< boundary nodes deduplicated instead
+  kMergeArcsMerged,    ///< arcs appended while gluing
+  kMergeArcsDeduped,   ///< duplicate arcs dropped while gluing
+  // pipeline I/O
+  kPackBytes,        ///< bytes serialized by io::pack for send/write
+  kCheckpointBytes,  ///< bytes stored into the CheckpointStore
+  kCheckpointPuts,   ///< checkpoint put() calls
+};
+inline constexpr int kNumCounters = 17;
+
+/// Point-in-time values (sampled, not accumulated). Memory telemetry
+/// lands here: the pipeline samples the tagging allocator at stage
+/// boundaries, so gauges carry last-seen and peak values per rank.
+enum class Gauge : int {
+  kMemLiveBytes = 0,   ///< live par::Bytes heap bytes at last sample
+  kMemPeakLiveBytes,   ///< high-water mark of live bytes (allocator-exact)
+  kMemAllocBytes,      ///< cumulative bytes ever allocated (churn)
+  kMemAllocCount,      ///< cumulative allocation calls
+};
+inline constexpr int kNumGauges = 4;
+
+/// Log-bucketed distributions (power-of-two buckets, see histBucket).
+enum class Hist : int {
+  kSimplifyPersistence = 0,  ///< persistence of each cancelled pair
+  kTracePathCells,           ///< embedded cells per emitted arc
+};
+inline constexpr int kNumHists = 2;
+inline constexpr int kHistBuckets = 32;
+
+const char* counterName(Counter c);
+const char* gaugeName(Gauge g);
+const char* histName(Hist h);
+
+/// Bucket index for a histogram sample. Bucket 0 collects v <= 0;
+/// bucket b in [1, 31] collects histBucketLowerBound(b) <= v <
+/// histBucketLowerBound(b + 1), with the first and last buckets
+/// absorbing under/overflow. Buckets are powers of two: bucket b
+/// spans [2^(b-25), 2^(b-24)), so the range 2^-24 .. 2^6 is resolved
+/// exactly -- wide enough for persistence values (fractions of field
+/// range) and path lengths (cell counts) alike.
+int histBucket(double v);
+
+/// Inclusive lower bound of bucket b (0 for the v <= 0 bucket).
+double histBucketLowerBound(int b);
+
+/// Fixed-size registry: one padded slot of relaxed atomics per rank.
+/// Any thread may record into any rank's slot (exactness is preserved
+/// by the atomics); the padding only guarantees that the common case
+/// -- each rank writing its own slot -- never false-shares.
+class Registry {
+ public:
+  explicit Registry(int nranks);
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  int nranks() const { return static_cast<int>(ranks_.size()); }
+
+  void add(int rank, Counter c, std::int64_t delta);
+  void set(int rank, Gauge g, std::int64_t value);
+  /// Monotone max: keeps the larger of the stored and offered value.
+  void setMax(int rank, Gauge g, std::int64_t value);
+  void observe(int rank, Hist h, double value, std::int64_t count = 1);
+  /// Bulk histogram flush: adds a whole per-bucket tally at once.
+  void observeBuckets(int rank, Hist h,
+                      const std::array<std::int64_t, kHistBuckets>& tally);
+
+  std::int64_t counter(int rank, Counter c) const;
+  std::int64_t counterTotal(Counter c) const;
+  std::int64_t gauge(int rank, Gauge g) const;
+  std::int64_t gaugeTotal(Gauge g) const;
+  /// Max over ranks -- the right reduction for peaks.
+  std::int64_t gaugeMax(Gauge g) const;
+  std::int64_t histCount(int rank, Hist h, int bucket) const;
+  std::int64_t histCountTotal(Hist h, int bucket) const;
+
+  /// Reset every counter, gauge and histogram to zero (not
+  /// thread-safe against concurrent recording; for bench reruns).
+  void reset();
+
+ private:
+  struct alignas(64) RankSlot {
+    std::array<std::atomic<std::int64_t>, kNumCounters> counters{};
+    std::array<std::atomic<std::int64_t>, kNumGauges> gauges{};
+    std::array<std::array<std::atomic<std::int64_t>, kHistBuckets>, kNumHists>
+        hists{};
+  };
+  std::vector<std::unique_ptr<RankSlot>> ranks_;
+};
+
+/// Null-safe helpers so call sites read as one line and one branch.
+inline void add(Registry* m, int rank, Counter c, std::int64_t delta) {
+  if (m) m->add(rank, c, delta);
+}
+inline void set(Registry* m, int rank, Gauge g, std::int64_t value) {
+  if (m) m->set(rank, g, value);
+}
+inline void setMax(Registry* m, int rank, Gauge g, std::int64_t value) {
+  if (m) m->setMax(rank, g, value);
+}
+inline void observe(Registry* m, int rank, Hist h, double value,
+                    std::int64_t count = 1) {
+  if (m) m->observe(rank, h, value, count);
+}
+
+}  // namespace msc::metrics

@@ -1,0 +1,311 @@
+#include "metrics/snapshot.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "metrics/metrics.hpp"
+
+namespace msc::metrics {
+namespace {
+
+void writeIntArray(std::ostream& os, const std::vector<std::int64_t>& v) {
+  os << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ',';
+    os << v[i];
+  }
+  os << ']';
+}
+
+// Metric names are [a-z0-9_] by construction, so keys need no
+// escaping; this stays in case a future name grows one.
+void writeKey(std::ostream& os, const std::string& k) {
+  os << '"';
+  for (char c : k) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << "\":";
+}
+
+// --- minimal recursive-descent parser for the snapshot subset -------
+// Grammar actually used by the writer: objects, arrays, integers,
+// doubles (bucket bounds), and unescaped keys. Anything else is a
+// hard error -- this is a schema validator as much as a parser.
+
+struct Parser {
+  const std::string& s;
+  std::size_t i = 0;
+
+  [[noreturn]] void err(const std::string& what) const {
+    throw std::runtime_error("metrics snapshot parse error at offset " +
+                             std::to_string(i) + ": " + what);
+  }
+  void ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\n' || s[i] == '\t' ||
+                            s[i] == '\r')) {
+      ++i;
+    }
+  }
+  char peek() {
+    ws();
+    if (i >= s.size()) err("unexpected end of input");
+    return s[i];
+  }
+  void expect(char c) {
+    if (peek() != c) err(std::string("expected '") + c + "'");
+    ++i;
+  }
+  bool consumeIf(char c) {
+    if (i < s.size() && peek() == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  std::string key() {
+    expect('"');
+    std::string out;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\') ++i;
+      if (i >= s.size()) err("unterminated string");
+      out.push_back(s[i++]);
+    }
+    expect('"');
+    expect(':');
+    return out;
+  }
+  std::int64_t integer() {
+    ws();
+    const std::size_t start = i;
+    if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
+    while (i < s.size() && (std::isdigit(static_cast<unsigned char>(s[i])) ||
+                            s[i] == '.' || s[i] == 'e' || s[i] == 'E' ||
+                            s[i] == '-' || s[i] == '+')) {
+      ++i;
+    }
+    if (i == start) err("expected number");
+    return static_cast<std::int64_t>(
+        std::strtod(s.c_str() + start, nullptr));
+  }
+  std::vector<std::int64_t> intArray() {
+    std::vector<std::int64_t> out;
+    expect('[');
+    if (consumeIf(']')) return out;
+    do {
+      out.push_back(integer());
+    } while (consumeIf(','));
+    expect(']');
+    return out;
+  }
+  std::vector<std::vector<std::int64_t>> intMatrix() {
+    std::vector<std::vector<std::int64_t>> out;
+    expect('[');
+    if (consumeIf(']')) return out;
+    do {
+      out.push_back(intArray());
+    } while (consumeIf(','));
+    expect(']');
+    return out;
+  }
+  void skipValue() {
+    const char c = peek();
+    if (c == '[') {
+      expect('[');
+      if (consumeIf(']')) return;
+      do {
+        skipValue();
+      } while (consumeIf(','));
+      expect(']');
+    } else if (c == '{') {
+      expect('{');
+      if (consumeIf('}')) return;
+      do {
+        key();
+        skipValue();
+      } while (consumeIf(','));
+      expect('}');
+    } else {
+      integer();
+    }
+  }
+};
+
+}  // namespace
+
+Snapshot takeSnapshot(const Registry& reg) {
+  Snapshot snap;
+  snap.nranks = reg.nranks();
+  for (int c = 0; c < kNumCounters; ++c) {
+    std::vector<std::int64_t> per(static_cast<std::size_t>(snap.nranks));
+    for (int r = 0; r < snap.nranks; ++r) {
+      per[static_cast<std::size_t>(r)] = reg.counter(r, Counter(c));
+    }
+    snap.counters[counterName(Counter(c))] = std::move(per);
+  }
+  for (int g = 0; g < kNumGauges; ++g) {
+    std::vector<std::int64_t> per(static_cast<std::size_t>(snap.nranks));
+    for (int r = 0; r < snap.nranks; ++r) {
+      per[static_cast<std::size_t>(r)] = reg.gauge(r, Gauge(g));
+    }
+    snap.gauges[gaugeName(Gauge(g))] = std::move(per);
+  }
+  for (int h = 0; h < kNumHists; ++h) {
+    std::vector<std::vector<std::int64_t>> per(
+        static_cast<std::size_t>(snap.nranks));
+    for (int r = 0; r < snap.nranks; ++r) {
+      auto& row = per[static_cast<std::size_t>(r)];
+      row.resize(kHistBuckets);
+      for (int b = 0; b < kHistBuckets; ++b) {
+        row[static_cast<std::size_t>(b)] = reg.histCount(r, Hist(h), b);
+      }
+    }
+    snap.histograms[histName(Hist(h))] = std::move(per);
+  }
+  return snap;
+}
+
+void writeSnapshotJson(const Snapshot& snap, std::ostream& os) {
+  os << "{\n  \"schema_version\": " << snap.schema_version
+     << ",\n  \"nranks\": " << snap.nranks << ",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, per] : snap.counters) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    writeKey(os, name);
+    std::int64_t total = 0;
+    for (std::int64_t v : per) total += v;
+    os << " {\"per_rank\": ";
+    writeIntArray(os, per);
+    os << ", \"total\": " << total << '}';
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, per] : snap.gauges) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    writeKey(os, name);
+    std::int64_t total = 0, mx = 0;
+    for (std::int64_t v : per) {
+      total += v;
+      if (v > mx) mx = v;
+    }
+    os << " {\"per_rank\": ";
+    writeIntArray(os, per);
+    os << ", \"total\": " << total << ", \"max\": " << mx << '}';
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, per] : snap.histograms) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    writeKey(os, name);
+    os << " {\"bucket_lower_bounds\": [";
+    for (int b = 0; b < kHistBuckets; ++b) {
+      if (b) os << ',';
+      os << histBucketLowerBound(b);
+    }
+    os << "], \"per_rank\": [";
+    for (std::size_t r = 0; r < per.size(); ++r) {
+      if (r) os << ',';
+      writeIntArray(os, per[r]);
+    }
+    os << "], \"total\": ";
+    std::vector<std::int64_t> total(kHistBuckets, 0);
+    for (const auto& row : per) {
+      for (std::size_t b = 0; b < row.size() && b < total.size(); ++b) {
+        total[b] += row[b];
+      }
+    }
+    writeIntArray(os, total);
+    os << '}';
+  }
+  os << "\n  }\n}\n";
+}
+
+std::string snapshotJson(const Snapshot& snap) {
+  std::ostringstream os;
+  writeSnapshotJson(snap, os);
+  return os.str();
+}
+
+bool writeSnapshotFile(const Registry& reg, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  writeSnapshotJson(takeSnapshot(reg), os);
+  os.flush();
+  return static_cast<bool>(os);
+}
+
+Snapshot parseSnapshotJson(const std::string& json) {
+  Parser p{json};
+  Snapshot snap;
+  snap.schema_version = 0;
+  p.expect('{');
+  do {
+    const std::string k = p.key();
+    if (k == "schema_version") {
+      snap.schema_version = static_cast<int>(p.integer());
+      if (snap.schema_version != kSnapshotSchemaVersion) {
+        p.err("unsupported schema_version " +
+              std::to_string(snap.schema_version));
+      }
+    } else if (k == "nranks") {
+      snap.nranks = static_cast<int>(p.integer());
+    } else if (k == "counters" || k == "gauges") {
+      auto& dst = (k == "counters") ? snap.counters : snap.gauges;
+      p.expect('{');
+      if (!p.consumeIf('}')) {
+        do {
+          const std::string name = p.key();
+          p.expect('{');
+          std::vector<std::int64_t> per;
+          do {
+            const std::string field = p.key();
+            if (field == "per_rank") {
+              per = p.intArray();
+            } else {
+              p.skipValue();
+            }
+          } while (p.consumeIf(','));
+          p.expect('}');
+          dst[name] = std::move(per);
+        } while (p.consumeIf(','));
+        p.expect('}');
+      }
+    } else if (k == "histograms") {
+      p.expect('{');
+      if (!p.consumeIf('}')) {
+        do {
+          const std::string name = p.key();
+          p.expect('{');
+          std::vector<std::vector<std::int64_t>> per;
+          do {
+            const std::string field = p.key();
+            if (field == "per_rank") {
+              per = p.intMatrix();
+            } else {
+              p.skipValue();
+            }
+          } while (p.consumeIf(','));
+          p.expect('}');
+          snap.histograms[name] = std::move(per);
+        } while (p.consumeIf(','));
+        p.expect('}');
+      }
+    } else {
+      p.skipValue();
+    }
+  } while (p.consumeIf(','));
+  p.expect('}');
+  if (snap.schema_version != kSnapshotSchemaVersion) {
+    throw std::runtime_error("metrics snapshot missing schema_version");
+  }
+  return snap;
+}
+
+}  // namespace msc::metrics

@@ -1,0 +1,63 @@
+#pragma once
+// Versioned JSON export of a metrics::Registry, plus a minimal parser
+// for the same schema so tools (and the round-trip test) can read a
+// snapshot back without a JSON dependency.
+//
+// Schema (kSnapshotSchemaVersion):
+//   {
+//     "schema_version": 1,
+//     "nranks": N,
+//     "counters":   { "<name>": {"per_rank": [..], "total": t}, ... },
+//     "gauges":     { "<name>": {"per_rank": [..], "total": t, "max": m} },
+//     "histograms": { "<name>": {"bucket_lower_bounds": [..],
+//                                "per_rank": [[..], ..], "total": [..]} }
+//   }
+// Zero-valued counters/gauges are still emitted so consumers never
+// have to distinguish "absent" from "zero".
+
+#include <cstdint>
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace msc::metrics {
+
+class Registry;
+
+inline constexpr int kSnapshotSchemaVersion = 1;
+
+/// Plain-data mirror of a Registry, keyed by the stable metric names.
+struct Snapshot {
+  int schema_version{kSnapshotSchemaVersion};
+  int nranks{0};
+  std::map<std::string, std::vector<std::int64_t>> counters;
+  std::map<std::string, std::vector<std::int64_t>> gauges;
+  /// histograms[name][rank][bucket]
+  std::map<std::string, std::vector<std::vector<std::int64_t>>> histograms;
+
+  bool operator==(const Snapshot& o) const {
+    return schema_version == o.schema_version && nranks == o.nranks &&
+           counters == o.counters && gauges == o.gauges &&
+           histograms == o.histograms;
+  }
+};
+
+/// Capture the registry's current values (racy-but-atomic reads; call
+/// after the run for exact totals).
+Snapshot takeSnapshot(const Registry& reg);
+
+void writeSnapshotJson(const Snapshot& snap, std::ostream& os);
+std::string snapshotJson(const Snapshot& snap);
+
+/// Write straight to a file; returns false (and leaves errno) on I/O
+/// failure.
+bool writeSnapshotFile(const Registry& reg, const std::string& path);
+
+/// Parse a snapshot produced by writeSnapshotJson. Throws
+/// std::runtime_error on malformed input or a schema_version this
+/// build does not understand.
+Snapshot parseSnapshotJson(const std::string& json);
+
+}  // namespace msc::metrics

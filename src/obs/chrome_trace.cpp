@@ -1,143 +1,66 @@
 #include "obs/chrome_trace.hpp"
 
-#include <cstdio>
 #include <fstream>
 #include <ostream>
 #include <sstream>
+
+#include "obs/trace_writer.hpp"
 
 namespace msc::obs {
 
 namespace {
 
-/// JSON string escaping (control chars, quote, backslash).
-void escaped(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      case '\r': os << "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
-}
-
-void number(std::ostream& os, double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.3f", v);
-  os << buf;
-}
-
 constexpr double kUsPerSecond = 1e6;
+
+TraceEventWriter::Args eventArgs(const Event& e) {
+  TraceEventWriter::Args a;
+  a.keys = e.arg_keys;
+  a.vals = e.arg_vals;
+  return a;
+}
 
 }  // namespace
 
 void writeChromeTrace(const Tracer& t, std::ostream& os, const std::string& process_name) {
-  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  bool first = true;
-  const auto sep = [&] {
-    if (!first) os << ",\n";
-    first = false;
-  };
+  TraceEventWriter w(os);
+  w.begin();
 
   // Process / thread naming metadata so the viewer shows "rank N"
   // tracks in rank order.
-  sep();
-  os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,\"tid\":0,\"args\":{\"name\":";
-  escaped(os, process_name);
-  os << "}}";
+  w.processName(process_name);
   for (int r = 0; r < t.nranks(); ++r) {
-    sep();
-    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":" << r
-       << ",\"args\":{\"name\":\"rank " << r << "\"}}";
-    sep();
-    os << "{\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":0,\"tid\":" << r
-       << ",\"args\":{\"sort_index\":" << r << "}}";
+    w.threadName(r, "rank " + std::to_string(r));
+    w.threadSortIndex(r, r);
   }
 
   for (int r = 0; r < t.nranks(); ++r) {
     for (const Event& e : t.events(r)) {
-      sep();
       switch (e.kind) {
-        case EventKind::kSpan: {
-          os << "{\"ph\":\"X\",\"name\":";
-          escaped(os, e.name);
-          os << ",\"cat\":";
-          escaped(os, *e.cat ? e.cat : "default");
-          os << ",\"pid\":0,\"tid\":" << r << ",\"ts\":";
-          number(os, e.ts * kUsPerSecond);
-          os << ",\"dur\":";
-          number(os, e.dur * kUsPerSecond);
-          os << ",\"args\":{";
-          bool afirst = true;
-          for (std::size_t i = 0; i < e.arg_keys.size(); ++i) {
-            if (!e.arg_keys[i]) continue;
-            if (!afirst) os << ',';
-            afirst = false;
-            escaped(os, e.arg_keys[i]);
-            os << ':' << e.arg_vals[i];
-          }
-          os << "}}";
+        case EventKind::kSpan:
+          w.complete(r, e.name, e.cat, e.ts * kUsPerSecond, e.dur * kUsPerSecond,
+                     eventArgs(e));
           break;
-        }
-        case EventKind::kInstant: {
-          os << "{\"ph\":\"i\",\"name\":";
-          escaped(os, e.name);
-          os << ",\"pid\":0,\"tid\":" << r << ",\"ts\":";
-          number(os, e.ts * kUsPerSecond);
-          os << ",\"s\":\"t\"}";
+        case EventKind::kInstant:
+          w.instant(r, e.name, e.ts * kUsPerSecond);
           break;
-        }
         case EventKind::kFlowStart:
-        case EventKind::kFlowFinish: {
-          // Flow halves bind by (name, cat, id); "bp":"e" attaches
-          // the finish to the enclosing slice at its timestamp.
-          os << "{\"ph\":\"" << (e.kind == EventKind::kFlowStart ? 's' : 'f') << '"';
-          if (e.kind == EventKind::kFlowFinish) os << ",\"bp\":\"e\"";
-          os << ",\"name\":";
-          escaped(os, e.name);
-          os << ",\"cat\":";
-          escaped(os, *e.cat ? e.cat : "flow");
-          os << ",\"id\":" << e.flow_id << ",\"pid\":0,\"tid\":" << r << ",\"ts\":";
-          number(os, e.ts * kUsPerSecond);
-          os << ",\"args\":{";
-          bool ffirst = true;
-          for (std::size_t i = 0; i < e.arg_keys.size(); ++i) {
-            if (!e.arg_keys[i]) continue;
-            if (!ffirst) os << ',';
-            ffirst = false;
-            escaped(os, e.arg_keys[i]);
-            os << ':' << e.arg_vals[i];
-          }
-          os << "}}";
+        case EventKind::kFlowFinish:
+          // Flow halves bind by (name, cat, id); the writer adds
+          // "bp":"e" on the finish so the viewer attaches it to the
+          // enclosing slice.
+          w.flow(e.kind == EventKind::kFlowStart, r, e.name, e.cat, e.flow_id,
+                 e.ts * kUsPerSecond, eventArgs(e));
           break;
-        }
-        case EventKind::kCounter: {
+        case EventKind::kCounter:
           // Counter tracks are keyed by (pid, name); suffix the rank
           // so each rank gets its own track.
-          os << "{\"ph\":\"C\",\"name\":";
-          escaped(os, e.name + " (rank " + std::to_string(r) + ")");
-          os << ",\"pid\":0,\"tid\":" << r << ",\"ts\":";
-          number(os, e.ts * kUsPerSecond);
-          os << ",\"args\":{\"value\":";
-          number(os, e.value);
-          os << "}}";
+          w.counter(r, e.name + " (rank " + std::to_string(r) + ")",
+                    e.ts * kUsPerSecond, e.value);
           break;
-        }
       }
     }
   }
-  os << "\n]}\n";
+  w.end();
 }
 
 std::string chromeTraceJson(const Tracer& t, const std::string& process_name) {

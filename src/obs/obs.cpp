@@ -104,6 +104,18 @@ void Tracer::countAt(int rank, Counter c, double ts, double delta) {
   log.events.push_back(std::move(e));
 }
 
+void Tracer::countNamedAt(int rank, std::string name, double ts, double value) {
+  RankLog& log = *ranks_[static_cast<std::size_t>(rank)];
+  Event e;
+  e.kind = EventKind::kCounter;
+  e.name = std::move(name);
+  e.cat = "counter";
+  e.ts = ts;
+  e.value = value;
+  const std::lock_guard lock(log.mu);
+  log.events.push_back(std::move(e));
+}
+
 namespace {
 
 obs::Event flowEvent(EventKind kind, std::uint64_t id, double ts, int src, int dst,

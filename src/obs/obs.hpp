@@ -163,6 +163,16 @@ class Tracer {
   /// (also bumps the counter total by `delta`).
   void countAt(int rank, Counter c, double ts, double delta);
 
+  /// Record a sample on an ad-hoc named counter track. Unlike the
+  /// fixed Counter enum these are absolute samples, not cumulative
+  /// deltas: the pipeline uses them to drop metrics values (work
+  /// totals, live bytes) onto the trace at stage boundaries, so
+  /// Perfetto shows throughput and memory curves under the spans.
+  void countNamed(int rank, std::string name, double value) {
+    countNamedAt(rank, std::move(name), now(), value);
+  }
+  void countNamedAt(int rank, std::string name, double ts, double value);
+
   /// Flow events: the start half records on the sender's track, the
   /// finish half on the receiver's, both named "msg" in category
   /// "flow" and bound by `id` (the causal message id). Emit each half

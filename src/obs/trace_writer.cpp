@@ -1,0 +1,147 @@
+#include "obs/trace_writer.hpp"
+
+#include <cstdio>
+
+#include <ostream>
+#include <sstream>
+
+namespace msc::obs {
+
+namespace {
+
+void number(std::ostream& os, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  os << buf;
+}
+
+}  // namespace
+
+void TraceEventWriter::writeEscaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+std::string TraceEventWriter::escaped(const std::string& s) {
+  std::ostringstream os;
+  writeEscaped(os, s);
+  return os.str();
+}
+
+void TraceEventWriter::begin() {
+  os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  first_ = true;
+}
+
+void TraceEventWriter::end() { os_ << "\n]}\n"; }
+
+void TraceEventWriter::sep() {
+  if (!first_) os_ << ",\n";
+  first_ = false;
+}
+
+void TraceEventWriter::writeArgs(const Args& args) {
+  os_ << ",\"args\":{";
+  bool first = true;
+  for (std::size_t i = 0; i < args.keys.size(); ++i) {
+    if (!args.keys[i]) continue;
+    if (!first) os_ << ',';
+    first = false;
+    writeEscaped(os_, args.keys[i]);
+    os_ << ':' << args.vals[i];
+  }
+  os_ << '}';
+}
+
+void TraceEventWriter::processName(const std::string& name) {
+  sep();
+  os_ << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,\"tid\":0,"
+         "\"args\":{\"name\":";
+  writeEscaped(os_, name);
+  os_ << "}}";
+}
+
+void TraceEventWriter::threadName(int tid, const std::string& name) {
+  sep();
+  os_ << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":" << tid
+      << ",\"args\":{\"name\":";
+  writeEscaped(os_, name);
+  os_ << "}}";
+}
+
+void TraceEventWriter::threadSortIndex(int tid, int index) {
+  sep();
+  os_ << "{\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":0,\"tid\":" << tid
+      << ",\"args\":{\"sort_index\":" << index << "}}";
+}
+
+void TraceEventWriter::complete(int tid, const std::string& name, const char* cat,
+                                double ts_us, double dur_us, const Args& args) {
+  sep();
+  os_ << "{\"ph\":\"X\",\"name\":";
+  writeEscaped(os_, name);
+  os_ << ",\"cat\":";
+  writeEscaped(os_, (cat && *cat) ? cat : "default");
+  os_ << ",\"pid\":0,\"tid\":" << tid << ",\"ts\":";
+  number(os_, ts_us);
+  os_ << ",\"dur\":";
+  number(os_, dur_us);
+  writeArgs(args);
+  os_ << '}';
+}
+
+void TraceEventWriter::instant(int tid, const std::string& name, double ts_us) {
+  sep();
+  os_ << "{\"ph\":\"i\",\"name\":";
+  writeEscaped(os_, name);
+  os_ << ",\"pid\":0,\"tid\":" << tid << ",\"ts\":";
+  number(os_, ts_us);
+  os_ << ",\"s\":\"t\"}";
+}
+
+void TraceEventWriter::counter(int tid, const std::string& name, double ts_us,
+                               double value) {
+  sep();
+  os_ << "{\"ph\":\"C\",\"name\":";
+  writeEscaped(os_, name);
+  os_ << ",\"pid\":0,\"tid\":" << tid << ",\"ts\":";
+  number(os_, ts_us);
+  os_ << ",\"args\":{\"value\":";
+  number(os_, value);
+  os_ << "}}";
+}
+
+void TraceEventWriter::flow(bool start, int tid, const std::string& name,
+                            const char* cat, std::uint64_t id, double ts_us,
+                            const Args& args) {
+  sep();
+  os_ << "{\"ph\":\"" << (start ? 's' : 'f') << '"';
+  if (!start) os_ << ",\"bp\":\"e\"";
+  os_ << ",\"name\":";
+  writeEscaped(os_, name);
+  os_ << ",\"cat\":";
+  writeEscaped(os_, (cat && *cat) ? cat : "flow");
+  os_ << ",\"id\":" << id << ",\"pid\":0,\"tid\":" << tid << ",\"ts\":";
+  number(os_, ts_us);
+  writeArgs(args);
+  os_ << '}';
+}
+
+}  // namespace msc::obs

@@ -1,0 +1,68 @@
+/// \file trace_writer.hpp
+/// Shared low-level writer for Chrome trace-event JSON. Every event
+/// the repo drops into a trace file -- obs spans, causal flow arrows,
+/// fixed and named metrics counter tracks -- is serialized through
+/// this one class, so escaping and field layout are implemented (and
+/// tested) exactly once instead of per event kind.
+///
+/// The writer streams the "JSON Object Format"
+/// ({"traceEvents": [...]}): call begin(), any number of event
+/// methods, then end(). Timestamps are microseconds. The caller picks
+/// the track (`tid`); `pid` is always 0 (one process).
+#pragma once
+
+#include <cstdint>
+
+#include <array>
+#include <iosfwd>
+#include <string>
+
+namespace msc::obs {
+
+class TraceEventWriter {
+ public:
+  /// Up to four numeric args rendered into the event's "args" object
+  /// (null keys are skipped), mirroring obs::Event's inline storage.
+  struct Args {
+    std::array<const char*, 4> keys{nullptr, nullptr, nullptr, nullptr};
+    std::array<std::int64_t, 4> vals{0, 0, 0, 0};
+  };
+
+  explicit TraceEventWriter(std::ostream& os) : os_(os) {}
+
+  void begin();
+  void end();
+
+  // Metadata ("M") events naming the process and the rank tracks.
+  void processName(const std::string& name);
+  void threadName(int tid, const std::string& name);
+  void threadSortIndex(int tid, int index);
+
+  /// Complete ("X") span.
+  void complete(int tid, const std::string& name, const char* cat, double ts_us,
+                double dur_us, const Args& args);
+  /// Instant ("i") marker, thread-scoped.
+  void instant(int tid, const std::string& name, double ts_us);
+  /// Counter ("C") sample. Counter tracks are keyed by (pid, name),
+  /// so callers wanting per-rank tracks must bake the rank into the
+  /// name (obs suffixes " (rank N)").
+  void counter(int tid, const std::string& name, double ts_us, double value);
+  /// Flow half: start ("s") or finish ("f", with "bp":"e" so the
+  /// viewer binds the arrow to the enclosing slice).
+  void flow(bool start, int tid, const std::string& name, const char* cat,
+            std::uint64_t id, double ts_us, const Args& args);
+
+  /// The one JSON string escaper (quote, backslash, control chars as
+  /// \uXXXX). Public so tests can pin its behaviour directly.
+  static void writeEscaped(std::ostream& os, const std::string& s);
+  static std::string escaped(const std::string& s);
+
+ private:
+  void sep();
+  void writeArgs(const Args& args);
+
+  std::ostream& os_;
+  bool first_{true};
+};
+
+}  // namespace msc::obs

@@ -400,7 +400,8 @@ void Runtime::run(int nranks, const std::function<void(Comm&)>& fn, obs::Tracer*
   if (auditor && recorder)
     auditor->setContextProvider(
         [recorder] { return causal::fullContextReport(*recorder); });
-  const bool track = auditor && auditor->options().track_ownership;
+  const bool track = (auditor && auditor->options().track_ownership) ||
+                     (opts && opts->track_allocations);
   if (track) audit::AllocTracking::enable(nranks);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));

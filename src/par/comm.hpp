@@ -175,6 +175,12 @@ class Runtime {
     /// Called right before each re-invocation (concurrently across
     /// ranks). `attempt` is 1 for the first respawn.
     std::function<void(int rank, int attempt)> on_respawn;
+    /// Turn on the tagging allocator's per-rank byte counters for
+    /// this run even when no Auditor (or none with ownership
+    /// tracking) is attached. Used by metrics-enabled pipelines for
+    /// memory telemetry; ownership violations are still only
+    /// *reported* via an Auditor.
+    bool track_allocations = false;
   };
 
   /// Run `fn(comm)` on `nranks` concurrent ranks; returns when all

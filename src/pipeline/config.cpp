@@ -10,6 +10,7 @@
 #include "core/simplify.hpp"
 #include "decomp/decompose.hpp"
 #include "fault/inject.hpp"
+#include "metrics/metrics.hpp"
 
 namespace msc::pipeline {
 
@@ -99,6 +100,11 @@ void validatePipelineConfig(const PipelineConfig& cfg) {
                  "recorder sized for " + std::to_string(cfg.causal->nranks()) +
                      " ranks cannot journal a " + std::to_string(cfg.nranks) +
                      "-rank run");
+  if (cfg.metrics && cfg.metrics->nranks() < cfg.nranks)
+    rejectConfig("metrics",
+                 "registry sized for " + std::to_string(cfg.metrics->nranks()) +
+                     " ranks cannot record a " + std::to_string(cfg.nranks) +
+                     "-rank run");
   if (f.injector) {
     if (f.recovery == fault::RecoveryMode::kOff && !cfg.auditor)
       rejectConfig("fault.injector",
@@ -135,6 +141,8 @@ MsComplex computeBlockComplex(const PipelineConfig& cfg, const BlockField& bf,
     sigs = BoundarySignatures(decompose(cfg.domain, cfg.nblocks), bf.block());
     gopts.signatures = &sigs;
   }
+  gopts.metrics = cfg.metrics;
+  gopts.metrics_rank = obs_rank;
   auto gspan = obs::span(cfg.tracer, obs_rank, "gradient", "stage");
   const GradientField grad = cfg.algorithm == GradientAlgorithm::kSweep
                                  ? computeGradientSweep(bf, gopts)
@@ -142,12 +150,17 @@ MsComplex computeBlockComplex(const PipelineConfig& cfg, const BlockField& bf,
   gspan.end();
 
   auto tspan = obs::span(cfg.tracer, obs_rank, "trace", "stage");
-  MsComplex c = traceComplex(grad, bf, cfg.trace, tstats);
+  TraceOptions topts = cfg.trace;
+  topts.metrics = cfg.metrics;
+  topts.metrics_rank = obs_rank;
+  MsComplex c = traceComplex(grad, bf, topts, tstats);
   tspan.end();
 
   auto sspan = obs::span(cfg.tracer, obs_rank, "simplify+pack", "stage");
   SimplifyOptions sopts;
   sopts.persistence_threshold = cfg.persistence_threshold;
+  sopts.metrics = cfg.metrics;
+  sopts.metrics_rank = obs_rank;
   simplify(c, sopts, sstats);
   c.compact();  // keep only the living elements for communication
   return c;

@@ -25,6 +25,9 @@ class Recorder;
 namespace msc::fault {
 class Injector;
 }
+namespace msc::metrics {
+class Registry;
+}
 
 namespace msc::pipeline {
 
@@ -110,6 +113,16 @@ struct PipelineConfig {
   /// Null (the default) keeps the one-branch-per-op path; pipeline
   /// output bytes are identical either way.
   causal::Recorder* causal{nullptr};
+  /// Work/memory metrics: when non-null (non-owning; must outlive
+  /// the run and have >= nranks slots), both drivers flush per-kernel
+  /// work counters (cells, pairs, V-path steps, arcs, cancellations,
+  /// glue/dedup counts), pack/checkpoint byte footprints, and -- in
+  /// the threaded driver -- per-rank allocator telemetry sampled at
+  /// stage boundaries into the registry. With a tracer also attached,
+  /// the same samples land on named Chrome-trace counter tracks.
+  /// Null (the default) keeps the one-branch-per-op path; pipeline
+  /// output bytes are identical either way.
+  metrics::Registry* metrics{nullptr};
   /// Watchdog promoted from audit::Options: a rank blocked longer
   /// than this fails an audited run. The threaded driver applies it
   /// to the attached auditor, replacing the hard-coded 30 s.

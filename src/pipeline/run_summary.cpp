@@ -1,0 +1,172 @@
+#include "pipeline/run_summary.hpp"
+
+#include <cstdio>
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace msc::pipeline {
+
+namespace {
+
+struct StageTime {
+  double first_ts = 1e300;
+  double max_rank_seconds = 0;  // max over ranks of summed durations
+  bool nested = false;          // kernel sub-span, indented in the table
+};
+
+/// Kernel sub-spans worth their own (indented) row: they are where the
+/// instrumented work counters live, while the top-level stages carry
+/// the wall-clock structure.
+bool kernelSpan(const std::string& name) {
+  return name == "gradient" || name == "trace" || name == "simplify+pack" ||
+         name == "glue";
+}
+
+std::string fmtCount(std::int64_t v) {
+  char buf[32];
+  if (v >= 10'000'000) std::snprintf(buf, sizeof(buf), "%.1fM", static_cast<double>(v) / 1e6);
+  else if (v >= 10'000) std::snprintf(buf, sizeof(buf), "%.1fk", static_cast<double>(v) / 1e3);
+  else std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+std::string fmtBytes(std::int64_t v) {
+  char buf[32];
+  if (v >= 10LL * 1024 * 1024) std::snprintf(buf, sizeof(buf), "%.1f MiB", static_cast<double>(v) / (1024.0 * 1024.0));
+  else if (v >= 10 * 1024) std::snprintf(buf, sizeof(buf), "%.1f KiB", static_cast<double>(v) / 1024.0);
+  else std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(v));
+  return buf;
+}
+
+std::string fmtRate(std::int64_t count, double seconds, const char* unit) {
+  if (!(seconds > 0) || count <= 0) return "";
+  char buf[48];
+  const double r = static_cast<double>(count) / seconds;
+  if (r >= 1e6) std::snprintf(buf, sizeof(buf), " (%.1f M%s/s)", r / 1e6, unit);
+  else if (r >= 1e3) std::snprintf(buf, sizeof(buf), " (%.1f k%s/s)", r / 1e3, unit);
+  else std::snprintf(buf, sizeof(buf), " (%.0f %s/s)", r, unit);
+  return buf;
+}
+
+/// Work summary for the stage named `name`, drawn from counter
+/// totals. Stages without instrumented work return "".
+std::string workFor(const std::string& name, const metrics::Registry& m,
+                    double seconds) {
+  using metrics::Counter;
+  std::ostringstream os;
+  if (name == "gradient") {
+    const std::int64_t cells = m.counterTotal(Counter::kGradCells);
+    os << "cells " << fmtCount(cells) << ", pairs "
+       << fmtCount(m.counterTotal(Counter::kGradPairs)) << ", criticals "
+       << fmtCount(m.counterTotal(Counter::kGradCriticals))
+       << fmtRate(cells, seconds, "cells");
+  } else if (name == "trace") {
+    const std::int64_t arcs = m.counterTotal(Counter::kTraceArcs);
+    os << "steps " << fmtCount(m.counterTotal(Counter::kTraceSteps)) << ", arcs "
+       << fmtCount(arcs) << fmtRate(arcs, seconds, "arcs");
+  } else if (name == "simplify+pack") {
+    os << "cancelled " << fmtCount(m.counterTotal(Counter::kSimplifyCancelled))
+       << ", arcs -" << fmtCount(m.counterTotal(Counter::kSimplifyArcsRemoved))
+       << "/+" << fmtCount(m.counterTotal(Counter::kSimplifyArcsCreated));
+  } else if (name == "merge_round" || name == "glue") {
+    os << "nodes +" << fmtCount(m.counterTotal(Counter::kMergeNodesMerged))
+       << " (dedup " << fmtCount(m.counterTotal(Counter::kMergeNodesDeduped))
+       << "), arcs +" << fmtCount(m.counterTotal(Counter::kMergeArcsMerged))
+       << " (dedup " << fmtCount(m.counterTotal(Counter::kMergeArcsDeduped)) << ")";
+  } else if (name == "write") {
+    const std::int64_t bytes = m.counterTotal(Counter::kPackBytes);
+    os << "packed " << fmtBytes(bytes) << fmtRate(bytes, seconds, "B");
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void writeRunSummary(std::ostream& os, const obs::Tracer* tracer,
+                     const metrics::Registry* metrics) {
+  if (!tracer && !metrics) {
+    os << "run summary: no tracer or metrics attached\n";
+    return;
+  }
+
+  os << "== run summary (time x work x memory) ==\n";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%-16s %12s  %s\n", "stage", "seconds", "work");
+  os << buf;
+
+  if (tracer) {
+    // Max-over-ranks of per-rank summed span time: the paper's "the
+    // slowest rank carries the stage" attribution.
+    std::map<std::string, StageTime> stages;
+    const int n = tracer->nranks();
+    for (int r = 0; r < n; ++r) {
+      std::map<std::string, double> rank_sum;
+      for (const obs::Event& e : tracer->events(r)) {
+        if (e.kind != obs::EventKind::kSpan) continue;
+        if (e.depth > 0 && !kernelSpan(e.name)) continue;
+        rank_sum[e.name] += e.dur;
+        StageTime& st = stages[e.name];
+        st.first_ts = std::min(st.first_ts, e.ts);
+        if (e.depth > 0) st.nested = true;
+      }
+      for (const auto& [name, sec] : rank_sum) {
+        StageTime& st = stages[name];
+        st.max_rank_seconds = std::max(st.max_rank_seconds, sec);
+      }
+    }
+    std::vector<std::pair<std::string, StageTime>> rows(stages.begin(), stages.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      return a.second.first_ts < b.second.first_ts;
+    });
+    for (const auto& [name, st] : rows) {
+      const std::string work =
+          metrics ? workFor(name, *metrics, st.max_rank_seconds) : std::string();
+      const std::string label = st.nested ? "  " + name : name;
+      std::snprintf(buf, sizeof(buf), "%-16s %12.4f  %s\n", label.c_str(),
+                    st.max_rank_seconds, work.c_str());
+      os << buf;
+    }
+  } else {
+    // Metrics only: emit the work rows with no time column.
+    for (const char* name : {"gradient", "trace", "simplify+pack", "glue", "write"}) {
+      const std::string work = workFor(name, *metrics, 0);
+      if (work.empty()) continue;
+      std::snprintf(buf, sizeof(buf), "%-16s %12s  %s\n", name, "-", work.c_str());
+      os << buf;
+    }
+  }
+
+  if (metrics) {
+    using metrics::Counter;
+    using metrics::Gauge;
+    os << "\n== memory (per-rank tagging allocator) ==\n";
+    os << "peak live        " << fmtBytes(metrics->gaugeMax(Gauge::kMemPeakLiveBytes))
+       << " (max rank)\n";
+    os << "alloc churn      " << fmtBytes(metrics->gaugeTotal(Gauge::kMemAllocBytes))
+       << " in " << fmtCount(metrics->gaugeTotal(Gauge::kMemAllocCount))
+       << " allocations\n";
+    os << "packed payloads  " << fmtBytes(metrics->counterTotal(Counter::kPackBytes))
+       << "\n";
+    const std::int64_t ckpt = metrics->counterTotal(Counter::kCheckpointBytes);
+    if (ckpt > 0) {
+      os << "checkpoints      " << fmtBytes(ckpt) << " in "
+         << fmtCount(metrics->counterTotal(Counter::kCheckpointPuts)) << " puts\n";
+    }
+  }
+}
+
+std::string runSummaryText(const obs::Tracer* tracer,
+                           const metrics::Registry* metrics) {
+  std::ostringstream os;
+  writeRunSummary(os, tracer, metrics);
+  return os.str();
+}
+
+}  // namespace msc::pipeline

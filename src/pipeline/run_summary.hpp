@@ -1,0 +1,29 @@
+/// \file run_summary.hpp
+/// Combined human-readable run summary: per-stage wall time from the
+/// obs tracer joined with the work and memory totals from the metrics
+/// registry, in one table. This is the `msc_compute_cli --summary`
+/// view -- "what took the time, and how much work was that".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace msc::obs {
+class Tracer;
+}
+namespace msc::metrics {
+class Registry;
+}
+
+namespace msc::pipeline {
+
+/// Write the combined summary. Either argument may be null: with only
+/// a tracer the work/memory columns are omitted; with only a registry
+/// the time column is. Both null writes a note and nothing else.
+void writeRunSummary(std::ostream& os, const obs::Tracer* tracer,
+                     const metrics::Registry* metrics);
+
+std::string runSummaryText(const obs::Tracer* tracer,
+                           const metrics::Registry* metrics);
+
+}  // namespace msc::pipeline

@@ -7,6 +7,7 @@
 #include "core/merge.hpp"
 #include "decomp/decompose.hpp"
 #include "io/complex_file.hpp"
+#include "metrics/metrics.hpp"
 
 namespace msc::pipeline {
 
@@ -62,15 +63,22 @@ SimResult runSimPipeline(const PipelineConfig& user_cfg, const SimModels& models
       sigs = BoundarySignatures(blocks, blk);
       gopts.signatures = &sigs;
     }
+    gopts.metrics = cfg.metrics;
+    gopts.metrics_rank = owner;
     const GradientField grad = cfg.algorithm == GradientAlgorithm::kSweep
                                    ? computeGradientSweep(bf, gopts)
                                    : computeGradientLowerStar(bf, gopts);
-    MsComplex c = traceComplex(grad, bf, cfg.trace);
+    TraceOptions topts = cfg.trace;
+    topts.metrics = cfg.metrics;
+    topts.metrics_rank = owner;
+    MsComplex c = traceComplex(grad, bf, topts);
     in.compute_per_rank[static_cast<std::size_t>(owner)] += now() - t0;
 
     t0 = now();
     SimplifyOptions sopts;
     sopts.persistence_threshold = cfg.persistence_threshold;
+    sopts.metrics = cfg.metrics;
+    sopts.metrics_rank = owner;
     simplify(c, sopts);
     c.compact();
     const std::int64_t bytes = static_cast<std::int64_t>(io::packedSize(c));
@@ -93,10 +101,15 @@ SimResult runSimPipeline(const PipelineConfig& user_cfg, const SimModels& models
       for (std::size_t m = 1; m < g.members.size(); ++m) {
         ActiveSet& member = active[static_cast<std::size_t>(g.members[m])];
         rec.sends.emplace_back(member.owner_rank, member.packed_bytes);
-        glue(root.complex, member.complex);
+        // Pack bytes are charged to the sending member's rank, as in
+        // the threaded driver's send phase.
+        metrics::add(cfg.metrics, member.owner_rank, metrics::Counter::kPackBytes,
+                     member.packed_bytes);
+        glue(root.complex, member.complex, nullptr, cfg.metrics, root.owner_rank);
         member.complex = MsComplex();  // free early
       }
-      finishMerge(root.complex, cfg.persistence_threshold);
+      finishMerge(root.complex, cfg.persistence_threshold, nullptr, cfg.metrics,
+                  root.owner_rank);
       root.complex.compact();
       root.packed_bytes = static_cast<std::int64_t>(io::packedSize(root.complex));
       rec.merge_seconds = now() - t0;
@@ -110,6 +123,8 @@ SimResult runSimPipeline(const PipelineConfig& user_cfg, const SimModels& models
   // --- Write stage.
   for (ActiveSet& a : active) {
     io::Bytes b = io::pack(a.complex);
+    metrics::add(cfg.metrics, a.owner_rank, metrics::Counter::kPackBytes,
+                 static_cast<std::int64_t>(b.size()));
     res.output_bytes += static_cast<std::int64_t>(b.size());
     const auto counts = a.complex.liveNodeCounts();
     for (int i = 0; i < 4; ++i) res.node_counts[static_cast<std::size_t>(i)] += counts[i];

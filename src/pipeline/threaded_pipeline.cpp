@@ -16,6 +16,7 @@
 #include "fault/inject.hpp"
 #include "fault/recovery.hpp"
 #include "io/complex_file.hpp"
+#include "metrics/metrics.hpp"
 #include "obs/obs.hpp"
 #include "par/comm.hpp"
 #include "pipeline/wire_format.hpp"
@@ -44,11 +45,46 @@ int mergeTag(int round, int attempt) {
   return kTagMergeBase + round * kAttemptStride + attempt;
 }
 
+/// Stage-boundary telemetry: fold the tagging allocator's per-rank
+/// byte counters into the registry's memory gauges and, when a tracer
+/// is also attached, drop the headline work/memory values onto named
+/// Chrome-trace counter tracks so Perfetto shows the curves under the
+/// stage spans. One call per rank per stage boundary -- never in a
+/// kernel loop.
+void sampleMetrics(const PipelineConfig& cfg, int rank) {
+  metrics::Registry* const reg = cfg.metrics;
+  if (!reg) return;
+  using metrics::Counter;
+  using metrics::Gauge;
+  const std::int64_t alloc = audit::AllocTracking::allocatedBytes(rank);
+  const std::int64_t freed = audit::AllocTracking::freedBytes(rank);
+  reg->set(rank, Gauge::kMemAllocBytes, alloc);
+  reg->set(rank, Gauge::kMemAllocCount, audit::AllocTracking::allocationCount(rank));
+  reg->set(rank, Gauge::kMemLiveBytes, alloc - freed);
+  reg->setMax(rank, Gauge::kMemPeakLiveBytes, audit::AllocTracking::peakLiveBytes(rank));
+  if (obs::Tracer* const tr = cfg.tracer) {
+    tr->countNamed(rank, "mem_live_bytes", static_cast<double>(alloc - freed));
+    tr->countNamed(rank, "mem_alloc_bytes", static_cast<double>(alloc));
+    tr->countNamed(rank, "work_grad_cells",
+                   static_cast<double>(reg->counter(rank, Counter::kGradCells)));
+    tr->countNamed(rank, "work_trace_arcs",
+                   static_cast<double>(reg->counter(rank, Counter::kTraceArcs)));
+    tr->countNamed(rank, "work_simplify_cancelled",
+                   static_cast<double>(reg->counter(rank, Counter::kSimplifyCancelled)));
+  }
+}
+
 /// The original fault-free driver, byte-for-byte: taken whenever no
 /// injector is attached and recovery is off.
 void runPlain(const PipelineConfig& cfg, ThreadedResult& result, std::mutex& result_mu) {
   obs::Tracer* const tr = cfg.tracer;
   causal::Recorder* const rec = cfg.causal;
+  metrics::Registry* const reg = cfg.metrics;
+  // Memory telemetry needs the tagging allocator's counters even when
+  // no auditor is attached; the plain driver otherwise passes no
+  // options at all, so the struct only appears on metrics runs.
+  par::Runtime::RunOptions mopts;
+  mopts.track_allocations = reg != nullptr;
 
   par::Runtime::run(cfg.nranks, [&](par::Comm& comm) {
     const int rank = comm.rank();
@@ -73,6 +109,7 @@ void runPlain(const PipelineConfig& cfg, ThreadedResult& result, std::mutex& res
     }
     comm.barrier();
     const double t_read1 = now();
+    sampleMetrics(cfg, rank);
     if (rec) rec->setStage(rank, causal::Stage::kCompute);
 
     // --- Compute + local simplification.
@@ -86,6 +123,7 @@ void runPlain(const PipelineConfig& cfg, ThreadedResult& result, std::mutex& res
       }
     }
     fields.clear();
+    sampleMetrics(cfg, rank);
     comm.barrier();
     const double t_compute1 = now();
 
@@ -110,7 +148,10 @@ void runPlain(const PipelineConfig& cfg, ThreadedResult& result, std::mutex& res
           const int owner = blk % cfg.nranks;
           if (owner == rank) {
             const auto it = owned.find(blk);
-            comm.send(root_owner, tag, frame(root_block, blk, io::pack(it->second)));
+            const io::Bytes packed = io::pack(it->second);
+            metrics::add(reg, rank, metrics::Counter::kPackBytes,
+                         static_cast<std::int64_t>(packed.size()));
+            comm.send(root_owner, tag, frame(root_block, blk, packed));
             owned.erase(it);
           }
           if (root_owner == rank) ++expected;
@@ -132,7 +173,8 @@ void runPlain(const PipelineConfig& cfg, ThreadedResult& result, std::mutex& res
         auto gsp = obs::span(tr, rank, "glue", "stage");
         gsp.arg("root_block", root_block).arg("members", static_cast<std::int64_t>(members.size()));
         const double g0 = tr ? tr->now() : 0;
-        mergeComplexes(root, std::move(members), cfg.persistence_threshold);
+        mergeComplexes(root, std::move(members), cfg.persistence_threshold, nullptr,
+                       nullptr, reg, rank);
         root.compact();
         if (tr) tr->count(rank, obs::Counter::kGlueSeconds, tr->now() - g0);
       }
@@ -140,6 +182,7 @@ void runPlain(const PipelineConfig& cfg, ThreadedResult& result, std::mutex& res
       for (const MergeGroup& g : groups)
         next.push_back(survivors[static_cast<std::size_t>(g.root)]);
       survivors = std::move(next);
+      sampleMetrics(cfg, rank);
       round_span.end();
       if (rec) rec->roundCommit(rank, r);
       comm.barrier();
@@ -159,6 +202,8 @@ void runPlain(const PipelineConfig& cfg, ThreadedResult& result, std::mutex& res
     std::vector<io::WriteContribution> contrib;
     for (auto& [id, c] : owned) {
       io::Bytes packed = io::pack(c);
+      metrics::add(reg, rank, metrics::Counter::kPackBytes,
+                   static_cast<std::int64_t>(packed.size()));
       comm.send(0, kTagWrite, frame(id, id, packed));
       if (!cfg.output_path.empty()) contrib.push_back({slotOf.at(id), std::move(packed)});
     }
@@ -193,10 +238,11 @@ void runPlain(const PipelineConfig& cfg, ThreadedResult& result, std::mutex& res
       const std::lock_guard lock(result_mu);
       result = std::move(local);
     }
+    sampleMetrics(cfg, rank);
     write_span.end();
     if (rec) rec->setStage(rank, causal::Stage::kIdle);
     comm.barrier();
-  }, cfg.tracer, cfg.auditor, cfg.causal);
+  }, cfg.tracer, cfg.auditor, cfg.causal, reg ? &mopts : nullptr);
 }
 
 /// The recovery driver: every merge round becomes a transaction
@@ -221,9 +267,11 @@ void runRecovering(const PipelineConfig& cfg, ThreadedResult& result,
   const par::Comm::RecvDeadline deadline{cfg.fault.recv_deadline_seconds,
                                          cfg.fault.backoff_initial_ms,
                                          cfg.fault.backoff_max_ms};
+  metrics::Registry* const reg = cfg.metrics;
   par::Runtime::RunOptions ropts;
   ropts.max_respawns_per_rank =
       mode == fault::RecoveryMode::kOff ? 0 : cfg.fault.max_respawns_per_rank;
+  ropts.track_allocations = reg != nullptr;
   // Fault/recovery lifecycle as trace instants: respawns (here) and
   // attempt begin/commit/rollback, votes and reassignments (below)
   // make msc_chaos runs visually debuggable in the trace viewer.
@@ -278,10 +326,17 @@ void runRecovering(const PipelineConfig& cfg, ThreadedResult& result,
         }
       }
       fields.clear();
+      sampleMetrics(cfg, rank);
       comm.barrier();
       t_compute1 = now();
       // Round-0 checkpoint: the recovery baseline.
-      for (const auto& [id, c] : owned) store.put(0, id, io::pack(c));
+      for (const auto& [id, c] : owned) {
+        const io::Bytes cp = io::pack(c);
+        metrics::add(reg, rank, metrics::Counter::kCheckpointBytes,
+                     static_cast<std::int64_t>(cp.size()));
+        metrics::add(reg, rank, metrics::Counter::kCheckpointPuts, 1);
+        store.put(0, id, cp);
+      }
     } else {
       // --- Respawned replacement: rejoin the in-flight attempt. The
       // position is exact because no peer can pass an attempt's vote
@@ -386,7 +441,10 @@ void runRecovering(const PipelineConfig& cfg, ThreadedResult& result,
               const int blk = survivors[static_cast<std::size_t>(g.members[m])];
               if (fault::ownerOf(blk, nranks, mask) == rank) {
                 const bool dup = fault::applyFault(inj, rank, fault::OpClass::kSend, tr);
-                par::Bytes f = frame(root_block, blk, io::pack(owned.at(blk)));
+                const io::Bytes packed = io::pack(owned.at(blk));
+                metrics::add(reg, rank, metrics::Counter::kPackBytes,
+                             static_cast<std::int64_t>(packed.size()));
+                par::Bytes f = frame(root_block, blk, packed);
                 if (dup) comm.send(root_owner, tag, f);
                 comm.send(root_owner, tag, std::move(f));
                 sent.push_back(blk);
@@ -431,16 +489,24 @@ void runRecovering(const PipelineConfig& cfg, ThreadedResult& result,
               gsp.arg("root_block", root_block)
                   .arg("members", static_cast<std::int64_t>(members.size()));
               const double g0 = tr ? tr->now() : 0;
-              mergeComplexes(root, std::move(members), cfg.persistence_threshold);
+              mergeComplexes(root, std::move(members), cfg.persistence_threshold,
+                             nullptr, nullptr, reg, rank);
               root.compact();
               if (tr) tr->count(rank, obs::Counter::kGlueSeconds, tr->now() - g0);
             }
             // Checkpoint the committed round's exit state — the entry
             // state of round r + 1.
-            for (const auto& [id, c] : owned) store.put(r + 1, id, io::pack(c));
+            for (const auto& [id, c] : owned) {
+              const io::Bytes cp = io::pack(c);
+              metrics::add(reg, rank, metrics::Counter::kCheckpointBytes,
+                           static_cast<std::int64_t>(cp.size()));
+              metrics::add(reg, rank, metrics::Counter::kCheckpointPuts, 1);
+              store.put(r + 1, id, cp);
+            }
           }
           if (rec) rec->roundCommit(rank, r);
           if (tr) tr->instant(rank, "round_commit(round=" + std::to_string(r) + ")", "fault");
+          sampleMetrics(cfg, rank);
           round_ends.push_back(now());
           attempt = 0;
           break;
@@ -490,6 +556,8 @@ void runRecovering(const PipelineConfig& cfg, ThreadedResult& result,
     std::vector<io::WriteContribution> contrib;
     for (auto& [id, c] : owned) {
       io::Bytes packed = io::pack(c);
+      metrics::add(reg, rank, metrics::Counter::kPackBytes,
+                   static_cast<std::int64_t>(packed.size()));
       comm.send(0, kTagWrite, frame(id, id, packed));
       if (!cfg.output_path.empty()) contrib.push_back({slotOf.at(id), std::move(packed)});
     }
@@ -524,6 +592,7 @@ void runRecovering(const PipelineConfig& cfg, ThreadedResult& result,
       const std::lock_guard lock(result_mu);
       result = std::move(local);
     }
+    sampleMetrics(cfg, rank);
     write_span.end();
     if (rec) rec->setStage(rank, causal::Stage::kIdle);
     comm.barrier();

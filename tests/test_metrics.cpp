@@ -1,0 +1,252 @@
+/// Tests for src/metrics: registry exactness under concurrency,
+/// histogram bucket boundaries, the pure-observer contract
+/// (metrics-on == metrics-off, byte for byte), determinism of the work
+/// counters across reruns and rank counts, snapshot JSON round-trip,
+/// and the shared Chrome-trace event writer's string escaping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/lower_star.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/snapshot.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace_writer.hpp"
+#include "pipeline/threaded_pipeline.hpp"
+#include "synth/fields.hpp"
+
+namespace msc {
+namespace {
+
+TEST(MetricsHistogram, BucketBoundariesAreExact) {
+  using metrics::histBucket;
+  using metrics::histBucketLowerBound;
+  // Bucket 0 is the sink for non-positive and non-finite values.
+  EXPECT_EQ(histBucket(0.0), 0);
+  EXPECT_EQ(histBucket(-1.0), 0);
+  EXPECT_EQ(histBucket(-std::numeric_limits<double>::infinity()), 0);
+  EXPECT_EQ(histBucket(std::numeric_limits<double>::quiet_NaN()), 0);
+
+  // Every bucket's lower bound lands in that bucket, and the value
+  // just below it lands in the previous one: [lb(b), lb(b+1)) exactly.
+  for (int b = 1; b < metrics::kHistBuckets; ++b) {
+    const double lb = histBucketLowerBound(b);
+    ASSERT_GT(lb, 0.0);
+    EXPECT_EQ(histBucket(lb), b) << "lb(" << b << ") = " << lb;
+    if (b > 1) {
+      const double below = std::nextafter(lb, 0.0);
+      EXPECT_EQ(histBucket(below), b - 1) << "just below lb(" << b << ")";
+    }
+  }
+  // Monotonic lower bounds, each a power of two apart.
+  for (int b = 2; b < metrics::kHistBuckets; ++b)
+    EXPECT_DOUBLE_EQ(histBucketLowerBound(b), 2 * histBucketLowerBound(b - 1));
+
+  // Clamping at both ends: tiny positives in bucket 1, huge in the top.
+  EXPECT_EQ(histBucket(1e-300), 1);
+  EXPECT_EQ(histBucket(1e300), metrics::kHistBuckets - 1);
+  EXPECT_EQ(histBucket(std::numeric_limits<double>::infinity()),
+            metrics::kHistBuckets - 1);
+}
+
+TEST(MetricsRegistry, ConcurrentCountsAreExact) {
+  constexpr int kRanks = 4;
+  constexpr int kThreads = 8;
+  constexpr std::int64_t kOps = 20000;
+  metrics::Registry reg(kRanks);
+  // Any thread may write any rank slot; totals must still be exact.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      for (std::int64_t i = 0; i < kOps; ++i) {
+        const int rank = static_cast<int>((t + i) % kRanks);
+        reg.add(rank, metrics::Counter::kGradCells, 1);
+        reg.setMax(rank, metrics::Gauge::kMemPeakLiveBytes, t * kOps + i);
+        reg.observe(rank, metrics::Hist::kTracePathCells,
+                    static_cast<double>(i % 64 + 1));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const auto histTotal = [&reg] {
+    std::int64_t n = 0;
+    for (int b = 0; b < metrics::kHistBuckets; ++b)
+      n += reg.histCountTotal(metrics::Hist::kTracePathCells, b);
+    return n;
+  };
+  EXPECT_EQ(reg.counterTotal(metrics::Counter::kGradCells), kThreads * kOps);
+  EXPECT_EQ(reg.gaugeMax(metrics::Gauge::kMemPeakLiveBytes),
+            (kThreads - 1) * kOps + (kOps - 1));
+  EXPECT_EQ(histTotal(), kThreads * kOps);
+
+  reg.reset();
+  EXPECT_EQ(reg.counterTotal(metrics::Counter::kGradCells), 0);
+  EXPECT_EQ(reg.gaugeMax(metrics::Gauge::kMemPeakLiveBytes), 0);
+  EXPECT_EQ(histTotal(), 0);
+}
+
+TEST(MetricsRegistry, NullSafeHelpersAreNoOps) {
+  metrics::add(nullptr, 0, metrics::Counter::kGradCells, 5);
+  metrics::set(nullptr, 0, metrics::Gauge::kMemLiveBytes, 5);
+  metrics::setMax(nullptr, 0, metrics::Gauge::kMemPeakLiveBytes, 5);
+  metrics::observe(nullptr, 0, metrics::Hist::kTracePathCells, 5.0);
+}
+
+TEST(MetricsKernels, GradientCountsTileTheBlock) {
+  const Domain d{{17, 17, 17}};
+  Block whole;
+  whole.domain = d;
+  whole.vdims = d.vdims;
+  whole.voffset = {0, 0, 0};
+  const BlockField bf = synth::sample(whole, synth::noise(11));
+  metrics::Registry reg(1);
+  GradientOptions opts;
+  opts.metrics = &reg;
+  (void)computeGradientLowerStar(bf, opts);
+  // Every cell is visited exactly once and ends paired or critical.
+  const std::int64_t cells = reg.counterTotal(metrics::Counter::kGradCells);
+  const std::int64_t pairs = reg.counterTotal(metrics::Counter::kGradPairs);
+  const std::int64_t crits = reg.counterTotal(metrics::Counter::kGradCriticals);
+  EXPECT_EQ(cells, whole.numCells());
+  EXPECT_EQ(2 * pairs + crits, cells);
+  EXPECT_EQ(reg.counterTotal(metrics::Counter::kGradLowerStars),
+            static_cast<std::int64_t>(17) * 17 * 17);
+}
+
+pipeline::PipelineConfig smallConfig(int variant) {
+  pipeline::PipelineConfig cfg;
+  cfg.domain = Domain{{17, 17, 17}};
+  cfg.source.field = variant == 0   ? synth::sinusoid(cfg.domain, 2)
+                     : variant == 1 ? synth::noise(7)
+                                    : synth::sinusoid(cfg.domain, 3);
+  cfg.nblocks = 8;
+  cfg.nranks = 4;
+  cfg.persistence_threshold = 0.05f;
+  cfg.plan = MergePlan::fullMerge(8);
+  return cfg;
+}
+
+TEST(MetricsPipeline, MeteredPipelineIsByteIdenticalToPlain) {
+  // The registry must be a pure observer, exactly like the tracer,
+  // the auditor, and the causal recorder: metrics on, metrics off --
+  // same output bytes, over several field/seed variants.
+  for (int variant = 0; variant < 3; ++variant) {
+    pipeline::PipelineConfig cfg = smallConfig(variant);
+    const pipeline::ThreadedResult plain = pipeline::runThreadedPipeline(cfg);
+
+    metrics::Registry reg(cfg.nranks);
+    cfg.metrics = &reg;
+    const pipeline::ThreadedResult metered = pipeline::runThreadedPipeline(cfg);
+
+    EXPECT_EQ(plain.node_counts, metered.node_counts) << "variant " << variant;
+    ASSERT_EQ(plain.outputs.size(), metered.outputs.size());
+    for (std::size_t i = 0; i < plain.outputs.size(); ++i)
+      EXPECT_EQ(plain.outputs[i], metered.outputs[i])
+          << "variant " << variant << " output block " << i;
+    // And the run must actually have been metered.
+    EXPECT_GT(reg.counterTotal(metrics::Counter::kGradCells), 0);
+    EXPECT_GT(reg.counterTotal(metrics::Counter::kTraceArcs), 0);
+    EXPECT_GT(reg.counterTotal(metrics::Counter::kPackBytes), 0);
+  }
+}
+
+TEST(MetricsPipeline, WorkCountersDeterministicAcrossRerunsAndRanks) {
+  // Work is a property of the input, not the schedule: reruns and
+  // different rank counts (same block count) must tally identically.
+  pipeline::PipelineConfig cfg = smallConfig(0);
+  metrics::Registry a(cfg.nranks);
+  cfg.metrics = &a;
+  (void)pipeline::runThreadedPipeline(cfg);
+  metrics::Registry b(cfg.nranks);
+  cfg.metrics = &b;
+  (void)pipeline::runThreadedPipeline(cfg);
+  const metrics::Snapshot sa = metrics::takeSnapshot(a);
+  const metrics::Snapshot sb = metrics::takeSnapshot(b);
+  // Per-rank work counters are exactly reproducible (static block
+  // ownership); memory gauges are schedule-dependent and not compared.
+  EXPECT_EQ(sa.counters, sb.counters);
+  EXPECT_EQ(sa.histograms, sb.histograms);
+
+  pipeline::PipelineConfig cfg2 = smallConfig(0);
+  cfg2.nranks = 2;
+  metrics::Registry c(2);
+  cfg2.metrics = &c;
+  (void)pipeline::runThreadedPipeline(cfg2);
+  const metrics::Snapshot sc = metrics::takeSnapshot(c);
+  for (const auto& [name, per_rank] : sa.counters) {
+    std::int64_t total4 = 0, total2 = 0;
+    for (const std::int64_t v : per_rank) total4 += v;
+    const auto it = sc.counters.find(name);
+    ASSERT_NE(it, sc.counters.end()) << name;
+    for (const std::int64_t v : it->second) total2 += v;
+    EXPECT_EQ(total4, total2) << "counter " << name << " depends on rank count";
+  }
+}
+
+TEST(MetricsSnapshot, JsonRoundTripsExactly) {
+  metrics::Registry reg(3);
+  reg.add(0, metrics::Counter::kGradCells, 123);
+  reg.add(2, metrics::Counter::kGradCells, 7);
+  reg.add(1, metrics::Counter::kTraceArcs, 99);
+  reg.set(1, metrics::Gauge::kMemLiveBytes, 1 << 20);
+  reg.setMax(2, metrics::Gauge::kMemPeakLiveBytes, 5 << 20);
+  reg.observe(0, metrics::Hist::kSimplifyPersistence, 0.125);
+  reg.observe(0, metrics::Hist::kSimplifyPersistence, 3.5);
+  reg.observe(2, metrics::Hist::kTracePathCells, 42.0);
+
+  const metrics::Snapshot snap = metrics::takeSnapshot(reg);
+  const std::string json = metrics::snapshotJson(snap);
+  const metrics::Snapshot back = metrics::parseSnapshotJson(json);
+  EXPECT_EQ(snap, back);
+  EXPECT_EQ(back.nranks, 3);
+  EXPECT_EQ(metrics::snapshotJson(back), json);
+
+  // An unknown schema version must be rejected, not misread.
+  const std::string vkey = "\"schema_version\": 1";
+  const std::size_t at = json.find(vkey);
+  ASSERT_NE(at, std::string::npos);
+  std::string wrong = json;
+  wrong.replace(at, vkey.size(), "\"schema_version\": 99");
+  EXPECT_THROW((void)metrics::parseSnapshotJson(wrong), std::runtime_error);
+  EXPECT_THROW((void)metrics::parseSnapshotJson("not json"), std::runtime_error);
+}
+
+TEST(MetricsPipeline, UndersizedRegistryIsRejectedUpFront) {
+  pipeline::PipelineConfig cfg = smallConfig(0);
+  metrics::Registry small(2);  // cfg.nranks is 4
+  cfg.metrics = &small;
+  EXPECT_THROW((void)pipeline::runThreadedPipeline(cfg), std::invalid_argument);
+}
+
+TEST(TraceWriter, EscapesHostileStrings) {
+  EXPECT_EQ(obs::TraceEventWriter::escaped("plain"), "\"plain\"");
+  EXPECT_EQ(obs::TraceEventWriter::escaped("a\"b\\c"), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(obs::TraceEventWriter::escaped("n\nt\tr\r"), "\"n\\nt\\tr\\r\"");
+  EXPECT_EQ(obs::TraceEventWriter::escaped(std::string("\x01", 1)),
+            "\"\\u0001\"");
+
+  // A hostile counter-track name must come out of the full trace
+  // export escaped -- no raw quote, backslash, or control byte.
+  obs::Tracer t(1);
+  t.countNamed(0, "bad\"name\\with\nnasties\x02", 1.0);
+  t.count(0, obs::Counter::kMessagesSent, 1);  // keep validate() happy
+  const std::string json = obs::chromeTraceJson(t, "test");
+  EXPECT_NE(json.find("bad\\\"name\\\\with\\nnasties\\u0002"),
+            std::string::npos)
+      << json;
+  // Newlines between events are legal JSON whitespace; any other
+  // control byte would have to be an unescaped string payload.
+  for (const char c : json)
+    if (c != '\n')
+      EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+          << "raw control byte in trace JSON";
+}
+
+}  // namespace
+}  // namespace msc

@@ -9,12 +9,21 @@ events ("s"/"f", the msc::causal cross-rank message arrows) pair up:
 unique ids, exactly one finish per start, matching src/dst/tag/bytes
 args, and "bp": "e" on the finish half.
 
+Also validates the bench harness --json output (fig9/fig10 style
+strong-scaling arrays): schema_version on every run object, required
+stage-time/round-counter fields, and internal consistency of the
+per-round communication counters.
+
 Usage:
   check_trace.py TRACE.json [--ranks=N] [--require-flows]
   check_trace.py --run CLI_BINARY [ARGS...]       # run the CLI with
       --trace into a temp file, then validate it (used by ctest)
   check_trace.py --run-flows CLI_BINARY [ARGS...] # same, and require
       at least one validated flow pair
+  check_trace.py --validate-bench BENCH.json      # validate a bench
+      --json output file
+  check_trace.py --run-bench BENCH_BINARY [ARGS...]  # run a bench
+      binary with --json into a temp file, then validate it
 """
 import json
 import os
@@ -115,6 +124,72 @@ def validate(path, expect_ranks=None, require_flows=False):
     return 0
 
 
+BENCH_SCHEMA_VERSION = 1
+
+BENCH_RUN_NUMERIC = ("procs", "read_s", "compute_s", "merge_prep_s", "merge_s",
+                     "write_s", "total_s", "efficiency", "output_bytes")
+BENCH_ROUND_NUMERIC = ("round", "seconds", "groups", "messages", "total_bytes",
+                       "max_root_bytes", "max_root_rank", "imbalance")
+
+
+def validate_bench_json(path):
+    """Validate a fig9/fig10-style --json strong-scaling output file."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    if not isinstance(data, list) or not data:
+        fail("bench json top level must be a non-empty array of run objects")
+    rounds_total = 0
+    for i, run in enumerate(data):
+        if not isinstance(run, dict):
+            fail(f"run {i} is not an object")
+        if run.get("schema_version") != BENCH_SCHEMA_VERSION:
+            fail(f"run {i} schema_version {run.get('schema_version')!r} "
+                 f"(expected {BENCH_SCHEMA_VERSION})")
+        if not isinstance(run.get("plan"), str) or not run["plan"]:
+            fail(f"run {i} missing plan string")
+        for key in BENCH_RUN_NUMERIC:
+            if not isinstance(run.get(key), (int, float)):
+                fail(f"run {i} missing numeric field {key!r}")
+        if not isinstance(run.get("rounds"), list):
+            fail(f"run {i} missing rounds array")
+        for j, rnd in enumerate(run["rounds"]):
+            for key in BENCH_ROUND_NUMERIC:
+                if not isinstance(rnd.get(key), (int, float)):
+                    fail(f"run {i} round {j} missing numeric field {key!r}")
+            if rnd["round"] != j:
+                fail(f"run {i} round {j} misnumbered as {rnd['round']}")
+            for key in ("groups", "messages", "total_bytes", "max_root_bytes"):
+                if rnd[key] < 0:
+                    fail(f"run {i} round {j} negative {key}: {rnd[key]}")
+            if rnd["max_root_bytes"] > rnd["total_bytes"]:
+                fail(f"run {i} round {j}: max_root_bytes {rnd['max_root_bytes']} "
+                     f"exceeds total_bytes {rnd['total_bytes']}")
+            if rnd["imbalance"] < 1.0 and rnd["total_bytes"] > 0:
+                fail(f"run {i} round {j}: imbalance {rnd['imbalance']} < 1")
+            rounds_total += 1
+    print(f"check_trace: OK: {len(data)} bench run(s), {rounds_total} round(s), "
+          f"schema_version {BENCH_SCHEMA_VERSION}")
+    return 0
+
+
+def run_bench_and_validate(binary, extra):
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "bench.json")
+        cmd = [binary, f"--json={out}"] + extra
+        print("check_trace: running:", " ".join(cmd))
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        sys.stdout.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        if proc.returncode != 0:
+            fail(f"bench binary exited with {proc.returncode}")
+        return validate_bench_json(out)
+
+
 def run_and_validate(cli, extra, require_flows=False):
     ranks = 2
     with tempfile.TemporaryDirectory() as tmp:
@@ -143,9 +218,18 @@ def main(argv):
             fail(f"{argv[1]} requires the CLI binary path")
         return run_and_validate(argv[2], argv[3:],
                                 require_flows=argv[1] == "--run-flows")
+    if len(argv) >= 2 and argv[1] == "--validate-bench":
+        if len(argv) < 3:
+            fail("--validate-bench requires the json file path")
+        return validate_bench_json(argv[2])
+    if len(argv) >= 2 and argv[1] == "--run-bench":
+        if len(argv) < 3:
+            fail("--run-bench requires the bench binary path")
+        return run_bench_and_validate(argv[2], argv[3:])
     if len(argv) < 2:
         fail("usage: check_trace.py TRACE.json [--ranks=N] [--require-flows] | "
-             "--run|--run-flows CLI [ARGS...]")
+             "--run|--run-flows CLI [ARGS...] | --validate-bench F.json | "
+             "--run-bench BENCH [ARGS...]")
     expect = None
     require_flows = False
     for a in argv[2:]:

@@ -1,0 +1,240 @@
+/// msc_kernel_bench: per-kernel medians plus exact work counters, the
+/// measurement half of the perf regression gate (tools/msc_perfgate.py).
+///
+/// Runs each core kernel -- gradient sweep and lower-star matching,
+/// V-path tracing, persistence simplification, pack/unpack
+/// serialization, and a two-block glue+finish -- `reps` times on a
+/// fixed synthetic fixture. For each kernel it reports the median and
+/// MAD of the timed region, the exact work counters the kernel flushed
+/// into a metrics::Registry (deterministic: the gate requires a zero
+/// delta against the committed baseline), and derived rates
+/// work/median (cells/s, arcs/s, bytes/s).
+///
+/// Usage:
+///   msc_kernel_bench [--reps=9] [--side=25] [--json=FILE]
+#include <cstdio>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/lower_star.hpp"
+#include "core/merge.hpp"
+#include "core/trace.hpp"
+#include "decomp/decompose.hpp"
+#include "io/pack.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/snapshot.hpp"
+#include "synth/fields.hpp"
+
+namespace {
+
+using namespace msc;
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n == 0 ? 0.0 : n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+double medianAbsDeviation(const std::vector<double>& v, double med) {
+  std::vector<double> dev;
+  dev.reserve(v.size());
+  for (const double x : v) dev.push_back(std::fabs(x - med));
+  return median(std::move(dev));
+}
+
+struct KernelResult {
+  std::string name;
+  int reps{0};
+  double median_s{0};
+  double mad_s{0};
+  /// Exact per-run work by stable counter name, from one instrumented
+  /// repetition (every repetition flushes the same values).
+  std::map<std::string, std::int64_t> work;
+};
+
+/// A kernel does its own per-rep setup, times only the hot region with
+/// steady_clock, flushes work into the registry, and returns seconds.
+using Kernel = std::function<double(metrics::Registry&)>;
+
+KernelResult runKernel(const std::string& name, int reps, const Kernel& k) {
+  KernelResult out;
+  out.name = name;
+  out.reps = reps;
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  metrics::Registry reg(1);
+  for (int i = 0; i < reps; ++i) {
+    reg.reset();
+    times.push_back(k(reg));
+  }
+  out.median_s = median(times);
+  out.mad_s = medianAbsDeviation(times, out.median_s);
+  const metrics::Snapshot snap = metrics::takeSnapshot(reg);
+  for (const auto& [cname, per_rank] : snap.counters) {
+    std::int64_t total = 0;
+    for (const std::int64_t v : per_rank) total += v;
+    if (total != 0) out.work[cname] = total;
+  }
+  return out;
+}
+
+class Timer {
+ public:
+  Timer() : t0_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const int reps = static_cast<int>(flags.getInt("reps", 9));
+  const std::int64_t side = flags.getInt("side", 25);
+  const std::string json_path = flags.getString("json");
+
+  // Fixed fixture: a noise field stresses every kernel (dense critical
+  // cells, long V-paths, many cancellations).
+  const Domain domain{{side, side, side}};
+  Block whole;
+  whole.domain = domain;
+  whole.vdims = domain.vdims;
+  whole.voffset = {0, 0, 0};
+  const BlockField field = synth::sample(whole, synth::noise(3));
+  const GradientField grad = computeGradientLowerStar(field);
+  MsComplex traced = traceComplex(grad, field);
+  traced.compact();
+  const io::Bytes packed = io::pack(traced);
+
+  // Two half-domain blocks for the glue kernel.
+  const Domain glue_domain{{side, side, (side - 1) / 2 + 1}};
+  std::vector<MsComplex> parts;
+  for (const Block& blk : decompose(glue_domain, 2)) {
+    const BlockField bf = synth::sample(blk, synth::noise(5));
+    MsComplex c = traceComplex(computeGradientLowerStar(bf), bf);
+    c.compact();
+    parts.push_back(std::move(c));
+  }
+
+  std::vector<KernelResult> results;
+  const auto run = [&](const std::string& name, const Kernel& k) {
+    results.push_back(runKernel(name, reps, k));
+    const KernelResult& r = results.back();
+    std::printf("%-20s median %9.3f ms  mad %8.3f ms  (%d reps)\n", r.name.c_str(),
+                r.median_s * 1e3, r.mad_s * 1e3, r.reps);
+  };
+
+  run("gradient_sweep", [&](metrics::Registry& reg) {
+    GradientOptions opts;
+    opts.metrics = &reg;
+    const Timer t;
+    const GradientField g = computeGradientSweep(field, opts);
+    const double s = t.seconds();
+    (void)g;
+    return s;
+  });
+  run("gradient_lowerstar", [&](metrics::Registry& reg) {
+    GradientOptions opts;
+    opts.metrics = &reg;
+    const Timer t;
+    const GradientField g = computeGradientLowerStar(field, opts);
+    const double s = t.seconds();
+    (void)g;
+    return s;
+  });
+  run("trace", [&](metrics::Registry& reg) {
+    TraceOptions opts;
+    opts.metrics = &reg;
+    const Timer t;
+    const MsComplex c = traceComplex(grad, field, opts);
+    const double s = t.seconds();
+    (void)c;
+    return s;
+  });
+  run("simplify", [&](metrics::Registry& reg) {
+    MsComplex c = traced;  // deep copy outside the timed region
+    SimplifyOptions opts;
+    opts.persistence_threshold = 0.5f;
+    opts.metrics = &reg;
+    const Timer t;
+    simplify(c, opts);
+    return t.seconds();
+  });
+  run("pack", [&](metrics::Registry& reg) {
+    const Timer t;
+    const io::Bytes b = io::pack(traced);
+    const double s = t.seconds();
+    metrics::add(&reg, 0, metrics::Counter::kPackBytes,
+                 static_cast<std::int64_t>(b.size()));
+    return s;
+  });
+  run("unpack", [&](metrics::Registry& reg) {
+    const Timer t;
+    const MsComplex c = io::unpack(packed);
+    const double s = t.seconds();
+    (void)c;
+    metrics::add(&reg, 0, metrics::Counter::kPackBytes,
+                 static_cast<std::int64_t>(packed.size()));
+    return s;
+  });
+  run("glue", [&](metrics::Registry& reg) {
+    MsComplex root = parts[0];  // deep copy outside the timed region
+    const Timer t;
+    glue(root, parts[1], nullptr, &reg, 0);
+    finishMerge(root, 0.1f, nullptr, &reg, 0);
+    return t.seconds();
+  });
+
+  if (!json_path.empty()) {
+    std::FILE* jf = std::fopen(json_path.c_str(), "w");
+    if (!jf) {
+      std::fprintf(stderr, "msc_kernel_bench: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    bench::JsonWriter json(jf);
+    json.beginObject();
+    json.key("schema_version").value(bench::kBenchSchemaVersion);
+    json.key("fixture").beginObject();
+    json.key("side").value(side);
+    json.key("noise_seed").value(3);
+    json.key("reps").value(reps);
+    json.endObject();
+    json.key("kernels").beginArray();
+    for (const KernelResult& r : results) {
+      json.beginObject();
+      json.key("name").value(r.name.c_str());
+      json.key("reps").value(r.reps);
+      json.key("median_s").value(r.median_s);
+      json.key("mad_s").value(r.mad_s);
+      json.key("work").beginObject();
+      for (const auto& [cname, v] : r.work) json.key(cname.c_str()).value(v);
+      json.endObject();
+      json.key("rates").beginObject();
+      for (const auto& [cname, v] : r.work) {
+        if (r.median_s > 0)
+          json.key((cname + "_per_s").c_str())
+              .value(static_cast<double>(v) / r.median_s);
+      }
+      json.endObject();
+      json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    json.finish();
+    std::fclose(jf);
+    std::printf("json -> %s\n", json_path.c_str());
+  }
+  return 0;
+}

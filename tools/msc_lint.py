@@ -86,11 +86,15 @@ RULE_IDS = {r["id"] for r in RULES}
 #   - check must never depend on obs (it validates runs that may or may
 #     not be traced) nor on bench.
 LAYERS = {
-    "core": set(),
+    "core": {"metrics"},
     "obs": set(),
     "audit": set(),
     "causal": set(),
-    "merge": set(),
+    # metrics is a leaf like obs/audit/causal: kernels flush into it, so
+    # any dependency it grew would be dragged under core. Headers above
+    # only forward-declare metrics::Registry; .cpp files include it.
+    "metrics": set(),
+    "merge": {"metrics"},
     "synth": {"core"},
     "decomp": {"core"},
     "analysis": {"core"},
@@ -100,7 +104,7 @@ LAYERS = {
     "fault": {"core", "io", "obs", "par"},
     # pipeline sees audit directly since the watchdog knob moved into
     # PipelineConfig (block_timeout_seconds -> Auditor::setBlockTimeoutSeconds).
-    "pipeline": {"audit", "causal", "core", "decomp", "fault", "io", "merge", "obs", "par", "simnet", "synth"},
+    "pipeline": {"audit", "causal", "core", "decomp", "fault", "io", "merge", "metrics", "obs", "par", "simnet", "synth"},
     "check": {"core", "synth", "decomp", "analysis", "fault", "io", "pipeline"},
 }
 

@@ -1,0 +1,297 @@
+#!/usr/bin/env python3
+"""Noise-aware perf regression gate over the committed bench baselines.
+
+Two kinds of baseline, two kinds of check:
+
+  * BENCH_kernels.json (from tools/msc_kernel_bench): per-kernel
+    median/MAD timings plus exact work counters. Timings are gated with
+    a MAD-derived relative tolerance; work counters are deterministic,
+    so their delta must be exactly zero -- a work drift is a behaviour
+    change, not noise, no matter how small.
+
+  * BENCH_critpath.json (from bench/fig9 --json): the per-round
+    communication counters (groups, messages, bytes, root loads) of the
+    simulated strong-scaling runs. These are deterministic too and must
+    match exactly; model seconds are not compared.
+
+Modes:
+  msc_perfgate.py --bench BIN --baseline F [--reps N] [--keep OUT]
+      run the kernel bench, then gate the measurement against F
+  msc_perfgate.py --compare MEASURED --baseline F
+      gate an existing measurement file against F
+  msc_perfgate.py --update-baseline --bench BIN --baseline F [--reps N]
+      re-measure and overwrite F (commit the result deliberately)
+  msc_perfgate.py --self-check --baseline F
+      prove the gate can fail: synthesize a 2x slowdown and a
+      work-counter drift from F and require both to be blamed
+  msc_perfgate.py --critpath-run BIN --critpath-baseline F [--procs P]
+      run fig9-style BIN with --json at --procs (default 32), compare
+      per-round counters of matching procs entries exactly
+
+Timing tolerance per kernel:
+    rel_tol = max(MIN_REL, K_MAD * rel_mad) * MSC_PERFGATE_TOL
+with rel_mad the larger of the baseline's and the measurement's
+MAD/median. MSC_PERFGATE_TOL (env, default 1.0) relaxes the gate for
+slow configurations (sanitizers set it to 20).
+
+Exit status: 0 pass, 1 regression (per-metric blame table printed),
+2 usage or I/O error.
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+# A kernel must regress by at least 50% relative before timing noise is
+# ruled out at default tolerance; quiet kernels (tiny MAD) stay at this
+# floor, noisy ones widen with K_MAD * MAD/median.
+MIN_REL = 0.50
+K_MAD = 8.0
+
+SCHEMA_VERSION = 1
+
+# Deterministic per-round fields in the fig9/fig10 --json rounds.
+ROUND_WORK_KEYS = ("groups", "messages", "total_bytes", "max_root_bytes",
+                   "max_root_rank")
+
+
+def fail_usage(msg):
+    print(f"msc_perfgate: error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail_usage(f"cannot load {path}: {e}")
+
+
+def tol_scale():
+    try:
+        return float(os.environ.get("MSC_PERFGATE_TOL", "1.0"))
+    except ValueError:
+        fail_usage("MSC_PERFGATE_TOL is not a number")
+
+
+class Blame:
+    """Collects per-metric verdict rows and prints the blame table."""
+
+    def __init__(self):
+        self.rows = []  # (kernel, metric, baseline, measured, limit, verdict)
+        self.failed = False
+
+    def add(self, kernel, metric, base, meas, limit, ok):
+        self.rows.append((kernel, metric, base, meas, limit, ok))
+        if not ok:
+            self.failed = True
+
+    def print_table(self, only_failures=False):
+        rows = [r for r in self.rows if not (only_failures and r[5])]
+        if not rows:
+            return
+        print(f"{'kernel':<20} {'metric':<28} {'baseline':>14} {'measured':>14} "
+              f"{'allowed':>14} verdict")
+        for kernel, metric, base, meas, limit, ok in rows:
+            print(f"{kernel:<20} {metric:<28} {base:>14} {meas:>14} "
+                  f"{limit:>14} {'ok' if ok else 'FAIL'}")
+
+
+def check_schema(doc, path):
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        fail_usage(f"{path}: schema_version {doc.get('schema_version')!r}, "
+                   f"this gate understands {SCHEMA_VERSION}")
+
+
+def compare_kernels(baseline, measured, scale):
+    """Gate a msc_kernel_bench measurement against the baseline."""
+    check_schema(baseline, "baseline")
+    check_schema(measured, "measurement")
+    blame = Blame()
+    base_by_name = {k["name"]: k for k in baseline.get("kernels", [])}
+    meas_by_name = {k["name"]: k for k in measured.get("kernels", [])}
+    if set(base_by_name) != set(meas_by_name):
+        missing = set(base_by_name) ^ set(meas_by_name)
+        for name in sorted(missing):
+            blame.add(name, "present", name in base_by_name,
+                      name in meas_by_name, "both", False)
+    for name in sorted(set(base_by_name) & set(meas_by_name)):
+        b, m = base_by_name[name], meas_by_name[name]
+
+        # Timing: MAD-derived relative tolerance, regressions only.
+        bmed, mmed = b["median_s"], m["median_s"]
+        rel_mad = max(b["mad_s"] / bmed if bmed > 0 else 0,
+                      m["mad_s"] / mmed if mmed > 0 else 0)
+        rel_tol = max(MIN_REL, K_MAD * rel_mad) * scale
+        limit = bmed * (1 + rel_tol)
+        blame.add(name, "median_s", f"{bmed:.6f}", f"{mmed:.6f}",
+                  f"<{limit:.6f}", mmed <= limit)
+
+        # Work: deterministic, exact-zero delta required, both ways.
+        bwork, mwork = b.get("work", {}), m.get("work", {})
+        for counter in sorted(set(bwork) | set(mwork)):
+            bv, mv = bwork.get(counter), mwork.get(counter)
+            blame.add(name, f"work.{counter}", bv, mv, "delta=0", bv == mv)
+    return blame
+
+
+def compare_critpath(baseline, measured):
+    """Exact per-round counter comparison for matching procs entries."""
+    blame = Blame()
+    meas_by_procs = {e["procs"]: e for e in measured}
+    compared = 0
+    for be in baseline:
+        me = meas_by_procs.get(be["procs"])
+        if me is None:
+            continue
+        compared += 1
+        label = f"procs={be['procs']}"
+        blame.add(label, "plan", be.get("plan"), me.get("plan"), "equal",
+                  be.get("plan") == me.get("plan"))
+        brounds, mrounds = be.get("rounds", []), me.get("rounds", [])
+        blame.add(label, "rounds", len(brounds), len(mrounds), "equal",
+                  len(brounds) == len(mrounds))
+        for br, mr in zip(brounds, mrounds):
+            for key in ROUND_WORK_KEYS:
+                blame.add(label, f"round{br.get('round')}.{key}", br.get(key),
+                          mr.get(key), "delta=0", br.get(key) == mr.get(key))
+    if compared == 0:
+        fail_usage("no measured entry matches any baseline procs value")
+    return blame
+
+
+def run_bench(bench, reps, out_path):
+    cmd = [bench, f"--reps={reps}", f"--json={out_path}"]
+    print("msc_perfgate: running:", " ".join(cmd))
+    proc = subprocess.run(cmd)
+    if proc.returncode != 0:
+        fail_usage(f"{bench} exited with {proc.returncode}")
+    return load(out_path)
+
+
+def finish(blame, what):
+    if blame.failed:
+        print(f"msc_perfgate: FAIL: {what} regressed; blame table:")
+        blame.print_table(only_failures=True)
+        return 1
+    n = len(blame.rows)
+    print(f"msc_perfgate: OK: {what} within tolerance ({n} metrics checked, "
+          f"MSC_PERFGATE_TOL={tol_scale():g})")
+    return 0
+
+
+def self_check(baseline_path):
+    """The gate must catch a seeded slowdown and a seeded work drift."""
+    baseline = load(baseline_path)
+    check_schema(baseline, baseline_path)
+    kernels = baseline.get("kernels", [])
+    if len(kernels) < 2:
+        fail_usage("self-check needs a baseline with at least two kernels")
+
+    # Clean comparison against itself must pass at any tolerance.
+    clean = compare_kernels(baseline, copy.deepcopy(baseline), tol_scale())
+    if clean.failed:
+        print("msc_perfgate: self-check FAIL: baseline does not gate "
+              "cleanly against itself")
+        clean.print_table(only_failures=True)
+        return 1
+
+    seeded = copy.deepcopy(baseline)
+    slow = seeded["kernels"][0]
+    slow["median_s"] *= 2.0  # 2x slowdown: outside any sane tolerance
+    drift = seeded["kernels"][1]
+    if not drift.get("work"):
+        fail_usage(f"kernel {drift['name']} has no work counters to drift")
+    drift_counter = sorted(drift["work"])[0]
+    drift["work"][drift_counter] += 7
+
+    blame = compare_kernels(baseline, seeded, tol_scale())
+    blamed = {(k, m) for k, m, _b, _m, _l, ok in blame.rows if not ok}
+    want = {(slow["name"], "median_s"),
+            (drift["name"], f"work.{drift_counter}")}
+    if not blame.failed or not want <= blamed:
+        print(f"msc_perfgate: self-check FAIL: expected blame for {want}, "
+              f"got {blamed}")
+        return 1
+    print("msc_perfgate: self-check OK: seeded 2x slowdown and work drift "
+          "both blamed:")
+    blame.print_table(only_failures=True)
+    return 0
+
+
+def main(argv):
+    args = {}
+    positional_free = {"--update-baseline", "--self-check"}
+    i = 1
+    while i < len(argv):
+        a = argv[i]
+        if a in positional_free:
+            args[a] = True
+            i += 1
+        elif a.startswith("--"):
+            if i + 1 >= len(argv):
+                fail_usage(f"{a} needs a value")
+            args[a] = argv[i + 1]
+            i += 2
+        else:
+            fail_usage(f"unexpected argument {a!r}")
+
+    scale = tol_scale()
+    reps = int(args.get("--reps", "9"))
+
+    if args.get("--self-check"):
+        if "--baseline" not in args:
+            fail_usage("--self-check needs --baseline")
+        return self_check(args["--baseline"])
+
+    if "--critpath-run" in args or "--critpath-baseline" in args:
+        if "--critpath-run" not in args or "--critpath-baseline" not in args:
+            fail_usage("critpath mode needs --critpath-run and "
+                       "--critpath-baseline")
+        procs = args.get("--procs", "32")
+        with tempfile.TemporaryDirectory() as tmp:
+            out = os.path.join(tmp, "critpath.json")
+            cmd = [args["--critpath-run"], f"--procs={procs}", f"--json={out}"]
+            print("msc_perfgate: running:", " ".join(cmd))
+            proc = subprocess.run(cmd, stdout=subprocess.DEVNULL)
+            if proc.returncode != 0:
+                fail_usage(f"{cmd[0]} exited with {proc.returncode}")
+            measured = load(out)
+        return finish(compare_critpath(load(args["--critpath-baseline"]),
+                                       measured),
+                      "per-round counters")
+
+    if "--baseline" not in args:
+        fail_usage("need --baseline (see --help in the module docstring)")
+    baseline_path = args["--baseline"]
+
+    if args.get("--update-baseline"):
+        if "--bench" not in args:
+            fail_usage("--update-baseline needs --bench")
+        run_bench(args["--bench"], reps, baseline_path)
+        print(f"msc_perfgate: baseline updated -> {baseline_path}")
+        return 0
+
+    if "--compare" in args:
+        measured = load(args["--compare"])
+    elif "--bench" in args:
+        keep = args.get("--keep")
+        if keep:
+            measured = run_bench(args["--bench"], reps, keep)
+        else:
+            with tempfile.TemporaryDirectory() as tmp:
+                measured = run_bench(args["--bench"], reps,
+                                     os.path.join(tmp, "kernels.json"))
+    else:
+        fail_usage("need --bench BIN or --compare MEASURED")
+
+    return finish(compare_kernels(load(baseline_path), measured, scale),
+                  "kernel medians/work")
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -37,6 +37,11 @@ for cfg in "${configs[@]}"; do
   if ! cmake --build "$bdir" -j "$jobs" >/dev/null; then
     echo "=== [$cfg] BUILD FAILED ==="; failed+=("$cfg"); continue
   fi
+  # Sanitized binaries run 2-20x slower, which is not a perf
+  # regression; widen the perf gate's timing tolerance there. Work
+  # counters stay exact regardless of tolerance.
+  gate_tol=1.0
+  [ -n "$san" ] && gate_tol=20.0
   echo "=== [$cfg] ctest ==="
   # halt_on_error makes TSan/ASan reports fail the process, so ctest
   # sees them; abort_on_error=0 keeps gtest's reporting readable.
@@ -44,6 +49,7 @@ for cfg in "${configs[@]}"; do
       TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
       ASAN_OPTIONS="detect_leaks=1" \
       UBSAN_OPTIONS="print_stacktrace=1" \
+      MSC_PERFGATE_TOL="$gate_tol" \
       ctest --output-on-failure -j "$jobs"); then
     echo "=== [$cfg] OK ==="
   else
@@ -63,6 +69,22 @@ for cfg in "${configs[@]}"; do
     echo "=== [$cfg] chaos OK ==="
   else
     echo "=== [$cfg] chaos TESTS FAILED ==="
+    failed+=("$cfg")
+    continue
+  fi
+  # Same for the perf gate label: the self-check must prove the gate
+  # can fail, and the work-counter cross-checks must stay exact, in
+  # every sanitizer config (timing tolerance widened above).
+  echo "=== [$cfg] ctest -L perfgate ==="
+  if (cd "$bdir" && \
+      TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+      ASAN_OPTIONS="detect_leaks=1" \
+      UBSAN_OPTIONS="print_stacktrace=1" \
+      MSC_PERFGATE_TOL="$gate_tol" \
+      ctest --output-on-failure -L perfgate -j "$jobs"); then
+    echo "=== [$cfg] perfgate OK ==="
+  else
+    echo "=== [$cfg] perfgate TESTS FAILED ==="
     failed+=("$cfg")
   fi
 done
