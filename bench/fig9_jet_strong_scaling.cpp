@@ -17,6 +17,13 @@ int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
   const int scale = static_cast<int>(flags.getInt("scale", 1));
   const auto procs = flags.getIntList("procs", {32, 64, 128, 256, 512, 1024, 2048, 4096, 8192});
+  // Distributed merge strategy (merge/): reduce survivors before they
+  // ship, and shard the final round instead of gathering the whole
+  // complex onto one root. Both default on -- the gated baseline
+  // (BENCH_critpath.json) records this configuration, so the final
+  // round shows groups > 1 and boundary-bounded max_root_bytes.
+  const bool premerge = flags.getBool("premerge", true);
+  const bool sharded = flags.getBool("sharded", true);
   const Domain domain{{96 * scale + 1, 112 * scale + 1, 64 * scale + 1}};
   const pipeline::SimModels models = bench::defaultModels(flags);
   const std::string json_path = flags.getString("json");
@@ -43,6 +50,8 @@ int main(int argc, char** argv) {
     cfg.nranks = p;
     cfg.persistence_threshold = 0.03f;
     cfg.plan = MergePlan::fullMerge(p);
+    cfg.premerge = premerge;
+    cfg.sharded_final = sharded;
     // In --json mode the run also records a synthesized causal
     // journal so each datapoint carries its critical-path breakdown.
     std::unique_ptr<causal::Recorder> rec;

@@ -17,24 +17,43 @@ int main(int argc, char** argv) {
   bench::header("Table II: merge strategies for full merge of 256 blocks");
   bench::note("sinusoid %d^3, complexity %d; compute+merge reconstructed seconds", size,
               complexity);
-  std::printf("%8s %22s %22s %16s\n", "rounds", "radices", "compute+merge_s", "merge_s");
+  std::printf("%8s %22s %18s %22s %16s %14s\n", "rounds", "radices", "strategy",
+              "compute+merge_s", "merge_s", "max_root_B");
 
   const std::vector<std::vector<int>> plans = {
       {4, 8, 8}, {8, 8, 4}, {4, 4, 2, 8}, {4, 4, 4, 4}, {2, 2, 2, 2, 2, 2, 2, 2}};
+  // Each plan runs under both merge strategies: the single-root
+  // schedule the paper benchmarks, and the distributed variant
+  // (pre-merge reduction + sharded final round, merge/) whose last
+  // round never gathers the whole complex onto one rank. The max
+  // root bytes column is what sharding is for: the largest complex
+  // any rank holds in the final round.
   for (const auto& radices : plans) {
-    pipeline::PipelineConfig cfg;
-    cfg.domain = Domain{{size, size, size}};
-    cfg.source.field = synth::sinusoid(cfg.domain, complexity);
-    cfg.nblocks = nblocks;
-    cfg.nranks = nblocks;
-    cfg.persistence_threshold = 0.05f;
-    cfg.plan = MergePlan::partial(radices);
-    const pipeline::SimResult r = runSimPipeline(cfg, models);
-    std::printf("%8zu %22s %22.4f %16.4f\n", radices.size(),
-                cfg.plan.toString().c_str(), r.times.compute + r.times.mergeTotal(),
-                r.times.mergeTotal());
+    for (const bool dist : {false, true}) {
+      pipeline::PipelineConfig cfg;
+      cfg.domain = Domain{{size, size, size}};
+      cfg.source.field = synth::sinusoid(cfg.domain, complexity);
+      cfg.nblocks = nblocks;
+      cfg.nranks = nblocks;
+      cfg.persistence_threshold = 0.05f;
+      cfg.plan = MergePlan::partial(radices);
+      cfg.premerge = dist;
+      cfg.sharded_final = dist;
+      const pipeline::SimResult r = runSimPipeline(cfg, models);
+      std::int64_t final_root_bytes = 0;
+      if (!r.inputs.rounds.empty())
+        for (const simnet::GroupRecord& g : r.inputs.rounds.back()) {
+          std::int64_t in = 0;
+          for (const auto& s : g.sends) in += s.second;
+          final_root_bytes = std::max(final_root_bytes, in);
+        }
+      std::printf("%8zu %22s %18s %22.4f %16.4f %14lld\n", radices.size(),
+                  cfg.plan.toString().c_str(), dist ? "premerge+sharded" : "single-root",
+                  r.times.compute + r.times.mergeTotal(), r.times.mergeTotal(),
+                  static_cast<long long>(final_root_bytes));
+    }
   }
-  bench::note("paper: 144.040 / 144.528 / 144.955 / 145.012 / 149.174 s");
+  bench::note("paper: 144.040 / 144.528 / 144.955 / 145.012 / 149.174 s (single-root)");
   bench::note("ordering to reproduce: [4,8,8] <= [8,8,4] < 4-round plans < [2x8]");
   return 0;
 }

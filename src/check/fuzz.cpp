@@ -63,6 +63,8 @@ std::string FuzzCase::describe() const {
      << " field=" << field << " nblocks=" << nblocks << " nranks=" << nranks
      << " threshold=" << threshold;
   if (fault_seed != 0) os << " fault_seed=" << fault_seed;
+  if (premerge) os << " premerge";
+  if (sharded) os << " sharded";
   return os.str();
 }
 
@@ -85,6 +87,14 @@ FuzzCase caseFromSeed(unsigned seed, const FuzzLimits& lim) {
   c.threshold = tsel < 7 ? 0.0f : (tsel == 7 ? 0.05f : (tsel == 8 ? 0.15f : 0.3f));
   if (lim.with_faults)
     c.fault_seed = static_cast<unsigned>(splitmix(h ^ 0xFA17u) | 1u);  // non-zero
+  if (lim.with_merge_dims) {
+    // A fresh hash keeps the base-case derivation above untouched:
+    // the same seed denotes the same field/grid/schedule with or
+    // without the merge-strategy dimensions layered on.
+    const std::uint64_t h2 = splitmix(h ^ 0xD157u);
+    c.premerge = (h2 & 1) != 0;
+    c.sharded = (h2 & 2) != 0;
+  }
   return c;
 }
 
@@ -160,6 +170,34 @@ std::vector<std::string> runFuzzCase(const FuzzCase& c) {
     reportProblem(problems, compareExact(a, b), "sim vs threaded");
   }
 
+  // --- Differential leg 1c (merge strategy): with the pre-merge
+  // reduction and/or the sharded final round switched on, the two
+  // parallel drivers must still agree to the byte, and the (union of)
+  // outputs must be canonical-equal to the baseline schedule's.
+  pipeline::ThreadedResult thr_variant;
+  const pipeline::ThreadedResult* fault_reference = &thr;
+  if (c.premerge || c.sharded) {
+    pipeline::PipelineConfig vcfg = configFor(c, c.nblocks, c.nranks);
+    vcfg.premerge = c.premerge;
+    vcfg.sharded_final = c.sharded;
+    const pipeline::SimResult sim_v = pipeline::runSimPipeline(vcfg);
+    thr_variant = pipeline::runThreadedPipeline(vcfg);
+    bool v_equal = sim_v.outputs.size() == thr_variant.outputs.size();
+    for (std::size_t i = 0; v_equal && i < sim_v.outputs.size(); ++i)
+      v_equal = sim_v.outputs[i] == thr_variant.outputs[i];
+    if (!v_equal)
+      problems.push_back(
+          "merge-strategy variant: sequential and threaded drivers "
+          "produced different bytes");
+    const CanonicalComplex base_c = canonicalize(domain, sim.outputs);
+    const CanonicalComplex var_c = canonicalize(domain, sim_v.outputs);
+    reportProblem(problems, compareExact(base_c, var_c),
+                  "merge-strategy variant vs baseline");
+    // The chaos leg below replays the same knobs, so its reference
+    // bytes are the variant's fault-free run.
+    fault_reference = &thr_variant;
+  }
+
   // --- Differential leg 1b (chaos): under deterministic fault
   // injection, the recovered run must reproduce the fault-free bytes
   // exactly, in both recovery modes.
@@ -170,6 +208,8 @@ std::vector<std::string> runFuzzCase(const FuzzCase& c) {
       fopts.seed = c.fault_seed;
       fault::Injector injector(c.nranks, fopts);
       pipeline::PipelineConfig fcfg = configFor(c, c.nblocks, c.nranks);
+      fcfg.premerge = c.premerge;
+      fcfg.sharded_final = c.sharded;
       fcfg.fault.injector = &injector;
       fcfg.fault.recovery = mode;
       fcfg.fault.recv_deadline_seconds = 2.0;
@@ -179,12 +219,12 @@ std::vector<std::string> runFuzzCase(const FuzzCase& c) {
           std::string("chaos (") + fault::recoveryModeName(mode) + ")";
       try {
         const pipeline::ThreadedResult faulty = pipeline::runThreadedPipeline(fcfg);
-        bool same = faulty.outputs.size() == thr.outputs.size();
+        bool same = faulty.outputs.size() == fault_reference->outputs.size();
         for (std::size_t i = 0; same && i < faulty.outputs.size(); ++i)
-          same = faulty.outputs[i] == thr.outputs[i];
+          same = faulty.outputs[i] == fault_reference->outputs[i];
         if (!same) {
           problems.push_back(leg + ": recovered run diverged from fault-free bytes");
-          const CanonicalComplex a = canonicalize(domain, thr.outputs);
+          const CanonicalComplex a = canonicalize(domain, fault_reference->outputs);
           const CanonicalComplex b = canonicalize(domain, faulty.outputs);
           reportProblem(problems, compareExact(a, b), leg);
         }
@@ -235,6 +275,19 @@ FuzzCase shrinkCase(const FuzzCase& c, const FuzzLimits& lim, std::ostream* log)
   const auto fails = [](const FuzzCase& cand) { return !runFuzzCase(cand).empty(); };
   for (int round = 0; round < 32; ++round) {
     std::vector<FuzzCase> candidates;
+    // The merge-strategy dimensions shrink away first: a failure that
+    // survives without them is a baseline bug, not a premerge/sharded
+    // bug, and the simpler repro wins.
+    if (cur.sharded) {
+      FuzzCase t = cur;
+      t.sharded = false;
+      candidates.push_back(t);
+    }
+    if (cur.premerge) {
+      FuzzCase t = cur;
+      t.premerge = false;
+      candidates.push_back(t);
+    }
     if (cur.fault_seed != 0) {
       // If the failure survives without injection it is not a fault
       // bug — the simpler repro wins.

@@ -43,6 +43,14 @@ struct FuzzCase {
   /// recovery modes, and the recovered outputs must be byte-identical
   /// to the fault-free run's.
   unsigned fault_seed{0};
+  /// Run both parallel drivers with the pre-merge reduction pass on;
+  /// the outputs must stay canonical-equal to the baseline run and
+  /// sim/threaded must stay byte-identical to each other.
+  bool premerge{false};
+  /// Replace the final single-group round with the sharded exchange
+  /// (merge/shard.hpp); the union of the parts must stay
+  /// canonical-equal to the baseline's single root.
+  bool sharded{false};
 
   std::string describe() const;
 };
@@ -54,6 +62,9 @@ struct FuzzLimits {
   int max_ranks = 6;
   /// Derive a non-zero fault_seed for every case (the chaos sweep).
   bool with_faults = false;
+  /// Derive the premerge/sharded merge-strategy dimensions (each set
+  /// on roughly half the cases, independently).
+  bool with_merge_dims = false;
 };
 
 /// Derive the case a seed denotes.

@@ -137,6 +137,22 @@ std::vector<CellAddr> MsComplex::flattenGeom(GeomId g) const {
   return out;
 }
 
+std::int64_t MsComplex::flattenedGeomLength(GeomId g) const {
+  std::int64_t n = 0;
+  std::vector<GeomId> stack{g};
+  while (!stack.empty()) {
+    const GeomId id = stack.back();
+    stack.pop_back();
+    const Geom& ge = geoms_[static_cast<std::size_t>(id)];
+    if (ge.children.empty()) {
+      n += static_cast<std::int64_t>(ge.cells.size());
+    } else {
+      for (const auto& ch : ge.children) stack.push_back(ch.id);
+    }
+  }
+  return n;
+}
+
 void MsComplex::recomputeBoundary() {
   for (Node& nd : nodes_) {
     if (!nd.alive) continue;
@@ -179,7 +195,31 @@ void MsComplex::compact() {
   geoms_.clear();
   nodes_ = std::move(newNodes);
 
-  // Temporarily move old geoms back for flattening via a local helper.
+  // Leaf geometries referenced by exactly one live arc and by no
+  // composite can be moved instead of flattened into a fresh copy; a
+  // flattened leaf is byte-for-byte its own cell path, so the fast
+  // path changes nothing about the result. Composites (and anything a
+  // composite references, at any depth) still go through the copying
+  // flatten, as do the rare shared leaves.
+  std::vector<std::uint8_t> refs(oldGeoms.size(), 0);   // saturating at 2
+  std::vector<std::uint8_t> pinned(oldGeoms.size(), 0); // reachable from a composite
+  for (const Arc& ar : oldArcs) {
+    if (!ar.alive || ar.geom == kNone) continue;
+    auto& r = refs[static_cast<std::size_t>(ar.geom)];
+    if (r < 2) ++r;
+    if (!oldGeoms[static_cast<std::size_t>(ar.geom)].children.empty()) {
+      std::vector<GeomId> stack{ar.geom};
+      while (!stack.empty()) {
+        const GeomId id = stack.back();
+        stack.pop_back();
+        if (pinned[static_cast<std::size_t>(id)]) continue;
+        pinned[static_cast<std::size_t>(id)] = 1;
+        for (const auto& ch : oldGeoms[static_cast<std::size_t>(id)].children)
+          stack.push_back(ch.id);
+      }
+    }
+  }
+
   const auto flattenOld = [&](GeomId g) {
     std::vector<CellAddr> out;
     struct Frame {
@@ -209,7 +249,14 @@ void MsComplex::compact() {
   for (const Arc& ar : oldArcs) {
     if (!ar.alive) continue;
     Geom g;
-    if (ar.geom != kNone) g.cells = flattenOld(ar.geom);
+    if (ar.geom != kNone) {
+      Geom& old = oldGeoms[static_cast<std::size_t>(ar.geom)];
+      if (old.children.empty() && refs[static_cast<std::size_t>(ar.geom)] == 1 &&
+          !pinned[static_cast<std::size_t>(ar.geom)])
+        g.cells = std::move(old.cells);
+      else
+        g.cells = flattenOld(ar.geom);
+    }
     const GeomId gid = addGeom(std::move(g));
     addArc(nodeMap[static_cast<std::size_t>(ar.lower)],
            nodeMap[static_cast<std::size_t>(ar.upper)], gid, 0);
@@ -252,6 +299,24 @@ MsComplex MsComplex::extractAtGeneration(std::int32_t gen) const {
   }
   out.recomputeBoundary();
   return out;
+}
+
+std::int64_t MsComplex::compressLeafGeometry() {
+  std::int64_t removed = 0;
+  std::vector<bool> referenced(geoms_.size(), false);
+  for (const Arc& ar : arcs_) {
+    if (!ar.alive || ar.geom == kNone) continue;
+    referenced[static_cast<std::size_t>(ar.geom)] = true;
+  }
+  for (std::size_t g = 0; g < geoms_.size(); ++g) {
+    if (!referenced[g]) continue;
+    Geom& ge = geoms_[g];
+    if (!ge.children.empty() || ge.cells.size() < 2) continue;
+    const auto last = std::unique(ge.cells.begin(), ge.cells.end());
+    removed += ge.cells.end() - last;
+    ge.cells.erase(last, ge.cells.end());
+  }
+  return removed;
 }
 
 std::unordered_map<CellAddr, NodeId> MsComplex::addressIndex() const {

@@ -132,6 +132,18 @@ class MsComplex {
   /// Flatten a geometry DAG into the full descending cell path.
   std::vector<CellAddr> flattenGeom(GeomId g) const;
 
+  /// Length of the flattened path without materializing it (the
+  /// pack-size accounting walk; reversal does not change the count).
+  std::int64_t flattenedGeomLength(GeomId g) const;
+
+  /// Move a leaf geometry's cell path out of the complex (the
+  /// zero-copy import path of glue when the donor complex is being
+  /// consumed). The record stays behind empty, so the donor must not
+  /// be used again except for destruction.
+  std::vector<CellAddr> takeLeafGeomCells(GeomId g) {
+    return std::move(geoms_[static_cast<std::size_t>(g)].cells);
+  }
+
   /// Recompute every live node's boundary flag against the current
   /// region (IV-F3, after gluing).
   void recomputeBoundary();
@@ -150,6 +162,17 @@ class MsComplex {
   /// Build a map from cell address to live node id (the merge
   /// stage's gluing anchor lookup).
   std::unordered_map<CellAddr, NodeId> addressIndex() const;
+
+  /// Collapse runs of consecutive duplicate cells in leaf geometry
+  /// paths. Flattening a cancellation composite repeats the junction
+  /// cell where two child paths meet, so heavily simplified complexes
+  /// carry one duplicate per junction; dropping them shrinks pack()
+  /// output while preserving the path's cell set and traversal order
+  /// (both the glue duplicate test and check::canonicalArc are
+  /// invariant under this rewrite). Composite geometries are left
+  /// untouched -- compact() first. Returns the number of cells
+  /// removed.
+  std::int64_t compressLeafGeometry();
 
   // --- Multi-resolution hierarchy queries (section III-C). The
   // cancellations form a filtration of complexes; generation g is the

@@ -4,8 +4,32 @@
 
 namespace msc {
 
-void glue(MsComplex& root, const MsComplex& other, GlueStats* stats,
-          metrics::Registry* metrics, int metrics_rank) {
+namespace {
+
+/// Walk a geometry DAG's leaf cells in flattened order, calling
+/// `fn(CellAddr)` until it returns false; returns false iff stopped.
+/// Reversal does not matter to callers here (they test set membership),
+/// so children are visited in natural order.
+template <class Fn>
+bool forEachGeomCell(const MsComplex& c, GeomId g, Fn&& fn) {
+  std::vector<GeomId> stack{g};
+  while (!stack.empty()) {
+    const GeomId id = stack.back();
+    stack.pop_back();
+    const Geom& ge = c.geom(id);
+    if (ge.children.empty()) {
+      for (const CellAddr a : ge.cells)
+        if (!fn(a)) return false;
+    } else {
+      for (const auto& ch : ge.children) stack.push_back(ch.id);
+    }
+  }
+  return true;
+}
+
+void glueImpl(MsComplex& root, MsComplex& other, bool may_move, GlueStats* stats,
+              metrics::Registry* metrics, int metrics_rank,
+              const std::vector<std::uint8_t>* dup_flags) {
   GlueStats local{};
   if (metrics && !stats) stats = &local;
   const GlueStats before = stats ? *stats : GlueStats{};
@@ -31,12 +55,36 @@ void glue(MsComplex& root, const MsComplex& other, GlueStats* stats,
     }
   }
 
+  // A leaf geometry may be moved instead of copied only when no other
+  // live arc and no composite shares it (compacted complexes never
+  // do, but glue cannot assume its input was compacted).
+  std::vector<std::uint8_t> geom_refs;
+  if (may_move) {
+    geom_refs.assign(other.geoms().size(), 0);
+    for (const Arc& ar : other.arcs()) {
+      if (!ar.alive || ar.geom == kNone) continue;
+      auto& r = geom_refs[static_cast<std::size_t>(ar.geom)];
+      if (r < 2) ++r;
+      if (!other.geom(ar.geom).children.empty()) {
+        std::vector<GeomId> stack{ar.geom};
+        while (!stack.empty()) {
+          const GeomId id = stack.back();
+          stack.pop_back();
+          for (const auto& ch : other.geom(id).children) {
+            geom_refs[static_cast<std::size_t>(ch.id)] = 2;
+            stack.push_back(ch.id);
+          }
+        }
+      }
+    }
+  }
+
+  std::size_t live_ordinal = 0;
   for (const Arc& ar : other.arcs()) {
     if (!ar.alive) continue;
+    const std::size_t ordinal = live_ordinal++;
     const auto lo = static_cast<std::size_t>(ar.lower);
     const auto up = static_cast<std::size_t>(ar.upper);
-    Geom g;
-    if (ar.geom != kNone) g.cells = other.flattenGeom(ar.geom);
     if (pre[lo] && pre[up]) {
       // Both endpoints were on the shared boundary. The root already
       // owns the arc iff its whole V-path lies in the region the root
@@ -44,17 +92,30 @@ void glue(MsComplex& root, const MsComplex& other, GlueStats* stats,
       // restricted gradients). An arc between two shared nodes whose
       // path crosses `other`'s uncovered interior — e.g. a composite
       // created by a round of simplification reconnecting across a
-      // cancelled pair — is new and must be kept.
+      // cancelled pair — is new and must be kept. A sharded-round
+      // skeleton carries the sender's precomputed verdict instead of
+      // the real path (its cells are sentinels the scan cannot judge).
       bool duplicate = true;
-      for (const CellAddr a : g.cells)
-        if (!covered.contains(other.domain().coordOf(a))) {
-          duplicate = false;
-          break;
-        }
+      if (dup_flags) {
+        duplicate = (*dup_flags)[ordinal] != 0;
+      } else if (ar.geom != kNone) {
+        duplicate = forEachGeomCell(other, ar.geom, [&](CellAddr a) {
+          return covered.contains(other.domain().coordOf(a));
+        });
+      }
       if (duplicate) {
         if (stats) ++stats->arcs_deduped;
         continue;
       }
+    }
+    Geom g;
+    if (ar.geom != kNone) {
+      const Geom& og = other.geom(ar.geom);
+      if (may_move && og.children.empty() &&
+          geom_refs[static_cast<std::size_t>(ar.geom)] == 1)
+        g.cells = other.takeLeafGeomCells(ar.geom);
+      else
+        g.cells = other.flattenGeom(ar.geom);
     }
     const GeomId gid = root.addGeom(std::move(g));
     root.addArc(map[lo], map[up], gid);
@@ -76,6 +137,21 @@ void glue(MsComplex& root, const MsComplex& other, GlueStats* stats,
   }
 }
 
+}  // namespace
+
+void glue(MsComplex& root, const MsComplex& other, GlueStats* stats,
+          metrics::Registry* metrics, int metrics_rank,
+          const std::vector<std::uint8_t>* dup_flags) {
+  glueImpl(root, const_cast<MsComplex&>(other), /*may_move=*/false, stats, metrics,
+           metrics_rank, dup_flags);
+}
+
+void glue(MsComplex& root, MsComplex&& other, GlueStats* stats,
+          metrics::Registry* metrics, int metrics_rank,
+          const std::vector<std::uint8_t>* dup_flags) {
+  glueImpl(root, other, /*may_move=*/true, stats, metrics, metrics_rank, dup_flags);
+}
+
 std::int64_t finishMerge(MsComplex& root, float persistence_threshold,
                          SimplifyStats* stats, metrics::Registry* metrics,
                          int metrics_rank) {
@@ -92,7 +168,7 @@ std::int64_t mergeComplexes(MsComplex& root, std::vector<MsComplex> others,
                             SimplifyStats* sstats, metrics::Registry* metrics,
                             int metrics_rank) {
   root.compact();
-  for (const MsComplex& o : others) glue(root, o, gstats, metrics, metrics_rank);
+  for (MsComplex& o : others) glue(root, std::move(o), gstats, metrics, metrics_rank);
   return finishMerge(root, persistence_threshold, sstats, metrics, metrics_rank);
 }
 

@@ -29,8 +29,28 @@ struct GlueStats {
 /// several complexes call finishMerge() once at the end. When
 /// `metrics` is set the glue deltas are also flushed into the
 /// registry's merge counters under `metrics_rank`.
+///
+/// `dup_flags`, when non-null, holds one byte per live arc of `other`
+/// (in arc-id order): the precomputed outcome of the duplicate-path
+/// test for arcs whose endpoints are both shared. The sharded final
+/// round (merge/shard.hpp) ships these flags alongside sentinel
+/// skeletons whose geometry no longer carries the real V-paths the
+/// test would scan; replaying the sender-side verdict keeps the glue
+/// decision -- and therefore every node/arc id -- identical to a glue
+/// of the real complex.
 void glue(MsComplex& root, const MsComplex& other, GlueStats* stats = nullptr,
-          metrics::Registry* metrics = nullptr, int metrics_rank = 0);
+          metrics::Registry* metrics = nullptr, int metrics_rank = 0,
+          const std::vector<std::uint8_t>* dup_flags = nullptr);
+
+/// Consuming glue: identical result, but leaf geometry paths are
+/// moved out of `other` instead of flatten-copied (a flattened leaf
+/// is byte-for-byte its own cell path). Compacted members are all
+/// leaves, so the drivers' merge rounds become move-dominated; the
+/// duplicate-path test additionally walks geometry in place instead
+/// of materializing it. `other` is left in a consumed state.
+void glue(MsComplex& root, MsComplex&& other, GlueStats* stats = nullptr,
+          metrics::Registry* metrics = nullptr, int metrics_rank = 0,
+          const std::vector<std::uint8_t>* dup_flags = nullptr);
 
 /// After all glues of a merge round: recompute boundary status
 /// against the merged region and re-simplify to the threshold,

@@ -38,10 +38,18 @@ Bytes pack(const MsComplex& c) {
     if (!ar.alive) continue;
     w.put(static_cast<std::uint32_t>(map[static_cast<std::size_t>(ar.lower)]));
     w.put(static_cast<std::uint32_t>(map[static_cast<std::size_t>(ar.upper)]));
-    const std::vector<CellAddr> cells =
-        ar.geom == kNone ? std::vector<CellAddr>{} : c.flattenGeom(ar.geom);
-    w.put(static_cast<std::uint32_t>(cells.size()));
-    w.putBytes(cells.data(), cells.size() * sizeof(CellAddr));
+    // Leaf geometries (the only kind in a compacted complex) stream
+    // straight from their cell array; composites still flatten.
+    if (ar.geom == kNone) {
+      w.put(static_cast<std::uint32_t>(0));
+    } else if (const Geom& ge = c.geom(ar.geom); ge.children.empty()) {
+      w.put(static_cast<std::uint32_t>(ge.cells.size()));
+      w.putBytes(ge.cells.data(), ge.cells.size() * sizeof(CellAddr));
+    } else {
+      const std::vector<CellAddr> cells = c.flattenGeom(ar.geom);
+      w.put(static_cast<std::uint32_t>(cells.size()));
+      w.putBytes(cells.data(), cells.size() * sizeof(CellAddr));
+    }
   }
   return out;
 }
@@ -112,8 +120,9 @@ std::size_t packedSize(const MsComplex& c) {
     const Arc& ar = c.arcs()[i];
     if (!ar.alive) continue;
     s += 3 * sizeof(std::uint32_t);
-    // Flattened geometry length: walk the DAG counting leaf cells.
-    if (ar.geom != kNone) s += c.flattenGeom(ar.geom).size() * sizeof(CellAddr);
+    // Flattened geometry length: counted without materializing the path.
+    if (ar.geom != kNone)
+      s += static_cast<std::size_t>(c.flattenedGeomLength(ar.geom)) * sizeof(CellAddr);
   }
   return s;
 }

@@ -17,8 +17,8 @@ std::vector<MergeGroup> makeRound(int active, int radix) {
 
 MergePlan::MergePlan(std::vector<int> radices) : radices_(std::move(radices)) {
   for (const int r : radices_)
-    if (r != 2 && r != 4 && r != 8)
-      throw std::invalid_argument("MergePlan: radix must be 2, 4 or 8");
+    if (r < 2)
+      throw std::invalid_argument("MergePlan: radix must be >= 2");
 }
 
 int MergePlan::outputsFor(int nblocks) const {

@@ -2,13 +2,16 @@
 /// Radix-configurable merge schedule (section IV-F2, after the
 /// Radix-k compositing idea of ref [22]).
 ///
-/// A merge plan is a list of rounds, each with a radix in {2, 4, 8}.
-/// In each round, the currently-active complexes are grouped by
-/// consecutive position into groups of `radix` members; the first
-/// member is the group's root, the others send it their complex and
-/// drop out. After all rounds, ceil(B / prod(radices)) complexes
-/// remain. Because blocks are numbered in bisection-tree order,
-/// power-of-two groups of consecutive ids cover contiguous boxes.
+/// A merge plan is a list of rounds, each with a radix >= 2. In each
+/// round, the currently-active complexes are grouped by consecutive
+/// position into groups of `radix` members; the first member is the
+/// group's root, the others send it their complex and drop out.
+/// After all rounds, ceil(B / prod(radices)) complexes remain.
+/// Because blocks are numbered in bisection-tree order, power-of-two
+/// groups of consecutive ids cover contiguous boxes. fullMerge keeps
+/// the paper's {2, 4, 8} guideline; wider final radices exist for the
+/// sharded final round (merge/shard.hpp), which wants one wide last
+/// group instead of a deep root funnel.
 #pragma once
 
 #include <cstdint>

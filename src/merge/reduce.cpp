@@ -1,0 +1,28 @@
+#include "merge/reduce.hpp"
+
+#include "core/simplify.hpp"
+#include "io/pack.hpp"
+
+namespace msc::merge {
+
+ReduceStats reduceForShip(MsComplex& c, float persistence_threshold,
+                          metrics::Registry* metrics, int metrics_rank) {
+  ReduceStats st;
+  st.bytes_before = static_cast<std::int64_t>(io::packedSize(c));
+
+  SimplifyOptions opts;
+  opts.persistence_threshold = persistence_threshold;
+  opts.metrics = metrics;
+  opts.metrics_rank = metrics_rank;
+  st.cancellations = simplify(c, opts);
+  // The sweep leaves dead elements and composite geometries behind;
+  // compact so the complex is wire-shaped again and the composites'
+  // junction duplicates become visible to the leaf compression.
+  if (st.cancellations > 0) c.compact();
+
+  st.cells_removed = c.compressLeafGeometry();
+  st.bytes_after = static_cast<std::int64_t>(io::packedSize(c));
+  return st;
+}
+
+}  // namespace msc::merge

@@ -1,0 +1,52 @@
+/// \file reduce.hpp
+/// Pre-merge reduction: shrink a block's complex right before it is
+/// packed for a merge round (PipelineConfig::premerge).
+///
+/// Two passes, both canonical-form preserving (check/canonical.hpp):
+///
+///  1. A zero/low-persistence cancellation sweep at the pipeline's
+///     threshold. Complexes leaving computeBlockComplex or a
+///     committed merge round are already at the simplification
+///     fixpoint, so this normally cancels nothing -- it is the safety
+///     net for callers that ship complexes which have not been
+///     simplified to the shipping threshold yet.
+///
+///  2. Leaf V-path compression (MsComplex::compressLeafGeometry):
+///     every cancellation composite repeats the junction cell where
+///     two merged paths meet, and the repeats survive flattening into
+///     pack() output. Dropping consecutive duplicates typically
+///     removes one cell per accumulated cancellation junction, which
+///     is where the real byte reduction comes from.
+///
+/// Reduction is visible through existing telemetry: sweep
+/// cancellations land in the kSimplify* counters, and the shrunken
+/// pack lands in kPackBytes (and so in the perf gate's critpath byte
+/// columns) because callers pack after reducing.
+#pragma once
+
+#include <cstdint>
+
+#include "core/complex.hpp"
+
+namespace msc::metrics {
+class Registry;
+}
+
+namespace msc::merge {
+
+struct ReduceStats {
+  std::int64_t cancellations{0};   ///< pairs cancelled by the sweep
+  std::int64_t cells_removed{0};   ///< duplicate junction cells dropped
+  std::int64_t bytes_before{0};    ///< packedSize before reduction
+  std::int64_t bytes_after{0};     ///< packedSize after reduction
+};
+
+/// Reduce `c` in place for shipping. If the sweep cancelled anything
+/// the complex is re-compacted (wire complexes are always compacted),
+/// so the result is safe to pack, glue, or skeleton-ize. Deterministic:
+/// both pipeline drivers call this at the same points and must keep
+/// producing byte-identical outputs.
+ReduceStats reduceForShip(MsComplex& c, float persistence_threshold,
+                          metrics::Registry* metrics = nullptr, int metrics_rank = 0);
+
+}  // namespace msc::merge

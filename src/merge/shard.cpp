@@ -1,0 +1,276 @@
+#include "merge/shard.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "core/merge.hpp"
+#include "decomp/decompose.hpp"
+
+namespace msc::merge {
+
+Region priorCoveredRegion(const Domain& domain, int nblocks, int block) {
+  const std::vector<Block> blocks = decompose(domain, nblocks);
+  Region r;
+  for (int b = 0; b < block && b < static_cast<int>(blocks.size()); ++b)
+    r.add(blocks[static_cast<std::size_t>(b)].refinedBox());
+  r.coalesce();
+  return r;
+}
+
+io::Bytes makeShardBlob(const MsComplex& c, int pos, const Region& prior_covered) {
+  if (pos < 0 || pos >= kShardMaxPositions)
+    throw std::invalid_argument("shard: position " + std::to_string(pos) +
+                                " out of sentinel range");
+  // Sentinels must be unmistakable for real addresses.
+  const Vec3i rd = c.domain().rdims();
+  const CellAddr volume = static_cast<CellAddr>(rd.x) * static_cast<CellAddr>(rd.y) *
+                          static_cast<CellAddr>(rd.z);
+  if (volume >= kShardSentinelTag)
+    throw std::invalid_argument("shard: refined volume collides with sentinel band");
+
+  MsComplex skel(c.domain(), c.region());
+  std::vector<NodeId> map(c.nodes().size(), kNone);
+  for (std::size_t i = 0; i < c.nodes().size(); ++i) {
+    const Node& nd = c.nodes()[i];
+    if (!nd.alive) continue;
+    map[i] = skel.addNode(nd.addr, nd.index, nd.value);
+  }
+
+  std::vector<std::uint8_t> flags;
+  std::uint32_t ord = 0;
+  for (const Arc& ar : c.arcs()) {
+    if (!ar.alive) continue;
+    if (ord >= kShardMaxOrdinal)
+      throw std::invalid_argument("shard: arc ordinal out of sentinel range");
+    // The glue duplicate verdict, evaluated against the region the
+    // baseline root covers when this survivor is glued. Replayed by
+    // the receivers, where the real path is no longer available.
+    bool dup = true;
+    if (ar.geom != kNone)
+      for (const CellAddr a : c.flattenGeom(ar.geom))
+        if (!prior_covered.contains(c.domain().coordOf(a))) {
+          dup = false;
+          break;
+        }
+    flags.push_back(dup ? 1 : 0);
+
+    Geom g;
+    g.cells = {shardSentinel(pos, ord, false), shardSentinel(pos, ord, true)};
+    skel.addArc(map[static_cast<std::size_t>(ar.lower)],
+                map[static_cast<std::size_t>(ar.upper)], skel.addGeom(std::move(g)));
+    ++ord;
+  }
+
+  io::Bytes out;
+  io::Writer w(out);
+  w.put<std::uint32_t>(ord);
+  w.putBytes(flags.data(), flags.size());
+  const io::Bytes packed = io::pack(skel);
+  w.putBytes(packed.data(), packed.size());
+  return out;
+}
+
+ShardSkeleton parseShardBlob(const io::Bytes& blob) {
+  io::Reader rd(blob);
+  const std::uint32_t narcs = rd.get<std::uint32_t>();
+  ShardSkeleton out;
+  out.dup_flags.resize(narcs);
+  rd.getBytes(out.dup_flags.data(), narcs);
+  const std::size_t offset = blob.size() - rd.remaining();
+  const io::Bytes packed(blob.begin() + static_cast<std::ptrdiff_t>(offset), blob.end());
+  out.complex = io::unpack(packed);
+  if (out.complex.liveArcCount() != static_cast<std::int64_t>(narcs))
+    throw std::runtime_error("shard: blob flag count " + std::to_string(narcs) +
+                             " does not match skeleton arc count " +
+                             std::to_string(out.complex.liveArcCount()));
+  return out;
+}
+
+MsComplex mergeShardSkeletons(std::vector<ShardSkeleton> parts,
+                              float persistence_threshold,
+                              metrics::Registry* metrics, int metrics_rank) {
+  if (parts.empty())
+    throw std::invalid_argument("shard: cannot merge zero skeletons");
+  // The exact call sequence of the baseline root's mergeComplexes:
+  // compact, glue in ascending survivor order, finish. glue and
+  // simplify never read geometry cells, so the sentinel paths ride
+  // along untouched and every id decision replays bit-identically.
+  MsComplex root = std::move(parts[0].complex);
+  root.compact();
+  for (std::size_t i = 1; i < parts.size(); ++i)
+    glue(root, std::move(parts[i].complex), nullptr, metrics, metrics_rank,
+         &parts[i].dup_flags);
+  finishMerge(root, persistence_threshold, nullptr, metrics, metrics_rank);
+  return root;
+}
+
+namespace {
+
+[[noreturn]] void malformedPath(const char* what) {
+  throw std::logic_error(std::string("shard: malformed sentinel path: ") + what);
+}
+
+std::vector<GeomPiece> parsePieces(const MsComplex& merged, ArcId a) {
+  std::vector<GeomPiece> out;
+  const Arc& ar = merged.arc(a);
+  if (ar.geom == kNone) return out;
+  const std::vector<CellAddr> flat = merged.flattenGeom(ar.geom);
+  if (flat.size() % 2 != 0) malformedPath("odd cell count");
+  out.reserve(flat.size() / 2);
+  for (std::size_t i = 0; i < flat.size(); i += 2) {
+    const CellAddr x = flat[i], y = flat[i + 1];
+    if (!isShardSentinel(x) || !isShardSentinel(y)) malformedPath("real cell in skeleton");
+    if (shardSentinelPos(x) != shardSentinelPos(y) ||
+        shardSentinelOrdinal(x) != shardSentinelOrdinal(y))
+      malformedPath("sentinel pair mismatch");
+    if (shardSentinelEnd(x) == shardSentinelEnd(y)) malformedPath("sentinel orientation");
+    out.push_back({shardSentinelPos(x), shardSentinelOrdinal(x), shardSentinelEnd(x)});
+  }
+  return out;
+}
+
+}  // namespace
+
+ShardPlanView buildShardPlan(const MsComplex& merged) {
+  ShardPlanView plan;
+  for (ArcId a = 0; a < static_cast<ArcId>(merged.arcs().size()); ++a) {
+    if (!merged.arc(a).alive) continue;
+    plan.live_arcs.push_back(a);
+    plan.pieces.push_back(parsePieces(merged, a));
+  }
+  return plan;
+}
+
+std::vector<std::uint32_t> shardNeededPaths(const ShardPlanView& plan, int nshards,
+                                            int dst, int src) {
+  std::vector<std::uint32_t> out;
+  for (std::size_t k = 0; k < plan.live_arcs.size(); ++k) {
+    if (shardArcOwner(k, nshards) != dst) continue;
+    for (const GeomPiece& p : plan.pieces[k])
+      if (p.pos == src) out.push_back(p.ordinal);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+namespace {
+
+std::vector<ArcId> liveArcIds(const MsComplex& c) {
+  std::vector<ArcId> out;
+  for (ArcId a = 0; a < static_cast<ArcId>(c.arcs().size()); ++a)
+    if (c.arc(a).alive) out.push_back(a);
+  return out;
+}
+
+}  // namespace
+
+io::Bytes packPathBundle(const MsComplex& source,
+                         const std::vector<std::uint32_t>& ordinals) {
+  const std::vector<ArcId> live = liveArcIds(source);
+  io::Bytes out;
+  io::Writer w(out);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(ordinals.size()));
+  for (const std::uint32_t ord : ordinals) {
+    if (ord >= live.size())
+      throw std::invalid_argument("shard: bundle request for arc ordinal " +
+                                  std::to_string(ord) + " of " +
+                                  std::to_string(live.size()));
+    const Arc& ar = source.arc(live[ord]);
+    const std::vector<CellAddr> cells =
+        ar.geom == kNone ? std::vector<CellAddr>{} : source.flattenGeom(ar.geom);
+    w.put<std::uint32_t>(ord);
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(cells.size()));
+    w.putBytes(cells.data(), cells.size() * sizeof(CellAddr));
+  }
+  return out;
+}
+
+std::map<std::uint32_t, std::vector<CellAddr>> unpackPathBundle(const io::Bytes& bundle) {
+  io::Reader rd(bundle);
+  std::map<std::uint32_t, std::vector<CellAddr>> out;
+  const std::uint32_t count = rd.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t ord = rd.get<std::uint32_t>();
+    const std::uint32_t len = rd.get<std::uint32_t>();
+    std::vector<CellAddr> cells(len);
+    rd.getBytes(cells.data(), static_cast<std::size_t>(len) * sizeof(CellAddr));
+    out.emplace(ord, std::move(cells));
+  }
+  return out;
+}
+
+void ShardPathServer::addLocal(int pos, const MsComplex* source) {
+  local_[pos] = source;
+  local_live_[pos] = liveArcIds(*source);
+}
+
+void ShardPathServer::addRemote(int pos,
+                                std::map<std::uint32_t, std::vector<CellAddr>> paths) {
+  remote_[pos] = std::move(paths);
+}
+
+std::vector<CellAddr> ShardPathServer::pathOf(int pos, std::uint32_t ordinal) const {
+  if (const auto it = local_.find(pos); it != local_.end()) {
+    const std::vector<ArcId>& live = local_live_.at(pos);
+    if (ordinal >= live.size())
+      throw std::logic_error("shard: local path ordinal out of range");
+    const Arc& ar = it->second->arc(live[ordinal]);
+    return ar.geom == kNone ? std::vector<CellAddr>{}
+                            : it->second->flattenGeom(ar.geom);
+  }
+  const auto rit = remote_.find(pos);
+  if (rit == remote_.end())
+    throw std::logic_error("shard: no path source for position " + std::to_string(pos));
+  const auto pit = rit->second.find(ordinal);
+  if (pit == rit->second.end())
+    throw std::logic_error("shard: missing bundled path (pos " + std::to_string(pos) +
+                           ", ordinal " + std::to_string(ordinal) + ")");
+  return pit->second;
+}
+
+MsComplex materializeShardPart(const MsComplex& merged, const ShardPlanView& plan,
+                               int nshards, int my_pos,
+                               const ShardPathServer& paths) {
+  MsComplex out(merged.domain(), merged.region());
+  std::vector<NodeId> map(merged.nodes().size(), kNone);
+  const auto ensure = [&](NodeId n) {
+    NodeId& slot = map[static_cast<std::size_t>(n)];
+    if (slot == kNone) {
+      const Node& nd = merged.node(n);
+      slot = out.addNode(nd.addr, nd.index, nd.value);
+    }
+    return slot;
+  };
+
+  for (std::size_t k = 0; k < plan.live_arcs.size(); ++k) {
+    if (shardArcOwner(k, nshards) != my_pos) continue;
+    const Arc& ar = merged.arc(plan.live_arcs[k]);
+    Geom g;
+    for (const GeomPiece& p : plan.pieces[k]) {
+      const std::vector<CellAddr> cells = paths.pathOf(p.pos, p.ordinal);
+      if (!p.reversed)
+        g.cells.insert(g.cells.end(), cells.begin(), cells.end());
+      else
+        g.cells.insert(g.cells.end(), cells.rbegin(), cells.rend());
+    }
+    const NodeId lo = ensure(ar.lower);
+    const NodeId up = ensure(ar.upper);
+    out.addArc(lo, up, out.addGeom(std::move(g)));
+  }
+
+  // Isolated critical points are real output too (a maximum in a
+  // one-block region, say); deal them round-robin like arcs.
+  std::size_t j = 0;
+  for (NodeId n = 0; n < static_cast<NodeId>(merged.nodes().size()); ++n) {
+    const Node& nd = merged.node(n);
+    if (!nd.alive || nd.n_arcs != 0) continue;
+    if (shardArcOwner(j++, nshards) == my_pos) ensure(n);
+  }
+
+  out.recomputeBoundary();
+  return out;
+}
+
+}  // namespace msc::merge

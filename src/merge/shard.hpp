@@ -1,0 +1,176 @@
+/// \file shard.hpp
+/// The distributed final merge round (PipelineConfig::sharded_final).
+///
+/// The single-root last round is the pipeline's serial wall: one rank
+/// glues every surviving complex -- megabytes of V-path geometry --
+/// while everyone else idles (BENCH_critpath.json, `groups: 1`).
+/// This module replaces it with a three-phase exchange in which no
+/// rank ever materializes the full geometry:
+///
+///  1. **Skeleton allgather.** Each final-round survivor broadcasts a
+///     *skeleton blob*: its complex with every arc's V-path replaced
+///     by a two-cell sentinel naming (survivor position, arc ordinal),
+///     plus one precomputed glue duplicate-verdict byte per arc (the
+///     verdict needs the real path, which the skeleton no longer
+///     carries). Skeletons are graph-sized, not geometry-sized.
+///
+///  2. **Replicated graph merge.** Every survivor owner glues the S
+///     skeletons in ascending block order -- the exact sequence the
+///     single-root baseline executes -- and re-simplifies. glue() and
+///     simplify() never read geometry cells, and the shipped verdicts
+///     replay the one geometry-dependent decision, so the merged
+///     skeleton is id-for-id identical to the baseline root's graph;
+///     only its geometry holds sentinel names instead of cells.
+///     Flattening a merged arc's geometry therefore yields the exact
+///     sequence of (origin, ordinal, orientation) path pieces the
+///     baseline would have concatenated.
+///
+///  3. **Owner-partitioned geometry exchange.** Live arcs of the
+///     merged graph are assigned round-robin to survivors (the
+///     deterministic boundary-ownership rule: arc k belongs to shard
+///     k mod S, replicated bit-identically everywhere). Each survivor
+///     sends every other exactly the real paths its owned arcs need,
+///     then materializes its part by concatenating pieces -- byte-
+///     identical to the slice of the baseline root's output it owns.
+///
+/// The union of the S parts is canonically equal (check/canonical.hpp
+/// compareExact) to the single-root output, which is the differential
+/// oracle tests/test_merge_reduce.cpp and the fuzz harness enforce.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/complex.hpp"
+#include "io/pack.hpp"
+
+namespace msc::metrics {
+class Registry;
+}
+
+namespace msc::merge {
+
+/// Sentinel cell addresses live in an address band no refined grid
+/// can reach (a real CellAddr is bounded by the refined volume; the
+/// tag sits at bit 56). They appear only inside skeleton geometry --
+/// never as node addresses -- so address-based node matching and
+/// boundary recomputation never see them.
+inline constexpr CellAddr kShardSentinelTag = static_cast<CellAddr>(0xA5) << 56;
+inline constexpr int kShardMaxPositions = 1 << 28;
+inline constexpr std::uint32_t kShardMaxOrdinal = 1u << 27;
+
+inline constexpr CellAddr shardSentinel(int pos, std::uint32_t ordinal, bool end) {
+  return kShardSentinelTag |
+         (static_cast<CellAddr>(static_cast<std::uint32_t>(pos)) << 28) |
+         (static_cast<CellAddr>(ordinal) << 1) | (end ? 1u : 0u);
+}
+inline constexpr bool isShardSentinel(CellAddr a) { return (a >> 56) == 0xA5; }
+inline constexpr int shardSentinelPos(CellAddr a) {
+  return static_cast<int>((a >> 28) & ((1u << 28) - 1));
+}
+inline constexpr std::uint32_t shardSentinelOrdinal(CellAddr a) {
+  return static_cast<std::uint32_t>((a >> 1) & (kShardMaxOrdinal - 1));
+}
+inline constexpr bool shardSentinelEnd(CellAddr a) { return (a & 1) != 0; }
+
+/// Region the single-root baseline's root had already covered when
+/// the survivor owning original block `block` was glued: the union of
+/// all original block regions with smaller ids (members glue in
+/// ascending block order and every survivor owns a contiguous block
+/// range). This is the region the in-glue duplicate scan would have
+/// tested against; makeShardBlob evaluates the scan against it ahead
+/// of time.
+Region priorCoveredRegion(const Domain& domain, int nblocks, int block);
+
+/// Build the blob survivor position `pos` contributes to the
+/// allgather: [u32 narcs][narcs duplicate-verdict bytes][packed
+/// sentinel skeleton]. `c` is the survivor's real complex (live
+/// elements only are encoded, in id order -- the same order pack()
+/// ships, so skeleton ids replay the baseline glue exactly).
+io::Bytes makeShardBlob(const MsComplex& c, int pos, const Region& prior_covered);
+
+struct ShardSkeleton {
+  MsComplex complex;
+  std::vector<std::uint8_t> dup_flags;  ///< per live arc, 1 = glue drops it
+};
+
+/// Inverse of makeShardBlob (throws std::runtime_error on a
+/// truncated or malformed blob).
+ShardSkeleton parseShardBlob(const io::Bytes& blob);
+
+/// Phase 2: glue the skeletons (ascending survivor order, position 0
+/// first) and re-simplify to the threshold -- the replicated
+/// counterpart of the baseline root's mergeComplexes. Every caller
+/// with the same blobs computes an identical result.
+MsComplex mergeShardSkeletons(std::vector<ShardSkeleton> parts,
+                              float persistence_threshold,
+                              metrics::Registry* metrics = nullptr,
+                              int metrics_rank = 0);
+
+/// One piece of a merged arc's geometry: the `ordinal`-th live arc
+/// contributed by survivor `pos`, traversed reversed or not.
+struct GeomPiece {
+  int pos;
+  std::uint32_t ordinal;
+  bool reversed;
+};
+
+/// The merged graph's live arcs (id order) with their parsed piece
+/// sequences -- the shared input of ownership, bundle planning, and
+/// materialization. Throws std::logic_error if an arc's flattened
+/// geometry is not a well-formed sentinel pair sequence (a real cell
+/// leaking into a skeleton would corrupt outputs silently otherwise).
+struct ShardPlanView {
+  std::vector<ArcId> live_arcs;
+  std::vector<std::vector<GeomPiece>> pieces;  ///< parallel to live_arcs
+};
+ShardPlanView buildShardPlan(const MsComplex& merged);
+
+/// Deterministic ownership: the k-th live arc belongs to shard
+/// k mod S. Isolated nodes are assigned the same way by live order.
+inline constexpr int shardArcOwner(std::size_t live_ordinal, int nshards) {
+  return static_cast<int>(live_ordinal % static_cast<std::size_t>(nshards));
+}
+
+/// Ordinals (ascending, unique) of source-position `src` paths needed
+/// to materialize the arcs owned by shard `dst`. Replicated: every
+/// rank derives the same needs matrix, so senders and receivers agree
+/// without negotiation.
+std::vector<std::uint32_t> shardNeededPaths(const ShardPlanView& plan, int nshards,
+                                            int dst, int src);
+
+/// Wire format of phase 3: [u32 count] then per path
+/// [u32 ordinal][u32 ncells][cells]. Ordinals index the *live* arcs
+/// of the source complex in id order. An empty request packs to a
+/// valid empty bundle (always sent, so receive counts are static).
+io::Bytes packPathBundle(const MsComplex& source,
+                         const std::vector<std::uint32_t>& ordinals);
+std::map<std::uint32_t, std::vector<CellAddr>> unpackPathBundle(const io::Bytes& bundle);
+
+/// Serves real flattened paths during materialization, from local
+/// complexes (non-owning pointers; must outlive the server) and
+/// unpacked remote bundles alike.
+class ShardPathServer {
+ public:
+  void addLocal(int pos, const MsComplex* source);
+  void addRemote(int pos, std::map<std::uint32_t, std::vector<CellAddr>> paths);
+  std::vector<CellAddr> pathOf(int pos, std::uint32_t ordinal) const;
+
+ private:
+  std::map<int, const MsComplex*> local_;
+  std::map<int, std::vector<ArcId>> local_live_;  ///< pos -> live arc ids
+  std::map<int, std::map<std::uint32_t, std::vector<CellAddr>>> remote_;
+};
+
+/// Phase 3 tail: materialize the part shard `my_pos` owns -- its
+/// round-robin share of the merged graph's arcs and isolated nodes,
+/// with real geometry re-assembled from the piece sequences. The
+/// part's region is the full merged region (every part describes a
+/// slice of the same global complex).
+MsComplex materializeShardPart(const MsComplex& merged, const ShardPlanView& plan,
+                               int nshards, int my_pos,
+                               const ShardPathServer& paths);
+
+}  // namespace msc::merge

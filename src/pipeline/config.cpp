@@ -40,6 +40,12 @@ void envInt(const char* name, int* out) {
   *out = static_cast<int>(v);
 }
 
+void envFlag(const char* name, bool* out) {
+  int v = *out ? 1 : 0;
+  envInt(name, &v);
+  *out = v != 0;
+}
+
 [[noreturn]] void rejectConfig(const std::string& knob, const std::string& why) {
   throw std::invalid_argument("PipelineConfig: " + knob + " " + why);
 }
@@ -53,6 +59,8 @@ PipelineConfig withEnvOverrides(const PipelineConfig& cfg) {
   envDouble("MSC_BACKOFF_INITIAL_MS", &out.fault.backoff_initial_ms);
   envDouble("MSC_BACKOFF_MAX_MS", &out.fault.backoff_max_ms);
   envInt("MSC_MAX_ROUND_ATTEMPTS", &out.fault.max_round_attempts);
+  envFlag("MSC_PREMERGE", &out.premerge);
+  envFlag("MSC_SHARDED_FINAL", &out.sharded_final);
   return out;
 }
 

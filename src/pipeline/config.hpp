@@ -123,6 +123,22 @@ struct PipelineConfig {
   /// Null (the default) keeps the one-branch-per-op path; pipeline
   /// output bytes are identical either way.
   metrics::Registry* metrics{nullptr};
+  /// Pre-merge reduction (merge/reduce.hpp): before a member complex
+  /// is packed for a merge round, run a zero/low-persistence
+  /// cancellation sweep and compress duplicate junction cells out of
+  /// its V-path geometry. Output is canonical-equal -- not
+  /// byte-equal -- to a premerge-off run (the dropped duplicates
+  /// never survive canonicalization). Default off: prior baselines
+  /// stay byte-identical.
+  bool premerge{false};
+  /// Distributed final merge (merge/shard.hpp): when the plan's last
+  /// round funnels every survivor into a single root, run the
+  /// skeleton-allgather / replicated-graph-merge / owner-partitioned
+  /// geometry exchange instead. The final survivors each keep one
+  /// output part whose union is canonical-equal to the single-root
+  /// output; the written container holds that many parts instead of
+  /// one. Default off.
+  bool sharded_final{false};
   /// Watchdog promoted from audit::Options: a rank blocked longer
   /// than this fails an audited run. The threaded driver applies it
   /// to the attached auditor, replacing the hard-coded 30 s.
@@ -137,6 +153,8 @@ struct PipelineConfig {
 ///   MSC_BACKOFF_INITIAL_MS   -> fault.backoff_initial_ms
 ///   MSC_BACKOFF_MAX_MS       -> fault.backoff_max_ms
 ///   MSC_MAX_ROUND_ATTEMPTS   -> fault.max_round_attempts
+///   MSC_PREMERGE             -> premerge (0/1)
+///   MSC_SHARDED_FINAL        -> sharded_final (0/1)
 /// Unset variables leave the field untouched; an unparsable value
 /// throws std::invalid_argument naming the variable.
 PipelineConfig withEnvOverrides(const PipelineConfig& cfg);

@@ -1,12 +1,15 @@
 #include "pipeline/sim_pipeline.hpp"
 
 #include <chrono>
+#include <map>
 
 #include "core/boundary.hpp"
 #include "core/lower_star.hpp"
 #include "core/merge.hpp"
 #include "decomp/decompose.hpp"
 #include "io/complex_file.hpp"
+#include "merge/reduce.hpp"
+#include "merge/shard.hpp"
 #include "metrics/metrics.hpp"
 
 namespace msc::pipeline {
@@ -26,6 +29,120 @@ struct ActiveSet {
   MsComplex complex;
   std::int64_t packed_bytes;
 };
+
+/// The distributed final round (merge/shard.hpp), executed for real:
+/// every survivor's complex is replaced in place by the part it owns,
+/// and the round is recorded as one group per survivor so the
+/// timeline sees `groups > 1` with skeleton/bundle-sized messages
+/// instead of one root swallowing the whole complex. Message and
+/// timing attribution mirrors the threaded driver: each *owner rank*
+/// receives every foreign skeleton once and runs the replicated graph
+/// merge once (charged to its first group); per-survivor groups
+/// additionally carry their own blob build, bundle pack/unpack and
+/// materialization.
+std::vector<simnet::GroupRecord> runShardedRound(const PipelineConfig& cfg,
+                                                 std::vector<ActiveSet>& active) {
+  const int S = static_cast<int>(active.size());
+  std::vector<double> local_work(static_cast<std::size_t>(S), 0.0);
+
+  // First group owned by each rank: rank-wide costs are charged there.
+  std::map<int, std::size_t> first_of_rank;
+  for (std::size_t i = 0; i < active.size(); ++i)
+    first_of_rank.emplace(active[i].owner_rank, i);
+
+  // Phase 0: pre-merge reduction. Position 0 is the baseline root; it
+  // never ships in the single-root schedule, so it is not reduced --
+  // keeping the sharded output byte-comparable to that baseline.
+  if (cfg.premerge) {
+    for (int i = 1; i < S; ++i) {
+      const double t0 = now();
+      merge::reduceForShip(active[static_cast<std::size_t>(i)].complex,
+                           cfg.persistence_threshold, cfg.metrics,
+                           active[static_cast<std::size_t>(i)].owner_rank);
+      local_work[static_cast<std::size_t>(i)] += now() - t0;
+    }
+  }
+
+  // Phase 1: skeleton blobs (the allgather payloads).
+  std::vector<io::Bytes> blobs(static_cast<std::size_t>(S));
+  for (int i = 0; i < S; ++i) {
+    const ActiveSet& a = active[static_cast<std::size_t>(i)];
+    const double t0 = now();
+    blobs[static_cast<std::size_t>(i)] = merge::makeShardBlob(
+        a.complex, i, merge::priorCoveredRegion(cfg.domain, cfg.nblocks, a.root_block));
+    local_work[static_cast<std::size_t>(i)] += now() - t0;
+    metrics::add(cfg.metrics, a.owner_rank, metrics::Counter::kPackBytes,
+                 static_cast<std::int64_t>(blobs[static_cast<std::size_t>(i)].size()));
+  }
+
+  // Phase 2: the replicated graph merge. Executed once here; in the
+  // threaded driver every owner rank replays it identically, so its
+  // cost is charged to each rank's first group below.
+  const double t_replica0 = now();
+  std::vector<merge::ShardSkeleton> parts;
+  parts.reserve(static_cast<std::size_t>(S));
+  for (const io::Bytes& b : blobs) parts.push_back(merge::parseShardBlob(b));
+  const MsComplex merged =
+      merge::mergeShardSkeletons(std::move(parts), cfg.persistence_threshold,
+                                 cfg.metrics, active[0].owner_rank);
+  const merge::ShardPlanView plan = merge::buildShardPlan(merged);
+  const double t_replica = now() - t_replica0;
+
+  // Phase 3: geometry bundles + materialization, through the same
+  // pack/unpack wire path the threaded driver uses.
+  std::vector<std::vector<std::int64_t>> bundle_bytes(
+      static_cast<std::size_t>(S), std::vector<std::int64_t>(static_cast<std::size_t>(S), 0));
+  std::vector<MsComplex> outputs(static_cast<std::size_t>(S));
+  for (int d = 0; d < S; ++d) {
+    merge::ShardPathServer server;
+    server.addLocal(d, &active[static_cast<std::size_t>(d)].complex);
+    for (int src = 0; src < S; ++src) {
+      if (src == d) continue;
+      const double t0 = now();
+      io::Bytes bundle = merge::packPathBundle(
+          active[static_cast<std::size_t>(src)].complex,
+          merge::shardNeededPaths(plan, S, d, src));
+      bundle_bytes[static_cast<std::size_t>(src)][static_cast<std::size_t>(d)] =
+          static_cast<std::int64_t>(bundle.size());
+      metrics::add(cfg.metrics, active[static_cast<std::size_t>(src)].owner_rank,
+                   metrics::Counter::kPackBytes,
+                   static_cast<std::int64_t>(bundle.size()));
+      local_work[static_cast<std::size_t>(src)] += now() - t0;
+      const double t1 = now();
+      server.addRemote(src, merge::unpackPathBundle(bundle));
+      local_work[static_cast<std::size_t>(d)] += now() - t1;
+    }
+    const double t2 = now();
+    outputs[static_cast<std::size_t>(d)] =
+        merge::materializeShardPart(merged, plan, S, d, server);
+    local_work[static_cast<std::size_t>(d)] += now() - t2;
+  }
+
+  // Record one group per survivor and install the parts.
+  std::vector<simnet::GroupRecord> recs;
+  recs.reserve(static_cast<std::size_t>(S));
+  for (int i = 0; i < S; ++i) {
+    ActiveSet& a = active[static_cast<std::size_t>(i)];
+    simnet::GroupRecord rec;
+    rec.root_rank = a.owner_rank;
+    const bool first = first_of_rank.at(a.owner_rank) == static_cast<std::size_t>(i);
+    for (int j = 0; j < S; ++j) {
+      if (j == i) continue;
+      const ActiveSet& peer = active[static_cast<std::size_t>(j)];
+      if (peer.owner_rank == a.owner_rank) continue;  // co-located: no message
+      if (first)
+        rec.sends.emplace_back(peer.owner_rank,
+                               static_cast<std::int64_t>(blobs[static_cast<std::size_t>(j)].size()));
+      rec.sends.emplace_back(peer.owner_rank,
+                             bundle_bytes[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)]);
+    }
+    rec.merge_seconds = local_work[static_cast<std::size_t>(i)] + (first ? t_replica : 0.0);
+    a.complex = std::move(outputs[static_cast<std::size_t>(i)]);
+    a.packed_bytes = static_cast<std::int64_t>(io::packedSize(a.complex));
+    recs.push_back(std::move(rec));
+  }
+  return recs;
+}
 
 }  // namespace
 
@@ -90,6 +207,12 @@ SimResult runSimPipeline(const PipelineConfig& user_cfg, const SimModels& models
   // --- Merge rounds (Fig. 3 (d)-(f) repeated).
   for (int r = 0; r < cfg.plan.rounds(); ++r) {
     const auto groups = cfg.plan.round(r, static_cast<int>(active.size()));
+    const bool sharded_here = cfg.sharded_final && r == cfg.plan.rounds() - 1 &&
+                              groups.size() == 1 && active.size() > 1;
+    if (sharded_here) {
+      in.rounds.push_back(runShardedRound(cfg, active));
+      continue;  // every survivor keeps (its part of) the complex
+    }
     std::vector<ActiveSet> next;
     std::vector<simnet::GroupRecord> recs;
     next.reserve(groups.size());
@@ -100,12 +223,24 @@ SimResult runSimPipeline(const PipelineConfig& user_cfg, const SimModels& models
       const double t0 = now();
       for (std::size_t m = 1; m < g.members.size(); ++m) {
         ActiveSet& member = active[static_cast<std::size_t>(g.members[m])];
+        if (cfg.premerge) {
+          // Member-side work, so it belongs on the member's rank; the
+          // per-round timeline has no member-compute slot, so it lands
+          // in the merge-prep stage (same rank, same total).
+          const double p0 = now();
+          merge::reduceForShip(member.complex, cfg.persistence_threshold,
+                               cfg.metrics, member.owner_rank);
+          member.packed_bytes = static_cast<std::int64_t>(io::packedSize(member.complex));
+          in.merge_prep_per_rank[static_cast<std::size_t>(member.owner_rank)] +=
+              now() - p0;
+        }
         rec.sends.emplace_back(member.owner_rank, member.packed_bytes);
         // Pack bytes are charged to the sending member's rank, as in
         // the threaded driver's send phase.
         metrics::add(cfg.metrics, member.owner_rank, metrics::Counter::kPackBytes,
                      member.packed_bytes);
-        glue(root.complex, member.complex, nullptr, cfg.metrics, root.owner_rank);
+        glue(root.complex, std::move(member.complex), nullptr, cfg.metrics,
+             root.owner_rank);
         member.complex = MsComplex();  // free early
       }
       finishMerge(root.complex, cfg.persistence_threshold, nullptr, cfg.metrics,

@@ -16,6 +16,8 @@
 #include "fault/inject.hpp"
 #include "fault/recovery.hpp"
 #include "io/complex_file.hpp"
+#include "merge/reduce.hpp"
+#include "merge/shard.hpp"
 #include "metrics/metrics.hpp"
 #include "obs/obs.hpp"
 #include "par/comm.hpp"
@@ -34,6 +36,13 @@ double now() {
 constexpr int kTagMergeBase = 100;  // + round (fault-free driver)
 constexpr int kTagWrite = 50;
 
+/// The sharded final round has a second message phase (geometry
+/// bundles after the skeleton allgather); it gets its own tag space so
+/// a bundle can never be mistaken for a skeleton. Fault-free driver:
+/// kTagShardGeomBase + round. The recovery driver qualifies by attempt
+/// (below), in a band far above any mergeTag() value.
+constexpr int kTagShardGeomBase = 1000;  // + round (fault-free driver)
+
 /// The recovery driver qualifies merge tags by attempt so a replayed
 /// round can never consume a failed attempt's stragglers:
 /// tag = kTagMergeBase + round * kAttemptStride + attempt. The stride
@@ -43,6 +52,12 @@ constexpr int kAttemptStride = 64;
 
 int mergeTag(int round, int attempt) {
   return kTagMergeBase + round * kAttemptStride + attempt;
+}
+
+/// Attempt-qualified tag for the sharded round's geometry bundles.
+/// The 10000 base keeps it clear of every mergeTag() value.
+int shardGeomTag(int round, int attempt) {
+  return 10000 + round * kAttemptStride + attempt;
 }
 
 /// Stage-boundary telemetry: fold the tagging allocator's per-rank
@@ -137,6 +152,112 @@ void runPlain(const PipelineConfig& cfg, ThreadedResult& result, std::mutex& res
       auto round_span = obs::span(tr, rank, "merge_round", "stage");
       round_span.arg("round", r);
       if (rec) rec->setStage(rank, causal::Stage::kMerge, r);
+      const bool sharded_here = cfg.sharded_final && r == cfg.plan.rounds() - 1 &&
+                                groups.size() == 1 && survivors.size() > 1;
+      if (sharded_here) {
+        // --- Distributed final round (merge/shard.hpp): skeleton
+        // allgather, replicated graph merge, owner-partitioned
+        // geometry exchange. Survivors are NOT contracted: every
+        // survivor keeps the part of the final complex its position
+        // owns, and the write stage collects all of them.
+        const int S = static_cast<int>(survivors.size());
+        const int geom_tag = kTagShardGeomBase + r;
+        std::set<int> owner_ranks;
+        for (const int blk : survivors) owner_ranks.insert(blk % cfg.nranks);
+        // Skeleton allgather: one blob per owned position, shipped to
+        // every other participating rank so each can replay the same
+        // graph merge. Position 0 is the baseline root and is never
+        // pre-merge reduced (the single-root schedule never ships it,
+        // and the differential oracle compares against that baseline).
+        std::map<int, io::Bytes> blobs;  // position -> blob
+        int expected_blobs = 0;
+        for (int p = 0; p < S; ++p) {
+          const int blk = survivors[static_cast<std::size_t>(p)];
+          if (blk % cfg.nranks != rank) {
+            if (owner_ranks.count(rank)) ++expected_blobs;
+            continue;
+          }
+          MsComplex& c = owned.at(blk);
+          if (cfg.premerge && p > 0)
+            merge::reduceForShip(c, cfg.persistence_threshold, reg, rank);
+          io::Bytes blob = merge::makeShardBlob(
+              c, p, merge::priorCoveredRegion(cfg.domain, cfg.nblocks, blk));
+          metrics::add(reg, rank, metrics::Counter::kPackBytes,
+                       static_cast<std::int64_t>(blob.size()));
+          for (const int q : owner_ranks)
+            if (q != rank) comm.send(q, tag, frame(p, blk, blob));
+          blobs.emplace(p, std::move(blob));
+        }
+        for (int i = 0; i < expected_blobs; ++i) {
+          Framed f = unframe(comm.recv(par::kAny, tag));
+          blobs.emplace(f.dest_block, std::move(f.packed));
+        }
+        if (owner_ranks.count(rank)) {
+          // Replicated graph merge: identical blobs glued in identical
+          // order on every participating rank -> identical graphs and
+          // identical shard plans everywhere.
+          std::vector<merge::ShardSkeleton> skels;
+          skels.reserve(static_cast<std::size_t>(S));
+          for (int p = 0; p < S; ++p)
+            skels.push_back(merge::parseShardBlob(blobs.at(p)));
+          if (rec) rec->setStage(rank, causal::Stage::kGlue, r);
+          auto gsp = obs::span(tr, rank, "shard_merge", "stage");
+          gsp.arg("round", r).arg("positions", static_cast<std::int64_t>(S));
+          const double g0 = tr ? tr->now() : 0;
+          const MsComplex merged = merge::mergeShardSkeletons(
+              std::move(skels), cfg.persistence_threshold, reg, rank);
+          const merge::ShardPlanView splan = merge::buildShardPlan(merged);
+          if (tr) tr->count(rank, obs::Counter::kGlueSeconds, tr->now() - g0);
+          // Geometry bundles: each owned position serves the V-paths
+          // that other ranks' parts reference from it.
+          int expected_bundles = 0;
+          for (int d = 0; d < S; ++d) {
+            const int dst_owner = survivors[static_cast<std::size_t>(d)] % cfg.nranks;
+            for (int s = 0; s < S; ++s) {
+              if (s == d) continue;
+              const int src_blk = survivors[static_cast<std::size_t>(s)];
+              const bool mine_s = src_blk % cfg.nranks == rank;
+              if (mine_s && dst_owner != rank) {
+                io::Bytes bundle = merge::packPathBundle(
+                    owned.at(src_blk), merge::shardNeededPaths(splan, S, d, s));
+                metrics::add(reg, rank, metrics::Counter::kPackBytes,
+                             static_cast<std::int64_t>(bundle.size()));
+                comm.send(dst_owner, geom_tag, frame(d, s, bundle));
+              }
+              if (dst_owner == rank && !mine_s) ++expected_bundles;
+            }
+          }
+          std::map<int, merge::ShardPathServer> servers;  // dst position
+          for (int d = 0; d < S; ++d) {
+            if (survivors[static_cast<std::size_t>(d)] % cfg.nranks != rank) continue;
+            merge::ShardPathServer& server = servers[d];
+            for (int s = 0; s < S; ++s) {
+              const int src_blk = survivors[static_cast<std::size_t>(s)];
+              if (src_blk % cfg.nranks == rank) server.addLocal(s, &owned.at(src_blk));
+            }
+          }
+          for (int i = 0; i < expected_bundles; ++i) {
+            Framed f = unframe(comm.recv(par::kAny, geom_tag));
+            servers.at(f.dest_block)
+                .addRemote(f.sender_block, merge::unpackPathBundle(f.packed));
+          }
+          // Materialize every owned part before installing any: the
+          // servers hold pointers into the pre-round complexes.
+          std::map<int, MsComplex> parts_out;  // block id -> part
+          for (auto& [d, server] : servers) {
+            const int blk = survivors[static_cast<std::size_t>(d)];
+            parts_out.emplace(blk,
+                              merge::materializeShardPart(merged, splan, S, d, server));
+          }
+          for (auto& [blk, part] : parts_out) owned.at(blk) = std::move(part);
+        }
+        sampleMetrics(cfg, rank);
+        round_span.end();
+        if (rec) rec->roundCommit(rank, r);
+        comm.barrier();
+        round_ends.push_back(now());
+        continue;
+      }
       // Send phase: non-root members ship their complex to the root's
       // owner and drop out.
       int expected = 0;
@@ -148,6 +269,8 @@ void runPlain(const PipelineConfig& cfg, ThreadedResult& result, std::mutex& res
           const int owner = blk % cfg.nranks;
           if (owner == rank) {
             const auto it = owned.find(blk);
+            if (cfg.premerge)
+              merge::reduceForShip(it->second, cfg.persistence_threshold, reg, rank);
             const io::Bytes packed = io::pack(it->second);
             metrics::add(reg, rank, metrics::Counter::kPackBytes,
                          static_cast<std::int64_t>(packed.size()));
@@ -394,11 +517,15 @@ void runRecovering(const PipelineConfig& cfg, ThreadedResult& result,
           mask[static_cast<std::size_t>(i)] = true;
           coord.markDead(i);
         }
-      const int tag = mergeTag(round, att);
+      // Sweep BOTH of the attempt's tag spaces: skeletons/complexes
+      // and, for sharded rounds, the geometry bundles (probing an
+      // unused tag is free).
       int drained = 0;
-      while (comm.probe(par::kAny, tag)) {
-        comm.recv(par::kAny, tag);
-        ++drained;
+      for (const int tag : {mergeTag(round, att), shardGeomTag(round, att)}) {
+        while (comm.probe(par::kAny, tag)) {
+          comm.recv(par::kAny, tag);
+          ++drained;
+        }
       }
       if (drained > 0) coord.noteDrained(drained);
       return std::to_integer<int>(decision[0]) != 0;
@@ -407,6 +534,9 @@ void runRecovering(const PipelineConfig& cfg, ThreadedResult& result,
     // --- Merge rounds as transactions.
     std::vector<int> survivors = cfg.plan.survivorIds(cfg.nblocks, start_round);
     for (int r = start_round; r < cfg.plan.rounds(); ++r) {
+      const bool sharded_here =
+          cfg.sharded_final && r == cfg.plan.rounds() - 1 && survivors.size() > 1 &&
+          cfg.plan.round(r, static_cast<int>(survivors.size())).size() == 1;
       for (;;) {
         if (attempt >= cfg.fault.max_round_attempts)
           // Shared decisions advance `attempt` in lockstep, so every
@@ -426,7 +556,120 @@ void runRecovering(const PipelineConfig& cfg, ThreadedResult& result,
         bool ok = true;
         std::vector<int> sent;
         std::map<int, std::map<int, io::Bytes>> incoming;  // root -> (sender -> bytes)
-        if (!zombie) {
+        std::map<int, MsComplex> shard_parts;              // block id -> part (sharded)
+        if (!zombie && sharded_here) {
+          // --- Distributed final round under the transaction
+          // protocol. Two attempt-tagged message phases (skeletons,
+          // then geometry bundles); a timeout in either vetoes the
+          // attempt, and voteAndDrain sweeps both tag spaces. Nothing
+          // in `owned` is replaced until commit — rollback restores
+          // the round-entry checkpoints exactly as for plain rounds.
+          auto att_span = obs::span(tr, rank, "merge_attempt", "stage");
+          att_span.arg("round", r).arg("attempt", attempt);
+          const int S = static_cast<int>(survivors.size());
+          const int btag = shardGeomTag(r, attempt);
+          std::set<int> owner_ranks;
+          for (const int blk : survivors)
+            owner_ranks.insert(fault::ownerOf(blk, nranks, mask));
+          std::map<int, io::Bytes> blobs;         // position -> blob
+          std::set<std::pair<int, int>> missing;  // (position, block) awaited
+          for (int p = 0; p < S; ++p) {
+            const int blk = survivors[static_cast<std::size_t>(p)];
+            if (fault::ownerOf(blk, nranks, mask) != rank) {
+              if (owner_ranks.count(rank)) missing.insert({p, blk});
+              continue;
+            }
+            MsComplex& c = owned.at(blk);
+            // Replay-safe: rollback restores `owned` from checkpoints,
+            // so a re-run reduces the same round-entry state again.
+            if (cfg.premerge && p > 0)
+              merge::reduceForShip(c, cfg.persistence_threshold, reg, rank);
+            io::Bytes blob = merge::makeShardBlob(
+                c, p, merge::priorCoveredRegion(cfg.domain, cfg.nblocks, blk));
+            metrics::add(reg, rank, metrics::Counter::kPackBytes,
+                         static_cast<std::int64_t>(blob.size()));
+            for (const int q : owner_ranks) {
+              if (q == rank) continue;
+              const bool dup = fault::applyFault(inj, rank, fault::OpClass::kSend, tr);
+              par::Bytes f = frame(p, blk, blob);
+              if (dup) comm.send(q, tag, f);
+              comm.send(q, tag, std::move(f));
+            }
+            blobs.emplace(p, std::move(blob));
+          }
+          while (!missing.empty()) {
+            fault::applyFault(inj, rank, fault::OpClass::kRecv, tr);
+            auto msg = comm.tryRecv(par::kAny, tag, deadline);
+            if (!msg) {
+              ok = false;
+              break;
+            }
+            Framed f = unframe(*msg);
+            if (missing.erase({f.dest_block, f.sender_block}) > 0)
+              blobs.emplace(f.dest_block, std::move(f.packed));
+          }
+          if (ok && owner_ranks.count(rank)) {
+            std::vector<merge::ShardSkeleton> skels;
+            skels.reserve(static_cast<std::size_t>(S));
+            for (int p = 0; p < S; ++p)
+              skels.push_back(merge::parseShardBlob(blobs.at(p)));
+            if (rec) rec->setStage(rank, causal::Stage::kGlue, r);
+            const MsComplex merged = merge::mergeShardSkeletons(
+                std::move(skels), cfg.persistence_threshold, reg, rank);
+            const merge::ShardPlanView splan = merge::buildShardPlan(merged);
+            std::set<std::pair<int, int>> missing_b;  // (dst pos, src pos)
+            for (int d = 0; d < S; ++d) {
+              const int dst_owner = fault::ownerOf(
+                  survivors[static_cast<std::size_t>(d)], nranks, mask);
+              for (int s = 0; s < S; ++s) {
+                if (s == d) continue;
+                const int src_blk = survivors[static_cast<std::size_t>(s)];
+                const bool mine_s = fault::ownerOf(src_blk, nranks, mask) == rank;
+                if (mine_s && dst_owner != rank) {
+                  const bool dup =
+                      fault::applyFault(inj, rank, fault::OpClass::kSend, tr);
+                  io::Bytes bundle = merge::packPathBundle(
+                      owned.at(src_blk), merge::shardNeededPaths(splan, S, d, s));
+                  metrics::add(reg, rank, metrics::Counter::kPackBytes,
+                               static_cast<std::int64_t>(bundle.size()));
+                  par::Bytes f = frame(d, s, bundle);
+                  if (dup) comm.send(dst_owner, btag, f);
+                  comm.send(dst_owner, btag, std::move(f));
+                }
+                if (dst_owner == rank && !mine_s) missing_b.insert({d, s});
+              }
+            }
+            std::map<int, merge::ShardPathServer> servers;  // dst position
+            for (int d = 0; d < S; ++d) {
+              if (fault::ownerOf(survivors[static_cast<std::size_t>(d)], nranks,
+                                 mask) != rank)
+                continue;
+              merge::ShardPathServer& server = servers[d];
+              for (int s = 0; s < S; ++s) {
+                const int src_blk = survivors[static_cast<std::size_t>(s)];
+                if (fault::ownerOf(src_blk, nranks, mask) == rank)
+                  server.addLocal(s, &owned.at(src_blk));
+              }
+            }
+            while (!missing_b.empty()) {
+              fault::applyFault(inj, rank, fault::OpClass::kRecv, tr);
+              auto msg = comm.tryRecv(par::kAny, btag, deadline);
+              if (!msg) {
+                ok = false;
+                break;
+              }
+              Framed f = unframe(*msg);
+              if (missing_b.erase({f.dest_block, f.sender_block}) > 0)
+                servers.at(f.dest_block)
+                    .addRemote(f.sender_block, merge::unpackPathBundle(f.packed));
+            }
+            if (ok)
+              for (auto& [d, server] : servers)
+                shard_parts.emplace(
+                    survivors[static_cast<std::size_t>(d)],
+                    merge::materializeShardPart(merged, splan, S, d, server));
+          }
+        } else if (!zombie) {
           auto att_span = obs::span(tr, rank, "merge_attempt", "stage");
           att_span.arg("round", r).arg("attempt", attempt);
           const auto groups = cfg.plan.round(r, static_cast<int>(survivors.size()));
@@ -440,8 +683,13 @@ void runRecovering(const PipelineConfig& cfg, ThreadedResult& result,
             for (std::size_t m = 1; m < g.members.size(); ++m) {
               const int blk = survivors[static_cast<std::size_t>(g.members[m])];
               if (fault::ownerOf(blk, nranks, mask) == rank) {
+                MsComplex& mc = owned.at(blk);
+                // Replay-safe for the same reason as the sharded
+                // branch: rollback restores the round-entry state.
+                if (cfg.premerge)
+                  merge::reduceForShip(mc, cfg.persistence_threshold, reg, rank);
                 const bool dup = fault::applyFault(inj, rank, fault::OpClass::kSend, tr);
-                const io::Bytes packed = io::pack(owned.at(blk));
+                const io::Bytes packed = io::pack(mc);
                 metrics::add(reg, rank, metrics::Counter::kPackBytes,
                              static_cast<std::int64_t>(packed.size()));
                 par::Bytes f = frame(root_block, blk, packed);
@@ -478,6 +726,11 @@ void runRecovering(const PipelineConfig& cfg, ThreadedResult& result,
           throw fault::RecoveryError(rank, r, attempt, withCausal("no live ranks remain"));
         if (advance) {
           if (!zombie) {
+            if (sharded_here) {
+              // Install the materialized parts: every block this rank
+              // owns is a survivor position, so each gets its part.
+              for (auto& [blk, part] : shard_parts) owned.at(blk) = std::move(part);
+            }
             for (const int b : sent) owned.erase(b);
             if (rec && !incoming.empty()) rec->setStage(rank, causal::Stage::kGlue, r);
             for (auto& [root_block, by_sender] : incoming) {
@@ -542,7 +795,9 @@ void runRecovering(const PipelineConfig& cfg, ThreadedResult& result,
         }
         ++attempt;
       }
-      survivors = cfg.plan.survivorIds(cfg.nblocks, r + 1);
+      // The sharded round keeps every survivor alive (each holds a
+      // part of the final complex); only plain rounds contract.
+      if (!sharded_here) survivors = cfg.plan.survivorIds(cfg.nblocks, r + 1);
     }
     coord.setFinished();
 

@@ -580,6 +580,54 @@ TEST_P(ChaosMatrix, RecoveredOutputMatchesFaultFreeBytes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosMatrix, ::testing::Range(1u, 31u));
 
+// Crash-during-sharded-round matrix: a single wide merge round with
+// the sharded final exchange on, so every injected merge-round fault
+// (crash/delay/duplicate/stall) lands inside the sharded round's
+// two-phase skeleton+bundle protocol. Both recovery modes must
+// reproduce the fault-free parts byte-for-byte; in degrade mode a
+// total loss (all ranks dead) is the one legal structured failure.
+class ShardedChaosMatrix : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ShardedChaosMatrix, RecoveredShardedOutputMatchesFaultFreeBytes) {
+  const unsigned seed = GetParam();
+  pipeline::PipelineConfig base = chaosConfig();
+  base.plan = MergePlan::partial({8});  // one round: the sharded one
+  base.sharded_final = true;
+  base.premerge = true;
+  const pipeline::ThreadedResult golden = pipeline::runThreadedPipeline(base);
+  ASSERT_GT(golden.outputs.size(), 1u) << "final round did not shard";
+
+  for (const fault::RecoveryMode mode :
+       {fault::RecoveryMode::kRespawn, fault::RecoveryMode::kDegrade}) {
+    fault::InjectorOptions fopts;
+    fopts.seed = seed;
+    fault::Injector inj(base.nranks, fopts);
+    pipeline::PipelineConfig cfg = base;
+    cfg.fault.injector = &inj;
+    cfg.fault.recovery = mode;
+    cfg.fault.recv_deadline_seconds = 2.0;
+    cfg.fault.max_round_attempts = 32;
+    cfg.fault.max_respawns_per_rank = fopts.max_crashes_per_rank;
+    pipeline::ThreadedResult r;
+    try {
+      r = pipeline::runThreadedPipeline(cfg);
+    } catch (const fault::RecoveryError& e) {
+      EXPECT_EQ(mode, fault::RecoveryMode::kDegrade) << e.what();
+      EXPECT_NE(std::string(e.what()).find("no live ranks"), std::string::npos)
+          << e.what();
+      continue;
+    }
+    expectSameBytes(r.outputs, golden.outputs,
+                    std::string("sharded seed ") + std::to_string(seed) + " " +
+                        fault::recoveryModeName(mode));
+    const check::CanonicalComplex a = check::canonicalize(base.domain, golden.outputs);
+    const check::CanonicalComplex b = check::canonicalize(base.domain, r.outputs);
+    EXPECT_TRUE(check::compareExact(a, b).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedChaosMatrix, ::testing::Range(1u, 13u));
+
 // Fuzz-derived cases x fault seeds: the full differential oracle
 // (serial vs sim vs threaded vs both recovered runs) on varied
 // grids/fields/decompositions, with the fault dimension switched on.

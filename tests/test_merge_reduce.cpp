@@ -1,0 +1,310 @@
+/// Merge-strategy differential suite: the pre-merge reduction pass
+/// (merge/reduce) and the sharded final round (merge/shard) against
+/// the single-root baseline.
+///
+/// The contracts under test, from DESIGN.md section 14:
+///  * premerge on vs off: canonical-equal at every threshold (the
+///    reduction only collapses consecutive duplicate junction cells,
+///    which canonicalArc collapses anyway);
+///  * sharded vs single-root: canonical-equal — the union of the S
+///    parts re-packs to exactly the baseline's 1-skeleton;
+///  * sim vs threaded: byte-identical under every knob combination
+///    (both drivers execute the same schedule).
+///
+/// Each checker is also mutation-tested: a seeded corruption of a
+/// part/blob/flag vector must make the corresponding oracle fail, so
+/// a vacuous comparison cannot go unnoticed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "check/canonical.hpp"
+#include "decomp/decompose.hpp"
+#include "check/fuzz.hpp"
+#include "core/merge.hpp"
+#include "io/pack.hpp"
+#include "merge/reduce.hpp"
+#include "merge/shard.hpp"
+#include "pipeline/sim_pipeline.hpp"
+#include "pipeline/threaded_pipeline.hpp"
+#include "synth/fields.hpp"
+
+namespace msc {
+namespace {
+
+pipeline::PipelineConfig makeConfig(unsigned seed, Vec3i vdims, int nblocks,
+                                    int nranks, float threshold) {
+  pipeline::PipelineConfig cfg;
+  cfg.domain = Domain{vdims};
+  cfg.source.field = synth::noise(seed);
+  cfg.nblocks = nblocks;
+  cfg.nranks = nranks;
+  cfg.persistence_threshold = threshold;
+  cfg.plan = MergePlan::fullMerge(nblocks);
+  return cfg;
+}
+
+check::CanonicalComplex canonOf(const pipeline::PipelineConfig& cfg,
+                                const std::vector<io::Bytes>& outputs) {
+  return check::canonicalize(cfg.domain, outputs);
+}
+
+bool sameBytes(const std::vector<io::Bytes>& a, const std::vector<io::Bytes>& b) {
+  return a == b;
+}
+
+// ---------------------------------------------------------------------------
+// reduceForShip unit contracts.
+
+MsComplex blockComplexFor(unsigned seed) {
+  pipeline::PipelineConfig cfg = makeConfig(seed, {10, 9, 8}, 4, 2, 0.0f);
+  const std::vector<Block> blocks = decompose(cfg.domain, cfg.nblocks);
+  return computeBlockComplex(cfg, blocks[1], nullptr, nullptr, 0);
+}
+
+TEST(PremergeReduce, NeverGrowsAndIsIdempotent) {
+  MsComplex c = blockComplexFor(7);
+  const merge::ReduceStats st = merge::reduceForShip(c, 0.0f);
+  EXPECT_LE(st.bytes_after, st.bytes_before);
+  EXPECT_GE(st.cells_removed, 0);
+  // A complex at the simplification fixpoint re-cancels nothing: the
+  // sweep is a safety net, not the mechanism (DESIGN.md section 14).
+  EXPECT_EQ(st.cancellations, 0);
+  // Idempotent: a second pass finds nothing left to remove.
+  const merge::ReduceStats st2 = merge::reduceForShip(c, 0.0f);
+  EXPECT_EQ(st2.cells_removed, 0);
+  EXPECT_EQ(st2.bytes_after, st2.bytes_before);
+}
+
+TEST(PremergeReduce, PreservesCanonicalForm) {
+  for (const unsigned seed : {1u, 5u, 9u}) {
+    MsComplex c = blockComplexFor(seed);
+    const check::CanonicalComplex before = check::canonicalize(c);
+    merge::reduceForShip(c, 0.0f);
+    const check::CanonicalComplex after = check::canonicalize(c);
+    const check::CheckReport rep = check::compareExact(before, after);
+    EXPECT_TRUE(rep.ok()) << "seed " << seed << ": " << rep.summary();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Premerge differential: on vs off, canonical-equal at every
+// threshold; sim vs threaded byte-equal with the knob on.
+
+TEST(PremergeReduce, CanonicalEqualAtEveryThreshold) {
+  for (const float threshold : {0.0f, 0.05f, 0.15f, 0.3f}) {
+    pipeline::PipelineConfig off = makeConfig(11, {11, 10, 9}, 8, 3, threshold);
+    pipeline::PipelineConfig on = off;
+    on.premerge = true;
+    const pipeline::SimResult r_off = pipeline::runSimPipeline(off);
+    const pipeline::SimResult r_on = pipeline::runSimPipeline(on);
+    const check::CheckReport rep =
+        check::compareExact(canonOf(off, r_off.outputs), canonOf(on, r_on.outputs));
+    EXPECT_TRUE(rep.ok()) << "threshold " << threshold << ": " << rep.summary();
+  }
+}
+
+TEST(PremergeReduce, ThreadedMatchesSimBytes) {
+  pipeline::PipelineConfig cfg = makeConfig(13, {10, 10, 10}, 6, 3, 0.05f);
+  cfg.premerge = true;
+  const pipeline::SimResult sim = pipeline::runSimPipeline(cfg);
+  const pipeline::ThreadedResult thr = pipeline::runThreadedPipeline(cfg);
+  EXPECT_TRUE(sameBytes(sim.outputs, thr.outputs));
+}
+
+// ---------------------------------------------------------------------------
+// Sharded final round differential: sharded vs single-root
+// canonical-equal across fuzz-derived cases, sim vs threaded
+// byte-equal, and the structural properties of the parts.
+
+TEST(ShardedFinal, CanonicalEqualToSingleRootAcrossFuzzSeeds) {
+  for (unsigned seed = 0; seed < 6; ++seed) {
+    const check::FuzzCase c = check::caseFromSeed(seed);
+    pipeline::PipelineConfig base;
+    base.domain = Domain{c.vdims};
+    base.source.field = check::fieldFor(c);
+    base.nblocks = c.nblocks;
+    base.nranks = c.nranks;
+    base.persistence_threshold = c.threshold;
+    base.plan = MergePlan::fullMerge(c.nblocks);
+    pipeline::PipelineConfig sharded = base;
+    sharded.sharded_final = true;
+    const pipeline::SimResult r_base = pipeline::runSimPipeline(base);
+    const pipeline::SimResult r_shard = pipeline::runSimPipeline(sharded);
+    if (c.nblocks > 1) {
+      EXPECT_GT(r_shard.outputs.size(), 1u) << c.describe();
+    }
+    const check::CheckReport rep = check::compareExact(
+        canonOf(base, r_base.outputs), canonOf(sharded, r_shard.outputs));
+    EXPECT_TRUE(rep.ok()) << c.describe() << ": " << rep.summary();
+  }
+}
+
+TEST(ShardedFinal, WithPremergeStillCanonicalEqual) {
+  pipeline::PipelineConfig base = makeConfig(21, {12, 9, 10}, 8, 4, 0.1f);
+  pipeline::PipelineConfig both = base;
+  both.sharded_final = true;
+  both.premerge = true;
+  const pipeline::SimResult r_base = pipeline::runSimPipeline(base);
+  const pipeline::SimResult r_both = pipeline::runSimPipeline(both);
+  const check::CheckReport rep = check::compareExact(
+      canonOf(base, r_base.outputs), canonOf(both, r_both.outputs));
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+TEST(ShardedFinal, ThreadedMatchesSimBytes) {
+  for (const bool premerge : {false, true}) {
+    pipeline::PipelineConfig cfg = makeConfig(23, {10, 11, 9}, 8, 4, 0.0f);
+    cfg.sharded_final = true;
+    cfg.premerge = premerge;
+    const pipeline::SimResult sim = pipeline::runSimPipeline(cfg);
+    const pipeline::ThreadedResult thr = pipeline::runThreadedPipeline(cfg);
+    EXPECT_EQ(sim.outputs.size(), thr.outputs.size());
+    EXPECT_TRUE(sameBytes(sim.outputs, thr.outputs)) << "premerge=" << premerge;
+  }
+}
+
+TEST(ShardedFinal, PartsPartitionTheArcs) {
+  // No arc may appear in two parts, and each part must carry a
+  // bounded share: the boundary-ownership round deals live arcs
+  // round-robin, so the parts differ in size by at most one arc.
+  pipeline::PipelineConfig cfg = makeConfig(29, {11, 11, 8}, 4, 2, 0.0f);
+  cfg.sharded_final = true;
+  const pipeline::SimResult r = pipeline::runSimPipeline(cfg);
+  ASSERT_GT(r.outputs.size(), 1u);
+  std::vector<std::int64_t> arc_counts;
+  std::int64_t total = 0;
+  for (const io::Bytes& b : r.outputs) {
+    const MsComplex part = io::unpack(b);
+    arc_counts.push_back(part.liveArcCount());
+    total += part.liveArcCount();
+  }
+  pipeline::PipelineConfig base = cfg;
+  base.sharded_final = false;
+  const pipeline::SimResult rb = pipeline::runSimPipeline(base);
+  ASSERT_EQ(rb.outputs.size(), 1u);
+  EXPECT_EQ(total, io::unpack(rb.outputs[0]).liveArcCount());
+  const auto [lo, hi] = std::minmax_element(arc_counts.begin(), arc_counts.end());
+  EXPECT_LE(*hi - *lo, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Sentinel encoding and blob wire-format units.
+
+TEST(ShardedFinal, SentinelRoundTrip) {
+  for (const int pos : {0, 1, 7, merge::kShardMaxPositions - 1}) {
+    for (const std::uint32_t ord : {0u, 1u, 12345u, merge::kShardMaxOrdinal - 1}) {
+      for (const bool end : {false, true}) {
+        const CellAddr s = merge::shardSentinel(pos, ord, end);
+        EXPECT_TRUE(merge::isShardSentinel(s));
+        EXPECT_EQ(merge::shardSentinelPos(s), pos);
+        EXPECT_EQ(merge::shardSentinelOrdinal(s), ord);
+        EXPECT_EQ(merge::shardSentinelEnd(s), end);
+      }
+    }
+  }
+}
+
+TEST(ShardedFinal, BlobRoundTripPreservesFlagsAndSkeleton) {
+  MsComplex c = blockComplexFor(3);
+  const Region prior = merge::priorCoveredRegion(Domain{{10, 9, 8}}, 4, 1);
+  const io::Bytes blob = merge::makeShardBlob(c, 2, prior);
+  const merge::ShardSkeleton sk = merge::parseShardBlob(blob);
+  EXPECT_EQ(static_cast<std::int64_t>(sk.dup_flags.size()), c.liveArcCount());
+  EXPECT_EQ(sk.complex.liveArcCount(), c.liveArcCount());
+  EXPECT_EQ(sk.complex.liveNodeCount(), c.liveNodeCount());
+}
+
+// ---------------------------------------------------------------------------
+// Mutation self-tests: each differential checker must be able to
+// fail. A checker that cannot reject a corrupted input proves
+// nothing when it passes.
+
+TEST(MutationSelfTest, CompareExactRejectsDroppedPart) {
+  pipeline::PipelineConfig cfg = makeConfig(31, {9, 9, 9}, 4, 2, 0.0f);
+  cfg.sharded_final = true;
+  const pipeline::SimResult r = pipeline::runSimPipeline(cfg);
+  ASSERT_GT(r.outputs.size(), 1u);
+  std::vector<io::Bytes> mutated(r.outputs.begin(), r.outputs.end() - 1);
+  const check::CheckReport rep =
+      check::compareExact(canonOf(cfg, r.outputs), canonOf(cfg, mutated));
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST(MutationSelfTest, CompareExactRejectsTamperedGeometry) {
+  // Rebuild the output complex with one arc's path subtly reordered:
+  // the canonical comparison must see it even though the node/arc
+  // graph is unchanged.
+  pipeline::PipelineConfig cfg = makeConfig(31, {9, 9, 9}, 4, 2, 0.0f);
+  const pipeline::SimResult r = pipeline::runSimPipeline(cfg);
+  ASSERT_EQ(r.outputs.size(), 1u);
+  const MsComplex c = io::unpack(r.outputs[0]);
+  MsComplex tampered(c.domain(), c.region());
+  for (const Node& nd : c.nodes()) tampered.addNode(nd.addr, nd.index, nd.value);
+  bool flipped = false;
+  for (const Arc& ar : c.arcs()) {
+    std::vector<CellAddr> cells = c.flattenGeom(ar.geom);
+    if (!flipped && cells.size() >= 3 && cells.front() != cells[cells.size() / 2]) {
+      std::swap(cells.front(), cells[cells.size() / 2]);
+      flipped = true;
+    }
+    Geom g;
+    g.cells = std::move(cells);
+    tampered.addArc(ar.lower, ar.upper, tampered.addGeom(std::move(g)));
+  }
+  tampered.recomputeBoundary();
+  ASSERT_TRUE(flipped);
+  const check::CheckReport rep =
+      check::compareExact(check::canonicalize(c), check::canonicalize(tampered));
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST(MutationSelfTest, ParseShardBlobRejectsFlagCountMismatch) {
+  MsComplex c = blockComplexFor(3);
+  const Region prior = merge::priorCoveredRegion(Domain{{10, 9, 8}}, 4, 1);
+  io::Bytes blob = merge::makeShardBlob(c, 0, prior);
+  // Claim one more arc than the skeleton holds: the flag section and
+  // the skeleton disagree and the parse must refuse.
+  ASSERT_GE(blob.size(), 4u);
+  std::uint32_t narcs;
+  std::memcpy(&narcs, blob.data(), sizeof narcs);
+  ++narcs;
+  std::memcpy(blob.data(), &narcs, sizeof narcs);
+  EXPECT_THROW(merge::parseShardBlob(blob), std::exception);
+}
+
+TEST(MutationSelfTest, FlippedDupFlagChangesTheMergedGraph) {
+  // The dup flags carry the one geometry-dependent decision of the
+  // replicated merge; flipping one must change the outcome (else the
+  // flags would be dead weight and the replay argument vacuous).
+  pipeline::PipelineConfig cfg = makeConfig(29, {11, 11, 8}, 4, 2, 0.0f);
+  const std::vector<Block> blocks = decompose(cfg.domain, cfg.nblocks);
+  std::vector<merge::ShardSkeleton> parts, tampered;
+  for (int p = 0; p < cfg.nblocks; ++p) {
+    MsComplex c = computeBlockComplex(cfg, blocks[static_cast<std::size_t>(p)],
+                                      nullptr, nullptr, 0);
+    const io::Bytes blob = merge::makeShardBlob(
+        c, p, merge::priorCoveredRegion(cfg.domain, cfg.nblocks, p));
+    parts.push_back(merge::parseShardBlob(blob));
+    tampered.push_back(merge::parseShardBlob(blob));
+  }
+  bool flipped = false;
+  for (auto& sk : tampered) {
+    for (std::uint8_t& f : sk.dup_flags) {
+      if (f != 0) {  // a duplicate arc: un-flagging forces a re-add
+        f = 0;
+        flipped = true;
+        break;
+      }
+    }
+    if (flipped) break;
+  }
+  ASSERT_TRUE(flipped) << "no duplicate-flagged arc in any skeleton";
+  const MsComplex a = merge::mergeShardSkeletons(std::move(parts), 0.0f);
+  const MsComplex b = merge::mergeShardSkeletons(std::move(tampered), 0.0f);
+  EXPECT_NE(a.liveArcCount(), b.liveArcCount());
+}
+
+}  // namespace
+}  // namespace msc

@@ -7,9 +7,14 @@ namespace msc {
 namespace {
 
 TEST(MergePlan, RejectsInvalidRadix) {
-  EXPECT_THROW(MergePlan({3}), std::invalid_argument);
-  EXPECT_THROW(MergePlan({16}), std::invalid_argument);
+  EXPECT_THROW(MergePlan({1}), std::invalid_argument);
+  EXPECT_THROW(MergePlan({0}), std::invalid_argument);
+  EXPECT_THROW(MergePlan({-2}), std::invalid_argument);
   EXPECT_NO_THROW(MergePlan({2, 4, 8}));
+  // Wide radices are legal for the sharded final round; fullMerge
+  // still restricts itself to the paper's {2, 4, 8}.
+  EXPECT_NO_THROW(MergePlan({3}));
+  EXPECT_NO_THROW(MergePlan({8, 16}));
 }
 
 TEST(MergePlan, OutputsFor) {

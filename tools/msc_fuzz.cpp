@@ -10,14 +10,20 @@
 ///
 /// Usage:
 ///   msc_fuzz [--seeds N] [--first S] [--min-size M] [--max-size M]
-///            [--max-ranks R] [--faults] [--no-shrink] [--artifacts DIR]
-///            [--quiet]
+///            [--max-ranks R] [--faults] [--merge-dims] [--no-shrink]
+///            [--artifacts DIR] [--quiet]
 ///
 /// With --faults every case also runs the threaded driver under
 /// deterministic fault injection (crashes, delays, duplicates,
 /// stalls) in both recovery modes; a recovered run that is not
 /// byte-identical to the fault-free one fails the case, and the
 /// shrunk repro (including the fault seed) is dumped like any other.
+///
+/// With --merge-dims each case additionally derives the pre-merge
+/// reduction and sharded-final-round knobs (independently, about half
+/// the cases each); the variant run must stay byte-identical between
+/// drivers and canonical-equal to the baseline schedule. The shrinker
+/// drops these dimensions first.
 ///
 /// Exit status: 0 when every case passed, 1 otherwise.
 #include <cstdlib>
@@ -32,8 +38,8 @@ namespace {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--seeds N] [--first S] [--min-size M] [--max-size M]"
-               " [--max-ranks R] [--faults] [--no-shrink] [--artifacts DIR]"
-               " [--quiet]\n";
+               " [--max-ranks R] [--faults] [--merge-dims] [--no-shrink]"
+               " [--artifacts DIR] [--quiet]\n";
   return 2;
 }
 
@@ -71,6 +77,8 @@ int main(int argc, char** argv) {
       opts.limits.max_ranks = std::atoi(v);
     } else if (arg == "--faults") {
       opts.limits.with_faults = true;
+    } else if (arg == "--merge-dims") {
+      opts.limits.with_merge_dims = true;
     } else if (arg == "--no-shrink") {
       opts.shrink = false;
     } else if (arg == "--artifacts") {

@@ -73,7 +73,11 @@ RULE_IDS = {r["id"] for r in RULES}
 
 # Allowed internal dependencies per src/ module, derived from the actual
 # tree and frozen here. A module always may include from itself.
-#   - core, obs, audit, merge are leaves (no internal includes).
+#   - core, obs, audit are leaves (no internal includes).
+#   - merge holds the distributed merge strategy (pre-merge reduction,
+#     sharded final round): it builds on core's glue/simplify, decomp's
+#     block geometry and io's packing, but must never see pipeline or
+#     simnet -- the drivers call into merge, not the other way round.
 #   - audit must stay a leaf: par depends on it, so anything audit pulled
 #     in would be dragged under the runtime.
 #   - par may see only its instrumentation (obs, causal) and its
@@ -94,7 +98,7 @@ LAYERS = {
     # any dependency it grew would be dragged under core. Headers above
     # only forward-declare metrics::Registry; .cpp files include it.
     "metrics": set(),
-    "merge": {"metrics"},
+    "merge": {"core", "decomp", "io", "metrics"},
     "synth": {"core"},
     "decomp": {"core"},
     "analysis": {"core"},

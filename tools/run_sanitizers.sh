@@ -72,6 +72,23 @@ for cfg in "${configs[@]}"; do
     failed+=("$cfg")
     continue
   fi
+  # The distributed-merge strategies (pre-merge reduction, sharded
+  # final round) must stay byte-identical to the plain merge under
+  # every sanitizer -- TSan especially, since the sharded round adds a
+  # whole new message pattern (skeleton broadcast + path bundles) to
+  # the threaded driver's mailboxes.
+  echo "=== [$cfg] ctest -L mergedist ==="
+  if (cd "$bdir" && \
+      TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+      ASAN_OPTIONS="detect_leaks=1" \
+      UBSAN_OPTIONS="print_stacktrace=1" \
+      ctest --output-on-failure -L mergedist -j "$jobs"); then
+    echo "=== [$cfg] mergedist OK ==="
+  else
+    echo "=== [$cfg] mergedist TESTS FAILED ==="
+    failed+=("$cfg")
+    continue
+  fi
   # Same for the perf gate label: the self-check must prove the gate
   # can fail, and the work-counter cross-checks must stay exact, in
   # every sanitizer config (timing tolerance widened above).
