@@ -68,7 +68,7 @@ void Auditor::onBlocked(int self, const Wait& w) {
   RankState& rs = ranks_[static_cast<std::size_t>(self)];
   rs.phase = Phase::kBlocked;
   rs.wait = w;
-  if (failed_.load(std::memory_order_relaxed)) return;  // unwinding anyway
+  if (failed_.load(std::memory_order_acquire)) return;  // unwinding anyway
   const std::vector<int> path = findDeadlockLocked();
   if (!path.empty()) {
     std::string summary = "deadlock detected when rank " + std::to_string(self) +
@@ -86,7 +86,7 @@ void Auditor::onUnblocked(int self) {
 void Auditor::onDone(int rank) {
   const std::lock_guard lock(mu_);
   ranks_[static_cast<std::size_t>(rank)].phase = Phase::kDone;
-  if (failed_.load(std::memory_order_relaxed)) return;
+  if (failed_.load(std::memory_order_acquire)) return;
   const std::vector<int> path = findDeadlockLocked();
   if (!path.empty()) {
     std::string summary = "deadlock: rank " + std::to_string(rank) +
@@ -134,7 +134,7 @@ void Auditor::checkMessage(int self, OpKind expect, std::int64_t expect_epoch, i
 
 void Auditor::onStuck(int self) {
   const std::lock_guard lock(mu_);
-  if (failed_.load(std::memory_order_relaxed)) {
+  if (failed_.load(std::memory_order_acquire)) {
     throw AuditError(AuditError::Code::kAborted,
                      "rank " + std::to_string(self) + " aborted: " + failure_summary_, "");
   }
@@ -156,7 +156,7 @@ void Auditor::onAborted(int self) {
 
 void Auditor::finalize() {
   const std::lock_guard lock(mu_);
-  if (failed_.load(std::memory_order_relaxed)) return;
+  if (failed_.load(std::memory_order_acquire)) return;
   int leaked = 0;
   for (const auto& box : mail_) leaked += static_cast<int>(box.size());
   if (leaked > 0) {

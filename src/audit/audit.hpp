@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "audit/wire.hpp"
+#include "core/annotations.hpp"
 
 namespace msc::audit {
 
@@ -200,29 +201,36 @@ class Auditor {
     std::deque<OpRecord> history;  ///< newest at back, capped
   };
 
-  void recordHistoryLocked(int rank, OpRecord rec);
+  void recordHistoryLocked(int rank, OpRecord rec) MSC_REQUIRES(mu_);
   /// True if a queued message matches the rank's blocked receive.
-  bool wakeableLocked(int rank) const;
+  bool wakeableLocked(int rank) const MSC_REQUIRES(mu_);
   /// Waits-for analysis; returns a non-empty doomed path (trigger
   /// first) if a deadlock is provable.
-  std::vector<int> findDeadlockLocked() const;
-  std::string renderLocked() const;
-  [[noreturn]] void failLocked(AuditError::Code code, std::string summary);
+  std::vector<int> findDeadlockLocked() const MSC_REQUIRES(mu_);
+  std::string renderLocked() const MSC_REQUIRES(mu_);
+  [[noreturn]] void failLocked(AuditError::Code code, std::string summary)
+      MSC_REQUIRES(mu_);
 
   mutable std::mutex mu_;
-  std::vector<RankState> ranks_;
-  std::vector<std::deque<MsgInfo>> mail_;  ///< mailbox mirror, per dst
-  std::deque<std::string> notes_;          ///< wildcard candidates etc., capped
-  std::uint64_t next_seq_ = 1;
-  std::int64_t released_gen_ = -1;  ///< highest completed barrier generation
-  std::int64_t wildcard_candidates_ = 0;
-  std::int64_t messages_ = 0;
-  std::int64_t respawns_ = 0;
-  int nranks_;
-  Options opts_;
-  std::function<std::string()> context_provider_;
+  std::vector<RankState> ranks_ MSC_GUARDED_BY(mu_);
+  /// Mailbox mirror, per dst.
+  std::vector<std::deque<MsgInfo>> mail_ MSC_GUARDED_BY(mu_);
+  /// Wildcard candidates etc., capped.
+  std::deque<std::string> notes_ MSC_GUARDED_BY(mu_);
+  std::uint64_t next_seq_ MSC_GUARDED_BY(mu_) = 1;
+  /// Highest completed barrier generation.
+  std::int64_t released_gen_ MSC_GUARDED_BY(mu_) = -1;
+  std::int64_t wildcard_candidates_ MSC_GUARDED_BY(mu_) = 0;
+  std::int64_t messages_ MSC_GUARDED_BY(mu_) = 0;
+  std::int64_t respawns_ MSC_GUARDED_BY(mu_) = 0;
+  int nranks_;   ///< immutable after construction
+  Options opts_; ///< written before run() starts, read-only after
+  std::function<std::string()> context_provider_ MSC_GUARDED_BY(mu_);
+  /// Failure flag: release store in failLocked, acquire loads on the
+  /// lock-free fast path -- the one audit atomic that is a handoff,
+  /// not a tally (failure_summary_ must be visible once it is true).
   std::atomic<bool> failed_{false};
-  std::string failure_summary_;
+  std::string failure_summary_ MSC_GUARDED_BY(mu_);
 };
 
 }  // namespace msc::audit

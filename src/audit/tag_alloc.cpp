@@ -2,6 +2,8 @@
 
 #include <mutex>
 
+#include "core/annotations.hpp"
+
 namespace msc::audit {
 
 namespace {
@@ -9,10 +11,10 @@ namespace {
 /// Cache-line padded per-rank byte counters, so concurrent ranks
 /// never contend while tracking.
 struct alignas(64) RankBytes {
-  std::atomic<std::int64_t> allocated{0};
-  std::atomic<std::int64_t> freed{0};
-  std::atomic<std::int64_t> allocs{0};
-  std::atomic<std::int64_t> peak{0};
+  std::atomic<std::int64_t> allocated MSC_RELAXED_TALLY{0};
+  std::atomic<std::int64_t> freed MSC_RELAXED_TALLY{0};
+  std::atomic<std::int64_t> allocs MSC_RELAXED_TALLY{0};
+  std::atomic<std::int64_t> peak MSC_RELAXED_TALLY{0};
 };
 
 /// All mutable tracking state lives in one leaked singleton: the
@@ -20,11 +22,12 @@ struct alignas(64) RankBytes {
 /// static destruction, so the state must never be torn down.
 struct State {
   std::mutex mu;
-  int refcount = 0;
+  int refcount MSC_GUARDED_BY(mu) = 0;
   /// Grown under mu (by replacement, old vector leaked so racing
-  /// readers stay valid); read lock-free on the allocation path.
+  /// readers stay valid); read lock-free on the allocation path, so
+  /// it is an acquire/release pointer handoff, NOT guarded by mu.
   std::atomic<std::vector<RankBytes>*> counters{nullptr};
-  std::vector<AllocTracking::Violation> violations;
+  std::vector<AllocTracking::Violation> violations MSC_GUARDED_BY(mu);
 };
 
 State& state() {
@@ -42,7 +45,7 @@ std::atomic<bool> AllocTracking::enabled_{false};  // msc-lint: allow(mutable-gl
 void AllocTracking::enable(int nranks) {
   State& s = state();
   const std::lock_guard lock(s.mu);
-  std::vector<RankBytes>* c = s.counters.load(std::memory_order_relaxed);
+  std::vector<RankBytes>* c = s.counters.load(std::memory_order_acquire);
   if (!c || static_cast<int>(c->size()) < nranks) {
     // msc-lint: allow(naked-new): see above.
     c = new std::vector<RankBytes>(static_cast<std::size_t>(nranks));

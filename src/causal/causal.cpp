@@ -44,6 +44,8 @@ Recorder::Recorder(int nranks, Options opts)
   ranks_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     auto slot = std::make_unique<RankSlot>();
+    // msc-analyze: allow(lockset): construction-time init; the slot is
+    // not shared until the constructor publishes ranks_.
     slot->clock = VectorClock(nranks);
     ranks_.push_back(std::move(slot));
   }

@@ -28,6 +28,7 @@
 
 #include "causal/clock.hpp"
 #include "causal/wire.hpp"
+#include "core/annotations.hpp"
 
 namespace msc::causal {
 
@@ -156,10 +157,10 @@ class Recorder {
  private:
   struct alignas(64) RankSlot {
     mutable std::mutex mu;
-    VectorClock clock;
-    std::vector<Event> events;
-    Stage stage{Stage::kIdle};
-    int round{-1};
+    VectorClock clock MSC_GUARDED_BY(mu);
+    std::vector<Event> events MSC_GUARDED_BY(mu);
+    Stage stage MSC_GUARDED_BY(mu) = Stage::kIdle;
+    int round MSC_GUARDED_BY(mu) = -1;
   };
   struct BarrierJoin {
     VectorClock merged;
@@ -168,14 +169,15 @@ class Recorder {
 
   /// Stamp stage/round (+ optional clock copy) and append under the
   /// slot lock. `e.rank`/`e.ts` must be set by the caller.
-  void recordLocked(RankSlot& slot, Event e);
+  void recordLocked(RankSlot& slot, Event e) MSC_REQUIRES(slot.mu);
 
   Options opts_;
   std::chrono::steady_clock::time_point epoch_;
-  std::atomic<std::uint64_t> next_msg_id_{1};
+  /// Message-id tally: unique ids only, never orders other memory.
+  std::atomic<std::uint64_t> next_msg_id_ MSC_RELAXED_TALLY{1};
   std::vector<std::unique_ptr<RankSlot>> ranks_;
   std::mutex barrier_mu_;
-  std::map<std::int64_t, BarrierJoin> joins_;
+  std::map<std::int64_t, BarrierJoin> joins_ MSC_GUARDED_BY(barrier_mu_);
 };
 
 /// All ranks' contextReport()s concatenated -- what the runtime

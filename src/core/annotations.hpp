@@ -1,0 +1,73 @@
+/// \file annotations.hpp
+/// House concurrency annotation vocabulary.
+///
+/// These macros carry the locking and atomics contract of every
+/// concurrent structure in the tree, and they are read by TWO
+/// checkers:
+///
+///   * tools/msc_analyze.py (tier-1 `analyze` ctest, every compiler)
+///     parses them textually: the lockset pass requires every access
+///     to an MSC_GUARDED_BY field to happen under a lock of the named
+///     mutex or inside an MSC_REQUIRES function; the atomics pass
+///     confines memory_order_relaxed to MSC_RELAXED_TALLY slots.
+///   * clang with -DMSC_TSA=1 (the MSC_TSA CMake option) expands them
+///     to the Clang thread-safety attributes, turning the same
+///     contract into compiler errors (-Werror=thread-safety). gcc has
+///     no thread-safety analysis; there the macros expand to nothing
+///     and msc_analyze is the enforced gate.
+///
+/// MSC_TSA additionally requires a standard library whose lock types
+/// are TSA-annotated (libc++); libstdc++'s std::lock_guard carries no
+/// attributes, so a libstdc++ MSC_TSA build reports false positives.
+/// That is why the option is opt-in rather than wired to __clang__.
+///
+/// This header is a dependency-free macro vocabulary: it may be
+/// included from any module (msc_lint exempts it from layering) and
+/// must never grow declarations, includes, or code.
+#pragma once
+
+#if defined(__clang__) && defined(MSC_TSA)
+#define MSC_TSA_ATTR(x) __attribute__((x))
+#else
+#define MSC_TSA_ATTR(x)
+#endif
+
+/// Marks a type as a lockable capability (mutex-like). House mutexes
+/// are plain std::mutex members, so this is used only by wrapper
+/// types that own their lock discipline.
+#define MSC_CAPABILITY(name) MSC_TSA_ATTR(capability(name))
+
+/// Field may be read/written only while `mu` is held. msc_analyze
+/// resolves `mu` relative to the access path: `box.messages` guarded
+/// by `mu` requires `box.mu` to be held.
+#define MSC_GUARDED_BY(mu) MSC_TSA_ATTR(guarded_by(mu))
+
+/// Pointer field whose *pointee* is guarded by `mu` (the pointer
+/// itself may be read freely).
+#define MSC_PT_GUARDED_BY(mu) MSC_TSA_ATTR(pt_guarded_by(mu))
+
+/// Function may be called only with `mu` already held; its body gets
+/// the lockset for free. The house `*Locked()` private-helper idiom.
+#define MSC_REQUIRES(...) MSC_TSA_ATTR(requires_capability(__VA_ARGS__))
+
+/// Function acquires / releases `mu` and returns holding / not
+/// holding it.
+#define MSC_ACQUIRE(...) MSC_TSA_ATTR(acquire_capability(__VA_ARGS__))
+#define MSC_RELEASE(...) MSC_TSA_ATTR(release_capability(__VA_ARGS__))
+
+/// Function must be called with `mu` NOT held (it will take it).
+#define MSC_EXCLUDES(...) MSC_TSA_ATTR(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch for code whose locking is correct for reasons the
+/// analysis cannot see. Use sparingly; pair with a comment.
+#define MSC_NO_TSA MSC_TSA_ATTR(no_thread_safety_analysis)
+
+/// Marks an atomic member as a monotonic tally slot: a statistics
+/// counter that is never used to order other memory. These are the
+/// ONLY atomics on which msc_analyze permits memory_order_relaxed
+/// (metrics registry slots, TagAlloc byte counters, fault-injection
+/// fire counts). Anything that publishes data or hands a flag across
+/// threads must pair release stores with acquire loads instead.
+/// Expands to nothing under every compiler; it exists for the
+/// analyzer and the reader.
+#define MSC_RELAXED_TALLY

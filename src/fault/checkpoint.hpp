@@ -31,6 +31,7 @@
 #include <string>
 #include <utility>
 
+#include "core/annotations.hpp"
 #include "io/pack.hpp"
 
 namespace msc::fault {
@@ -71,9 +72,9 @@ class CheckpointStore {
   std::string spillPath(int round, int block) const;
 
   mutable std::mutex mu_;
-  std::map<std::pair<int, int>, io::Bytes> mem_;
-  std::string dir_;
-  mutable Stats stats_;
+  std::map<std::pair<int, int>, io::Bytes> mem_ MSC_GUARDED_BY(mu_);
+  std::string dir_;  ///< immutable after construction
+  mutable Stats stats_ MSC_GUARDED_BY(mu_);
 };
 
 }  // namespace msc::fault

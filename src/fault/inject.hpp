@@ -40,6 +40,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/annotations.hpp"
+
 namespace msc::obs {
 class Tracer;
 }
@@ -111,14 +113,14 @@ class Injector {
 
  private:
   struct alignas(64) RankSlot {
-    std::atomic<std::uint64_t> ops{0};
-    std::atomic<int> crashes{0};
+    std::atomic<std::uint64_t> ops MSC_RELAXED_TALLY{0};
+    std::atomic<int> crashes MSC_RELAXED_TALLY{0};
   };
 
   InjectorOptions opts_;
   int nranks_;
   std::vector<RankSlot> slots_;
-  std::array<std::atomic<std::int64_t>, kNumFaultKinds> fired_{};
+  std::array<std::atomic<std::int64_t>, kNumFaultKinds> fired_ MSC_RELAXED_TALLY{};
 };
 
 /// Apply the injector's decision for one comm op: throws

@@ -130,15 +130,15 @@ class Coordinator {
 
  private:
   mutable std::mutex mu_;
-  Position pos_;
-  std::vector<bool> dead_;
-  std::vector<int> entries_;
+  Position pos_ MSC_GUARDED_BY(mu_);
+  std::vector<bool> dead_ MSC_GUARDED_BY(mu_);
+  std::vector<int> entries_ MSC_GUARDED_BY(mu_);
   RecoveryMode mode_;
   int nranks_;
   CheckpointStore* store_;  ///< non-owning; outlives the run
-  std::atomic<std::int64_t> replays_{0};
-  std::atomic<std::int64_t> reassigned_{0};
-  std::atomic<std::int64_t> drained_{0};
+  std::atomic<std::int64_t> replays_ MSC_RELAXED_TALLY{0};
+  std::atomic<std::int64_t> reassigned_ MSC_RELAXED_TALLY{0};
+  std::atomic<std::int64_t> drained_ MSC_RELAXED_TALLY{0};
 };
 
 }  // namespace msc::fault

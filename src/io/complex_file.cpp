@@ -98,7 +98,14 @@ std::vector<Bytes> readComplexFile(const std::string& path) {
 
 namespace {
 
-constexpr int kTagSizes = 900;
+// The size-gather runs in whichever driver called us, so this tag
+// must be disjoint from BOTH pipeline tag spaces. The old value (900)
+// sat inside the recovery driver's attempt-qualified merge band
+// (mergeTag(12, 32) == 100 + 12*64 + 32 == 900): a stale straggler
+// from a failed attempt could have been consumed by the wildcard
+// recv below as a size report. 90 is below every family base.
+// msc-analyze: tag-space(plain, recovery)
+constexpr int kTagSizes = 90;
 
 void pwriteOrThrow(int fd, const void* p, std::size_t n, std::uint64_t offset) {
   const auto* b = static_cast<const char*>(p);

@@ -32,6 +32,8 @@
 #include <memory>
 #include <vector>
 
+#include "core/annotations.hpp"
+
 namespace msc::metrics {
 
 /// Monotone work counters. One enum value per instrumented quantity;
@@ -136,10 +138,10 @@ class Registry {
 
  private:
   struct alignas(64) RankSlot {
-    std::array<std::atomic<std::int64_t>, kNumCounters> counters{};
-    std::array<std::atomic<std::int64_t>, kNumGauges> gauges{};
+    std::array<std::atomic<std::int64_t>, kNumCounters> counters MSC_RELAXED_TALLY{};
+    std::array<std::atomic<std::int64_t>, kNumGauges> gauges MSC_RELAXED_TALLY{};
     std::array<std::array<std::atomic<std::int64_t>, kHistBuckets>, kNumHists>
-        hists{};
+        hists MSC_RELAXED_TALLY{};
   };
   std::vector<std::unique_ptr<RankSlot>> ranks_;
 };

@@ -24,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "core/annotations.hpp"
+
 namespace msc::obs {
 
 /// Named per-rank counters. Values are doubles: time counters are
@@ -203,9 +205,9 @@ class Tracer {
   /// Per-rank slot, padded so concurrent ranks never share a line.
   struct alignas(64) RankLog {
     mutable std::mutex mu;
-    std::vector<Event> events;
-    CounterSet counters;
-    int depth{0};  ///< currently open spans
+    std::vector<Event> events MSC_GUARDED_BY(mu);
+    CounterSet counters MSC_GUARDED_BY(mu);
+    int depth MSC_GUARDED_BY(mu) = 0;  ///< currently open spans
   };
 
   void record(int rank, Event e);

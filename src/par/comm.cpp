@@ -251,6 +251,15 @@ std::optional<Bytes> Runtime::recvImpl(int self, int src, int tag, int* out_src,
     }
   };
   std::unique_lock lock(box.mu);
+  // Wakeup predicate for every wait below: a queued message matching
+  // (src, tag). Re-checked under the lock on each wakeup so a stolen
+  // wakeup (another waiter consumed the message first) goes back to
+  // sleep instead of spinning through the match loop.
+  const auto match_queued = [&] {
+    for (const Message& m : box.messages)
+      if ((src == kAny || m.src == src) && (tag == kAny || m.tag == tag)) return true;
+    return false;
+  };
   for (;;) {
     for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
       if ((src == kAny || it->src == src) && (tag == kAny || it->tag == tag)) {
@@ -319,20 +328,22 @@ std::optional<Bytes> Runtime::recvImpl(int self, int src, int tag, int* out_src,
       const double t0 = time_waits ? steadySeconds() : 0;
       const double poll_ms =
           std::min(wait_ms, std::chrono::duration<double, std::milli>(kAuditPoll).count());
-      box.cv.wait_for(lock, std::chrono::duration<double, std::milli>(poll_ms));
+      box.cv.wait_for(lock, std::chrono::duration<double, std::milli>(poll_ms),
+                      match_queued);
       if (time_waits) waited += steadySeconds() - t0;
       if (steadySeconds() - block_start > auditor_->options().block_timeout_seconds)
         auditor_->onStuck(self);
     } else if (deadline) {
       const double t0 = time_waits ? steadySeconds() : 0;
-      box.cv.wait_for(lock, std::chrono::duration<double, std::milli>(wait_ms));
+      box.cv.wait_for(lock, std::chrono::duration<double, std::milli>(wait_ms),
+                      match_queued);
       if (time_waits) waited += steadySeconds() - t0;
     } else if (time_waits) {
       const double t0 = steadySeconds();
-      box.cv.wait(lock);
+      box.cv.wait(lock, match_queued);
       waited += steadySeconds() - t0;
     } else {
-      box.cv.wait(lock);
+      box.cv.wait(lock, match_queued);
     }
     if (deadline && tracer_) tracer_->count(self, obs::Counter::kRecvRetries, 1);
   }
@@ -376,7 +387,10 @@ void Runtime::barrier(int self) {
       const double block_start = steadySeconds();
       while (barrier_gen_ == gen) {
         if (auditor_->failed()) auditor_->onAborted(self);
-        barrier_cv_.wait_for(lock, kAuditPoll);
+        // Predicate form, bounded by kAuditPoll: still returns at the
+        // poll cadence so the failed()/onStuck checks above keep
+        // running while the rank is parked.
+        barrier_cv_.wait_for(lock, kAuditPoll, [&] { return barrier_gen_ != gen; });
         if (steadySeconds() - block_start > auditor_->options().block_timeout_seconds)
           auditor_->onStuck(self);
       }

@@ -33,6 +33,7 @@
 
 #include "audit/tag_alloc.hpp"
 #include "audit/wire.hpp"
+#include "core/annotations.hpp"
 
 namespace msc::obs {
 class Tracer;
@@ -47,10 +48,15 @@ class Recorder;
 namespace msc::par {
 
 /// Matches any source rank / any tag in recv().
+// msc-analyze: tag-space(*)
 inline constexpr int kAny = -1;
 
-/// Tags reserved by the collectives; user tags must be >= 0.
+/// Tags reserved by the collectives; user tags must be >= 0, so the
+/// framing tags live in every tag space (`*`) for the disjointness
+/// proof.
+// msc-analyze: tag-space(*)
 inline constexpr int kTagGather = -1000;
+// msc-analyze: tag-space(*)
 inline constexpr int kTagBcast = -1001;
 
 /// Message payload. The ownership-tagging allocator is inert until an
@@ -227,7 +233,7 @@ class Runtime {
   struct Mailbox {
     std::mutex mu;
     std::condition_variable cv;
-    std::deque<Message> messages;
+    std::deque<Message> messages MSC_GUARDED_BY(mu);
   };
 
   Runtime(int nranks, obs::Tracer* tracer, audit::Auditor* auditor,
@@ -247,8 +253,8 @@ class Runtime {
   std::vector<Mailbox> boxes_;
   std::mutex barrier_mu_;
   std::condition_variable barrier_cv_;
-  int barrier_count_{0};
-  std::int64_t barrier_gen_{0};
+  int barrier_count_ MSC_GUARDED_BY(barrier_mu_) = 0;
+  std::int64_t barrier_gen_ MSC_GUARDED_BY(barrier_mu_) = 0;
   int nranks_;
   obs::Tracer* tracer_{nullptr};        ///< non-owning; null = tracing off
   audit::Auditor* auditor_{nullptr};    ///< non-owning; null = auditing off

@@ -11,6 +11,7 @@
 
 #include "audit/audit.hpp"
 #include "causal/causal.hpp"
+#include "core/annotations.hpp"
 #include "core/merge.hpp"
 #include "decomp/decompose.hpp"
 #include "fault/inject.hpp"
@@ -33,7 +34,18 @@ double now() {
       .count();
 }
 
+/// Rank 0 fills the run's result from inside its rank lambda; the
+/// driver epilogue and the caller read it after Runtime::run joins.
+/// The mutex makes that handoff an explicit, checkable contract
+/// (lockset pass / TSA) instead of an implicit property of the join.
+struct GuardedResult {
+  std::mutex mu;
+  ThreadedResult value MSC_GUARDED_BY(mu);
+};
+
 constexpr int kTagMergeBase = 100;  // + round (fault-free driver)
+// Used by both drivers, so it must be disjoint from both tag spaces.
+// msc-analyze: tag-space(plain, recovery)
 constexpr int kTagWrite = 50;
 
 /// The sharded final round has a second message phase (geometry
@@ -50,12 +62,14 @@ constexpr int kTagShardGeomBase = 1000;  // + round (fault-free driver)
 /// driver keeps the original kTagMergeBase + round tags untouched.
 constexpr int kAttemptStride = 64;
 
+// msc-analyze: tag-space(recovery): round in [0,64), attempt in [0,64)
 int mergeTag(int round, int attempt) {
   return kTagMergeBase + round * kAttemptStride + attempt;
 }
 
 /// Attempt-qualified tag for the sharded round's geometry bundles.
 /// The 10000 base keeps it clear of every mergeTag() value.
+// msc-analyze: tag-space(recovery): round in [0,64), attempt in [0,64)
 int shardGeomTag(int round, int attempt) {
   return 10000 + round * kAttemptStride + attempt;
 }
@@ -91,7 +105,7 @@ void sampleMetrics(const PipelineConfig& cfg, int rank) {
 
 /// The original fault-free driver, byte-for-byte: taken whenever no
 /// injector is attached and recovery is off.
-void runPlain(const PipelineConfig& cfg, ThreadedResult& result, std::mutex& result_mu) {
+void runPlain(const PipelineConfig& cfg, GuardedResult& out) {
   obs::Tracer* const tr = cfg.tracer;
   causal::Recorder* const rec = cfg.causal;
   metrics::Registry* const reg = cfg.metrics;
@@ -148,6 +162,7 @@ void runPlain(const PipelineConfig& cfg, ThreadedResult& result, std::mutex& res
     std::vector<double> round_ends;
     for (int r = 0; r < cfg.plan.rounds(); ++r) {
       const auto groups = cfg.plan.round(r, static_cast<int>(survivors.size()));
+      // msc-analyze: tag-space(plain): r in [0,64)
       const int tag = kTagMergeBase + r;
       auto round_span = obs::span(tr, rank, "merge_round", "stage");
       round_span.arg("round", r);
@@ -161,6 +176,7 @@ void runPlain(const PipelineConfig& cfg, ThreadedResult& result, std::mutex& res
         // survivor keeps the part of the final complex its position
         // owns, and the write stage collects all of them.
         const int S = static_cast<int>(survivors.size());
+        // msc-analyze: tag-space(plain): r in [0,64)
         const int geom_tag = kTagShardGeomBase + r;
         std::set<int> owner_ranks;
         for (const int blk : survivors) owner_ranks.insert(blk % cfg.nranks);
@@ -358,8 +374,8 @@ void runPlain(const PipelineConfig& cfg, ThreadedResult& result, std::mutex& res
         prev = e;
       }
       local.times.write = now() - prev;
-      const std::lock_guard lock(result_mu);
-      result = std::move(local);
+      const std::lock_guard lock(out.mu);
+      out.value = std::move(local);
     }
     sampleMetrics(cfg, rank);
     write_span.end();
@@ -372,8 +388,7 @@ void runPlain(const PipelineConfig& cfg, ThreadedResult& result, std::mutex& res
 /// (attempt -> vote -> drain -> commit/rollback) over per-round
 /// checkpoints, under deterministic fault injection. See
 /// fault/recovery.hpp for the protocol and its invariants.
-void runRecovering(const PipelineConfig& cfg, ThreadedResult& result,
-                   std::mutex& result_mu) {
+void runRecovering(const PipelineConfig& cfg, GuardedResult& out) {
   obs::Tracer* const tr = cfg.tracer;
   causal::Recorder* const rec = cfg.causal;
   // Recovery failures carry the causal view when a recorder is on:
@@ -844,8 +859,8 @@ void runRecovering(const PipelineConfig& cfg, ThreadedResult& result,
         prev = e;
       }
       local.times.write = now() - prev;
-      const std::lock_guard lock(result_mu);
-      result = std::move(local);
+      const std::lock_guard lock(out.mu);
+      out.value = std::move(local);
     }
     sampleMetrics(cfg, rank);
     write_span.end();
@@ -854,13 +869,14 @@ void runRecovering(const PipelineConfig& cfg, ThreadedResult& result,
   }, tr, cfg.auditor, cfg.causal, &ropts);
 
   const fault::CheckpointStore::Stats cs = store.stats();
-  result.recovery.respawns = coord.respawns();
-  result.recovery.round_replays = coord.replays();
-  result.recovery.reassigned_blocks = coord.reassignedBlocks();
-  result.recovery.drained_messages = coord.drainedMessages();
-  result.recovery.checkpoint_puts = cs.puts;
-  result.recovery.checkpoint_restores = cs.restores;
-  if (inj) result.recovery.faults_injected = inj->firedTotal();
+  const std::lock_guard lock(out.mu);
+  out.value.recovery.respawns = coord.respawns();
+  out.value.recovery.round_replays = coord.replays();
+  out.value.recovery.reassigned_blocks = coord.reassignedBlocks();
+  out.value.recovery.drained_messages = coord.drainedMessages();
+  out.value.recovery.checkpoint_puts = cs.puts;
+  out.value.recovery.checkpoint_restores = cs.restores;
+  if (inj) out.value.recovery.faults_injected = inj->firedTotal();
 }
 
 }  // namespace
@@ -870,13 +886,13 @@ ThreadedResult runThreadedPipeline(const PipelineConfig& user_cfg) {
   validatePipelineConfig(cfg);
   if (cfg.auditor) cfg.auditor->setBlockTimeoutSeconds(cfg.block_timeout_seconds);
 
-  ThreadedResult result;
-  std::mutex result_mu;
+  GuardedResult gres;
   if (cfg.fault.injector == nullptr && cfg.fault.recovery == fault::RecoveryMode::kOff)
-    runPlain(cfg, result, result_mu);
+    runPlain(cfg, gres);
   else
-    runRecovering(cfg, result, result_mu);
-  return result;
+    runRecovering(cfg, gres);
+  const std::lock_guard lock(gres.mu);
+  return std::move(gres.value);
 }
 
 }  // namespace msc::pipeline

@@ -1,0 +1,21 @@
+// msc_analyze fixture: atomics-discipline pass. A release-published
+// flag read with a relaxed load is the seeded defect; the annotated
+// tally slot next to it must stay clean.
+#include <atomic>
+
+struct Flags {
+  std::atomic<bool> ready{false};
+  std::atomic<long> hits MSC_RELAXED_TALLY{0};
+};
+
+void publish(Flags& f) { f.ready.store(true, std::memory_order_release); }
+
+bool pollBroken(Flags& f) {
+  // msc-analyze: expect(atomic-relaxed)
+  // msc-analyze: expect(atomic-handoff)
+  return f.ready.load(std::memory_order_relaxed);
+}
+
+bool pollPaired(Flags& f) { return f.ready.load(std::memory_order_acquire); }
+
+void bumpTally(Flags& f) { f.hits.fetch_add(1, std::memory_order_relaxed); }

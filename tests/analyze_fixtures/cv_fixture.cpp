@@ -1,0 +1,22 @@
+// msc_analyze fixture: condition_variable predicate-form rule. The
+// bare wait is the seeded defect: a spurious or stolen wakeup would
+// sail past the guarded condition.
+#include <condition_variable>
+#include <mutex>
+
+struct WorkQueue {
+  std::mutex mu;
+  std::condition_variable cv;
+  int pending MSC_GUARDED_BY(mu) = 0;
+};
+
+void waitPredicated(WorkQueue& q) {
+  std::unique_lock lock(q.mu);
+  q.cv.wait(lock, [&] { return q.pending > 0; });
+}
+
+void waitBare(WorkQueue& q) {
+  std::unique_lock lock(q.mu);
+  // msc-analyze: expect(cv-predicate)
+  q.cv.wait(lock);
+}

@@ -1,0 +1,35 @@
+// msc_analyze fixture: lockset pass. Analyzer-only source -- never
+// compiled; each `expect()` marker names the rule that must fire on
+// the next code line, and everything unmarked must stay clean.
+#include <mutex>
+
+struct Account {
+  std::mutex mu;
+  int balance MSC_GUARDED_BY(mu) = 0;
+};
+
+struct Ledger {
+  void auditLocked() MSC_REQUIRES(mu_);
+
+  std::mutex mu_;
+  int total_ MSC_GUARDED_BY(mu_) = 0;
+};
+
+int readUnderLock(Account& a) {
+  const std::lock_guard lock(a.mu);
+  return a.balance;
+}
+
+int readOutsideLock(Account& a) {
+  // msc-analyze: expect(lockset)
+  return a.balance;
+}
+
+int readAfterEarlyUnlock(Account& a) {
+  std::unique_lock lock(a.mu);
+  lock.unlock();
+  // msc-analyze: expect(lockset)
+  return a.balance;
+}
+
+void Ledger::auditLocked() { total_ += 1; }

@@ -1,0 +1,30 @@
+// msc_analyze fixture: tag-space disjointness pass. The geometry
+// family's base (200) sits inside the attempt-qualified merge band
+// (100 + round*8 + attempt reaches 227), so the two families collide;
+// and one send ships a bare literal no annotation covers.
+namespace {
+
+constexpr int kBase = 100;
+constexpr int kStride = 8;
+
+// msc-analyze: tag-space(fixture): round in [0,16), attempt in [0,8)
+int mergeTag(int round, int attempt) { return kBase + round * kStride + attempt; }
+
+// msc-analyze: expect(tag-overlap)
+// msc-analyze: tag-space(fixture): round in [0,16)
+int geomTag(int round) { return 200 + round; }
+
+}  // namespace
+
+struct Comm {
+  void send(int dst, int tag, int payload);
+};
+
+void shipTracked(Comm& comm) { comm.send(0, mergeTag(1, 2), 7); }
+
+void shipGeom(Comm& comm) { comm.send(0, geomTag(3), 7); }
+
+void shipUntracked(Comm& comm) {
+  // msc-analyze: expect(tag-untracked)
+  comm.send(0, 999, 7);
+}

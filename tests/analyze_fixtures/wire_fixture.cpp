@@ -1,0 +1,33 @@
+// msc_analyze fixture: share-nothing escape pass. A raw pointer in a
+// wire struct and a pointer memcpy'd into a payload are the seeded
+// defects -- an address is meaningless on the receiving rank.
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+using Bytes = std::vector<std::uint8_t>;
+
+// msc-analyze: wire-struct
+struct GoodPayload {
+  std::int64_t id = 0;
+  double weight = 0.0;
+};
+
+// msc-analyze: wire-struct
+struct BadPayload {
+  std::int64_t id = 0;
+  // msc-analyze: expect(wire-pointer)
+  const double* samples = nullptr;
+};
+
+void packPointer(Bytes& out) {
+  double x = 1.0;
+  double* p = &x;
+  // msc-analyze: expect(wire-pointer)
+  std::memcpy(out.data(), &p, sizeof(p));
+}
+
+void packValue(Bytes& out) {
+  double x = 1.0;
+  std::memcpy(out.data(), &x, sizeof(x));
+}

@@ -1,0 +1,193 @@
+"""lintlib: shared machinery for the repo's source-model linters.
+
+Both tier-1 source gates -- msc_lint (layering/hygiene) and
+msc_analyze (concurrency annotations) -- are flow-lite analyzers over
+a tokenized source model. This module holds everything they must not
+let drift apart:
+
+  * strip_comments_and_strings: the shared tokenizer that blanks
+    comments and literals while preserving line structure, so regex
+    passes cannot fire inside them.
+  * Finding: one violation, keyed "path:line" for grandfather lookup.
+  * allowed_rules_for_line: the inline-suppression contract. The
+    marker differs per tool (`msc-lint:` vs `msc-analyze:`) but the
+    placement rules (offending line, or the contiguous `//` block
+    directly above) and the allow(...) syntax are identical, so a
+    suppression written for one tool reads the same in the other.
+  * check_grandfather: the empty-on-mainline requirement.
+  * walk_sources / files_from_compile_commands: file discovery, with
+    the compile_commands.json fast path shared by any tool that wants
+    the build's own view of the translation units.
+
+Keep this dependency-free (stdlib only); it is imported by tools that
+run inside ctest with no environment beyond python3.
+"""
+
+import json
+import os
+import re
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line
+    structure, so regex checks cannot fire inside them. Comment text
+    itself stays available to callers via the raw lines (that is where
+    the allow/annotation markers live)."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(" ")
+            elif c == "\n":  # unterminated; bail to code to stay line-stable
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def key(self):
+        return f"{self.path}:{self.line}"
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_dict(self):
+        return {"path": self.path, "line": self.line, "rule": self.rule,
+                "message": self.message}
+
+
+def allow_regex(marker, require_reason=False):
+    """Compile the inline-suppression pattern for a tool marker, e.g.
+    `// msc-analyze: allow(lockset): reason`. With require_reason, an
+    allow with no trailing `: reason` text does not match -- the tool
+    treats it as absent (the violation still fires), which is how
+    msc_analyze forces every suppression to carry a justification."""
+    if require_reason:
+        return re.compile(re.escape(marker) + r":\s*allow\(([a-z-]+)\)\s*:\s*\S")
+    return re.compile(re.escape(marker) + r":\s*allow\(([a-z-]+)\)")
+
+
+def allowed_rules_for_line(raw_lines, lineno, allow_re):
+    """Inline suppressions on the offending line or in the contiguous
+    comment block directly above it."""
+    allowed = set()
+    if 1 <= lineno <= len(raw_lines):
+        allowed.update(allow_re.findall(raw_lines[lineno - 1]))
+    ln = lineno - 1
+    while 1 <= ln <= len(raw_lines) and raw_lines[ln - 1].lstrip().startswith("//"):
+        allowed.update(allow_re.findall(raw_lines[ln - 1]))
+        ln -= 1
+    return allowed
+
+
+def check_grandfather(grandfather, tool, err):
+    """The empty-on-mainline requirement. Returns True when the table
+    is clean; prints the failure to `err` otherwise. A rule may be
+    introduced with grandfathered debt, but no commit may keep it:
+    fix the code or justify it inline where reviewers can see it."""
+    if not grandfather:
+        return True
+    n = len(grandfather)
+    print(f"{tool}: GRANDFATHER must be empty on mainline "
+          f"({n} entr{'y' if n == 1 else 'ies'}); fix or justify inline",
+          file=err)
+    return False
+
+
+def walk_sources(src, exts=(".hpp", ".cpp")):
+    """Deterministic walk of a source tree; yields absolute paths."""
+    for dirpath, _dirnames, filenames in sorted(os.walk(src)):
+        for name in sorted(filenames):
+            if name.endswith(tuple(exts)):
+                yield os.path.join(dirpath, name)
+
+
+def files_from_compile_commands(path, under=None):
+    """Translation units listed in a compile_commands.json, optionally
+    restricted to paths under `under`. Returns None when the file is
+    missing/unreadable so callers can fall back to walk_sources -- a
+    stale or absent export must never weaken a gate to zero files."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            entries = json.load(f)
+    except (OSError, ValueError):
+        return None
+    files = set()
+    for e in entries:
+        if not isinstance(e, dict) or "file" not in e:
+            continue
+        p = e["file"]
+        if not os.path.isabs(p):
+            p = os.path.normpath(os.path.join(e.get("directory", "."), p))
+        p = os.path.normpath(p)
+        if under is not None:
+            try:
+                if os.path.commonpath([os.path.abspath(under), p]) != os.path.abspath(under):
+                    continue
+            except ValueError:
+                continue
+        if os.path.isfile(p):
+            files.add(p)
+    return sorted(files)
+
+
+def rules_payload(rules, **extra):
+    """The --rules JSON body: the rule table plus tool-specific extras
+    (layer maps, tag budgets, ...)."""
+    payload = {"rules": rules}
+    payload.update(extra)
+    return payload

@@ -1,0 +1,1137 @@
+#!/usr/bin/env python3
+"""msc_analyze: annotation-driven concurrency static analysis for src/.
+
+The runtime's share-nothing contract is audited dynamically (msc::audit,
+the TSan matrix) -- which checks the interleavings a run happens to
+execute. This tool checks the ones it could execute, statically, driven
+by the annotation vocabulary in src/core/annotations.hpp:
+
+  lockset         every access to an MSC_GUARDED_BY(mu) field must be
+                  under a lock_guard/unique_lock/scoped_lock of that
+                  mutex or inside an MSC_REQUIRES(mu) function.
+  atomic-relaxed  memory_order_relaxed is permitted only on members
+                  annotated MSC_RELAXED_TALLY (statistics slots that
+                  never order other memory).
+  atomic-handoff  an atomic member used as a cross-thread handoff
+                  (it has release stores or acquire loads anywhere in
+                  the tree) must never mix in relaxed operations.
+  cv-predicate    condition_variable waits must use the predicate
+                  overload, so the guarded condition is re-checked
+                  under the lock on every wakeup.
+  wire-pointer    raw pointer/reference members must not appear in
+                  wire structs (types sent via sendValue/recvValue or
+                  marked `// msc-analyze: wire-struct`), and memcpy
+                  into a payload's .data() must not serialize a
+                  pointer -- the static counterpart of the TagAlloc
+                  runtime ownership check.
+  tag-overlap     message-tag families declared with
+                  `// msc-analyze: tag-space(...)` annotations must be
+                  injective over their (round, attempt, ...) budgets
+                  and pairwise disjoint within each tag space.
+  tag-untracked   every tag argument at a Comm call site must trace
+                  back to an annotated tag family (or par::kAny); an
+                  unannotated literal has no disjointness proof.
+
+This is a flow-lite analyzer in the msc_lint house style: a tokenized
+source model (comments/strings blanked, brace scopes tracked, class
+fields collected) -- not a compiler. Receiver types are resolved from
+local declarations when findable; an unresolvable receiver falls back
+to by-name candidate matching, and is skipped only when the member is
+a declared tally slot. Clang builds can additionally turn the same
+annotations into compiler-checked thread-safety attributes (-DMSC_TSA,
+see CMakeLists.txt); gcc has no such analysis, so this tool is the
+enforced gate there, wired into tier-1 ctest under the `analyze` label.
+
+Rules are machine-readable: `--rules` emits the table as JSON.
+Suppression requires an inline justification (the reason is NOT
+optional, unlike msc_lint):
+
+    // msc-analyze: allow(<rule-id>): <reason>
+
+on the offending line or the comment block directly above. The
+GRANDFATHER table must be EMPTY on every mainline commit.
+
+`--self-check --fixtures DIR` analyzes a seeded-defect tree instead
+of src/ and verifies that every `// msc-analyze: expect(<rule-id>)`
+marker is matched by a finding of that rule on that line, nothing
+unexpected fires, and every rule is exercised at least once -- the
+proof that each pass can actually fail.
+
+Exit status: 0 clean, 1 violations/self-check mismatch, 2 usage error.
+"""
+
+import argparse
+import itertools
+import json
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import lintlib  # noqa: E402
+
+TOOL = "msc_analyze"
+
+RULES = [
+    {"id": "lockset", "severity": "error",
+     "description": "Access to an MSC_GUARDED_BY(mu) field outside a "
+                    "lock_guard/unique_lock/scoped_lock of mu and outside any "
+                    "MSC_REQUIRES(mu) function."},
+    {"id": "atomic-relaxed", "severity": "error",
+     "description": "memory_order_relaxed on an atomic not annotated "
+                    "MSC_RELAXED_TALLY; relaxed is reserved for statistics "
+                    "slots that never order other memory."},
+    {"id": "atomic-handoff", "severity": "error",
+     "description": "Relaxed operation on an atomic that is elsewhere used "
+                    "as an acquire/release handoff; a flag or pointer publish "
+                    "must pair release stores with acquire loads only."},
+    {"id": "cv-predicate", "severity": "error",
+     "description": "condition_variable wait without a predicate; the guarded "
+                    "condition must be re-checked under the lock on every "
+                    "wakeup."},
+    {"id": "wire-pointer", "severity": "error",
+     "description": "Raw pointer/reference stored into a message payload or "
+                    "wire struct; cross-rank data must travel by value "
+                    "(share-nothing escape)."},
+    {"id": "tag-overlap", "severity": "error",
+     "description": "Two message-tag families in the same tag space can "
+                    "produce the same tag value within their declared "
+                    "budgets, or one family is not injective."},
+    {"id": "tag-untracked", "severity": "error",
+     "description": "Tag argument at a Comm call site does not trace back to "
+                    "an annotated tag family (or an identifier in a tag "
+                    "expression cannot be resolved)."},
+]
+RULE_IDS = [r["id"] for r in RULES]
+
+# Debt accepted at rule-introduction time. MUST be empty on mainline.
+GRANDFATHER = {}
+
+ALLOW_RE = lintlib.allow_regex("msc-analyze", require_reason=True)
+EXPECT_RE = re.compile(r"msc-analyze:\s*expect\(([a-z-]+)\)")
+TAG_SPACE_RE = re.compile(r"msc-analyze:\s*tag-space\(([^)]*)\)(?::\s*(.*))?")
+WIRE_STRUCT_RE = re.compile(r"msc-analyze:\s*wire-struct")
+BOUND_RE = re.compile(r"([A-Za-z_]\w*)\s+in\s+\[\s*(-?\w+)\s*,\s*(-?\w+)\s*\)")
+
+TYPE_KEYWORDS = {
+    "auto", "const", "constexpr", "static", "mutable", "inline", "return",
+    "if", "else", "for", "while", "do", "switch", "case", "new", "delete",
+    "throw", "sizeof", "struct", "class", "enum", "using", "typedef",
+    "typename", "template", "int", "bool", "char", "float", "double", "void",
+    "unsigned", "signed", "long", "short", "namespace", "operator", "public",
+    "private", "protected", "friend", "virtual", "override", "final",
+    "noexcept", "explicit", "default", "break", "continue", "goto", "try",
+    "catch", "this", "nullptr", "true", "false", "alignas",
+}
+
+BUILTIN_TYPES = {"int", "bool", "char", "float", "double", "unsigned",
+                 "signed", "long", "short"}
+
+ATOMIC_OPS = ("load", "store", "exchange", "fetch_add", "fetch_sub",
+              "fetch_or", "fetch_and", "fetch_xor", "compare_exchange_weak",
+              "compare_exchange_strong")
+ATOMIC_OP_RE = re.compile(r"\.\s*(" + "|".join(ATOMIC_OPS) + r")\s*\(")
+ORDER_RE = re.compile(r"memory_order_(relaxed|acquire|release|acq_rel|seq_cst|consume)")
+RECEIVER_RE = re.compile(r"([A-Za-z_]\w*)\s*(?:\[[^\][]*\])?\s*\.?\s*$")
+CV_DECL_RE = re.compile(r"std\s*::\s*condition_variable(?:_any)?\s+([A-Za-z_]\w*)")
+CV_WAIT_RE = re.compile(r"([A-Za-z_]\w*)\s*(?:\.|->)\s*(wait|wait_for|wait_until)\s*\(")
+LOCK_DECL_RE = re.compile(
+    r"\b(?:std\s*::\s*)?(lock_guard|unique_lock|scoped_lock|shared_lock)\s*"
+    r"(?:<[^;<>]*>)?\s+([A-Za-z_]\w*)\s*[({]")
+CLASS_HEAD_RE = re.compile(r"\b(class|struct)\s+([A-Za-z_]\w*)")
+GUARDED_RE = re.compile(r"([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?\s*MSC_GUARDED_BY\s*\(([^()]*)\)")
+REQUIRES_RE = re.compile(
+    r"([A-Za-z_]\w*)\s*\(([^()]*(?:\([^()]*\)[^()]*)*)\)\s*"
+    r"(?:const\s*)?(?:noexcept\s*)?MSC_REQUIRES\s*\(([^()]*)\)")
+CONSTEXPR_INT_RE = re.compile(
+    r"\b(?:inline\s+)?constexpr\s+(?:std\s*::\s*)?(?:int|std::int32_t|int32_t|"
+    r"std::int64_t|int64_t|long)\s+([A-Za-z_]\w*)\s*=\s*(-?\d+)\s*;")
+MEMCPY_RE = re.compile(r"\bmemcpy\s*\(")
+COMM_CALL_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*(?:\.|->)\s*(send|recv|tryRecv|probe|sendValue|recvValue)"
+    r"\s*(?:<\s*[\w:<>,\s]*\s*>)?\s*\(")
+
+
+def norm_expr(e):
+    """Canonical mutex/member path: whitespace dropped, -> folded to .,
+    this-qualification and address-of stripped."""
+    e = re.sub(r"\s+", "", e).replace("->", ".")
+    if e.startswith("this."):
+        e = e[5:]
+    return e.lstrip("&")
+
+
+def base_type(t):
+    """`const std::vector<RankBytes>*` -> ('vector', full). The base
+    name keys class lookup; the full string keeps pointer-ness."""
+    full = t.strip()
+    t = re.sub(r"<.*", "", full)
+    t = t.split("::")[-1].strip().lstrip("*&").rstrip("*& ")
+    return t, full
+
+
+def split_args(s):
+    """Top-level comma split of an argument list body."""
+    out, depth, cur = [], 0, []
+    for ch in s:
+        if ch in "([{<":
+            depth += 1
+        elif ch in ")]}>":
+            depth -= 1
+        if ch == "," and depth == 0:
+            out.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    if cur or out:
+        out.append("".join(cur))
+    return [a.strip() for a in out]
+
+
+def match_paren(text, open_pos):
+    """Offset of the ) matching text[open_pos] == '(', or -1."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+class SourceFile:
+    def __init__(self, path, rel):
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            self.text = f.read()
+        self.rel = rel
+        self.raw_lines = self.text.split("\n")
+        self.stripped = lintlib.strip_comments_and_strings(self.text)
+        self.lines = self.stripped.split("\n")
+        self.line_start = [0]
+        for ln in self.lines[:-1]:
+            self.line_start.append(self.line_start[-1] + len(ln) + 1)
+        self._scan_braces()
+
+    def line_of(self, offset):
+        import bisect
+        return bisect.bisect_right(self.line_start, offset)
+
+    def _scan_braces(self):
+        """One forward scan classifying every brace pair. Produces
+        self.depth[] per char and self.scopes: records with kind in
+        {ns, class, enum, func, lambda, block, init}."""
+        text = self.stripped
+        self.depth = [0] * (len(text) + 1)
+        self.scopes = []
+        stack = []
+        d = 0
+        for i, ch in enumerate(text):
+            self.depth[i] = d
+            if ch == "{":
+                head = self._head_before(i)
+                kind, name = self._classify(head, stack)
+                rec = {"kind": kind, "name": name, "head": head,
+                       "open": i, "close": None,
+                       "class_stack": [s["name"] for s in stack if s["kind"] == "class"]}
+                stack.append(rec)
+                self.scopes.append(rec)
+                d += 1
+            elif ch == "}":
+                d = max(0, d - 1)
+                if stack:
+                    stack.pop()["close"] = i
+        self.depth[len(text)] = d
+        for rec in self.scopes:
+            if rec["close"] is None:
+                rec["close"] = len(text)
+
+    def _head_before(self, brace_pos):
+        """Statement text preceding a `{`, skipping back over balanced
+        parens (so a for-loop's internal semicolons do not cut it)."""
+        text = self.stripped
+        i = brace_pos - 1
+        pdepth = 0
+        lo = max(0, brace_pos - 4000)
+        while i >= lo:
+            c = text[i]
+            if c == ")":
+                pdepth += 1
+            elif c == "(":
+                if pdepth == 0:
+                    break
+                pdepth -= 1
+            elif pdepth == 0 and c in ";{}":
+                break
+            i -= 1
+        return text[i + 1:brace_pos].strip()
+
+    def _classify(self, head, stack):
+        head = re.sub(r"\balignas\s*\([^()]*\)", "", head)
+        if re.search(r"\bnamespace\b", head) and "(" not in head:
+            return "ns", None
+        if re.search(r"\benum\b", head):
+            return "enum", None
+        cm = None
+        for m in CLASS_HEAD_RE.finditer(head):
+            rest = head[m.end():]
+            if not re.search(r"[(){}=]", rest):
+                cm = m
+        if cm is not None:
+            return "class", cm.group(2)
+        # A function/lambda body follows a closing paren (possibly with
+        # const/noexcept/trailing-return/try tokens after it).
+        tail = re.sub(r"\)\s*(const|noexcept|override|final|mutable|try|"
+                      r"->\s*[\w:<>,&*\s]+)*\s*$", ")", head)
+        if tail.endswith(")"):
+            op = None
+            depth = 0
+            for i in range(len(tail) - 1, -1, -1):
+                if tail[i] == ")":
+                    depth += 1
+                elif tail[i] == "(":
+                    depth -= 1
+                    if depth == 0:
+                        op = i
+                        break
+            if op is not None:
+                before = tail[:op].rstrip()
+                if before.endswith("]"):
+                    return "lambda", None
+                nm = re.search(r"([A-Za-z_~]\w*)\s*$", before)
+                if nm and nm.group(1) not in ("if", "for", "while", "switch",
+                                              "catch", "return"):
+                    qual = re.search(r"([A-Za-z_]\w*)\s*::\s*" + nm.group(1) + r"\s*$",
+                                     before)
+                    in_control = nm.group(1) in TYPE_KEYWORDS
+                    if not in_control:
+                        return "func", {"name": nm.group(1),
+                                        "qual": qual.group(1) if qual else None,
+                                        "params": tail[op + 1:-1]}
+        if re.match(r"^(if|else|for|while|do|switch|try|catch)\b", head) or head == "":
+            return "block", None
+        if head.endswith("=") or head.endswith("return") or head.endswith(","):
+            return "init", None
+        return "block", None
+
+    def stmt_at(self, lineno, max_lines=12):
+        """Join stripped lines from `lineno` (1-based) until one
+        contains ';' or '{'."""
+        parts = []
+        for i in range(lineno - 1, min(lineno - 1 + max_lines, len(self.lines))):
+            parts.append(self.lines[i])
+            if ";" in self.lines[i] or "{" in self.lines[i]:
+                break
+        return " ".join(parts)
+
+
+class ClassInfo:
+    def __init__(self, name):
+        self.name = name
+        self.guarded = {}   # member -> set of mutex exprs (normalized)
+        self.tally = set()  # member names
+        self.members = []   # (type_str, member, rel, line)
+
+
+class Model:
+    """The tree-wide source model: classes with guarded/tally members,
+    REQUIRES functions, constexpr ints, cv names, tag families."""
+
+    def __init__(self):
+        self.files = []           # SourceFile
+        self.classes = {}         # name -> ClassInfo (merged across files)
+        self.requires = {}        # (class|None, func) -> set of mutex exprs
+        self.consts = {}          # constexpr int name -> value (None = conflict)
+        self.cv_names = set()
+        self.tag_families = []    # dicts: file,line,spaces,exprs,bounds,name
+        self.tag_symbols = set()  # names that denote annotated tag values
+        self.covered_locals = {}  # rel -> set of local var names
+        self.wire_structs = set() # class names whose members must be pointer-free
+        self.guarded_members = {} # member -> list of (class, mutex expr)
+        self.tally_names = set()
+
+    def cls(self, name):
+        if name not in self.classes:
+            self.classes[name] = ClassInfo(name)
+        return self.classes[name]
+
+
+# --------------------------------------------------------------------------
+# Pass 1: collection
+# --------------------------------------------------------------------------
+
+def collect_file(sf, model):
+    # condition_variable names and constexpr ints (tree-wide pools).
+    for m in CV_DECL_RE.finditer(sf.stripped):
+        model.cv_names.add(m.group(1))
+    for m in CONSTEXPR_INT_RE.finditer(sf.stripped):
+        name, val = m.group(1), int(m.group(2))
+        if name in model.consts and model.consts[name] != val:
+            model.consts[name] = None  # conflicting definitions: unusable
+        elif name not in model.consts:
+            model.consts[name] = val
+
+    # Class member tables: statements at a class scope's top level.
+    for rec in sf.scopes:
+        if rec["kind"] != "class":
+            continue
+        ci = model.cls(rec["name"])
+        open_line = sf.line_of(rec["open"])
+        close_line = sf.line_of(rec["close"])
+        inner = sf.depth[rec["open"]] + 1
+        ln = open_line
+        while ln <= close_line and ln <= len(sf.lines):
+            line = sf.lines[ln - 1]
+            first = len(line) - len(line.lstrip())
+            if not line.strip() or sf.depth[sf.line_start[ln - 1] + first] != inner:
+                ln += 1
+                continue
+            stmt = sf.stmt_at(ln)
+            for g in GUARDED_RE.finditer(stmt):
+                ci.guarded.setdefault(g.group(1), set()).add(norm_expr(g.group(2)))
+            if "MSC_RELAXED_TALLY" in stmt:
+                bare = stmt.replace("MSC_RELAXED_TALLY", " ")
+                nm = re.search(r"([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?\s*"
+                               r"(?:\{[^{}]*\})?\s*(?:=[^;]*)?;", bare)
+                if nm:
+                    ci.tally.add(nm.group(1))
+            # Plain data members (for the wire-pointer pass). Lines with
+            # '(' are declarations of functions (or std::function members,
+            # which are not raw pointers) and are skipped.
+            if "(" not in stmt and ";" in stmt:
+                dm = re.match(
+                    r"\s*(?:mutable\s+|static\s+|constexpr\s+|inline\s+)*"
+                    r"((?:const\s+)?[A-Za-z_][\w:<>,\s]*?[*&]*)\s+"
+                    r"([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?\s*(?:\{[^{}]*\})?"
+                    r"\s*(?:=[^;]*)?;", stmt)
+                if dm and dm.group(2) not in TYPE_KEYWORDS:
+                    ci.members.append((dm.group(1).strip(), dm.group(2),
+                                       sf.rel, ln))
+            ln += 1
+        # wire-struct marker on/above the class head line.
+        head_line = sf.line_of(rec["open"])
+        for probe in range(max(1, head_line - 3), head_line + 1):
+            if WIRE_STRUCT_RE.search(sf.raw_lines[probe - 1]):
+                model.wire_structs.add(rec["name"])
+
+    # MSC_REQUIRES functions: declarations and definitions. The
+    # attribute may sit on a continuation line, so walk back to the
+    # start of the statement it belongs to before joining.
+    for ln, line in enumerate(sf.lines, 1):
+        if "MSC_REQUIRES" not in line:
+            continue
+        start = ln
+        while start > 1:
+            prev = sf.lines[start - 2].rstrip()
+            if not prev or prev.endswith((";", "{", "}")):
+                break
+            start -= 1
+        stmt = sf.stmt_at(start)
+        for m in REQUIRES_RE.finditer(stmt):
+            fname = m.group(1)
+            exprs = {norm_expr(e) for e in split_args(m.group(3)) if e.strip()}
+            qual = re.search(r"([A-Za-z_]\w*)\s*::\s*" + fname, stmt)
+            cls = qual.group(1) if qual else None
+            if cls is None:
+                off = sf.line_start[ln - 1]
+                for rec in sf.scopes:
+                    if rec["kind"] == "class" and rec["open"] <= off <= rec["close"]:
+                        cls = rec["name"]
+            model.requires.setdefault((cls, fname), set()).update(exprs)
+            model.requires.setdefault((None, fname), set()).update(exprs)
+
+    # sendValue<T>/recvValue<T> explicit instantiations mark T as wire.
+    for m in re.finditer(r"\b(?:sendValue|recvValue)\s*<\s*([\w:]+)\s*>", sf.stripped):
+        model.wire_structs.add(base_type(m.group(1))[0])
+
+    # Tag-space annotations.
+    for ln, raw in enumerate(sf.raw_lines, 1):
+        tm = TAG_SPACE_RE.search(raw)
+        if tm is None:
+            continue
+        spaces = [s.strip() for s in tm.group(1).split(",") if s.strip()]
+        bounds = {}
+        ok = True
+        for var, lo, hi in BOUND_RE.findall(tm.group(2) or ""):
+            lo_v = model.consts.get(lo) if not re.match(r"^-?\d+$", lo) else int(lo)
+            hi_v = model.consts.get(hi) if not re.match(r"^-?\d+$", hi) else int(hi)
+            if lo_v is None or hi_v is None:
+                ok = False
+            bounds[var] = (lo_v, hi_v)
+        target = ln if sf.lines[ln - 1].strip() else ln + 1
+        while target <= len(sf.lines) and not sf.lines[target - 1].strip():
+            target += 1
+        if target > len(sf.lines):
+            continue
+        stmt = sf.stmt_at(target)
+        model.tag_families.append({
+            "file": sf, "line": target, "spaces": spaces, "bounds": bounds,
+            "stmt": stmt, "bounds_ok": ok,
+        })
+
+
+def resolve_tag_families(model):
+    """Turn each annotation target into named symbols + expressions."""
+    for fam in model.tag_families:
+        stmt, sf, ln = fam["stmt"], fam["file"], fam["line"]
+        exprs, name = [], None
+        fm = re.match(r"\s*(?:inline\s+)?(?:constexpr\s+)?(?:static\s+)?int\s+"
+                      r"([A-Za-z_]\w*)\s*\(", stmt)
+        cm = re.match(r"\s*(?:inline\s+)?constexpr\s+int\s+([A-Za-z_]\w*)\s*=\s*"
+                      r"([^;]+);", stmt)
+        lm = re.match(r"\s*(?:const\s+)?int\s+([A-Za-z_]\w*)\s*=\s*([^;]+);", stmt)
+        rm = re.match(r"\s*for\s*\(\s*(?:const\s+)?int\s+([A-Za-z_]\w*)\s*:\s*"
+                      r"\{([^}]*)\}", stmt)
+        if fm and "=" not in stmt.split("(")[0]:
+            name = fm.group(1)
+            # First return expression in the function body.
+            for probe in range(ln, min(ln + 12, len(sf.lines) + 1)):
+                r = re.search(r"\breturn\s+([^;]+);", sf.lines[probe - 1])
+                if r:
+                    exprs = [r.group(1)]
+                    break
+        elif cm:
+            name, exprs = cm.group(1), [cm.group(2)]
+        elif rm:
+            name, exprs = rm.group(1), split_args(rm.group(2))
+        elif lm:
+            name, exprs = lm.group(1), [lm.group(2)]
+        fam["name"] = name
+        fam["exprs"] = [e.strip() for e in exprs]
+        if name:
+            model.tag_symbols.add(name)
+            model.covered_locals.setdefault(sf.rel, set()).add(name)
+
+
+def collect_covered_locals(model):
+    """Local tag variables whose initializer references an annotated
+    tag symbol are covered (no new family; the symbol's budget
+    applies). Two sweeps give one level of local-to-local chaining."""
+    decl = re.compile(r"(?:const\s+)?int\s+([A-Za-z_]\w*)\s*=\s*([^;]+);")
+    rfor = re.compile(r"for\s*\(\s*(?:const\s+)?int\s+([A-Za-z_]\w*)\s*:\s*([^)]+)\)")
+    for _ in range(2):
+        for sf in model.files:
+            covered = model.covered_locals.setdefault(sf.rel, set())
+            for line in sf.lines:
+                for m in itertools.chain(decl.finditer(line), rfor.finditer(line)):
+                    idents = set(re.findall(r"[A-Za-z_]\w*", m.group(2)))
+                    if idents & (model.tag_symbols | covered):
+                        covered.add(m.group(1))
+
+
+def build_flat_locals(sf):
+    """File-level var -> (base_type, full_type) map from reference
+    bindings, value/pointer declarations, range-fors and parameter
+    lists. Conflicting redeclarations become unresolvable (None)."""
+    out = {}
+
+    def put(t, v):
+        b, full = base_type(t)
+        if not b or v in TYPE_KEYWORDS:
+            return
+        if b in TYPE_KEYWORDS and b not in BUILTIN_TYPES:
+            return
+        if v in out and out[v] and out[v][0] != b:
+            out[v] = None
+        elif v not in out:
+            out[v] = (b, full)
+
+    pats = [
+        re.compile(r"\b((?:[A-Za-z_][\w:]*\s*::\s*)*[A-Za-z_]\w*(?:<[^<>;]*>)?)"
+                   r"\s*&\s*([A-Za-z_]\w*)\s*[=,):]"),
+        re.compile(r"\b((?:[A-Za-z_][\w:]*\s*::\s*)*[A-Za-z_]\w*(?:<[^<>;]*>)?"
+                   r"\s*\*)\s*(?:const\s+)?([A-Za-z_]\w*)\s*[=,);{]"),
+        re.compile(r"\b([A-Za-z_][\w:]*)\s+([A-Za-z_]\w*)\s*[;={(),]"),
+    ]
+    for line in sf.lines:
+        for p in pats:
+            for m in p.finditer(line):
+                put(m.group(1), m.group(2))
+    return out
+
+
+# --------------------------------------------------------------------------
+# Pass 2: checks
+# --------------------------------------------------------------------------
+
+class Analysis:
+    def __init__(self, model):
+        self.model = model
+        self.findings = []
+        self.atomic_census = {}  # (class|None, member) -> {"orders": set, "relaxed_sites": []}
+        model.guarded_members = {}
+        model.tally_names = set()
+        # Member names that exist UNguarded in some class: an
+        # unresolved receiver bearing such a name might be that class,
+        # so the by-name fallback must not demand a lock for it.
+        self.ambiguous_members = set()
+        for ci in model.classes.values():
+            for mem, mus in ci.guarded.items():
+                for mu in mus:
+                    model.guarded_members.setdefault(mem, []).append((ci.name, mu))
+            model.tally_names.update(ci.tally)
+            self.ambiguous_members.update(ci.tally)
+            self.ambiguous_members.update(m for (_t, m, _r, _l) in ci.members)
+
+    def report(self, sf, lineno, rule, message):
+        if rule in lintlib.allowed_rules_for_line(sf.raw_lines, lineno, ALLOW_RE):
+            return
+        f = lintlib.Finding(sf.rel, lineno, rule, message)
+        if GRANDFATHER.get(f.key()) == rule:
+            return
+        self.findings.append(f)
+
+
+def check_lockset(sf, model, an, flat):
+    """Walk each top-level function scope in statement order, tracking
+    lock acquisitions, and require every guarded-member access to be
+    covered by a held lock or an MSC_REQUIRES contract."""
+    funcs = [r for r in sf.scopes if r["kind"] == "func"]
+    # Only outermost functions: lambdas and local functions are walked
+    # as part of their parent (they inherit the held lockset).
+    outer = [f for f in funcs
+             if not any(g is not f and g["kind"] in ("func",)
+                        and g["open"] < f["open"] and f["close"] <= g["close"]
+                        for g in funcs)]
+    for fn in outer:
+        name = fn["name"]["name"]
+        cls = fn["name"]["qual"]
+        if cls is None and fn["class_stack"]:
+            cls = fn["class_stack"][-1]
+        held = []   # dicts: {mutexes:set, var:str|None, depth:int, active:bool}
+        req = model.requires.get((cls, name)) or model.requires.get((None, name))
+        if req:
+            held.append({"mutexes": set(req), "var": None,
+                         "depth": sf.depth[fn["open"]], "active": True})
+        start_line = sf.line_of(fn["open"])
+        end_line = sf.line_of(fn["close"])
+        for ln in range(start_line, min(end_line, len(sf.lines)) + 1):
+            line = sf.lines[ln - 1]
+            if not line.strip():
+                continue
+            first = len(line) - len(line.lstrip())
+            d = sf.depth[sf.line_start[ln - 1] + first]
+            held = [h for h in held if d >= h["depth"]]
+            lm = LOCK_DECL_RE.search(line)
+            if lm:
+                op = line.find("(", lm.start())
+                if op < 0:
+                    op = line.find("{", lm.start())
+                close = None
+                pd = 0
+                openc, closec = line[op], {"(": ")", "{": "}"}[line[op]]
+                for i in range(op, len(line)):
+                    if line[i] == openc:
+                        pd += 1
+                    elif line[i] == closec:
+                        pd -= 1
+                        if pd == 0:
+                            close = i
+                            break
+                if close is not None:
+                    args = split_args(line[op + 1:close])
+                    mus = {norm_expr(a) for a in args
+                           if a and not a.strip().startswith("std::")}
+                    if not any("defer_lock" in a for a in args) and mus:
+                        held.append({"mutexes": mus, "var": lm.group(2),
+                                     "depth": d, "active": True})
+            for h in held:
+                # An unlock() inside a nested branch (the early-return
+                # idiom) does not outlive that branch: reactivate when
+                # its scope closes.
+                if not h["active"] and d < h.get("inactive_depth", -1):
+                    h["active"] = True
+            for um in re.finditer(r"\b([A-Za-z_]\w*)\s*\.\s*(unlock|lock)\s*\(", line):
+                for h in held:
+                    if h["var"] == um.group(1):
+                        h["active"] = um.group(2) == "lock"
+                        if not h["active"]:
+                            h["inactive_depth"] = d
+            held_set = set()
+            for h in held:
+                if h["active"]:
+                    held_set |= h["mutexes"]
+            # Guarded-member accesses on this line.
+            for mem, defs in model.guarded_members.items():
+                for am in re.finditer(r"\b" + re.escape(mem) + r"\b", line):
+                    after = line[am.end():].lstrip()
+                    if after.startswith("("):
+                        continue  # a call, not a data member
+                    before = line[:am.start()]
+                    if re.search(r"MSC_GUARDED_BY\s*\($", before):
+                        continue
+                    pm = re.search(r"([A-Za-z_]\w*)\s*(?:\.|->)\s*$", before)
+                    complex_recv = (not pm) and re.search(r"(?:\.|->)\s*$", before)
+                    required = set()
+                    if pm:
+                        obj = pm.group(1)
+                        if obj in ("std", "this"):
+                            if obj != "this":
+                                continue
+                            obj = None
+                        t = flat.get(pm.group(1)) if obj else None
+                        if obj and t:
+                            ci = model.classes.get(t[0])
+                            if ci is None or mem not in ci.guarded:
+                                continue  # resolved to a class without this guard
+                            required = {norm_expr(obj + "." + mu)
+                                        for mu in ci.guarded[mem]}
+                        elif obj:
+                            if mem in an.ambiguous_members:
+                                continue  # unguarded member of this name exists
+                            required = {norm_expr(obj + "." + mu)
+                                        for (_c, mu) in defs}
+                        else:  # this->mem
+                            if cls and mem in model.classes.get(cls, ClassInfo("")).guarded:
+                                required = set(model.classes[cls].guarded[mem])
+                            else:
+                                continue
+                    elif complex_recv:
+                        continue  # unresolvable receiver expression (flow-lite)
+                    else:
+                        ci = model.classes.get(cls) if cls else None
+                        if ci is None or mem not in ci.guarded:
+                            continue  # a local/parameter shadowing the name
+                        required = set(ci.guarded[mem])
+                    if required and not (required & held_set):
+                        an.report(sf, ln, "lockset",
+                                  f"'{mem}' is guarded by "
+                                  f"{'/'.join(sorted(required))} but no such lock "
+                                  f"is held here (hold a lock_guard/unique_lock, "
+                                  f"or mark the function MSC_REQUIRES)")
+
+
+def build_aliases(sf):
+    """`auto& slot = ranks_[r]->gauges[g];` and range-for bindings make
+    the atomic's member name invisible at the operation site. Map each
+    auto& alias to the candidate member name(s) it can denote (two
+    sweeps give alias-of-alias chaining, e.g. `row` over `hists` then
+    `a` over `row`)."""
+    out = {}
+    pat_eq = re.compile(r"\bauto\s*&\s*([A-Za-z_]\w*)\s*=\s*([^;]+);")
+    pat_for = re.compile(r"for\s*\(\s*(?:const\s+)?auto\s*&\s*([A-Za-z_]\w*)"
+                         r"\s*:\s*([^;{]+?)\s*\)\s*[{;a-zA-Z]")
+    for _ in range(2):
+        for m in itertools.chain(pat_eq.finditer(sf.stripped),
+                                 pat_for.finditer(sf.stripped)):
+            rhs = m.group(2)
+            targets = set()
+            members = re.findall(r"(?:\.|->)\s*([A-Za-z_]\w*)", rhs)
+            if members:
+                targets.add(members[-1])
+            else:
+                bare = re.match(r"\s*([A-Za-z_]\w*)", rhs)
+                if bare and bare.group(1) in out:
+                    targets |= out[bare.group(1)]
+            if targets:
+                out.setdefault(m.group(1), set()).update(targets)
+    return out
+
+
+def check_atomics(sf, model, an, flat):
+    text = sf.stripped
+    aliases = build_aliases(sf)
+    for m in ATOMIC_OP_RE.finditer(text):
+        op = m.group(1)
+        recv = RECEIVER_RE.search(text[:m.start()].rstrip()[-200:])
+        member = recv.group(1) if recv else None
+        if member is None or member in TYPE_KEYWORDS:
+            continue
+        if member in aliases:
+            cands = aliases[member]
+            if cands and all(c in model.tally_names for c in cands):
+                continue  # auto& alias of annotated tally slot(s)
+            member = sorted(cands)[0] if len(cands) == 1 else member
+        open_pos = text.find("(", m.end() - 1)
+        close_pos = match_paren(text, open_pos)
+        args = text[open_pos + 1:close_pos] if close_pos > 0 else ""
+        orders = set(ORDER_RE.findall(args))
+        lineno = sf.line_of(m.start())
+        # Resolve the receiver's class: `rb.allocated.load(...)` -> rb's
+        # type. A complex receiver (array element, call result) stays
+        # unresolved and falls into the by-name bucket.
+        pre = text[:m.start()].rstrip()
+        pre = pre[:len(pre) - len(member) - (len(pre) - len(pre.rstrip()))] \
+            if pre.endswith(member) else pre
+        owner = None
+        om = re.search(r"([A-Za-z_]\w*)\s*(?:\.|->)\s*" + re.escape(member)
+                       + r"\s*(?:\[[^\][]*\])?\s*$", text[:m.start()])
+        if om and om.group(1) not in TYPE_KEYWORDS:
+            t = flat.get(om.group(1))
+            if t:
+                owner = t[0]
+        elif not re.search(r"(?:\.|->)\s*" + re.escape(member)
+                           + r"\s*(?:\[[^\][]*\])?\s*$", text[:m.start()]):
+            # Bare member access: the enclosing class.
+            off = m.start()
+            for rec in sf.scopes:
+                if rec["kind"] == "func" and rec["open"] <= off <= rec["close"]:
+                    owner = rec["name"]["qual"] or (rec["class_stack"][-1]
+                                                   if rec["class_stack"] else None)
+        is_tally = False
+        if owner is not None and owner in model.classes:
+            is_tally = member in model.classes[owner].tally
+        elif owner is None:
+            is_tally = member in model.tally_names
+        key = (owner, member)
+        c = an.atomic_census.setdefault(key, {"orders": set(), "relaxed": []})
+        if not is_tally:
+            for o in orders:
+                c["orders"].add((op, o))
+            if "relaxed" in orders:
+                c["relaxed"].append((sf, lineno))
+        if "relaxed" in orders and not is_tally:
+            an.report(sf, lineno, "atomic-relaxed",
+                      f"memory_order_relaxed on '{member}', which is not an "
+                      f"MSC_RELAXED_TALLY slot; use acquire/release (or annotate "
+                      f"the member as a tally if it never orders other memory)")
+
+
+def finish_atomics(an):
+    """Handoff pairing: a member with acquire loads or release stores
+    anywhere must not also be operated on relaxed."""
+    for (owner, member), c in sorted(an.atomic_census.items(),
+                                     key=lambda kv: (str(kv[0][0]), kv[0][1])):
+        has_sync = any(o in ("acquire", "release", "acq_rel", "seq_cst")
+                       for (_op, o) in c["orders"])
+        if has_sync:
+            for sf, ln in c["relaxed"]:
+                an.report(sf, ln, "atomic-handoff",
+                          f"relaxed operation on '{member}' which is used as an "
+                          f"acquire/release handoff elsewhere; the pairing must "
+                          f"be complete or the handoff is not a happens-before")
+
+
+def check_cv_waits(sf, model, an):
+    text = sf.stripped
+    for m in CV_WAIT_RE.finditer(text):
+        if m.group(1) not in model.cv_names:
+            continue
+        open_pos = text.find("(", m.end() - 1)
+        close_pos = match_paren(text, open_pos)
+        if close_pos < 0:
+            continue
+        args = split_args(text[open_pos + 1:close_pos])
+        need = 2 if m.group(2) == "wait" else 3
+        if len([a for a in args if a]) < need:
+            an.report(sf, sf.line_of(m.start()), "cv-predicate",
+                      f"{m.group(2)}() without a predicate: the guarded "
+                      f"condition must be re-checked under the lock on every "
+                      f"wakeup (use the predicate overload)")
+
+
+def check_wire(sf, model, an, flat):
+    # memcpy of a pointer into a payload buffer.
+    text = sf.stripped
+    for m in MEMCPY_RE.finditer(text):
+        open_pos = text.find("(", m.end() - 1)
+        close_pos = match_paren(text, open_pos)
+        if close_pos < 0:
+            continue
+        args = split_args(text[open_pos + 1:close_pos])
+        if len(args) < 3 or ".data()" not in args[0].replace(" ", ""):
+            continue
+        am = re.match(r"^&\s*([A-Za-z_]\w*)$", args[1].strip())
+        if not am:
+            continue
+        t = flat.get(am.group(1))
+        if t and t[1] and "*" in t[1]:
+            an.report(sf, sf.line_of(m.start()), "wire-pointer",
+                      f"memcpy serializes pointer '{am.group(1)}' into a "
+                      f"message payload; a raw address is meaningless on the "
+                      f"receiving rank (share-nothing escape)")
+
+
+def check_wire_structs(model, an, sf_by_rel):
+    seen = set()
+
+    def walk(cname, depth):
+        if cname in seen or depth > 2 or cname not in model.classes:
+            return
+        seen.add(cname)
+        ci = model.classes[cname]
+        for (tstr, mem, rel, ln) in ci.members:
+            sf = sf_by_rel.get(rel)
+            if sf is None:
+                continue
+            if "*" in tstr or tstr.rstrip().endswith("&"):
+                an.report(sf, ln, "wire-pointer",
+                          f"wire struct '{cname}' holds raw pointer/reference "
+                          f"member '{mem}'; cross-rank data must travel by "
+                          f"value")
+            else:
+                walk(base_type(tstr)[0], depth + 1)
+
+    for w in sorted(model.wire_structs):
+        seen.clear()
+        walk(w, 0)
+
+
+def eval_family(fam, model):
+    """Enumerate every tag value a family can produce over its declared
+    budget. Returns (values:set, problem:str|None, var_order)."""
+    values = []
+    for expr in fam["exprs"]:
+        if not expr:
+            return None, "annotation target has no tag expression", []
+        idents = sorted(set(re.findall(r"[A-Za-z_]\w*", expr)))
+        env_template = {}
+        free = []
+        for ident in idents:
+            if ident in fam["bounds"]:
+                free.append(ident)
+            elif model.consts.get(ident) is not None:
+                env_template[ident] = model.consts[ident]
+            else:
+                return None, f"cannot resolve identifier '{ident}' in tag " \
+                             f"expression '{expr.strip()}'", []
+        if not re.match(r"^[\w\s+\-*/%()]+$", expr):
+            return None, f"unsupported tag expression '{expr.strip()}'", []
+        if not fam["bounds_ok"]:
+            return None, "unresolvable bound in tag-space annotation", []
+        domains = []
+        for v in free:
+            lo, hi = fam["bounds"][v]
+            domains.append(range(lo, hi))
+        total = 1
+        for d in domains:
+            total *= max(1, len(d))
+        if total > 1_000_000:
+            return None, "tag budget too large to enumerate (>1e6)", []
+        for combo in itertools.product(*domains) if domains else [()]:
+            env = dict(env_template)
+            env.update(zip(free, combo))
+            values.append(eval(expr, {"__builtins__": {}}, env))  # noqa: S307
+    return values, None, free
+
+
+def check_tags(model, an):
+    spaces = {}
+    for fam in model.tag_families:
+        vals, problem, _ = eval_family(fam, model)
+        sf, ln = fam["file"], fam["line"]
+        if problem:
+            an.report(sf, ln, "tag-untracked", problem)
+            continue
+        fam["values"] = set(vals)
+        if len(fam["values"]) != len(vals):
+            an.report(sf, ln, "tag-overlap",
+                      f"tag family '{fam.get('name') or '?'}' is not injective "
+                      f"over its declared budget: distinct (round, attempt, "
+                      f"...) tuples map to the same tag")
+        targets = fam["spaces"]
+        if "*" in targets:
+            targets = ["*"]
+        for s in targets:
+            spaces.setdefault(s, []).append(fam)
+    wildcard = spaces.pop("*", [])
+    for sname, fams in sorted(spaces.items()):
+        allfams = fams + wildcard
+        for i in range(len(allfams)):
+            for j in range(i + 1, len(allfams)):
+                a, b = allfams[i], allfams[j]
+                if "values" not in a or "values" not in b:
+                    continue
+                inter = a["values"] & b["values"]
+                if inter:
+                    later = b if (b["file"].rel, b["line"]) >= (a["file"].rel, a["line"]) else a
+                    other = a if later is b else b
+                    an.report(later["file"], later["line"], "tag-overlap",
+                              f"tag families '{a.get('name')}' and "
+                              f"'{b.get('name')}' overlap in space '{sname}': "
+                              f"both can produce tag {min(inter)} "
+                              f"(see {other['file'].rel}:{other['line']})")
+
+
+def check_tag_sites(sf, model, an, flat):
+    text = sf.stripped
+    covered = model.covered_locals.get(sf.rel, set())
+    for m in COMM_CALL_RE.finditer(text):
+        recv_name = m.group(1)
+        t = flat.get(recv_name)
+        if recv_name != "comm" and not (t and t[0] == "Comm"):
+            continue
+        open_pos = text.find("(", m.end() - 1)
+        close_pos = match_paren(text, open_pos)
+        if close_pos < 0:
+            continue
+        args = split_args(text[open_pos + 1:close_pos])
+        if len(args) < 2:
+            continue
+        tag_arg = args[1]
+        lineno = sf.line_of(m.start())
+        idents = set(re.findall(r"[A-Za-z_]\w*", tag_arg))
+        if idents & (model.tag_symbols | covered | {"kAny"}):
+            continue
+        if not idents and re.match(r"^-?\d+$", tag_arg.strip()):
+            an.report(sf, lineno, "tag-untracked",
+                      f"literal tag {tag_arg.strip()} at a Comm call site has "
+                      f"no tag-space annotation, so nothing proves it disjoint "
+                      f"from the other tag families")
+        elif idents:
+            an.report(sf, lineno, "tag-untracked",
+                      f"tag argument '{tag_arg.strip()}' does not trace back "
+                      f"to an annotated tag family (annotate its definition "
+                      f"with `// msc-analyze: tag-space(...)`)")
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+def build_model(paths, root):
+    model = Model()
+    for p in paths:
+        model.files.append(SourceFile(p, os.path.relpath(p, root)))
+    for sf in model.files:
+        collect_file(sf, model)
+    resolve_tag_families(model)
+    collect_covered_locals(model)
+    return model
+
+
+def analyze(model):
+    an = Analysis(model)
+    sf_by_rel = {sf.rel: sf for sf in model.files}
+    for sf in model.files:
+        flat = build_flat_locals(sf)
+        check_lockset(sf, model, an, flat)
+        check_atomics(sf, model, an, flat)
+        check_cv_waits(sf, model, an)
+        check_wire(sf, model, an, flat)
+        check_tag_sites(sf, model, an, flat)
+    finish_atomics(an)
+    check_wire_structs(model, an, sf_by_rel)
+    check_tags(model, an)
+    an.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return an
+
+
+def collect_expectations(model):
+    expects = set()
+    for sf in model.files:
+        for ln, raw in enumerate(sf.raw_lines, 1):
+            for rule in EXPECT_RE.findall(raw):
+                target = ln if sf.lines[ln - 1].strip() else ln + 1
+                while target <= len(sf.lines) and not sf.lines[target - 1].strip():
+                    target += 1
+                expects.add((sf.rel, target, rule))
+    return expects
+
+
+def run_self_check(fixtures, root):
+    paths = list(lintlib.walk_sources(fixtures))
+    if not paths:
+        print(f"{TOOL}: no fixture sources under {fixtures}", file=sys.stderr)
+        return 2
+    model = build_model(paths, fixtures)
+    an = analyze(model)
+    got = {(f.path, f.line, f.rule) for f in an.findings}
+    expected = collect_expectations(model)
+    missing = sorted(expected - got)
+    surprise = sorted(got - expected)
+    ok = True
+    for (p, ln, rule) in missing:
+        print(f"{TOOL}: self-check: expected [{rule}] at {p}:{ln} did not fire")
+        ok = False
+    for (p, ln, rule) in surprise:
+        msg = next(f.message for f in an.findings
+                   if (f.path, f.line, f.rule) == (p, ln, rule))
+        print(f"{TOOL}: self-check: unexpected finding {p}:{ln}: [{rule}] {msg}")
+        ok = False
+    exercised = {r for (_p, _l, r) in expected}
+    for rule in RULE_IDS:
+        if rule not in exercised:
+            print(f"{TOOL}: self-check: no fixture exercises rule '{rule}'")
+            ok = False
+    n = len(expected)
+    if ok:
+        print(f"{TOOL}: self-check OK: {n} seeded defect(s) across "
+              f"{len(paths)} fixture file(s), all {len(RULE_IDS)} rules "
+              f"exercised")
+    return 0 if ok else 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--root", default=None,
+                    help="repository root (default: parent of this script's dir)")
+    ap.add_argument("--rules", action="store_true",
+                    help="print the rules table as JSON and exit")
+    ap.add_argument("--json", action="store_true",
+                    help="emit findings as JSON instead of text")
+    ap.add_argument("--compile-commands", default=None,
+                    help="compile_commands.json to take the file list from "
+                    "(headers are still discovered by walking src/); "
+                    "missing/unreadable falls back to the src/ walk")
+    ap.add_argument("--self-check", action="store_true",
+                    help="analyze the seeded-defect fixtures and verify every "
+                    "expect() marker fires (requires --fixtures)")
+    ap.add_argument("--fixtures", default=None,
+                    help="fixture tree for --self-check")
+    args = ap.parse_args()
+
+    if args.rules:
+        json.dump(lintlib.rules_payload(
+            RULES,
+            annotations=["MSC_CAPABILITY", "MSC_GUARDED_BY", "MSC_PT_GUARDED_BY",
+                         "MSC_REQUIRES", "MSC_ACQUIRE", "MSC_RELEASE",
+                         "MSC_EXCLUDES", "MSC_NO_TSA", "MSC_RELAXED_TALLY"],
+            comment_directives=["msc-analyze: allow(rule): reason",
+                                "msc-analyze: tag-space(spaces): var in [lo,hi)",
+                                "msc-analyze: wire-struct",
+                                "msc-analyze: expect(rule)"]),
+            sys.stdout, indent=2)
+        print()
+        return 0
+
+    if args.self_check:
+        if not args.fixtures:
+            print(f"{TOOL}: --self-check requires --fixtures", file=sys.stderr)
+            return 2
+        return run_self_check(os.path.abspath(args.fixtures), args.root)
+
+    root = args.root or os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    src = os.path.join(root, "src")
+    if not os.path.isdir(src):
+        print(f"{TOOL}: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    paths = None
+    source_desc = "src walk"
+    if args.compile_commands:
+        cc = lintlib.files_from_compile_commands(args.compile_commands, under=src)
+        if cc:
+            # The build's own TU list, plus every header (they carry the
+            # annotations and the inline hot paths).
+            headers = [p for p in lintlib.walk_sources(src, exts=(".hpp",))]
+            paths = sorted(set(cc) | set(headers))
+            source_desc = f"compile_commands ({len(cc)} TU) + header walk"
+    if paths is None:
+        paths = list(lintlib.walk_sources(src))
+
+    model = build_model(paths, root)
+    an = analyze(model)
+
+    if not lintlib.check_grandfather(GRANDFATHER, TOOL, sys.stderr):
+        return 1
+
+    if args.json:
+        json.dump([f.as_dict() for f in an.findings], sys.stdout, indent=2)
+        print()
+    else:
+        for f in an.findings:
+            print(f)
+        nguard = sum(len(ci.guarded) for ci in model.classes.values())
+        ntally = sum(len(ci.tally) for ci in model.classes.values())
+        print(f"{TOOL}: {len(paths)} files ({source_desc}), "
+              f"{nguard} guarded field(s), {ntally} tally slot(s), "
+              f"{len(model.tag_families)} tag famil"
+              f"{'y' if len(model.tag_families) == 1 else 'ies'}, "
+              f"{len(an.findings)} violation(s)")
+    return 1 if an.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,9 @@ clean; it is required to be EMPTY on every mainline commit — new debt
 must either be fixed or carry an inline justification that reviewers
 can see next to the code.
 
+The tokenizer, suppression, and grandfather machinery is shared with
+msc_analyze via lintlib so the two suppression syntaxes cannot drift.
+
 Exit status: 0 clean, 1 violations, 2 usage/internal error.
 """
 
@@ -29,6 +32,9 @@ import json
 import os
 import re
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import lintlib  # noqa: E402
 
 # --------------------------------------------------------------------------
 # Rules table (machine-readable; --rules prints it as JSON).
@@ -121,103 +127,27 @@ EXPLICIT_BANS = [
     ("causal", "obs", "causal must not depend on obs (stays a leaf under par)"),
 ]
 
+# Headers any module may include without creating a layering edge:
+# dependency-free macro vocabularies with no code of their own. The
+# concurrency annotation header is the canonical case — leaves like
+# audit/causal/metrics annotate their guarded fields with it, and a
+# macro-only header cannot drag anything under the runtime.
+UNIVERSAL_HEADERS = {"core/annotations.hpp"}
+
 # Debt accepted at rule-introduction time. MUST be empty on mainline:
 # fix the code or justify it inline with `// msc-lint: allow(...)`.
 # Maps "path:line" -> rule id.
 GRANDFATHER = {}
 
-INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([A-Za-z0-9_]+)/[^"]+"')
-ALLOW_RE = re.compile(r"msc-lint:\s*allow\(([a-z-]+)\)")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"(([A-Za-z0-9_]+)/[^"]+)"')
+ALLOW_RE = lintlib.allow_regex("msc-lint")
 
-
-def strip_comments_and_strings(text):
-    """Blank out comments and string/char literals, preserving line
-    structure, so the regex checks cannot fire inside them. The
-    comment text itself is kept separately per line for ALLOW_RE."""
-    out = []
-    i, n = 0, len(text)
-    state = "code"  # code | line_comment | block_comment | string | char
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line_comment"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = "block_comment"
-                out.append("  ")
-                i += 2
-                continue
-            if c == '"':
-                state = "string"
-                out.append(" ")
-                i += 1
-                continue
-            if c == "'":
-                state = "char"
-                out.append(" ")
-                i += 1
-                continue
-            out.append(c)
-        elif state == "line_comment":
-            if c == "\n":
-                state = "code"
-                out.append("\n")
-            else:
-                out.append(" ")
-        elif state == "block_comment":
-            if c == "*" and nxt == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-                continue
-            out.append("\n" if c == "\n" else " ")
-        elif state in ("string", "char"):
-            quote = '"' if state == "string" else "'"
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if c == quote:
-                state = "code"
-                out.append(" ")
-            elif c == "\n":  # unterminated; bail to code to stay line-stable
-                state = "code"
-                out.append("\n")
-            else:
-                out.append(" ")
-        i += 1
-    return "".join(out)
-
-
-class Finding:
-    def __init__(self, path, line, rule, message):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.message = message
-
-    def key(self):
-        return f"{self.path}:{self.line}"
-
-    def __str__(self):
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+strip_comments_and_strings = lintlib.strip_comments_and_strings
+Finding = lintlib.Finding
 
 
 def allowed_rules_for_line(raw_lines, lineno):
-    """Inline suppressions on the offending line or in the contiguous
-    comment block directly above it."""
-    allowed = set()
-    if 1 <= lineno <= len(raw_lines):
-        allowed.update(ALLOW_RE.findall(raw_lines[lineno - 1]))
-    ln = lineno - 1
-    while 1 <= ln <= len(raw_lines) and raw_lines[ln - 1].lstrip().startswith("//"):
-        allowed.update(ALLOW_RE.findall(raw_lines[ln - 1]))
-        ln -= 1
-    return allowed
+    return lintlib.allowed_rules_for_line(raw_lines, lineno, ALLOW_RE)
 
 
 NAKED_NEW_RE = re.compile(
@@ -271,9 +201,11 @@ def lint_file(path, rel, module, findings):
         m = INCLUDE_RE.match(raw)
         if not m or not re.match(r"\s*#\s*include\b", lines[lineno - 1]):
             continue
-        dep = m.group(1)
+        full, dep = m.group(1), m.group(2)
         if dep == module or dep not in LAYERS:
             continue  # self-includes and non-module paths are fine
+        if full in UNIVERSAL_HEADERS:
+            continue  # macro-only vocabulary headers carry no dependency
         if allowed is None:
             report(lineno, "layering",
                    f"module '{module}' is not in the LAYERS table; add it with "
@@ -345,10 +277,12 @@ def main():
     args = ap.parse_args()
 
     if args.rules:
-        json.dump({"rules": RULES,
-                   "layers": {k: sorted(v) for k, v in LAYERS.items()},
-                   "explicit_bans": [list(b) for b in EXPLICIT_BANS]},
-                  sys.stdout, indent=2)
+        json.dump(lintlib.rules_payload(
+            RULES,
+            layers={k: sorted(v) for k, v in LAYERS.items()},
+            explicit_bans=[list(b) for b in EXPLICIT_BANS],
+            universal_headers=sorted(UNIVERSAL_HEADERS)),
+            sys.stdout, indent=2)
         print()
         return 0
 
@@ -371,27 +305,17 @@ def main():
 
     findings = []
     nfiles = 0
-    for dirpath, _dirnames, filenames in sorted(os.walk(src)):
-        for name in sorted(filenames):
-            if not name.endswith((".hpp", ".cpp")):
-                continue
-            path = os.path.join(dirpath, name)
-            rel = os.path.relpath(path, root)
-            module = os.path.relpath(dirpath, src).split(os.sep)[0]
-            nfiles += 1
-            lint_file(path, rel, module, findings)
+    for path in lintlib.walk_sources(src):
+        rel = os.path.relpath(path, root)
+        module = os.path.relpath(os.path.dirname(path), src).split(os.sep)[0]
+        nfiles += 1
+        lint_file(path, rel, module, findings)
 
-    stale = [k for k in GRANDFATHER if not any(f.key() == k for f in findings)]
-    if GRANDFATHER:
-        print(f"msc_lint: GRANDFATHER must be empty on mainline "
-              f"({len(GRANDFATHER)} entr{'y' if len(GRANDFATHER) == 1 else 'ies'}); "
-              f"fix or justify inline", file=sys.stderr)
+    if not lintlib.check_grandfather(GRANDFATHER, "msc_lint", sys.stderr):
         return 1
-    del stale
 
     if args.json:
-        json.dump([{"path": f.path, "line": f.line, "rule": f.rule,
-                    "message": f.message} for f in findings], sys.stdout, indent=2)
+        json.dump([f.as_dict() for f in findings], sys.stdout, indent=2)
         print()
     else:
         for f in findings:

@@ -22,6 +22,20 @@ configs=("$@")
 [ ${#configs[@]} -eq 0 ] && configs=(none thread address undefined)
 
 failed=()
+
+# The static-analysis gate runs once, before the matrix: what it
+# proves (lockset coverage, atomics discipline, tag disjointness) is
+# independent of compiler flags, and a violation should fail fast
+# rather than after four sanitizer builds. The dynamic checkers (TSan,
+# msc::audit) then cover what the flow-lite analysis cannot see.
+echo "=== [static] msc_analyze (tree + fixture self-check) ==="
+if ! python3 tools/msc_analyze.py --root .; then
+  echo "=== [static] msc_analyze FAILED ==="; failed+=(static-analyze)
+fi
+if ! python3 tools/msc_analyze.py --self-check --fixtures tests/analyze_fixtures; then
+  echo "=== [static] msc_analyze self-check FAILED ==="; failed+=(static-selfcheck)
+fi
+
 for cfg in "${configs[@]}"; do
   case "$cfg" in
     none) san="" ;;
