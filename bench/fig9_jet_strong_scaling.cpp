@@ -24,6 +24,11 @@ int main(int argc, char** argv) {
   // round shows groups > 1 and boundary-bounded max_root_bytes.
   const bool premerge = flags.getBool("premerge", true);
   const bool sharded = flags.getBool("sharded", true);
+  // Integrity gates (msc::integrity) default ON here: the gated
+  // baseline proves the Euler/compute-identity commit gates hold on
+  // every round of the paper-shaped run and cost nothing the
+  // byte-exact perfgate comparison can see.
+  const bool integrity = flags.getBool("integrity", true);
   const Domain domain{{96 * scale + 1, 112 * scale + 1, 64 * scale + 1}};
   const pipeline::SimModels models = bench::defaultModels(flags);
   const std::string json_path = flags.getString("json");
@@ -52,6 +57,7 @@ int main(int argc, char** argv) {
     cfg.plan = MergePlan::fullMerge(p);
     cfg.premerge = premerge;
     cfg.sharded_final = sharded;
+    cfg.integrity = integrity;
     // In --json mode the run also records a synthesized causal
     // journal so each datapoint carries its critical-path breakdown.
     std::unique_ptr<causal::Recorder> rec;

@@ -4,21 +4,43 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "fault/inject.hpp"
+#include "integrity/integrity.hpp"
+
 namespace msc::fault {
+
+namespace {
+
+/// Deterministic per-entry salt for injected flips: reproducible from
+/// the key alone, so a replayed put corrupts the same bit.
+std::uint64_t entrySalt(int round, int block) {
+  return integrity::mix64((static_cast<std::uint64_t>(static_cast<std::uint32_t>(round)) << 32) |
+                          static_cast<std::uint32_t>(block));
+}
+
+}  // namespace
 
 CheckpointStore::CheckpointStore(std::string spill_dir) : dir_(std::move(spill_dir)) {
   if (!dir_.empty()) std::filesystem::create_directories(dir_);
+}
+
+void CheckpointStore::configureIntegrity(const IntegritySetup& setup) {
+  integrity_ = setup;
 }
 
 std::string CheckpointStore::spillPath(int round, int block) const {
   return dir_ + "/ckpt_r" + std::to_string(round) + "_b" + std::to_string(block) + ".bin";
 }
 
-void CheckpointStore::put(int round, int block, const io::Bytes& bytes) {
+void CheckpointStore::put(int round, int block, const io::Bytes& bytes, int rank) {
   const std::lock_guard lock(mu_);
-  mem_[{round, block}] = bytes;
+  io::Bytes stored = integrity_.checksums
+                         ? integrity::wrapContainer(bytes.data(), bytes.size())
+                         : bytes;
   ++stats_.puts;
   stats_.bytes_stored += static_cast<std::int64_t>(bytes.size());
+  const FaultKind k =
+      applyFault(integrity_.injector, rank, OpClass::kCheckpoint, integrity_.tracer);
   if (!dir_.empty()) {
     // Write-then-rename so a torn write never masquerades as a valid
     // checkpoint for a later restore.
@@ -27,34 +49,80 @@ void CheckpointStore::put(int round, int block, const io::Bytes& bytes) {
     {
       std::ofstream f(tmp_path, std::ios::binary | std::ios::trunc);
       if (!f) throw std::runtime_error("CheckpointStore: cannot write " + tmp_path);
-      f.write(reinterpret_cast<const char*>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
+      f.write(reinterpret_cast<const char*>(stored.data()),
+              static_cast<std::streamsize>(stored.size()));
       if (!f) throw std::runtime_error("CheckpointStore: short write to " + tmp_path);
     }
     std::filesystem::rename(tmp_path, final_path);
     ++stats_.spilled_files;
+    if (k == FaultKind::kTruncateSpill && !stored.empty()) {
+      // Torn-write model: the rename "succeeded" but the medium lost
+      // the tail. Memory keeps the good copy; only a fresh store (a
+      // cross-process restart) ever notices.
+      std::filesystem::resize_file(final_path, stored.size() / 2);
+    }
   }
+  if (k == FaultKind::kCorruptCheckpoint && !stored.empty()) {
+    // DRAM-flip model: the in-memory copy rots after the (good) spill
+    // was written, so get() can detect and heal from disk.
+    integrity::flipOneBit(stored.data(), stored.size(), entrySalt(round, block));
+  }
+  mem_[{round, block}] = std::move(stored);
 }
 
-std::optional<io::Bytes> CheckpointStore::get(int round, int block) const {
+std::optional<io::Bytes> CheckpointStore::readSpill(int round, int block,
+                                                    int rank) const {
+  if (dir_.empty()) return std::nullopt;
+  std::ifstream f(spillPath(round, block), std::ios::binary | std::ios::ate);
+  if (!f) return std::nullopt;
+  const std::streamsize n = f.tellg();
+  f.seekg(0);
+  io::Bytes b(static_cast<std::size_t>(n));
+  f.read(reinterpret_cast<char*>(b.data()), n);
+  if (!f) return std::nullopt;
+  if (!integrity_.checksums) return b;
+  if (!integrity::containerLooksValid(b.data(), b.size())) {
+    // Torn or flipped on the durable medium: detected, not healable
+    // from here (memory is handled by the caller).
+    ++stats_.corrupt_detected;
+    if (integrity_.monitor) integrity_.monitor->noteFailed(rank);
+    return std::nullopt;
+  }
+  if (integrity_.monitor) integrity_.monitor->noteVerified(rank);
+  return integrity::unwrapContainer(b.data(), b.size(), "checkpoint spill");
+}
+
+std::optional<io::Bytes> CheckpointStore::get(int round, int block, int rank) const {
   const std::lock_guard lock(mu_);
   const auto it = mem_.find({round, block});
   if (it != mem_.end()) {
-    ++stats_.restores;
-    return it->second;
-  }
-  if (!dir_.empty()) {
-    std::ifstream f(spillPath(round, block), std::ios::binary | std::ios::ate);
-    if (f) {
-      const std::streamsize n = f.tellg();
-      f.seekg(0);
-      io::Bytes b(static_cast<std::size_t>(n));
-      f.read(reinterpret_cast<char*>(b.data()), n);
-      if (f) {
-        ++stats_.restores;
-        return b;
-      }
+    if (!integrity_.checksums) {
+      ++stats_.restores;
+      return it->second;
     }
+    if (integrity::containerLooksValid(it->second.data(), it->second.size())) {
+      if (integrity_.monitor) integrity_.monitor->noteVerified(rank);
+      ++stats_.restores;
+      return integrity::unwrapContainer(it->second.data(), it->second.size(),
+                                        "checkpoint entry");
+    }
+    // The in-memory copy rotted. Heal from the spill if it validates;
+    // otherwise the entry is gone -- drop it so contains() agrees.
+    ++stats_.corrupt_detected;
+    if (integrity_.monitor) integrity_.monitor->noteFailed(rank);
+    if (auto healed = readSpill(round, block, rank)) {
+      it->second = integrity::wrapContainer(healed->data(), healed->size());
+      ++stats_.healed_from_disk;
+      if (integrity_.monitor) integrity_.monitor->noteHealed(rank);
+      ++stats_.restores;
+      return healed;
+    }
+    mem_.erase(it);
+    return std::nullopt;
+  }
+  if (auto spilled = readSpill(round, block, rank)) {
+    ++stats_.restores;
+    return spilled;
   }
   return std::nullopt;
 }

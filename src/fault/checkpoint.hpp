@@ -34,7 +34,16 @@
 #include "core/annotations.hpp"
 #include "io/pack.hpp"
 
+namespace msc::integrity {
+class Monitor;
+}
+namespace msc::obs {
+class Tracer;
+}
+
 namespace msc::fault {
+
+class Injector;
 
 class CheckpointStore {
  public:
@@ -43,6 +52,30 @@ class CheckpointStore {
     std::int64_t restores = 0;        ///< successful get() calls
     std::int64_t bytes_stored = 0;    ///< sum of payload sizes over puts
     std::int64_t spilled_files = 0;   ///< files written to the spill dir
+    std::int64_t corrupt_detected = 0;  ///< entries that failed their checksum
+    std::int64_t healed_from_disk = 0;  ///< corrupt mem entries repaired from spill
+  };
+
+  /// Integrity policy (see src/integrity/). All pointers non-owning;
+  /// the default (everything off/null) keeps prior byte formats and
+  /// behaviour exactly.
+  struct IntegritySetup {
+    /// Wrap every stored entry (memory and spill) in a checksummed
+    /// integrity container; get() verifies before returning and heals
+    /// a corrupt in-memory copy from the spill when possible. A store
+    /// with checksums on cannot read spills written with them off
+    /// (they fail validation) -- flip the knob per run, not per call.
+    bool checksums = false;
+    /// Deterministic corruption injection at put() time
+    /// (OpClass::kCheckpoint): kCorruptCheckpoint flips one bit of
+    /// the in-memory copy after the (good) spill is written -- the
+    /// DRAM-flip model; kTruncateSpill tears the spilled file instead
+    /// and leaves memory intact -- the torn-write model.
+    Injector* injector = nullptr;
+    /// Tallies verified/failed/healed per rank.
+    integrity::Monitor* monitor = nullptr;
+    /// Fault instants for injected corruption.
+    obs::Tracer* tracer = nullptr;
   };
 
   /// `spill_dir` empty = in-memory only; otherwise every put is also
@@ -51,13 +84,24 @@ class CheckpointStore {
   /// pointed at the same directory can restore a previous run.
   explicit CheckpointStore(std::string spill_dir = "");
 
+  /// Install the integrity policy. Call before any put/get traffic
+  /// (not thread-safe against concurrent access; the drivers call it
+  /// during setup).
+  void configureIntegrity(const IntegritySetup& setup);
+
   /// Store the packed complex of `block` at the entry of `round`.
-  /// Re-putting the same key overwrites (idempotent replays).
-  void put(int round, int block, const io::Bytes& bytes);
+  /// Re-putting the same key overwrites (idempotent replays). `rank`
+  /// feeds the integrity injector/monitor; ignored otherwise.
+  void put(int round, int block, const io::Bytes& bytes, int rank = 0);
 
   /// Latest checkpoint for (round, block), or nullopt if none exists
-  /// in memory or on disk.
-  std::optional<io::Bytes> get(int round, int block) const;
+  /// in memory or on disk. With checksums on, a corrupt in-memory
+  /// copy is healed from the spill when the spilled bytes validate;
+  /// an unhealable entry (both copies bad, or the only copy bad)
+  /// returns nullopt exactly like a missing one, so every caller's
+  /// missing-checkpoint path doubles as the corruption path. `rank`
+  /// feeds the monitor tallies.
+  std::optional<io::Bytes> get(int round, int block, int rank = 0) const;
 
   /// True if (round, block) is restorable.
   bool contains(int round, int block) const;
@@ -70,10 +114,16 @@ class CheckpointStore {
 
  private:
   std::string spillPath(int round, int block) const;
+  /// Read + (when checksums are on) validate and unwrap the spilled
+  /// entry; nullopt when absent, torn, or corrupt.
+  std::optional<io::Bytes> readSpill(int round, int block, int rank) const
+      MSC_REQUIRES(mu_);
 
   mutable std::mutex mu_;
-  std::map<std::pair<int, int>, io::Bytes> mem_ MSC_GUARDED_BY(mu_);
-  std::string dir_;  ///< immutable after construction
+  // mutable: get() heals a corrupt in-memory entry from the spill.
+  mutable std::map<std::pair<int, int>, io::Bytes> mem_ MSC_GUARDED_BY(mu_);
+  std::string dir_;            ///< immutable after construction
+  IntegritySetup integrity_;   ///< immutable after configureIntegrity
   mutable Stats stats_ MSC_GUARDED_BY(mu_);
 };
 

@@ -34,17 +34,31 @@ const char* faultKindName(FaultKind k) {
     case FaultKind::kDelay: return "delay";
     case FaultKind::kDuplicate: return "duplicate";
     case FaultKind::kStall: return "stall";
+    case FaultKind::kCorruptPayload: return "corrupt_payload";
+    case FaultKind::kCorruptCheckpoint: return "corrupt_checkpoint";
+    case FaultKind::kTruncateSpill: return "truncate_spill";
   }
   return "unknown";
+}
+
+FaultKind faultKindFromName(const char* name) {
+  const std::string s(name ? name : "");
+  for (int k = 1; k < kNumFaultKinds; ++k)
+    if (s == faultKindName(static_cast<FaultKind>(k)))
+      return static_cast<FaultKind>(k);
+  return FaultKind::kNone;
 }
 
 Injector::Injector(int nranks, InjectorOptions opts)
     : opts_(opts), nranks_(nranks), slots_(static_cast<std::size_t>(nranks)) {
   assert(nranks >= 1);
-  const double sum =
-      opts.crash_rate + opts.delay_rate + opts.duplicate_rate + opts.stall_rate;
+  const double sum = opts.crash_rate + opts.delay_rate + opts.duplicate_rate +
+                     opts.stall_rate + opts.corrupt_payload_rate +
+                     opts.corrupt_checkpoint_rate + opts.truncate_spill_rate;
   if (opts.crash_rate < 0 || opts.delay_rate < 0 || opts.duplicate_rate < 0 ||
-      opts.stall_rate < 0 || sum > 1.0)
+      opts.stall_rate < 0 || opts.corrupt_payload_rate < 0 ||
+      opts.corrupt_checkpoint_rate < 0 || opts.truncate_spill_rate < 0 ||
+      sum > 1.0)
     throw std::invalid_argument(
         "fault::Injector: rates must be non-negative and sum to <= 1 (got sum " +
         std::to_string(sum) + ")");
@@ -61,17 +75,34 @@ FaultKind Injector::decide(int rank, std::uint64_t op, OpClass cls) const {
       (static_cast<std::uint64_t>(static_cast<unsigned>(rank)) * 0x9E3779B97F4A7C15ull) ^
       (op * 0xD6E8FEB86659FD93ull));
   const double u = unitOf(h);
+  // Checkpoint ops only admit the storage-corruption kinds; a
+  // crash/delay/duplicate/stall slot landing on one degrades to
+  // kNone rather than perturbing an op class it never modelled.
+  const bool ckpt = cls == OpClass::kCheckpoint;
   double edge = opts_.crash_rate;
-  if (u < edge) return FaultKind::kCrash;
+  if (u < edge) return ckpt ? FaultKind::kNone : FaultKind::kCrash;
   edge += opts_.delay_rate;
-  if (u < edge) return FaultKind::kDelay;
+  if (u < edge) return ckpt ? FaultKind::kNone : FaultKind::kDelay;
   edge += opts_.duplicate_rate;
-  if (u < edge)
+  if (u < edge) {
+    if (ckpt) return FaultKind::kNone;
     // A receive cannot be duplicated by its receiver; the slot
     // degrades to a delay so the schedule stays op-class-stable.
     return cls == OpClass::kSend ? FaultKind::kDuplicate : FaultKind::kDelay;
+  }
   edge += opts_.stall_rate;
-  if (u < edge) return FaultKind::kStall;
+  if (u < edge) return ckpt ? FaultKind::kNone : FaultKind::kStall;
+  edge += opts_.corrupt_payload_rate;
+  if (u < edge) {
+    if (ckpt) return FaultKind::kNone;
+    // Only an outgoing frame can flip in transit; a receive slot
+    // degrades to a delay (the kDuplicate precedent).
+    return cls == OpClass::kSend ? FaultKind::kCorruptPayload : FaultKind::kDelay;
+  }
+  edge += opts_.corrupt_checkpoint_rate;
+  if (u < edge) return ckpt ? FaultKind::kCorruptCheckpoint : FaultKind::kNone;
+  edge += opts_.truncate_spill_rate;
+  if (u < edge) return ckpt ? FaultKind::kTruncateSpill : FaultKind::kNone;
   return FaultKind::kNone;
 }
 
@@ -115,12 +146,12 @@ std::int64_t Injector::firedTotal() const {
   return t;
 }
 
-bool applyFault(Injector* inj, int rank, OpClass cls, obs::Tracer* tr) {
-  if (!inj) return false;
+FaultKind applyFault(Injector* inj, int rank, OpClass cls, obs::Tracer* tr) {
+  if (!inj) return FaultKind::kNone;
   const FaultKind k = inj->next(rank, cls);
   switch (k) {
     case FaultKind::kNone:
-      return false;
+      return k;
     case FaultKind::kCrash:
       if (tr) tr->instant(rank, "fault_crash", "fault");
       throw par::RankFailure(rank, "fault::Injector: injected crash on rank " +
@@ -131,17 +162,25 @@ bool applyFault(Injector* inj, int rank, OpClass cls, obs::Tracer* tr) {
       if (tr) tr->instant(rank, "fault_delay", "fault");
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
           inj->options().delay_ms));
-      return false;
+      return k;
     case FaultKind::kDuplicate:
       if (tr) tr->instant(rank, "fault_duplicate", "fault");
-      return true;
+      return k;
     case FaultKind::kStall:
       if (tr) tr->instant(rank, "fault_stall", "fault");
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
           inj->options().stall_ms));
-      return false;
+      return k;
+    case FaultKind::kCorruptPayload:
+    case FaultKind::kCorruptCheckpoint:
+    case FaultKind::kTruncateSpill:
+      // The corruption itself happens at the caller (transit hook or
+      // checkpoint store); here we only mark the event.
+      if (tr)
+        tr->instant(rank, std::string("fault_") + faultKindName(k), "fault");
+      return k;
   }
-  return false;
+  return FaultKind::kNone;
 }
 
 }  // namespace msc::fault

@@ -28,6 +28,30 @@
 ///                 enough to shuffle arrival orders but bounded well
 ///                 below the receive deadline.
 ///
+/// Silent-data-corruption kinds (default rate 0, so existing
+/// schedules are bit-identical unless a rate is raised):
+///
+///  * kCorruptPayload    — one bit of the outgoing frame flips in
+///                         transit (send ops only; a receive slot
+///                         degrades to kDelay, like kDuplicate). The
+///                         flip happens AFTER the integrity trailer
+///                         is appended, so a checksummed run detects
+///                         it and an unchecked run silently delivers
+///                         garbage — exactly the SDC threat model.
+///  * kCorruptCheckpoint — one bit of the in-memory checkpoint entry
+///                         flips after storage (a DRAM flip). The
+///                         disk spill stays good, so a checksummed
+///                         restore detects the flip and heals from
+///                         disk.
+///  * kTruncateSpill     — the disk spill is torn (truncated write);
+///                         the in-memory copy stays intact. A fresh
+///                         store restoring from disk must detect the
+///                         tear instead of returning short bytes.
+///
+/// The corruption kinds fire on their own op class (kCheckpoint for
+/// the two storage kinds) and degrade to kNone elsewhere, keeping
+/// every schedule a pure function of (seed, rank, op-index, class).
+///
 /// Determinism contract: the decision for the N-th injected op of a
 /// rank depends only on (seed, rank, N) plus the deterministic
 /// per-rank crash cap — never on timing, scheduling, or other ranks.
@@ -54,13 +78,20 @@ enum class FaultKind : int {
   kDelay,
   kDuplicate,
   kStall,
+  kCorruptPayload,
+  kCorruptCheckpoint,
+  kTruncateSpill,
 };
-inline constexpr int kNumFaultKinds = 5;
+inline constexpr int kNumFaultKinds = 8;
 
 const char* faultKindName(FaultKind k);
+/// Parse a kind name ("crash", "corrupt_payload", ...) back to the
+/// enum; returns kNone for an unknown name. Used by msc_chaos --kinds=.
+FaultKind faultKindFromName(const char* name);
 
-/// Which side of a communication operation a fault point guards.
-enum class OpClass { kSend, kRecv };
+/// Which operation a fault point guards: a message send, a message
+/// receive, or a checkpoint store (the storage-corruption kinds).
+enum class OpClass { kSend, kRecv, kCheckpoint };
 
 struct InjectorOptions {
   std::uint64_t seed = 0;
@@ -70,6 +101,11 @@ struct InjectorOptions {
   double delay_rate = 0.04;
   double duplicate_rate = 0.03;
   double stall_rate = 0.02;
+  /// Silent-data-corruption kinds, off by default so every schedule
+  /// shipped before they existed is preserved bit-for-bit.
+  double corrupt_payload_rate = 0.0;
+  double corrupt_checkpoint_rate = 0.0;
+  double truncate_spill_rate = 0.0;
   /// Hard cap so every run terminates: once a rank has crashed this
   /// many times, further kCrash slots degrade to kNone. The cap is
   /// per-rank (not global) to keep the schedule a pure function of
@@ -125,10 +161,12 @@ class Injector {
 
 /// Apply the injector's decision for one comm op: throws
 /// par::RankFailure on kCrash (after recording the death notice),
-/// sleeps through kDelay/kStall, and returns true when a send must be
-/// performed twice (kDuplicate). Null-safe: returns false when `inj`
-/// is null. When `tr` is non-null an instant event marks each fired
-/// fault on the rank's track.
-bool applyFault(Injector* inj, int rank, OpClass cls, obs::Tracer* tr);
+/// sleeps through kDelay/kStall, and returns the fired kind so the
+/// caller can act on the ones that need cooperation — kDuplicate
+/// (send the message twice) and kCorruptPayload (arm the transit
+/// corruption hook for the next frame). Null-safe: returns kNone
+/// when `inj` is null. When `tr` is non-null an instant event marks
+/// each fired fault on the rank's track.
+FaultKind applyFault(Injector* inj, int rank, OpClass cls, obs::Tracer* tr);
 
 }  // namespace msc::fault

@@ -1,0 +1,117 @@
+#include "integrity/integrity.hpp"
+
+#include <string>
+
+namespace msc::integrity {
+
+std::uint64_t checksum64(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0x243F6A8885A308D3ull;  // pi fraction, arbitrary non-zero
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t lane = 0;
+    std::memcpy(&lane, p + i, 8);
+    h = mix64(h ^ lane);
+  }
+  std::uint64_t tail = 0;
+  for (std::size_t k = 0; i + k < n; ++k)
+    tail |= static_cast<std::uint64_t>(p[i + k]) << (8 * k);
+  // Length tag: distinguishes trailing-zero tails and empty buffers.
+  h = mix64(h ^ tail);
+  return mix64(h ^ static_cast<std::uint64_t>(n));
+}
+
+std::vector<std::byte> wrapContainer(const std::byte* data, std::size_t n) {
+  std::vector<std::byte> out(kContainerHeaderBytes + n);
+  std::byte* p = out.data();
+  const std::uint64_t len = n;
+  const std::uint64_t sum = checksum64(data, n);
+  std::memcpy(p, &kContainerMagic, 4);
+  std::memcpy(p + 4, &kContainerVersion, 4);
+  std::memcpy(p + 8, &len, 8);
+  std::memcpy(p + 16, &sum, 8);
+  if (n) std::memcpy(p + kContainerHeaderBytes, data, n);
+  return out;
+}
+
+namespace {
+
+const char* containerProblem(const std::byte* data, std::size_t n) {
+  if (n < kContainerHeaderBytes) return "truncated header";
+  std::uint32_t magic = 0, version = 0;
+  std::uint64_t len = 0, sum = 0;
+  std::memcpy(&magic, data, 4);
+  std::memcpy(&version, data + 4, 4);
+  std::memcpy(&len, data + 8, 8);
+  std::memcpy(&sum, data + 16, 8);
+  if (magic != kContainerMagic) return "bad magic";
+  if (version != kContainerVersion) return "bad version";
+  if (len != n - kContainerHeaderBytes) return "length mismatch (torn write?)";
+  if (checksum64(data + kContainerHeaderBytes, len) != sum)
+    return "checksum mismatch";
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<std::byte> unwrapContainer(const std::byte* data, std::size_t n,
+                                       const char* what) {
+  if (const char* why = containerProblem(data, n))
+    throw IntegrityError(std::string(what) + ": " + why);
+  return std::vector<std::byte>(data + kContainerHeaderBytes, data + n);
+}
+
+bool containerLooksValid(const std::byte* data, std::size_t n) {
+  return containerProblem(data, n) == nullptr;
+}
+
+Monitor::Monitor(int nranks)
+    : nranks_(nranks), slots_(static_cast<std::size_t>(nranks > 0 ? nranks : 1)) {}
+
+void Monitor::noteVerified(int rank) {
+  slots_[static_cast<std::size_t>(rank)].verified.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void Monitor::noteFailed(int rank) {
+  slots_[static_cast<std::size_t>(rank)].failed.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void Monitor::noteHealed(int) { healed_.fetch_add(1, std::memory_order_relaxed); }
+
+std::int64_t Monitor::verified(int rank) const {
+  return slots_[static_cast<std::size_t>(rank)].verified.load(
+      std::memory_order_relaxed);
+}
+
+std::int64_t Monitor::failed(int rank) const {
+  return slots_[static_cast<std::size_t>(rank)].failed.load(
+      std::memory_order_relaxed);
+}
+
+std::int64_t Monitor::verifiedTotal() const {
+  std::int64_t t = 0;
+  for (const RankSlot& s : slots_) t += s.verified.load(std::memory_order_relaxed);
+  return t;
+}
+
+std::int64_t Monitor::failedTotal() const {
+  std::int64_t t = 0;
+  for (const RankSlot& s : slots_) t += s.failed.load(std::memory_order_relaxed);
+  return t;
+}
+
+std::int64_t Monitor::healedTotal() const {
+  return healed_.load(std::memory_order_relaxed);
+}
+
+void flipOneBit(std::byte* data, std::size_t n, std::uint64_t salt) {
+  if (n == 0) return;
+  const std::uint64_t h = mix64(salt ^ 0x5DEECE66Dull);
+  const std::size_t byte_i = static_cast<std::size_t>(h % n);
+  const int bit_i = static_cast<int>((h >> 32) % 8);
+  data[byte_i] ^= static_cast<std::byte>(1u << bit_i);
+}
+
+}  // namespace msc::integrity

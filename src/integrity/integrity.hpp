@@ -1,0 +1,173 @@
+/// \file integrity.hpp
+/// End-to-end silent-data-corruption detection: checksummed framing
+/// for wire messages and stored bytes, plus the monitor that tallies
+/// what was verified, caught and healed.
+///
+/// Three layers compose here:
+///
+///  * Wire trailer — a fixed 16-byte tail appended to every
+///    par::Comm data frame when a Monitor is attached. It is the
+///    *outermost* trailer (appended after the audit and causal
+///    trailers), so its checksum covers the user payload and all
+///    inner protocol metadata; a flip anywhere in the frame is
+///    caught before any other layer parses the bytes.
+///  * Container wrap — a 24-byte header prepended to bytes at rest
+///    (CheckpointStore entries, disk spills). Unlike the wire
+///    trailer, unwrap *throws* IntegrityError: at-rest corruption
+///    has no sender to re-request from, so the caller must decide
+///    between healing (re-fetch, recompute) and failing.
+///  * Monitor — per-rank padded tallies (verified / failed /
+///    healed), mirroring fault::Injector's fired() discipline so
+///    chaos reports can prove every detector actually fired.
+///
+/// The checksum is splitmix64 chained over 8-byte lanes (the same
+/// generator synth/fields.cpp uses for reproducible noise): fast,
+/// dependency-free, and a single flipped bit anywhere avalanches
+/// through every subsequent lane.
+///
+/// Leaf header: no internal dependencies beyond core/annotations.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "core/annotations.hpp"
+
+namespace msc::integrity {
+
+/// Thrown when corruption is detected and no healing path remains.
+/// Structured so callers (and tests) can distinguish an integrity
+/// failure from other runtime errors: never a hang, never silence.
+class IntegrityError : public std::runtime_error {
+ public:
+  explicit IntegrityError(const std::string& what)
+      : std::runtime_error("integrity: " + what) {}
+};
+
+/// splitmix64 finalizer — one round of the generator.
+inline std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Checksum `n` bytes: splitmix chained over full 8-byte lanes, then
+/// a length-tagged final round over the (zero-padded) tail lane. The
+/// length tag means two buffers that differ only by trailing zero
+/// bytes hash differently.
+std::uint64_t checksum64(const void* data, std::size_t n);
+
+// ---------------------------------------------------------------------------
+// Wire trailer (tail, outermost on the frame)
+
+/// [u64 checksum-of-everything-before][u8 version][6 reserved][u8 magic]
+inline constexpr std::size_t kWireTrailerBytes = 16;
+/// Distinct from audit (0xA5) and causal (0x5C) magics so a mislayered
+/// strip is caught immediately.
+inline constexpr std::uint8_t kWireMagic = 0x17;
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Append the integrity trailer to `b`: checksum covers every byte
+/// currently in `b` (payload + any inner trailers).
+template <class ByteVec>
+void appendTrailer(ByteVec& b) {
+  const std::uint64_t sum = checksum64(b.data(), b.size());
+  const std::size_t base = b.size();
+  b.resize(base + kWireTrailerBytes);
+  std::byte* p = b.data() + base;
+  std::memcpy(p, &sum, 8);
+  p[8] = static_cast<std::byte>(kWireVersion);
+  // bytes 9..14 reserved (zeroed by resize's value-init)
+  p[15] = static_cast<std::byte>(kWireMagic);
+}
+
+/// Verify and strip the integrity trailer from `b`. Returns false on
+/// ANY anomaly — short frame, wrong magic, wrong version, checksum
+/// mismatch — leaving `b` untouched so the caller can drop the frame
+/// and decide between re-request and IntegrityError. Deliberately
+/// does not throw: a corrupt frame on the wire is an expected event
+/// under fault injection, not a programming error.
+template <class ByteVec>
+bool verifyAndStripTrailer(ByteVec& b) {
+  if (b.size() < kWireTrailerBytes) return false;
+  const std::byte* p = b.data() + (b.size() - kWireTrailerBytes);
+  if (p[15] != static_cast<std::byte>(kWireMagic)) return false;
+  if (p[8] != static_cast<std::byte>(kWireVersion)) return false;
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, p, 8);
+  const std::size_t body = b.size() - kWireTrailerBytes;
+  if (checksum64(b.data(), body) != stored) return false;
+  b.resize(body);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Container wrap (header, bytes at rest)
+
+/// [u32 magic "ISUM"][u32 version][u64 payload_len][u64 checksum][payload]
+inline constexpr std::uint32_t kContainerMagic = 0x4D555349u;  // "ISUM"
+inline constexpr std::uint32_t kContainerVersion = 1;
+inline constexpr std::size_t kContainerHeaderBytes = 24;
+
+/// Wrap `payload` in a checksummed container (for storage).
+std::vector<std::byte> wrapContainer(const std::byte* data, std::size_t n);
+
+/// Unwrap a checksummed container. Throws IntegrityError on a short
+/// buffer, bad magic/version, length mismatch (torn write) or
+/// checksum mismatch (flip). `what` names the entry for the message.
+std::vector<std::byte> unwrapContainer(const std::byte* data, std::size_t n,
+                                       const char* what);
+
+/// Non-throwing probe: true iff `unwrapContainer` would succeed.
+bool containerLooksValid(const std::byte* data, std::size_t n);
+
+// ---------------------------------------------------------------------------
+// Monitor
+
+/// Per-run integrity tallies. Thread-safe: per-rank padded slots for
+/// the hot verified counter; failures and heals are rare and go to
+/// shared atomics. Attached non-owning (the Tracer/Auditor pattern):
+/// a null Monitor means checksummed framing is off and the fast path
+/// has exactly one branch per op.
+class Monitor {
+ public:
+  explicit Monitor(int nranks);
+
+  int nranks() const { return nranks_; }
+
+  void noteVerified(int rank);
+  /// A detector fired: a frame or entry failed its checksum.
+  void noteFailed(int rank);
+  /// A detected corruption was repaired (re-request satisfied,
+  /// re-fetch from disk, block recompute).
+  void noteHealed(int rank);
+
+  std::int64_t verified(int rank) const;
+  std::int64_t failed(int rank) const;
+  std::int64_t verifiedTotal() const;
+  std::int64_t failedTotal() const;
+  std::int64_t healedTotal() const;
+
+ private:
+  struct alignas(64) RankSlot {
+    std::atomic<std::int64_t> verified MSC_RELAXED_TALLY{0};
+    std::atomic<std::int64_t> failed MSC_RELAXED_TALLY{0};
+  };
+
+  int nranks_;
+  std::vector<RankSlot> slots_;
+  std::atomic<std::int64_t> healed_ MSC_RELAXED_TALLY{0};
+};
+
+/// Flip one bit of `b` in place, position chosen deterministically
+/// from `salt` (used by the corruption fault kinds; exposed so tests
+/// can reproduce the exact perturbation). No-op on an empty buffer.
+void flipOneBit(std::byte* data, std::size_t n, std::uint64_t salt);
+
+}  // namespace msc::integrity

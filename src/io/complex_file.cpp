@@ -5,9 +5,11 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <stdexcept>
 
+#include "integrity/integrity.hpp"
 #include "par/comm.hpp"
 
 namespace msc::io {
@@ -15,6 +17,15 @@ namespace msc::io {
 namespace {
 
 constexpr std::uint32_t kFileMagic = 0x4653534Du;  // "MSSF"
+/// v2 hardened the container to io::pack's standard: per-block
+/// checksums in the index, a footer checksum over the index itself,
+/// and require-style bounds checks on everything read. v1 files
+/// (no checksums) are rejected by the version check.
+constexpr std::uint32_t kFileVersion = 2;
+/// Index entry: { u64 offset, u64 size, u64 checksum-of-block-bytes }.
+constexpr std::size_t kEntryBytes = 3 * sizeof(std::uint64_t);
+/// Tail: u64 N, u64 footer-checksum, u32 version, u32 magic.
+constexpr std::size_t kTailBytes = 2 * sizeof(std::uint64_t) + 2 * sizeof(std::uint32_t);
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -37,59 +48,126 @@ void readOrThrow(std::FILE* f, void* p, std::size_t n) {
   if (n && std::fread(p, 1, n, f) != n) throw std::runtime_error("short read");
 }
 
-}  // namespace
+struct IndexEntry {
+  std::uint64_t offset;
+  std::uint64_t size;
+  std::uint64_t checksum;
+};
 
-void writeComplexFile(const std::string& path, const std::vector<Bytes>& blocks) {
-  File f = openOrThrow(path, "wb");
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> index;
-  index.reserve(blocks.size());
-  std::uint64_t offset = 0;
-  for (const Bytes& b : blocks) {
-    writeOrThrow(f.get(), b.data(), b.size());
-    index.emplace_back(offset, b.size());
-    offset += b.size();
+/// Serialize the index entries plus the count -- the exact byte range
+/// the footer checksum covers, shared by both writers and the reader.
+std::vector<std::byte> packIndex(const std::vector<IndexEntry>& index) {
+  std::vector<std::byte> buf(index.size() * kEntryBytes + sizeof(std::uint64_t));
+  std::size_t o = 0;
+  for (const IndexEntry& e : index) {
+    std::memcpy(buf.data() + o, &e.offset, 8);
+    std::memcpy(buf.data() + o + 8, &e.size, 8);
+    std::memcpy(buf.data() + o + 16, &e.checksum, 8);
+    o += kEntryBytes;
   }
-  for (const auto& [off, size] : index) {
-    writeOrThrow(f.get(), &off, sizeof(off));
-    writeOrThrow(f.get(), &size, sizeof(size));
-  }
-  const std::uint64_t n = blocks.size();
-  writeOrThrow(f.get(), &n, sizeof(n));
-  writeOrThrow(f.get(), &kFileMagic, sizeof(kFileMagic));
+  const std::uint64_t n = index.size();
+  std::memcpy(buf.data() + o, &n, sizeof(n));
+  return buf;
 }
 
-std::vector<std::pair<std::uint64_t, std::uint64_t>> readComplexFileIndex(
-    const std::string& path) {
-  File f = openOrThrow(path, "rb");
-  if (std::fseek(f.get(), -(long)(sizeof(std::uint64_t) + sizeof(std::uint32_t)), SEEK_END))
-    throw std::runtime_error("seek failed: " + path);
-  std::uint64_t n = 0;
-  std::uint32_t magic = 0;
-  readOrThrow(f.get(), &n, sizeof(n));
-  readOrThrow(f.get(), &magic, sizeof(magic));
-  if (magic != kFileMagic) throw std::runtime_error("bad complex file magic: " + path);
+void writeFooter(std::FILE* f, const std::vector<IndexEntry>& index) {
+  const std::vector<std::byte> buf = packIndex(index);
+  const std::uint64_t fsum = integrity::checksum64(buf.data(), buf.size());
+  writeOrThrow(f, buf.data(), buf.size());
+  writeOrThrow(f, &fsum, sizeof(fsum));
+  writeOrThrow(f, &kFileVersion, sizeof(kFileVersion));
+  writeOrThrow(f, &kFileMagic, sizeof(kFileMagic));
+}
 
-  const long footer = -(long)(sizeof(std::uint64_t) + sizeof(std::uint32_t) +
-                              n * 2 * sizeof(std::uint64_t));
-  if (std::fseek(f.get(), footer, SEEK_END)) throw std::runtime_error("seek failed");
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> index(n);
-  for (auto& [off, size] : index) {
-    readOrThrow(f.get(), &off, sizeof(off));
-    readOrThrow(f.get(), &size, sizeof(size));
+[[noreturn]] void rejectFile(const std::string& path, const std::string& why) {
+  throw std::runtime_error("complex file " + path + ": " + why);
+}
+
+/// Read and validate the full index. Every anomaly -- truncation,
+/// wrong magic/version, a hostile count, an out-of-range extent, a
+/// flipped footer byte -- throws with a reason; nothing is trusted
+/// before it is bounds-checked and checksummed.
+std::vector<IndexEntry> readIndexChecked(const std::string& path) {
+  std::error_code ec;
+  const std::uintmax_t fsize = std::filesystem::file_size(path, ec);
+  if (ec) rejectFile(path, "cannot stat");
+  if (fsize < kTailBytes) rejectFile(path, "truncated (shorter than the tail)");
+
+  File f = openOrThrow(path, "rb");
+  if (std::fseek(f.get(), static_cast<long>(fsize - kTailBytes), SEEK_SET))
+    rejectFile(path, "seek failed");
+  std::uint64_t n = 0, fsum = 0;
+  std::uint32_t version = 0, magic = 0;
+  readOrThrow(f.get(), &n, sizeof(n));
+  readOrThrow(f.get(), &fsum, sizeof(fsum));
+  readOrThrow(f.get(), &version, sizeof(version));
+  readOrThrow(f.get(), &magic, sizeof(magic));
+  if (magic != kFileMagic) rejectFile(path, "bad magic");
+  if (version != kFileVersion) rejectFile(path, "bad version");
+  // Hostile-count gate BEFORE any allocation or seek math: the index
+  // must fit between the start of the file and the tail.
+  if (n > (fsize - kTailBytes) / kEntryBytes)
+    rejectFile(path, "hostile block count (" + std::to_string(n) +
+                         " entries cannot fit in " + std::to_string(fsize) +
+                         " bytes)");
+  const std::uint64_t index_off = fsize - kTailBytes - n * kEntryBytes;
+  if (std::fseek(f.get(), static_cast<long>(index_off), SEEK_SET))
+    rejectFile(path, "seek failed");
+  std::vector<std::byte> buf(n * kEntryBytes + sizeof(std::uint64_t));
+  readOrThrow(f.get(), buf.data(), n * kEntryBytes);
+  std::memcpy(buf.data() + n * kEntryBytes, &n, sizeof(n));
+  if (integrity::checksum64(buf.data(), buf.size()) != fsum)
+    rejectFile(path, "footer checksum mismatch (torn write or flip)");
+
+  std::vector<IndexEntry> index(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    IndexEntry& e = index[i];
+    std::memcpy(&e.offset, buf.data() + i * kEntryBytes, 8);
+    std::memcpy(&e.size, buf.data() + i * kEntryBytes + 8, 8);
+    std::memcpy(&e.checksum, buf.data() + i * kEntryBytes + 16, 8);
+    if (e.offset > index_off || e.size > index_off - e.offset)
+      rejectFile(path, "block " + std::to_string(i) + " extent out of range");
   }
   return index;
 }
 
+}  // namespace
+
+void writeComplexFile(const std::string& path, const std::vector<Bytes>& blocks) {
+  File f = openOrThrow(path, "wb");
+  std::vector<IndexEntry> index;
+  index.reserve(blocks.size());
+  std::uint64_t offset = 0;
+  for (const Bytes& b : blocks) {
+    writeOrThrow(f.get(), b.data(), b.size());
+    index.push_back({offset, b.size(), integrity::checksum64(b.data(), b.size())});
+    offset += b.size();
+  }
+  writeFooter(f.get(), index);
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> readComplexFileIndex(
+    const std::string& path) {
+  const std::vector<IndexEntry> index = readIndexChecked(path);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  out.reserve(index.size());
+  for (const IndexEntry& e : index) out.emplace_back(e.offset, e.size);
+  return out;
+}
+
 std::vector<Bytes> readComplexFile(const std::string& path) {
-  const auto index = readComplexFileIndex(path);
+  const std::vector<IndexEntry> index = readIndexChecked(path);
   File f = openOrThrow(path, "rb");
   std::vector<Bytes> out;
   out.reserve(index.size());
-  for (const auto& [off, size] : index) {
-    if (std::fseek(f.get(), static_cast<long>(off), SEEK_SET))
-      throw std::runtime_error("seek failed");
-    Bytes b(size);
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    const IndexEntry& e = index[i];
+    if (std::fseek(f.get(), static_cast<long>(e.offset), SEEK_SET))
+      rejectFile(path, "seek failed");
+    Bytes b(e.size);
     readOrThrow(f.get(), b.data(), b.size());
+    if (integrity::checksum64(b.data(), b.size()) != e.checksum)
+      rejectFile(path, "block " + std::to_string(i) + " checksum mismatch");
     out.push_back(std::move(b));
   }
   return out;
@@ -107,6 +185,11 @@ namespace {
 // msc-analyze: tag-space(plain, recovery)
 constexpr int kTagSizes = 90;
 
+/// One slot's report in the phase-1 size gather: the checksum rides
+/// along so rank 0 can write a fully checksummed footer without ever
+/// seeing the payload bytes.
+constexpr std::size_t kReportBytes = sizeof(std::int32_t) + 2 * sizeof(std::uint64_t);
+
 void pwriteOrThrow(int fd, const void* p, std::size_t n, std::uint64_t offset) {
   const auto* b = static_cast<const char*>(p);
   while (n > 0) {
@@ -122,34 +205,40 @@ void pwriteOrThrow(int fd, const void* p, std::size_t n, std::uint64_t offset) {
 
 void parallelWriteComplexFile(par::Comm& comm, const std::string& path, int total_slots,
                               const std::vector<WriteContribution>& mine) {
-  // Phase 1: rank 0 gathers (slot, size) pairs and computes offsets.
+  // Phase 1: rank 0 gathers (slot, size, checksum) triples and
+  // computes offsets.
   {
-    par::Bytes sizes(mine.size() * (sizeof(std::int32_t) + sizeof(std::uint64_t)));
+    par::Bytes sizes(mine.size() * kReportBytes);
     std::size_t o = 0;
     for (const WriteContribution& c : mine) {
       const auto slot = static_cast<std::int32_t>(c.slot);
       const auto size = static_cast<std::uint64_t>(c.bytes.size());
+      const std::uint64_t sum = integrity::checksum64(c.bytes.data(), c.bytes.size());
       std::memcpy(sizes.data() + o, &slot, sizeof(slot));
       std::memcpy(sizes.data() + o + sizeof(slot), &size, sizeof(size));
-      o += sizeof(slot) + sizeof(size);
+      std::memcpy(sizes.data() + o + sizeof(slot) + sizeof(size), &sum, sizeof(sum));
+      o += kReportBytes;
     }
     comm.send(0, kTagSizes, std::move(sizes));
   }
   std::vector<std::uint64_t> slot_sizes;
+  std::vector<std::uint64_t> slot_sums;
   if (comm.rank() == 0) {
     slot_sizes.assign(static_cast<std::size_t>(total_slots), ~std::uint64_t{0});
+    slot_sums.assign(static_cast<std::size_t>(total_slots), 0);
     for (int r = 0; r < comm.size(); ++r) {
       const par::Bytes b = comm.recv(par::kAny, kTagSizes);
-      for (std::size_t o = 0; o + sizeof(std::int32_t) + sizeof(std::uint64_t) <= b.size();
-           o += sizeof(std::int32_t) + sizeof(std::uint64_t)) {
+      for (std::size_t o = 0; o + kReportBytes <= b.size(); o += kReportBytes) {
         std::int32_t slot = 0;
-        std::uint64_t size = 0;
+        std::uint64_t size = 0, sum = 0;
         std::memcpy(&slot, b.data() + o, sizeof(slot));
         std::memcpy(&size, b.data() + o + sizeof(slot), sizeof(size));
+        std::memcpy(&sum, b.data() + o + sizeof(slot) + sizeof(size), sizeof(sum));
         if (slot < 0 || slot >= total_slots ||
             slot_sizes[static_cast<std::size_t>(slot)] != ~std::uint64_t{0})
           throw std::runtime_error("parallelWriteComplexFile: bad or duplicate slot");
         slot_sizes[static_cast<std::size_t>(slot)] = size;
+        slot_sums[static_cast<std::size_t>(slot)] = sum;
       }
     }
     for (const std::uint64_t s : slot_sizes)
@@ -189,23 +278,15 @@ void parallelWriteComplexFile(par::Comm& comm, const std::string& path, int tota
   // Phase 4: rank 0 appends the footer once all data is in place.
   comm.barrier();
   if (comm.rank() == 0) {
-    const int fd = ::open(path.c_str(), O_WRONLY);
-    if (fd < 0) throw std::runtime_error("cannot open for footer: " + path);
+    File f = openOrThrow(path, "ab");
+    std::vector<IndexEntry> index;
+    index.reserve(slot_sizes.size());
     std::uint64_t off = 0;
-    std::uint64_t pos = 0;
-    for (const std::uint64_t s : slot_sizes) pos += s;
-    for (const std::uint64_t s : slot_sizes) {
-      pwriteOrThrow(fd, &off, sizeof(off), pos);
-      pos += sizeof(off);
-      pwriteOrThrow(fd, &s, sizeof(s), pos);
-      pos += sizeof(s);
-      off += s;
+    for (std::size_t i = 0; i < slot_sizes.size(); ++i) {
+      index.push_back({off, slot_sizes[i], slot_sums[i]});
+      off += slot_sizes[i];
     }
-    const std::uint64_t n = slot_sizes.size();
-    pwriteOrThrow(fd, &n, sizeof(n), pos);
-    pos += sizeof(n);
-    pwriteOrThrow(fd, &kFileMagic, sizeof(kFileMagic), pos);
-    ::close(fd);
+    writeFooter(f.get(), index);
   }
   comm.barrier();
 }

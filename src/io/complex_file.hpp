@@ -3,11 +3,20 @@
 /// of the output blocks, followed by a footer that provides an index
 /// to the MS complexes contained in the file."
 ///
-/// Layout:
+/// Layout (v2):
 ///   [block 0 bytes][block 1 bytes]...[block N-1 bytes]
-///   footer: N x { u64 offset, u64 size }, u64 N, u32 magic
+///   footer: N x { u64 offset, u64 size, u64 checksum },
+///           u64 N, u64 footer-checksum, u32 version, u32 magic
 /// The footer is written last so writers can stream blocks without
 /// knowing their sizes in advance; readers locate it from the end.
+///
+/// Integrity (msc::integrity): each index entry carries the checksum
+/// of its block's bytes and the footer carries a checksum over the
+/// whole index, so any single flipped byte -- payload, index, or tail
+/// -- and any truncation is detected at read time. Readers reject
+/// hostile counts and out-of-range extents before allocating or
+/// seeking, and every failure throws std::runtime_error with the path
+/// and a reason; nothing read from the file is trusted unchecked.
 #pragma once
 
 #include <string>
@@ -20,10 +29,13 @@ namespace msc::io {
 /// an empty element ("null write"), mirroring the paper's collective.
 void writeComplexFile(const std::string& path, const std::vector<Bytes>& blocks);
 
-/// Read back every block's bytes.
+/// Read back every block's bytes, verifying each against its index
+/// checksum. Throws on any corruption or truncation.
 std::vector<Bytes> readComplexFile(const std::string& path);
 
-/// Read only the footer: per-block (offset, size) index.
+/// Read only the footer: per-block (offset, size) index. The footer
+/// itself is checksum-verified and bounds-checked; block payloads are
+/// not touched.
 std::vector<std::pair<std::uint64_t, std::uint64_t>> readComplexFileIndex(
     const std::string& path);
 

@@ -30,6 +30,9 @@ const char* counterName(Counter c) {
     case Counter::kPackBytes: return "pack_bytes";
     case Counter::kCheckpointBytes: return "checkpoint_bytes";
     case Counter::kCheckpointPuts: return "checkpoint_puts";
+    case Counter::kIntegrityVerified: return "integrity_verified";
+    case Counter::kIntegrityFailed: return "integrity_failed";
+    case Counter::kIntegrityHealed: return "integrity_healed";
   }
   return "unknown_counter";
 }

@@ -63,8 +63,12 @@ enum class Counter : int {
   kPackBytes,        ///< bytes serialized by io::pack for send/write
   kCheckpointBytes,  ///< bytes stored into the CheckpointStore
   kCheckpointPuts,   ///< checkpoint put() calls
+  // integrity (msc::integrity, folded in by the pipeline drivers)
+  kIntegrityVerified,  ///< frames/entries whose checksum passed
+  kIntegrityFailed,    ///< detected corruptions (checksum mismatches)
+  kIntegrityHealed,    ///< detected corruptions repaired in-run
 };
-inline constexpr int kNumCounters = 17;
+inline constexpr int kNumCounters = 20;
 
 /// Point-in-time values (sampled, not accumulated). Memory telemetry
 /// lands here: the pipeline samples the tagging allocator at stage

@@ -8,6 +8,7 @@
 
 #include "audit/audit.hpp"
 #include "causal/causal.hpp"
+#include "integrity/integrity.hpp"
 #include "obs/obs.hpp"
 
 namespace msc::par {
@@ -184,6 +185,17 @@ void Runtime::send(int src, int dst, int tag, Bytes payload, audit::OpKind kind)
     // finish timestamped before its start is an invalid trace.
     if (tracer_) tracer_->flowStart(src, flow_id, src, dst, tag, nbytes);
   }
+  // Integrity trailer last (outermost): its checksum covers the user
+  // payload plus both inner protocol trailers, so a flip anywhere in
+  // the frame is caught before any layer parses it. Must also stay
+  // before the ownership handoff below (same resize-after-adopt rule
+  // as the other appends).
+  if (integrity_) integrity::appendTrailer(payload);
+  // The transit-corruption hook models the flaky link itself, so it
+  // runs after every trailer is in place: an armed flip lands on
+  // bytes the checksum already covers (detectable), and on a run
+  // without a Monitor it is delivered silently — the SDC baseline.
+  if (transit_fault_) transit_fault_(payload);
   if (auditor_) {
     // Sanctioned handoff: the buffer stops belonging to `src` the
     // moment it enters the mailbox.
@@ -250,6 +262,28 @@ std::optional<Bytes> Runtime::recvImpl(int self, int src, int tag, int* out_src,
       if (waited > 0) tracer_->count(self, obs::Counter::kMailboxWaitSeconds, waited);
     }
   };
+  // Integrity gate on a dequeued frame, run before any inner trailer
+  // is parsed (a flip could sit in the causal or audit bytes too).
+  // False means the frame failed its checksum and was dropped: with a
+  // deadline the caller rescans and keeps waiting — the recovery
+  // layer notices the missing data and re-requests it — and without
+  // one the frame was the only way forward, so a structured error
+  // beats both a hang and silent garbage.
+  const auto frame_ok = [&](Bytes& b, int msg_src, int msg_tag) {
+    if (!integrity_) return true;
+    if (integrity::verifyAndStripTrailer(b)) {
+      integrity_->noteVerified(self);
+      return true;
+    }
+    integrity_->noteFailed(self);
+    if (tracer_) tracer_->instant(self, "integrity_drop", "fault");
+    if (!deadline)
+      throw integrity::IntegrityError(
+          "corrupt frame reached rank " + std::to_string(self) + " (src " +
+          std::to_string(msg_src) + ", tag " + std::to_string(msg_tag) +
+          ") in a blocking recv");
+    return false;
+  };
   std::unique_lock lock(box.mu);
   // Wakeup predicate for every wait below: a queued message matching
   // (src, tag). Re-checked under the lock on each wakeup so a stolen
@@ -261,6 +295,7 @@ std::optional<Bytes> Runtime::recvImpl(int self, int src, int tag, int* out_src,
     return false;
   };
   for (;;) {
+    bool dropped = false;
     for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
       if ((src == kAny || it->src == src) && (tag == kAny || it->tag == tag)) {
         if (out_src) *out_src = it->src;
@@ -281,8 +316,16 @@ std::optional<Bytes> Runtime::recvImpl(int self, int src, int tag, int* out_src,
           if (registered) auditor_->onUnblocked(self);
           lock.unlock();
           audit::AllocTracking::adopt(b.data(), self);
-          // Strip order mirrors append order: causal (outermost)
-          // first, then the audit trailer.
+          if (!frame_ok(b, msg_src, msg_tag)) {
+            // Dropped. The blocked registration was already withdrawn
+            // above, so the next wait must re-register.
+            registered = false;
+            lock.lock();
+            dropped = true;
+            break;
+          }
+          // Strip order mirrors append order: integrity (outermost,
+          // above) first, then causal, then the audit trailer.
           if (recorder_) stamp = causal::stripTrailer(b);
           const audit::WireHeader h = audit::stripHeader(b);
           auditor_->checkMessage(self, expect, expect_epoch, msg_src, msg_tag, h);
@@ -291,11 +334,19 @@ std::optional<Bytes> Runtime::recvImpl(int self, int src, int tag, int* out_src,
         }
         box.messages.erase(it);
         lock.unlock();
+        if (!frame_ok(b, msg_src, msg_tag)) {
+          lock.lock();
+          dropped = true;
+          break;
+        }
         if (recorder_) stamp = causal::stripTrailer(b);
         finish(b, msg_src, msg_tag, stamp);
         return b;
       }
     }
+    // A corrupt frame was discarded: rescan under the reacquired lock
+    // (another queued message may already match) before waiting.
+    if (dropped) continue;
     double wait_ms = 1e12;  // effectively "wait until notified"
     if (deadline) {
       const double remaining_ms = (give_up_at - steadySeconds()) * 1000.0;
@@ -408,6 +459,11 @@ void Runtime::run(int nranks, const std::function<void(Comm&)>& fn, obs::Tracer*
                   const RunOptions* opts) {
   assert(nranks >= 1);
   Runtime rt(nranks, tracer, auditor, recorder);
+  if (opts) {
+    assert(!opts->integrity || opts->integrity->nranks() >= nranks);
+    rt.integrity_ = opts->integrity;
+    rt.transit_fault_ = opts->transit_fault;
+  }
   // With both attached, audit diagnostics gain the causal view: every
   // AuditError report ends with per-rank vector clocks and last-K
   // event histories, ordering the cross-rank evidence.

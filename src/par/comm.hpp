@@ -44,6 +44,9 @@ class Auditor;
 namespace msc::causal {
 class Recorder;
 }
+namespace msc::integrity {
+class Monitor;
+}
 
 namespace msc::par {
 
@@ -187,6 +190,19 @@ class Runtime {
     /// memory telemetry; ownership violations are still only
     /// *reported* via an Auditor.
     bool track_allocations = false;
+    /// Non-null = checksummed framing: every data frame gains an
+    /// integrity trailer (outermost, covering payload + audit +
+    /// causal trailers) verified at the receiver. A corrupt frame is
+    /// dropped inside tryRecv's deadline loop (the sender can be
+    /// re-asked) and throws integrity::IntegrityError from a plain
+    /// recv (which has no deadline to retry under — never a hang).
+    /// Null (the default): one branch per op, wire bytes unchanged.
+    integrity::Monitor* integrity = nullptr;
+    /// Transit-corruption hook for fault injection: called with every
+    /// outgoing frame AFTER all trailers (including the integrity
+    /// trailer) are appended, so an armed corruption perturbs exactly
+    /// what a flaky link would — bytes the checksum already covers.
+    std::function<void(Bytes&)> transit_fault;
   };
 
   /// Run `fn(comm)` on `nranks` concurrent ranks; returns when all
@@ -259,6 +275,8 @@ class Runtime {
   obs::Tracer* tracer_{nullptr};        ///< non-owning; null = tracing off
   audit::Auditor* auditor_{nullptr};    ///< non-owning; null = auditing off
   causal::Recorder* recorder_{nullptr};  ///< non-owning; null = causal off
+  integrity::Monitor* integrity_{nullptr};  ///< non-owning; null = framing off
+  std::function<void(Bytes&)> transit_fault_;  ///< fault-injection hook
 };
 
 }  // namespace msc::par

@@ -61,6 +61,8 @@ PipelineConfig withEnvOverrides(const PipelineConfig& cfg) {
   envInt("MSC_MAX_ROUND_ATTEMPTS", &out.fault.max_round_attempts);
   envFlag("MSC_PREMERGE", &out.premerge);
   envFlag("MSC_SHARDED_FINAL", &out.sharded_final);
+  envFlag("MSC_INTEGRITY", &out.integrity);
+  envInt("MSC_CORRUPTION_RETRY_BUDGET", &out.fault.corruption_retry_budget);
   return out;
 }
 
@@ -113,7 +115,19 @@ void validatePipelineConfig(const PipelineConfig& cfg) {
                  "registry sized for " + std::to_string(cfg.metrics->nranks()) +
                      " ranks cannot record a " + std::to_string(cfg.nranks) +
                      "-rank run");
+  if (f.corruption_retry_budget < 0 || f.corruption_retry_budget > 1024)
+    rejectConfig("fault.corruption_retry_budget",
+                 "must be in [0, 1024], got " +
+                     std::to_string(f.corruption_retry_budget));
   if (f.injector) {
+    const fault::InjectorOptions& iopts = f.injector->options();
+    if (!cfg.integrity && (iopts.corrupt_payload_rate > 0 ||
+                           iopts.corrupt_checkpoint_rate > 0 ||
+                           iopts.truncate_spill_rate > 0))
+      rejectConfig("fault.injector",
+                   "has corruption rates > 0 but integrity checking is off: the "
+                   "flips would silently corrupt the output instead of being "
+                   "detected (set PipelineConfig::integrity or MSC_INTEGRITY=1)");
     if (f.recovery == fault::RecoveryMode::kOff && !cfg.auditor)
       rejectConfig("fault.injector",
                    "with recovery off requires an attached auditor: a crashed rank "

@@ -72,6 +72,12 @@ struct FaultToleranceConfig {
   /// Respawn budget per rank; must cover the injector's per-rank
   /// crash cap or a run can die with retries still owed.
   int max_respawns_per_rank{8};
+  /// Cap on in-attempt re-requests of dropped (corrupt) merge frames
+  /// per rank per round attempt. Exhausting the budget falls back to
+  /// the attempt deadline -> vote-fail -> replay path, so the cap
+  /// bounds latency, never correctness. Only meaningful with
+  /// PipelineConfig::integrity on.
+  int corruption_retry_budget{8};
   /// Non-empty: checkpoints are also spilled to this directory (the
   /// durable medium a cross-process restart would restore from).
   std::string checkpoint_dir;
@@ -139,6 +145,18 @@ struct PipelineConfig {
   /// output; the written container holds that many parts instead of
   /// one. Default off.
   bool sharded_final{false};
+  /// End-to-end integrity checking (msc::integrity): every par::Comm
+  /// data frame gains a checksummed trailer verified at the receiver,
+  /// checkpoints and disk spills are stored in checksummed containers
+  /// (torn writes detected on restore), and the threaded driver adds
+  /// ABFT-style commit gates per merge round (per-rank counter
+  /// identity when metrics are attached, per-member Euler
+  /// characteristic pre-vote). Detected corruption heals through the
+  /// existing recovery machinery (frame re-request, disk re-fetch,
+  /// block recompute, attempt replay); unrecoverable states throw
+  /// integrity::IntegrityError -- never a hang. Default off: zero
+  /// overhead, wire/stored bytes unchanged.
+  bool integrity{false};
   /// Watchdog promoted from audit::Options: a rank blocked longer
   /// than this fails an audited run. The threaded driver applies it
   /// to the attached auditor, replacing the hard-coded 30 s.
@@ -155,6 +173,8 @@ struct PipelineConfig {
 ///   MSC_MAX_ROUND_ATTEMPTS   -> fault.max_round_attempts
 ///   MSC_PREMERGE             -> premerge (0/1)
 ///   MSC_SHARDED_FINAL        -> sharded_final (0/1)
+///   MSC_INTEGRITY            -> integrity (0/1)
+///   MSC_CORRUPTION_RETRY_BUDGET -> fault.corruption_retry_budget
 /// Unset variables leave the field untouched; an unparsable value
 /// throws std::invalid_argument naming the variable.
 PipelineConfig withEnvOverrides(const PipelineConfig& cfg);
@@ -162,8 +182,11 @@ PipelineConfig withEnvOverrides(const PipelineConfig& cfg);
 /// Reject invalid configurations with a std::invalid_argument whose
 /// message names the offending knob: non-positive block/timeout
 /// values, nranks > nblocks, backoff inversions, attempt budgets
-/// outside [1, 64], a recovery mode without a respawn budget, or
-/// fault injection with recovery off and no auditor attached. Both
+/// outside [1, 64], a recovery mode without a respawn budget, fault
+/// injection with recovery off and no auditor attached, a
+/// corruption-retry budget outside [0, 1024], or corruption-fault
+/// rates with integrity checking off (the injected flips would be
+/// silently wrong answers, which is never what a test means). Both
 /// drivers call this (after env overrides) before running.
 void validatePipelineConfig(const PipelineConfig& cfg);
 

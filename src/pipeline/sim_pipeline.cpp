@@ -7,6 +7,7 @@
 #include "core/lower_star.hpp"
 #include "core/merge.hpp"
 #include "decomp/decompose.hpp"
+#include "integrity/integrity.hpp"
 #include "io/complex_file.hpp"
 #include "merge/reduce.hpp"
 #include "merge/shard.hpp"
@@ -20,6 +21,33 @@ double now() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// ABFT commit gates, mirroring the threaded driver (and inlined for
+/// the same layering reason: check depends on pipeline, so pipeline
+/// cannot call check::checkEuler). With cfg.integrity off both cost
+/// nothing; the sequential driver has no wire to checksum, so these
+/// identities ARE its integrity surface.
+bool eulerOk(const MsComplex& c) {
+  const auto counts = c.liveNodeCounts();
+  return counts[0] - counts[1] + counts[2] - counts[3] == 1;
+}
+
+void checkComputeIdentity(const PipelineConfig& cfg) {
+  metrics::Registry* const reg = cfg.metrics;
+  if (!cfg.integrity || !reg) return;
+  using metrics::Counter;
+  for (int rank = 0; rank < cfg.nranks; ++rank) {
+    const std::int64_t cells = reg->counter(rank, Counter::kGradCells);
+    const std::int64_t pairs = reg->counter(rank, Counter::kGradPairs);
+    const std::int64_t crits = reg->counter(rank, Counter::kGradCriticals);
+    if (2 * pairs + crits != cells)
+      throw integrity::IntegrityError(
+          "compute identity violated on rank " + std::to_string(rank) +
+          ": 2*pairs + criticals != cells (pairs " + std::to_string(pairs) +
+          ", criticals " + std::to_string(crits) + ", cells " +
+          std::to_string(cells) + ")");
+  }
 }
 
 /// One surviving complex during the merge rounds.
@@ -203,6 +231,7 @@ SimResult runSimPipeline(const PipelineConfig& user_cfg, const SimModels& models
 
     active.push_back({blk.id, owner, std::move(c), bytes});
   }
+  checkComputeIdentity(cfg);
 
   // --- Merge rounds (Fig. 3 (d)-(f) repeated).
   for (int r = 0; r < cfg.plan.rounds(); ++r) {
@@ -234,6 +263,12 @@ SimResult runSimPipeline(const PipelineConfig& user_cfg, const SimModels& models
           in.merge_prep_per_rank[static_cast<std::size_t>(member.owner_rank)] +=
               now() - p0;
         }
+        // Same Euler pre-commit gate the threaded driver applies to
+        // every incoming member before it votes a round good.
+        if (cfg.integrity && !eulerOk(member.complex))
+          throw integrity::IntegrityError(
+              "Euler gate failed for block " + std::to_string(member.root_block) +
+              " entering merge round " + std::to_string(r));
         rec.sends.emplace_back(member.owner_rank, member.packed_bytes);
         // Pack bytes are charged to the sending member's rank, as in
         // the threaded driver's send phase.

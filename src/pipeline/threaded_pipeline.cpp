@@ -7,6 +7,7 @@
 #include <mutex>
 #include <optional>
 #include <set>
+#include <thread>
 #include <utility>
 
 #include "audit/audit.hpp"
@@ -16,6 +17,7 @@
 #include "decomp/decompose.hpp"
 #include "fault/inject.hpp"
 #include "fault/recovery.hpp"
+#include "integrity/integrity.hpp"
 #include "io/complex_file.hpp"
 #include "merge/reduce.hpp"
 #include "merge/shard.hpp"
@@ -74,6 +76,61 @@ int shardGeomTag(int round, int attempt) {
   return 10000 + round * kAttemptStride + attempt;
 }
 
+/// Attempt-qualified tag for integrity re-requests: a root that
+/// detected a corrupt (dropped) merge frame asks the sender's owner
+/// to re-ship one (root, sender) pair within the same attempt. The
+/// 20000 base keeps the band clear of every mergeTag() and
+/// shardGeomTag() value.
+// msc-analyze: tag-space(recovery): round in [0,64), attempt in [0,64)
+int nackTag(int round, int attempt) {
+  return 20000 + round * kAttemptStride + attempt;
+}
+
+/// One-shot arming of the runtime's transit-corruption hook: the
+/// injector decides kCorruptPayload at a send site, the hook then
+/// flips one bit of the next fully framed message this thread sends
+/// (after the integrity trailer -- exactly what a flaky link would
+/// corrupt). thread_local because the hook runs on the sending
+/// rank's thread, between the arm and the send it guards.
+struct TransitArm {
+  bool armed = false;
+  std::uint64_t salt = 0;
+};
+TransitArm& transitArm() {
+  thread_local TransitArm arm;
+  return arm;
+}
+
+/// ABFT gate on the compute stage: the gradient kernels maintain
+/// 2*pairs + criticals == cells exactly (every cell is either half of
+/// one gradient pair or critical), for both algorithms and any block
+/// partition, so a counter flip or a kernel scribble breaks the
+/// identity. Only checkable when a registry is attached -- the
+/// counters live there; with integrity off it costs nothing.
+void checkComputeIdentity(const PipelineConfig& cfg, int rank) {
+  metrics::Registry* const reg = cfg.metrics;
+  if (!cfg.integrity || !reg) return;
+  using metrics::Counter;
+  const std::int64_t cells = reg->counter(rank, Counter::kGradCells);
+  const std::int64_t pairs = reg->counter(rank, Counter::kGradPairs);
+  const std::int64_t crits = reg->counter(rank, Counter::kGradCriticals);
+  if (2 * pairs + crits != cells)
+    throw integrity::IntegrityError(
+        "compute identity violated on rank " + std::to_string(rank) +
+        ": 2*pairs + criticals != cells (pairs " + std::to_string(pairs) +
+        ", criticals " + std::to_string(crits) + ", cells " +
+        std::to_string(cells) + ")");
+}
+
+/// The Morse-Euler identity the check module pins (checkEuler): the
+/// alternating critical-count sum of any complex over a solid-box
+/// region is 1. Inlined here because pipeline cannot depend on check
+/// (check depends on pipeline).
+bool eulerOk(const MsComplex& c) {
+  const auto counts = c.liveNodeCounts();
+  return counts[0] - counts[1] + counts[2] - counts[3] == 1;
+}
+
 /// Stage-boundary telemetry: fold the tagging allocator's per-rank
 /// byte counters into the registry's memory gauges and, when a tracer
 /// is also attached, drop the headline work/memory values onto named
@@ -109,11 +166,17 @@ void runPlain(const PipelineConfig& cfg, GuardedResult& out) {
   obs::Tracer* const tr = cfg.tracer;
   causal::Recorder* const rec = cfg.causal;
   metrics::Registry* const reg = cfg.metrics;
+  // Checksummed framing: attaching the monitor is what turns it on in
+  // the runtime (null = prior wire bytes, one branch per op).
+  std::optional<integrity::Monitor> monitor;
+  if (cfg.integrity) monitor.emplace(cfg.nranks);
   // Memory telemetry needs the tagging allocator's counters even when
   // no auditor is attached; the plain driver otherwise passes no
-  // options at all, so the struct only appears on metrics runs.
+  // options at all, so the struct only appears on metrics or
+  // integrity runs.
   par::Runtime::RunOptions mopts;
   mopts.track_allocations = reg != nullptr;
+  mopts.integrity = monitor ? &*monitor : nullptr;
 
   par::Runtime::run(cfg.nranks, [&](par::Comm& comm) {
     const int rank = comm.rank();
@@ -152,6 +215,7 @@ void runPlain(const PipelineConfig& cfg, GuardedResult& out) {
       }
     }
     fields.clear();
+    checkComputeIdentity(cfg, rank);
     sampleMetrics(cfg, rank);
     comm.barrier();
     const double t_compute1 = now();
@@ -381,7 +445,21 @@ void runPlain(const PipelineConfig& cfg, GuardedResult& out) {
     write_span.end();
     if (rec) rec->setStage(rank, causal::Stage::kIdle);
     comm.barrier();
-  }, cfg.tracer, cfg.auditor, cfg.causal, reg ? &mopts : nullptr);
+  }, cfg.tracer, cfg.auditor, cfg.causal, (reg || monitor) ? &mopts : nullptr);
+
+  if (monitor) {
+    if (reg) {
+      for (int rr = 0; rr < cfg.nranks; ++rr) {
+        reg->add(rr, metrics::Counter::kIntegrityVerified, monitor->verified(rr));
+        reg->add(rr, metrics::Counter::kIntegrityFailed, monitor->failed(rr));
+      }
+      reg->add(0, metrics::Counter::kIntegrityHealed, monitor->healedTotal());
+    }
+    const std::lock_guard lock(out.mu);
+    out.value.integrity.frames_verified = monitor->verifiedTotal();
+    out.value.integrity.frames_dropped = monitor->failedTotal();
+    out.value.integrity.heals = monitor->healedTotal();
+  }
 }
 
 /// The recovery driver: every merge round becomes a transaction
@@ -400,7 +478,22 @@ void runRecovering(const PipelineConfig& cfg, GuardedResult& out) {
   };
   fault::Injector* const inj = cfg.fault.injector;
   const fault::RecoveryMode mode = cfg.fault.recovery;
+  // Integrity: the monitor turns on checksummed wire framing, the
+  // store setup turns on checksummed (and corruptible, when the
+  // injector has corruption rates) checkpoint entries, and the
+  // transit hook delivers armed in-flight flips (see TransitArm).
+  std::optional<integrity::Monitor> monitor;
+  if (cfg.integrity) monitor.emplace(cfg.nranks);
+  integrity::Monitor* const mon = monitor ? &*monitor : nullptr;
   fault::CheckpointStore store(cfg.fault.checkpoint_dir);
+  if (cfg.integrity) {
+    fault::CheckpointStore::IntegritySetup is;
+    is.checksums = true;
+    is.injector = inj;
+    is.monitor = mon;
+    is.tracer = tr;
+    store.configureIntegrity(is);
+  }
   fault::Coordinator coord(cfg.nranks, mode, &store);
   const par::Comm::RecvDeadline deadline{cfg.fault.recv_deadline_seconds,
                                          cfg.fault.backoff_initial_ms,
@@ -410,6 +503,15 @@ void runRecovering(const PipelineConfig& cfg, GuardedResult& out) {
   ropts.max_respawns_per_rank =
       mode == fault::RecoveryMode::kOff ? 0 : cfg.fault.max_respawns_per_rank;
   ropts.track_allocations = reg != nullptr;
+  ropts.integrity = mon;
+  const bool corrupt_transit = inj && inj->options().corrupt_payload_rate > 0;
+  if (corrupt_transit)
+    ropts.transit_fault = [](par::Bytes& b) {
+      TransitArm& arm = transitArm();
+      if (!arm.armed || b.empty()) return;
+      arm.armed = false;
+      integrity::flipOneBit(b.data(), b.size(), arm.salt);
+    };
   // Fault/recovery lifecycle as trace instants: respawns (here) and
   // attempt begin/commit/rollback, votes and reassignments (below)
   // make msc_chaos runs visually debuggable in the trace viewer.
@@ -431,6 +533,31 @@ void runRecovering(const PipelineConfig& cfg, GuardedResult& out) {
     int attempt = 0;
     double t_read0 = now(), t_read1 = t_read0, t_compute1 = t_read0;
     std::vector<double> round_ends;
+
+    // Restore one block's round-entry complex from the checkpoint
+    // store. An unrecoverable round-0 entry (both the in-memory copy
+    // and the spill corrupt, or no spill at all) is healed by
+    // deterministic recompute -- the baseline is a pure function of
+    // the input; later rounds have no such function, so their loss is
+    // a structured error, never silence.
+    const auto restoreBlock = [&](int round, int b, int att) -> MsComplex {
+      if (const auto bytes = store.get(round, b, rank)) return io::unpack(*bytes);
+      if (round == 0 && cfg.integrity) {
+        if (tr)
+          tr->instant(rank, "recompute_block(block=" + std::to_string(b) + ")",
+                      "fault");
+        for (const Block& blk : decompose(cfg.domain, cfg.nblocks)) {
+          if (blk.id != b) continue;
+          MsComplex c = computeBlockComplex(cfg, blk, nullptr, nullptr, rank);
+          store.put(0, b, io::pack(c), rank);
+          if (mon) mon->noteHealed(rank);
+          return c;
+        }
+      }
+      throw fault::RecoveryError(
+          rank, round, att,
+          withCausal("missing checkpoint for block " + std::to_string(b)));
+    };
 
     if (incarnation == 0) {
       // --- Read/sample + compute, exactly as the fault-free driver.
@@ -464,6 +591,7 @@ void runRecovering(const PipelineConfig& cfg, GuardedResult& out) {
         }
       }
       fields.clear();
+      checkComputeIdentity(cfg, rank);
       sampleMetrics(cfg, rank);
       comm.barrier();
       t_compute1 = now();
@@ -473,7 +601,7 @@ void runRecovering(const PipelineConfig& cfg, GuardedResult& out) {
         metrics::add(reg, rank, metrics::Counter::kCheckpointBytes,
                      static_cast<std::int64_t>(cp.size()));
         metrics::add(reg, rank, metrics::Counter::kCheckpointPuts, 1);
-        store.put(0, id, cp);
+        store.put(0, id, cp, rank);
       }
     } else {
       // --- Respawned replacement: rejoin the in-flight attempt. The
@@ -495,15 +623,28 @@ void runRecovering(const PipelineConfig& cfg, GuardedResult& out) {
         // incarnation already sent).
         for (const int b : cfg.plan.survivorIds(cfg.nblocks, start_round)) {
           if (b % nranks != rank) continue;
-          const auto bytes = store.get(start_round, b);
-          if (!bytes)
-            throw fault::RecoveryError(
-                rank, start_round, attempt,
-                withCausal("missing checkpoint for block " + std::to_string(b)));
-          owned.emplace(b, io::unpack(*bytes));
+          owned.emplace(b, restoreBlock(start_round, b, attempt));
         }
       }
     }
+
+    // Send-site fault point: kDuplicate asks the caller to
+    // double-send; kCorruptPayload arms the transit hook so the very
+    // next framed send leaves this rank with one bit flipped (salted
+    // by the injector's op count: deterministic, distinct per send).
+    const auto sendFault = [&]() -> bool {
+      const fault::FaultKind k =
+          fault::applyFault(inj, rank, fault::OpClass::kSend, tr);
+      if (k == fault::FaultKind::kCorruptPayload) {
+        TransitArm& arm = transitArm();
+        arm.armed = true;
+        arm.salt = integrity::mix64(
+            static_cast<std::uint64_t>(inj->options().seed) ^
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank)) << 32) ^
+            static_cast<std::uint64_t>(inj->opCount(rank)));
+      }
+      return k == fault::FaultKind::kDuplicate;
+    };
 
     // Agree on an attempt's outcome and the dead set, then sweep the
     // attempt's stragglers. Every deposit for (round, attempt)
@@ -532,11 +673,12 @@ void runRecovering(const PipelineConfig& cfg, GuardedResult& out) {
           mask[static_cast<std::size_t>(i)] = true;
           coord.markDead(i);
         }
-      // Sweep BOTH of the attempt's tag spaces: skeletons/complexes
-      // and, for sharded rounds, the geometry bundles (probing an
-      // unused tag is free).
+      // Sweep ALL of the attempt's tag spaces: skeletons/complexes,
+      // the sharded rounds' geometry bundles, and integrity
+      // re-requests (probing an unused tag is free).
       int drained = 0;
-      for (const int tag : {mergeTag(round, att), shardGeomTag(round, att)}) {
+      for (const int tag :
+           {mergeTag(round, att), shardGeomTag(round, att), nackTag(round, att)}) {
         while (comm.probe(par::kAny, tag)) {
           comm.recv(par::kAny, tag);
           ++drained;
@@ -605,7 +747,7 @@ void runRecovering(const PipelineConfig& cfg, GuardedResult& out) {
                          static_cast<std::int64_t>(blob.size()));
             for (const int q : owner_ranks) {
               if (q == rank) continue;
-              const bool dup = fault::applyFault(inj, rank, fault::OpClass::kSend, tr);
+              const bool dup = sendFault();
               par::Bytes f = frame(p, blk, blob);
               if (dup) comm.send(q, tag, f);
               comm.send(q, tag, std::move(f));
@@ -641,8 +783,7 @@ void runRecovering(const PipelineConfig& cfg, GuardedResult& out) {
                 const int src_blk = survivors[static_cast<std::size_t>(s)];
                 const bool mine_s = fault::ownerOf(src_blk, nranks, mask) == rank;
                 if (mine_s && dst_owner != rank) {
-                  const bool dup =
-                      fault::applyFault(inj, rank, fault::OpClass::kSend, tr);
+                  const bool dup = sendFault();
                   io::Bytes bundle = merge::packPathBundle(
                       owned.at(src_blk), merge::shardNeededPaths(splan, S, d, s));
                   metrics::add(reg, rank, metrics::Counter::kPackBytes,
@@ -703,7 +844,7 @@ void runRecovering(const PipelineConfig& cfg, GuardedResult& out) {
                 // branch: rollback restores the round-entry state.
                 if (cfg.premerge)
                   merge::reduceForShip(mc, cfg.persistence_threshold, reg, rank);
-                const bool dup = fault::applyFault(inj, rank, fault::OpClass::kSend, tr);
+                const bool dup = sendFault();
                 const io::Bytes packed = io::pack(mc);
                 metrics::add(reg, rank, metrics::Counter::kPackBytes,
                              static_cast<std::int64_t>(packed.size()));
@@ -715,19 +856,105 @@ void runRecovering(const PipelineConfig& cfg, GuardedResult& out) {
               if (root_owner == rank) missing.insert({root_block, blk});
             }
           }
+          // Serve integrity re-requests for frames this rank sent in
+          // this attempt: re-pack from `owned` (blocks are not erased
+          // until commit), so the resend is byte-identical to the
+          // original. Deliberately not a fault point -- the retry
+          // budget, not the injector, bounds the heal loop.
+          const auto serveNacks = [&]() {
+            while (comm.probe(par::kAny, nackTag(r, attempt))) {
+              const Framed q = unframe(comm.recv(par::kAny, nackTag(r, attempt)));
+              const auto it = owned.find(q.sender_block);
+              if (it == owned.end()) continue;  // stale or misrouted
+              comm.send(fault::ownerOf(q.dest_block, nranks, mask), tag,
+                        frame(q.dest_block, q.sender_block, io::pack(it->second)));
+            }
+          };
           // Receive phase (fault point per receive): deadline-bounded
           // and keyed on (root, sender) so duplicates and replayed
-          // sends collapse to one delivery.
+          // sends collapse to one delivery. With integrity on and
+          // transit corruption possible, the wait is sliced: a slice
+          // that expires after the monitor counted a dropped frame at
+          // this rank re-requests everything still missing (bounded
+          // by corruption_retry_budget, each re-request buying one
+          // more slice of patience). An unanswered re-request falls
+          // back to deadline expiry -> vote fail -> attempt replay,
+          // so in-attempt healing is an optimization, never a
+          // correctness dependency.
+          const bool nack_on = mon && corrupt_transit;
+          const double slice_s =
+              nack_on ? std::min(0.025, deadline.seconds / 4) : deadline.seconds;
+          const par::Comm::RecvDeadline slice{slice_s, deadline.backoff_initial_ms,
+                                              deadline.backoff_max_ms};
+          const std::int64_t failed0 = mon ? mon->failed(rank) : 0;
+          std::set<std::pair<int, int>> nacked;  // re-requested, not yet healed
+          int nacks_used = 0;
+          double wait_left = deadline.seconds;
           while (!missing.empty()) {
+            if (nack_on) serveNacks();
             fault::applyFault(inj, rank, fault::OpClass::kRecv, tr);
-            auto msg = comm.tryRecv(par::kAny, tag, deadline);
+            auto msg = comm.tryRecv(par::kAny, tag, slice);
             if (!msg) {
-              ok = false;
-              break;
+              wait_left -= slice_s;
+              if (nack_on && mon->failed(rank) - failed0 > nacks_used &&
+                  nacks_used < cfg.fault.corruption_retry_budget) {
+                for (const auto& [root_blk, snd_blk] : missing) {
+                  comm.send(fault::ownerOf(snd_blk, nranks, mask),
+                            nackTag(r, attempt),
+                            frame(root_blk, snd_blk, io::Bytes{}));
+                  nacked.insert({root_blk, snd_blk});
+                }
+                ++nacks_used;
+                wait_left += slice_s;
+                if (tr)
+                  tr->instant(rank,
+                              "integrity_nack(round=" + std::to_string(r) +
+                                  ",attempt=" + std::to_string(attempt) + ")",
+                              "fault");
+              }
+              if (wait_left <= 0) {
+                ok = false;
+                break;
+              }
+              continue;
             }
             Framed f = unframe(*msg);
-            if (missing.erase({f.dest_block, f.sender_block}) > 0)
+            if (missing.erase({f.dest_block, f.sender_block}) > 0) {
+              if (mon && nacked.erase({f.dest_block, f.sender_block}) > 0)
+                mon->noteHealed(rank);
               incoming[f.dest_block].emplace(f.sender_block, std::move(f.packed));
+            }
+          }
+          // ABFT pre-vote gate: a member that passed its checksum can
+          // still be wrong if it was corrupted *before* it was packed
+          // (a scribble the checksum then faithfully covers). The
+          // Morse-Euler identity is cheap and catches exactly that
+          // class; a violation vetoes the attempt so the replay
+          // re-ships from checkpoints.
+          if (ok && cfg.integrity) {
+            for (const auto& by_root : incoming) {
+              for (const auto& [snd, bytes] : by_root.second) {
+                if (eulerOk(io::unpack(bytes))) continue;
+                ok = false;
+                if (mon) mon->noteFailed(rank);
+                if (tr)
+                  tr->instant(rank,
+                              "integrity_euler_veto(block=" + std::to_string(snd) +
+                                  ")",
+                              "fault");
+              }
+            }
+          }
+          // Linger grace: a root whose frame from this rank rotted in
+          // transit discovers it about one slice after we sent; stay
+          // responsive to its re-request briefly before entering the
+          // vote (where the gather would block us past helping). The
+          // fallback when the window is missed is the attempt replay.
+          if (nack_on && ok) {
+            for (int g = 0; g < 3; ++g) {
+              std::this_thread::sleep_for(std::chrono::duration<double>(slice_s));
+              serveNacks();
+            }
           }
         }
         const bool advance = voteAndDrain(r, attempt, zombie ? !fresh_corpse : ok);
@@ -769,7 +996,7 @@ void runRecovering(const PipelineConfig& cfg, GuardedResult& out) {
               metrics::add(reg, rank, metrics::Counter::kCheckpointBytes,
                            static_cast<std::int64_t>(cp.size()));
               metrics::add(reg, rank, metrics::Counter::kCheckpointPuts, 1);
-              store.put(r + 1, id, cp);
+              store.put(r + 1, id, cp, rank);
             }
           }
           if (rec) rec->roundCommit(rank, r);
@@ -794,18 +1021,13 @@ void runRecovering(const PipelineConfig& cfg, GuardedResult& out) {
           owned.clear();
           for (const int b : survivors) {
             if (fault::ownerOf(b, nranks, mask) != rank) continue;
-            const auto bytes = store.get(r, b);
-            if (!bytes)
-              throw fault::RecoveryError(
-                  rank, r, attempt,
-                  withCausal("missing checkpoint for block " + std::to_string(b)));
             if (b % nranks != rank) {
               coord.noteReassigned(1);
               if (tr)
                 tr->instant(rank, "degrade_reassign(block=" + std::to_string(b) + ")",
                             "fault");
             }
-            owned.emplace(b, io::unpack(*bytes));
+            owned.emplace(b, restoreBlock(r, b, attempt));
           }
         }
         ++attempt;
@@ -869,6 +1091,13 @@ void runRecovering(const PipelineConfig& cfg, GuardedResult& out) {
   }, tr, cfg.auditor, cfg.causal, &ropts);
 
   const fault::CheckpointStore::Stats cs = store.stats();
+  if (mon && reg) {
+    for (int rr = 0; rr < cfg.nranks; ++rr) {
+      reg->add(rr, metrics::Counter::kIntegrityVerified, mon->verified(rr));
+      reg->add(rr, metrics::Counter::kIntegrityFailed, mon->failed(rr));
+    }
+    reg->add(0, metrics::Counter::kIntegrityHealed, mon->healedTotal());
+  }
   const std::lock_guard lock(out.mu);
   out.value.recovery.respawns = coord.respawns();
   out.value.recovery.round_replays = coord.replays();
@@ -877,6 +1106,11 @@ void runRecovering(const PipelineConfig& cfg, GuardedResult& out) {
   out.value.recovery.checkpoint_puts = cs.puts;
   out.value.recovery.checkpoint_restores = cs.restores;
   if (inj) out.value.recovery.faults_injected = inj->firedTotal();
+  if (mon) {
+    out.value.integrity.frames_verified = mon->verifiedTotal();
+    out.value.integrity.frames_dropped = mon->failedTotal();
+    out.value.integrity.heals = mon->healedTotal();
+  }
 }
 
 }  // namespace

@@ -34,6 +34,17 @@ struct ThreadedResult {
     std::int64_t faults_injected{0};    ///< injector faults that fired
   };
   RecoveryStats recovery;
+
+  /// Integrity accounting, populated when cfg.integrity is on; all
+  /// zero otherwise (checksummed framing fully disabled).
+  struct IntegrityStats {
+    std::int64_t frames_verified{0};  ///< frames whose checksum passed
+    std::int64_t frames_dropped{0};   ///< corrupt frames detected + dropped
+    std::int64_t heals{0};            ///< detected corruptions repaired
+                                      ///< (resent frame, disk re-fetch,
+                                      ///< or block recompute)
+  };
+  IntegrityStats integrity;
 };
 
 /// Run the pipeline on cfg.nranks concurrent ranks.

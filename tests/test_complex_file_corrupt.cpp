@@ -1,0 +1,197 @@
+/// Adversarial io::complex_file tests, the on-disk mirror of
+/// test_pack_corrupt.cpp: truncated files, flipped bytes, and hostile
+/// footers must produce a clean std::runtime_error — never an
+/// out-of-bounds read, a crash, or a multi-gigabyte allocation driven
+/// by a corrupt count field. Unlike the wire format (where a payload
+/// flip may still parse), the container carries per-block checksums,
+/// so here EVERY single-byte flip must be *detected*.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "integrity/integrity.hpp"
+#include "io/complex_file.hpp"
+#include "io/pack.hpp"
+#include "merge/plan.hpp"
+#include "pipeline/sim_pipeline.hpp"
+#include "synth/fields.hpp"
+
+namespace msc {
+namespace {
+
+std::string tmpPath(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+std::vector<io::Bytes> sampleBlocks() {
+  pipeline::PipelineConfig cfg;
+  cfg.domain = Domain{{6, 7, 5}};
+  cfg.source.field = synth::noise(21);
+  cfg.nblocks = 2;
+  cfg.plan = MergePlan::fullMerge(2);
+  std::vector<io::Bytes> blocks = pipeline::runSimPipeline(cfg).outputs;
+  blocks.push_back({});  // a "null write" contribution
+  return blocks;
+}
+
+io::Bytes readAll(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(f.good());
+  const std::streamsize n = f.tellg();
+  f.seekg(0);
+  io::Bytes b(static_cast<std::size_t>(n));
+  f.read(reinterpret_cast<char*>(b.data()), n);
+  return b;
+}
+
+void writeAll(const std::string& path, const io::Bytes& b) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(reinterpret_cast<const char*>(b.data()),
+          static_cast<std::streamsize>(b.size()));
+  ASSERT_TRUE(f.good());
+}
+
+TEST(ComplexFileCorrupt, EveryTruncationThrows) {
+  const std::string good = tmpPath("msc_cfc_trunc_good.bin");
+  const std::string bad = tmpPath("msc_cfc_trunc_bad.bin");
+  io::writeComplexFile(good, sampleBlocks());
+  const io::Bytes full = readAll(good);
+  ASSERT_GT(full.size(), 100u);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const io::Bytes cut(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(len));
+    writeAll(bad, cut);
+    EXPECT_THROW(io::readComplexFile(bad), std::runtime_error)
+        << "prefix of " << len << " bytes";
+    EXPECT_THROW(io::readComplexFileIndex(bad), std::runtime_error)
+        << "prefix of " << len << " bytes";
+  }
+  EXPECT_NO_THROW(io::readComplexFile(good));
+  std::remove(good.c_str());
+  std::remove(bad.c_str());
+}
+
+TEST(ComplexFileCorrupt, EverySingleByteFlipIsDetected) {
+  const std::string good = tmpPath("msc_cfc_flip_good.bin");
+  const std::string bad = tmpPath("msc_cfc_flip_bad.bin");
+  io::writeComplexFile(good, sampleBlocks());
+  const io::Bytes full = readAll(good);
+  // Stronger than the wire-format guarantee: a flip anywhere — block
+  // payload, index entry, count, footer checksum, version, magic —
+  // must be caught by a checksum or a bounds check, never returned as
+  // data.
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    io::Bytes flipped = full;
+    flipped[i] =
+        static_cast<std::byte>(static_cast<unsigned char>(flipped[i]) ^ 0xFFu);
+    writeAll(bad, flipped);
+    EXPECT_THROW(io::readComplexFile(bad), std::runtime_error)
+        << "flip at byte " << i << " of " << full.size();
+  }
+  std::remove(good.c_str());
+  std::remove(bad.c_str());
+}
+
+TEST(ComplexFileCorrupt, BadMagicAndBadVersionRejected) {
+  const std::string path = tmpPath("msc_cfc_magic.bin");
+  io::writeComplexFile(path, sampleBlocks());
+  io::Bytes full = readAll(path);
+  ASSERT_GE(full.size(), 8u);
+  {
+    io::Bytes bad = full;
+    bad[bad.size() - 1] = std::byte{0x00};  // high byte of the magic
+    writeAll(path, bad);
+    EXPECT_THROW(io::readComplexFileIndex(path), std::runtime_error);
+  }
+  {
+    io::Bytes bad = full;
+    bad[bad.size() - 8] = std::byte{0x7F};  // low byte of the version
+    writeAll(path, bad);
+    EXPECT_THROW(io::readComplexFileIndex(path), std::runtime_error);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ComplexFileCorrupt, HostileBlockCountRejectedWithoutAllocating) {
+  // Hand-build a tail claiming ~2^56 index entries in a tiny file:
+  // the count gate must reject it before any allocation or seek math.
+  const std::string path = tmpPath("msc_cfc_hostile_n.bin");
+  io::Bytes buf(64, std::byte{0x5A});
+  const std::uint64_t n = std::uint64_t{1} << 56;
+  const std::uint64_t fsum = 0;  // never reached
+  const std::uint32_t version = 2;
+  const std::uint32_t magic = 0x4653534Du;
+  std::size_t o = buf.size() - 24;
+  std::memcpy(buf.data() + o, &n, 8);
+  std::memcpy(buf.data() + o + 8, &fsum, 8);
+  std::memcpy(buf.data() + o + 16, &version, 4);
+  std::memcpy(buf.data() + o + 20, &magic, 4);
+  writeAll(path, buf);
+  try {
+    io::readComplexFileIndex(path);
+    FAIL() << "expected hostile count to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("hostile block count"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ComplexFileCorrupt, OutOfRangeExtentRejected) {
+  // A footer that checksums correctly but whose one entry points past
+  // the data region: the extent check must fire before any payload
+  // read. Built with the real checksum so we get past the footer gate.
+  const std::string path = tmpPath("msc_cfc_extent.bin");
+  io::Bytes buf(16, std::byte{0x5A});  // 16 bytes of "data"
+  const std::uint64_t offset = 0, size = std::uint64_t{1} << 40, block_sum = 0;
+  const std::uint64_t n = 1;
+  io::Bytes index(24 + 8);
+  std::memcpy(index.data(), &offset, 8);
+  std::memcpy(index.data() + 8, &size, 8);
+  std::memcpy(index.data() + 16, &block_sum, 8);
+  std::memcpy(index.data() + 24, &n, 8);
+  const std::uint64_t fsum = integrity::checksum64(index.data(), index.size());
+  const std::uint32_t version = 2;
+  const std::uint32_t magic = 0x4653534Du;
+  buf.insert(buf.end(), index.begin(), index.begin() + 24);
+  const auto append = [&buf](const void* p, std::size_t k) {
+    const auto* bp = static_cast<const std::byte*>(p);
+    buf.insert(buf.end(), bp, bp + k);
+  };
+  append(&n, 8);
+  append(&fsum, 8);
+  append(&version, 4);
+  append(&magic, 4);
+  writeAll(path, buf);
+  try {
+    io::readComplexFileIndex(path);
+    FAIL() << "expected out-of-range extent to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("extent out of range"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ComplexFileCorrupt, ErrorsNamePathAndReason) {
+  const std::string path = tmpPath("msc_cfc_reason.bin");
+  io::writeComplexFile(path, sampleBlocks());
+  io::Bytes full = readAll(path);
+  writeAll(path, io::Bytes(full.begin(), full.begin() + 10));
+  try {
+    io::readComplexFile(path);
+    FAIL() << "expected truncation to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace msc

@@ -108,8 +108,10 @@ TEST(Injector, EveryFaultKindFires) {
     fault::Injector inj(1, opts);
     // Duplicates are a send-side fault; the same slot on a receive op
     // degrades to a latency fault, never a double-delivery.
-    EXPECT_TRUE(fault::applyFault(&inj, 0, fault::OpClass::kSend, nullptr));
-    EXPECT_FALSE(fault::applyFault(&inj, 0, fault::OpClass::kRecv, nullptr));
+    EXPECT_EQ(fault::applyFault(&inj, 0, fault::OpClass::kSend, nullptr),
+              fault::FaultKind::kDuplicate);
+    EXPECT_NE(fault::applyFault(&inj, 0, fault::OpClass::kRecv, nullptr),
+              fault::FaultKind::kDuplicate);
     EXPECT_GT(inj.fired(fault::FaultKind::kDuplicate), 0);
   }
   {
@@ -119,7 +121,8 @@ TEST(Injector, EveryFaultKindFires) {
     opts.crash_rate = opts.duplicate_rate = opts.stall_rate = 0.0;
     opts.delay_ms = 0.1;
     fault::Injector inj(1, opts);
-    EXPECT_FALSE(fault::applyFault(&inj, 0, fault::OpClass::kSend, nullptr));
+    EXPECT_EQ(fault::applyFault(&inj, 0, fault::OpClass::kSend, nullptr),
+              fault::FaultKind::kDelay);
     EXPECT_EQ(inj.fired(fault::FaultKind::kDelay), 1);
   }
   {
@@ -129,7 +132,8 @@ TEST(Injector, EveryFaultKindFires) {
     opts.crash_rate = opts.delay_rate = opts.duplicate_rate = 0.0;
     opts.stall_ms = 0.1;
     fault::Injector inj(1, opts);
-    EXPECT_FALSE(fault::applyFault(&inj, 0, fault::OpClass::kRecv, nullptr));
+    EXPECT_EQ(fault::applyFault(&inj, 0, fault::OpClass::kRecv, nullptr),
+              fault::FaultKind::kStall);
     EXPECT_EQ(inj.fired(fault::FaultKind::kStall), 1);
   }
 }
@@ -153,7 +157,8 @@ TEST(Injector, CrashCapIsPerRank) {
 }
 
 TEST(Injector, NullInjectorIsANoOp) {
-  EXPECT_FALSE(fault::applyFault(nullptr, 0, fault::OpClass::kSend, nullptr));
+  EXPECT_EQ(fault::applyFault(nullptr, 0, fault::OpClass::kSend, nullptr),
+            fault::FaultKind::kNone);
 }
 
 // ------------------------------------------------------------- checkpoints
@@ -279,6 +284,42 @@ TEST(PipelineConfigValidation, RejectsBadShapesAndKnobs) {
     c.fault.recovery = fault::RecoveryMode::kRespawn;
     c.fault.max_respawns_per_rank = 0;
   });
+  expectRejected([](pipeline::PipelineConfig& c) {
+    c.fault.corruption_retry_budget = -1;
+  });
+  expectRejected([](pipeline::PipelineConfig& c) {
+    c.fault.corruption_retry_budget = 1025;
+  });
+}
+
+TEST(PipelineConfigValidation, CorruptionRatesRequireIntegrity) {
+  // Injecting corruption with every detector off would be a run whose
+  // only possible outcomes are silent wrong answers — reject it
+  // fail-fast instead of letting the matrix "pass" by luck.
+  fault::InjectorOptions fopts;
+  fopts.corrupt_payload_rate = 0.05;
+  fault::Injector inj(4, fopts);
+  pipeline::PipelineConfig cfg = chaosConfig();
+  cfg.fault.injector = &inj;
+  cfg.fault.recovery = fault::RecoveryMode::kRespawn;
+  cfg.integrity = false;
+  try {
+    pipeline::validatePipelineConfig(cfg);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("MSC_INTEGRITY"), std::string::npos)
+        << e.what();
+  }
+  cfg.integrity = true;
+  EXPECT_NO_THROW(pipeline::validatePipelineConfig(cfg));
+
+  // Each storage-corruption kind alone trips the same gate.
+  fault::InjectorOptions sopts;
+  sopts.truncate_spill_rate = 0.05;
+  fault::Injector sinj(4, sopts);
+  cfg.integrity = false;
+  cfg.fault.injector = &sinj;
+  EXPECT_THROW(pipeline::validatePipelineConfig(cfg), std::invalid_argument);
 }
 
 TEST(PipelineConfigValidation, InjectorWithRecoveryOffRequiresAnAuditor) {
@@ -324,7 +365,8 @@ class EnvOverrideTest : public ::testing::Test {
   void TearDown() override {
     for (const char* v :
          {"MSC_BLOCK_TIMEOUT", "MSC_RECV_DEADLINE", "MSC_BACKOFF_INITIAL_MS",
-          "MSC_BACKOFF_MAX_MS", "MSC_MAX_ROUND_ATTEMPTS"})
+          "MSC_BACKOFF_MAX_MS", "MSC_MAX_ROUND_ATTEMPTS", "MSC_INTEGRITY",
+          "MSC_CORRUPTION_RETRY_BUDGET"})
       ::unsetenv(v);
   }
 };
@@ -369,6 +411,36 @@ TEST_F(EnvOverrideTest, OverriddenValuesAreStillValidated) {
   ::setenv("MSC_BLOCK_TIMEOUT", "-5", 1);
   pipeline::PipelineConfig cfg = chaosConfig();
   EXPECT_THROW(pipeline::runThreadedPipeline(cfg), std::invalid_argument);
+}
+
+TEST_F(EnvOverrideTest, IntegrityKnobsOverrideTheConfig) {
+  ::setenv("MSC_INTEGRITY", "1", 1);
+  ::setenv("MSC_CORRUPTION_RETRY_BUDGET", "3", 1);
+  const pipeline::PipelineConfig out = pipeline::withEnvOverrides(chaosConfig());
+  EXPECT_TRUE(out.integrity);
+  EXPECT_EQ(out.fault.corruption_retry_budget, 3);
+  ::setenv("MSC_INTEGRITY", "0", 1);
+  pipeline::PipelineConfig cfg = chaosConfig();
+  cfg.integrity = true;
+  EXPECT_FALSE(pipeline::withEnvOverrides(cfg).integrity);
+}
+
+TEST_F(EnvOverrideTest, BadIntegrityValuesFailFast) {
+  ::setenv("MSC_CORRUPTION_RETRY_BUDGET", "many", 1);
+  try {
+    pipeline::withEnvOverrides(chaosConfig());
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("MSC_CORRUPTION_RETRY_BUDGET"),
+              std::string::npos)
+        << e.what();
+  }
+  ::unsetenv("MSC_CORRUPTION_RETRY_BUDGET");
+  // An out-of-range budget from the environment is rejected by the
+  // same validation as a programmatic one.
+  ::setenv("MSC_CORRUPTION_RETRY_BUDGET", "9999", 1);
+  const pipeline::PipelineConfig out = pipeline::withEnvOverrides(chaosConfig());
+  EXPECT_THROW(pipeline::validatePipelineConfig(out), std::invalid_argument);
 }
 
 // ----------------------------------------------------------- deadline recv

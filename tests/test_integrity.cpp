@@ -1,0 +1,566 @@
+/// msc::integrity end-to-end tests: checksum/trailer/container
+/// round-trips, the corruption fault kinds, detect-and-heal in the
+/// comm layer and checkpoint store, and a seeded corruption chaos
+/// matrix through both recovery modes that must reproduce the
+/// fault-free bytes exactly.
+///
+/// Several tests here are detection *self-checks*: they corrupt bytes
+/// on purpose and require the detector to fire. A detector that can
+/// never fail is indistinguishable from no detector — which is the
+/// silent-data-corruption failure mode this subsystem exists to
+/// prevent. The converse tests (corruption with integrity OFF flows
+/// through undetected) pin the baseline threat: the checks are doing
+/// the work, not some accident of the formats.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/checkpoint.hpp"
+#include "fault/inject.hpp"
+#include "fault/recovery.hpp"
+#include "integrity/integrity.hpp"
+#include "io/pack.hpp"
+#include "merge/plan.hpp"
+#include "par/comm.hpp"
+#include "pipeline/threaded_pipeline.hpp"
+#include "synth/fields.hpp"
+
+namespace msc {
+namespace {
+
+io::Bytes patternBytes(std::size_t n, unsigned seed) {
+  io::Bytes b(n);
+  std::uint64_t x = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    x = integrity::mix64(x);
+    b[i] = static_cast<std::byte>(x & 0xFF);
+  }
+  return b;
+}
+
+std::string freshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// ---------------------------------------------------------------------------
+// Checksum, wire trailer, container
+
+TEST(Checksum, DeterministicAndBitSensitive) {
+  const io::Bytes a = patternBytes(777, 1);
+  EXPECT_EQ(integrity::checksum64(a.data(), a.size()),
+            integrity::checksum64(a.data(), a.size()));
+  for (std::size_t i : {std::size_t{0}, a.size() / 2, a.size() - 1}) {
+    io::Bytes b = a;
+    b[i] = b[i] ^ std::byte{0x01};  // a single flipped bit must avalanche
+    EXPECT_NE(integrity::checksum64(a.data(), a.size()),
+              integrity::checksum64(b.data(), b.size()));
+  }
+}
+
+TEST(Checksum, LengthTaggedTail) {
+  // Two buffers differing only by trailing zero bytes must hash
+  // differently — exactly the torn-write shape a plain chained hash
+  // over zero-padded lanes would miss.
+  const io::Bytes a(16, std::byte{0x41});
+  io::Bytes b = a;
+  b.push_back(std::byte{0x00});
+  EXPECT_NE(integrity::checksum64(a.data(), a.size()),
+            integrity::checksum64(b.data(), b.size()));
+  EXPECT_NE(integrity::checksum64(a.data(), 16), integrity::checksum64(a.data(), 15));
+}
+
+TEST(WireTrailer, RoundTripAndFlipDetection) {
+  const io::Bytes original = patternBytes(200, 2);
+  io::Bytes framed = original;
+  integrity::appendTrailer(framed);
+  ASSERT_EQ(framed.size(), original.size() + integrity::kWireTrailerBytes);
+
+  io::Bytes ok = framed;
+  EXPECT_TRUE(integrity::verifyAndStripTrailer(ok));
+  EXPECT_EQ(ok, original);
+
+  // Self-check sweep: flipping any load-bearing byte must fail
+  // verification; the 6 reserved trailer bytes are the only slack,
+  // and a flip there must still deliver the exact original payload.
+  int detected = 0;
+  for (std::size_t i = 0; i < framed.size(); ++i) {
+    io::Bytes bad = framed;
+    bad[i] = bad[i] ^ std::byte{0xFF};
+    if (integrity::verifyAndStripTrailer(bad)) {
+      EXPECT_GE(i, original.size() + 9) << "flip at " << i << " not detected";
+      EXPECT_LT(i, original.size() + 15) << "flip at " << i << " not detected";
+      EXPECT_EQ(bad, original);
+    } else {
+      ++detected;
+    }
+  }
+  EXPECT_GE(detected, static_cast<int>(original.size() + 10));
+
+  io::Bytes tiny(integrity::kWireTrailerBytes - 1);
+  EXPECT_FALSE(integrity::verifyAndStripTrailer(tiny));
+}
+
+TEST(Container, RoundTripAndEveryFlipThrows) {
+  const io::Bytes payload = patternBytes(133, 3);
+  const std::vector<std::byte> wrapped =
+      integrity::wrapContainer(payload.data(), payload.size());
+  ASSERT_EQ(wrapped.size(), payload.size() + integrity::kContainerHeaderBytes);
+  EXPECT_TRUE(integrity::containerLooksValid(wrapped.data(), wrapped.size()));
+  EXPECT_EQ(integrity::unwrapContainer(wrapped.data(), wrapped.size(), "test"), payload);
+
+  // Every header byte is load-bearing (magic, version, length,
+  // checksum) and the payload is checksummed, so EVERY flip throws.
+  for (std::size_t i = 0; i < wrapped.size(); ++i) {
+    std::vector<std::byte> bad = wrapped;
+    bad[i] = bad[i] ^ std::byte{0xFF};
+    EXPECT_FALSE(integrity::containerLooksValid(bad.data(), bad.size())) << "byte " << i;
+    EXPECT_THROW(integrity::unwrapContainer(bad.data(), bad.size(), "test"),
+                 integrity::IntegrityError)
+        << "byte " << i;
+  }
+  // And every truncation (the torn write).
+  for (std::size_t len = 0; len < wrapped.size(); ++len) {
+    EXPECT_FALSE(integrity::containerLooksValid(wrapped.data(), len));
+    EXPECT_THROW(integrity::unwrapContainer(wrapped.data(), len, "test"),
+                 integrity::IntegrityError)
+        << "prefix " << len;
+  }
+}
+
+TEST(FlipOneBit, FlipsExactlyOneDeterministicBit) {
+  const io::Bytes zero(64, std::byte{0});
+  io::Bytes a = zero;
+  integrity::flipOneBit(a.data(), a.size(), 42);
+  int ones = 0;
+  for (const std::byte b : a) ones += std::popcount(static_cast<unsigned char>(b));
+  EXPECT_EQ(ones, 1);
+  io::Bytes b = zero;
+  integrity::flipOneBit(b.data(), b.size(), 42);
+  EXPECT_EQ(a, b);  // same salt, same bit
+  integrity::flipOneBit(b.data(), b.size(), 42);
+  EXPECT_EQ(b, zero);  // flipping twice restores
+  io::Bytes empty;
+  integrity::flipOneBit(empty.data(), empty.size(), 42);  // must not fault
+}
+
+TEST(Monitor, PerRankTallies) {
+  integrity::Monitor mon(3);
+  mon.noteVerified(0);
+  mon.noteVerified(2);
+  mon.noteVerified(2);
+  mon.noteFailed(1);
+  mon.noteHealed(1);
+  EXPECT_EQ(mon.verified(0), 1);
+  EXPECT_EQ(mon.verified(2), 2);
+  EXPECT_EQ(mon.failed(1), 1);
+  EXPECT_EQ(mon.verifiedTotal(), 3);
+  EXPECT_EQ(mon.failedTotal(), 1);
+  EXPECT_EQ(mon.healedTotal(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Injector: the corruption kinds
+
+TEST(CorruptInject, NamesRoundTrip) {
+  for (int k = 1; k < fault::kNumFaultKinds; ++k) {
+    const auto kind = static_cast<fault::FaultKind>(k);
+    EXPECT_EQ(fault::faultKindFromName(fault::faultKindName(kind)), kind);
+  }
+  EXPECT_EQ(fault::faultKindFromName("bitrot"), fault::FaultKind::kNone);
+  EXPECT_EQ(fault::faultKindFromName(nullptr), fault::FaultKind::kNone);
+}
+
+TEST(CorruptInject, DefaultRatesPreserveLegacySchedules) {
+  // The corruption bands sit AFTER the legacy bands in the [0,1)
+  // partition, so raising corruption rates from their 0 default may
+  // add faults to previously-quiet slots but must never change a slot
+  // where a legacy kind already fired.
+  fault::InjectorOptions legacy;
+  legacy.seed = 7;
+  fault::InjectorOptions raised = legacy;
+  raised.corrupt_payload_rate = 0.2;
+  raised.corrupt_checkpoint_rate = 0.2;
+  raised.truncate_spill_rate = 0.2;
+  const fault::Injector a(2, legacy), b(2, raised);
+  int corrupt_fired = 0;
+  for (int rank = 0; rank < 2; ++rank)
+    for (std::uint64_t op = 0; op < 4000; ++op)
+      for (const fault::OpClass cls : {fault::OpClass::kSend, fault::OpClass::kRecv}) {
+        const fault::FaultKind ka = a.decide(rank, op, cls);
+        const fault::FaultKind kb = b.decide(rank, op, cls);
+        if (ka != fault::FaultKind::kNone) {
+          EXPECT_EQ(ka, kb);
+        }
+        // The legacy injector never emits a corruption kind.
+        EXPECT_LT(static_cast<int>(ka),
+                  static_cast<int>(fault::FaultKind::kCorruptPayload));
+        if (kb >= fault::FaultKind::kCorruptPayload) ++corrupt_fired;
+      }
+  EXPECT_GT(corrupt_fired, 0);
+}
+
+TEST(CorruptInject, OpClassDegradations) {
+  fault::InjectorOptions fo;
+  fo.seed = 13;
+  fo.crash_rate = 0.1;
+  fo.delay_rate = 0.1;
+  fo.duplicate_rate = 0.1;
+  fo.stall_rate = 0.1;
+  fo.corrupt_payload_rate = 0.1;
+  fo.corrupt_checkpoint_rate = 0.1;
+  fo.truncate_spill_rate = 0.1;
+  const fault::Injector inj(1, fo);
+  int payload_on_send = 0, ckpt_corrupt = 0, ckpt_truncate = 0;
+  for (std::uint64_t op = 0; op < 4000; ++op) {
+    // A receive slot can neither duplicate nor corrupt-in-transit.
+    const fault::FaultKind kr = inj.decide(0, op, fault::OpClass::kRecv);
+    EXPECT_NE(kr, fault::FaultKind::kDuplicate);
+    EXPECT_NE(kr, fault::FaultKind::kCorruptPayload);
+    EXPECT_LT(static_cast<int>(kr), static_cast<int>(fault::FaultKind::kCorruptCheckpoint));
+    // A checkpoint op admits only the storage-corruption kinds.
+    const fault::FaultKind kc = inj.decide(0, op, fault::OpClass::kCheckpoint);
+    EXPECT_TRUE(kc == fault::FaultKind::kNone ||
+                kc == fault::FaultKind::kCorruptCheckpoint ||
+                kc == fault::FaultKind::kTruncateSpill)
+        << faultKindName(kc);
+    if (kc == fault::FaultKind::kCorruptCheckpoint) ++ckpt_corrupt;
+    if (kc == fault::FaultKind::kTruncateSpill) ++ckpt_truncate;
+    // Wire corruption only arms on the sender.
+    if (inj.decide(0, op, fault::OpClass::kSend) == fault::FaultKind::kCorruptPayload)
+      ++payload_on_send;
+  }
+  EXPECT_GT(payload_on_send, 0);
+  EXPECT_GT(ckpt_corrupt, 0);
+  EXPECT_GT(ckpt_truncate, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Comm layer: checksummed framing
+
+TEST(CommIntegrity, CleanTrafficVerifiesAndIsByteExact) {
+  integrity::Monitor mon(2);
+  par::Runtime::RunOptions opts;
+  opts.integrity = &mon;
+  std::atomic<bool> intact{false};
+  par::Runtime::run(2, [&](par::Comm& comm) {
+    if (comm.rank() == 0) {
+      par::Bytes msg(300);
+      for (std::size_t i = 0; i < msg.size(); ++i)
+        msg[i] = static_cast<std::byte>(i & 0xFF);
+      comm.send(1, 7, std::move(msg));
+    } else {
+      const par::Bytes got = comm.recv(0, 7);
+      bool same = got.size() == 300;
+      for (std::size_t i = 0; same && i < got.size(); ++i)
+        same = got[i] == static_cast<std::byte>(i & 0xFF);
+      intact = same;
+    }
+  }, nullptr, nullptr, nullptr, &opts);
+  EXPECT_TRUE(intact);
+  EXPECT_GE(mon.verifiedTotal(), 1);
+  EXPECT_EQ(mon.failedTotal(), 0);
+}
+
+TEST(CommIntegrity, CorruptFrameDroppedInsideTryRecvDeadline) {
+  integrity::Monitor mon(2);
+  par::Runtime::RunOptions opts;
+  opts.integrity = &mon;
+  // A one-bit transit flip on every outgoing frame: the checksum
+  // already covers these bytes, so the receiver must detect and drop.
+  opts.transit_fault = [](par::Bytes& b) {
+    if (!b.empty()) b[0] = b[0] ^ std::byte{0x01};
+  };
+  std::atomic<bool> timed_out{false};
+  par::Runtime::run(2, [&](par::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, par::Bytes(64, std::byte{0x2A}));
+    } else {
+      const auto got = comm.tryRecv(0, 7, {0.3, 0.2, 2.0});
+      timed_out = !got.has_value();
+    }
+  }, nullptr, nullptr, nullptr, &opts);
+  EXPECT_TRUE(timed_out) << "corrupt frame must be dropped, not delivered";
+  EXPECT_EQ(mon.failedTotal(), 1);
+  EXPECT_EQ(mon.verifiedTotal(), 0);
+}
+
+TEST(CommIntegrity, CorruptFrameOnBlockingRecvThrowsStructured) {
+  // A plain recv has no deadline loop to re-ask under, so detection
+  // must surface as a structured IntegrityError — never a hang.
+  integrity::Monitor mon(2);
+  par::Runtime::RunOptions opts;
+  opts.integrity = &mon;
+  opts.transit_fault = [](par::Bytes& b) {
+    if (!b.empty()) b[0] = b[0] ^ std::byte{0x01};
+  };
+  EXPECT_THROW(
+      par::Runtime::run(2, [&](par::Comm& comm) {
+        if (comm.rank() == 0)
+          comm.send(1, 7, par::Bytes(64, std::byte{0x2A}));
+        else
+          comm.recv(0, 7);
+      }, nullptr, nullptr, nullptr, &opts),
+      integrity::IntegrityError);
+  EXPECT_EQ(mon.failedTotal(), 1);
+}
+
+TEST(CommIntegrity, WithoutMonitorCorruptionFlowsThroughSilently) {
+  // The SDC baseline: the same transit flip with checksummed framing
+  // OFF delivers garbage as if it were data. This is the documented
+  // threat, and the proof that the detector (not luck) is load-bearing.
+  par::Runtime::RunOptions opts;
+  opts.transit_fault = [](par::Bytes& b) {
+    if (!b.empty()) b[0] = b[0] ^ std::byte{0x01};
+  };
+  std::atomic<bool> delivered{false}, corrupted{false};
+  par::Runtime::run(2, [&](par::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, par::Bytes(64, std::byte{0x2A}));
+    } else {
+      const par::Bytes got = comm.recv(0, 7);
+      delivered = got.size() == 64;
+      corrupted = !got.empty() && got[0] != std::byte{0x2A};
+    }
+  }, nullptr, nullptr, nullptr, &opts);
+  EXPECT_TRUE(delivered);
+  EXPECT_TRUE(corrupted);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint store: detect, heal, and the unchecked baseline
+
+fault::InjectorOptions onlyRate(double fault::InjectorOptions::* field, double rate) {
+  fault::InjectorOptions fo;
+  fo.seed = 5;
+  fo.crash_rate = fo.delay_rate = fo.duplicate_rate = fo.stall_rate = 0.0;
+  fo.*field = rate;
+  return fo;
+}
+
+TEST(CheckpointIntegrity, RoundTripVerifies) {
+  integrity::Monitor mon(1);
+  fault::CheckpointStore store;
+  store.configureIntegrity({true, nullptr, &mon, nullptr});
+  const io::Bytes payload = patternBytes(500, 9);
+  store.put(1, 4, payload);
+  const auto got = store.get(1, 4);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+  EXPECT_GE(mon.verifiedTotal(), 1);
+  EXPECT_EQ(mon.failedTotal(), 0);
+}
+
+TEST(CheckpointIntegrity, DramFlipHealsFromDisk) {
+  const std::string dir = freshDir("msc_int_ckpt_heal");
+  fault::Injector inj(
+      1, onlyRate(&fault::InjectorOptions::corrupt_checkpoint_rate, 1.0));
+  integrity::Monitor mon(1);
+  {
+    fault::CheckpointStore store(dir);
+    store.configureIntegrity({true, &inj, &mon, nullptr});
+    const io::Bytes payload = patternBytes(500, 10);
+    store.put(2, 3, payload);  // fires kCorruptCheckpoint: memory rots, spill good
+    const auto got = store.get(2, 3);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, payload) << "healed bytes must be the original bytes";
+    const auto st = store.stats();
+    EXPECT_EQ(st.corrupt_detected, 1);
+    EXPECT_EQ(st.healed_from_disk, 1);
+    EXPECT_EQ(mon.failedTotal(), 1);
+    EXPECT_EQ(mon.healedTotal(), 1);
+    // The healed in-memory entry is good now: no second detection.
+    const auto again = store.get(2, 3);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(*again, payload);
+    EXPECT_EQ(store.stats().corrupt_detected, 1);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointIntegrity, UnhealableCorruptionReadsAsMissing) {
+  // No spill dir: the rotten in-memory copy is the only copy, so the
+  // entry must vanish (nullopt, like a missing checkpoint) — the
+  // caller's missing-checkpoint recovery doubles as the healing path.
+  fault::Injector inj(
+      1, onlyRate(&fault::InjectorOptions::corrupt_checkpoint_rate, 1.0));
+  integrity::Monitor mon(1);
+  fault::CheckpointStore store;
+  store.configureIntegrity({true, &inj, &mon, nullptr});
+  store.put(2, 3, patternBytes(500, 11));
+  EXPECT_FALSE(store.get(2, 3).has_value());
+  EXPECT_EQ(store.stats().corrupt_detected, 1);
+  EXPECT_EQ(store.stats().healed_from_disk, 0);
+  EXPECT_FALSE(store.get(2, 3).has_value());  // gone for good
+  EXPECT_FALSE(store.contains(2, 3));
+}
+
+TEST(CheckpointIntegrity, TornSpillDetectedByFreshStore) {
+  const std::string dir = freshDir("msc_int_ckpt_torn");
+  const io::Bytes payload = patternBytes(500, 12);
+  {
+    fault::Injector inj(
+        1, onlyRate(&fault::InjectorOptions::truncate_spill_rate, 1.0));
+    fault::CheckpointStore store(dir);
+    store.configureIntegrity({true, &inj, nullptr, nullptr});
+    store.put(1, 0, payload);  // fires kTruncateSpill: disk torn, memory good
+    const auto got = store.get(1, 0);
+    ASSERT_TRUE(got.has_value());  // in-memory copy is unaffected
+    EXPECT_EQ(*got, payload);
+  }
+  // The cross-process restart: a fresh store sees only the torn spill
+  // and must report it missing, never return short bytes.
+  integrity::Monitor mon(1);
+  fault::CheckpointStore restarted(dir);
+  restarted.configureIntegrity({true, nullptr, &mon, nullptr});
+  EXPECT_FALSE(restarted.get(1, 0).has_value());
+  EXPECT_EQ(restarted.stats().corrupt_detected, 1);
+  EXPECT_EQ(mon.failedTotal(), 1);
+
+  // Baseline: a checksum-less store trusts the torn file and returns
+  // truncated garbage as if it were the checkpoint.
+  fault::CheckpointStore unchecked(dir);
+  const auto garbage = unchecked.get(1, 0);
+  ASSERT_TRUE(garbage.has_value());
+  EXPECT_NE(*garbage, payload);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointIntegrity, DramFlipUndetectedWithoutChecksums) {
+  // Detector self-check, inverted: the same injected flip with
+  // checksums off is served back as valid data.
+  fault::Injector inj(
+      1, onlyRate(&fault::InjectorOptions::corrupt_checkpoint_rate, 1.0));
+  fault::CheckpointStore store;
+  store.configureIntegrity({false, &inj, nullptr, nullptr});
+  const io::Bytes payload = patternBytes(500, 13);
+  store.put(2, 3, payload);
+  const auto got = store.get(2, 3);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_NE(*got, payload);
+  EXPECT_EQ(store.stats().corrupt_detected, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline: zero-delta when clean, byte-identical recovery when not
+
+pipeline::PipelineConfig matrixBase() {
+  pipeline::PipelineConfig cfg;
+  cfg.domain = Domain{{8, 8, 8}};
+  cfg.source.field = synth::noise(11);
+  cfg.nblocks = 4;
+  cfg.nranks = 2;
+  cfg.plan = MergePlan::fullMerge(4);
+  return cfg;
+}
+
+TEST(PipelineIntegrity, ChecksummedCleanRunIsByteIdentical) {
+  const pipeline::ThreadedResult off = pipeline::runThreadedPipeline(matrixBase());
+  pipeline::PipelineConfig cfg = matrixBase();
+  cfg.integrity = true;
+  const pipeline::ThreadedResult on = pipeline::runThreadedPipeline(cfg);
+  EXPECT_EQ(on.outputs, off.outputs);
+  EXPECT_GT(on.integrity.frames_verified, 0);
+  EXPECT_EQ(on.integrity.frames_dropped, 0);
+  EXPECT_EQ(on.integrity.heals, 0);
+}
+
+struct MatrixTally {
+  int runs = 0;
+  int matched = 0;
+  int lost = 0;  ///< degrade-mode total loss (structured, not silent)
+  std::int64_t fired = 0;
+  std::int64_t dropped = 0;
+  std::int64_t heals = 0;
+};
+
+/// Run `seeds` x {respawn, degrade} with `proto`'s fault mix; every
+/// surviving run must reproduce the fault-free bytes exactly.
+MatrixTally runCorruptionMatrix(const fault::InjectorOptions& proto,
+                                fault::FaultKind kind, int seeds,
+                                const std::string& dir_stem) {
+  const pipeline::ThreadedResult golden = pipeline::runThreadedPipeline(matrixBase());
+  MatrixTally t;
+  for (const fault::RecoveryMode mode :
+       {fault::RecoveryMode::kRespawn, fault::RecoveryMode::kDegrade}) {
+    for (int s = 1; s <= seeds; ++s) {
+      fault::InjectorOptions fo = proto;
+      fo.seed = static_cast<std::uint64_t>(s);
+      fault::Injector inj(matrixBase().nranks, fo);
+      pipeline::PipelineConfig cfg = matrixBase();
+      cfg.integrity = true;
+      cfg.fault.injector = &inj;
+      cfg.fault.recovery = mode;
+      cfg.fault.recv_deadline_seconds = 0.5;
+      cfg.fault.max_round_attempts = 32;
+      cfg.fault.max_respawns_per_rank = fo.max_crashes_per_rank;
+      const std::string dir =
+          freshDir(dir_stem + "_" + std::to_string(s) + "_" +
+                   fault::recoveryModeName(mode));
+      cfg.fault.checkpoint_dir = dir;
+      ++t.runs;
+      try {
+        const pipeline::ThreadedResult r = pipeline::runThreadedPipeline(cfg);
+        EXPECT_EQ(r.outputs, golden.outputs)
+            << "seed " << s << " " << fault::recoveryModeName(mode)
+            << ": recovered bytes diverge from the fault-free run";
+        if (r.outputs == golden.outputs) ++t.matched;
+        t.dropped += r.integrity.frames_dropped;
+        t.heals += r.integrity.heals;
+      } catch (const fault::RecoveryError& e) {
+        // Degrade mode may lose every rank — allowed, but only as a
+        // structured total-loss error, never a hang or divergence.
+        EXPECT_NE(std::string(e.what()).find("no live ranks"), std::string::npos)
+            << e.what();
+        ++t.lost;
+      }
+      t.fired += inj.fired(kind);
+      std::filesystem::remove_all(dir);
+    }
+  }
+  EXPECT_EQ(t.matched + t.lost, t.runs);
+  EXPECT_GT(t.fired, 0) << "matrix never injected " << fault::faultKindName(kind)
+                        << " -- the sweep proved nothing";
+  return t;
+}
+
+TEST(PipelineIntegrity, PayloadCorruptionMatrixRecoversByteIdentical) {
+  fault::InjectorOptions fo;
+  fo.crash_rate = fo.delay_rate = fo.duplicate_rate = fo.stall_rate = 0.0;
+  fo.corrupt_payload_rate = 0.08;
+  const MatrixTally t = runCorruptionMatrix(fo, fault::FaultKind::kCorruptPayload, 30,
+                                            "msc_int_matrix_payload");
+  EXPECT_EQ(t.lost, 0);  // no crashes in the mix
+  EXPECT_GT(t.dropped, 0) << "no corrupt frame was ever detected";
+  EXPECT_GT(t.heals, 0) << "no corrupt frame was ever healed by re-request";
+}
+
+TEST(PipelineIntegrity, CheckpointCorruptionMatrixRecoversByteIdentical) {
+  // Crashes force restores, so the rotten checkpoint entries are
+  // actually read back (and healed from disk) during recovery.
+  fault::InjectorOptions fo;
+  fo.delay_rate = fo.duplicate_rate = fo.stall_rate = 0.0;
+  fo.crash_rate = 0.05;
+  fo.corrupt_checkpoint_rate = 0.1;
+  runCorruptionMatrix(fo, fault::FaultKind::kCorruptCheckpoint, 30,
+                      "msc_int_matrix_ckpt");
+}
+
+TEST(PipelineIntegrity, TruncatedSpillMatrixRecoversByteIdentical) {
+  fault::InjectorOptions fo;
+  fo.delay_rate = fo.duplicate_rate = fo.stall_rate = 0.0;
+  fo.crash_rate = 0.05;
+  fo.truncate_spill_rate = 0.1;
+  runCorruptionMatrix(fo, fault::FaultKind::kTruncateSpill, 30,
+                      "msc_int_matrix_spill");
+}
+
+}  // namespace
+}  // namespace msc

@@ -13,15 +13,30 @@
 ///   msc_chaos [--seeds N] [--first S] [--mode respawn|degrade|both]
 ///             [--size V] [--blocks B] [--ranks R] [--field NAME]
 ///             [--threshold T] [--crash-rate P] [--checkpoint-dir D]
-///             [--quiet]
+///             [--kinds K1,K2,...] [--quiet]
+///
+/// --kinds filters the fault mix to the named kinds (crash, delay,
+/// duplicate, stall, corrupt_payload, corrupt_checkpoint,
+/// truncate_spill); unlisted kinds get rate 0. Selecting any
+/// corruption kind turns integrity checking on (corruption without a
+/// detector is rejected by config validation) and, when no
+/// --checkpoint-dir is given, spills checkpoints to a temp directory
+/// so storage corruption has a durable medium to heal from. The
+/// report grows per-kind fired columns plus the integrity
+/// verified/detected/healed tallies.
 ///
 /// In degrade mode a seed can kill every rank; that run ends in a
 /// structured total-loss error (fault::RecoveryError), is reported as
 /// "lost", and does not fail the matrix — silent divergence and hangs
 /// do. Exit status: 0 when every surviving run matched the golden
 /// bytes, 1 otherwise.
+#include <unistd.h>
+
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -44,6 +59,7 @@ struct Options {
   float threshold = 0.0f;
   double crash_rate = 0.02;
   std::string checkpoint_dir;
+  std::string kinds;  // empty = the legacy mix (crash/delay/dup/stall)
   bool quiet = false;
 };
 
@@ -52,7 +68,7 @@ int usage(const char* argv0) {
             << " [--seeds N] [--first S] [--mode respawn|degrade|both]"
                " [--size V] [--blocks B] [--ranks R] [--field NAME]"
                " [--threshold T] [--crash-rate P] [--checkpoint-dir D]"
-               " [--quiet]\n";
+               " [--kinds K1,K2,...] [--quiet]\n";
   return 2;
 }
 
@@ -113,6 +129,10 @@ int main(int argc, char** argv) {
       o.crash_rate = std::atof(v);
     else if (arg == "--checkpoint-dir" && (v = value()))
       o.checkpoint_dir = v;
+    else if (arg == "--kinds" && (v = value()))
+      o.kinds = v;
+    else if (arg.rfind("--kinds=", 0) == 0)
+      o.kinds = arg.substr(8);
     else if (arg == "--quiet")
       o.quiet = true;
     else
@@ -122,6 +142,35 @@ int main(int argc, char** argv) {
     return usage(argv[0]);
 
   using namespace msc;
+
+  // Parse the --kinds filter once; unknown names are usage errors.
+  std::set<fault::FaultKind> selected;
+  if (!o.kinds.empty()) {
+    std::stringstream ss(o.kinds);
+    std::string name;
+    while (std::getline(ss, name, ',')) {
+      if (name.empty()) continue;
+      const fault::FaultKind k = fault::faultKindFromName(name.c_str());
+      if (k == fault::FaultKind::kNone) {
+        std::cerr << "msc_chaos: unknown fault kind: " << name << "\n";
+        return usage(argv[0]);
+      }
+      selected.insert(k);
+    }
+    if (selected.empty()) return usage(argv[0]);
+  }
+  const bool corruption_selected =
+      selected.count(fault::FaultKind::kCorruptPayload) ||
+      selected.count(fault::FaultKind::kCorruptCheckpoint) ||
+      selected.count(fault::FaultKind::kTruncateSpill);
+  if (corruption_selected && o.checkpoint_dir.empty()) {
+    // Storage corruption needs a durable medium to tear / heal from.
+    o.checkpoint_dir =
+        (std::filesystem::temp_directory_path() /
+         ("msc_chaos_ckpt_" + std::to_string(static_cast<long>(::getpid()))))
+            .string();
+  }
+
   pipeline::PipelineConfig base;
   base.domain = Domain{Vec3i{o.size, o.size, o.size}};
   base.source.field = fieldByName(o.field, base.domain, o.first_seed);
@@ -148,9 +197,26 @@ int main(int argc, char** argv) {
       fault::InjectorOptions fopts;
       fopts.seed = seed;
       fopts.crash_rate = o.crash_rate;
+      if (!selected.empty()) {
+        const auto rate = [&](fault::FaultKind k, double dflt) {
+          return selected.count(k) ? dflt : 0.0;
+        };
+        fopts.crash_rate = rate(fault::FaultKind::kCrash, o.crash_rate);
+        fopts.delay_rate = rate(fault::FaultKind::kDelay, fopts.delay_rate);
+        fopts.duplicate_rate =
+            rate(fault::FaultKind::kDuplicate, fopts.duplicate_rate);
+        fopts.stall_rate = rate(fault::FaultKind::kStall, fopts.stall_rate);
+        fopts.corrupt_payload_rate =
+            rate(fault::FaultKind::kCorruptPayload, 0.05);
+        fopts.corrupt_checkpoint_rate =
+            rate(fault::FaultKind::kCorruptCheckpoint, 0.05);
+        fopts.truncate_spill_rate =
+            rate(fault::FaultKind::kTruncateSpill, 0.05);
+      }
       fault::Injector injector(o.nranks, fopts);
 
       pipeline::PipelineConfig cfg = base;
+      cfg.integrity = corruption_selected;
       cfg.fault.injector = &injector;
       cfg.fault.recovery = mode;
       cfg.fault.recv_deadline_seconds = 2.0;
@@ -173,6 +239,15 @@ int main(int argc, char** argv) {
                     << " delay=" << injector.fired(fault::FaultKind::kDelay)
                     << " dup=" << injector.fired(fault::FaultKind::kDuplicate)
                     << " stall=" << injector.fired(fault::FaultKind::kStall)
+                    << " corrupt_payload="
+                    << injector.fired(fault::FaultKind::kCorruptPayload)
+                    << " corrupt_checkpoint="
+                    << injector.fired(fault::FaultKind::kCorruptCheckpoint)
+                    << " truncate_spill="
+                    << injector.fired(fault::FaultKind::kTruncateSpill)
+                    << ")  integrity(verified=" << r.integrity.frames_verified
+                    << " detected=" << r.integrity.frames_dropped
+                    << " healed=" << r.integrity.heals
                     << ")  respawns=" << rs.respawns
                     << " replays=" << rs.round_replays
                     << " reassigned=" << rs.reassigned_blocks

@@ -104,18 +104,22 @@ LAYERS = {
     # any dependency it grew would be dragged under core. Headers above
     # only forward-declare metrics::Registry; .cpp files include it.
     "metrics": set(),
+    # integrity is a leaf like audit/causal: par verifies its wire
+    # trailer inline, so any dependency it grew would be dragged under
+    # the runtime.
+    "integrity": set(),
     "merge": {"core", "decomp", "io", "metrics"},
     "synth": {"core"},
     "decomp": {"core"},
     "analysis": {"core"},
     "simnet": {"core", "obs", "causal"},
-    "par": {"obs", "audit", "causal"},
-    "io": {"core", "par"},
-    "fault": {"core", "io", "obs", "par"},
+    "par": {"obs", "audit", "causal", "integrity"},
+    "io": {"core", "par", "integrity"},
+    "fault": {"core", "io", "obs", "par", "integrity"},
     # pipeline sees audit directly since the watchdog knob moved into
     # PipelineConfig (block_timeout_seconds -> Auditor::setBlockTimeoutSeconds).
-    "pipeline": {"audit", "causal", "core", "decomp", "fault", "io", "merge", "metrics", "obs", "par", "simnet", "synth"},
-    "check": {"core", "synth", "decomp", "analysis", "fault", "io", "pipeline"},
+    "pipeline": {"audit", "causal", "core", "decomp", "fault", "integrity", "io", "merge", "metrics", "obs", "par", "simnet", "synth"},
+    "check": {"core", "synth", "decomp", "analysis", "fault", "integrity", "io", "pipeline"},
 }
 
 # Modules that must never appear in a given module's include closure is

@@ -103,6 +103,23 @@ for cfg in "${configs[@]}"; do
     failed+=("$cfg")
     continue
   fi
+  # The integrity label (silent-data-corruption detection + healing):
+  # checksummed framing, the corruption fault kinds, and the NACK
+  # re-request path add lock-order and lifetime surface to the comm
+  # layer and checkpoint store that only shows up under corruption
+  # load -- race it under TSan, bounds-check it under ASan.
+  echo "=== [$cfg] ctest -L integrity ==="
+  if (cd "$bdir" && \
+      TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+      ASAN_OPTIONS="detect_leaks=1" \
+      UBSAN_OPTIONS="print_stacktrace=1" \
+      ctest --output-on-failure -L integrity -j "$jobs"); then
+    echo "=== [$cfg] integrity OK ==="
+  else
+    echo "=== [$cfg] integrity TESTS FAILED ==="
+    failed+=("$cfg")
+    continue
+  fi
   # Same for the perf gate label: the self-check must prove the gate
   # can fail, and the work-counter cross-checks must stay exact, in
   # every sanitizer config (timing tolerance widened above).
