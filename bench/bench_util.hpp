@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -256,10 +257,13 @@ inline std::map<int, RoundPathBreakdown> roundPathBreakdown(
 /// paper's Tables 1-2 are built from). Shared by fig9/fig10. When a
 /// critical path is supplied (the drivers attach a causal::Recorder
 /// in --json mode), the object gains critical_path_seconds and each
-/// round gains its on-path compute/comm/wait split.
+/// round gains its on-path compute/comm/wait split. `extras`, when
+/// supplied, is invoked with the run object still open so callers
+/// (the scaling observatory) can append additional keys.
 inline void writeRunJson(JsonWriter& json, int procs, const char* plan,
                          const pipeline::SimResult& r, double efficiency,
-                         const causal::CriticalPath* cp = nullptr) {
+                         const causal::CriticalPath* cp = nullptr,
+                         const std::function<void(JsonWriter&)>& extras = {}) {
   json.beginObject();
   json.key("schema_version").value(kBenchSchemaVersion);
   json.key("procs").value(procs);
@@ -302,6 +306,7 @@ inline void writeRunJson(JsonWriter& json, int procs, const char* plan,
     json.endObject();
   }
   json.endArray();
+  if (extras) extras(json);
   json.endObject();
 }
 

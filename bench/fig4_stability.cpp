@@ -27,6 +27,14 @@ int main(int argc, char** argv) {
   const Domain domain{{side, side, side}};
   const auto field = synth::hydrogenLike(domain);
 
+  const std::string json_path = flags.getString("json");
+  std::FILE* jf = json_path.empty() ? nullptr : std::fopen(json_path.c_str(), "w");
+  if (!json_path.empty() && !jf)
+    std::fprintf(stderr, "warning: cannot open %s; json output disabled\n",
+                 json_path.c_str());
+  bench::JsonWriter json(jf);
+  if (jf) json.beginArray();
+
   bench::header("Figure 4: stability of the parallel MS complex under blocking");
   bench::note("hydrogen-like byte field, %d^3; 1%% persistence = 2.55 levels", side);
 
@@ -76,6 +84,34 @@ int main(int argc, char** argv) {
       if (nd.alive && nd.index == 3 && nd.value > feature_threshold)
         row.maxima.push_back(domain.coordOf(nd.addr));
     rows.push_back(std::move(row));
+  }
+
+  if (jf) {
+    const auto census = [&](const char* key, const analysis::Census& c) {
+      json.key(key).beginObject();
+      for (int d = 0; d < 4; ++d) {
+        char k[4] = {'n', static_cast<char>('0' + d), '\0'};
+        json.key(k).value(c.nodes[static_cast<std::size_t>(d)]);
+      }
+      json.key("arcs").value(c.arcs);
+      json.endObject();
+    };
+    for (const Row& r : rows) {
+      json.beginObject();
+      json.key("schema_version").value(bench::kBenchSchemaVersion);
+      json.key("side").value(side);
+      json.key("blocks").value(r.blocks);
+      census("full", r.full);
+      census("simplified", r.simplified);
+      json.key("feature_arcs").value(r.feature_arcs);
+      json.key("components").value(r.components);
+      json.key("cycles").value(r.cycles);
+      json.endObject();
+    }
+    json.endArray();
+    json.finish();
+    std::fclose(jf);
+    bench::note("json -> %s", json_path.c_str());
   }
 
   std::printf("%8s | %28s | %28s | %8s %6s %7s\n", "blocks", "full complex (n0/n1/n2/n3/arcs)",

@@ -15,6 +15,14 @@ int main(int argc, char** argv) {
   const int side = static_cast<int>(flags.getInt("side", 65));
   const auto complexities = flags.getIntList("complexities", {2, 4, 8, 16});
 
+  const std::string json_path = flags.getString("json");
+  std::FILE* jf = json_path.empty() ? nullptr : std::fopen(json_path.c_str(), "w");
+  if (!json_path.empty() && !jf)
+    std::fprintf(stderr, "warning: cannot open %s; json output disabled\n",
+                 json_path.c_str());
+  bench::JsonWriter json(jf);
+  if (jf) json.beginArray();
+
   bench::header("Figure 5: complex census vs feature count (fixed data size)");
   bench::note("sinusoid %d^3; serial computation, 0.05 persistence", side);
   std::printf("%12s %8s %8s %8s %8s %10s %12s %14s\n", "complexity", "minima", "1sad",
@@ -36,6 +44,26 @@ int main(int argc, char** argv) {
                 static_cast<long long>(cs.arcs),
                 static_cast<long long>(cs.geometry_cells),
                 static_cast<long long>(r.output_bytes));
+    if (jf) {
+      json.beginObject();
+      json.key("schema_version").value(bench::kBenchSchemaVersion);
+      json.key("side").value(side);
+      json.key("complexity").value(complexity);
+      json.key("minima").value(cs.nodes[0]);
+      json.key("saddles1").value(cs.nodes[1]);
+      json.key("saddles2").value(cs.nodes[2]);
+      json.key("maxima").value(cs.nodes[3]);
+      json.key("arcs").value(cs.arcs);
+      json.key("geometry_cells").value(cs.geometry_cells);
+      json.key("output_bytes").value(r.output_bytes);
+      json.endObject();
+    }
+  }
+  if (jf) {
+    json.endArray();
+    json.finish();
+    std::fclose(jf);
+    bench::note("json -> %s", json_path.c_str());
   }
   bench::note("expected: counts scale ~(complexity)^3; geometry per arc shrinks as");
   bench::note("features pack closer (shorter V-paths)");

@@ -25,6 +25,14 @@ int main(int argc, char** argv) {
   const float threshold = static_cast<float>(flags.getDouble("threshold", 0.05));
   const pipeline::SimModels models = bench::defaultModels(flags);
 
+  const std::string json_path = flags.getString("json");
+  std::FILE* jf = json_path.empty() ? nullptr : std::fopen(json_path.c_str(), "w");
+  if (!json_path.empty() && !jf)
+    std::fprintf(stderr, "warning: cannot open %s; json output disabled\n",
+                 json_path.c_str());
+  bench::JsonWriter json(jf);
+  if (jf) json.beginArray();
+
   bench::header("Figure 6: compute/merge time and output size vs P, size, complexity");
   bench::note("sinusoid family; merge plan [8,8]; times are reconstructed");
   bench::note("BG/P-model seconds (cpu_scale=%.1f); log-log slopes are the result",
@@ -43,15 +51,35 @@ int main(int argc, char** argv) {
         cfg.persistence_threshold = threshold;
         cfg.plan = MergePlan::partial({8, 8});
         const pipeline::SimResult r = runSimPipeline(cfg, models);
+        const std::int64_t nodes = r.node_counts[0] + r.node_counts[1] +
+                                   r.node_counts[2] + r.node_counts[3];
         std::printf("%12d %6d %6d %12.4f %12.4f %12lld %10lld %8lld\n", complexity,
                     size, p, r.times.compute, r.times.mergeTotal(),
                     static_cast<long long>(r.output_bytes),
-                    static_cast<long long>(r.node_counts[0] + r.node_counts[1] +
-                                           r.node_counts[2] + r.node_counts[3]),
+                    static_cast<long long>(nodes),
                     static_cast<long long>(r.arc_count));
+        if (jf) {
+          json.beginObject();
+          json.key("schema_version").value(bench::kBenchSchemaVersion);
+          json.key("complexity").value(complexity);
+          json.key("size").value(size);
+          json.key("procs").value(p);
+          json.key("compute_s").value(r.times.compute);
+          json.key("merge_s").value(r.times.mergeTotal());
+          json.key("output_bytes").value(r.output_bytes);
+          json.key("nodes").value(nodes);
+          json.key("arcs").value(r.arc_count);
+          json.endObject();
+        }
       }
     }
     std::printf("\n");
+  }
+  if (jf) {
+    json.endArray();
+    json.finish();
+    std::fclose(jf);
+    bench::note("json -> %s", json_path.c_str());
   }
   return 0;
 }

@@ -31,6 +31,11 @@
 #include "obs/summary.hpp"
 #include "pipeline/run_summary.hpp"
 #include "pipeline/threaded_pipeline.hpp"
+#include "prof/heartbeat.hpp"
+#include "prof/prof.hpp"
+
+#include <fstream>
+#include <iostream>
 
 using namespace msc;
 
@@ -47,11 +52,19 @@ struct Options {
   float persistence = 0.05f;
   std::vector<int> radices;  // empty = full merge
   bool no_merge = false;
+  bool premerge = false;
+  bool sharded = false;
   std::string algorithm = "lowerstar";
   std::string out;
   std::string trace_path;
   std::string journal_path;
   std::string metrics_path;
+  std::string profile_path;
+  double prof_hz = 997.0;
+  int prof_top = 10;
+  bool progress = false;
+  double progress_period = 1.0;
+  std::string progress_json_path;
   bool critpath = false;
   bool stats = false;
   bool summary = false;
@@ -90,11 +103,24 @@ Options parse(int argc, char** argv) {
     else if (const char* v = val("persistence")) o.persistence = static_cast<float>(std::atof(v));
     else if (const char* v = val("radices")) o.radices = parseIntList(v);
     else if (a == "--no-merge") o.no_merge = true;
+    else if (a == "--premerge") o.premerge = true;
+    else if (a == "--sharded") o.sharded = true;
     else if (const char* v = val("algorithm")) o.algorithm = v;
     else if (const char* v = val("out")) o.out = v;
     else if (const char* v = val("trace")) o.trace_path = v;
     else if (const char* v = val("journal")) o.journal_path = v;
     else if (const char* v = val("metrics")) o.metrics_path = v;
+    else if (const char* v = val("profile")) o.profile_path = v;
+    else if (const char* v = val("prof-hz")) o.prof_hz = std::atof(v);
+    else if (const char* v = val("prof-top")) o.prof_top = std::atoi(v);
+    else if (a == "--progress") o.progress = true;
+    else if (const char* v = val("progress")) {
+      o.progress = true;
+      o.progress_period = std::atof(v);
+    } else if (const char* v = val("progress-json")) {
+      o.progress = true;
+      o.progress_json_path = v;
+    }
     else if (a == "--critpath") o.critpath = true;
     else if (a == "--stats") o.stats = true;
     else if (a == "--summary") o.summary = true;
@@ -119,6 +145,9 @@ void usage() {
       "  --persistence=T      simplification threshold (default 0.05)\n"
       "  --radices=R1,R2,...  merge plan (default: full merge)\n"
       "  --no-merge           skip merging entirely (one output per block)\n"
+      "  --premerge           pre-merge reduce complexes before shipping\n"
+      "  --sharded            distribute the final merge round (skeleton\n"
+      "                       replay + owner-partitioned geometry)\n"
       "  --algorithm=A        lowerstar|sweep (default lowerstar)\n"
       "  --out=FILE           write the block+footer output container\n"
       "  --trace=FILE         write a Chrome trace-event JSON of the run\n"
@@ -131,7 +160,17 @@ void usage() {
       "  --stats              print the per-rank/per-stage summary table\n"
       "  --metrics=FILE       write a versioned JSON snapshot of the work and\n"
       "                       memory counters (see tools/msc_perfgate)\n"
-      "  --summary            print the combined time x work x memory table");
+      "  --summary            print the combined time x work x memory table\n"
+      "  --profile=FILE       attach the sampling profiler and write the\n"
+      "                       folded-stack output (flamegraph.pl syntax);\n"
+      "                       a top-N hot-span table prints to stdout\n"
+      "  --prof-hz=HZ         sampling rate (default 997)\n"
+      "  --prof-top=N         rows of the hot-span table (default 10)\n"
+      "  --progress[=SEC]     live heartbeat on stderr every SEC seconds\n"
+      "                       (default 1): per-rank stage/round, ETA,\n"
+      "                       peak memory and message-rate gauges\n"
+      "  --progress-json=FILE machine-readable heartbeat JSON stream\n"
+      "                       (one object per line; implies --progress)");
 }
 
 }  // namespace
@@ -165,6 +204,8 @@ int main(int argc, char** argv) {
                                  : MergePlan::partial(o.radices);
   cfg.algorithm = o.algorithm == "sweep" ? pipeline::GradientAlgorithm::kSweep
                                          : pipeline::GradientAlgorithm::kLowerStar;
+  cfg.premerge = o.premerge;
+  cfg.sharded_final = o.sharded;
   cfg.output_path = o.out;
 
   // Probe --metrics writability up front: a 20-minute run that fails at
@@ -180,15 +221,26 @@ int main(int argc, char** argv) {
     std::fclose(probe);
   }
 
+  const bool profiling = !o.profile_path.empty() || o.progress;
   std::unique_ptr<obs::Tracer> tracer;
-  if (!o.trace_path.empty() || o.stats || o.summary) {
+  // Profiling forces a tracer: obs spans are what mirror the pipeline
+  // stages onto the profiler's span stacks.
+  if (!o.trace_path.empty() || o.stats || o.summary || profiling) {
     tracer = std::make_unique<obs::Tracer>(o.ranks);
     cfg.tracer = tracer.get();
   }
   std::unique_ptr<metrics::Registry> registry;
-  if (!o.metrics_path.empty() || o.summary) {
+  // The heartbeat's memory/message-rate gauges come from the registry.
+  if (!o.metrics_path.empty() || o.summary || o.progress) {
     registry = std::make_unique<metrics::Registry>(o.ranks);
     cfg.metrics = registry.get();
+  }
+  std::unique_ptr<prof::Profiler> profiler;
+  if (profiling) {
+    prof::ProfilerOptions popts;
+    popts.hz = o.prof_hz;
+    profiler = std::make_unique<prof::Profiler>(o.ranks, popts);
+    cfg.profiler = profiler.get();
   }
   std::unique_ptr<causal::Recorder> recorder;
   if (!o.journal_path.empty() || o.critpath || !o.trace_path.empty()) {
@@ -201,7 +253,39 @@ int main(int argc, char** argv) {
               (long long)o.dims.x, (long long)o.dims.y, (long long)o.dims.z, o.blocks,
               o.ranks, cfg.plan.toString().c_str(), o.persistence, o.algorithm.c_str());
 
+  std::ofstream progress_json;
+  if (!o.progress_json_path.empty()) {
+    progress_json.open(o.progress_json_path);
+    if (!progress_json) {
+      std::fprintf(stderr, "cannot write progress json file %s\n",
+                   o.progress_json_path.c_str());
+      return 2;
+    }
+  }
+  std::unique_ptr<prof::Heartbeat> heartbeat;
+  if (o.progress) {
+    prof::HeartbeatOptions hopts;
+    hopts.period_s = o.progress_period;
+    hopts.text = &std::cerr;
+    if (progress_json.is_open()) hopts.json = &progress_json;
+    // Live span-latency digest: Tracer::events snapshots under the
+    // rank lock, so reading mid-run is safe.
+    hopts.extra = [&tracer]() {
+      return "  hottest spans so far:\n" +
+             obs::spanDurationTable(obs::spanDurationStats(*tracer), 5);
+    };
+    heartbeat = std::make_unique<prof::Heartbeat>(profiler.get(), registry.get(),
+                                                  hopts);
+  }
+
+  if (profiler) profiler->startSampler();
+  if (heartbeat) heartbeat->start();
   const pipeline::ThreadedResult r = pipeline::runThreadedPipeline(cfg);
+  if (heartbeat) {
+    heartbeat->stop();
+    heartbeat->beat();  // one final beat so short runs report at least once
+  }
+  if (profiler) profiler->stopSampler();
 
   std::printf("\nstages: read %.3fs  compute %.3fs  merge %.3fs  write %.3fs\n",
               r.times.read, r.times.compute, r.times.mergeTotal(), r.times.write);
@@ -220,6 +304,16 @@ int main(int argc, char** argv) {
 
   if (tracer && o.stats) {
     std::printf("\n%s", obs::summaryText(*tracer).c_str());
+  }
+  if (profiler && !o.profile_path.empty()) {
+    if (!profiler->writeFoldedFile(o.profile_path)) {
+      std::fprintf(stderr, "failed to write profile file %s\n", o.profile_path.c_str());
+      return 1;
+    }
+    std::printf("\n== sampling profile (%lld samples @ %.0f Hz) ==\n%s",
+                static_cast<long long>(profiler->sampleCount()), o.prof_hz,
+                profiler->topTable(o.prof_top).c_str());
+    std::printf("profile: %s (fold with flamegraph.pl)\n", o.profile_path.c_str());
   }
   if (o.summary) {
     std::printf("\n%s", pipeline::runSummaryText(tracer.get(), registry.get()).c_str());

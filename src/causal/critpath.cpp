@@ -228,7 +228,7 @@ void writeCritPathJson(const CriticalPath& p, std::ostream& os) {
     std::snprintf(buf, sizeof(buf), "%.9f", v);
     os << buf;
   };
-  os << "{\"wall_seconds\":";
+  os << "{\"schema_version\":" << kCritPathSchemaVersion << ",\"wall_seconds\":";
   num(p.wall_seconds);
   os << ",\"path_seconds\":";
   num(p.path_seconds);

@@ -70,8 +70,13 @@ CriticalPath analyzeCriticalPath(const Journal& j);
 /// text (what msc_critpath prints).
 std::string blameTable(const CriticalPath& p);
 
-/// Machine-readable form: wall/path seconds, category and round
-/// breakdowns, and the segment list.
+/// Schema version stamped on the JSON form below; consumers
+/// (tools/check_trace.py, downstream dashboards) reject files written
+/// by an incompatible harness instead of misreading them.
+inline constexpr int kCritPathSchemaVersion = 1;
+
+/// Machine-readable form: schema_version, wall/path seconds, category
+/// and round breakdowns, and the segment list.
 void writeCritPathJson(const CriticalPath& p, std::ostream& os);
 std::string critPathJson(const CriticalPath& p);
 

@@ -4,6 +4,7 @@
 
 #include "core/boundary.hpp"
 #include "metrics/metrics.hpp"
+#include "prof/prof.hpp"
 
 namespace msc {
 
@@ -45,6 +46,7 @@ struct CellLess {
 }  // namespace
 
 GradientField computeGradientSweep(const BlockField& field, const GradientOptions& opts) {
+  MSC_PROF_POINT("gradient_sweep");
   const Block& blk = field.block();
   const Vec3i r = blk.rdims();
   const std::int64_t n = blk.numCells();

@@ -4,6 +4,7 @@
 
 #include "core/boundary.hpp"
 #include "metrics/metrics.hpp"
+#include "prof/prof.hpp"
 
 namespace msc {
 
@@ -35,6 +36,7 @@ bool isFacetOf(Vec3i facet, Vec3i coface) {
 }  // namespace
 
 GradientField computeGradientLowerStar(const BlockField& field, const GradientOptions& opts) {
+  MSC_PROF_POINT("gradient_lower_star");
   const Block& blk = field.block();
   const Vec3i r = blk.rdims();
   std::vector<std::uint8_t> state(static_cast<std::size_t>(blk.numCells()), kUnassigned);

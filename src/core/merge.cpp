@@ -1,6 +1,7 @@
 #include "core/merge.hpp"
 
 #include "metrics/metrics.hpp"
+#include "prof/prof.hpp"
 
 namespace msc {
 
@@ -30,6 +31,7 @@ bool forEachGeomCell(const MsComplex& c, GeomId g, Fn&& fn) {
 void glueImpl(MsComplex& root, MsComplex& other, bool may_move, GlueStats* stats,
               metrics::Registry* metrics, int metrics_rank,
               const std::vector<std::uint8_t>* dup_flags) {
+  MSC_PROF_POINT("glue");
   GlueStats local{};
   if (metrics && !stats) stats = &local;
   const GlueStats before = stats ? *stats : GlueStats{};
@@ -155,6 +157,7 @@ void glue(MsComplex& root, MsComplex&& other, GlueStats* stats,
 std::int64_t finishMerge(MsComplex& root, float persistence_threshold,
                          SimplifyStats* stats, metrics::Registry* metrics,
                          int metrics_rank) {
+  MSC_PROF_POINT("finish_merge");
   root.recomputeBoundary();
   SimplifyOptions opts;
   opts.persistence_threshold = persistence_threshold;

@@ -3,6 +3,7 @@
 #include <queue>
 
 #include "metrics/metrics.hpp"
+#include "prof/prof.hpp"
 
 namespace msc {
 
@@ -68,6 +69,7 @@ void cancelArc(MsComplex& complex, ArcId a, SimplifyStats* stats) {
 }
 
 std::int64_t simplify(MsComplex& complex, const SimplifyOptions& opts, SimplifyStats* stats) {
+  MSC_PROF_POINT("simplify_cancel");
   // Priority queue of candidate arcs, lowest persistence first. An
   // arc is in exactly one of three states: queued (in the PQ),
   // parked (skipped as part of a multi-arc pair, waiting for a

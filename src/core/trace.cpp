@@ -1,6 +1,7 @@
 #include "core/trace.hpp"
 
 #include "metrics/metrics.hpp"
+#include "prof/prof.hpp"
 
 namespace msc {
 
@@ -137,6 +138,7 @@ class PathEnumerator {
 
 MsComplex traceComplex(const GradientField& grad, const BlockField& field,
                        const TraceOptions& opts, TraceStats* stats) {
+  MSC_PROF_POINT("trace_paths");
   const Block& blk = grad.block();
   MsComplex out(blk.domain, Region(blk.refinedBox()));
 

@@ -2,11 +2,13 @@
 
 #include "core/simplify.hpp"
 #include "io/pack.hpp"
+#include "prof/prof.hpp"
 
 namespace msc::merge {
 
 ReduceStats reduceForShip(MsComplex& c, float persistence_threshold,
                           metrics::Registry* metrics, int metrics_rank) {
+  MSC_PROF_POINT("premerge_reduce");
   ReduceStats st;
   st.bytes_before = static_cast<std::int64_t>(io::packedSize(c));
 

@@ -6,6 +6,7 @@
 
 #include "core/merge.hpp"
 #include "decomp/decompose.hpp"
+#include "prof/prof.hpp"
 
 namespace msc::merge {
 
@@ -19,6 +20,7 @@ Region priorCoveredRegion(const Domain& domain, int nblocks, int block) {
 }
 
 io::Bytes makeShardBlob(const MsComplex& c, int pos, const Region& prior_covered) {
+  MSC_PROF_POINT("shard_blob_build");
   if (pos < 0 || pos >= kShardMaxPositions)
     throw std::invalid_argument("shard: position " + std::to_string(pos) +
                                 " out of sentinel range");
@@ -72,6 +74,7 @@ io::Bytes makeShardBlob(const MsComplex& c, int pos, const Region& prior_covered
 }
 
 ShardSkeleton parseShardBlob(const io::Bytes& blob) {
+  MSC_PROF_POINT("shard_parse");
   io::Reader rd(blob);
   const std::uint32_t narcs = rd.get<std::uint32_t>();
   ShardSkeleton out;
@@ -90,6 +93,7 @@ ShardSkeleton parseShardBlob(const io::Bytes& blob) {
 MsComplex mergeShardSkeletons(std::vector<ShardSkeleton> parts,
                               float persistence_threshold,
                               metrics::Registry* metrics, int metrics_rank) {
+  MSC_PROF_POINT("shard_graph_merge");
   if (parts.empty())
     throw std::invalid_argument("shard: cannot merge zero skeletons");
   // The exact call sequence of the baseline root's mergeComplexes:
@@ -133,6 +137,7 @@ std::vector<GeomPiece> parsePieces(const MsComplex& merged, ArcId a) {
 }  // namespace
 
 ShardPlanView buildShardPlan(const MsComplex& merged) {
+  MSC_PROF_POINT("shard_plan");
   ShardPlanView plan;
   for (ArcId a = 0; a < static_cast<ArcId>(merged.arcs().size()); ++a) {
     if (!merged.arc(a).alive) continue;
@@ -168,6 +173,7 @@ std::vector<ArcId> liveArcIds(const MsComplex& c) {
 
 io::Bytes packPathBundle(const MsComplex& source,
                          const std::vector<std::uint32_t>& ordinals) {
+  MSC_PROF_POINT("shard_bundle_pack");
   const std::vector<ArcId> live = liveArcIds(source);
   io::Bytes out;
   io::Writer w(out);
@@ -188,6 +194,7 @@ io::Bytes packPathBundle(const MsComplex& source,
 }
 
 std::map<std::uint32_t, std::vector<CellAddr>> unpackPathBundle(const io::Bytes& bundle) {
+  MSC_PROF_POINT("shard_bundle_unpack");
   io::Reader rd(bundle);
   std::map<std::uint32_t, std::vector<CellAddr>> out;
   const std::uint32_t count = rd.get<std::uint32_t>();
@@ -233,6 +240,7 @@ std::vector<CellAddr> ShardPathServer::pathOf(int pos, std::uint32_t ordinal) co
 MsComplex materializeShardPart(const MsComplex& merged, const ShardPlanView& plan,
                                int nshards, int my_pos,
                                const ShardPathServer& paths) {
+  MSC_PROF_POINT("shard_materialize");
   MsComplex out(merged.domain(), merged.region());
   std::vector<NodeId> map(merged.nodes().size(), kNone);
   const auto ensure = [&](NodeId n) {

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "prof/prof.hpp"
+
 namespace msc::obs {
 
 const char* counterName(Counter c) {
@@ -53,11 +55,24 @@ Tracer::Span::Span(Tracer* t, int rank, std::string name, const char* cat)
     const std::lock_guard lock(log.mu);
     ++log.depth;
   }
+  // Mirror the span onto the sampling profiler's stack for the thread
+  // that opened it (live spans only -- spanAt() reconstructions never
+  // existed as open frames, so they never mirror).
+  const prof::Binding& b = prof::threadBinding();
+  if (b.profiler) {
+    prof_ = b.profiler;
+    prof_rank_ = b.rank;
+    prof_->push(prof_rank_, prof_->intern(name_));
+  }
   start_ = t->now();
 }
 
 void Tracer::Span::end() {
   if (!tracer_) return;
+  if (prof_) {
+    prof_->pop(prof_rank_);
+    prof_ = nullptr;
+  }
   const double stop = tracer_->now();
   RankLog& log = *tracer_->ranks_[static_cast<std::size_t>(rank_)];
   Event e;

@@ -26,6 +26,10 @@
 
 #include "core/annotations.hpp"
 
+namespace msc::prof {
+class Profiler;
+}
+
 namespace msc::obs {
 
 /// Named per-rank counters. Values are doubles: time counters are
@@ -112,7 +116,10 @@ class Tracer {
       nargs_ = o.nargs_;
       arg_keys_ = o.arg_keys_;
       arg_vals_ = o.arg_vals_;
+      prof_ = o.prof_;
+      prof_rank_ = o.prof_rank_;
       o.tracer_ = nullptr;
+      o.prof_ = nullptr;
       return *this;
     }
     Span(const Span&) = delete;
@@ -140,6 +147,11 @@ class Tracer {
     std::string name_;
     const char* cat_ = "";
     double start_ = 0;
+    /// Mirror frame on the sampling profiler's span stack (set iff a
+    /// prof::ThreadBind was active when the span opened). The span
+    /// pops it in end() even if it was moved across scopes.
+    prof::Profiler* prof_ = nullptr;
+    int prof_rank_ = 0;
     int nargs_ = 0;
     std::array<const char*, 4> arg_keys_{nullptr, nullptr, nullptr, nullptr};
     std::array<std::int64_t, 4> arg_vals_{0, 0, 0, 0};

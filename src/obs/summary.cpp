@@ -151,11 +151,71 @@ void writeSummary(const Tracer& t, std::ostream& os, const SummaryOptions& opts)
     }
     os << '\n';
   }
+
+  // --- Per-span-name latency quantiles (all ranks and depths pooled).
+  os << "\n== span latency quantiles (seconds) ==\n"
+     << spanDurationTable(spanDurationStats(t));
 }
 
 std::string summaryText(const Tracer& t, const SummaryOptions& opts) {
   std::ostringstream os;
   writeSummary(t, os, opts);
+  return os.str();
+}
+
+namespace {
+
+/// Nearest-rank percentile of an ascending-sorted duration vector.
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(sorted.size()) + 0.5);
+  return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
+}
+
+}  // namespace
+
+std::vector<SpanDurationStats> spanDurationStats(const Tracer& t) {
+  std::map<std::string, std::vector<double>> durs;
+  for (int r = 0; r < t.nranks(); ++r)
+    for (const Event& e : t.events(r))
+      if (e.kind == EventKind::kSpan) durs[e.name].push_back(e.dur);
+  std::vector<SpanDurationStats> out;
+  out.reserve(durs.size());
+  for (auto& [name, d] : durs) {
+    std::sort(d.begin(), d.end());
+    SpanDurationStats s;
+    s.name = name;
+    s.count = static_cast<std::int64_t>(d.size());
+    s.p50_s = percentile(d, 50);
+    s.p95_s = percentile(d, 95);
+    s.max_s = d.back();
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanDurationStats& a, const SpanDurationStats& b) {
+              if (a.max_s != b.max_s) return a.max_s > b.max_s;
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string spanDurationTable(const std::vector<SpanDurationStats>& stats,
+                              std::size_t top_n) {
+  std::ostringstream os;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%-24s %8s %10s %10s %10s\n", "span", "count",
+                "p50", "p95", "max");
+  os << buf;
+  const std::size_t limit =
+      top_n == 0 ? stats.size() : std::min(top_n, stats.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    const SpanDurationStats& s = stats[i];
+    std::snprintf(buf, sizeof(buf), "%-24s %8lld %10.4f %10.4f %10.4f\n",
+                  s.name.c_str(), static_cast<long long>(s.count), s.p50_s,
+                  s.p95_s, s.max_s);
+    os << buf;
+  }
   return os.str();
 }
 

@@ -9,6 +9,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "obs/obs.hpp"
 
@@ -28,5 +29,27 @@ void writeSummary(const Tracer& t, std::ostream& os, const SummaryOptions& opts 
 
 /// Convenience: summary as a string.
 std::string summaryText(const Tracer& t, const SummaryOptions& opts = {});
+
+/// Per-invocation latency distribution of one span name, pooled over
+/// all ranks and nesting depths (quantiles of individual durations,
+/// not per-rank sums, so nested spans don't double-count anything).
+struct SpanDurationStats {
+  std::string name;
+  std::int64_t count{0};
+  double p50_s{0};
+  double p95_s{0};
+  double max_s{0};
+};
+
+/// Compute the duration quantiles for every span name recorded in
+/// `t`, ordered by max_s descending (ties by name). Percentiles use
+/// the nearest-rank method.
+std::vector<SpanDurationStats> spanDurationStats(const Tracer& t);
+
+/// Render the quantile rows as a fixed-width text table; `top_n` = 0
+/// prints all rows. Reused by the summary footer and the progress
+/// heartbeat's span digest.
+std::string spanDurationTable(const std::vector<SpanDurationStats>& stats,
+                              std::size_t top_n = 0);
 
 }  // namespace msc::obs

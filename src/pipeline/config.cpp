@@ -11,6 +11,7 @@
 #include "decomp/decompose.hpp"
 #include "fault/inject.hpp"
 #include "metrics/metrics.hpp"
+#include "prof/prof.hpp"
 
 namespace msc::pipeline {
 
@@ -114,6 +115,11 @@ void validatePipelineConfig(const PipelineConfig& cfg) {
     rejectConfig("metrics",
                  "registry sized for " + std::to_string(cfg.metrics->nranks()) +
                      " ranks cannot record a " + std::to_string(cfg.nranks) +
+                     "-rank run");
+  if (cfg.profiler && cfg.profiler->nranks() < cfg.nranks)
+    rejectConfig("profiler",
+                 "sized for " + std::to_string(cfg.profiler->nranks()) +
+                     " ranks cannot sample a " + std::to_string(cfg.nranks) +
                      "-rank run");
   if (f.corruption_retry_budget < 0 || f.corruption_retry_budget > 1024)
     rejectConfig("fault.corruption_retry_budget",

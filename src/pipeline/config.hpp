@@ -28,6 +28,9 @@ class Injector;
 namespace msc::metrics {
 class Registry;
 }
+namespace msc::prof {
+class Profiler;
+}
 
 namespace msc::pipeline {
 
@@ -129,6 +132,16 @@ struct PipelineConfig {
   /// Null (the default) keeps the one-branch-per-op path; pipeline
   /// output bytes are identical either way.
   metrics::Registry* metrics{nullptr};
+  /// Sampling profiler (src/prof): when non-null (non-owning; must
+  /// outlive the run and have >= nranks slots), both drivers bind
+  /// each rank's thread to the profiler so obs spans and
+  /// MSC_PROF_POINT kernel-phase markers maintain per-rank live span
+  /// stacks, and publish round-progress cells for the heartbeat
+  /// reporter. The caller owns the sampler thread lifecycle
+  /// (startSampler/stopSampler around the run). Null (the default)
+  /// keeps the one-branch-per-op path; pipeline output bytes are
+  /// identical either way.
+  prof::Profiler* profiler{nullptr};
   /// Pre-merge reduction (merge/reduce.hpp): before a member complex
   /// is packed for a merge round, run a zero/low-persistence
   /// cancellation sweep and compress duplicate junction cells out of

@@ -12,6 +12,7 @@
 #include "merge/reduce.hpp"
 #include "merge/shard.hpp"
 #include "metrics/metrics.hpp"
+#include "prof/prof.hpp"
 
 namespace msc::pipeline {
 
@@ -106,6 +107,8 @@ std::vector<simnet::GroupRecord> runShardedRound(const PipelineConfig& cfg,
   // Phase 2: the replicated graph merge. Executed once here; in the
   // threaded driver every owner rank replays it identically, so its
   // cost is charged to each rank's first group below.
+  const prof::ThreadBind prof_bind(cfg.profiler, active[0].owner_rank);
+  MSC_PROF_POINT("shard_merge");
   const double t_replica0 = now();
   std::vector<merge::ShardSkeleton> parts;
   parts.reserve(static_cast<std::size_t>(S));
@@ -177,6 +180,7 @@ std::vector<simnet::GroupRecord> runShardedRound(const PipelineConfig& cfg,
 SimResult runSimPipeline(const PipelineConfig& user_cfg, const SimModels& models) {
   const PipelineConfig cfg = withEnvOverrides(user_cfg);
   validatePipelineConfig(cfg);
+  prof::noteTotalRounds(cfg.profiler, cfg.plan.rounds());
   const double t_start = now();
   SimResult res;
 
@@ -194,6 +198,11 @@ SimResult runSimPipeline(const PipelineConfig& user_cfg, const SimModels& models
   active.reserve(blocks.size());
   for (const Block& blk : blocks) {
     const int owner = blk.id % cfg.nranks;
+    // The sequential driver executes every simulated rank's work on
+    // this one thread; re-binding per block attributes each block's
+    // kernel-phase frames to its owner rank's stack.
+    const prof::ThreadBind prof_bind(cfg.profiler, owner);
+    MSC_PROF_POINT("compute");
     const BlockField bf = cfg.source.volume_path
                               ? io::readBlock(*cfg.source.volume_path, blk,
                                               cfg.source.sample_type)
@@ -247,6 +256,9 @@ SimResult runSimPipeline(const PipelineConfig& user_cfg, const SimModels& models
     next.reserve(groups.size());
     for (const MergeGroup& g : groups) {
       ActiveSet& root = active[static_cast<std::size_t>(g.root)];
+      const prof::ThreadBind prof_bind(cfg.profiler, root.owner_rank);
+      MSC_PROF_POINT("merge_round");
+      prof::noteRound(cfg.profiler, root.owner_rank, r);
       simnet::GroupRecord rec;
       rec.root_rank = root.owner_rank;
       const double t0 = now();

@@ -25,6 +25,7 @@
 #include "obs/obs.hpp"
 #include "par/comm.hpp"
 #include "pipeline/wire_format.hpp"
+#include "prof/prof.hpp"
 
 namespace msc::pipeline {
 
@@ -178,8 +179,13 @@ void runPlain(const PipelineConfig& cfg, GuardedResult& out) {
   mopts.track_allocations = reg != nullptr;
   mopts.integrity = monitor ? &*monitor : nullptr;
 
+  prof::noteTotalRounds(cfg.profiler, cfg.plan.rounds());
   par::Runtime::run(cfg.nranks, [&](par::Comm& comm) {
     const int rank = comm.rank();
+    // Bind this thread to the sampling profiler for the whole rank
+    // body: obs spans and MSC_PROF_POINT markers below land on
+    // rank's live span stack (one branch each when no profiler).
+    const prof::ThreadBind prof_bind(cfg.profiler, rank);
     const std::vector<Block> blocks = decompose(cfg.domain, cfg.nblocks);
 
     // --- Read/sample stage.
@@ -231,6 +237,7 @@ void runPlain(const PipelineConfig& cfg, GuardedResult& out) {
       auto round_span = obs::span(tr, rank, "merge_round", "stage");
       round_span.arg("round", r);
       if (rec) rec->setStage(rank, causal::Stage::kMerge, r);
+      prof::noteRound(cfg.profiler, rank, r);
       const bool sharded_here = cfg.sharded_final && r == cfg.plan.rounds() - 1 &&
                                 groups.size() == 1 && survivors.size() > 1;
       if (sharded_here) {
@@ -251,26 +258,31 @@ void runPlain(const PipelineConfig& cfg, GuardedResult& out) {
         // and the differential oracle compares against that baseline).
         std::map<int, io::Bytes> blobs;  // position -> blob
         int expected_blobs = 0;
-        for (int p = 0; p < S; ++p) {
-          const int blk = survivors[static_cast<std::size_t>(p)];
-          if (blk % cfg.nranks != rank) {
-            if (owner_ranks.count(rank)) ++expected_blobs;
-            continue;
+        {
+          // Named so the folded profile attributes the allgather's
+          // send/recv-wait time, not just the blob construction.
+          MSC_PROF_POINT("shard_blob_exchange");
+          for (int p = 0; p < S; ++p) {
+            const int blk = survivors[static_cast<std::size_t>(p)];
+            if (blk % cfg.nranks != rank) {
+              if (owner_ranks.count(rank)) ++expected_blobs;
+              continue;
+            }
+            MsComplex& c = owned.at(blk);
+            if (cfg.premerge && p > 0)
+              merge::reduceForShip(c, cfg.persistence_threshold, reg, rank);
+            io::Bytes blob = merge::makeShardBlob(
+                c, p, merge::priorCoveredRegion(cfg.domain, cfg.nblocks, blk));
+            metrics::add(reg, rank, metrics::Counter::kPackBytes,
+                         static_cast<std::int64_t>(blob.size()));
+            for (const int q : owner_ranks)
+              if (q != rank) comm.send(q, tag, frame(p, blk, blob));
+            blobs.emplace(p, std::move(blob));
           }
-          MsComplex& c = owned.at(blk);
-          if (cfg.premerge && p > 0)
-            merge::reduceForShip(c, cfg.persistence_threshold, reg, rank);
-          io::Bytes blob = merge::makeShardBlob(
-              c, p, merge::priorCoveredRegion(cfg.domain, cfg.nblocks, blk));
-          metrics::add(reg, rank, metrics::Counter::kPackBytes,
-                       static_cast<std::int64_t>(blob.size()));
-          for (const int q : owner_ranks)
-            if (q != rank) comm.send(q, tag, frame(p, blk, blob));
-          blobs.emplace(p, std::move(blob));
-        }
-        for (int i = 0; i < expected_blobs; ++i) {
-          Framed f = unframe(comm.recv(par::kAny, tag));
-          blobs.emplace(f.dest_block, std::move(f.packed));
+          for (int i = 0; i < expected_blobs; ++i) {
+            Framed f = unframe(comm.recv(par::kAny, tag));
+            blobs.emplace(f.dest_block, std::move(f.packed));
+          }
         }
         if (owner_ranks.count(rank)) {
           // Replicated graph merge: identical blobs glued in identical
@@ -291,35 +303,40 @@ void runPlain(const PipelineConfig& cfg, GuardedResult& out) {
           // Geometry bundles: each owned position serves the V-paths
           // that other ranks' parts reference from it.
           int expected_bundles = 0;
-          for (int d = 0; d < S; ++d) {
-            const int dst_owner = survivors[static_cast<std::size_t>(d)] % cfg.nranks;
-            for (int s = 0; s < S; ++s) {
-              if (s == d) continue;
-              const int src_blk = survivors[static_cast<std::size_t>(s)];
-              const bool mine_s = src_blk % cfg.nranks == rank;
-              if (mine_s && dst_owner != rank) {
-                io::Bytes bundle = merge::packPathBundle(
-                    owned.at(src_blk), merge::shardNeededPaths(splan, S, d, s));
-                metrics::add(reg, rank, metrics::Counter::kPackBytes,
-                             static_cast<std::int64_t>(bundle.size()));
-                comm.send(dst_owner, geom_tag, frame(d, s, bundle));
-              }
-              if (dst_owner == rank && !mine_s) ++expected_bundles;
-            }
-          }
           std::map<int, merge::ShardPathServer> servers;  // dst position
-          for (int d = 0; d < S; ++d) {
-            if (survivors[static_cast<std::size_t>(d)] % cfg.nranks != rank) continue;
-            merge::ShardPathServer& server = servers[d];
-            for (int s = 0; s < S; ++s) {
-              const int src_blk = survivors[static_cast<std::size_t>(s)];
-              if (src_blk % cfg.nranks == rank) server.addLocal(s, &owned.at(src_blk));
+          {
+            // Covers bundle pack + send + recv-wait + unpack; the
+            // pack/unpack kernels keep their own nested markers.
+            MSC_PROF_POINT("shard_bundle_exchange");
+            for (int d = 0; d < S; ++d) {
+              const int dst_owner = survivors[static_cast<std::size_t>(d)] % cfg.nranks;
+              for (int s = 0; s < S; ++s) {
+                if (s == d) continue;
+                const int src_blk = survivors[static_cast<std::size_t>(s)];
+                const bool mine_s = src_blk % cfg.nranks == rank;
+                if (mine_s && dst_owner != rank) {
+                  io::Bytes bundle = merge::packPathBundle(
+                      owned.at(src_blk), merge::shardNeededPaths(splan, S, d, s));
+                  metrics::add(reg, rank, metrics::Counter::kPackBytes,
+                               static_cast<std::int64_t>(bundle.size()));
+                  comm.send(dst_owner, geom_tag, frame(d, s, bundle));
+                }
+                if (dst_owner == rank && !mine_s) ++expected_bundles;
+              }
             }
-          }
-          for (int i = 0; i < expected_bundles; ++i) {
-            Framed f = unframe(comm.recv(par::kAny, geom_tag));
-            servers.at(f.dest_block)
-                .addRemote(f.sender_block, merge::unpackPathBundle(f.packed));
+            for (int d = 0; d < S; ++d) {
+              if (survivors[static_cast<std::size_t>(d)] % cfg.nranks != rank) continue;
+              merge::ShardPathServer& server = servers[d];
+              for (int s = 0; s < S; ++s) {
+                const int src_blk = survivors[static_cast<std::size_t>(s)];
+                if (src_blk % cfg.nranks == rank) server.addLocal(s, &owned.at(src_blk));
+              }
+            }
+            for (int i = 0; i < expected_bundles; ++i) {
+              Framed f = unframe(comm.recv(par::kAny, geom_tag));
+              servers.at(f.dest_block)
+                  .addRemote(f.sender_block, merge::unpackPathBundle(f.packed));
+            }
           }
           // Materialize every owned part before installing any: the
           // servers hold pointers into the pre-round complexes.
@@ -341,31 +358,40 @@ void runPlain(const PipelineConfig& cfg, GuardedResult& out) {
       // Send phase: non-root members ship their complex to the root's
       // owner and drop out.
       int expected = 0;
-      for (const MergeGroup& g : groups) {
-        const int root_block = survivors[static_cast<std::size_t>(g.root)];
-        const int root_owner = root_block % cfg.nranks;
-        for (std::size_t m = 1; m < g.members.size(); ++m) {
-          const int blk = survivors[static_cast<std::size_t>(g.members[m])];
-          const int owner = blk % cfg.nranks;
-          if (owner == rank) {
-            const auto it = owned.find(blk);
-            if (cfg.premerge)
-              merge::reduceForShip(it->second, cfg.persistence_threshold, reg, rank);
-            const io::Bytes packed = io::pack(it->second);
-            metrics::add(reg, rank, metrics::Counter::kPackBytes,
-                         static_cast<std::int64_t>(packed.size()));
-            comm.send(root_owner, tag, frame(root_block, blk, packed));
-            owned.erase(it);
+      {
+        // Named so the profile attributes pack + send time (the
+        // premerge reduction keeps its own nested marker).
+        MSC_PROF_POINT("merge_ship");
+        for (const MergeGroup& g : groups) {
+          const int root_block = survivors[static_cast<std::size_t>(g.root)];
+          const int root_owner = root_block % cfg.nranks;
+          for (std::size_t m = 1; m < g.members.size(); ++m) {
+            const int blk = survivors[static_cast<std::size_t>(g.members[m])];
+            const int owner = blk % cfg.nranks;
+            if (owner == rank) {
+              const auto it = owned.find(blk);
+              if (cfg.premerge)
+                merge::reduceForShip(it->second, cfg.persistence_threshold, reg, rank);
+              const io::Bytes packed = io::pack(it->second);
+              metrics::add(reg, rank, metrics::Counter::kPackBytes,
+                           static_cast<std::int64_t>(packed.size()));
+              comm.send(root_owner, tag, frame(root_block, blk, packed));
+              owned.erase(it);
+            }
+            if (root_owner == rank) ++expected;
           }
-          if (root_owner == rank) ++expected;
         }
       }
       // Receive phase: roots collect, order members by block id, and
       // glue + re-simplify once per group.
       std::map<int, std::map<int, MsComplex>> incoming;  // root -> (sender -> complex)
-      for (int i = 0; i < expected; ++i) {
-        Framed f = unframe(comm.recv(par::kAny, tag));
-        incoming[f.dest_block].emplace(f.sender_block, io::unpack(f.packed));
+      {
+        // Covers the mailbox wait and the member unpacks.
+        MSC_PROF_POINT("merge_recv");
+        for (int i = 0; i < expected; ++i) {
+          Framed f = unframe(comm.recv(par::kAny, tag));
+          incoming[f.dest_block].emplace(f.sender_block, io::unpack(f.packed));
+        }
       }
       if (rec && !incoming.empty()) rec->setStage(rank, causal::Stage::kGlue, r);
       for (auto& [root_block, by_sender] : incoming) {
@@ -399,6 +425,7 @@ void runPlain(const PipelineConfig& cfg, GuardedResult& out) {
     // populate the in-memory result.
     auto write_span = obs::span(tr, rank, "write", "stage");
     if (rec) rec->setStage(rank, causal::Stage::kWrite);
+    prof::noteRound(cfg.profiler, rank, -1);
     std::map<int, int> slotOf;
     for (std::size_t i = 0; i < survivors.size(); ++i)
       slotOf.emplace(survivors[i], static_cast<int>(i));
@@ -520,8 +547,12 @@ void runRecovering(const PipelineConfig& cfg, GuardedResult& out) {
       tr->instant(rank, "respawn(attempt=" + std::to_string(attempt) + ")", "fault");
     };
 
+  prof::noteTotalRounds(cfg.profiler, cfg.plan.rounds());
   par::Runtime::run(cfg.nranks, [&](par::Comm& comm) {
     const int rank = comm.rank();
+    // Profiler binding covers respawned incarnations too: each
+    // incarnation re-enters this lambda on a fresh thread.
+    const prof::ThreadBind prof_bind(cfg.profiler, rank);
     const int nranks = cfg.nranks;
     const int incarnation = coord.noteEntry(rank);
 
@@ -705,6 +736,7 @@ void runRecovering(const PipelineConfig& cfg, GuardedResult& out) {
         coord.advanceTo(r, attempt);
         const int tag = mergeTag(r, attempt);
         if (rec) rec->setStage(rank, causal::Stage::kMerge, r);
+        prof::noteRound(cfg.profiler, rank, r);
         if (tr)
           tr->instant(rank,
                       "attempt_begin(round=" + std::to_string(r) +
@@ -730,40 +762,43 @@ void runRecovering(const PipelineConfig& cfg, GuardedResult& out) {
             owner_ranks.insert(fault::ownerOf(blk, nranks, mask));
           std::map<int, io::Bytes> blobs;         // position -> blob
           std::set<std::pair<int, int>> missing;  // (position, block) awaited
-          for (int p = 0; p < S; ++p) {
-            const int blk = survivors[static_cast<std::size_t>(p)];
-            if (fault::ownerOf(blk, nranks, mask) != rank) {
-              if (owner_ranks.count(rank)) missing.insert({p, blk});
-              continue;
+          {
+            MSC_PROF_POINT("shard_blob_exchange");
+            for (int p = 0; p < S; ++p) {
+              const int blk = survivors[static_cast<std::size_t>(p)];
+              if (fault::ownerOf(blk, nranks, mask) != rank) {
+                if (owner_ranks.count(rank)) missing.insert({p, blk});
+                continue;
+              }
+              MsComplex& c = owned.at(blk);
+              // Replay-safe: rollback restores `owned` from checkpoints,
+              // so a re-run reduces the same round-entry state again.
+              if (cfg.premerge && p > 0)
+                merge::reduceForShip(c, cfg.persistence_threshold, reg, rank);
+              io::Bytes blob = merge::makeShardBlob(
+                  c, p, merge::priorCoveredRegion(cfg.domain, cfg.nblocks, blk));
+              metrics::add(reg, rank, metrics::Counter::kPackBytes,
+                           static_cast<std::int64_t>(blob.size()));
+              for (const int q : owner_ranks) {
+                if (q == rank) continue;
+                const bool dup = sendFault();
+                par::Bytes f = frame(p, blk, blob);
+                if (dup) comm.send(q, tag, f);
+                comm.send(q, tag, std::move(f));
+              }
+              blobs.emplace(p, std::move(blob));
             }
-            MsComplex& c = owned.at(blk);
-            // Replay-safe: rollback restores `owned` from checkpoints,
-            // so a re-run reduces the same round-entry state again.
-            if (cfg.premerge && p > 0)
-              merge::reduceForShip(c, cfg.persistence_threshold, reg, rank);
-            io::Bytes blob = merge::makeShardBlob(
-                c, p, merge::priorCoveredRegion(cfg.domain, cfg.nblocks, blk));
-            metrics::add(reg, rank, metrics::Counter::kPackBytes,
-                         static_cast<std::int64_t>(blob.size()));
-            for (const int q : owner_ranks) {
-              if (q == rank) continue;
-              const bool dup = sendFault();
-              par::Bytes f = frame(p, blk, blob);
-              if (dup) comm.send(q, tag, f);
-              comm.send(q, tag, std::move(f));
+            while (!missing.empty()) {
+              fault::applyFault(inj, rank, fault::OpClass::kRecv, tr);
+              auto msg = comm.tryRecv(par::kAny, tag, deadline);
+              if (!msg) {
+                ok = false;
+                break;
+              }
+              Framed f = unframe(*msg);
+              if (missing.erase({f.dest_block, f.sender_block}) > 0)
+                blobs.emplace(f.dest_block, std::move(f.packed));
             }
-            blobs.emplace(p, std::move(blob));
-          }
-          while (!missing.empty()) {
-            fault::applyFault(inj, rank, fault::OpClass::kRecv, tr);
-            auto msg = comm.tryRecv(par::kAny, tag, deadline);
-            if (!msg) {
-              ok = false;
-              break;
-            }
-            Framed f = unframe(*msg);
-            if (missing.erase({f.dest_block, f.sender_block}) > 0)
-              blobs.emplace(f.dest_block, std::move(f.packed));
           }
           if (ok && owner_ranks.count(rank)) {
             std::vector<merge::ShardSkeleton> skels;
@@ -775,49 +810,52 @@ void runRecovering(const PipelineConfig& cfg, GuardedResult& out) {
                 std::move(skels), cfg.persistence_threshold, reg, rank);
             const merge::ShardPlanView splan = merge::buildShardPlan(merged);
             std::set<std::pair<int, int>> missing_b;  // (dst pos, src pos)
-            for (int d = 0; d < S; ++d) {
-              const int dst_owner = fault::ownerOf(
-                  survivors[static_cast<std::size_t>(d)], nranks, mask);
-              for (int s = 0; s < S; ++s) {
-                if (s == d) continue;
-                const int src_blk = survivors[static_cast<std::size_t>(s)];
-                const bool mine_s = fault::ownerOf(src_blk, nranks, mask) == rank;
-                if (mine_s && dst_owner != rank) {
-                  const bool dup = sendFault();
-                  io::Bytes bundle = merge::packPathBundle(
-                      owned.at(src_blk), merge::shardNeededPaths(splan, S, d, s));
-                  metrics::add(reg, rank, metrics::Counter::kPackBytes,
-                               static_cast<std::int64_t>(bundle.size()));
-                  par::Bytes f = frame(d, s, bundle);
-                  if (dup) comm.send(dst_owner, btag, f);
-                  comm.send(dst_owner, btag, std::move(f));
-                }
-                if (dst_owner == rank && !mine_s) missing_b.insert({d, s});
-              }
-            }
             std::map<int, merge::ShardPathServer> servers;  // dst position
-            for (int d = 0; d < S; ++d) {
-              if (fault::ownerOf(survivors[static_cast<std::size_t>(d)], nranks,
-                                 mask) != rank)
-                continue;
-              merge::ShardPathServer& server = servers[d];
-              for (int s = 0; s < S; ++s) {
-                const int src_blk = survivors[static_cast<std::size_t>(s)];
-                if (fault::ownerOf(src_blk, nranks, mask) == rank)
-                  server.addLocal(s, &owned.at(src_blk));
+            {
+              MSC_PROF_POINT("shard_bundle_exchange");
+              for (int d = 0; d < S; ++d) {
+                const int dst_owner = fault::ownerOf(
+                    survivors[static_cast<std::size_t>(d)], nranks, mask);
+                for (int s = 0; s < S; ++s) {
+                  if (s == d) continue;
+                  const int src_blk = survivors[static_cast<std::size_t>(s)];
+                  const bool mine_s = fault::ownerOf(src_blk, nranks, mask) == rank;
+                  if (mine_s && dst_owner != rank) {
+                    const bool dup = sendFault();
+                    io::Bytes bundle = merge::packPathBundle(
+                        owned.at(src_blk), merge::shardNeededPaths(splan, S, d, s));
+                    metrics::add(reg, rank, metrics::Counter::kPackBytes,
+                                 static_cast<std::int64_t>(bundle.size()));
+                    par::Bytes f = frame(d, s, bundle);
+                    if (dup) comm.send(dst_owner, btag, f);
+                    comm.send(dst_owner, btag, std::move(f));
+                  }
+                  if (dst_owner == rank && !mine_s) missing_b.insert({d, s});
+                }
               }
-            }
-            while (!missing_b.empty()) {
-              fault::applyFault(inj, rank, fault::OpClass::kRecv, tr);
-              auto msg = comm.tryRecv(par::kAny, btag, deadline);
-              if (!msg) {
-                ok = false;
-                break;
+              for (int d = 0; d < S; ++d) {
+                if (fault::ownerOf(survivors[static_cast<std::size_t>(d)], nranks,
+                                   mask) != rank)
+                  continue;
+                merge::ShardPathServer& server = servers[d];
+                for (int s = 0; s < S; ++s) {
+                  const int src_blk = survivors[static_cast<std::size_t>(s)];
+                  if (fault::ownerOf(src_blk, nranks, mask) == rank)
+                    server.addLocal(s, &owned.at(src_blk));
+                }
               }
-              Framed f = unframe(*msg);
-              if (missing_b.erase({f.dest_block, f.sender_block}) > 0)
-                servers.at(f.dest_block)
-                    .addRemote(f.sender_block, merge::unpackPathBundle(f.packed));
+              while (!missing_b.empty()) {
+                fault::applyFault(inj, rank, fault::OpClass::kRecv, tr);
+                auto msg = comm.tryRecv(par::kAny, btag, deadline);
+                if (!msg) {
+                  ok = false;
+                  break;
+                }
+                Framed f = unframe(*msg);
+                if (missing_b.erase({f.dest_block, f.sender_block}) > 0)
+                  servers.at(f.dest_block)
+                      .addRemote(f.sender_block, merge::unpackPathBundle(f.packed));
+              }
             }
             if (ok)
               for (auto& [d, server] : servers)
@@ -833,27 +871,30 @@ void runRecovering(const PipelineConfig& cfg, GuardedResult& out) {
           // root's owner under the agreed dead mask. Nothing is
           // erased yet — rollback needs the blocks in place.
           std::set<std::pair<int, int>> missing;  // (root, sender) still awaited
-          for (const MergeGroup& g : groups) {
-            const int root_block = survivors[static_cast<std::size_t>(g.root)];
-            const int root_owner = fault::ownerOf(root_block, nranks, mask);
-            for (std::size_t m = 1; m < g.members.size(); ++m) {
-              const int blk = survivors[static_cast<std::size_t>(g.members[m])];
-              if (fault::ownerOf(blk, nranks, mask) == rank) {
-                MsComplex& mc = owned.at(blk);
-                // Replay-safe for the same reason as the sharded
-                // branch: rollback restores the round-entry state.
-                if (cfg.premerge)
-                  merge::reduceForShip(mc, cfg.persistence_threshold, reg, rank);
-                const bool dup = sendFault();
-                const io::Bytes packed = io::pack(mc);
-                metrics::add(reg, rank, metrics::Counter::kPackBytes,
-                             static_cast<std::int64_t>(packed.size()));
-                par::Bytes f = frame(root_block, blk, packed);
-                if (dup) comm.send(root_owner, tag, f);
-                comm.send(root_owner, tag, std::move(f));
-                sent.push_back(blk);
+          {
+            MSC_PROF_POINT("merge_ship");
+            for (const MergeGroup& g : groups) {
+              const int root_block = survivors[static_cast<std::size_t>(g.root)];
+              const int root_owner = fault::ownerOf(root_block, nranks, mask);
+              for (std::size_t m = 1; m < g.members.size(); ++m) {
+                const int blk = survivors[static_cast<std::size_t>(g.members[m])];
+                if (fault::ownerOf(blk, nranks, mask) == rank) {
+                  MsComplex& mc = owned.at(blk);
+                  // Replay-safe for the same reason as the sharded
+                  // branch: rollback restores the round-entry state.
+                  if (cfg.premerge)
+                    merge::reduceForShip(mc, cfg.persistence_threshold, reg, rank);
+                  const bool dup = sendFault();
+                  const io::Bytes packed = io::pack(mc);
+                  metrics::add(reg, rank, metrics::Counter::kPackBytes,
+                               static_cast<std::int64_t>(packed.size()));
+                  par::Bytes f = frame(root_block, blk, packed);
+                  if (dup) comm.send(root_owner, tag, f);
+                  comm.send(root_owner, tag, std::move(f));
+                  sent.push_back(blk);
+                }
+                if (root_owner == rank) missing.insert({root_block, blk});
               }
-              if (root_owner == rank) missing.insert({root_block, blk});
             }
           }
           // Serve integrity re-requests for frames this rank sent in
@@ -890,39 +931,42 @@ void runRecovering(const PipelineConfig& cfg, GuardedResult& out) {
           std::set<std::pair<int, int>> nacked;  // re-requested, not yet healed
           int nacks_used = 0;
           double wait_left = deadline.seconds;
-          while (!missing.empty()) {
-            if (nack_on) serveNacks();
-            fault::applyFault(inj, rank, fault::OpClass::kRecv, tr);
-            auto msg = comm.tryRecv(par::kAny, tag, slice);
-            if (!msg) {
-              wait_left -= slice_s;
-              if (nack_on && mon->failed(rank) - failed0 > nacks_used &&
-                  nacks_used < cfg.fault.corruption_retry_budget) {
-                for (const auto& [root_blk, snd_blk] : missing) {
-                  comm.send(fault::ownerOf(snd_blk, nranks, mask),
-                            nackTag(r, attempt),
-                            frame(root_blk, snd_blk, io::Bytes{}));
-                  nacked.insert({root_blk, snd_blk});
+          {
+            MSC_PROF_POINT("merge_recv");
+            while (!missing.empty()) {
+              if (nack_on) serveNacks();
+              fault::applyFault(inj, rank, fault::OpClass::kRecv, tr);
+              auto msg = comm.tryRecv(par::kAny, tag, slice);
+              if (!msg) {
+                wait_left -= slice_s;
+                if (nack_on && mon->failed(rank) - failed0 > nacks_used &&
+                    nacks_used < cfg.fault.corruption_retry_budget) {
+                  for (const auto& [root_blk, snd_blk] : missing) {
+                    comm.send(fault::ownerOf(snd_blk, nranks, mask),
+                              nackTag(r, attempt),
+                              frame(root_blk, snd_blk, io::Bytes{}));
+                    nacked.insert({root_blk, snd_blk});
+                  }
+                  ++nacks_used;
+                  wait_left += slice_s;
+                  if (tr)
+                    tr->instant(rank,
+                                "integrity_nack(round=" + std::to_string(r) +
+                                    ",attempt=" + std::to_string(attempt) + ")",
+                                "fault");
                 }
-                ++nacks_used;
-                wait_left += slice_s;
-                if (tr)
-                  tr->instant(rank,
-                              "integrity_nack(round=" + std::to_string(r) +
-                                  ",attempt=" + std::to_string(attempt) + ")",
-                              "fault");
+                if (wait_left <= 0) {
+                  ok = false;
+                  break;
+                }
+                continue;
               }
-              if (wait_left <= 0) {
-                ok = false;
-                break;
+              Framed f = unframe(*msg);
+              if (missing.erase({f.dest_block, f.sender_block}) > 0) {
+                if (mon && nacked.erase({f.dest_block, f.sender_block}) > 0)
+                  mon->noteHealed(rank);
+                incoming[f.dest_block].emplace(f.sender_block, std::move(f.packed));
               }
-              continue;
-            }
-            Framed f = unframe(*msg);
-            if (missing.erase({f.dest_block, f.sender_block}) > 0) {
-              if (mon && nacked.erase({f.dest_block, f.sender_block}) > 0)
-                mon->noteHealed(rank);
-              incoming[f.dest_block].emplace(f.sender_block, std::move(f.packed));
             }
           }
           // ABFT pre-vote gate: a member that passed its checksum can
@@ -1042,6 +1086,7 @@ void runRecovering(const PipelineConfig& cfg, GuardedResult& out) {
     // the collective write with zero contributions ("null write").
     auto write_span = obs::span(tr, rank, "write", "stage");
     if (rec) rec->setStage(rank, causal::Stage::kWrite);
+    prof::noteRound(cfg.profiler, rank, -1);
     std::map<int, int> slotOf;
     for (std::size_t i = 0; i < survivors.size(); ++i)
       slotOf.emplace(survivors[i], static_cast<int>(i));

@@ -1,0 +1,265 @@
+#include "prof/heartbeat.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "metrics/metrics.hpp"
+#include "prof/prof.hpp"
+
+namespace msc::prof {
+
+namespace {
+
+/// Coarse stage weights for the ETA model (fractions of a full run;
+/// merge is split evenly across the plan's rounds). These only shape
+/// the estimate -- correctness is "monotone and roughly right", and
+/// the rendered value is labeled an estimate.
+constexpr double kWRead = 0.10;
+constexpr double kWCompute = 0.45;
+constexpr double kWMerge = 0.40;
+
+double stageFraction(const std::string& stage, int round, int rounds_total) {
+  if (stage == "(idle)") return 0.0;
+  if (stage == "read") return kWRead * 0.5;
+  if (stage == "compute") return kWRead + kWCompute * 0.5;
+  if (stage == "write") return kWRead + kWCompute + kWMerge;
+  // Any merge-side stage: scale by round progress when known.
+  const double rf =
+      rounds_total > 0 && round >= 0
+          ? (static_cast<double>(round) + 0.5) / static_cast<double>(rounds_total)
+          : 0.5;
+  return kWRead + kWCompute + kWMerge * std::min(1.0, rf);
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Heartbeat::Heartbeat(const Profiler* profiler, const metrics::Registry* metrics,
+                     HeartbeatOptions opts)
+    : profiler_(profiler), metrics_(metrics), opts_(opts),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Heartbeat::~Heartbeat() { stop(); }
+
+void Heartbeat::start() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Heartbeat::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lk(mu_);
+  running_ = false;
+}
+
+void Heartbeat::loop() {
+  const auto period = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(opts_.period_s));
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (cv_.wait_for(lk, period, [this]() MSC_REQUIRES(mu_) { return stop_; })) return;
+    lk.unlock();
+    beat();
+    lk.lock();
+  }
+}
+
+HeartbeatSnapshot Heartbeat::snapshot() {
+  HeartbeatSnapshot s;
+  s.elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+  s.nranks = profiler_->nranks();
+  s.rounds_total = profiler_->totalRounds();
+  s.samples = profiler_->sampleCount();
+  s.stage.reserve(static_cast<std::size_t>(s.nranks));
+  s.leaf.reserve(static_cast<std::size_t>(s.nranks));
+  s.round.reserve(static_cast<std::size_t>(s.nranks));
+  double frac_min = 1.0;
+  for (int r = 0; r < s.nranks; ++r) {
+    const std::vector<const char*> stack = profiler_->liveStack(r);
+    s.stage.push_back(stack.empty() ? "(idle)" : stack.front());
+    s.leaf.push_back(stack.empty() ? "(idle)" : stack.back());
+    s.round.push_back(profiler_->round(r));
+    frac_min = std::min(
+        frac_min, stageFraction(s.stage.back(), s.round.back(), s.rounds_total));
+  }
+  // The run finishes when its slowest rank does.
+  s.frac = s.nranks ? frac_min : 0.0;
+  s.eta_s = s.frac > 0.01 ? s.elapsed_s * (1.0 - s.frac) / s.frac : -1.0;
+  if (metrics_) {
+    s.mem_peak_bytes = metrics_->gaugeMax(metrics::Gauge::kMemPeakLiveBytes);
+    const std::int64_t pack = metrics_->counterTotal(metrics::Counter::kPackBytes);
+    std::lock_guard<std::mutex> lk(rate_mu_);
+    const double dt = s.elapsed_s - last_beat_s_;
+    if (dt > 0)
+      s.pack_bytes_per_s = static_cast<double>(pack - last_pack_bytes_) / dt;
+    last_beat_s_ = s.elapsed_s;
+    last_pack_bytes_ = pack;
+  }
+  return s;
+}
+
+void Heartbeat::beat() {
+  const HeartbeatSnapshot s = snapshot();
+  if (opts_.text) {
+    *opts_.text << renderText(s, opts_.max_ranks_shown);
+    if (opts_.extra) *opts_.text << opts_.extra();
+    opts_.text->flush();
+  }
+  if (opts_.json) {
+    *opts_.json << renderJsonLine(s) << '\n';
+    opts_.json->flush();
+  }
+}
+
+std::string renderText(const HeartbeatSnapshot& s, int max_ranks_shown) {
+  std::ostringstream os;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "[heartbeat t=%.1fs] %d ranks, %.0f%% est",
+                s.elapsed_s, s.nranks, 100.0 * s.frac);
+  os << buf;
+  if (s.eta_s >= 0) {
+    std::snprintf(buf, sizeof(buf), ", eta ~%.1fs", s.eta_s);
+    os << buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                " | mem peak %.1f MiB | pack %.2f MiB/s | %lld samples\n",
+                static_cast<double>(s.mem_peak_bytes) / (1024.0 * 1024.0),
+                s.pack_bytes_per_s / (1024.0 * 1024.0),
+                static_cast<long long>(s.samples));
+  os << buf;
+  // Busiest (non-idle) ranks first so the interesting lines survive
+  // the max_ranks_shown cut on wide runs.
+  std::vector<int> order(s.stage.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return (s.stage[static_cast<std::size_t>(a)] != "(idle)") >
+           (s.stage[static_cast<std::size_t>(b)] != "(idle)");
+  });
+  const int shown = std::min<int>(max_ranks_shown, static_cast<int>(order.size()));
+  for (int i = 0; i < shown; ++i) {
+    const std::size_t r = static_cast<std::size_t>(order[static_cast<std::size_t>(i)]);
+    os << "  rank" << r << ": " << s.stage[r];
+    if (s.leaf[r] != s.stage[r]) os << " > " << s.leaf[r];
+    if (s.round[r] >= 0) {
+      os << " (round " << s.round[r];
+      if (s.rounds_total > 0) os << '/' << s.rounds_total;
+      os << ')';
+    }
+    os << '\n';
+  }
+  if (static_cast<int>(order.size()) > shown)
+    os << "  ... and " << (order.size() - static_cast<std::size_t>(shown))
+       << " more ranks\n";
+  return os.str();
+}
+
+std::string renderJsonLine(const HeartbeatSnapshot& s) {
+  // Stage census: how many ranks are in each outermost stage.
+  std::map<std::string, int> census;
+  for (const std::string& st : s.stage) census[st] += 1;
+  std::string stages;
+  for (const auto& [name, n] : census) {
+    if (!stages.empty()) stages += ',';
+    stages += name + ':' + std::to_string(n);
+  }
+  int round_max = -1;
+  for (const int r : s.round) round_max = std::max(round_max, r);
+  std::ostringstream os;
+  char buf[128];
+  os << "{\"schema_version\":" << kHeartbeatSchemaVersion;
+  std::snprintf(buf, sizeof(buf), ",\"t_s\":%.3f", s.elapsed_s);
+  os << buf << ",\"ranks\":" << s.nranks << ",\"rounds_total\":" << s.rounds_total
+     << ",\"round_max\":" << round_max;
+  std::snprintf(buf, sizeof(buf), ",\"frac\":%.4f,\"eta_s\":%.3f", s.frac, s.eta_s);
+  os << buf << ",\"samples\":" << s.samples
+     << ",\"mem_peak_bytes\":" << s.mem_peak_bytes;
+  std::snprintf(buf, sizeof(buf), ",\"pack_bytes_per_s\":%.1f", s.pack_bytes_per_s);
+  os << buf << ",\"stages\":\"" << jsonEscape(stages) << "\"}";
+  return os.str();
+}
+
+bool parseJsonLine(const std::string& line, std::map<std::string, std::string>& out) {
+  out.clear();
+  std::size_t i = 0;
+  const auto skipWs = [&] {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+  };
+  const auto parseString = [&](std::string& s) {
+    if (i >= line.size() || line[i] != '"') return false;
+    ++i;
+    s.clear();
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\' && i + 1 < line.size()) ++i;
+      s += line[i++];
+    }
+    if (i >= line.size()) return false;
+    ++i;  // closing quote
+    return true;
+  };
+  skipWs();
+  if (i >= line.size() || line[i] != '{') return false;
+  ++i;
+  skipWs();
+  if (i < line.size() && line[i] == '}') return true;  // empty object
+  for (;;) {
+    skipWs();
+    std::string key;
+    if (!parseString(key)) return false;
+    skipWs();
+    if (i >= line.size() || line[i] != ':') return false;
+    ++i;
+    skipWs();
+    std::string value;
+    if (i < line.size() && line[i] == '"') {
+      if (!parseString(value)) return false;
+    } else {
+      const std::size_t start = i;
+      while (i < line.size() && line[i] != ',' && line[i] != '}' &&
+             !std::isspace(static_cast<unsigned char>(line[i])))
+        ++i;
+      value = line.substr(start, i - start);
+      if (value.empty()) return false;
+    }
+    out[key] = value;
+    skipWs();
+    if (i >= line.size()) return false;
+    if (line[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (line[i] == '}') return true;
+    return false;
+  }
+}
+
+}  // namespace msc::prof

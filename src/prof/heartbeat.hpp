@@ -1,0 +1,131 @@
+/// \file heartbeat.hpp
+/// Live progress telemetry: a background reporter that periodically
+/// reads the sampling profiler's per-rank live stacks and round cells
+/// plus the metrics registry's memory/byte gauges, and renders (a)
+/// human-readable per-rank stage/round/ETA lines and (b) one
+/// machine-readable JSON object per beat (newline-delimited, flat
+/// key/value, schema_version-stamped) for services to consume.
+///
+/// The reporter is an observer only: it never touches pipeline state,
+/// both sources (profiler stacks, metrics atomics) are already safe
+/// for concurrent reads, and detaching it changes nothing about the
+/// run. ETA is a coarse stage-weight model -- read/compute/merge/write
+/// weights with merge scaled by round progress -- honest about being
+/// an estimate, not a promise.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/annotations.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace msc::metrics {
+class Registry;
+}
+
+namespace msc::prof {
+
+class Profiler;
+
+inline constexpr int kHeartbeatSchemaVersion = 1;
+
+struct HeartbeatOptions {
+  /// Seconds between beats.
+  double period_s{1.0};
+  /// Human-readable sink (per-rank lines + gauges); null disables.
+  std::ostream* text{nullptr};
+  /// Machine-readable sink (one flat JSON object per line); null
+  /// disables.
+  std::ostream* json{nullptr};
+  /// Rank detail lines rendered per beat (busiest-first); the rest are
+  /// summarized as one "... and N more" line.
+  int max_ranks_shown{8};
+  /// Optional extra text appended to each human-readable beat (the
+  /// CLI feeds the tracer's span-duration stats through this, keeping
+  /// prof independent of obs).
+  std::function<std::string()> extra;
+};
+
+/// One beat's view of the run, assembled from the profiler and the
+/// metrics registry. Public so tests can render without threads.
+struct HeartbeatSnapshot {
+  double elapsed_s{0};
+  int nranks{0};
+  /// Outermost live frame per rank ("(idle)" when the stack is empty).
+  std::vector<std::string> stage;
+  /// Innermost live frame per rank (equals stage when depth == 1).
+  std::vector<std::string> leaf;
+  std::vector<int> round;    ///< per-rank merge round, -1 outside merge
+  int rounds_total{0};
+  double frac{0};            ///< estimated completed fraction [0, 1]
+  double eta_s{-1};          ///< -1 when no estimate yet
+  std::int64_t samples{0};   ///< profiler samples so far
+  std::int64_t mem_peak_bytes{0};
+  double pack_bytes_per_s{0};
+};
+
+class Heartbeat {
+ public:
+  /// `profiler` is required (the stage/round source); `metrics` is
+  /// optional (memory/rate gauges render as 0 without it). Neither is
+  /// owned; both must outlive this object.
+  Heartbeat(const Profiler* profiler, const metrics::Registry* metrics,
+            HeartbeatOptions opts);
+  ~Heartbeat();
+  Heartbeat(const Heartbeat&) = delete;
+  Heartbeat& operator=(const Heartbeat&) = delete;
+
+  void start();
+  void stop();
+
+  /// Assemble one snapshot now (also advances the rate window).
+  HeartbeatSnapshot snapshot();
+  /// Render + emit one beat to the configured sinks.
+  void beat();
+
+ private:
+  void loop();
+
+  const Profiler* profiler_;
+  const metrics::Registry* metrics_;
+  HeartbeatOptions opts_;
+
+  std::chrono::steady_clock::time_point epoch_;
+  /// Rate window state (reporter thread only once start()ed, but
+  /// snapshot() is public for tests, so keep it guarded).
+  std::mutex rate_mu_;
+  double last_beat_s_ MSC_GUARDED_BY(rate_mu_) = 0;
+  std::int64_t last_pack_bytes_ MSC_GUARDED_BY(rate_mu_) = 0;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ MSC_GUARDED_BY(mu_) = false;
+  bool running_ MSC_GUARDED_BY(mu_) = false;
+  std::thread thread_;
+};
+
+/// Render a snapshot as the human-readable beat block.
+std::string renderText(const HeartbeatSnapshot& s, int max_ranks_shown);
+
+/// Render a snapshot as one flat JSON object (no trailing newline).
+/// Keys: schema_version, t_s, ranks, rounds_total, round_max, frac,
+/// eta_s, samples, mem_peak_bytes, pack_bytes_per_s, stages (a
+/// "name:count,name:count" summary string).
+std::string renderJsonLine(const HeartbeatSnapshot& s);
+
+/// Minimal parser for the flat JSON objects renderJsonLine emits
+/// (string and numeric values only; no nesting). Returns false on
+/// malformed input. Exists so consumers and tests can round-trip the
+/// stream without a JSON dependency.
+bool parseJsonLine(const std::string& line, std::map<std::string, std::string>& out);
+
+}  // namespace msc::prof

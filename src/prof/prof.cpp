@@ -1,0 +1,259 @@
+#include "prof/prof.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace msc::prof {
+
+namespace {
+
+/// Joined folded-stack key for one snapshot; empty stacks fold to the
+/// reserved "(idle)" frame so idle time is visible in the flamegraph
+/// instead of silently dropped.
+std::string foldKey(const std::vector<const char*>& frames) {
+  if (frames.empty()) return "(idle)";
+  std::string key;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (i) key += ';';
+    key += frames[i];
+  }
+  return key;
+}
+
+}  // namespace
+
+Profiler::Profiler(int nranks, Options opts) : opts_(opts) {
+  if (nranks <= 0) throw std::invalid_argument("prof: nranks must be positive");
+  if (opts_.max_depth <= 0) throw std::invalid_argument("prof: max_depth must be positive");
+  if (!(opts_.hz > 0)) throw std::invalid_argument("prof: hz must be positive");
+  stacks_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    auto s = std::make_unique<RankStack>();
+    s->frames = std::vector<std::atomic<const char*>>(static_cast<std::size_t>(opts_.max_depth));
+    for (auto& f : s->frames) f.store(nullptr, std::memory_order_release);
+    stacks_.push_back(std::move(s));
+  }
+}
+
+Profiler::~Profiler() { stopSampler(); }
+
+void Profiler::push(int rank, const char* name) {
+  RankStack& s = *stacks_[static_cast<std::size_t>(rank)];
+  const std::int32_t d = s.depth.load(std::memory_order_acquire);
+  if (d >= opts_.max_depth) {
+    s.truncated.fetch_add(1, std::memory_order_relaxed);
+    // Depth still advances so the matching pop knows it was dropped.
+    s.version.fetch_add(1, std::memory_order_acq_rel);  // -> odd
+    s.depth.store(d + 1, std::memory_order_release);
+    s.version.fetch_add(1, std::memory_order_release);  // -> even
+    return;
+  }
+  s.version.fetch_add(1, std::memory_order_acq_rel);  // -> odd: writer in
+  s.frames[static_cast<std::size_t>(d)].store(name, std::memory_order_release);
+  s.depth.store(d + 1, std::memory_order_release);
+  s.version.fetch_add(1, std::memory_order_release);  // -> even: stable
+}
+
+void Profiler::pop(int rank) {
+  RankStack& s = *stacks_[static_cast<std::size_t>(rank)];
+  const std::int32_t d = s.depth.load(std::memory_order_acquire);
+  if (d <= 0) return;  // unbalanced pop: ignore rather than corrupt
+  s.version.fetch_add(1, std::memory_order_acq_rel);  // -> odd
+  s.depth.store(d - 1, std::memory_order_release);
+  if (d - 1 < opts_.max_depth)
+    s.frames[static_cast<std::size_t>(d - 1)].store(nullptr, std::memory_order_release);
+  s.version.fetch_add(1, std::memory_order_release);  // -> even
+}
+
+const char* Profiler::intern(const std::string& name) {
+  std::lock_guard<std::mutex> lk(intern_mu_);
+  return interned_.insert(name).first->c_str();
+}
+
+void Profiler::noteRound(int rank, int round) {
+  if (rank < 0 || rank >= nranks()) return;
+  stacks_[static_cast<std::size_t>(rank)]->round.store(round, std::memory_order_release);
+}
+
+void Profiler::noteTotalRounds(int rounds) {
+  total_rounds_.store(rounds, std::memory_order_release);
+}
+
+int Profiler::round(int rank) const {
+  if (rank < 0 || rank >= nranks()) return -1;
+  return stacks_[static_cast<std::size_t>(rank)]->round.load(std::memory_order_acquire);
+}
+
+int Profiler::totalRounds() const { return total_rounds_.load(std::memory_order_acquire); }
+
+void Profiler::startSampler() {
+  std::lock_guard<std::mutex> lk(sampler_mu_);
+  if (sampler_running_) return;
+  sampler_stop_ = false;
+  sampler_running_ = true;
+  sampler_ = std::thread([this] { samplerLoop(); });
+}
+
+void Profiler::stopSampler() {
+  {
+    std::lock_guard<std::mutex> lk(sampler_mu_);
+    if (!sampler_running_) return;
+    sampler_stop_ = true;
+  }
+  sampler_cv_.notify_all();
+  sampler_.join();
+  std::lock_guard<std::mutex> lk(sampler_mu_);
+  sampler_running_ = false;
+}
+
+bool Profiler::samplerRunning() const {
+  std::lock_guard<std::mutex> lk(sampler_mu_);
+  return sampler_running_;
+}
+
+void Profiler::samplerLoop() {
+  const auto interval =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::duration<double>(1.0 / opts_.hz));
+  std::unique_lock<std::mutex> lk(sampler_mu_);
+  for (;;) {
+    if (sampler_cv_.wait_for(lk, interval, [this]() MSC_REQUIRES(sampler_mu_) { return sampler_stop_; }))
+      return;
+    lk.unlock();
+    sampleOnce();
+    lk.lock();
+  }
+}
+
+void Profiler::sampleOnce() {
+  std::vector<const char*> frames;
+  for (int r = 0; r < nranks(); ++r) {
+    if (snapshotStack(r, frames)) recordSample(r, frames);
+  }
+}
+
+bool Profiler::snapshotStack(int rank, std::vector<const char*>& out) const {
+  if (rank < 0 || rank >= nranks()) return false;
+  const RankStack& s = *stacks_[static_cast<std::size_t>(rank)];
+  for (;;) {
+    const std::uint32_t v0 = s.version.load(std::memory_order_acquire);
+    if (v0 & 1u) continue;  // writer mid-update; retry
+    out.clear();
+    std::int32_t d = s.depth.load(std::memory_order_acquire);
+    if (d > opts_.max_depth) d = opts_.max_depth;  // truncated tail
+    for (std::int32_t i = 0; i < d; ++i) {
+      const char* f = s.frames[static_cast<std::size_t>(i)].load(std::memory_order_acquire);
+      if (f) out.push_back(f);
+    }
+    const std::uint32_t v1 = s.version.load(std::memory_order_acquire);
+    if (v0 == v1) return true;  // coherent snapshot
+  }
+}
+
+void Profiler::recordSample(int rank, const std::vector<const char*>& frames) {
+  std::string key = foldKey(frames);
+  std::lock_guard<std::mutex> lk(samples_mu_);
+  samples_[{rank, std::move(key)}] += 1;
+  ++nsamples_;
+}
+
+std::vector<const char*> Profiler::liveStack(int rank) const {
+  std::vector<const char*> out;
+  snapshotStack(rank, out);
+  return out;
+}
+
+std::int64_t Profiler::sampleCount() const {
+  std::lock_guard<std::mutex> lk(samples_mu_);
+  return nsamples_;
+}
+
+std::int64_t Profiler::truncated() const {
+  std::int64_t n = 0;
+  for (const auto& s : stacks_) n += s->truncated.load(std::memory_order_relaxed);
+  return n;
+}
+
+void Profiler::writeFolded(std::ostream& os, bool per_rank) const {
+  if (per_rank) {
+    std::lock_guard<std::mutex> lk(samples_mu_);
+    for (const auto& [key, count] : samples_)
+      os << "rank" << key.first << ';' << key.second << ' ' << count << '\n';
+    return;
+  }
+  for (const auto& [stack, count] : foldedCounts()) os << stack << ' ' << count << '\n';
+}
+
+bool Profiler::writeFoldedFile(const std::string& path, bool per_rank) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  writeFolded(f, per_rank);
+  return static_cast<bool>(f);
+}
+
+std::map<std::string, std::int64_t> Profiler::foldedCounts() const {
+  std::map<std::string, std::int64_t> out;
+  std::lock_guard<std::mutex> lk(samples_mu_);
+  for (const auto& [key, count] : samples_) out[key.second] += count;
+  return out;
+}
+
+std::vector<HotSpan> Profiler::topSpans(int n) const {
+  // self = innermost frame; total = anywhere on the stack (counted
+  // once per sample even if a frame recurses).
+  std::map<std::string, HotSpan> by_name;
+  for (const auto& [stack, count] : foldedCounts()) {
+    std::vector<std::string> frames;
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t sep = stack.find(';', start);
+      frames.push_back(stack.substr(start, sep == std::string::npos ? sep : sep - start));
+      if (sep == std::string::npos) break;
+      start = sep + 1;
+    }
+    std::set<std::string> seen;
+    for (const std::string& f : frames) {
+      if (!seen.insert(f).second) continue;
+      HotSpan& h = by_name[f];
+      h.name = f;
+      h.total += count;
+    }
+    by_name[frames.back()].self += count;
+  }
+  std::vector<HotSpan> out;
+  out.reserve(by_name.size());
+  for (auto& [_, h] : by_name) out.push_back(std::move(h));
+  std::sort(out.begin(), out.end(), [](const HotSpan& a, const HotSpan& b) {
+    if (a.self != b.self) return a.self > b.self;
+    return a.name < b.name;
+  });
+  if (n > 0 && static_cast<int>(out.size()) > n) out.resize(static_cast<std::size_t>(n));
+  return out;
+}
+
+std::string Profiler::topTable(int n) const {
+  const std::vector<HotSpan> rows = topSpans(n);
+  const std::int64_t total = sampleCount();
+  std::ostringstream os;
+  os << "  hot spans (self samples / total samples / % of all samples)\n";
+  char buf[160];
+  for (const HotSpan& h : rows) {
+    const double pct = total ? 100.0 * static_cast<double>(h.self) / static_cast<double>(total) : 0.0;
+    std::snprintf(buf, sizeof(buf), "  %-32s %10lld %10lld %7.2f%%\n", h.name.c_str(),
+                  static_cast<long long>(h.self), static_cast<long long>(h.total), pct);
+    os << buf;
+  }
+  if (rows.empty()) os << "  (no samples)\n";
+  return os.str();
+}
+
+Binding& threadBinding() {
+  thread_local Binding b;
+  return b;
+}
+
+}  // namespace msc::prof

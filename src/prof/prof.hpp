@@ -1,0 +1,252 @@
+/// \file prof.hpp
+/// Span-stack sampling profiler: the "where inside a stage" companion
+/// to the obs tracer. The tracer records every span it is asked to;
+/// that is exact but coarse -- DESIGN.md §14's 58 ms skeleton replay
+/// shows up as one `merge` span with no interior attribution. This
+/// module keeps, per rank, a lock-free stack of the currently-open
+/// instrumentation frames (the obs RAII spans mirror themselves here,
+/// and kernels add lightweight MSC_PROF_POINT phase markers), and a
+/// background wall-clock sampler thread snapshots every rank's stack
+/// at a configurable frequency. Output is folded-stack lines
+/// (`writeFolded`, the format flamegraph.pl / speedscope / inferno
+/// consume) plus a self-contained top-N hot-span table.
+///
+/// Why span-stack sampling instead of signal-based backtraces: the
+/// ranks are std::threads inside one process, so SIGPROF delivery is
+/// per-process, unwinding from a signal handler is async-signal-unsafe
+/// territory, and raw PC backtraces would attribute time to mangled
+/// symbols instead of the pipeline's own phase vocabulary. Sampling
+/// the instrumentation stack keeps the profile in the same names the
+/// traces, critpath tables and perf gate already use, costs two RMWs
+/// per frame push/pop, and is exact about nesting by construction.
+///
+/// Ownership/overhead contract (house instrument style, identical to
+/// obs::Tracer / audit::Auditor / metrics::Registry): a `Profiler` is
+/// created by the caller and attached as a non-owning
+/// `PipelineConfig::profiler` pointer; every instrumentation site is
+/// gated on one predictable branch when detached, pipeline output
+/// bytes are identical on/off, and each rank writes only its own
+/// cache-line-padded slot. The sampler thread never blocks writers:
+/// stacks are published through a per-rank seqlock of atomics, so a
+/// torn snapshot is retried, never locked against.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/annotations.hpp"
+
+namespace msc::prof {
+
+/// One hot-span row of the top-N table. `self` counts samples whose
+/// innermost frame is this span; `total` counts samples with the span
+/// anywhere on the stack (so nested frames do not hide their parent).
+struct HotSpan {
+  std::string name;
+  std::int64_t self{0};
+  std::int64_t total{0};
+};
+
+struct ProfilerOptions {
+  /// Sampler wakeups per second. A prime default keeps the sampler
+  /// from phase-locking onto periodic pipeline behaviour.
+  double hz{997.0};
+  /// Frames kept per rank stack; deeper pushes are counted in
+  /// truncated() instead of recorded (nesting in the pipeline is
+  /// stage > sub-stage > kernel phase, so 32 is generous).
+  int max_depth{32};
+};
+
+class Profiler {
+ public:
+  using Options = ProfilerOptions;
+
+  explicit Profiler(int nranks, Options opts = {});
+  ~Profiler();
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  int nranks() const { return static_cast<int>(stacks_.size()); }
+
+  // --- Writer side (each rank's own thread; lock-free).
+
+  /// Push/pop a frame on `rank`'s span stack. `name` must stay valid
+  /// until the profiler is destroyed: pass a string literal or an
+  /// intern()ed pointer. Prefer ScopedPoint / MSC_PROF_POINT.
+  void push(int rank, const char* name);
+  void pop(int rank);
+
+  /// Stable pointer for a dynamic span name (used by the obs span
+  /// mirror; kernels use literals and never intern). Takes a mutex --
+  /// fine at stage granularity, not for per-cell loops.
+  const char* intern(const std::string& name);
+
+  /// Live progress cells for the heartbeat reporter: the merge round
+  /// `rank` is currently in (-1 outside the merge rounds) and the
+  /// plan's total round count.
+  void noteRound(int rank, int round);
+  void noteTotalRounds(int rounds);
+  int round(int rank) const;
+  int totalRounds() const;
+
+  // --- Sampler lifecycle. start() spawns the background thread;
+  // stop() joins it (idempotent; the destructor also stops).
+  void startSampler();
+  void stopSampler();
+  bool samplerRunning() const;
+
+  /// Take one synchronous snapshot of every rank's stack (what the
+  /// sampler thread does each tick). Useful for tests and for
+  /// sampling without the background thread.
+  void sampleOnce();
+
+  // --- Read side (any thread).
+
+  /// Coherent snapshot of `rank`'s currently-open frames, outermost
+  /// first. Retries around concurrent pushes/pops.
+  std::vector<const char*> liveStack(int rank) const;
+
+  /// Total samples recorded (sum over ranks; one stack snapshot of
+  /// one rank = one sample, idle empty stacks included).
+  std::int64_t sampleCount() const;
+  /// Pushes dropped because a stack exceeded Options::max_depth.
+  std::int64_t truncated() const;
+
+  /// Folded-stack lines: `rankN;outer;inner COUNT` (flamegraph.pl
+  /// syntax), ranks then stacks in deterministic order. With
+  /// `per_rank` false the rank prefix is dropped and identical stacks
+  /// aggregate across ranks. Idle (empty-stack) samples are emitted
+  /// as `rankN;(idle)`.
+  void writeFolded(std::ostream& os, bool per_rank = true) const;
+  bool writeFoldedFile(const std::string& path, bool per_rank = true) const;
+
+  /// Aggregated folded counts (rank prefix dropped), keyed by the
+  /// ';'-joined stack. The test surface for well-formedness.
+  std::map<std::string, std::int64_t> foldedCounts() const;
+
+  /// Top-N spans by self samples (ties broken by name). `n <= 0`
+  /// returns every span.
+  std::vector<HotSpan> topSpans(int n) const;
+  /// The same as a printable table with a percent-of-total column.
+  std::string topTable(int n) const;
+
+ private:
+  /// Per-rank frame stack, published through a seqlock: the owning
+  /// rank thread bumps `version` to odd, mutates, bumps back to even;
+  /// the sampler retries until it reads the same even version on both
+  /// sides of the copy. Every field is an atomic, so a racing read is
+  /// merely retried, never undefined.
+  struct alignas(64) RankStack {
+    std::atomic<std::uint32_t> version{0};
+    std::atomic<std::int32_t> depth{0};
+    std::atomic<std::int32_t> round{-1};
+    /// Samples dropped past max_depth (statistics only).
+    std::atomic<std::int64_t> truncated MSC_RELAXED_TALLY{0};
+    std::vector<std::atomic<const char*>> frames;  // size = max_depth
+  };
+
+  /// Seqlock read of one rank's stack into `out`; false if the rank
+  /// index is out of range.
+  bool snapshotStack(int rank, std::vector<const char*>& out) const;
+  void samplerLoop();
+  void recordSample(int rank, const std::vector<const char*>& frames);
+
+  Options opts_;
+  std::vector<std::unique_ptr<RankStack>> stacks_;
+  std::atomic<std::int32_t> total_rounds_{0};
+
+  std::mutex intern_mu_;
+  std::set<std::string> interned_ MSC_GUARDED_BY(intern_mu_);
+
+  /// Folded samples, keyed (rank, ';'-joined stack). Written by the
+  /// sampler thread (or sampleOnce callers), read by the report side.
+  mutable std::mutex samples_mu_;
+  std::map<std::pair<int, std::string>, std::int64_t> samples_ MSC_GUARDED_BY(samples_mu_);
+  std::int64_t nsamples_ MSC_GUARDED_BY(samples_mu_) = 0;
+
+  mutable std::mutex sampler_mu_;
+  std::condition_variable sampler_cv_;
+  bool sampler_stop_ MSC_GUARDED_BY(sampler_mu_) = false;
+  bool sampler_running_ MSC_GUARDED_BY(sampler_mu_) = false;
+  std::thread sampler_;
+};
+
+/// The per-thread binding kernels and mirrored obs spans record
+/// through: a (profiler, rank) pair installed by the pipeline drivers
+/// for the duration of a rank's body. Null profiler = every
+/// MSC_PROF_POINT is one branch and nothing else.
+struct Binding {
+  Profiler* profiler{nullptr};
+  int rank{0};
+};
+
+/// The calling thread's current binding (a function-local
+/// thread_local; never null, but its profiler may be).
+Binding& threadBinding();
+
+/// RAII install/restore of the thread binding. Nests (the simulated
+/// driver re-binds per block task on one thread).
+class ThreadBind {
+ public:
+  ThreadBind(Profiler* profiler, int rank) : saved_(threadBinding()) {
+    threadBinding() = Binding{profiler, rank};
+  }
+  ~ThreadBind() { threadBinding() = saved_; }
+  ThreadBind(const ThreadBind&) = delete;
+  ThreadBind& operator=(const ThreadBind&) = delete;
+
+ private:
+  Binding saved_;
+};
+
+/// RAII phase frame recorded through the thread binding. `name` must
+/// be a string literal (or otherwise outlive the profiler).
+class ScopedPoint {
+ public:
+  explicit ScopedPoint(const char* name) {
+    const Binding& b = threadBinding();
+    if (b.profiler) {
+      profiler_ = b.profiler;
+      rank_ = b.rank;
+      profiler_->push(rank_, name);
+    }
+  }
+  ~ScopedPoint() {
+    if (profiler_) profiler_->pop(rank_);
+  }
+  ScopedPoint(const ScopedPoint&) = delete;
+  ScopedPoint& operator=(const ScopedPoint&) = delete;
+
+ private:
+  Profiler* profiler_ = nullptr;
+  int rank_ = 0;
+};
+
+/// Null-safe helpers for driver code that holds the config pointer.
+inline void noteRound(Profiler* p, int rank, int round) {
+  if (p) p->noteRound(rank, round);
+}
+inline void noteTotalRounds(Profiler* p, int rounds) {
+  if (p) p->noteTotalRounds(rounds);
+}
+
+}  // namespace msc::prof
+
+#define MSC_PROF_CONCAT_IMPL(a, b) a##b
+#define MSC_PROF_CONCAT(a, b) MSC_PROF_CONCAT_IMPL(a, b)
+
+/// Kernel-phase marker: opens a profiler frame named `name` (a string
+/// literal) for the rest of the enclosing scope, through the calling
+/// thread's binding. One branch when no profiler is bound.
+#define MSC_PROF_POINT(name) \
+  const ::msc::prof::ScopedPoint MSC_PROF_CONCAT(msc_prof_point_, __LINE__)(name)

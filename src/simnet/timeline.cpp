@@ -198,4 +198,15 @@ StageTimes reconstruct(const TimelineInputs& in, const TorusModel& net, const Io
   return out;
 }
 
+double imbalance(const std::vector<double>& per_rank) {
+  if (per_rank.empty()) return 1.0;
+  double max = 0.0, sum = 0.0;
+  for (const double v : per_rank) {
+    if (v > max) max = v;
+    sum += v;
+  }
+  const double mean = sum / static_cast<double>(per_rank.size());
+  return mean > 0 ? max / mean : 1.0;
+}
+
 }  // namespace msc::simnet

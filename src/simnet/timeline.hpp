@@ -88,4 +88,11 @@ StageTimes reconstruct(const TimelineInputs& in, const TorusModel& net, const Io
                        const CostScale& scale, obs::Tracer* tracer = nullptr,
                        causal::Recorder* recorder = nullptr);
 
+/// Load imbalance of a per-rank cost vector: max / mean over entries
+/// (1.0 = perfectly balanced; empty or all-zero vectors report 1.0).
+/// The scaling observatory applies it to compute_per_rank and
+/// merge_prep_per_rank; per-round comm imbalance comes from the
+/// causal critical-path analysis instead.
+double imbalance(const std::vector<double>& per_rank);
+
 }  // namespace msc::simnet

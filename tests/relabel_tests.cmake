@@ -1,0 +1,16 @@
+# Re-apply multi-label sets that gtest_discover_tests flattens.
+#
+# Passing LABELS "a;b" through gtest_discover_tests(PROPERTIES ...)
+# loses the semicolon when the discovery machinery serializes the
+# property list into the generated <target>[1]_tests.cmake file: the
+# tests come out labelled `a` only, so `ctest -L b` silently selects
+# nothing (which is exactly how a label-scoped sanitizer leg rots).
+# This file is appended to TEST_INCLUDE_FILES after the generated
+# discovery files, where each target's <target>_TESTS list is in
+# scope, so a plain quoted label list sticks.
+foreach(t IN LISTS msc_prof_tests_TESTS)
+  set_tests_properties(${t} PROPERTIES LABELS "unit;profile")
+endforeach()
+foreach(t IN LISTS msc_mergedist_tests_TESTS)
+  set_tests_properties(${t} PROPERTIES LABELS "unit;property;mergedist")
+endforeach()

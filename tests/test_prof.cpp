@@ -1,0 +1,314 @@
+/// Tests for the msc::prof sampling profiler and heartbeat reporter:
+/// the profiled pipeline must be byte-identical to the unprofiled
+/// one, folded stacks must be well-formed, the per-rank seqlock
+/// bookkeeping must stay balanced under concurrent sampling (the
+/// suite carries the `profile` ctest label so the sanitizer script
+/// races it under TSan), a never-started sampler must record nothing,
+/// and the heartbeat JSON stream must round-trip through its own
+/// parser.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "check/fuzz.hpp"
+#include "metrics/metrics.hpp"
+#include "pipeline/sim_pipeline.hpp"
+#include "pipeline/threaded_pipeline.hpp"
+#include "prof/heartbeat.hpp"
+#include "prof/prof.hpp"
+
+namespace msc {
+namespace {
+
+pipeline::PipelineConfig configFor(const check::FuzzCase& c) {
+  pipeline::PipelineConfig cfg;
+  cfg.domain = Domain{c.vdims};
+  cfg.source.field = check::fieldFor(c);
+  cfg.nblocks = c.nblocks;
+  cfg.nranks = c.nranks;
+  cfg.persistence_threshold = c.threshold;
+  cfg.plan = MergePlan::fullMerge(c.nblocks);
+  cfg.premerge = c.premerge;
+  cfg.sharded_final = c.sharded;
+  return cfg;
+}
+
+// --- Byte identity: attaching the profiler (with the background
+// sampler actually running) must not change a single output byte, on
+// either driver, across a spread of fuzz-derived cases.
+
+TEST(ProfByteIdentity, ThreadedDriverAcrossFuzzSeeds) {
+  check::FuzzLimits lim;
+  lim.with_merge_dims = true;  // cover premerge/sharded code paths too
+  for (unsigned seed = 0; seed < 8; ++seed) {
+    const check::FuzzCase c = check::caseFromSeed(seed, lim);
+    pipeline::PipelineConfig cfg = configFor(c);
+    const pipeline::ThreadedResult plain = pipeline::runThreadedPipeline(cfg);
+
+    prof::Profiler profiler(cfg.nranks);
+    profiler.startSampler();
+    cfg.profiler = &profiler;
+    const pipeline::ThreadedResult profiled = pipeline::runThreadedPipeline(cfg);
+    profiler.stopSampler();
+
+    ASSERT_EQ(plain.outputs.size(), profiled.outputs.size()) << c.describe();
+    for (std::size_t i = 0; i < plain.outputs.size(); ++i)
+      EXPECT_EQ(plain.outputs[i], profiled.outputs[i])
+          << c.describe() << " block " << i;
+  }
+}
+
+TEST(ProfByteIdentity, SimDriverAcrossFuzzSeeds) {
+  for (unsigned seed = 10; seed < 15; ++seed) {
+    const check::FuzzCase c = check::caseFromSeed(seed);
+    pipeline::PipelineConfig cfg = configFor(c);
+    const pipeline::SimResult plain = pipeline::runSimPipeline(cfg);
+
+    prof::Profiler profiler(cfg.nranks);
+    profiler.startSampler();
+    cfg.profiler = &profiler;
+    const pipeline::SimResult profiled = pipeline::runSimPipeline(cfg);
+    profiler.stopSampler();
+
+    ASSERT_EQ(plain.outputs.size(), profiled.outputs.size()) << c.describe();
+    for (std::size_t i = 0; i < plain.outputs.size(); ++i)
+      EXPECT_EQ(plain.outputs[i], profiled.outputs[i])
+          << c.describe() << " block " << i;
+  }
+}
+
+// --- Folded-stack well-formedness: keys are ';'-joined non-empty
+// frames, counts are positive, and the per-rank/aggregated totals
+// both equal sampleCount().
+
+TEST(ProfFolded, WellFormedAfterPipelineRun) {
+  const check::FuzzCase c = check::caseFromSeed(3);
+  pipeline::PipelineConfig cfg = configFor(c);
+  prof::Profiler profiler(cfg.nranks);
+  cfg.profiler = &profiler;
+  // Deterministic sampling: snapshot by hand around the run instead
+  // of depending on wall-clock timing.
+  profiler.sampleOnce();
+  (void)pipeline::runThreadedPipeline(cfg);
+  profiler.sampleOnce();
+  ASSERT_GT(profiler.sampleCount(), 0);
+
+  std::int64_t total = 0;
+  for (const auto& [stack, count] : profiler.foldedCounts()) {
+    EXPECT_GT(count, 0) << stack;
+    EXPECT_FALSE(stack.empty());
+    EXPECT_NE(stack.front(), ';') << stack;
+    EXPECT_NE(stack.back(), ';') << stack;
+    EXPECT_EQ(stack.find(";;"), std::string::npos) << stack;
+    total += count;
+  }
+  EXPECT_EQ(total, profiler.sampleCount());
+
+  std::ostringstream os;
+  profiler.writeFolded(os, /*per_rank=*/true);
+  std::int64_t per_rank_total = 0;
+  std::string line;
+  std::istringstream is(os.str());
+  while (std::getline(is, line)) {
+    ASSERT_FALSE(line.empty());
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_EQ(line.compare(0, 4, "rank"), 0) << line;
+    per_rank_total += std::stoll(line.substr(space + 1));
+  }
+  EXPECT_EQ(per_rank_total, profiler.sampleCount());
+}
+
+TEST(ProfFolded, NestingIsExactByConstruction) {
+  prof::Profiler profiler(2);
+  profiler.push(0, "outer");
+  profiler.push(0, "inner");
+  profiler.sampleOnce();
+  profiler.pop(0);
+  profiler.sampleOnce();
+  profiler.pop(0);
+  profiler.sampleOnce();
+
+  const auto counts = profiler.foldedCounts();
+  ASSERT_EQ(counts.at("outer;inner"), 1);
+  ASSERT_EQ(counts.at("outer"), 1);
+  // Rank 1 never pushed: all three of its snapshots are idle, plus
+  // rank 0's final empty-stack snapshot.
+  ASSERT_EQ(counts.at("(idle)"), 4);
+
+  const auto top = profiler.topSpans(0);
+  for (const prof::HotSpan& h : top) {
+    if (h.name == "outer") {
+      EXPECT_EQ(h.self, 1);   // innermost in exactly one sample
+      EXPECT_EQ(h.total, 2);  // on the stack in two
+    }
+    if (h.name == "inner") {
+      EXPECT_EQ(h.self, 1);
+      EXPECT_EQ(h.total, 1);
+    }
+  }
+}
+
+// --- Deterministic span-stack bookkeeping under 8 writer threads
+// racing the sampler (the TSan target of the `profile` label): depth
+// returns to zero, nothing truncates, and every sampled stack is a
+// prefix of the fixed push sequence (a torn read would surface as an
+// impossible stack).
+
+TEST(ProfConcurrency, BalancedUnderEightThreadsWithSampler) {
+  constexpr int kRanks = 8;
+  constexpr int kIters = 2000;
+  prof::Profiler profiler(kRanks);
+  profiler.startSampler();
+
+  std::vector<std::thread> threads;
+  threads.reserve(kRanks);
+  for (int r = 0; r < kRanks; ++r) {
+    threads.emplace_back([&profiler, r] {
+      const prof::ThreadBind bind(&profiler, r);
+      for (int i = 0; i < kIters; ++i) {
+        MSC_PROF_POINT("a");
+        {
+          MSC_PROF_POINT("b");
+          { MSC_PROF_POINT("c"); }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  profiler.stopSampler();
+
+  EXPECT_EQ(profiler.truncated(), 0);
+  for (int r = 0; r < kRanks; ++r)
+    EXPECT_TRUE(profiler.liveStack(r).empty()) << "rank " << r;
+  for (const auto& [stack, count] : profiler.foldedCounts()) {
+    EXPECT_TRUE(stack == "(idle)" || stack == "a" || stack == "a;b" ||
+                stack == "a;b;c")
+        << "impossible sampled stack: " << stack;
+    EXPECT_GT(count, 0);
+  }
+}
+
+TEST(ProfConcurrency, TruncationIsCountedAndRecovers) {
+  prof::ProfilerOptions opts;
+  opts.max_depth = 4;
+  prof::Profiler profiler(1, opts);
+  for (int i = 0; i < 6; ++i) profiler.push(0, "deep");
+  EXPECT_EQ(profiler.truncated(), 2);
+  EXPECT_EQ(static_cast<int>(profiler.liveStack(0).size()), 4);
+  for (int i = 0; i < 6; ++i) profiler.pop(0);
+  EXPECT_TRUE(profiler.liveStack(0).empty());
+}
+
+// --- Disabled paths record nothing.
+
+TEST(ProfDisabled, NoSamplesWithoutSamplerStart) {
+  const check::FuzzCase c = check::caseFromSeed(1);
+  pipeline::PipelineConfig cfg = configFor(c);
+  prof::Profiler profiler(cfg.nranks);
+  cfg.profiler = &profiler;  // attached, but the sampler never runs
+  (void)pipeline::runThreadedPipeline(cfg);
+  EXPECT_EQ(profiler.sampleCount(), 0);
+  EXPECT_FALSE(profiler.samplerRunning());
+  EXPECT_TRUE(profiler.foldedCounts().empty());
+}
+
+TEST(ProfDisabled, UnboundMarkersAreInert) {
+  // No ThreadBind installed: the marker must not crash or record.
+  { MSC_PROF_POINT("unbound"); }
+  prof::Profiler profiler(1);
+  {
+    const prof::ThreadBind bind(nullptr, 0);
+    MSC_PROF_POINT("null_bound");
+  }
+  profiler.sampleOnce();
+  EXPECT_EQ(profiler.foldedCounts().count("unbound"), 0u);
+  EXPECT_EQ(profiler.foldedCounts().count("null_bound"), 0u);
+}
+
+TEST(ProfDisabled, InternIsStable) {
+  prof::Profiler profiler(1);
+  const char* a = profiler.intern("merge_round");
+  const char* b = profiler.intern(std::string("merge_") + "round");
+  EXPECT_EQ(a, b);
+}
+
+// --- Heartbeat JSON: render -> parse round-trip, live and synthetic.
+
+TEST(Heartbeat, JsonLineRoundTripsSyntheticSnapshot) {
+  prof::HeartbeatSnapshot s;
+  s.elapsed_s = 12.5;
+  s.nranks = 4;
+  s.stage = {"compute", "compute", "merge", "(idle)"};
+  s.leaf = {"gradient_lower_star", "trace_paths", "glue", "(idle)"};
+  s.round = {-1, -1, 2, -1};
+  s.rounds_total = 3;
+  s.frac = 0.625;
+  s.eta_s = 7.5;
+  s.samples = 12345;
+  s.mem_peak_bytes = 1 << 20;
+  s.pack_bytes_per_s = 1e6;
+
+  std::map<std::string, std::string> kv;
+  ASSERT_TRUE(prof::parseJsonLine(prof::renderJsonLine(s), kv));
+  EXPECT_EQ(kv.at("schema_version"),
+            std::to_string(prof::kHeartbeatSchemaVersion));
+  EXPECT_EQ(kv.at("ranks"), "4");
+  EXPECT_EQ(kv.at("rounds_total"), "3");
+  EXPECT_EQ(kv.at("round_max"), "2");
+  EXPECT_EQ(kv.at("samples"), "12345");
+  EXPECT_EQ(std::stod(kv.at("frac")), 0.625);
+  EXPECT_EQ(std::stod(kv.at("eta_s")), 7.5);
+  // The stage digest counts stages, busiest first, comma-joined.
+  EXPECT_NE(kv.at("stages").find("compute:2"), std::string::npos);
+  EXPECT_NE(kv.at("stages").find("merge:1"), std::string::npos);
+}
+
+TEST(Heartbeat, LiveSnapshotAgainstProfilerAndMetrics) {
+  prof::Profiler profiler(2);
+  metrics::Registry registry(2);
+  profiler.noteTotalRounds(4);
+  profiler.push(0, "merge");
+  profiler.push(0, "glue");
+  profiler.noteRound(0, 1);
+  registry.setMax(0, metrics::Gauge::kMemPeakLiveBytes, 4096);
+  registry.add(0, metrics::Counter::kPackBytes, 1000);
+
+  prof::HeartbeatOptions opts;
+  std::ostringstream text, json;
+  opts.text = &text;
+  opts.json = &json;
+  opts.extra = [] { return std::string("  extra-line\n"); };
+  prof::Heartbeat hb(&profiler, &registry, opts);
+  hb.beat();
+  profiler.pop(0);
+  profiler.pop(0);
+
+  EXPECT_NE(text.str().find("rank0: merge > glue (round 1/4)"),
+            std::string::npos)
+      << text.str();
+  EXPECT_NE(text.str().find("extra-line"), std::string::npos);
+
+  std::map<std::string, std::string> kv;
+  ASSERT_TRUE(prof::parseJsonLine(json.str(), kv)) << json.str();
+  EXPECT_EQ(kv.at("ranks"), "2");
+  EXPECT_EQ(kv.at("rounds_total"), "4");
+  EXPECT_EQ(kv.at("round_max"), "1");
+  EXPECT_EQ(kv.at("mem_peak_bytes"), "4096");
+}
+
+TEST(Heartbeat, ParserRejectsMalformedLines) {
+  std::map<std::string, std::string> kv;
+  EXPECT_FALSE(prof::parseJsonLine("", kv));
+  EXPECT_FALSE(prof::parseJsonLine("not json", kv));
+  EXPECT_FALSE(prof::parseJsonLine("{\"a\":}", kv));
+  EXPECT_FALSE(prof::parseJsonLine("{\"a\":1", kv));
+  EXPECT_TRUE(prof::parseJsonLine("{\"a\":1,\"b\":\"x\\\"y\"}", kv));
+  EXPECT_EQ(kv.at("a"), "1");
+  EXPECT_EQ(kv.at("b"), "x\"y");
+}
+
+}  // namespace
+}  // namespace msc

@@ -9,10 +9,18 @@ events ("s"/"f", the msc::causal cross-rank message arrows) pair up:
 unique ids, exactly one finish per start, matching src/dst/tag/bytes
 args, and "bp": "e" on the finish half.
 
-Also validates the bench harness --json output (fig9/fig10 style
-strong-scaling arrays): schema_version on every run object, required
-stage-time/round-counter fields, and internal consistency of the
-per-round communication counters.
+Also validates the bench harness --json output: schema_version on
+every run object, and -- for strong-scaling runs (fig9/fig10,
+msc_scaling; recognized by their "rounds" array) -- required
+stage-time/round-counter fields and internal consistency of the
+per-round communication counters. Generic runs (fig4/fig5/fig6) just
+need schema_version plus at least one numeric datapoint. The top
+level may be a run array (the figure benches) or an object with a
+"runs" array (tools/msc_scaling).
+
+And validates msc_critpath --json output: schema_version, wall/path
+seconds, the category map, and that path segments are contiguous,
+forward in time, and sum to path_seconds.
 
 Usage:
   check_trace.py TRACE.json [--ranks=N] [--require-flows]
@@ -24,6 +32,10 @@ Usage:
       --json output file
   check_trace.py --run-bench BENCH_BINARY [ARGS...]  # run a bench
       binary with --json into a temp file, then validate it
+  check_trace.py --validate-critpath CP.json      # validate a
+      msc_critpath --json output file
+  check_trace.py --run-critpath CRITPATH_BINARY [ARGS...]  # run
+      msc_critpath --run --json into a temp file, then validate it
 """
 import json
 import os
@@ -133,7 +145,7 @@ BENCH_ROUND_NUMERIC = ("round", "seconds", "groups", "messages", "total_bytes",
 
 
 def validate_bench_json(path):
-    """Validate a fig9/fig10-style --json strong-scaling output file."""
+    """Validate a bench --json output file (see module docstring)."""
     try:
         with open(path) as f:
             data = json.load(f)
@@ -141,22 +153,38 @@ def validate_bench_json(path):
         fail(f"{path} is not valid JSON: {e}")
     except OSError as e:
         fail(f"cannot read {path}: {e}")
+    if isinstance(data, dict):
+        # tools/msc_scaling form: a document object wrapping the runs.
+        if data.get("schema_version") != BENCH_SCHEMA_VERSION:
+            fail(f"document schema_version {data.get('schema_version')!r} "
+                 f"(expected {BENCH_SCHEMA_VERSION})")
+        data = data.get("runs")
     if not isinstance(data, list) or not data:
-        fail("bench json top level must be a non-empty array of run objects")
+        fail("bench json top level must be a non-empty array of run objects "
+             "(or an object with one under 'runs')")
     rounds_total = 0
+    scaling_runs = 0
     for i, run in enumerate(data):
         if not isinstance(run, dict):
             fail(f"run {i} is not an object")
         if run.get("schema_version") != BENCH_SCHEMA_VERSION:
             fail(f"run {i} schema_version {run.get('schema_version')!r} "
                  f"(expected {BENCH_SCHEMA_VERSION})")
+        if "rounds" not in run:
+            # Generic datapoint run (fig4/fig5/fig6): any shape, but it
+            # must carry at least one numeric datapoint of its own.
+            if not any(isinstance(v, (int, float)) and k != "schema_version"
+                       for k, v in run.items()):
+                fail(f"run {i} has no numeric datapoint fields")
+            continue
+        scaling_runs += 1
         if not isinstance(run.get("plan"), str) or not run["plan"]:
             fail(f"run {i} missing plan string")
         for key in BENCH_RUN_NUMERIC:
             if not isinstance(run.get(key), (int, float)):
                 fail(f"run {i} missing numeric field {key!r}")
         if not isinstance(run.get("rounds"), list):
-            fail(f"run {i} missing rounds array")
+            fail(f"run {i} rounds is not an array")
         for j, rnd in enumerate(run["rounds"]):
             for key in BENCH_ROUND_NUMERIC:
                 if not isinstance(rnd.get(key), (int, float)):
@@ -172,9 +200,81 @@ def validate_bench_json(path):
             if rnd["imbalance"] < 1.0 and rnd["total_bytes"] > 0:
                 fail(f"run {i} round {j}: imbalance {rnd['imbalance']} < 1")
             rounds_total += 1
-    print(f"check_trace: OK: {len(data)} bench run(s), {rounds_total} round(s), "
+    print(f"check_trace: OK: {len(data)} bench run(s) "
+          f"({scaling_runs} strong-scaling, {rounds_total} round(s)), "
           f"schema_version {BENCH_SCHEMA_VERSION}")
     return 0
+
+
+CRITPATH_SCHEMA_VERSION = 1
+
+CRITPATH_CATEGORIES = ("read", "compute", "merge", "glue", "write", "idle",
+                       "mailbox_wait", "transfer", "barrier_wait")
+
+
+def validate_critpath_json(path):
+    """Validate a msc_critpath --json analysis file."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    if not isinstance(data, dict):
+        fail("critpath json top level must be an object")
+    if data.get("schema_version") != CRITPATH_SCHEMA_VERSION:
+        fail(f"schema_version {data.get('schema_version')!r} "
+             f"(expected {CRITPATH_SCHEMA_VERSION})")
+    for key in ("wall_seconds", "path_seconds", "end_rank"):
+        if not isinstance(data.get(key), (int, float)):
+            fail(f"missing numeric field {key!r}")
+    cats = data.get("by_category")
+    if not isinstance(cats, dict):
+        fail("missing by_category object")
+    for name, v in cats.items():
+        if not isinstance(v, (int, float)) or v < 0:
+            fail(f"by_category[{name!r}] is not a non-negative number: {v!r}")
+    segments = data.get("segments")
+    if not isinstance(segments, list) or not segments:
+        fail("missing non-empty segments array")
+    seg_sum = 0.0
+    prev_t1 = None
+    for i, s in enumerate(segments):
+        for key in ("rank", "t0", "t1", "round"):
+            if not isinstance(s.get(key), (int, float)):
+                fail(f"segment {i} missing numeric field {key!r}")
+        if s.get("category") not in CRITPATH_CATEGORIES:
+            fail(f"segment {i} unknown category {s.get('category')!r}")
+        if s["t1"] < s["t0"]:
+            fail(f"segment {i} runs backwards: t0={s['t0']} t1={s['t1']}")
+        if prev_t1 is not None and s["t0"] < prev_t1 - 1e-9:
+            fail(f"segment {i} overlaps its predecessor "
+                 f"(t0={s['t0']} < prev t1={prev_t1})")
+        prev_t1 = s["t1"]
+        seg_sum += s["t1"] - s["t0"]
+    path_s = data["path_seconds"]
+    if abs(seg_sum - path_s) > max(1e-6, 0.01 * path_s):
+        fail(f"segments sum to {seg_sum:.6f}s but path_seconds is "
+             f"{path_s:.6f}s")
+    print(f"check_trace: OK: critpath json, {len(segments)} segment(s), "
+          f"{len(cats)} categories, path {path_s:.6f}s "
+          f"(wall {data['wall_seconds']:.6f}s), "
+          f"schema_version {CRITPATH_SCHEMA_VERSION}")
+    return 0
+
+
+def run_critpath_and_validate(binary, extra):
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "critpath.json")
+        cmd = [binary, "--run", f"--json={out}"] + (extra or ["--ranks=4"])
+        print("check_trace: running:", " ".join(cmd))
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        sys.stdout.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        if proc.returncode != 0:
+            fail(f"critpath binary exited with {proc.returncode}")
+        return validate_critpath_json(out)
 
 
 def run_bench_and_validate(binary, extra):
@@ -226,10 +326,19 @@ def main(argv):
         if len(argv) < 3:
             fail("--run-bench requires the bench binary path")
         return run_bench_and_validate(argv[2], argv[3:])
+    if len(argv) >= 2 and argv[1] == "--validate-critpath":
+        if len(argv) < 3:
+            fail("--validate-critpath requires the json file path")
+        return validate_critpath_json(argv[2])
+    if len(argv) >= 2 and argv[1] == "--run-critpath":
+        if len(argv) < 3:
+            fail("--run-critpath requires the msc_critpath binary path")
+        return run_critpath_and_validate(argv[2], argv[3:])
     if len(argv) < 2:
         fail("usage: check_trace.py TRACE.json [--ranks=N] [--require-flows] | "
              "--run|--run-flows CLI [ARGS...] | --validate-bench F.json | "
-             "--run-bench BENCH [ARGS...]")
+             "--run-bench BENCH [ARGS...] | --validate-critpath F.json | "
+             "--run-critpath BIN [ARGS...]")
     expect = None
     require_flows = False
     for a in argv[2:]:

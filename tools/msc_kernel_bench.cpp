@@ -11,7 +11,12 @@
 /// work/median (cells/s, arcs/s, bytes/s).
 ///
 /// Usage:
-///   msc_kernel_bench [--reps=9] [--side=25] [--json=FILE]
+///   msc_kernel_bench [--reps=9] [--side=25] [--json=FILE] [--profile=1]
+///
+/// --profile=1 binds a live msc::prof sampler (997 Hz) to the bench
+/// thread so the kernels' MSC_PROF_POINT markers record while the hot
+/// regions are timed: comparing medians against an unprofiled run is
+/// the sampler-overhead measurement on the exact perf-gate fixture.
 #include <cstdio>
 
 #include <algorithm>
@@ -19,6 +24,7 @@
 #include <cmath>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,6 +36,7 @@
 #include "io/pack.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/snapshot.hpp"
+#include "prof/prof.hpp"
 #include "synth/fields.hpp"
 
 namespace {
@@ -104,6 +111,18 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(flags.getInt("reps", 9));
   const std::int64_t side = flags.getInt("side", 25);
   const std::string json_path = flags.getString("json");
+  const bool profile = flags.getBool("profile", false);
+  const double prof_hz = flags.getDouble("hz", 997.0);
+
+  std::unique_ptr<prof::Profiler> profiler;
+  std::unique_ptr<prof::ThreadBind> prof_bind;
+  if (profile) {
+    prof::ProfilerOptions popts;
+    popts.hz = prof_hz;
+    profiler = std::make_unique<prof::Profiler>(1, popts);
+    prof_bind = std::make_unique<prof::ThreadBind>(profiler.get(), 0);
+    profiler->startSampler();
+  }
 
   // Fixed fixture: a noise field stresses every kernel (dense critical
   // cells, long V-paths, many cancellations).
@@ -196,6 +215,12 @@ int main(int argc, char** argv) {
     finishMerge(root, 0.1f, nullptr, &reg, 0);
     return t.seconds();
   });
+
+  if (profiler) {
+    profiler->stopSampler();
+    std::printf("profiled: %lld samples @ %.0f Hz, live markers on\n",
+                static_cast<long long>(profiler->sampleCount()), prof_hz);
+  }
 
   if (!json_path.empty()) {
     std::FILE* jf = std::fopen(json_path.c_str(), "w");

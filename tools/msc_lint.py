@@ -96,8 +96,13 @@ RULE_IDS = {r["id"] for r in RULES}
 #   - check must never depend on obs (it validates runs that may or may
 #     not be traced) nor on bench.
 LAYERS = {
-    "core": {"metrics"},
-    "obs": set(),
+    "core": {"metrics", "prof"},
+    # obs sees prof only to mirror live spans onto the sampling
+    # profiler's per-rank stacks (thread-binding in Span ctor/end).
+    "obs": {"prof"},
+    # prof is a near-leaf: the sampling profiler's only edge is the
+    # metrics registry the heartbeat reporter reads its gauges from.
+    "prof": {"metrics"},
     "audit": set(),
     "causal": set(),
     # metrics is a leaf like obs/audit/causal: kernels flush into it, so
@@ -108,7 +113,7 @@ LAYERS = {
     # trailer inline, so any dependency it grew would be dragged under
     # the runtime.
     "integrity": set(),
-    "merge": {"core", "decomp", "io", "metrics"},
+    "merge": {"core", "decomp", "io", "metrics", "prof"},
     "synth": {"core"},
     "decomp": {"core"},
     "analysis": {"core"},
@@ -118,7 +123,7 @@ LAYERS = {
     "fault": {"core", "io", "obs", "par", "integrity"},
     # pipeline sees audit directly since the watchdog knob moved into
     # PipelineConfig (block_timeout_seconds -> Auditor::setBlockTimeoutSeconds).
-    "pipeline": {"audit", "causal", "core", "decomp", "fault", "integrity", "io", "merge", "metrics", "obs", "par", "simnet", "synth"},
+    "pipeline": {"audit", "causal", "core", "decomp", "fault", "integrity", "io", "merge", "metrics", "obs", "par", "prof", "simnet", "synth"},
     "check": {"core", "synth", "decomp", "analysis", "fault", "integrity", "io", "pipeline"},
 }
 
@@ -129,6 +134,8 @@ EXPLICIT_BANS = [
     ("check", "bench", "check must not depend on bench"),
     ("obs", "causal", "obs must not depend on causal (independent attach)"),
     ("causal", "obs", "causal must not depend on obs (stays a leaf under par)"),
+    ("prof", "pipeline", "prof must not depend on pipeline (profiles it from below)"),
+    ("prof", "obs", "prof must not depend on obs (obs mirrors into prof, not back)"),
 ]
 
 # Headers any module may include without creating a layering edge:

@@ -14,6 +14,13 @@ Two kinds of baseline, two kinds of check:
     simulated strong-scaling runs. These are deterministic too and must
     match exactly; model seconds are not compared.
 
+  * BENCH_scaling.json (from tools/msc_scaling --json): the scaling
+    observatory's rank-ladder curve. Work counters, output bytes and
+    feature counts are deterministic and must match exactly; parallel
+    efficiency at the top of the ladder is a modeled ratio and is
+    ratcheted -- it may not drop more than EFF_REL (relative) below
+    the committed curve.
+
 Modes:
   msc_perfgate.py --bench BIN --baseline F [--reps N] [--keep OUT]
       run the kernel bench, then gate the measurement against F
@@ -27,6 +34,9 @@ Modes:
   msc_perfgate.py --critpath-run BIN --critpath-baseline F [--procs P]
       run fig9-style BIN with --json at --procs (default 32), compare
       per-round counters of matching procs entries exactly
+  msc_perfgate.py --scaling-run BIN --scaling-baseline F
+      run tools/msc_scaling with --json, compare the whole ladder:
+      config + counters exact, top-of-ladder efficiency ratcheted
 
 Timing tolerance per kernel:
     rel_tol = max(MIN_REL, K_MAD * rel_mad) * MSC_PERFGATE_TOL
@@ -56,6 +66,16 @@ SCHEMA_VERSION = 1
 # Deterministic per-round fields in the fig9/fig10 --json rounds.
 ROUND_WORK_KEYS = ("groups", "messages", "total_bytes", "max_root_bytes",
                    "max_root_rank")
+
+# Deterministic per-run fields in the scaling observatory output.
+SCALING_WORK_KEYS = ("output_bytes", "nodes", "arcs")
+
+# Relative efficiency drop allowed at the top of the rank ladder,
+# scaled by MSC_PERFGATE_TOL. Mirrors MIN_REL for kernel timings: the
+# model times embed measured kernel seconds, so the curve carries
+# timing noise -- a halving of top-of-ladder efficiency is a real
+# regression, a few percent is not.
+EFF_REL = 0.50
 
 
 def fail_usage(msg):
@@ -164,6 +184,55 @@ def compare_critpath(baseline, measured):
     return blame
 
 
+def compare_scaling(baseline, measured, scale):
+    """Gate a msc_scaling ladder against the committed curve.
+
+    Counters (per-round comm work, output bytes, feature counts) are
+    deterministic and compared exactly; efficiency at the largest
+    baseline procs value is ratcheted with EFF_TOL absolute slack.
+    """
+    check_schema(baseline, "baseline")
+    check_schema(measured, "measurement")
+    blame = Blame()
+    blame.add("config", "config", json.dumps(baseline.get("config"),
+                                             sort_keys=True),
+              json.dumps(measured.get("config"), sort_keys=True), "equal",
+              baseline.get("config") == measured.get("config"))
+    bruns = baseline.get("runs", [])
+    meas_by_procs = {e["procs"]: e for e in measured.get("runs", [])}
+    if not bruns:
+        fail_usage("scaling baseline has no runs")
+    compared = 0
+    top_procs = max(e["procs"] for e in bruns)
+    for be in bruns:
+        me = meas_by_procs.get(be["procs"])
+        label = f"procs={be['procs']}"
+        if me is None:
+            blame.add(label, "present", True, False, "both", False)
+            continue
+        compared += 1
+        blame.add(label, "plan", be.get("plan"), me.get("plan"), "equal",
+                  be.get("plan") == me.get("plan"))
+        for key in SCALING_WORK_KEYS:
+            blame.add(label, key, be.get(key), me.get(key), "delta=0",
+                      be.get(key) == me.get(key))
+        brounds, mrounds = be.get("rounds", []), me.get("rounds", [])
+        blame.add(label, "rounds", len(brounds), len(mrounds), "equal",
+                  len(brounds) == len(mrounds))
+        for br, mr in zip(brounds, mrounds):
+            for key in ROUND_WORK_KEYS:
+                blame.add(label, f"round{br.get('round')}.{key}", br.get(key),
+                          mr.get(key), "delta=0", br.get(key) == mr.get(key))
+        if be["procs"] == top_procs:
+            beff, meff = be.get("efficiency"), me.get("efficiency")
+            floor = beff * (1 - EFF_REL * scale)
+            blame.add(label, "efficiency", f"{beff:.4f}", f"{meff:.4f}",
+                      f">={floor:.4f}", meff >= floor)
+    if compared == 0:
+        fail_usage("no measured entry matches any baseline procs value")
+    return blame
+
+
 def run_bench(bench, reps, out_path):
     cmd = [bench, f"--reps={reps}", f"--json={out_path}"]
     print("msc_perfgate: running:", " ".join(cmd))
@@ -264,6 +333,22 @@ def main(argv):
         return finish(compare_critpath(load(args["--critpath-baseline"]),
                                        measured),
                       "per-round counters")
+
+    if "--scaling-run" in args or "--scaling-baseline" in args:
+        if "--scaling-run" not in args or "--scaling-baseline" not in args:
+            fail_usage("scaling mode needs --scaling-run and "
+                       "--scaling-baseline")
+        with tempfile.TemporaryDirectory() as tmp:
+            out = os.path.join(tmp, "scaling.json")
+            cmd = [args["--scaling-run"], f"--json={out}"]
+            print("msc_perfgate: running:", " ".join(cmd))
+            proc = subprocess.run(cmd, stdout=subprocess.DEVNULL)
+            if proc.returncode != 0:
+                fail_usage(f"{cmd[0]} exited with {proc.returncode}")
+            measured = load(out)
+        return finish(compare_scaling(load(args["--scaling-baseline"]),
+                                      measured, scale),
+                      "scaling curve")
 
     if "--baseline" not in args:
         fail_usage("need --baseline (see --help in the module docstring)")

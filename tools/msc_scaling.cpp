@@ -1,0 +1,135 @@
+/// Scaling observatory: drive simnet reconstructions of the full
+/// pipeline across a rank-count ladder and join per-run efficiency,
+/// per-stage imbalance, and per-round communication/critical-path
+/// splits into one versioned JSON document (BENCH_scaling.json when
+/// committed as the gated baseline).
+///
+/// Where fig9/fig10 reproduce one paper figure each, this tool is the
+/// ratchet: `msc_perfgate.py --scaling-run` reruns it and compares
+/// the curve against the committed baseline -- work counters exactly,
+/// efficiency-at-the-top-of-the-ladder within tolerance -- so merge
+/// restructuring work (ROADMAP items 1/2) moves a committed number
+/// instead of an anecdote.
+///
+/// Flags (defaults are the gated configuration):
+///   --procs=32,128,512,1024   rank ladder
+///   --dims=81,81,49           grid vertex dims (jet-like field)
+///   --persistence=0.03
+///   --premerge=1 --sharded=1 --integrity=1
+///   --json=FILE               write the document (stdout table always)
+#include <memory>
+
+#include "bench_util.hpp"
+#include "simnet/timeline.hpp"
+
+using namespace msc;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const auto procs = flags.getIntList("procs", {32, 128, 512, 1024});
+  // Large enough that per-block compute at 1024 ranks is above timer
+  // noise (the efficiency ratchet needs real signal), small enough to
+  // keep the whole ladder around ten seconds.
+  const auto dims = flags.getIntList("dims", {81, 81, 49});
+  const double persistence = flags.getDouble("persistence", 0.03);
+  const bool premerge = flags.getBool("premerge", true);
+  const bool sharded = flags.getBool("sharded", true);
+  const bool integrity = flags.getBool("integrity", true);
+  if (dims.size() != 3) {
+    std::fprintf(stderr, "msc_scaling: --dims needs three values\n");
+    return 2;
+  }
+  const Domain domain{{dims[0], dims[1], dims[2]}};
+  const pipeline::SimModels models = bench::defaultModels(flags);
+
+  const std::string json_path = flags.getString("json");
+  std::FILE* jf = json_path.empty() ? nullptr : std::fopen(json_path.c_str(), "w");
+  if (!json_path.empty() && !jf) {
+    std::fprintf(stderr, "msc_scaling: cannot open %s\n", json_path.c_str());
+    return 2;
+  }
+  bench::JsonWriter json(jf);
+  if (jf) {
+    json.beginObject();
+    json.key("schema_version").value(bench::kBenchSchemaVersion);
+    json.key("tool").value("msc_scaling");
+    json.key("config").beginObject();
+    json.key("dims").beginArray();
+    for (const int d : dims) json.value(d);
+    json.endArray();
+    json.key("persistence").value(persistence);
+    json.key("premerge").value(static_cast<int>(premerge));
+    json.key("sharded").value(static_cast<int>(sharded));
+    json.key("integrity").value(static_cast<int>(integrity));
+    json.endObject();
+    json.key("runs").beginArray();
+  }
+
+  bench::header("Scaling observatory: rank ladder, full merge");
+  bench::note("grid %d x %d x %d jet-like, 1 block/process", dims[0], dims[1], dims[2]);
+  std::printf("%7s %14s %10s %10s %10s %11s %12s %12s %12s\n", "procs", "plan",
+              "compute_s", "merge_s", "total_s", "efficiency", "imb_compute",
+              "imb_finalrd", "output_B");
+
+  double base_total = 0;
+  int base_procs = 0;
+  for (const int p : procs) {
+    pipeline::PipelineConfig cfg;
+    cfg.domain = domain;
+    cfg.source.field = synth::jetLike(domain);
+    cfg.nblocks = p;
+    cfg.nranks = p;
+    cfg.persistence_threshold = static_cast<float>(persistence);
+    cfg.plan = MergePlan::fullMerge(p);
+    cfg.premerge = premerge;
+    cfg.sharded_final = sharded;
+    cfg.integrity = integrity;
+    causal::Recorder::Options ropts;
+    ropts.journal_clocks = false;  // wide simulated runs: skip per-event copies
+    causal::Recorder rec(p, ropts);
+    cfg.causal = &rec;
+    const pipeline::SimResult r = runSimPipeline(cfg, models);
+    const causal::CriticalPath cp = causal::analyzeCriticalPath(rec.journal());
+
+    const double total = r.times.total();
+    if (base_procs == 0) {
+      base_procs = p;
+      base_total = total;
+    }
+    const double efficiency =
+        (base_total / total) / (static_cast<double>(p) / base_procs);
+    const double imb_compute = simnet::imbalance(r.inputs.compute_per_rank);
+    const double imb_prep = simnet::imbalance(r.inputs.merge_prep_per_rank);
+    const std::vector<bench::RoundCommStats> rstats = bench::roundCommStats(r.inputs);
+    const double imb_final = rstats.empty() ? 1.0 : rstats.back().imbalance;
+    std::int64_t nodes = 0;
+    for (const std::int64_t n : r.node_counts) nodes += n;
+
+    std::printf("%7d %14s %10.3f %10.3f %10.3f %10.1f%% %12.3f %12.3f %12lld\n", p,
+                cfg.plan.toString().c_str(), r.times.compute, r.times.mergeTotal(),
+                total, 100 * efficiency, imb_compute, imb_final,
+                static_cast<long long>(r.output_bytes));
+    if (jf) {
+      const std::int64_t arcs = r.arc_count;
+      bench::writeRunJson(
+          json, p, cfg.plan.toString().c_str(), r, efficiency, &cp,
+          [&](bench::JsonWriter& j) {
+            j.key("compute_imbalance").value(imb_compute);
+            j.key("merge_prep_imbalance").value(imb_prep);
+            j.key("final_round_imbalance").value(imb_final);
+            j.key("nodes").value(nodes);
+            j.key("arcs").value(arcs);
+          });
+    }
+  }
+  if (jf) {
+    json.endArray();
+    json.endObject();
+    json.finish();
+    std::fclose(jf);
+    bench::note("json -> %s", json_path.c_str());
+  }
+  bench::note("gate: msc_perfgate.py --scaling-run (counters exact, efficiency");
+  bench::note("at the top of the ladder ratcheted against the committed curve)");
+  return 0;
+}

@@ -120,6 +120,24 @@ for cfg in "${configs[@]}"; do
     failed+=("$cfg")
     continue
   fi
+  # The profile label (msc::prof sampling profiler): the seqlock span
+  # stacks are a writer-vs-sampler race by design, so TSan must see
+  # the 8-thread bookkeeping test and the profiled-pipeline byte-
+  # identity runs in every config; the scaling gate rides the same
+  # label so its ladder stays exercised under sanitizers too.
+  echo "=== [$cfg] ctest -L profile ==="
+  if (cd "$bdir" && \
+      TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+      ASAN_OPTIONS="detect_leaks=1" \
+      UBSAN_OPTIONS="print_stacktrace=1" \
+      MSC_PERFGATE_TOL="$gate_tol" \
+      ctest --output-on-failure -L profile -j "$jobs"); then
+    echo "=== [$cfg] profile OK ==="
+  else
+    echo "=== [$cfg] profile TESTS FAILED ==="
+    failed+=("$cfg")
+    continue
+  fi
   # Same for the perf gate label: the self-check must prove the gate
   # can fail, and the work-counter cross-checks must stay exact, in
   # every sanitizer config (timing tolerance widened above).
